@@ -1,0 +1,141 @@
+// E3/E4/E8 — general containment (Thm 3.1): the cost of the two
+// enumeration axes the paper's characterization introduces on top of the
+// positive mapping test.
+//
+// Series reproduced:
+//  * Containment/Augmentations/k: Q2 carries an inequality, Q1 has k
+//    same-class variables — consistent augmentations grow like Bell(k)
+//    (Cor 3.3 axis).
+//  * Containment/MembershipSubsets/k: Q2 carries a non-membership, Q1
+//    mentions k distinct set terms — 2^|T| subsets W (Cor 3.2 axis).
+//  * Containment/Example13: the paper's implied-inequality equivalence
+//    as a fixed-point reference workload.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/containment.h"
+#include "parser/parser.h"
+#include "schema/schema_builder.h"
+
+namespace oocq {
+namespace {
+
+void BM_ContainmentAugmentations(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Schema schema = bench::MakeChainSchema();
+  ClassId n = *schema.FindClass("N");
+  // Q1: k same-class variables with one distinctness pin (x0 != x1), so
+  // containment holds and EVERY consistent augmentation is enumerated —
+  // the counter exposes the Bell-number growth.
+  ConjunctiveQuery q1;
+  for (int i = 0; i < k; ++i) {
+    VarId v = q1.AddVariable("x" + std::to_string(i));
+    q1.AddAtom(Atom::Range(v, {n}));
+  }
+  q1.AddAtom(Atom::Inequality(Term::Var(0), Term::Var(1)));
+  // Q2: x != y — the simplest inequality right-hand side.
+  ConjunctiveQuery q2;
+  VarId x = q2.AddVariable("x");
+  VarId y = q2.AddVariable("y");
+  q2.AddAtom(Atom::Range(x, {n}));
+  q2.AddAtom(Atom::Range(y, {n}));
+  q2.AddAtom(Atom::Inequality(Term::Var(x), Term::Var(y)));
+
+  ContainmentOptions options;
+  options.max_augmentations = 10'000'000;
+  ContainmentStats stats;
+  bool contained = true;
+  for (auto _ : state) {
+    stats = ContainmentStats();
+    contained = bench::Must(Contained(schema, q1, q2, options, &stats));
+    benchmark::DoNotOptimize(contained);
+  }
+  state.counters["contained"] = contained ? 1 : 0;  // True: x0 != x1 pins it.
+  state.counters["augmentations"] = static_cast<double>(stats.augmentations);
+  state.counters["mapping_searches"] =
+      static_cast<double>(stats.mapping_searches);
+}
+BENCHMARK(BM_ContainmentAugmentations)->DenseRange(2, 9);
+
+void BM_ContainmentMembershipSubsets(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  // Schema with k distinct set attributes S0..S{k-1}.
+  SchemaBuilder builder;
+  builder.AddClass("D");
+  builder.AddClass("C");
+  for (int i = 0; i < k; ++i) {
+    builder.AddAttribute("C", "S" + std::to_string(i), TypeName::SetOf("D"));
+  }
+  Schema schema = bench::Must(builder.Build());
+  ClassId c = *schema.FindClass("C");
+  ClassId d = *schema.FindClass("D");
+
+  // Q1: one element witness u inside every set y.S_i, plus the pin
+  // x ∉ y.S0. The candidate pool T is then exactly {x in y.S_j : j >= 1}
+  // (|T| = k-1): x ∈ y.S0 conflicts with the pin and the u memberships
+  // are already derivable. Containment holds, so all 2^(k-1) subsets W
+  // are enumerated — the Cor 3.2 axis in isolation.
+  ConjunctiveQuery q1;
+  VarId x1 = q1.AddVariable("x");
+  VarId y1 = q1.AddVariable("y");
+  VarId u1 = q1.AddVariable("u");
+  q1.AddAtom(Atom::Range(x1, {d}));
+  q1.AddAtom(Atom::Range(y1, {c}));
+  q1.AddAtom(Atom::Range(u1, {d}));
+  for (int i = 0; i < k; ++i) {
+    q1.AddAtom(Atom::Membership(u1, y1, "S" + std::to_string(i)));
+  }
+  q1.AddAtom(Atom::NonMembership(x1, y1, "S0"));
+  // Q2: x notin y.S0.
+  ConjunctiveQuery q2;
+  VarId x2 = q2.AddVariable("x");
+  VarId y2 = q2.AddVariable("y");
+  q2.AddAtom(Atom::Range(x2, {d}));
+  q2.AddAtom(Atom::Range(y2, {c}));
+  q2.AddAtom(Atom::NonMembership(x2, y2, "S0"));
+
+  ContainmentOptions options;
+  options.max_membership_candidates = 40;
+  ContainmentStats stats;
+  bool contained = false;
+  for (auto _ : state) {
+    stats = ContainmentStats();
+    contained = bench::Must(Contained(schema, q1, q2, options, &stats));
+    benchmark::DoNotOptimize(contained);
+  }
+  state.counters["contained"] = contained ? 1 : 0;  // True: the pin holds.
+  state.counters["membership_subsets"] =
+      static_cast<double>(stats.membership_subsets);
+}
+BENCHMARK(BM_ContainmentMembershipSubsets)->DenseRange(1, 10);
+
+void BM_ContainmentExample13(benchmark::State& state) {
+  Schema schema = bench::Must(ParseSchema(R"(
+schema ImpliedInequality {
+  class D { }
+  class T1 under D { }
+  class T2 under D { }
+  class C { A: D; }
+})"));
+  ConjunctiveQuery q1 = bench::Must(ParseQuery(
+      schema,
+      "{ x | exists y exists s exists t (x in C & y in C & s in T1 & "
+      "t in T2 & s = x.A & t = y.A & x != y) }"));
+  ConjunctiveQuery q2 = bench::Must(ParseQuery(
+      schema,
+      "{ x | exists y exists s exists t (x in C & y in C & s in T1 & "
+      "t in T2 & s = x.A & t = y.A) }"));
+  bool equivalent = false;
+  for (auto _ : state) {
+    equivalent = bench::Must(EquivalentQueries(schema, q1, q2));
+    benchmark::DoNotOptimize(equivalent);
+  }
+  state.counters["equivalent"] = equivalent ? 1 : 0;  // Paper: 1.
+}
+BENCHMARK(BM_ContainmentExample13);
+
+}  // namespace
+}  // namespace oocq
+
+BENCHMARK_MAIN();

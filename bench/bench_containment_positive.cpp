@@ -1,0 +1,81 @@
+// E8 — positive containment (Cor 3.4): a single non-contradictory
+// mapping search, the OODB analogue of the Chandra-Merlin homomorphism
+// test (NP-hard in general).
+//
+// Series reproduced:
+//  * Containment/ChainInChain/k: chain-k ⊆ chain-(k/2) — mapping exists.
+//  * Containment/ChainNotInLonger/k: chain-k ⊆ chain-(k+1) — the search
+//    must exhaust (the hard refutation direction).
+//  * Containment/StarInStar/k: k membership witnesses fold onto one.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/containment.h"
+
+namespace oocq {
+namespace {
+
+void ReportStats(benchmark::State& state, const ContainmentStats& stats,
+                 bool contained) {
+  state.counters["contained"] = contained ? 1 : 0;
+  state.counters["mapping_steps"] = static_cast<double>(stats.mapping_steps);
+  state.counters["mapping_searches"] =
+      static_cast<double>(stats.mapping_searches);
+}
+
+void BM_ContainmentChainInChain(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Schema schema = bench::MakeChainSchema();
+  ConjunctiveQuery longer = bench::MakeChainQuery(schema, k);
+  ConjunctiveQuery shorter = bench::MakeChainQuery(schema, k / 2);
+  ContainmentStats stats;
+  bool contained = false;
+  for (auto _ : state) {
+    stats = ContainmentStats();
+    contained = bench::Must(Contained(schema, longer, shorter, {}, &stats));
+    benchmark::DoNotOptimize(contained);
+  }
+  ReportStats(state, stats, contained);
+}
+BENCHMARK(BM_ContainmentChainInChain)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_ContainmentChainNotInLonger(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Schema schema = bench::MakeChainSchema();
+  ConjunctiveQuery shorter = bench::MakeChainQuery(schema, k);
+  ConjunctiveQuery longer = bench::MakeChainQuery(schema, k + 1);
+  ContainmentOptions options;
+  options.max_mapping_steps = 1'000'000'000;
+  ContainmentStats stats;
+  bool contained = true;
+  for (auto _ : state) {
+    stats = ContainmentStats();
+    contained =
+        bench::Must(Contained(schema, shorter, longer, options, &stats));
+    benchmark::DoNotOptimize(contained);
+  }
+  ReportStats(state, stats, contained);
+}
+BENCHMARK(BM_ContainmentChainNotInLonger)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_ContainmentStarInStar(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Schema schema = bench::MakeChainSchema();
+  ConjunctiveQuery big = bench::MakeStarQuery(schema, k);
+  ConjunctiveQuery small = bench::MakeStarQuery(schema, 1);
+  ContainmentStats stats;
+  bool contained = false;
+  for (auto _ : state) {
+    stats = ContainmentStats();
+    contained = bench::Must(Contained(schema, small, big, {}, &stats));
+    benchmark::DoNotOptimize(contained);
+  }
+  ReportStats(state, stats, contained);
+}
+BENCHMARK(BM_ContainmentStarInStar)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace oocq
+
+BENCHMARK_MAIN();

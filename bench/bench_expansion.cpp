@@ -1,0 +1,67 @@
+// E1/E8 — Prop 2.1 terminal expansion.
+//
+// Series reproduced:
+//  * Expansion/VehicleRental: Ex 2.1 — 3 raw disjuncts, 1 satisfiable
+//    (the paper's Ex 1.1 conclusion), as counters.
+//  * Expansion/Fanout/{F,V}: disjunct count = F^V and the time to
+//    enumerate + satisfiability-check them (the cost of the first
+//    minimization stage as hierarchies widen).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/expansion.h"
+#include "parser/parser.h"
+
+namespace oocq {
+namespace {
+
+void BM_ExpansionVehicleRental(benchmark::State& state) {
+  Schema schema = bench::MakeVehicleRentalSchema();
+  ConjunctiveQuery query = bench::Must(ParseQuery(
+      schema,
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }"));
+  ExpansionStats stats;
+  for (auto _ : state) {
+    UnionQuery expansion =
+        bench::Must(ExpandToTerminalQueries(schema, query, {}, &stats));
+    benchmark::DoNotOptimize(expansion);
+  }
+  state.counters["raw_disjuncts"] = static_cast<double>(stats.raw_disjuncts);
+  state.counters["satisfiable"] =
+      static_cast<double>(stats.satisfiable_disjuncts);
+}
+BENCHMARK(BM_ExpansionVehicleRental);
+
+void BM_ExpansionFanout(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  const int vars = static_cast<int>(state.range(1));
+  Schema schema = bench::MakeFanoutSchema(fanout);
+  ConjunctiveQuery query = bench::MakeFanoutQuery(schema, vars);
+  ExpansionStats stats;
+  for (auto _ : state) {
+    UnionQuery expansion =
+        bench::Must(ExpandToTerminalQueries(schema, query, {}, &stats));
+    benchmark::DoNotOptimize(expansion);
+  }
+  state.counters["raw_disjuncts"] = static_cast<double>(stats.raw_disjuncts);
+  state.counters["satisfiable"] =
+      static_cast<double>(stats.satisfiable_disjuncts);
+}
+BENCHMARK(BM_ExpansionFanout)
+    ->ArgNames({"fanout", "vars"})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({2, 8})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({4, 6})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({16, 2})
+    ->Args({16, 3});
+
+}  // namespace
+}  // namespace oocq
+
+BENCHMARK_MAIN();

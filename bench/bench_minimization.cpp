@@ -1,0 +1,129 @@
+// E2 — the §4 exact minimization pipeline.
+//
+// Series reproduced:
+//  * Minimization/Example41: the paper's worked example (6 raw disjuncts
+//    -> 2 satisfiable -> 2 nonredundant, 1 variable folded) as counters.
+//  * Minimization/StarFolding/k: k interchangeable membership witnesses
+//    fold to 1 (Thm 4.3 self-mapping fixpoint) — cost vs k.
+//  * Minimization/RedundantUnion/k: redundancy removal over a union of k
+//    pairwise-comparable disjuncts (quadratic containment tests).
+//  * Minimization/HierarchyPruning/f: expansion + unsatisfiability
+//    pruning as the hierarchy fan-out grows, Example 1.2-style.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/minimization.h"
+#include "parser/parser.h"
+#include "schema/schema_builder.h"
+
+namespace oocq {
+namespace {
+
+void BM_MinimizationExample41(benchmark::State& state) {
+  Schema schema = bench::Must(ParseSchema(R"(
+schema Partition {
+  class G { }
+  class H under G { }
+  class I under G { }
+  class N1 { A: {G}; }
+  class T1 under N1 { }
+  class T2 under N1 { B: G; }
+  class T3 under N1 { B: G; A: {I}; }
+})"));
+  ConjunctiveQuery query = bench::Must(ParseQuery(
+      schema,
+      "{ x | exists y exists s (x in N1 & y in G & s in H & y = x.B & "
+      "y in x.A & s in x.A) }"));
+  MinimizationReport report;
+  for (auto _ : state) {
+    report = bench::Must(MinimizePositiveQuery(schema, query));
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["raw"] = static_cast<double>(report.raw_disjuncts);
+  state.counters["satisfiable"] =
+      static_cast<double>(report.satisfiable_disjuncts);
+  state.counters["nonredundant"] =
+      static_cast<double>(report.nonredundant_disjuncts);
+  state.counters["vars_removed"] =
+      static_cast<double>(report.variables_removed);
+}
+BENCHMARK(BM_MinimizationExample41);
+
+void BM_MinimizationStarFolding(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Schema schema = bench::MakeChainSchema();
+  ConjunctiveQuery query = bench::MakeStarQuery(schema, k);
+  uint64_t removed = 0;
+  ConjunctiveQuery minimal;
+  for (auto _ : state) {
+    removed = 0;
+    minimal = bench::Must(MinimizeTerminalPositive(schema, query, {}, &removed));
+    benchmark::DoNotOptimize(minimal);
+  }
+  state.counters["vars_before"] = k + 1;
+  state.counters["vars_after"] = static_cast<double>(minimal.num_vars());
+  state.counters["vars_removed"] = static_cast<double>(removed);
+}
+BENCHMARK(BM_MinimizationStarFolding)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_MinimizationRedundantUnion(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Schema schema = bench::MakeChainSchema();
+  // Chains of length 1..k: a length-(i+1) path is also a length-i path,
+  // so chain-(i+1) ⊆ chain-i and the nonredundant union collapses to the
+  // single weakest disjunct chain-1 after O(k^2) containment tests.
+  UnionQuery chains;
+  for (int i = 1; i <= k; ++i) {
+    chains.disjuncts.push_back(bench::MakeChainQuery(schema, i));
+  }
+  UnionQuery result;
+  for (auto _ : state) {
+    result = bench::Must(RemoveRedundantDisjuncts(schema, chains));
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["disjuncts_in"] = k;
+  state.counters["disjuncts_out"] =
+      static_cast<double>(result.disjuncts.size());
+}
+BENCHMARK(BM_MinimizationRedundantUnion)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_MinimizationHierarchyPruning(benchmark::State& state) {
+  // Root with f terminal subclasses; only subclasses with the attribute
+  // survive the Example 1.2-style pruning (half carry it).
+  const int f = static_cast<int>(state.range(0));
+  SchemaBuilder builder;
+  builder.AddClass("D");
+  builder.AddClass("Root");
+  for (int i = 0; i < f; ++i) {
+    std::string name = "T" + std::to_string(i);
+    builder.AddClass(name, {"Root"});
+    if (i % 2 == 0) {
+      builder.AddAttribute(name, "A", TypeName::Class("D"));
+    }
+  }
+  Schema schema = bench::Must(builder.Build());
+  ClassId root = *schema.FindClass("Root");
+  ClassId d = *schema.FindClass("D");
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  VarId u = query.AddVariable("u");
+  query.AddAtom(Atom::Range(x, {root}));
+  query.AddAtom(Atom::Range(u, {d}));
+  query.AddAtom(Atom::Equality(Term::Var(u), Term::Attr(x, "A")));
+
+  MinimizationReport report;
+  for (auto _ : state) {
+    report = bench::Must(MinimizePositiveQuery(schema, query));
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["raw"] = static_cast<double>(report.raw_disjuncts);
+  state.counters["satisfiable"] =
+      static_cast<double>(report.satisfiable_disjuncts);
+}
+BENCHMARK(BM_MinimizationHierarchyPruning)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace oocq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// E8 — satisfiability (Thm 2.2) and Algorithm EqualityGraph scaling.
+//
+// Series reproduced:
+//  * Satisfiability/Chain/k: the test on length-k attribute chains — the
+//    paper claims an "efficient algorithm"; the series shows polynomial
+//    growth.
+//  * EqualityGraph/Congruence/k: closure cost when every merge cascades
+//    through the congruence rule (worst case for step (iii)).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/satisfiability.h"
+#include "query/equality_graph.h"
+
+namespace oocq {
+namespace {
+
+void BM_SatisfiabilityChain(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Schema schema = bench::MakeChainSchema();
+  ConjunctiveQuery query = bench::MakeChainQuery(schema, k);
+  for (auto _ : state) {
+    SatisfiabilityResult result = CheckSatisfiable(schema, query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["vars"] = k + 1;
+  state.counters["atoms"] = static_cast<double>(query.atoms().size());
+}
+BENCHMARK(BM_SatisfiabilityChain)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// A query engineered so the congruence rule fires in waves: variables
+// x0..xk all equated pairwise-lazily (x0=x1, x1=x2, ...) with x_i.Next
+// terms present, each merge triggering the next.
+ConjunctiveQuery MakeCongruenceQuery(const Schema& schema, int k) {
+  ClassId n = *schema.FindClass("N");
+  ConjunctiveQuery query;
+  for (int i = 0; i <= k; ++i) query.AddVariable("x" + std::to_string(i));
+  for (int i = 0; i <= k; ++i) {
+    query.AddAtom(Atom::Range(static_cast<VarId>(i), {n}));
+  }
+  for (int i = 0; i < k; ++i) {
+    query.AddAtom(Atom::Equality(Term::Var(static_cast<VarId>(i)),
+                                 Term::Var(static_cast<VarId>(i + 1))));
+    // Make x_i.Next a node so every variable merge cascades.
+    query.AddAtom(Atom::Equality(Term::Attr(static_cast<VarId>(i), "Next"),
+                                 Term::Var(static_cast<VarId>(i + 1))));
+  }
+  return query;
+}
+
+void BM_EqualityGraphCongruence(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Schema schema = bench::MakeChainSchema();
+  ConjunctiveQuery query = MakeCongruenceQuery(schema, k);
+  for (auto _ : state) {
+    EqualityGraph graph = EqualityGraph::Build(query);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.counters["vars"] = k + 1;
+}
+BENCHMARK(BM_EqualityGraphCongruence)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SatisfiabilityUnsatDetection(benchmark::State& state) {
+  // Worst-case-ish: the unsatisfiability (cross-class merge) is buried at
+  // the end of a long equality chain.
+  const int k = static_cast<int>(state.range(0));
+  SchemaBuilder builder;
+  builder.AddClass("Root");
+  builder.AddClass("L", {"Root"});
+  builder.AddClass("R", {"Root"});
+  Schema schema = bench::Must(builder.Build());
+  ClassId l = *schema.FindClass("L");
+  ClassId r = *schema.FindClass("R");
+  ConjunctiveQuery query;
+  for (int i = 0; i <= k; ++i) {
+    VarId v = query.AddVariable("x" + std::to_string(i));
+    query.AddAtom(Atom::Range(v, {i == k ? r : l}));
+  }
+  for (int i = 0; i < k; ++i) {
+    query.AddAtom(Atom::Equality(Term::Var(static_cast<VarId>(i)),
+                                 Term::Var(static_cast<VarId>(i + 1))));
+  }
+  for (auto _ : state) {
+    SatisfiabilityResult result = CheckSatisfiable(schema, query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["vars"] = k + 1;
+}
+BENCHMARK(BM_SatisfiabilityUnsatDetection)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace oocq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+#ifndef OOCQ_BENCH_BENCH_UTIL_H_
+#define OOCQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "parser/parser.h"
+#include "query/query.h"
+#include "schema/schema.h"
+#include "schema/schema_builder.h"
+#include "support/status.h"
+
+namespace oocq::bench {
+
+/// Aborts the benchmark on error (benchmarks have no failure channel).
+template <typename T>
+T Must(StatusOr<T> value) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n",
+                 value.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(value);
+}
+
+inline void MustOk(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Schema with one terminal class N carrying a self-typed attribute and a
+/// self-typed set attribute — the substrate for chain/star queries.
+inline Schema MakeChainSchema() {
+  SchemaBuilder builder;
+  builder.AddClass("N");
+  builder.AddAttribute("N", "Next", TypeName::Class("N"));
+  builder.AddAttribute("N", "Items", TypeName::SetOf("N"));
+  return Must(builder.Build());
+}
+
+/// { x0 | ∃x1..xk ( xi in N  &  x_{i+1} = x_i.Next ) } — a length-k
+/// attribute chain (the OODB analogue of a relational path query).
+inline ConjunctiveQuery MakeChainQuery(const Schema& schema, int k) {
+  ClassId n = Must(schema.FindClass("N"));
+  ConjunctiveQuery query;
+  for (int i = 0; i <= k; ++i) {
+    query.AddVariable("x" + std::to_string(i));
+  }
+  for (int i = 0; i <= k; ++i) {
+    query.AddAtom(Atom::Range(static_cast<VarId>(i), {n}));
+  }
+  for (int i = 0; i < k; ++i) {
+    query.AddAtom(Atom::Equality(Term::Var(static_cast<VarId>(i + 1)),
+                                 Term::Attr(static_cast<VarId>(i), "Next")));
+  }
+  return query;
+}
+
+/// { x | ∃u1..uk ( x, ui in N  &  ui in x.Items ) } — a star of k
+/// interchangeable membership witnesses; minimization folds it to one.
+inline ConjunctiveQuery MakeStarQuery(const Schema& schema, int k) {
+  ClassId n = Must(schema.FindClass("N"));
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  query.AddAtom(Atom::Range(x, {n}));
+  for (int i = 0; i < k; ++i) {
+    VarId u = query.AddVariable("u" + std::to_string(i));
+    query.AddAtom(Atom::Range(u, {n}));
+    query.AddAtom(Atom::Membership(u, x, "Items"));
+  }
+  return query;
+}
+
+/// Schema with a root class R refined into `fanout` terminal subclasses
+/// (R1..Rf), used to measure the Prop 2.1 expansion blow-up.
+inline Schema MakeFanoutSchema(int fanout) {
+  SchemaBuilder builder;
+  builder.AddClass("R");
+  for (int i = 0; i < fanout; ++i) {
+    builder.AddClass("R" + std::to_string(i), {"R"});
+  }
+  return Must(builder.Build());
+}
+
+/// { x0 | ∃x1..x_{vars-1} ( xi in R ) } over the fanout schema.
+inline ConjunctiveQuery MakeFanoutQuery(const Schema& schema, int vars) {
+  ClassId r = Must(schema.FindClass("R"));
+  ConjunctiveQuery query;
+  for (int i = 0; i < vars; ++i) {
+    VarId v = query.AddVariable("x" + std::to_string(i));
+    query.AddAtom(Atom::Range(v, {r}));
+  }
+  return query;
+}
+
+/// The Example 1.1 vehicle-rental schema (kept in sync with the tests).
+inline Schema MakeVehicleRentalSchema() {
+  return Must(ParseSchema(R"(
+schema VehicleRental {
+  class Vehicle { VehId: String; Weight: Real; }
+  class Auto under Vehicle { Doors: Int; }
+  class Trailer under Vehicle { Axles: Int; }
+  class Truck under Vehicle { Payload: Real; }
+  class Client { Name: String; VehRented: {Vehicle}; Deposit: Real; }
+  class Regular under Client { }
+  class Discount under Client { Rate: Real; VehRented: {Auto}; }
+})"));
+}
+
+}  // namespace oocq::bench
+
+#endif  // OOCQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,173 @@
+// E8 — optimizer-in-the-loop throughput: batches of randomized queries
+// pushed through the public pipeline, the workload shape a query
+// optimizer integrating this library would see.
+//
+// Series reproduced:
+//  * Workload/Minimize: full MinimizePositiveQuery throughput over random
+//    positive queries (queries/second scale).
+//  * Workload/ContainmentMatrix/k: all-pairs containment over a batch of
+//    k random terminal queries (view-selection style usage).
+//  * Workload/Satisfiability: satisfiability screening throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_util.h"
+#include "core/containment.h"
+#include "core/containment_cache.h"
+#include "core/minimization.h"
+#include "core/satisfiability.h"
+#include "query/well_formed.h"
+#include "../tests/random_query.h"
+
+namespace oocq {
+namespace {
+
+const char* const kWorkloadSchema = R"(
+schema Workload {
+  class D { }
+  class E under D { }
+  class F under D { }
+  class G under D { }
+  class C { A: D; B: E; S: {D}; T: {E}; }
+  class C1 under C { }
+  class C2 under C { }
+})";
+
+std::vector<ConjunctiveQuery> MakeBatch(const Schema& schema, size_t count,
+                                        bool terminal_only, bool negative,
+                                        uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  testing::RandomQueryParams params;
+  params.terminal_only = terminal_only;
+  params.allow_negative = negative;
+  params.max_vars = 4;
+  params.max_extra_atoms = 4;
+  std::vector<ConjunctiveQuery> batch;
+  while (batch.size() < count) {
+    ConjunctiveQuery query = testing::GenerateRandomQuery(schema, rng, params);
+    if (!CheckWellFormed(schema, query).ok()) continue;
+    batch.push_back(std::move(query));
+  }
+  return batch;
+}
+
+void BM_WorkloadMinimize(benchmark::State& state) {
+  Schema schema = bench::Must(ParseSchema(kWorkloadSchema));
+  std::vector<ConjunctiveQuery> batch =
+      MakeBatch(schema, 32, /*terminal_only=*/false, /*negative=*/false, 7);
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    disjuncts = 0;
+    for (const ConjunctiveQuery& query : batch) {
+      StatusOr<MinimizationReport> report =
+          MinimizePositiveQuery(schema, query);
+      if (report.ok()) disjuncts += report->minimized.disjuncts.size();
+    }
+    benchmark::DoNotOptimize(disjuncts);
+  }
+  state.counters["queries"] = static_cast<double>(batch.size());
+  state.counters["out_disjuncts"] = static_cast<double>(disjuncts);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_WorkloadMinimize);
+
+void BM_WorkloadContainmentMatrix(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  Schema schema = bench::Must(ParseSchema(kWorkloadSchema));
+  std::vector<ConjunctiveQuery> batch =
+      MakeBatch(schema, k, /*terminal_only=*/true, /*negative=*/true, 11);
+  uint64_t contained = 0;
+  uint64_t decided = 0;
+  for (auto _ : state) {
+    contained = decided = 0;
+    for (const ConjunctiveQuery& a : batch) {
+      for (const ConjunctiveQuery& b : batch) {
+        StatusOr<bool> result = Contained(schema, a, b);
+        if (result.ok()) {
+          ++decided;
+          if (*result) ++contained;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(contained);
+  }
+  state.counters["decided"] = static_cast<double>(decided);
+  state.counters["contained"] = static_cast<double>(contained);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(k * k));
+}
+BENCHMARK(BM_WorkloadContainmentMatrix)->Arg(8)->Arg(16)->Arg(32);
+
+// The canonical-key cache on a matrix with renamed duplicates (each query
+// appears under three different variable namings — the view-catalog
+// shape). Negative atoms make the underlying decisions expensive enough
+// to amortize canonicalization; on cheap positive batches the cache
+// overhead dominates (measured by flipping MakeBatch's `negative`).
+void BM_WorkloadContainmentMatrixCached(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  Schema schema = bench::Must(ParseSchema(kWorkloadSchema));
+  std::vector<ConjunctiveQuery> base =
+      MakeBatch(schema, 8, /*terminal_only=*/true, /*negative=*/true, 17);
+  std::vector<ConjunctiveQuery> batch;
+  for (const ConjunctiveQuery& q : base) {
+    batch.push_back(q);
+    for (int copy = 0; copy < 2; ++copy) {
+      ConjunctiveQuery renamed;
+      for (VarId v = 0; v < q.num_vars(); ++v) {
+        renamed.AddVariable("r" + std::to_string(copy) + "_" +
+                            std::to_string(v));
+      }
+      renamed.set_free_var(q.free_var());
+      for (const Atom& atom : q.atoms()) renamed.AddAtom(atom);
+      batch.push_back(std::move(renamed));
+    }
+  }
+  uint64_t contained = 0;
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    contained = 0;
+    ContainmentCache cache(&schema);
+    for (const ConjunctiveQuery& a : batch) {
+      for (const ConjunctiveQuery& b : batch) {
+        StatusOr<bool> result = cached ? cache.Contained(a, b)
+                                       : Contained(schema, a, b);
+        if (result.ok() && *result) ++contained;
+      }
+    }
+    hits = cache.hits();
+    benchmark::DoNotOptimize(contained);
+  }
+  state.counters["contained"] = static_cast<double>(contained);
+  state.counters["cache_hits"] = static_cast<double>(hits);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size() * batch.size()));
+}
+BENCHMARK(BM_WorkloadContainmentMatrixCached)
+    ->ArgNames({"cached"})
+    ->Arg(0)
+    ->Arg(1);
+
+void BM_WorkloadSatisfiability(benchmark::State& state) {
+  Schema schema = bench::Must(ParseSchema(kWorkloadSchema));
+  std::vector<ConjunctiveQuery> batch =
+      MakeBatch(schema, 64, /*terminal_only=*/true, /*negative=*/true, 13);
+  uint64_t satisfiable = 0;
+  for (auto _ : state) {
+    satisfiable = 0;
+    for (const ConjunctiveQuery& query : batch) {
+      if (CheckSatisfiable(schema, query).satisfiable) ++satisfiable;
+    }
+    benchmark::DoNotOptimize(satisfiable);
+  }
+  state.counters["satisfiable"] = static_cast<double>(satisfiable);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_WorkloadSatisfiability);
+
+}  // namespace
+}  // namespace oocq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// Command-line front end for the library: load a schema file, then
+// minimize queries or decide containment/equivalence.
+//
+//   oocq_cli SCHEMA.oocq minimize '<query>'
+//   oocq_cli SCHEMA.oocq contain  '<query1>' '<query2>'
+//   oocq_cli SCHEMA.oocq equiv    '<query1>' '<query2>'
+//   oocq_cli SCHEMA.oocq satisfiable '<terminal query>'
+//   oocq_cli SCHEMA.oocq eval STATE.oocq '<query>'   (answers on a state)
+//   oocq_cli SCHEMA.oocq explain '<terminal q1>' '<terminal q2>'
+//
+// Example:
+//   oocq_cli rental.oocq minimize
+//       '{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }'
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/containment.h"
+#include "core/explain.h"
+#include "core/optimizer.h"
+#include "core/satisfiability.h"
+#include "parser/parser.h"
+#include "parser/state_parser.h"
+#include "query/printer.h"
+#include "query/well_formed.h"
+#include "state/evaluation.h"
+
+namespace {
+
+using namespace oocq;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: oocq_cli SCHEMA (minimize Q | contain Q1 Q2 | "
+               "equiv Q1 Q2 | satisfiable Q | eval STATE Q | "
+               "explain Q1 Q2)\n");
+  return 2;
+}
+
+std::string ReadFileOrDie(const char* path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open file '%s'\n", path);
+    std::exit(2);
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+template <typename T>
+T Must(StatusOr<T> value) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "error: %s\n", value.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(value);
+}
+
+int RunMinimize(const Schema& schema, const std::string& text) {
+  QueryOptimizer optimizer(schema);
+  OptimizeReport report = Must(optimizer.OptimizeText(text));
+  std::printf("%s", report.Summary(schema).c_str());
+  return 0;
+}
+
+int RunContain(const Schema& schema, const std::string& q1,
+               const std::string& q2, bool both_directions) {
+  QueryOptimizer optimizer(schema);
+  ConjunctiveQuery a = Must(ParseQuery(schema, q1));
+  ConjunctiveQuery b = Must(ParseQuery(schema, q2));
+  if (both_directions) {
+    bool equivalent = Must(optimizer.IsEquivalent(a, b));
+    std::printf("%s\n", equivalent ? "EQUIVALENT" : "NOT equivalent");
+    return equivalent ? 0 : 1;
+  }
+  bool contained = Must(optimizer.IsContained(a, b));
+  std::printf("%s\n", contained ? "CONTAINED (Q1 <= Q2)" : "NOT contained");
+  return contained ? 0 : 1;
+}
+
+int RunSatisfiable(const Schema& schema, const std::string& text) {
+  ConjunctiveQuery query = Must(ParseQuery(schema, text));
+  StatusOr<ConjunctiveQuery> well_formed = NormalizeToWellFormed(schema, query);
+  if (!well_formed.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 well_formed.status().ToString().c_str());
+    return 1;
+  }
+  if (!well_formed->IsTerminal(schema)) {
+    std::fprintf(stderr,
+                 "error: 'satisfiable' requires a terminal query; use "
+                 "'minimize' to expand first\n");
+    return 2;
+  }
+  SatisfiabilityResult result = CheckSatisfiable(schema, *well_formed);
+  if (result.satisfiable) {
+    std::printf("SATISFIABLE\n");
+    return 0;
+  }
+  std::printf("UNSATISFIABLE: %s\n", result.reason.c_str());
+  return 1;
+}
+
+int RunEval(const Schema& schema, const char* state_path,
+            const std::string& text) {
+  State database = Must(ParseState(&schema, ReadFileOrDie(state_path)));
+  ConjunctiveQuery query = Must(ParseQuery(schema, text));
+  StatusOr<ConjunctiveQuery> well_formed = NormalizeToWellFormed(schema, query);
+  if (!well_formed.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 well_formed.status().ToString().c_str());
+    return 1;
+  }
+  EvalStats stats;
+  std::vector<Oid> answers = Must(Evaluate(database, *well_formed, {}, &stats));
+  std::printf("%zu answer(s):\n", answers.size());
+  for (Oid oid : answers) {
+    std::printf("  %s\n", database.DebugString(oid).c_str());
+  }
+  std::printf("(%llu candidate objects, %llu assignments tried)\n",
+              static_cast<unsigned long long>(stats.candidate_pool),
+              static_cast<unsigned long long>(stats.assignments_tried));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return Usage();
+
+  Schema schema = Must(ParseSchema(ReadFileOrDie(argv[1])));
+
+  std::string command = argv[2];
+  if (command == "minimize" && argc == 4) {
+    return RunMinimize(schema, argv[3]);
+  }
+  if (command == "contain" && argc == 5) {
+    return RunContain(schema, argv[3], argv[4], /*both_directions=*/false);
+  }
+  if (command == "equiv" && argc == 5) {
+    return RunContain(schema, argv[3], argv[4], /*both_directions=*/true);
+  }
+  if (command == "satisfiable" && argc == 4) {
+    return RunSatisfiable(schema, argv[3]);
+  }
+  if (command == "eval" && argc == 5) {
+    return RunEval(schema, argv[3], argv[4]);
+  }
+  if (command == "explain" && argc == 5) {
+    ConjunctiveQuery q1 = Must(ParseQuery(schema, argv[3]));
+    ConjunctiveQuery q2 = Must(ParseQuery(schema, argv[4]));
+    ContainmentExplanation explanation =
+        Must(ExplainContainment(schema, q1, q2));
+    std::printf("%s", explanation.text.c_str());
+    return explanation.contained ? 0 : 1;
+  }
+  return Usage();
+}

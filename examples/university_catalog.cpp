@@ -1,0 +1,101 @@
+// A richer domain scenario: a university course-catalog OODB. Shows the
+// three core capabilities on one schema:
+//   1. exact minimization of a positive query over a deep hierarchy
+//      (Example 1.2 / 4.1 at scale),
+//   2. containment checks between user queries (detecting when one query
+//      subsumes another, e.g. for cached-view reuse),
+//   3. the implied-inequality effect of Example 1.3.
+//
+//   $ ./university_catalog
+
+#include <cstdio>
+
+#include "core/containment.h"
+#include "core/optimizer.h"
+#include "parser/parser.h"
+#include "query/printer.h"
+
+namespace {
+
+using namespace oocq;
+
+template <typename T>
+T Must(StatusOr<T> value) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "error: %s\n", value.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(value);
+}
+
+}  // namespace
+
+int main() {
+  // Person is partitioned into Undergrad/Grad/Professor/Staff; Course
+  // into Lecture and Seminar. Seminars may only enroll grad students;
+  // professors advise only grad students.
+  Schema schema = Must(ParseSchema(R"(
+schema University {
+  class Person    { Name: String; }
+  class Student   under Person { Credits: Int; }
+  class Undergrad under Student { }
+  class Grad      under Student { Thesis: String; }
+  class Professor under Person { Advisees: {Grad}; }
+  class Staff     under Person { }
+  class Course    { Code: String; Enrolled: {Student}; Teacher: Professor; }
+  class Lecture   under Course { }
+  class Seminar   under Course { Enrolled: {Grad}; }
+})"));
+  QueryOptimizer optimizer(schema);
+
+  // ---- 1. Minimization over the hierarchy ---------------------------
+  // "Students enrolled in a course whose teacher advises them."
+  // Advisees are always grad students, so the optimizer proves the
+  // Undergrad disjuncts unsatisfiable and narrows s to Grad.
+  const char* advisee_query =
+      "{ s | exists c exists p (s in Student & c in Course & p in Professor "
+      "& s in c.Enrolled & p = c.Teacher & s in p.Advisees) }";
+  std::printf("Q1: %s\n", advisee_query);
+  OptimizeReport report = Must(optimizer.OptimizeText(advisee_query));
+  std::printf("%s\n", report.Summary(schema).c_str());
+
+  // ---- 2. Containment between user queries --------------------------
+  // A cached view: "grad students enrolled in some seminar".
+  ConjunctiveQuery view = Must(ParseQuery(
+      schema,
+      "{ s | exists c (s in Grad & c in Seminar & s in c.Enrolled) }"));
+  // A user query: "students enrolled in a seminar" — every answer is a
+  // grad (typing), so the view answers it exactly.
+  ConjunctiveQuery user = Must(ParseQuery(
+      schema,
+      "{ s | exists c (s in Student & c in Seminar & s in c.Enrolled) }"));
+  bool view_in_user = Must(optimizer.IsContained(view, user));
+  bool user_in_view = Must(optimizer.IsContained(user, view));
+  std::printf("view  = %s\n", QueryToString(schema, view).c_str());
+  std::printf("user  = %s\n", QueryToString(schema, user).c_str());
+  std::printf("view <= user: %s, user <= view: %s  => %s\n\n",
+              view_in_user ? "yes" : "no", user_in_view ? "yes" : "no",
+              view_in_user && user_in_view
+                  ? "EQUIVALENT: answer the user query from the cached view"
+                  : "not equivalent");
+
+  // ---- 3. Implied inequality (Example 1.3 pattern) -------------------
+  // Two courses whose teachers advise an undergrad-free/grad pair...
+  // here: c teaches a lecture, d a seminar — c != d is implied because
+  // Lecture and Seminar are disjoint terminal classes.
+  ConjunctiveQuery with_ineq = Must(ParseQuery(
+      schema,
+      "{ p | exists c exists d (p in Professor & c in Lecture & "
+      "d in Seminar & p = c.Teacher & p = d.Teacher & c != d) }"));
+  ConjunctiveQuery without_ineq = Must(ParseQuery(
+      schema,
+      "{ p | exists c exists d (p in Professor & c in Lecture & "
+      "d in Seminar & p = c.Teacher & p = d.Teacher) }"));
+  bool equivalent =
+      Must(EquivalentQueries(schema, with_ineq, without_ineq));
+  std::printf("Q2  = %s\n", QueryToString(schema, with_ineq).c_str());
+  std::printf("Q2' = %s\n", QueryToString(schema, without_ineq).c_str());
+  std::printf("the explicit 'c != d' is %s (disjoint terminal classes)\n",
+              equivalent ? "REDUNDANT" : "required");
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "core/augmentation.h"
+
+#include <vector>
+
+#include "core/satisfiability.h"
+
+namespace oocq {
+
+namespace {
+
+/// Recursive enumeration of variable partitions where a variable may only
+/// join a block of its own range class. `block_of[v]` assigns block ids in
+/// restricted-growth form so each partition is produced exactly once.
+struct PartitionEnumerator {
+  const Schema& schema;
+  const ConjunctiveQuery& query;
+  const AugmentationOptions& options;
+  const std::function<bool(const ConjunctiveQuery&)>& fn;
+
+  std::vector<int> block_of;          // var -> block id
+  std::vector<ClassId> block_class;   // block id -> range class
+  std::vector<VarId> block_leader;    // block id -> first variable
+  uint64_t enumerated = 0;
+  bool stopped = false;    // fn returned false
+  bool exhausted = false;  // cap hit
+
+  void Emit() {
+    ++enumerated;
+    if (enumerated > options.max_augmentations) {
+      exhausted = true;
+      return;
+    }
+    ConjunctiveQuery augmented = query;
+    for (VarId v = 0; v < query.num_vars(); ++v) {
+      VarId leader = block_leader[block_of[v]];
+      if (leader != v) {
+        augmented.AddAtom(Atom::Equality(Term::Var(leader), Term::Var(v)));
+      }
+    }
+    if (!CheckSatisfiable(schema, augmented).satisfiable) return;
+    if (!fn(augmented)) stopped = true;
+  }
+
+  void Recurse(VarId v) {
+    if (stopped || exhausted) return;
+    if (v == query.num_vars()) {
+      Emit();
+      return;
+    }
+    ClassId cls = query.RangeClassOf(v);
+    // Join an existing block of the same class...
+    for (size_t b = 0; b < block_class.size(); ++b) {
+      if (block_class[b] != cls) continue;
+      block_of[v] = static_cast<int>(b);
+      Recurse(v + 1);
+      if (stopped || exhausted) return;
+    }
+    // ...or open a new block.
+    block_of[v] = static_cast<int>(block_class.size());
+    block_class.push_back(cls);
+    block_leader.push_back(v);
+    Recurse(v + 1);
+    block_class.pop_back();
+    block_leader.pop_back();
+  }
+};
+
+}  // namespace
+
+StatusOr<bool> ForEachConsistentAugmentation(
+    const Schema& schema, const ConjunctiveQuery& query,
+    const AugmentationOptions& options,
+    const std::function<bool(const ConjunctiveQuery&)>& fn) {
+  PartitionEnumerator enumerator{schema, query, options, fn,
+                                 std::vector<int>(query.num_vars(), -1),
+                                 {},
+                                 {},
+                                 0,
+                                 false,
+                                 false};
+  enumerator.Recurse(0);
+  if (enumerator.exhausted) {
+    return Status::ResourceExhausted(
+        "more than " + std::to_string(options.max_augmentations) +
+        " consistent augmentations; raise "
+        "AugmentationOptions::max_augmentations");
+  }
+  return !enumerator.stopped;
+}
+
+StatusOr<uint64_t> CountConsistentAugmentations(
+    const Schema& schema, const ConjunctiveQuery& query,
+    const AugmentationOptions& options) {
+  uint64_t count = 0;
+  StatusOr<bool> result = ForEachConsistentAugmentation(
+      schema, query, options, [&count](const ConjunctiveQuery&) {
+        ++count;
+        return true;
+      });
+  if (!result.ok()) return result.status();
+  return count;
+}
+
+}  // namespace oocq

@@ -1,0 +1,235 @@
+#include "core/containment.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "core/augmentation.h"
+#include "core/derivability.h"
+#include "core/mapping.h"
+#include "core/satisfiability.h"
+#include "query/equality_graph.h"
+#include "query/well_formed.h"
+#include "support/status_macros.h"
+
+namespace oocq {
+
+namespace {
+
+bool HasAtomKind(const ConjunctiveQuery& query, AtomKind kind) {
+  return std::any_of(
+      query.atoms().begin(), query.atoms().end(),
+      [kind](const Atom& atom) { return atom.kind() == kind; });
+}
+
+}  // namespace
+
+StatusOr<std::vector<Atom>> MembershipCandidatePool(
+    const Schema& schema, const ConjunctiveQuery& base,
+    const ContainmentOptions& options) {
+  EqualityGraph graph = EqualityGraph::Build(base);
+
+  // Representative element variables: one per variable equivalence class.
+  std::vector<VarId> element_reps;
+  {
+    std::set<TermId> seen;
+    for (VarId v = 0; v < base.num_vars(); ++v) {
+      if (seen.insert(graph.Find(graph.VarNode(v))).second) {
+        element_reps.push_back(v);
+      }
+    }
+  }
+  // Representative set terms: one per (set-variable class, attribute).
+  std::vector<std::pair<VarId, std::string>> set_reps;
+  {
+    std::set<std::pair<TermId, std::string>> seen;
+    for (const Atom& atom : base.atoms()) {
+      if (atom.kind() != AtomKind::kMembership &&
+          atom.kind() != AtomKind::kNonMembership) {
+        continue;
+      }
+      TermId rep = graph.Find(graph.VarNode(atom.set_term().var));
+      if (seen.insert({rep, atom.set_term().attr}).second) {
+        set_reps.emplace_back(atom.set_term().var, atom.set_term().attr);
+      }
+    }
+  }
+
+  std::vector<Atom> candidates;
+  for (VarId element : element_reps) {
+    for (const auto& [set_var, attr] : set_reps) {
+      Atom candidate = Atom::Membership(element, set_var, attr);
+      ConjunctiveQuery extended = base;
+      extended.AddAtom(candidate);
+      if (!CheckSatisfiable(schema, extended).satisfiable) continue;
+      // Skip candidates already derivable: adding them changes nothing.
+      bool derivable = false;
+      for (const Atom& atom : base.atoms()) {
+        if (atom.kind() != AtomKind::kMembership) continue;
+        if (graph.Equivalent(graph.VarNode(atom.var()),
+                             graph.VarNode(element)) &&
+            graph.Equivalent(graph.VarNode(atom.set_term().var),
+                             graph.VarNode(set_var)) &&
+            atom.set_term().attr == attr) {
+          derivable = true;
+          break;
+        }
+      }
+      if (derivable) continue;
+      candidates.push_back(std::move(candidate));
+      if (candidates.size() > options.max_membership_candidates) {
+        return Status::ResourceExhausted(
+            "more than " + std::to_string(options.max_membership_candidates) +
+            " candidate membership atoms (2^|T| subsets would be "
+            "enumerated); raise "
+            "ContainmentOptions::max_membership_candidates");
+      }
+    }
+  }
+  return candidates;
+}
+
+
+StatusOr<bool> Contained(const Schema& schema, const ConjunctiveQuery& q1,
+                         const ConjunctiveQuery& q2,
+                         const ContainmentOptions& options,
+                         ContainmentStats* stats) {
+  OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, q1));
+  OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, q2));
+  if (!q1.IsTerminal(schema) || !q2.IsTerminal(schema)) {
+    return Status::FailedPrecondition(
+        "Contained requires terminal conjunctive queries; expand with "
+        "ExpandToTerminalQueries first");
+  }
+
+  if (!CheckSatisfiable(schema, q1).satisfiable) return true;
+  if (!CheckSatisfiable(schema, q2).satisfiable) return false;
+
+  OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery n1, NormalizeTerminalQuery(schema, q1));
+  OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery n2, NormalizeTerminalQuery(schema, q2));
+
+  const bool rhs_has_inequality =
+      options.force_full_theorem || HasAtomKind(n2, AtomKind::kInequality);
+  const bool rhs_has_non_membership =
+      options.force_full_theorem ||
+      HasAtomKind(n2, AtomKind::kNonMembership);
+
+  MappingConstraints constraints;
+  constraints.free_target = n1.free_var();
+  constraints.max_steps = options.max_mapping_steps;
+
+  // Checks the Thm 3.1 condition against one consistent augmentation
+  // Q1&S, enumerating the subsets W of T when Q2 has non-membership atoms.
+  auto check_augmentation =
+      [&](const ConjunctiveQuery& base) -> StatusOr<bool> {
+    if (stats != nullptr) ++stats->augmentations;
+    std::vector<Atom> membership_pool;
+    if (rhs_has_non_membership) {
+      OOCQ_ASSIGN_OR_RETURN(membership_pool,
+                            MembershipCandidatePool(schema, base, options));
+    }
+    const size_t t_size = membership_pool.size();
+    for (uint64_t mask = 0; mask < (uint64_t{1} << t_size); ++mask) {
+      ConjunctiveQuery target = base;
+      for (size_t i = 0; i < t_size; ++i) {
+        if (mask & (uint64_t{1} << i)) target.AddAtom(membership_pool[i]);
+      }
+      if (!CheckSatisfiable(schema, target).satisfiable) continue;
+      if (stats != nullptr) {
+        ++stats->membership_subsets;
+        ++stats->mapping_searches;
+      }
+      OOCQ_ASSIGN_OR_RETURN(QueryAnalysis analysis,
+                            QueryAnalysis::Create(schema, target));
+      MappingResult mapping =
+          FindNonContradictoryMapping(schema, n2, analysis, constraints);
+      if (stats != nullptr) stats->mapping_steps += mapping.steps;
+      if (mapping.exhausted) {
+        return Status::ResourceExhausted(
+            "mapping search exceeded ContainmentOptions::max_mapping_steps");
+      }
+      if (!mapping.found()) return false;
+    }
+    return true;
+  };
+
+  if (!rhs_has_inequality) {
+    // Cor 3.4 (positive Q2) and Cor 3.2 (no inequalities): S = ∅ only.
+    return check_augmentation(n1);
+  }
+
+  // Cor 3.3 / Thm 3.1: enumerate every consistent augmentation.
+  AugmentationOptions augmentation_options;
+  augmentation_options.max_augmentations = options.max_augmentations;
+  Status inner_error = Status::Ok();
+  StatusOr<bool> outcome = ForEachConsistentAugmentation(
+      schema, n1, augmentation_options,
+      [&](const ConjunctiveQuery& augmented) -> bool {
+        StatusOr<bool> ok = check_augmentation(augmented);
+        if (!ok.ok()) {
+          inner_error = ok.status();
+          return false;
+        }
+        return *ok;
+      });
+  if (!inner_error.ok()) return inner_error;
+  if (!outcome.ok()) return outcome.status();
+  return *outcome;
+}
+
+StatusOr<bool> EquivalentQueries(const Schema& schema,
+                                 const ConjunctiveQuery& q1,
+                                 const ConjunctiveQuery& q2,
+                                 const ContainmentOptions& options) {
+  OOCQ_ASSIGN_OR_RETURN(bool forward, Contained(schema, q1, q2, options));
+  if (!forward) return false;
+  return Contained(schema, q2, q1, options);
+}
+
+StatusOr<bool> UnionContained(const Schema& schema, const UnionQuery& m,
+                              const UnionQuery& n,
+                              const ContainmentOptions& options) {
+  // Thm 4.1 is stated (and true) for unions of terminal positive
+  // conjunctive queries; reject anything else.
+  for (const UnionQuery* side : {&m, &n}) {
+    for (const ConjunctiveQuery& q : side->disjuncts) {
+      OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, q));
+      if (!q.IsTerminal(schema)) {
+        return Status::FailedPrecondition(
+            "UnionContained requires terminal disjuncts");
+      }
+      if (!CheckSatisfiable(schema, q).satisfiable) continue;
+      OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery normalized,
+                            NormalizeTerminalQuery(schema, q));
+      if (!normalized.IsPositive()) {
+        return Status::FailedPrecondition(
+            "UnionContained requires positive disjuncts (Thm 4.1)");
+      }
+    }
+  }
+
+  for (const ConjunctiveQuery& qi : m.disjuncts) {
+    if (!CheckSatisfiable(schema, qi).satisfiable) continue;
+    bool contained_somewhere = false;
+    for (const ConjunctiveQuery& pj : n.disjuncts) {
+      OOCQ_ASSIGN_OR_RETURN(bool contained,
+                            Contained(schema, qi, pj, options));
+      if (contained) {
+        contained_somewhere = true;
+        break;
+      }
+    }
+    if (!contained_somewhere) return false;
+  }
+  return true;
+}
+
+StatusOr<bool> UnionEquivalent(const Schema& schema, const UnionQuery& m,
+                               const UnionQuery& n,
+                               const ContainmentOptions& options) {
+  OOCQ_ASSIGN_OR_RETURN(bool forward, UnionContained(schema, m, n, options));
+  if (!forward) return false;
+  return UnionContained(schema, n, m, options);
+}
+
+}  // namespace oocq

@@ -1,0 +1,81 @@
+#ifndef OOCQ_CORE_CONTAINMENT_H_
+#define OOCQ_CORE_CONTAINMENT_H_
+
+#include <cstdint>
+
+#include "query/query.h"
+#include "schema/schema.h"
+#include "support/status.h"
+
+namespace oocq {
+
+/// Resource limits for the containment test. The general test (Thm 3.1)
+/// enumerates consistent augmentations × membership-atom subsets ×
+/// mapping-search steps; each axis is capped and overruns surface as
+/// ResourceExhausted rather than unbounded work.
+struct ContainmentOptions {
+  uint64_t max_mapping_steps = 10'000'000;
+  uint64_t max_augmentations = 100'000;
+  /// Cap on |T|, the deduplicated candidate membership atoms (Thm 3.1
+  /// enumerates all 2^|T| subsets W).
+  uint32_t max_membership_candidates = 24;
+  /// Ablation switch: always run the full Thm 3.1 enumeration (all
+  /// consistent augmentations × all membership subsets) even when Q2's
+  /// atom kinds admit a Cor 3.2–3.4 fast path. The outcome is identical;
+  /// bench_ablation measures what the fast paths save.
+  bool force_full_theorem = false;
+};
+
+/// Work counters filled by Contained() when non-null (benches E4/E8).
+struct ContainmentStats {
+  uint64_t augmentations = 0;
+  uint64_t membership_subsets = 0;
+  uint64_t mapping_searches = 0;
+  uint64_t mapping_steps = 0;
+};
+
+/// Decides Q1 ⊆ Q2 for well-formed terminal conjunctive queries over
+/// `schema`. Implements Thm 3.1, automatically specializing by Q2's atom
+/// kinds: positive Q2 → single mapping search (Cor 3.4); Q2 without
+/// non-membership atoms → augmentations only (Cor 3.3); Q2 without
+/// inequality atoms → membership subsets only (Cor 3.2). An unsatisfiable
+/// Q1 is contained in everything; a satisfiable Q1 is never contained in
+/// an unsatisfiable Q2.
+StatusOr<bool> Contained(const Schema& schema, const ConjunctiveQuery& q1,
+                         const ConjunctiveQuery& q2,
+                         const ContainmentOptions& options = {},
+                         ContainmentStats* stats = nullptr);
+
+/// The pool T of Thm 3.1 for a (possibly augmented) satisfiable terminal
+/// target query: one candidate membership atom per (element equivalence
+/// class, set-term equivalence class) pair that keeps the query
+/// satisfiable when added, excluding already-derivable ones. Exposed for
+/// the explanation tooling and the benches; Contained() enumerates all
+/// 2^|T| subsets of this pool.
+StatusOr<std::vector<Atom>> MembershipCandidatePool(
+    const Schema& schema, const ConjunctiveQuery& base,
+    const ContainmentOptions& options = {});
+
+/// Q1 ≡ Q2: containment in both directions.
+StatusOr<bool> EquivalentQueries(const Schema& schema,
+                                 const ConjunctiveQuery& q1,
+                                 const ConjunctiveQuery& q2,
+                                 const ContainmentOptions& options = {});
+
+/// Thm 4.1: for unions of terminal *positive* conjunctive queries,
+/// M ⊆ N iff every satisfiable disjunct of M is contained in some disjunct
+/// of N. Returns FailedPrecondition when a satisfiable disjunct is not
+/// positive or not terminal (the componentwise characterization does not
+/// hold for general queries).
+StatusOr<bool> UnionContained(const Schema& schema, const UnionQuery& m,
+                              const UnionQuery& n,
+                              const ContainmentOptions& options = {});
+
+/// M ≡ N for unions of terminal positive conjunctive queries.
+StatusOr<bool> UnionEquivalent(const Schema& schema, const UnionQuery& m,
+                               const UnionQuery& n,
+                               const ContainmentOptions& options = {});
+
+}  // namespace oocq
+
+#endif  // OOCQ_CORE_CONTAINMENT_H_

@@ -1,0 +1,23 @@
+#include "core/containment_cache.h"
+
+#include "core/canonical.h"
+#include "support/status_macros.h"
+
+namespace oocq {
+
+StatusOr<bool> ContainmentCache::Contained(const ConjunctiveQuery& q1,
+                                           const ConjunctiveQuery& q2) {
+  std::pair<std::string, std::string> key(CanonicalKey(q1), CanonicalKey(q2));
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  OOCQ_ASSIGN_OR_RETURN(bool contained,
+                        ::oocq::Contained(*schema_, q1, q2, options_));
+  cache_.emplace(std::move(key), contained);
+  return contained;
+}
+
+}  // namespace oocq

@@ -1,0 +1,48 @@
+#ifndef OOCQ_CORE_CONTAINMENT_CACHE_H_
+#define OOCQ_CORE_CONTAINMENT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/containment.h"
+#include "query/query.h"
+#include "schema/schema.h"
+#include "support/status.h"
+
+namespace oocq {
+
+/// Memoizes Contained() decisions keyed by the *canonical forms* of both
+/// queries: containment is invariant under bound-variable renaming, so
+/// (CanonicalKey(Q1), CanonicalKey(Q2)) identifies the decision. Workload
+/// code deciding many overlapping pairs (redundancy removal,
+/// view-selection matrices) hits the cache for every renamed duplicate.
+///
+/// The cache is tied to one schema; not thread-safe (like the rest of the
+/// library, one engine per thread).
+class ContainmentCache {
+ public:
+  explicit ContainmentCache(const Schema* schema,
+                            ContainmentOptions options = {})
+      : schema_(schema), options_(options) {}
+
+  /// Contained(q1, q2), answered from the cache when a renaming of the
+  /// pair was decided before.
+  StatusOr<bool> Contained(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  const Schema* schema_;
+  ContainmentOptions options_;
+  std::map<std::pair<std::string, std::string>, bool> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace oocq
+
+#endif  // OOCQ_CORE_CONTAINMENT_CACHE_H_

@@ -1,0 +1,85 @@
+#include "core/expansion.h"
+
+#include <set>
+#include <vector>
+
+#include "core/satisfiability.h"
+#include "query/well_formed.h"
+#include "support/status_macros.h"
+
+namespace oocq {
+
+StatusOr<UnionQuery> ExpandToTerminalQueries(const Schema& schema,
+                                             const ConjunctiveQuery& query,
+                                             const ExpansionOptions& options,
+                                             ExpansionStats* stats) {
+  OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
+
+  // Per-variable terminal choices: the terminal descendants of any class
+  // in the variable's range disjunction.
+  std::vector<std::vector<ClassId>> choices(query.num_vars());
+  uint64_t product = 1;
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    const Atom* range = query.RangeAtomOf(v);
+    std::set<ClassId> terminals;
+    for (ClassId c : range->classes()) {
+      for (ClassId t : schema.TerminalDescendants(c)) terminals.insert(t);
+    }
+    if (terminals.empty()) {
+      // A class with no terminal descendant cannot exist in our model
+      // (every class is its own terminal descendant when terminal), but
+      // guard against future hierarchy variants.
+      return Status::Internal("class without terminal descendants");
+    }
+    choices[v].assign(terminals.begin(), terminals.end());
+    if (product > options.max_disjuncts / choices[v].size()) {
+      return Status::ResourceExhausted(
+          "terminal expansion exceeds " +
+          std::to_string(options.max_disjuncts) +
+          " disjuncts; raise ExpansionOptions::max_disjuncts");
+    }
+    product *= choices[v].size();
+  }
+  if (stats != nullptr) stats->raw_disjuncts = product;
+
+  UnionQuery result;
+  std::vector<size_t> pick(query.num_vars(), 0);
+  while (true) {
+    // Build the disjunct for the current combination.
+    ConjunctiveQuery disjunct;
+    for (VarId v = 0; v < query.num_vars(); ++v) {
+      disjunct.AddVariable(query.var_name(v));
+    }
+    disjunct.set_free_var(query.free_var());
+    for (const Atom& atom : query.atoms()) {
+      if (atom.kind() == AtomKind::kRange) {
+        disjunct.AddAtom(Atom::Range(atom.var(), {choices[atom.var()][pick[atom.var()]]}));
+      } else {
+        disjunct.AddAtom(atom);
+      }
+    }
+
+    if (options.prune_unsatisfiable) {
+      if (CheckSatisfiable(schema, disjunct).satisfiable) {
+        OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery normalized,
+                              NormalizeTerminalQuery(schema, disjunct));
+        result.disjuncts.push_back(std::move(normalized));
+      }
+    } else {
+      result.disjuncts.push_back(std::move(disjunct));
+    }
+
+    // Advance the mixed-radix counter.
+    VarId v = 0;
+    for (; v < query.num_vars(); ++v) {
+      if (++pick[v] < choices[v].size()) break;
+      pick[v] = 0;
+    }
+    if (v == query.num_vars()) break;
+  }
+
+  if (stats != nullptr) stats->satisfiable_disjuncts = result.disjuncts.size();
+  return result;
+}
+
+}  // namespace oocq

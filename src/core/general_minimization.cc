@@ -1,0 +1,134 @@
+#include "core/general_minimization.h"
+
+#include "core/containment.h"
+#include "core/derivability.h"
+#include "core/expansion.h"
+#include "core/mapping.h"
+#include "core/satisfiability.h"
+#include "query/well_formed.h"
+#include "support/status_macros.h"
+
+namespace oocq {
+
+StatusOr<ConjunctiveQuery> FoldTerminalQueryVerified(
+    const Schema& schema, const ConjunctiveQuery& query,
+    const MinimizationOptions& options, uint64_t* removed) {
+  OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
+  if (!query.IsTerminal(schema)) {
+    return Status::FailedPrecondition(
+        "FoldTerminalQueryVerified requires a terminal query");
+  }
+  OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery current,
+                        NormalizeTerminalQuery(schema, query));
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    OOCQ_ASSIGN_OR_RETURN(QueryAnalysis analysis,
+                          QueryAnalysis::Create(schema, current));
+    for (VarId v = 0; v < current.num_vars() && !progress; ++v) {
+      MappingConstraints constraints;
+      constraints.forbidden_target = v;
+      constraints.free_target = current.free_var();
+      constraints.max_steps = options.containment.max_mapping_steps;
+      MappingResult mapping =
+          FindNonContradictoryMapping(schema, current, analysis, constraints);
+      if (mapping.exhausted) {
+        return Status::ResourceExhausted(
+            "self-mapping search exceeded max_mapping_steps");
+      }
+      if (!mapping.found()) continue;
+
+      ConjunctiveQuery folded = ApplyVariableMapping(current, *mapping.image);
+      // A non-contradictory self-mapping guarantees equivalence only for
+      // positive queries (Thm 4.3); for general queries, verify.
+      bool accept;
+      if (current.IsPositive()) {
+        accept = true;
+      } else {
+        OOCQ_ASSIGN_OR_RETURN(
+            accept,
+            EquivalentQueries(schema, current, folded, options.containment));
+      }
+      if (!accept) continue;
+      if (removed != nullptr) {
+        *removed += current.num_vars() - folded.num_vars();
+      }
+      current = std::move(folded);
+      progress = true;
+    }
+  }
+  return current;
+}
+
+StatusOr<ConjunctiveQuery> RemoveRedundantAtoms(
+    const Schema& schema, const ConjunctiveQuery& query,
+    const MinimizationOptions& options, uint64_t* removed) {
+  OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
+  if (!query.IsTerminal(schema)) {
+    return Status::FailedPrecondition(
+        "RemoveRedundantAtoms requires a terminal query");
+  }
+  OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery current,
+                        NormalizeTerminalQuery(schema, query));
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < current.atoms().size(); ++i) {
+      if (current.atoms()[i].kind() == AtomKind::kRange) continue;
+      ConjunctiveQuery reduced;
+      for (VarId v = 0; v < current.num_vars(); ++v) {
+        reduced.AddVariable(current.var_name(v));
+      }
+      reduced.set_free_var(current.free_var());
+      for (size_t j = 0; j < current.atoms().size(); ++j) {
+        if (j != i) reduced.AddAtom(current.atoms()[j]);
+      }
+      if (!CheckWellFormed(schema, reduced).ok()) continue;
+      // Removal only weakens: redundant iff (Q - A) ⊆ Q.
+      OOCQ_ASSIGN_OR_RETURN(
+          bool contained,
+          Contained(schema, reduced, current, options.containment));
+      if (!contained) continue;
+      current = std::move(reduced);
+      if (removed != nullptr) ++*removed;
+      progress = true;
+      break;
+    }
+  }
+  return current;
+}
+
+StatusOr<GeneralMinimizationReport> MinimizeConjunctiveQuery(
+    const Schema& schema, const ConjunctiveQuery& query,
+    const MinimizationOptions& options) {
+  OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
+
+  GeneralMinimizationReport report;
+
+  ExpansionStats expansion_stats;
+  OOCQ_ASSIGN_OR_RETURN(
+      UnionQuery expanded,
+      ExpandToTerminalQueries(schema, query, options.expansion,
+                              &expansion_stats));
+  report.raw_disjuncts = expansion_stats.raw_disjuncts;
+  report.satisfiable_disjuncts = expansion_stats.satisfiable_disjuncts;
+
+  // RemoveRedundantDisjuncts uses the general Contained test, which is
+  // sound for any terminal conjunctive disjuncts.
+  OOCQ_ASSIGN_OR_RETURN(UnionQuery nonredundant,
+                        RemoveRedundantDisjuncts(schema, expanded, options));
+  report.nonredundant_disjuncts = nonredundant.disjuncts.size();
+
+  for (ConjunctiveQuery& disjunct : nonredundant.disjuncts) {
+    OOCQ_ASSIGN_OR_RETURN(
+        ConjunctiveQuery folded,
+        FoldTerminalQueryVerified(schema, disjunct, options,
+                                  &report.variables_removed));
+    report.minimized.disjuncts.push_back(std::move(folded));
+  }
+  return report;
+}
+
+}  // namespace oocq

@@ -1,0 +1,160 @@
+#include "core/mapping.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace oocq {
+
+namespace {
+
+/// The source variables an atom constrains (besides range candidates).
+void AtomVariables(const Atom& atom, VarId out[2], int* count) {
+  *count = 0;
+  switch (atom.kind()) {
+    case AtomKind::kRange:
+      break;  // Folded into the candidate lists.
+    case AtomKind::kNonRange:
+    case AtomKind::kConstant:
+      out[(*count)++] = atom.var();
+      break;
+    case AtomKind::kEquality:
+    case AtomKind::kInequality:
+    case AtomKind::kMembership:
+    case AtomKind::kNonMembership:
+      out[(*count)++] = atom.lhs().var;
+      if (atom.rhs().var != atom.lhs().var) out[(*count)++] = atom.rhs().var;
+      break;
+  }
+}
+
+}  // namespace
+
+MappingResult FindNonContradictoryMapping(
+    const Schema& schema, const ConjunctiveQuery& from,
+    const QueryAnalysis& target, const MappingConstraints& constraints) {
+  MappingResult result;
+  const ConjunctiveQuery& tq = target.query();
+  const VarId free_target = constraints.free_target == kInvalidVarId
+                                ? tq.free_var()
+                                : constraints.free_target;
+  const size_t n = from.num_vars();
+
+  // Candidate targets per source variable: identical range class (range
+  // atom derivability is syntactic presence), the forbidden target
+  // excluded, and condition (i) for the free variable.
+  std::vector<std::vector<VarId>> candidates(n);
+  const EqualityGraph& tgraph = target.graph();
+  const TermId free_rep = tgraph.Find(tgraph.VarNode(free_target));
+  for (VarId v = 0; v < n; ++v) {
+    ClassId cls = from.RangeClassOf(v);
+    for (VarId w = 0; w < tq.num_vars(); ++w) {
+      if (target.range_class(w) != cls) continue;
+      if (w == constraints.forbidden_target) continue;
+      if (v == from.free_var() &&
+          tgraph.Find(tgraph.VarNode(w)) != free_rep) {
+        continue;
+      }
+      candidates[v].push_back(w);
+    }
+    if (candidates[v].empty()) return result;  // No mapping can exist.
+  }
+
+  // Assign variables in ascending candidate-count order.
+  std::vector<VarId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&candidates](VarId a, VarId b) {
+    return candidates[a].size() < candidates[b].size();
+  });
+  std::vector<size_t> position(n);
+  for (size_t i = 0; i < n; ++i) position[order[i]] = i;
+
+  // Schedule each atom at the position where its last variable binds.
+  std::vector<std::vector<const Atom*>> checks(n);
+  for (const Atom& atom : from.atoms()) {
+    VarId vars[2];
+    int count = 0;
+    AtomVariables(atom, vars, &count);
+    if (count == 0) continue;
+    size_t last = position[vars[0]];
+    if (count == 2) last = std::max(last, position[vars[1]]);
+    checks[last].push_back(&atom);
+  }
+
+  std::vector<VarId> image(n, kInvalidVarId);
+  auto atom_holds = [&](const Atom& atom) -> bool {
+    switch (atom.kind()) {
+      case AtomKind::kRange:
+        return true;
+      case AtomKind::kNonRange:
+        // Image classes equal source classes, so this mirrors the source
+        // satisfiability condition (g) and is statically decided.
+        for (ClassId excluded : atom.classes()) {
+          if (schema.IsSubclassOf(target.range_class(image[atom.var()]),
+                                  excluded)) {
+            return false;
+          }
+        }
+        return true;
+      case AtomKind::kEquality:
+        return target.DerivesEquality(
+            atom.lhs().WithVar(image[atom.lhs().var]),
+            atom.rhs().WithVar(image[atom.rhs().var]));
+      case AtomKind::kInequality:
+        return target.NotContradictsInequality(
+            atom.lhs().WithVar(image[atom.lhs().var]),
+            atom.rhs().WithVar(image[atom.rhs().var]));
+      case AtomKind::kMembership:
+        return target.DerivesMembership(image[atom.lhs().var],
+                                        image[atom.rhs().var],
+                                        atom.rhs().attr);
+      case AtomKind::kNonMembership:
+        return target.NotContradictsNonMembership(image[atom.lhs().var],
+                                                  image[atom.rhs().var],
+                                                  atom.rhs().attr);
+      case AtomKind::kConstant:
+        return target.DerivesConstant(image[atom.var()], atom.constant());
+    }
+    return false;
+  };
+
+  // Iterative backtracking over candidate indices.
+  std::vector<size_t> choice(n, 0);
+  size_t depth = 0;
+  while (true) {
+    if (++result.steps > constraints.max_steps) {
+      result.exhausted = true;
+      return result;
+    }
+    VarId v = order[depth];
+    if (choice[depth] >= candidates[v].size()) {
+      // Exhausted this level; backtrack.
+      image[v] = kInvalidVarId;
+      choice[depth] = 0;
+      if (depth == 0) return result;  // No mapping exists.
+      --depth;
+      image[order[depth]] = kInvalidVarId;
+      ++choice[depth];
+      continue;
+    }
+    image[v] = candidates[v][choice[depth]];
+    bool holds = true;
+    for (const Atom* atom : checks[depth]) {
+      if (!atom_holds(*atom)) {
+        holds = false;
+        break;
+      }
+    }
+    if (!holds) {
+      image[v] = kInvalidVarId;
+      ++choice[depth];
+      continue;
+    }
+    if (depth + 1 == n) {
+      result.image = image;
+      return result;
+    }
+    ++depth;
+  }
+}
+
+}  // namespace oocq

@@ -1,0 +1,58 @@
+#ifndef OOCQ_CORE_MAPPING_H_
+#define OOCQ_CORE_MAPPING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/derivability.h"
+#include "query/query.h"
+#include "schema/schema.h"
+
+namespace oocq {
+
+/// Constraints on the non-contradictory variable mapping search.
+struct MappingConstraints {
+  /// A target variable the image must avoid (used by minimization to force
+  /// a non-bijective self-mapping). kInvalidVarId means unconstrained.
+  VarId forbidden_target = kInvalidVarId;
+  /// The image of the source free variable must be equivalent (in the
+  /// target's E(Q)) to this target variable — this realizes condition (i)
+  /// of Thm 3.1, τ(μ(t2)) = τ(t1) for every standardization function τ.
+  /// kInvalidVarId defaults to the target query's free variable.
+  VarId free_target = kInvalidVarId;
+  /// Backtracking-step budget; exceeded searches report `exhausted`.
+  uint64_t max_steps = 10'000'000;
+};
+
+/// Result of a mapping search.
+struct MappingResult {
+  /// The witness image (source VarId -> target VarId) when found.
+  std::optional<std::vector<VarId>> image;
+  /// True when the search hit max_steps before deciding; `image` empty
+  /// then means "unknown", not "none exists".
+  bool exhausted = false;
+  /// Backtracking steps actually used (for the complexity benches).
+  uint64_t steps = 0;
+
+  bool found() const { return image.has_value(); }
+};
+
+/// Searches for a non-contradictory variable mapping μ from `from` to the
+/// analyzed target query (§3.1): for every positive atom A of `from`,
+/// target ⊢ μ(A); for every inequality or non-membership atom A, the
+/// target does not contradict μ(A); and μ satisfies condition (i) through
+/// MappingConstraints::free_target.
+///
+/// `from` must be a well-formed terminal conjunctive query; candidates for
+/// each source variable are the target variables with the identical range
+/// class (derivability of range atoms is syntactic presence). Non-range
+/// atoms of `from` are checked statically against the image classes.
+MappingResult FindNonContradictoryMapping(const Schema& schema,
+                                          const ConjunctiveQuery& from,
+                                          const QueryAnalysis& target,
+                                          const MappingConstraints& constraints);
+
+}  // namespace oocq
+
+#endif  // OOCQ_CORE_MAPPING_H_

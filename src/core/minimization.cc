@@ -1,0 +1,207 @@
+#include "core/minimization.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/canonical.h"
+#include "core/derivability.h"
+#include "core/mapping.h"
+#include "core/satisfiability.h"
+#include "query/well_formed.h"
+#include "support/status_macros.h"
+
+namespace oocq {
+
+namespace {
+
+/// Searches for a non-contradictory self-mapping of `query` that preserves
+/// the free variable and avoids `eliminate` in its image. Returns the
+/// image when found.
+StatusOr<MappingResult> FindEliminatingSelfMapping(
+    const Schema& schema, const ConjunctiveQuery& query, VarId eliminate,
+    const MinimizationOptions& options) {
+  OOCQ_ASSIGN_OR_RETURN(QueryAnalysis analysis,
+                        QueryAnalysis::Create(schema, query));
+  MappingConstraints constraints;
+  constraints.forbidden_target = eliminate;
+  constraints.free_target = query.free_var();
+  constraints.max_steps = options.containment.max_mapping_steps;
+  return FindNonContradictoryMapping(schema, query, analysis, constraints);
+}
+
+}  // namespace
+
+StatusOr<ConjunctiveQuery> MinimizeTerminalPositive(
+    const Schema& schema, const ConjunctiveQuery& query,
+    const MinimizationOptions& options, uint64_t* removed) {
+  OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
+  if (!query.IsTerminal(schema) || !query.IsPositive()) {
+    return Status::FailedPrecondition(
+        "MinimizeTerminalPositive requires a terminal positive query");
+  }
+  OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery current,
+                        NormalizeTerminalQuery(schema, query));
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (VarId v = 0; v < current.num_vars(); ++v) {
+      OOCQ_ASSIGN_OR_RETURN(
+          MappingResult mapping,
+          FindEliminatingSelfMapping(schema, current, v, options));
+      if (mapping.exhausted) {
+        return Status::ResourceExhausted(
+            "self-mapping search exceeded max_mapping_steps");
+      }
+      if (!mapping.found()) continue;
+      // Thm 4.3: μ(Q) ≡ Q; v is outside the image so at least one
+      // variable disappears.
+      ConjunctiveQuery folded = ApplyVariableMapping(current, *mapping.image);
+      if (removed != nullptr) {
+        *removed += current.num_vars() - folded.num_vars();
+      }
+      current = std::move(folded);
+      progress = true;
+      break;
+    }
+  }
+  return current;
+}
+
+StatusOr<bool> IsMinimalTerminalPositive(const Schema& schema,
+                                         const ConjunctiveQuery& query,
+                                         const MinimizationOptions& options) {
+  OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
+  if (!query.IsTerminal(schema) || !query.IsPositive()) {
+    return Status::FailedPrecondition(
+        "IsMinimalTerminalPositive requires a terminal positive query");
+  }
+  // A non-bijective self-mapping on a finite variable set misses some
+  // variable, so trying every variable as the missing one is exhaustive.
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    OOCQ_ASSIGN_OR_RETURN(MappingResult mapping,
+                          FindEliminatingSelfMapping(schema, query, v, options));
+    if (mapping.exhausted) {
+      return Status::ResourceExhausted(
+          "self-mapping search exceeded max_mapping_steps");
+    }
+    if (mapping.found()) return false;
+  }
+  return true;
+}
+
+StatusOr<UnionQuery> RemoveRedundantDisjuncts(const Schema& schema,
+                                              const UnionQuery& query,
+                                              const MinimizationOptions& options) {
+  // Drop unsatisfiable disjuncts, and collapse disjuncts that are
+  // syntactic renamings of an earlier one (canonical-key pre-pass) before
+  // paying for pairwise containment tests.
+  std::vector<ConjunctiveQuery> live;
+  std::set<std::string> seen_keys;
+  for (const ConjunctiveQuery& q : query.disjuncts) {
+    if (!CheckSatisfiable(schema, q).satisfiable) continue;
+    if (!seen_keys.insert(CanonicalKey(q)).second) continue;
+    live.push_back(q);
+  }
+
+  const size_t n = live.size();
+  // contained[i][j] == live[i] ⊆ live[j].
+  std::vector<std::vector<bool>> contained(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      OOCQ_ASSIGN_OR_RETURN(
+          bool c, Contained(schema, live[i], live[j], options.containment));
+      contained[i][j] = c;
+    }
+  }
+
+  // Keep the first member of each equivalence group; drop anything
+  // contained in a surviving disjunct.
+  std::vector<bool> kept(n, true);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n && kept[i]; ++j) {
+      if (i == j || !kept[j] || !contained[i][j]) continue;
+      if (!contained[j][i] || j < i) kept[i] = false;
+    }
+  }
+
+  UnionQuery result;
+  for (size_t i = 0; i < n; ++i) {
+    if (kept[i]) result.disjuncts.push_back(std::move(live[i]));
+  }
+  return result;
+}
+
+StatusOr<MinimizationReport> MinimizePositiveUnion(
+    const Schema& schema, const UnionQuery& query,
+    const MinimizationOptions& options) {
+  MinimizationReport report;
+
+  UnionQuery expanded;
+  for (const ConjunctiveQuery& disjunct : query.disjuncts) {
+    OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, disjunct));
+    if (!disjunct.IsPositive()) {
+      return Status::FailedPrecondition(
+          "MinimizePositiveUnion requires positive disjuncts");
+    }
+    ExpansionStats stats;
+    OOCQ_ASSIGN_OR_RETURN(
+        UnionQuery part,
+        ExpandToTerminalQueries(schema, disjunct, options.expansion, &stats));
+    report.raw_disjuncts += stats.raw_disjuncts;
+    report.satisfiable_disjuncts += stats.satisfiable_disjuncts;
+    for (ConjunctiveQuery& q : part.disjuncts) {
+      expanded.disjuncts.push_back(std::move(q));
+    }
+  }
+
+  OOCQ_ASSIGN_OR_RETURN(UnionQuery nonredundant,
+                        RemoveRedundantDisjuncts(schema, expanded, options));
+  report.nonredundant_disjuncts = nonredundant.disjuncts.size();
+
+  for (ConjunctiveQuery& disjunct : nonredundant.disjuncts) {
+    OOCQ_ASSIGN_OR_RETURN(
+        ConjunctiveQuery minimal,
+        MinimizeTerminalPositive(schema, disjunct, options,
+                                 &report.variables_removed));
+    report.minimized.disjuncts.push_back(std::move(minimal));
+  }
+  return report;
+}
+
+StatusOr<MinimizationReport> MinimizePositiveQuery(
+    const Schema& schema, const ConjunctiveQuery& query,
+    const MinimizationOptions& options) {
+  OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
+  if (!query.IsPositive()) {
+    return Status::FailedPrecondition(
+        "MinimizePositiveQuery requires a positive conjunctive query");
+  }
+
+  MinimizationReport report;
+
+  ExpansionStats expansion_stats;
+  OOCQ_ASSIGN_OR_RETURN(
+      UnionQuery expanded,
+      ExpandToTerminalQueries(schema, query, options.expansion,
+                              &expansion_stats));
+  report.raw_disjuncts = expansion_stats.raw_disjuncts;
+  report.satisfiable_disjuncts = expansion_stats.satisfiable_disjuncts;
+
+  OOCQ_ASSIGN_OR_RETURN(UnionQuery nonredundant,
+                        RemoveRedundantDisjuncts(schema, expanded, options));
+  report.nonredundant_disjuncts = nonredundant.disjuncts.size();
+
+  for (ConjunctiveQuery& disjunct : nonredundant.disjuncts) {
+    OOCQ_ASSIGN_OR_RETURN(
+        ConjunctiveQuery minimal,
+        MinimizeTerminalPositive(schema, disjunct, options,
+                                 &report.variables_removed));
+    report.minimized.disjuncts.push_back(std::move(minimal));
+  }
+  return report;
+}
+
+}  // namespace oocq

@@ -1,0 +1,103 @@
+#include "core/optimizer.h"
+
+#include "core/containment.h"
+#include "core/general_minimization.h"
+#include "parser/parser.h"
+#include "query/printer.h"
+#include "query/well_formed.h"
+#include "support/status_macros.h"
+
+namespace oocq {
+
+std::string OptimizeReport::Summary(const Schema& schema) const {
+  std::string out;
+  out += exact ? "exact minimization (positive conjunctive query)\n"
+               : "equivalent reduced union (general conjunctive query; no "
+                 "optimality guarantee)\n";
+  out += "  expansion: " + std::to_string(details.raw_disjuncts) +
+         " raw disjunct(s), " + std::to_string(details.satisfiable_disjuncts) +
+         " satisfiable, " + std::to_string(details.nonredundant_disjuncts) +
+         " nonredundant\n";
+  out += "  variables removed by self-mappings: " +
+         std::to_string(details.variables_removed) + "\n";
+  out += "  search-space cost: " + std::to_string(original_cost.total) +
+         " -> " + std::to_string(optimized_cost.total) + "\n";
+  out += "  optimized: " + UnionQueryToString(schema, optimized) + "\n";
+  return out;
+}
+
+StatusOr<OptimizeReport> QueryOptimizer::Optimize(
+    const ConjunctiveQuery& query) const {
+  OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery well_formed,
+                        NormalizeToWellFormed(schema_, query));
+
+  OptimizeReport report;
+  report.original_cost = SearchSpaceCostOf(schema_, well_formed);
+
+  if (well_formed.IsPositive()) {
+    OOCQ_ASSIGN_OR_RETURN(
+        report.details, MinimizePositiveQuery(schema_, well_formed, options_));
+    report.optimized = report.details.minimized;
+    report.exact = true;
+  } else {
+    // General conjunctive queries: the equivalent reduced union of
+    // core/general_minimization.h — sound, but without the §4 optimality
+    // guarantee.
+    OOCQ_ASSIGN_OR_RETURN(
+        GeneralMinimizationReport general,
+        MinimizeConjunctiveQuery(schema_, well_formed, options_));
+    report.optimized = std::move(general.minimized);
+    report.details.raw_disjuncts = general.raw_disjuncts;
+    report.details.satisfiable_disjuncts = general.satisfiable_disjuncts;
+    report.details.nonredundant_disjuncts = general.nonredundant_disjuncts;
+    report.details.variables_removed = general.variables_removed;
+    report.exact = false;
+  }
+  report.optimized_cost = SearchSpaceCostOf(schema_, report.optimized);
+  return report;
+}
+
+StatusOr<OptimizeReport> QueryOptimizer::OptimizeText(
+    std::string_view text) const {
+  OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseQuery(schema_, text));
+  return Optimize(query);
+}
+
+StatusOr<UnionQuery> QueryOptimizer::ExpandToUnion(
+    const ConjunctiveQuery& query) const {
+  OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery well_formed,
+                        NormalizeToWellFormed(schema_, query));
+  return ExpandToTerminalQueries(schema_, well_formed, options_.expansion);
+}
+
+StatusOr<bool> QueryOptimizer::IsContained(const ConjunctiveQuery& q1,
+                                           const ConjunctiveQuery& q2) const {
+  OOCQ_ASSIGN_OR_RETURN(UnionQuery m, ExpandToUnion(q1));
+  OOCQ_ASSIGN_OR_RETURN(UnionQuery n, ExpandToUnion(q2));
+  // When Q2 expands to a single disjunct, M ⊆ N iff every disjunct of M
+  // is contained in it — exact for arbitrary atom kinds, so general
+  // queries are decided here; Thm 4.1 handles multi-disjunct positive N.
+  if (n.disjuncts.size() == 1) {
+    for (const ConjunctiveQuery& qi : m.disjuncts) {
+      OOCQ_ASSIGN_OR_RETURN(
+          bool contained,
+          Contained(schema_, qi, n.disjuncts[0], options_.containment));
+      if (!contained) return false;
+    }
+    return true;
+  }
+  if (n.disjuncts.empty()) {
+    // N is unsatisfiable: containment iff M is too.
+    return m.disjuncts.empty();
+  }
+  return UnionContained(schema_, m, n, options_.containment);
+}
+
+StatusOr<bool> QueryOptimizer::IsEquivalent(const ConjunctiveQuery& q1,
+                                            const ConjunctiveQuery& q2) const {
+  OOCQ_ASSIGN_OR_RETURN(bool forward, IsContained(q1, q2));
+  if (!forward) return false;
+  return IsContained(q2, q1);
+}
+
+}  // namespace oocq

@@ -1,0 +1,70 @@
+#ifndef OOCQ_CORE_OPTIMIZER_H_
+#define OOCQ_CORE_OPTIMIZER_H_
+
+#include <string>
+
+#include "core/minimization.h"
+#include "core/search_space.h"
+#include "query/query.h"
+#include "schema/schema.h"
+#include "support/status.h"
+
+namespace oocq {
+
+/// Everything the optimizer learned about one query.
+struct OptimizeReport {
+  /// The equivalent search-space-optimal union (for positive inputs);
+  /// for general conjunctive inputs, the equivalent reduced union of
+  /// core/general_minimization.h (sound, but without the §4 optimality
+  /// guarantee — the paper leaves exact general minimization open, §5).
+  UnionQuery optimized;
+  /// True when the exact §4 minimization applied (positive input).
+  bool exact = false;
+  SearchSpaceCost original_cost;
+  SearchSpaceCost optimized_cost;
+  MinimizationReport details;
+
+  /// Multi-line human-readable description of the run.
+  std::string Summary(const Schema& schema) const;
+};
+
+/// The library facade: owns a schema and drives the full pipeline
+/// (well-forming, expansion, satisfiability pruning, redundancy removal,
+/// variable minimization) for user queries.
+class QueryOptimizer {
+ public:
+  explicit QueryOptimizer(Schema schema, MinimizationOptions options = {})
+      : schema_(std::move(schema)), options_(options) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Optimizes `query` (any conjunctive query; it is normalized to
+  /// well-formed first). Positive queries get the exact §4 minimization;
+  /// general conjunctive queries get the equivalent satisfiability-pruned
+  /// terminal expansion.
+  StatusOr<OptimizeReport> Optimize(const ConjunctiveQuery& query) const;
+
+  /// Parses and optimizes a query written in the calculus-like syntax.
+  StatusOr<OptimizeReport> OptimizeText(std::string_view text) const;
+
+  /// Containment Q1 ⊆ Q2 of two (arbitrary) conjunctive queries whose
+  /// terminal expansions are positive: both sides are normalized, expanded
+  /// and compared with Thm 4.1. For terminal queries with negative atoms
+  /// use Contained() directly.
+  StatusOr<bool> IsContained(const ConjunctiveQuery& q1,
+                             const ConjunctiveQuery& q2) const;
+
+  /// IsContained in both directions.
+  StatusOr<bool> IsEquivalent(const ConjunctiveQuery& q1,
+                              const ConjunctiveQuery& q2) const;
+
+ private:
+  StatusOr<UnionQuery> ExpandToUnion(const ConjunctiveQuery& query) const;
+
+  Schema schema_;
+  MinimizationOptions options_;
+};
+
+}  // namespace oocq
+
+#endif  // OOCQ_CORE_OPTIMIZER_H_

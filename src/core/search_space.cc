@@ -1,0 +1,53 @@
+#include "core/search_space.h"
+
+#include <set>
+
+namespace oocq {
+
+std::vector<ClassId> TermClass(const Schema& schema,
+                               const ConjunctiveQuery& query, VarId x) {
+  std::set<ClassId> terminals;
+  const Atom* range = query.RangeAtomOf(x);
+  if (range != nullptr) {
+    for (ClassId c : range->classes()) {
+      for (ClassId t : schema.TerminalDescendants(c)) terminals.insert(t);
+    }
+  }
+  return std::vector<ClassId>(terminals.begin(), terminals.end());
+}
+
+SearchSpaceCost SearchSpaceCostOf(const Schema& schema,
+                                  const ConjunctiveQuery& query) {
+  SearchSpaceCost cost;
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    for (ClassId c : TermClass(schema, query, v)) {
+      ++cost.per_class[c];
+      ++cost.total;
+    }
+  }
+  return cost;
+}
+
+SearchSpaceCost SearchSpaceCostOf(const Schema& schema,
+                                  const UnionQuery& query) {
+  SearchSpaceCost cost;
+  for (const ConjunctiveQuery& disjunct : query.disjuncts) {
+    SearchSpaceCost part = SearchSpaceCostOf(schema, disjunct);
+    cost.total += part.total;
+    for (const auto& [cls, count] : part.per_class) {
+      cost.per_class[cls] += count;
+    }
+  }
+  return cost;
+}
+
+bool CostLeq(const SearchSpaceCost& a, const SearchSpaceCost& b) {
+  for (const auto& [cls, count] : a.per_class) {
+    auto it = b.per_class.find(cls);
+    uint64_t other = it == b.per_class.end() ? 0 : it->second;
+    if (count > other) return false;
+  }
+  return true;
+}
+
+}  // namespace oocq

@@ -1,0 +1,39 @@
+#ifndef OOCQ_CORE_SEARCH_SPACE_H_
+#define OOCQ_CORE_SEARCH_SPACE_H_
+
+#include <map>
+#include <vector>
+
+#include "query/query.h"
+#include "schema/schema.h"
+
+namespace oocq {
+
+/// term-class(Q, x) (§4): the terminal descendant classes over which
+/// variable `x` ranges in Q, i.e. the terminal descendants of the classes
+/// in x's range atom. Sorted ascending.
+std::vector<ClassId> TermClass(const Schema& schema,
+                               const ConjunctiveQuery& query, VarId x);
+
+/// The paper's optimality metric: for each terminal class C, the total
+/// number of occurrences of C in term-class(Q, y) over all variables y.
+/// Q is "more optimal" than P when every per-class count of Q is <= P's.
+struct SearchSpaceCost {
+  /// Sum of all per-class counts (the scalar reported by the benches).
+  uint64_t total = 0;
+  /// Occurrences per terminal class.
+  std::map<ClassId, uint64_t> per_class;
+};
+
+SearchSpaceCost SearchSpaceCostOf(const Schema& schema,
+                                  const ConjunctiveQuery& query);
+SearchSpaceCost SearchSpaceCostOf(const Schema& schema,
+                                  const UnionQuery& query);
+
+/// Componentwise comparison (condition 2 of the paper's Q < P): true iff
+/// every terminal class occurs in `a` at most as often as in `b`.
+bool CostLeq(const SearchSpaceCost& a, const SearchSpaceCost& b);
+
+}  // namespace oocq
+
+#endif  // OOCQ_CORE_SEARCH_SPACE_H_

@@ -1,0 +1,61 @@
+#ifndef OOCQ_CORE_VIEW_MATCHING_H_
+#define OOCQ_CORE_VIEW_MATCHING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/minimization.h"
+#include "query/query.h"
+#include "schema/schema.h"
+#include "support/status.h"
+
+namespace oocq {
+
+/// How a materialized view relates to a user query — the classic
+/// "answering queries using views" triage, decided exactly with the
+/// paper's containment machinery.
+enum class ViewUsability {
+  /// View ≡ query: answer the query by reading the view verbatim.
+  kExact,
+  /// query ⊆ view: the view is a superset — scan the view and re-apply
+  /// the query's conditions instead of scanning base extents.
+  kSuperset,
+  /// view ⊆ query (strictly): the view contributes answers but cannot
+  /// answer the query alone.
+  kSubset,
+  /// Neither containment holds.
+  kUnrelated,
+};
+
+const char* ViewUsabilityToString(ViewUsability usability);
+
+/// A named materialized view.
+struct ViewDefinition {
+  std::string name;
+  ConjunctiveQuery query;
+};
+
+/// One view's verdict for a user query.
+struct ViewMatch {
+  std::string view_name;
+  ViewUsability usability = ViewUsability::kUnrelated;
+};
+
+/// Classifies every view against `query`. Queries and views may be
+/// arbitrary positive conjunctive queries (they are normalized and
+/// expanded internally); results are ordered as given, exact matches
+/// first within equal usability is NOT reshuffled — callers rank.
+StatusOr<std::vector<ViewMatch>> MatchViews(
+    const Schema& schema, const std::vector<ViewDefinition>& views,
+    const ConjunctiveQuery& query, const MinimizationOptions& options = {});
+
+/// Convenience: the name of an exact-match view if any, else the first
+/// superset view, else nullopt-like empty string.
+StatusOr<std::string> BestViewFor(const Schema& schema,
+                                  const std::vector<ViewDefinition>& views,
+                                  const ConjunctiveQuery& query,
+                                  const MinimizationOptions& options = {});
+
+}  // namespace oocq
+
+#endif  // OOCQ_CORE_VIEW_MATCHING_H_

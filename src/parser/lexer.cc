@@ -1,0 +1,258 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace oocq {
+
+std::string TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kAmp:
+      return "'&'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNeq:
+      return "'!='";
+    case TokenKind::kExists:
+      return "'exists'";
+    case TokenKind::kIn:
+      return "'in'";
+    case TokenKind::kNotin:
+      return "'notin'";
+    case TokenKind::kUnion:
+      return "'union'";
+    case TokenKind::kSchema:
+      return "'schema'";
+    case TokenKind::kClass:
+      return "'class'";
+    case TokenKind::kUnder:
+      return "'under'";
+    case TokenKind::kState:
+      return "'state'";
+    case TokenKind::kNull:
+      return "'null'";
+    case TokenKind::kIntLit:
+      return "integer literal";
+    case TokenKind::kRealLit:
+      return "real literal";
+    case TokenKind::kStringLit:
+      return "string literal";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+TokenKind KeywordOrIdent(const std::string& text) {
+  if (text == "exists") return TokenKind::kExists;
+  if (text == "in") return TokenKind::kIn;
+  if (text == "notin") return TokenKind::kNotin;
+  if (text == "union") return TokenKind::kUnion;
+  if (text == "schema") return TokenKind::kSchema;
+  if (text == "class") return TokenKind::kClass;
+  if (text == "under") return TokenKind::kUnder;
+  if (text == "state") return TokenKind::kState;
+  if (text == "null") return TokenKind::kNull;
+  return TokenKind::kIdent;
+}
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (text[i + k] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    i += n;
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < text.size() && text[i + 1] == '/')) {
+      while (i < text.size() && text[i] != '\n') advance(1);
+      continue;
+    }
+
+    Token token;
+    token.line = line;
+    token.column = column;
+    // Numeric literals: [-]digits[.digits]. A leading '-' is part of the
+    // literal only when followed by a digit.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      if (c == '-') advance(1);
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        advance(1);
+      }
+      bool is_real = false;
+      if (i + 1 < text.size() && text[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_real = true;
+        advance(1);
+        while (i < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[i]))) {
+          advance(1);
+        }
+      }
+      token.kind = is_real ? TokenKind::kRealLit : TokenKind::kIntLit;
+      token.text = std::string(text.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // String literals with \" \\ \n \t escapes; token.text is unescaped.
+    if (c == '"') {
+      advance(1);
+      std::string contents;
+      bool closed = false;
+      while (i < text.size()) {
+        char ch = text[i];
+        if (ch == '"') {
+          advance(1);
+          closed = true;
+          break;
+        }
+        if (ch == '\\' && i + 1 < text.size()) {
+          char escaped = text[i + 1];
+          switch (escaped) {
+            case 'n':
+              contents += '\n';
+              break;
+            case 't':
+              contents += '\t';
+              break;
+            default:
+              contents += escaped;
+              break;
+          }
+          advance(2);
+          continue;
+        }
+        contents += ch;
+        advance(1);
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "lexer error at " + std::to_string(token.line) + ":" +
+            std::to_string(token.column) + ": unterminated string literal");
+      }
+      token.kind = TokenKind::kStringLit;
+      token.text = std::move(contents);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < text.size() && IsIdentBody(text[i])) advance(1);
+      token.text = std::string(text.substr(start, i - start));
+      token.kind = KeywordOrIdent(token.text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    switch (c) {
+      case '{':
+        token.kind = TokenKind::kLBrace;
+        break;
+      case '}':
+        token.kind = TokenKind::kRBrace;
+        break;
+      case '(':
+        token.kind = TokenKind::kLParen;
+        break;
+      case ')':
+        token.kind = TokenKind::kRParen;
+        break;
+      case '|':
+        token.kind = TokenKind::kPipe;
+        break;
+      case '&':
+        token.kind = TokenKind::kAmp;
+        break;
+      case '.':
+        token.kind = TokenKind::kDot;
+        break;
+      case ':':
+        token.kind = TokenKind::kColon;
+        break;
+      case ';':
+        token.kind = TokenKind::kSemicolon;
+        break;
+      case ',':
+        token.kind = TokenKind::kComma;
+        break;
+      case '=':
+        token.kind = TokenKind::kEq;
+        break;
+      case '!':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          token.kind = TokenKind::kNeq;
+          token.text = "!=";
+          advance(2);
+          tokens.push_back(std::move(token));
+          continue;
+        }
+        return Status::InvalidArgument(
+            "lexer error at " + std::to_string(line) + ":" +
+            std::to_string(column) + ": '!' must be followed by '='");
+      default:
+        return Status::InvalidArgument(
+            "lexer error at " + std::to_string(line) + ":" +
+            std::to_string(column) + ": unexpected character '" +
+            std::string(1, c) + "'");
+    }
+    token.text = std::string(1, c);
+    advance(1);
+    tokens.push_back(std::move(token));
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace oocq

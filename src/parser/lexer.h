@@ -1,0 +1,60 @@
+#ifndef OOCQ_PARSER_LEXER_H_
+#define OOCQ_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace oocq {
+
+/// Token kinds of the schema DSL and the calculus-like query language.
+enum class TokenKind {
+  kIdent,
+  kIntLit,     // 42, -7
+  kRealLit,    // 2.5, -0.25
+  kStringLit,  // "hello" (text carries the unescaped contents)
+  kLBrace,     // {
+  kRBrace,     // }
+  kLParen,     // (
+  kRParen,     // )
+  kPipe,       // |
+  kAmp,        // &
+  kDot,        // .
+  kColon,      // :
+  kSemicolon,  // ;
+  kComma,      // ,
+  kEq,         // =
+  kNeq,        // !=
+  // Keywords.
+  kExists,
+  kIn,
+  kNotin,
+  kUnion,
+  kSchema,
+  kClass,
+  kUnder,
+  kState,
+  kNull,
+  kEnd,
+};
+
+/// One lexed token with its source location (1-based line/column).
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+/// "identifier", "'{'", "'in'", ... for diagnostics.
+std::string TokenKindToString(TokenKind kind);
+
+/// Splits `text` into tokens. Identifiers are [A-Za-z_][A-Za-z0-9_']*;
+/// keywords are case-sensitive; '#' and '//' start line comments.
+StatusOr<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace oocq
+
+#endif  // OOCQ_PARSER_LEXER_H_

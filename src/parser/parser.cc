@@ -1,0 +1,397 @@
+#include "parser/parser.h"
+
+#include <charconv>
+#include <vector>
+
+#include "parser/lexer.h"
+#include "schema/schema_builder.h"
+#include "support/status_macros.h"
+
+namespace oocq {
+
+namespace {
+
+/// Cursor over a token vector with Status-returning expectation helpers.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead(size_t n) const {
+    size_t at = pos_ + n;
+    return at < tokens_.size() ? tokens_[at] : tokens_.back();
+  }
+  Token Consume() { return tokens_[pos_ == tokens_.size() - 1 ? pos_ : pos_++]; }
+
+  bool ConsumeIf(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Consume();
+    return true;
+  }
+
+  Status Expect(TokenKind kind, Token* out = nullptr) {
+    if (Peek().kind != kind) {
+      return Error("expected " + TokenKindToString(kind) + ", found " +
+                   Describe(Peek()));
+    }
+    Token token = Consume();
+    if (out != nullptr) *out = std::move(token);
+    return Status::Ok();
+  }
+
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return Status::InvalidArgument("parse error at " + std::to_string(t.line) +
+                                   ":" + std::to_string(t.column) + ": " +
+                                   message);
+  }
+
+ private:
+  static std::string Describe(const Token& token) {
+    if (token.kind == TokenKind::kIdent) return "identifier '" + token.text + "'";
+    return TokenKindToString(token.kind);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Status ParseAttributeType(TokenStream& stream, TypeName* out) {
+  if (stream.ConsumeIf(TokenKind::kLBrace)) {
+    Token cls;
+    OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kIdent, &cls));
+    OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kRBrace));
+    *out = TypeName::SetOf(cls.text);
+    return Status::Ok();
+  }
+  Token cls;
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kIdent, &cls));
+  *out = TypeName::Class(cls.text);
+  return Status::Ok();
+}
+
+Status ParseClassDef(TokenStream& stream, SchemaBuilder* builder) {
+  Token name;
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kIdent, &name));
+  std::vector<std::string> parents;
+  if (stream.ConsumeIf(TokenKind::kUnder)) {
+    Token parent;
+    OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kIdent, &parent));
+    parents.push_back(parent.text);
+    while (stream.ConsumeIf(TokenKind::kComma)) {
+      OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kIdent, &parent));
+      parents.push_back(parent.text);
+    }
+  }
+  builder->AddClass(name.text, std::move(parents));
+
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kLBrace));
+  while (!stream.ConsumeIf(TokenKind::kRBrace)) {
+    Token attr;
+    OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kIdent, &attr));
+    OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kColon));
+    TypeName type = TypeName::Class("");
+    OOCQ_RETURN_IF_ERROR(ParseAttributeType(stream, &type));
+    OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kSemicolon));
+    builder->AddAttribute(name.text, attr.text, std::move(type));
+  }
+  return Status::Ok();
+}
+
+/// A parsed path expression `v.A1...An` (n >= 0) before desugaring.
+struct DeepTerm {
+  VarId var = kInvalidVarId;
+  std::vector<std::string> attrs;
+};
+
+/// Parses `v` or `v.A1.A2...`; the variable must be declared in `query`.
+Status ParseDeepTerm(TokenStream& stream, const ConjunctiveQuery& query,
+                     DeepTerm* out) {
+  Token var;
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kIdent, &var));
+  out->var = query.FindVariable(var.text);
+  if (out->var == kInvalidVarId) {
+    return stream.Error("undeclared variable '" + var.text + "'");
+  }
+  out->attrs.clear();
+  while (stream.ConsumeIf(TokenKind::kDot)) {
+    Token attr;
+    OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kIdent, &attr));
+    out->attrs.push_back(attr.text);
+  }
+  return Status::Ok();
+}
+
+/// A fresh existential variable for path desugaring, avoiding user names.
+VarId AddFreshVariable(ConjunctiveQuery* query) {
+  int i = static_cast<int>(query->num_vars());
+  std::string name;
+  do {
+    name = "_p" + std::to_string(i++);
+  } while (query->FindVariable(name) != kInvalidVarId);
+  return query->AddVariable(std::move(name));
+}
+
+/// Desugars a path expression into a chain of fresh variables and
+/// equalities (the paper's §2.2 remark: `x.A1...An` is representable
+/// indirectly), leaving at most one trailing attribute:
+/// `x.A.B.C` -> `_p1 = x.A & _p2 = _p1.B` yielding the term `_p2.C`.
+/// Fresh variables receive no range atom; NormalizeToWellFormed (run by
+/// every pipeline entry point) ranges them over the attribute's type.
+Term LowerToTerm(const DeepTerm& deep, ConjunctiveQuery* query) {
+  VarId current = deep.var;
+  for (size_t i = 0; i + 1 < deep.attrs.size(); ++i) {
+    VarId fresh = AddFreshVariable(query);
+    query->AddAtom(
+        Atom::Equality(Term::Var(fresh), Term::Attr(current, deep.attrs[i])));
+    current = fresh;
+  }
+  if (deep.attrs.empty()) return Term::Var(current);
+  return Term::Attr(current, deep.attrs.back());
+}
+
+/// Fully lowers a path expression to a variable (`x.A` -> fresh `_p`
+/// equated to it), for positions where only a variable may stand.
+VarId LowerToVar(const DeepTerm& deep, ConjunctiveQuery* query) {
+  Term term = LowerToTerm(deep, query);
+  if (!term.is_attribute()) return term.var;
+  VarId fresh = AddFreshVariable(query);
+  query->AddAtom(Atom::Equality(Term::Var(fresh), term));
+  return fresh;
+}
+
+bool PeekIsLiteral(const TokenStream& stream) {
+  TokenKind kind = stream.Peek().kind;
+  return kind == TokenKind::kIntLit || kind == TokenKind::kRealLit ||
+         kind == TokenKind::kStringLit;
+}
+
+/// Parses a literal token into a ConstantValue (no exceptions: from_chars).
+Status ParseLiteral(TokenStream& stream, ConstantValue* out) {
+  Token token = stream.Consume();
+  switch (token.kind) {
+    case TokenKind::kIntLit: {
+      int64_t value = 0;
+      auto [ptr, ec] = std::from_chars(
+          token.text.data(), token.text.data() + token.text.size(), value);
+      if (ec != std::errc() || ptr != token.text.data() + token.text.size()) {
+        return stream.Error("integer literal '" + token.text +
+                            "' out of range");
+      }
+      *out = value;
+      return Status::Ok();
+    }
+    case TokenKind::kRealLit: {
+      double value = 0;
+      auto [ptr, ec] = std::from_chars(
+          token.text.data(), token.text.data() + token.text.size(), value);
+      if (ec != std::errc() || ptr != token.text.data() + token.text.size()) {
+        return stream.Error("real literal '" + token.text + "' out of range");
+      }
+      *out = value;
+      return Status::Ok();
+    }
+    case TokenKind::kStringLit:
+      *out = token.text;
+      return Status::Ok();
+    default:
+      return stream.Error("expected a literal");
+  }
+}
+
+/// A fresh variable carrying `value`: `_p in Int & _p = <value>`.
+VarId LowerLiteralToVar(const ConstantValue& value, ConjunctiveQuery* query) {
+  VarId fresh = AddFreshVariable(query);
+  query->AddAtom(Atom::Range(fresh, {ConstantClassOf(value)}));
+  query->AddAtom(Atom::Constant(fresh, value));
+  return fresh;
+}
+
+Status ParseAtom(TokenStream& stream, const Schema& schema,
+                 ConjunctiveQuery* query) {
+  // Literal on the left: `5 = t`, `"x" != t`, `5 in y.A`, ...
+  if (PeekIsLiteral(stream)) {
+    ConstantValue literal;
+    OOCQ_RETURN_IF_ERROR(ParseLiteral(stream, &literal));
+    TokenKind op = stream.Peek().kind;
+    if (op != TokenKind::kEq && op != TokenKind::kNeq &&
+        op != TokenKind::kIn && op != TokenKind::kNotin) {
+      return stream.Error("expected '=', '!=', 'in' or 'notin' after literal");
+    }
+    stream.Consume();
+    if (op == TokenKind::kEq || op == TokenKind::kNeq) {
+      DeepTerm rhs;
+      OOCQ_RETURN_IF_ERROR(ParseDeepTerm(stream, *query, &rhs));
+      if (op == TokenKind::kEq && rhs.attrs.empty()) {
+        query->AddAtom(Atom::Constant(rhs.var, std::move(literal)));
+        return Status::Ok();
+      }
+      Term rhs_term = LowerToTerm(rhs, query);
+      VarId lit_var = LowerLiteralToVar(literal, query);
+      query->AddAtom(op == TokenKind::kEq
+                         ? Atom::Equality(Term::Var(lit_var), rhs_term)
+                         : Atom::Inequality(Term::Var(lit_var), rhs_term));
+      return Status::Ok();
+    }
+    DeepTerm rhs;
+    OOCQ_RETURN_IF_ERROR(ParseDeepTerm(stream, *query, &rhs));
+    Term set_term = LowerToTerm(rhs, query);
+    if (!set_term.is_attribute()) {
+      return stream.Error("expected a set term y.A after 'in'/'notin'");
+    }
+    VarId lit_var = LowerLiteralToVar(literal, query);
+    query->AddAtom(op == TokenKind::kIn
+                       ? Atom::Membership(lit_var, set_term.var, set_term.attr)
+                       : Atom::NonMembership(lit_var, set_term.var,
+                                             set_term.attr));
+    return Status::Ok();
+  }
+
+  DeepTerm lhs;
+  OOCQ_RETURN_IF_ERROR(ParseDeepTerm(stream, *query, &lhs));
+
+  TokenKind op = stream.Peek().kind;
+  switch (op) {
+    case TokenKind::kEq:
+    case TokenKind::kNeq: {
+      stream.Consume();
+      // Literal on the right: `x = 5`, `x.Name != "Bob"`, ...
+      if (PeekIsLiteral(stream)) {
+        ConstantValue literal;
+        OOCQ_RETURN_IF_ERROR(ParseLiteral(stream, &literal));
+        if (op == TokenKind::kEq && lhs.attrs.empty()) {
+          query->AddAtom(Atom::Constant(lhs.var, std::move(literal)));
+          return Status::Ok();
+        }
+        Term lhs_term = LowerToTerm(lhs, query);
+        VarId lit_var = LowerLiteralToVar(literal, query);
+        query->AddAtom(op == TokenKind::kEq
+                           ? Atom::Equality(lhs_term, Term::Var(lit_var))
+                           : Atom::Inequality(lhs_term, Term::Var(lit_var)));
+        return Status::Ok();
+      }
+      DeepTerm rhs;
+      OOCQ_RETURN_IF_ERROR(ParseDeepTerm(stream, *query, &rhs));
+      Term lhs_term = LowerToTerm(lhs, query);
+      Term rhs_term = LowerToTerm(rhs, query);
+      query->AddAtom(op == TokenKind::kEq
+                         ? Atom::Equality(lhs_term, rhs_term)
+                         : Atom::Inequality(lhs_term, rhs_term));
+      return Status::Ok();
+    }
+    case TokenKind::kIn:
+    case TokenKind::kNotin: {
+      stream.Consume();
+      // `x in y.A` is a membership atom; `x in C1|C2` is a range atom.
+      // Path expressions are allowed on both sides of a membership and
+      // on the left of a range atom (`x.A in C` becomes `_p = x.A & _p
+      // in C`, per the paper's §2.2 remark).
+      if (stream.Peek().kind == TokenKind::kIdent &&
+          stream.PeekAhead(1).kind == TokenKind::kDot) {
+        DeepTerm rhs;
+        OOCQ_RETURN_IF_ERROR(ParseDeepTerm(stream, *query, &rhs));
+        VarId element = LowerToVar(lhs, query);
+        Term set_term = LowerToTerm(rhs, query);
+        if (!set_term.is_attribute()) {
+          return stream.Error("expected a set term y.A after 'in'/'notin'");
+        }
+        query->AddAtom(op == TokenKind::kIn
+                           ? Atom::Membership(element, set_term.var,
+                                              set_term.attr)
+                           : Atom::NonMembership(element, set_term.var,
+                                                 set_term.attr));
+        return Status::Ok();
+      }
+      std::vector<ClassId> classes;
+      do {
+        Token cls;
+        OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kIdent, &cls));
+        ClassId id = schema.FindClassOrInvalid(cls.text);
+        if (id == kInvalidClassId) {
+          return stream.Error("unknown class '" + cls.text +
+                              "' in range atom");
+        }
+        classes.push_back(id);
+      } while (stream.ConsumeIf(TokenKind::kPipe));
+      VarId var = LowerToVar(lhs, query);
+      query->AddAtom(op == TokenKind::kIn
+                         ? Atom::Range(var, std::move(classes))
+                         : Atom::NonRange(var, std::move(classes)));
+      return Status::Ok();
+    }
+    default:
+      return stream.Error("expected '=', '!=', 'in' or 'notin' after term");
+  }
+}
+
+Status ParseOneQuery(TokenStream& stream, const Schema& schema,
+                     ConjunctiveQuery* query) {
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kLBrace));
+  Token free_var;
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kIdent, &free_var));
+  query->AddVariable(free_var.text);
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kPipe));
+
+  while (stream.ConsumeIf(TokenKind::kExists)) {
+    Token var;
+    OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kIdent, &var));
+    if (query->FindVariable(var.text) != kInvalidVarId) {
+      return stream.Error("variable '" + var.text + "' declared twice");
+    }
+    query->AddVariable(var.text);
+  }
+
+  bool parenthesized = stream.ConsumeIf(TokenKind::kLParen);
+  OOCQ_RETURN_IF_ERROR(ParseAtom(stream, schema, query));
+  while (stream.ConsumeIf(TokenKind::kAmp)) {
+    OOCQ_RETURN_IF_ERROR(ParseAtom(stream, schema, query));
+  }
+  if (parenthesized) OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kRParen));
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kRBrace));
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Schema> ParseSchema(std::string_view text) {
+  OOCQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  TokenStream stream(std::move(tokens));
+
+  SchemaBuilder builder;
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kSchema));
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kIdent));
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kLBrace));
+  while (!stream.ConsumeIf(TokenKind::kRBrace)) {
+    OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kClass));
+    OOCQ_RETURN_IF_ERROR(ParseClassDef(stream, &builder));
+  }
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kEnd));
+  return builder.Build();
+}
+
+StatusOr<ConjunctiveQuery> ParseQuery(const Schema& schema,
+                                      std::string_view text) {
+  OOCQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  TokenStream stream(std::move(tokens));
+  ConjunctiveQuery query;
+  OOCQ_RETURN_IF_ERROR(ParseOneQuery(stream, schema, &query));
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kEnd));
+  return query;
+}
+
+StatusOr<UnionQuery> ParseUnionQuery(const Schema& schema,
+                                     std::string_view text) {
+  OOCQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  TokenStream stream(std::move(tokens));
+  UnionQuery result;
+  do {
+    ConjunctiveQuery query;
+    OOCQ_RETURN_IF_ERROR(ParseOneQuery(stream, schema, &query));
+    result.disjuncts.push_back(std::move(query));
+  } while (stream.ConsumeIf(TokenKind::kUnion));
+  OOCQ_RETURN_IF_ERROR(stream.Expect(TokenKind::kEnd));
+  return result;
+}
+
+}  // namespace oocq

@@ -1,0 +1,51 @@
+#ifndef OOCQ_PARSER_PARSER_H_
+#define OOCQ_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "query/query.h"
+#include "schema/schema.h"
+#include "support/status.h"
+
+namespace oocq {
+
+/// Parses the schema DSL:
+///
+///   schema VehicleRental {
+///     class Vehicle { VehId: String; }
+///     class Auto under Vehicle { Doors: Int; }
+///     class Client { VehRented: {Vehicle}; }
+///   }
+///
+/// Attribute types are a class name (object type) or `{ClassName}` (set
+/// type); `Int`, `Real`, `String` are predefined. `under` lists one or
+/// more superclasses separated by commas.
+StatusOr<Schema> ParseSchema(std::string_view text);
+
+/// Parses a query in the paper's calculus-like syntax against a schema:
+///
+///   { x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }
+///
+/// Atoms: range `x in C1|C2`, non-range `x notin C1|C2`, equality
+/// `t1 = t2`, inequality `t1 != t2`, membership `x in y.A`, non-membership
+/// `x notin y.A`; terms are `v` or `v.Attr`. Variables must be the free
+/// variable or introduced by `exists`. The matrix parentheses are
+/// optional for a single atom.
+///
+/// Syntactic sugar (the paper's §2.2 remark — all representable
+/// indirectly, and the parser desugars them): path expressions
+/// `x.A1.A2...An` in any term position, `x.A in C1|C2` range atoms, and
+/// `x.A in y.B` memberships. Each introduces fresh existential variables
+/// `_p<i>` with connecting equalities; the fresh variables carry no range
+/// atom, so run NormalizeToWellFormed (the optimizer pipeline does)
+/// before the §3/§4 algorithms.
+StatusOr<ConjunctiveQuery> ParseQuery(const Schema& schema,
+                                      std::string_view text);
+
+/// Parses `Q1 union Q2 union ...` where each Qi is a query as above.
+StatusOr<UnionQuery> ParseUnionQuery(const Schema& schema,
+                                     std::string_view text);
+
+}  // namespace oocq
+
+#endif  // OOCQ_PARSER_PARSER_H_

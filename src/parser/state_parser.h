@@ -1,0 +1,36 @@
+#ifndef OOCQ_PARSER_STATE_PARSER_H_
+#define OOCQ_PARSER_STATE_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "schema/schema.h"
+#include "state/state.h"
+#include "support/status.h"
+
+namespace oocq {
+
+/// Parses the state DSL into a validated legal state:
+///
+///   state {
+///     corolla: Auto     { VehId = "COR-1"; Doors = 4; }
+///     alice:   Discount { VehRented = { corolla }; Rate = 0.1; }
+///     bob:     Regular  { VehRented = { }; }
+///   }
+///
+/// Each declaration names an object, gives its *terminal* class, and sets
+/// attribute slots. Values are object names (forward references allowed),
+/// literals (`4` -> Int, `0.1` -> Real, `"x"` -> String), `null`, or a
+/// brace-enclosed set of names/literals. Unset attributes stay Λ.
+///
+/// `schema` must outlive the returned State.
+StatusOr<State> ParseState(const Schema* schema, std::string_view text);
+
+/// Serializes a state back into the DSL (objects named `o<oid>`;
+/// primitive references inlined as literals). Round-trips through
+/// ParseState up to object renaming.
+std::string StateToString(const State& state);
+
+}  // namespace oocq
+
+#endif  // OOCQ_PARSER_STATE_PARSER_H_

@@ -1,0 +1,124 @@
+#include "query/atom.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace oocq {
+
+namespace {
+
+std::vector<ClassId> SortedUnique(std::vector<ClassId> classes) {
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  return classes;
+}
+
+}  // namespace
+
+Atom Atom::Range(VarId var, std::vector<ClassId> classes) {
+  return Atom(AtomKind::kRange, Term::Var(var), Term::Var(var),
+              SortedUnique(std::move(classes)));
+}
+
+Atom Atom::NonRange(VarId var, std::vector<ClassId> classes) {
+  return Atom(AtomKind::kNonRange, Term::Var(var), Term::Var(var),
+              SortedUnique(std::move(classes)));
+}
+
+Atom Atom::Equality(Term lhs, Term rhs) {
+  if (rhs < lhs) std::swap(lhs, rhs);
+  return Atom(AtomKind::kEquality, std::move(lhs), std::move(rhs), {});
+}
+
+Atom Atom::Inequality(Term lhs, Term rhs) {
+  if (rhs < lhs) std::swap(lhs, rhs);
+  return Atom(AtomKind::kInequality, std::move(lhs), std::move(rhs), {});
+}
+
+Atom Atom::Membership(VarId element, VarId set_var, std::string attr) {
+  return Atom(AtomKind::kMembership, Term::Var(element),
+              Term::Attr(set_var, std::move(attr)), {});
+}
+
+Atom Atom::NonMembership(VarId element, VarId set_var, std::string attr) {
+  return Atom(AtomKind::kNonMembership, Term::Var(element),
+              Term::Attr(set_var, std::move(attr)), {});
+}
+
+Atom Atom::Constant(VarId var, ConstantValue value) {
+  Atom atom(AtomKind::kConstant, Term::Var(var), Term::Var(var), {});
+  atom.constant_ = std::move(value);
+  return atom;
+}
+
+Atom Atom::MapVariables(const std::vector<VarId>& image) const {
+  switch (kind_) {
+    case AtomKind::kRange:
+      return Range(image[lhs_.var], classes_);
+    case AtomKind::kNonRange:
+      return NonRange(image[lhs_.var], classes_);
+    case AtomKind::kEquality:
+      return Equality(lhs_.WithVar(image[lhs_.var]),
+                      rhs_.WithVar(image[rhs_.var]));
+    case AtomKind::kInequality:
+      return Inequality(lhs_.WithVar(image[lhs_.var]),
+                        rhs_.WithVar(image[rhs_.var]));
+    case AtomKind::kMembership:
+      return Membership(image[lhs_.var], image[rhs_.var], rhs_.attr);
+    case AtomKind::kNonMembership:
+      return NonMembership(image[lhs_.var], image[rhs_.var], rhs_.attr);
+    case AtomKind::kConstant:
+      return Constant(image[lhs_.var], constant_);
+  }
+  return *this;
+}
+
+ClassId ConstantClassOf(const ConstantValue& value) {
+  if (std::holds_alternative<int64_t>(value)) return kIntClassId;
+  if (std::holds_alternative<double>(value)) return kRealClassId;
+  return kStringClassId;
+}
+
+std::string ConstantToString(const ConstantValue& value) {
+  if (const int64_t* i = std::get_if<int64_t>(&value)) {
+    return std::to_string(*i);
+  }
+  if (const double* d = std::get_if<double>(&value)) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", *d);
+    std::string text = buffer;
+    if (text.find('.') == std::string::npos) text += ".0";
+    return text;
+  }
+  std::string out = "\"";
+  for (char c : std::get<std::string>(value)) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+const char* AtomKindOperator(AtomKind kind) {
+  switch (kind) {
+    case AtomKind::kRange:
+    case AtomKind::kMembership:
+      return "in";
+    case AtomKind::kNonRange:
+    case AtomKind::kNonMembership:
+      return "notin";
+    case AtomKind::kEquality:
+    case AtomKind::kConstant:
+      return "=";
+    case AtomKind::kInequality:
+      return "!=";
+  }
+  return "?";
+}
+
+}  // namespace oocq

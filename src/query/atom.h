@@ -1,0 +1,111 @@
+#ifndef OOCQ_QUERY_ATOM_H_
+#define OOCQ_QUERY_ATOM_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "query/term.h"
+#include "schema/type.h"
+
+namespace oocq {
+
+/// A primitive literal bound to a variable by a kConstant atom.
+using ConstantValue = std::variant<int64_t, double, std::string>;
+
+/// The ConstantValue's built-in class (kIntClassId/kRealClassId/
+/// kStringClassId).
+ClassId ConstantClassOf(const ConstantValue& value);
+
+/// Human-readable literal ("42", "2.5", "\"hi\"") that reparses.
+std::string ConstantToString(const ConstantValue& value);
+
+/// The six atomic formula kinds of the paper's query language (§2.2),
+/// plus the constant-binding extension.
+enum class AtomKind {
+  /// x ∈ C1 ∨ ... ∨ Cn — x is an object of some Ci.
+  kRange,
+  /// x ∉ C1 ∨ ... ∨ Cn — x is a member of no Ci.
+  kNonRange,
+  /// f(x) = g(y) — the operands denote the identical object.
+  kEquality,
+  /// f(x) ≠ g(y) — the operands denote different objects.
+  kInequality,
+  /// x ∈ y.A — x is a member of the set object y.A.
+  kMembership,
+  /// x ∉ y.A — x is not a member of y.A.
+  kNonMembership,
+  /// x = <literal> — extension: x denotes the primitive object with this
+  /// value. Treated as a positive atom; two distinct constants on one
+  /// equivalence class are unsatisfiable, and normalization merges
+  /// equivalence classes bound to the same constant so derivability sees
+  /// the forced equalities.
+  kConstant,
+};
+
+/// One atomic formula. Immutable; construct through the factory functions.
+/// Equality and inequality atoms are stored with their operands in sorted
+/// order so that syntactically symmetric atoms compare equal.
+class Atom {
+ public:
+  static Atom Range(VarId var, std::vector<ClassId> classes);
+  static Atom NonRange(VarId var, std::vector<ClassId> classes);
+  static Atom Equality(Term lhs, Term rhs);
+  static Atom Inequality(Term lhs, Term rhs);
+  static Atom Membership(VarId element, VarId set_var, std::string attr);
+  static Atom NonMembership(VarId element, VarId set_var, std::string attr);
+  static Atom Constant(VarId var, ConstantValue value);
+
+  AtomKind kind() const { return kind_; }
+
+  /// True for range, equality, membership and constant atoms.
+  bool is_positive() const {
+    return kind_ == AtomKind::kRange || kind_ == AtomKind::kEquality ||
+           kind_ == AtomKind::kMembership || kind_ == AtomKind::kConstant;
+  }
+
+  /// The constrained variable of a range/non-range atom, or the element
+  /// variable of a (non-)membership atom.
+  VarId var() const { return lhs_.var; }
+  /// The class disjunction of a range/non-range atom (sorted, deduped).
+  const std::vector<ClassId>& classes() const { return classes_; }
+
+  /// Operands of an equality/inequality atom; for (non-)membership atoms
+  /// lhs() is the element variable term and rhs() the set term y.A.
+  const Term& lhs() const { return lhs_; }
+  const Term& rhs() const { return rhs_; }
+
+  /// The set term y.A of a (non-)membership atom.
+  const Term& set_term() const { return rhs_; }
+
+  /// The literal of a kConstant atom.
+  const ConstantValue& constant() const { return constant_; }
+
+  /// The atom with every variable v replaced by image[v].
+  Atom MapVariables(const std::vector<VarId>& image) const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.kind_ == b.kind_ && a.lhs_ == b.lhs_ && a.rhs_ == b.rhs_ &&
+           a.classes_ == b.classes_ && a.constant_ == b.constant_;
+  }
+
+ private:
+  Atom(AtomKind kind, Term lhs, Term rhs, std::vector<ClassId> classes)
+      : kind_(kind),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)),
+        classes_(std::move(classes)) {}
+
+  AtomKind kind_;
+  Term lhs_;
+  Term rhs_;
+  std::vector<ClassId> classes_;
+  ConstantValue constant_ = int64_t{0};
+};
+
+/// Human-readable operator for the atom kind ("in", "notin", "=", "!=").
+const char* AtomKindOperator(AtomKind kind);
+
+}  // namespace oocq
+
+#endif  // OOCQ_QUERY_ATOM_H_

@@ -1,0 +1,162 @@
+#include "query/equality_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace oocq {
+
+namespace {
+
+/// Plain union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  TermId Find(TermId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the two sets were distinct.
+  bool Union(TermId a, TermId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    // Keep the smaller id as representative for determinism.
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+    return true;
+  }
+
+ private:
+  std::vector<TermId> parent_;
+};
+
+}  // namespace
+
+TermId EqualityGraph::FindTermId(const Term& term) const {
+  auto it = term_ids_.find(term);
+  return it == term_ids_.end() ? kInvalidTermId : it->second;
+}
+
+bool EqualityGraph::Equivalent(const Term& a, const Term& b) const {
+  TermId ta = FindTermId(a);
+  TermId tb = FindTermId(b);
+  if (ta == kInvalidTermId || tb == kInvalidTermId) return false;
+  return Equivalent(ta, tb);
+}
+
+EqualityGraph EqualityGraph::Build(const ConjunctiveQuery& query) {
+  EqualityGraph graph;
+
+  auto intern = [&graph](const Term& term) -> TermId {
+    auto [it, inserted] =
+        graph.term_ids_.emplace(term, static_cast<TermId>(graph.terms_.size()));
+    if (inserted) graph.terms_.push_back(term);
+    return it->second;
+  };
+
+  // Step 1(i), node collection: every term occurring in Q is a node. Every
+  // variable occurs in some atom of a well-formed query (its range atom);
+  // we intern all declared variables so the graph is total on variables.
+  graph.var_nodes_.resize(query.num_vars());
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    graph.var_nodes_[v] = intern(Term::Var(v));
+  }
+  for (const Atom& atom : query.atoms()) {
+    switch (atom.kind()) {
+      case AtomKind::kRange:
+      case AtomKind::kNonRange:
+      case AtomKind::kConstant:
+        break;  // The variable term is already interned.
+      case AtomKind::kEquality:
+      case AtomKind::kInequality:
+      case AtomKind::kMembership:
+      case AtomKind::kNonMembership:
+        intern(atom.lhs());
+        intern(atom.rhs());
+        break;
+    }
+  }
+
+  UnionFind uf(graph.terms_.size());
+
+  // Step 1(i)-(ii): equality atoms, with reflexivity/transitivity from the
+  // union-find structure.
+  for (const Atom& atom : query.atoms()) {
+    if (atom.kind() == AtomKind::kEquality) {
+      uf.Union(graph.term_ids_.at(atom.lhs()), graph.term_ids_.at(atom.rhs()));
+    }
+  }
+
+  // Step 1(iii), congruence: x ≈ y ⇒ x.A ≈ y.A when both are nodes. Repeat
+  // until fixpoint; each round groups attribute nodes by (rep(var), attr).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::pair<TermId, std::string>, TermId> groups;
+    for (TermId t = 0; t < graph.terms_.size(); ++t) {
+      const Term& term = graph.terms_[t];
+      if (!term.is_attribute()) continue;
+      TermId var_rep = uf.Find(graph.var_nodes_[term.var]);
+      auto key = std::make_pair(var_rep, term.attr);
+      auto [it, inserted] = groups.emplace(key, t);
+      if (!inserted) changed |= uf.Union(it->second, t);
+    }
+  }
+
+  // Materialize representatives and class member lists.
+  graph.find_.resize(graph.terms_.size());
+  graph.class_members_.assign(graph.terms_.size(), {});
+  graph.class_variables_.assign(graph.terms_.size(), {});
+  graph.class_is_object_.assign(graph.terms_.size(), 0);
+  graph.class_is_set_.assign(graph.terms_.size(), 0);
+  for (TermId t = 0; t < graph.terms_.size(); ++t) {
+    TermId rep = uf.Find(t);
+    graph.find_[t] = rep;
+    graph.class_members_[rep].push_back(t);
+    if (!graph.terms_[t].is_attribute()) {
+      graph.class_variables_[rep].push_back(graph.terms_[t].var);
+    }
+    if (rep == t) graph.representatives_.push_back(rep);
+  }
+
+  // Object/set occurrence classification (paper §2.3): a set occurrence is
+  // an appearance on the right-hand side of a (non-)membership atom; all
+  // other occurrences are object occurrences. Range and non-range atoms
+  // give their variable an object occurrence.
+  auto mark_object = [&graph](const Term& term) {
+    graph.class_is_object_[graph.find_[graph.term_ids_.at(term)]] = 1;
+  };
+  auto mark_set = [&graph](const Term& term) {
+    graph.class_is_set_[graph.find_[graph.term_ids_.at(term)]] = 1;
+  };
+  for (const Atom& atom : query.atoms()) {
+    switch (atom.kind()) {
+      case AtomKind::kRange:
+      case AtomKind::kNonRange:
+      case AtomKind::kConstant:
+        mark_object(Term::Var(atom.var()));
+        break;
+      case AtomKind::kEquality:
+      case AtomKind::kInequality:
+        mark_object(atom.lhs());
+        mark_object(atom.rhs());
+        break;
+      case AtomKind::kMembership:
+      case AtomKind::kNonMembership:
+        mark_object(atom.lhs());
+        mark_set(atom.rhs());
+        break;
+    }
+  }
+
+  return graph;
+}
+
+}  // namespace oocq

@@ -1,0 +1,84 @@
+#ifndef OOCQ_QUERY_EQUALITY_GRAPH_H_
+#define OOCQ_QUERY_EQUALITY_GRAPH_H_
+
+#include <map>
+#include <vector>
+
+#include "query/query.h"
+#include "query/term.h"
+
+namespace oocq {
+
+/// Index of a term node within an EqualityGraph.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+/// The complete equality relationship graph E(Q) of Algorithm
+/// EqualityGraph (paper §2.3): nodes are the terms occurring in Q, edges
+/// the equalities closed under reflexivity, transitivity and the
+/// congruence rule (x ≈ y and x.A, y.A both nodes ⇒ x.A ≈ y.A).
+///
+/// The graph also classifies each equivalence class as holding object
+/// terms (some member has an object occurrence) and/or set terms (some
+/// member has a set occurrence, i.e. appears on the right-hand side of a
+/// (non-)membership atom).
+class EqualityGraph {
+ public:
+  /// Runs Algorithm EqualityGraph on `query`.
+  static EqualityGraph Build(const ConjunctiveQuery& query);
+
+  size_t num_terms() const { return terms_.size(); }
+  const Term& term(TermId t) const { return terms_[t]; }
+
+  /// The node id of `term`, or kInvalidTermId if the term does not occur.
+  TermId FindTermId(const Term& term) const;
+
+  /// The node of the plain variable term `v` (always present).
+  TermId VarNode(VarId v) const { return var_nodes_[v]; }
+
+  /// The representative of `t`'s equivalence class.
+  TermId Find(TermId t) const { return find_[t]; }
+
+  bool Equivalent(TermId a, TermId b) const { return find_[a] == find_[b]; }
+  /// Whether two terms are in one equivalence class; false if either term
+  /// is not a node of the graph.
+  bool Equivalent(const Term& a, const Term& b) const;
+
+  /// All members of the equivalence class represented by Find(t).
+  const std::vector<TermId>& ClassMembers(TermId t) const {
+    return class_members_[find_[t]];
+  }
+
+  /// The variables in t's equivalence class ([t] ∩ Vars).
+  const std::vector<VarId>& ClassVariables(TermId t) const {
+    return class_variables_[find_[t]];
+  }
+
+  /// Whether t's equivalence class contains a term with an object (resp.
+  /// set) occurrence. A well-formed query never has both (paper §2.3).
+  bool IsObjectTerm(TermId t) const { return class_is_object_[find_[t]]; }
+  bool IsSetTerm(TermId t) const { return class_is_set_[find_[t]]; }
+
+  /// The representatives of all equivalence classes.
+  const std::vector<TermId>& ClassRepresentatives() const {
+    return representatives_;
+  }
+
+ private:
+  EqualityGraph() = default;
+
+  std::vector<Term> terms_;
+  std::map<Term, TermId> term_ids_;
+  std::vector<TermId> var_nodes_;
+  std::vector<TermId> find_;  // node -> representative (path-compressed)
+  std::vector<std::vector<TermId>> class_members_;    // indexed by rep
+  std::vector<std::vector<VarId>> class_variables_;   // indexed by rep
+  std::vector<char> class_is_object_;                 // indexed by rep
+  std::vector<char> class_is_set_;                    // indexed by rep
+  std::vector<TermId> representatives_;
+};
+
+}  // namespace oocq
+
+#endif  // OOCQ_QUERY_EQUALITY_GRAPH_H_

@@ -1,0 +1,73 @@
+#include "query/printer.h"
+
+namespace oocq {
+
+std::string TermToString(const ConjunctiveQuery& query, const Term& term) {
+  std::string result = query.var_name(term.var);
+  if (term.is_attribute()) {
+    result += '.';
+    result += term.attr;
+  }
+  return result;
+}
+
+std::string AtomToString(const Schema& schema, const ConjunctiveQuery& query,
+                         const Atom& atom) {
+  switch (atom.kind()) {
+    case AtomKind::kRange:
+    case AtomKind::kNonRange: {
+      std::string result = query.var_name(atom.var());
+      result += atom.kind() == AtomKind::kRange ? " in " : " notin ";
+      for (size_t i = 0; i < atom.classes().size(); ++i) {
+        if (i > 0) result += '|';
+        result += schema.class_name(atom.classes()[i]);
+      }
+      return result;
+    }
+    case AtomKind::kEquality:
+    case AtomKind::kInequality:
+      return TermToString(query, atom.lhs()) +
+             (atom.kind() == AtomKind::kEquality ? " = " : " != ") +
+             TermToString(query, atom.rhs());
+    case AtomKind::kMembership:
+    case AtomKind::kNonMembership:
+      return TermToString(query, atom.lhs()) +
+             (atom.kind() == AtomKind::kMembership ? " in " : " notin ") +
+             TermToString(query, atom.rhs());
+    case AtomKind::kConstant:
+      return query.var_name(atom.var()) + " = " +
+             ConstantToString(atom.constant());
+  }
+  return "?";
+}
+
+std::string QueryToString(const Schema& schema, const ConjunctiveQuery& query) {
+  std::string result = "{ ";
+  result += query.var_name(query.free_var());
+  result += " | ";
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    if (v == query.free_var()) continue;
+    result += "exists ";
+    result += query.var_name(v);
+    result += ' ';
+  }
+  result += '(';
+  for (size_t i = 0; i < query.atoms().size(); ++i) {
+    if (i > 0) result += " & ";
+    result += AtomToString(schema, query, query.atoms()[i]);
+  }
+  result += ") }";
+  return result;
+}
+
+std::string UnionQueryToString(const Schema& schema, const UnionQuery& query) {
+  if (query.disjuncts.empty()) return "{}";
+  std::string result;
+  for (size_t i = 0; i < query.disjuncts.size(); ++i) {
+    if (i > 0) result += " union ";
+    result += QueryToString(schema, query.disjuncts[i]);
+  }
+  return result;
+}
+
+}  // namespace oocq

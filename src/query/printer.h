@@ -1,0 +1,27 @@
+#ifndef OOCQ_QUERY_PRINTER_H_
+#define OOCQ_QUERY_PRINTER_H_
+
+#include <string>
+
+#include "query/query.h"
+#include "schema/schema.h"
+
+namespace oocq {
+
+/// "x" or "x.A" using the query's variable names.
+std::string TermToString(const ConjunctiveQuery& query, const Term& term);
+
+/// "x in C1|C2", "y = x.B", "s notin x.A", ...
+std::string AtomToString(const Schema& schema, const ConjunctiveQuery& query,
+                         const Atom& atom);
+
+/// "{ x | exists y (x in T2 & y in H & y = x.B) }". The output parses back
+/// with Parser::ParseQuery.
+std::string QueryToString(const Schema& schema, const ConjunctiveQuery& query);
+
+/// Disjuncts joined with " union ".
+std::string UnionQueryToString(const Schema& schema, const UnionQuery& query);
+
+}  // namespace oocq
+
+#endif  // OOCQ_QUERY_PRINTER_H_

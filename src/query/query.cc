@@ -1,0 +1,91 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+namespace oocq {
+
+VarId ConjunctiveQuery::AddVariable(std::string name) {
+  VarId id = static_cast<VarId>(var_names_.size());
+  var_names_.push_back(std::move(name));
+  if (free_var_ == kInvalidVarId) free_var_ = id;
+  return id;
+}
+
+VarId ConjunctiveQuery::FindVariable(std::string_view name) const {
+  for (VarId v = 0; v < var_names_.size(); ++v) {
+    if (var_names_[v] == name) return v;
+  }
+  return kInvalidVarId;
+}
+
+const Atom* ConjunctiveQuery::RangeAtomOf(VarId v) const {
+  for (const Atom& atom : atoms_) {
+    if (atom.kind() == AtomKind::kRange && atom.var() == v) return &atom;
+  }
+  return nullptr;
+}
+
+int ConjunctiveQuery::CountRangeAtomsOf(VarId v) const {
+  int count = 0;
+  for (const Atom& atom : atoms_) {
+    if (atom.kind() == AtomKind::kRange && atom.var() == v) ++count;
+  }
+  return count;
+}
+
+bool ConjunctiveQuery::IsPositive() const {
+  return std::all_of(atoms_.begin(), atoms_.end(),
+                     [](const Atom& a) { return a.is_positive(); });
+}
+
+bool ConjunctiveQuery::IsTerminal(const Schema& schema) const {
+  for (const Atom& atom : atoms_) {
+    if (atom.kind() != AtomKind::kRange) continue;
+    if (atom.classes().size() != 1 || !schema.is_terminal(atom.classes()[0])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ClassId ConjunctiveQuery::RangeClassOf(VarId v) const {
+  const Atom* range = RangeAtomOf(v);
+  if (range == nullptr || range->classes().size() != 1) return kInvalidClassId;
+  return range->classes()[0];
+}
+
+void ConjunctiveQuery::DeduplicateAtoms() {
+  std::vector<Atom> unique_atoms;
+  for (const Atom& atom : atoms_) {
+    if (std::find(unique_atoms.begin(), unique_atoms.end(), atom) ==
+        unique_atoms.end()) {
+      unique_atoms.push_back(atom);
+    }
+  }
+  atoms_ = std::move(unique_atoms);
+}
+
+ConjunctiveQuery ApplyVariableMapping(const ConjunctiveQuery& query,
+                                      const std::vector<VarId>& image) {
+  // Renumber the image variables compactly, preserving relative order.
+  std::vector<VarId> new_id(query.num_vars(), kInvalidVarId);
+  ConjunctiveQuery result;
+  for (VarId v = 0; v < query.num_vars(); ++v) {
+    VarId target = image[v];
+    if (new_id[target] == kInvalidVarId) {
+      new_id[target] = result.AddVariable(query.var_name(target));
+    }
+  }
+  // Composite map old-var -> new compact id of its image.
+  std::vector<VarId> composite(query.num_vars());
+  for (VarId v = 0; v < query.num_vars(); ++v) composite[v] = new_id[image[v]];
+
+  result.set_free_var(composite[query.free_var()]);
+  for (const Atom& atom : query.atoms()) {
+    result.AddAtom(atom.MapVariables(composite));
+  }
+  result.DeduplicateAtoms();
+  return result;
+}
+
+}  // namespace oocq

@@ -1,0 +1,92 @@
+#ifndef OOCQ_QUERY_QUERY_H_
+#define OOCQ_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "query/atom.h"
+#include "query/term.h"
+#include "schema/schema.h"
+
+namespace oocq {
+
+/// A conjunctive query { s0 | ∃s1 ... ∃sm (A1 & ... & Ak) } (paper §2.2):
+/// a single free variable, existentially quantified bound variables, and a
+/// matrix that is a conjunction of atoms.
+///
+/// The class is a mutable builder-style container; algorithm entry points
+/// state their preconditions (well-formed, terminal, satisfiable) and
+/// check them through the functions in query/well_formed.h and
+/// core/satisfiability.h.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+
+  /// Adds a variable and returns its id. The first variable added is the
+  /// free variable by default.
+  VarId AddVariable(std::string name);
+
+  /// Marks `v` as the query's free (answer) variable.
+  void set_free_var(VarId v) { free_var_ = v; }
+  VarId free_var() const { return free_var_; }
+
+  void AddAtom(Atom atom) { atoms_.push_back(std::move(atom)); }
+
+  size_t num_vars() const { return var_names_.size(); }
+  const std::string& var_name(VarId v) const { return var_names_[v]; }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+  /// The id of the variable named `name`, or kInvalidVarId.
+  VarId FindVariable(std::string_view name) const;
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  std::vector<Atom>& mutable_atoms() { return atoms_; }
+
+  /// The first range atom constraining `v`, or nullptr. Well-formed
+  /// queries have exactly one per variable.
+  const Atom* RangeAtomOf(VarId v) const;
+
+  /// Number of range atoms constraining `v`.
+  int CountRangeAtomsOf(VarId v) const;
+
+  /// True iff every atom is positive (range/equality/membership).
+  bool IsPositive() const;
+
+  /// True iff every range atom names a single terminal class (§2.4).
+  bool IsTerminal(const Schema& schema) const;
+
+  /// For terminal queries: the unique terminal class `v` ranges over;
+  /// kInvalidClassId if `v` has no single-class range atom.
+  ClassId RangeClassOf(VarId v) const;
+
+  /// Removes duplicate atoms (used after variable mappings).
+  void DeduplicateAtoms();
+
+  friend bool operator==(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+    return a.free_var_ == b.free_var_ && a.var_names_ == b.var_names_ &&
+           a.atoms_ == b.atoms_;
+  }
+
+ private:
+  VarId free_var_ = kInvalidVarId;
+  std::vector<std::string> var_names_;
+  std::vector<Atom> atoms_;
+};
+
+/// A union Q1 ∪ ... ∪ Qn of conjunctive queries. The answer on a state is
+/// the union of the disjuncts' answers. An empty union is the empty query.
+struct UnionQuery {
+  std::vector<ConjunctiveQuery> disjuncts;
+};
+
+/// μ(Q): the query obtained by replacing every variable v with image[v]
+/// (an endomorphism on Q's variables, Thm 4.3). Variables outside the
+/// image are dropped and the remaining ones renumbered compactly;
+/// duplicate atoms are removed. The free variable must be preserved up to
+/// the mapping (the caller guarantees image[free] is the new free
+/// variable's preimage representative).
+ConjunctiveQuery ApplyVariableMapping(const ConjunctiveQuery& query,
+                                      const std::vector<VarId>& image);
+
+}  // namespace oocq
+
+#endif  // OOCQ_QUERY_QUERY_H_

@@ -1,0 +1,44 @@
+#ifndef OOCQ_QUERY_TERM_H_
+#define OOCQ_QUERY_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+namespace oocq {
+
+/// Index of a variable within its ConjunctiveQuery.
+using VarId = uint32_t;
+
+inline constexpr VarId kInvalidVarId = static_cast<VarId>(-1);
+
+/// A term f(x) in the paper's sense: either a variable `x` or an attribute
+/// selection `x.A` (attr empty means the plain variable). Terms let a query
+/// refer to a component of an object.
+struct Term {
+  /// The plain variable term `v`.
+  static Term Var(VarId v) { return Term{v, ""}; }
+  /// The attribute term `v.attr`.
+  static Term Attr(VarId v, std::string attr) {
+    return Term{v, std::move(attr)};
+  }
+
+  bool is_attribute() const { return !attr.empty(); }
+
+  /// The term with the variable substituted (f(x) -> f(mu(x))).
+  Term WithVar(VarId v) const { return Term{v, attr}; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.var == b.var && a.attr == b.attr;
+  }
+  friend bool operator<(const Term& a, const Term& b) {
+    return std::tie(a.var, a.attr) < std::tie(b.var, b.attr);
+  }
+
+  VarId var = kInvalidVarId;
+  std::string attr;
+};
+
+}  // namespace oocq
+
+#endif  // OOCQ_QUERY_TERM_H_

@@ -1,0 +1,42 @@
+#include "schema/schema.h"
+
+namespace oocq {
+
+StatusOr<ClassId> Schema::FindClass(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no class named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+ClassId Schema::FindClassOrInvalid(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidClassId : it->second;
+}
+
+const TypeExpr* Schema::FindAttribute(ClassId c, std::string_view attr) const {
+  for (const AttributeDef& def : classes_[c].all_attributes) {
+    if (def.name == attr) return &def.type;
+  }
+  return nullptr;
+}
+
+std::vector<ClassId> Schema::TerminalClasses(bool include_builtins) const {
+  std::vector<ClassId> result;
+  for (ClassId c = 0; c < classes_.size(); ++c) {
+    if (!include_builtins && classes_[c].is_builtin) continue;
+    if (classes_[c].is_terminal) result.push_back(c);
+  }
+  return result;
+}
+
+std::vector<ClassId> Schema::UserClasses() const {
+  std::vector<ClassId> result;
+  for (ClassId c = kNumBuiltinClasses; c < classes_.size(); ++c) {
+    result.push_back(c);
+  }
+  return result;
+}
+
+}  // namespace oocq

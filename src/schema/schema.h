@@ -1,0 +1,101 @@
+#ifndef OOCQ_SCHEMA_SCHEMA_H_
+#define OOCQ_SCHEMA_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/type.h"
+#include "support/status.h"
+
+namespace oocq {
+
+/// An attribute-type pair, the paper's notion of a property.
+struct AttributeDef {
+  std::string name;
+  TypeExpr type;
+};
+
+/// Fully-resolved per-class information. Produced by SchemaBuilder; users
+/// read it through Schema accessors.
+struct ClassInfo {
+  std::string name;
+  /// True for the built-in primitive classes Int, Real, String.
+  bool is_builtin = false;
+  /// Direct superclasses (the user-declared edges of the `<` hierarchy).
+  std::vector<ClassId> parents;
+  /// Attributes declared (or refined) directly on this class.
+  std::vector<AttributeDef> own_attributes;
+
+  // --- Resolved by SchemaBuilder::Build ---
+  /// True iff no other class is a descendant of this one.
+  bool is_terminal = true;
+  /// All terminal descendants, sorted ascending. For a terminal class this
+  /// is the singleton {self}. Under the Terminal Class Partitioning
+  /// Assumption the extent of this class is the disjoint union of the
+  /// extents of exactly these classes.
+  std::vector<ClassId> terminal_descendants;
+  /// The full attribute set: inherited attributes merged with own ones,
+  /// keeping the most specific (subtype-least) type for each name.
+  std::vector<AttributeDef> all_attributes;
+};
+
+/// A schema S = (C, sigma, <): class names, their tuple-type structure and
+/// the inheritance hierarchy (paper §2.1). Immutable once built; create
+/// one with SchemaBuilder. Copyable.
+class Schema {
+ public:
+  size_t num_classes() const { return classes_.size(); }
+  const ClassInfo& class_info(ClassId c) const { return classes_[c]; }
+  const std::string& class_name(ClassId c) const { return classes_[c].name; }
+
+  /// Looks up a class by name.
+  StatusOr<ClassId> FindClass(std::string_view name) const;
+  /// Like FindClass but returns kInvalidClassId instead of an error.
+  ClassId FindClassOrInvalid(std::string_view name) const;
+
+  /// True iff `a` is a descendant-or-self of `b` (the reflexive-transitive
+  /// closure of the declared hierarchy).
+  bool IsSubclassOf(ClassId a, ClassId b) const {
+    return subclass_matrix_[a * classes_.size() + b];
+  }
+
+  bool is_terminal(ClassId c) const { return classes_[c].is_terminal; }
+
+  /// The terminal descendants of `c` (sorted; {c} itself when terminal).
+  const std::vector<ClassId>& TerminalDescendants(ClassId c) const {
+    return classes_[c].terminal_descendants;
+  }
+
+  /// The resolved (most specific) type of attribute `attr` on class `c`,
+  /// or nullptr if `c` has no such attribute.
+  const TypeExpr* FindAttribute(ClassId c, std::string_view attr) const;
+
+  /// The derived subtyping relation on type expressions: T1 <= T2 iff both
+  /// are object types with subclass classes, or both set types with
+  /// subclass element classes.
+  bool IsSubtype(const TypeExpr& a, const TypeExpr& b) const {
+    return a.is_set() == b.is_set() && IsSubclassOf(a.cls(), b.cls());
+  }
+
+  /// All terminal classes in the schema, optionally including the built-in
+  /// primitive classes.
+  std::vector<ClassId> TerminalClasses(bool include_builtins) const;
+
+  /// All user-declared (non-builtin) classes.
+  std::vector<ClassId> UserClasses() const;
+
+ private:
+  friend class SchemaBuilder;
+  Schema() = default;
+
+  std::vector<ClassInfo> classes_;
+  std::unordered_map<std::string, ClassId> by_name_;
+  /// Row-major |C| x |C| reachability matrix: [a][b] == a is-subclass-of b.
+  std::vector<char> subclass_matrix_;
+};
+
+}  // namespace oocq
+
+#endif  // OOCQ_SCHEMA_SCHEMA_H_

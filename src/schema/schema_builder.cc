@@ -1,0 +1,240 @@
+#include "schema/schema_builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace oocq {
+
+namespace {
+
+const char* const kBuiltinNames[kNumBuiltinClasses] = {"Int", "Real",
+                                                       "String"};
+
+}  // namespace
+
+SchemaBuilder& SchemaBuilder::AddClass(std::string name,
+                                       std::vector<std::string> parents) {
+  decls_.push_back(ClassDecl{std::move(name), std::move(parents), {}});
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::AddAttribute(std::string_view class_name,
+                                           std::string attr_name,
+                                           TypeName type) {
+  for (ClassDecl& decl : decls_) {
+    if (decl.name == class_name) {
+      decl.attributes.push_back(AttrDecl{std::move(attr_name), std::move(type)});
+      return *this;
+    }
+  }
+  declaration_errors_.push_back("AddAttribute('" + std::string(class_name) +
+                                "', '" + attr_name +
+                                "'): class not declared");
+  return *this;
+}
+
+StatusOr<Schema> SchemaBuilder::Build() const {
+  if (!declaration_errors_.empty()) {
+    return Status::NotFound(declaration_errors_.front());
+  }
+
+  Schema schema;
+
+  // Register built-in primitive classes.
+  for (uint32_t i = 0; i < kNumBuiltinClasses; ++i) {
+    ClassInfo info;
+    info.name = kBuiltinNames[i];
+    info.is_builtin = true;
+    schema.classes_.push_back(std::move(info));
+    schema.by_name_[kBuiltinNames[i]] = i;
+  }
+
+  // Register user classes, checking name uniqueness.
+  for (const ClassDecl& decl : decls_) {
+    if (schema.by_name_.count(decl.name) > 0) {
+      return Status::InvalidArgument("duplicate class name '" + decl.name +
+                                     "'");
+    }
+    ClassId id = static_cast<ClassId>(schema.classes_.size());
+    ClassInfo info;
+    info.name = decl.name;
+    schema.classes_.push_back(std::move(info));
+    schema.by_name_[decl.name] = id;
+  }
+
+  const size_t n = schema.classes_.size();
+
+  // Resolve parent edges.
+  for (const ClassDecl& decl : decls_) {
+    ClassId id = schema.by_name_.at(decl.name);
+    for (const std::string& parent : decl.parents) {
+      auto it = schema.by_name_.find(parent);
+      if (it == schema.by_name_.end()) {
+        return Status::NotFound("class '" + decl.name +
+                                "': unknown superclass '" + parent + "'");
+      }
+      ClassId pid = it->second;
+      if (pid == id) {
+        return Status::InvalidArgument("class '" + decl.name +
+                                       "' declared as its own superclass");
+      }
+      if (schema.classes_[pid].is_builtin) {
+        return Status::InvalidArgument(
+            "class '" + decl.name + "': built-in class '" + parent +
+            "' cannot have subclasses");
+      }
+      std::vector<ClassId>& parents = schema.classes_[id].parents;
+      if (std::find(parents.begin(), parents.end(), pid) == parents.end()) {
+        parents.push_back(pid);
+      }
+    }
+  }
+
+  // Cycle detection (the paper requires no cycle of length > 1; we reject
+  // all cycles) and topological order, parents before children.
+  std::vector<int> state(n, 0);  // 0 = unvisited, 1 = in stack, 2 = done.
+  std::vector<ClassId> topo;
+  topo.reserve(n);
+  // Iterative DFS along parent edges; post-order emits ancestors first.
+  for (ClassId root = 0; root < n; ++root) {
+    if (state[root] != 0) continue;
+    std::vector<std::pair<ClassId, size_t>> stack = {{root, 0}};
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [c, next] = stack.back();
+      const std::vector<ClassId>& parents = schema.classes_[c].parents;
+      if (next < parents.size()) {
+        ClassId p = parents[next++];
+        if (state[p] == 1) {
+          return Status::InvalidArgument(
+              "inheritance cycle involving class '" + schema.classes_[p].name +
+              "'");
+        }
+        if (state[p] == 0) {
+          state[p] = 1;
+          stack.push_back({p, 0});
+        }
+      } else {
+        state[c] = 2;
+        topo.push_back(c);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Reflexive-transitive subclass matrix, filled in topological order so a
+  // class's row can be OR-ed from its parents' completed rows.
+  schema.subclass_matrix_.assign(n * n, 0);
+  for (ClassId c : topo) {
+    char* row = &schema.subclass_matrix_[c * n];
+    row[c] = 1;
+    for (ClassId p : schema.classes_[c].parents) {
+      const char* prow = &schema.subclass_matrix_[p * n];
+      for (size_t b = 0; b < n; ++b) row[b] |= prow[b];
+    }
+  }
+
+  // Terminal flags and terminal descendants.
+  for (ClassId c = 0; c < n; ++c) {
+    schema.classes_[c].is_terminal = true;
+    for (ClassId d = 0; d < n; ++d) {
+      if (d != c && schema.subclass_matrix_[d * n + c]) {
+        schema.classes_[c].is_terminal = false;
+        break;
+      }
+    }
+  }
+  for (ClassId c = 0; c < n; ++c) {
+    std::vector<ClassId>& terms = schema.classes_[c].terminal_descendants;
+    for (ClassId d = 0; d < n; ++d) {
+      if (schema.classes_[d].is_terminal && schema.subclass_matrix_[d * n + c]) {
+        terms.push_back(d);
+      }
+    }
+  }
+
+  // Resolve attribute types and check refinement consistency, in
+  // topological order so parents' all_attributes are complete first.
+  for (const ClassDecl& decl : decls_) {
+    ClassId id = schema.by_name_.at(decl.name);
+    std::unordered_set<std::string> seen;
+    for (const AttrDecl& attr : decl.attributes) {
+      if (!seen.insert(attr.name).second) {
+        return Status::InvalidArgument("class '" + decl.name +
+                                       "': duplicate attribute '" + attr.name +
+                                       "'");
+      }
+      auto it = schema.by_name_.find(attr.type.cls);
+      if (it == schema.by_name_.end()) {
+        return Status::NotFound("class '" + decl.name + "', attribute '" +
+                                attr.name + "': unknown type class '" +
+                                attr.type.cls + "'");
+      }
+      TypeExpr type = attr.type.is_set ? TypeExpr::SetOf(it->second)
+                                       : TypeExpr::Class(it->second);
+      schema.classes_[id].own_attributes.push_back(
+          AttributeDef{attr.name, type});
+    }
+  }
+
+  for (ClassId c : topo) {
+    ClassInfo& info = schema.classes_[c];
+    // name -> most specific type among inherited candidates.
+    std::vector<AttributeDef> merged;
+    auto find_merged = [&merged](const std::string& name) -> AttributeDef* {
+      for (AttributeDef& def : merged) {
+        if (def.name == name) return &def;
+      }
+      return nullptr;
+    };
+    for (ClassId p : info.parents) {
+      for (const AttributeDef& inherited : schema.classes_[p].all_attributes) {
+        AttributeDef* existing = find_merged(inherited.name);
+        if (existing == nullptr) {
+          merged.push_back(inherited);
+        } else if (schema.IsSubtype(inherited.type, existing->type)) {
+          existing->type = inherited.type;  // Keep the more specific type.
+        } else if (!schema.IsSubtype(existing->type, inherited.type)) {
+          // Incomparable inherited types: only acceptable if the class
+          // itself redefines the attribute compatibly (checked below).
+          bool redefined = false;
+          for (const AttributeDef& own : info.own_attributes) {
+            if (own.name == inherited.name) redefined = true;
+          }
+          if (!redefined) {
+            return Status::InvalidArgument(
+                "class '" + info.name + "': attribute '" + inherited.name +
+                "' inherited with incomparable types from multiple "
+                "superclasses and not redefined");
+          }
+        }
+      }
+    }
+    for (const AttributeDef& own : info.own_attributes) {
+      AttributeDef* existing = find_merged(own.name);
+      if (existing == nullptr) {
+        merged.push_back(own);
+        continue;
+      }
+      // Refinement must be subtype-compatible with everything inherited.
+      for (ClassId p : info.parents) {
+        for (const AttributeDef& inherited :
+             schema.classes_[p].all_attributes) {
+          if (inherited.name == own.name &&
+              !schema.IsSubtype(own.type, inherited.type)) {
+            return Status::InvalidArgument(
+                "class '" + info.name + "': attribute '" + own.name +
+                "' refines an inherited attribute with a non-subtype");
+          }
+        }
+      }
+      existing->type = own.type;
+    }
+    info.all_attributes = std::move(merged);
+  }
+
+  return schema;
+}
+
+}  // namespace oocq

@@ -1,0 +1,79 @@
+#ifndef OOCQ_SCHEMA_SCHEMA_BUILDER_H_
+#define OOCQ_SCHEMA_SCHEMA_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/schema.h"
+#include "support/status.h"
+
+namespace oocq {
+
+/// An attribute type named by class name rather than ClassId, so schemas
+/// can be declared with forward references and resolved at Build() time.
+struct TypeName {
+  /// An object type "C".
+  static TypeName Class(std::string cls) {
+    return TypeName{std::move(cls), /*is_set=*/false};
+  }
+  /// A set type "{C}".
+  static TypeName SetOf(std::string cls) {
+    return TypeName{std::move(cls), /*is_set=*/true};
+  }
+
+  std::string cls;
+  bool is_set = false;
+};
+
+/// Incrementally declares a schema, then validates and resolves it. All
+/// names may forward-reference classes declared later. Build() enforces
+/// the paper's consistency requirements (§2.1, after [24]):
+///  - the hierarchy is acyclic (no cycle of length > 1);
+///  - built-in primitive classes have no subclasses and no attributes;
+///  - attribute refinement is subtype-compatible: if B is a subclass of A
+///    and both define attribute `a`, then type(B.a) <= type(A.a);
+///  - multiple inheritance conflicts (two ancestors defining `a` with
+///    subtype-incomparable types, unresolved by the class itself) are
+///    rejected.
+///
+/// Usage:
+///   SchemaBuilder b;
+///   b.AddClass("Vehicle").AddAttribute("Vehicle", "VehId",
+///                                      TypeName::Class("String"));
+///   b.AddClass("Auto", {"Vehicle"});
+///   OOCQ_ASSIGN_OR_RETURN(Schema schema, b.Build());
+class SchemaBuilder {
+ public:
+  SchemaBuilder() = default;
+
+  /// Declares a class with the given direct superclasses.
+  SchemaBuilder& AddClass(std::string name,
+                          std::vector<std::string> parents = {});
+
+  /// Declares (or refines) an attribute on a previously AddClass-ed class.
+  SchemaBuilder& AddAttribute(std::string_view class_name,
+                              std::string attr_name, TypeName type);
+
+  /// Validates and resolves the declarations into an immutable Schema.
+  StatusOr<Schema> Build() const;
+
+ private:
+  struct AttrDecl {
+    std::string name;
+    TypeName type;
+  };
+  struct ClassDecl {
+    std::string name;
+    std::vector<std::string> parents;
+    std::vector<AttrDecl> attributes;
+  };
+
+  std::vector<ClassDecl> decls_;
+  /// Usage errors detected while declaring (reported from Build()).
+  std::vector<std::string> declaration_errors_;
+};
+
+}  // namespace oocq
+
+#endif  // OOCQ_SCHEMA_SCHEMA_BUILDER_H_

@@ -1,0 +1,30 @@
+#include "schema/schema_printer.h"
+
+namespace oocq {
+
+std::string SchemaToString(const Schema& schema, const std::string& name) {
+  std::string out = "schema " + name + " {\n";
+  for (ClassId c = kNumBuiltinClasses; c < schema.num_classes(); ++c) {
+    const ClassInfo& info = schema.class_info(c);
+    out += "  class " + info.name;
+    for (size_t i = 0; i < info.parents.size(); ++i) {
+      out += i == 0 ? " under " : ", ";
+      out += schema.class_name(info.parents[i]);
+    }
+    out += " {";
+    for (const AttributeDef& attr : info.own_attributes) {
+      out += " " + attr.name + ": ";
+      if (attr.type.is_set()) {
+        out += "{" + schema.class_name(attr.type.cls()) + "}";
+      } else {
+        out += schema.class_name(attr.type.cls());
+      }
+      out += ";";
+    }
+    out += " }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace oocq

@@ -1,0 +1,19 @@
+#ifndef OOCQ_SCHEMA_SCHEMA_PRINTER_H_
+#define OOCQ_SCHEMA_SCHEMA_PRINTER_H_
+
+#include <string>
+
+#include "schema/schema.h"
+
+namespace oocq {
+
+/// Serializes a schema back into the schema DSL (built-in classes are
+/// implicit and omitted). Round-trips through ParseSchema: classes in
+/// declaration order, `under` clauses for direct superclasses, own
+/// attributes only (inherited ones are reconstructed by the builder).
+std::string SchemaToString(const Schema& schema,
+                           const std::string& name = "S");
+
+}  // namespace oocq
+
+#endif  // OOCQ_SCHEMA_SCHEMA_PRINTER_H_

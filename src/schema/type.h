@@ -1,0 +1,55 @@
+#ifndef OOCQ_SCHEMA_TYPE_H_
+#define OOCQ_SCHEMA_TYPE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace oocq {
+
+/// Index of a class within its Schema. The built-in primitive classes
+/// (Int, Real, String) occupy the first slots of every schema.
+using ClassId = uint32_t;
+
+inline constexpr ClassId kInvalidClassId = static_cast<ClassId>(-1);
+
+/// Built-in primitive classes. Following DESIGN.md §3(2) they are modeled
+/// as pairwise-unrelated terminal classes with unbounded extents; the
+/// paper's theory treats them exactly like user-defined terminal classes.
+inline constexpr ClassId kIntClassId = 0;
+inline constexpr ClassId kRealClassId = 1;
+inline constexpr ClassId kStringClassId = 2;
+inline constexpr uint32_t kNumBuiltinClasses = 3;
+
+/// A type expression over the classes of a schema (the paper's
+/// type-expr(C), restricted per §2.1: attribute types are either a class
+/// reference or a set of members of a class). Tuple types appear only as
+/// the structure sigma(c) of a class and are represented by the class's
+/// attribute list in ClassInfo, not by TypeExpr.
+class TypeExpr {
+ public:
+  /// An object type: members of class `c`.
+  static TypeExpr Class(ClassId c) { return TypeExpr(c, /*is_set=*/false); }
+  /// A set type: finite sets of members of class `element`.
+  static TypeExpr SetOf(ClassId element) {
+    return TypeExpr(element, /*is_set=*/true);
+  }
+
+  bool is_set() const { return is_set_; }
+  /// The referenced class: the object class for object types, the element
+  /// class for set types.
+  ClassId cls() const { return cls_; }
+
+  friend bool operator==(const TypeExpr& a, const TypeExpr& b) {
+    return a.cls_ == b.cls_ && a.is_set_ == b.is_set_;
+  }
+
+ private:
+  TypeExpr(ClassId cls, bool is_set) : cls_(cls), is_set_(is_set) {}
+
+  ClassId cls_;
+  bool is_set_;
+};
+
+}  // namespace oocq
+
+#endif  // OOCQ_SCHEMA_TYPE_H_

@@ -1,0 +1,51 @@
+#include "state/generator.h"
+
+#include <random>
+#include <vector>
+
+namespace oocq {
+
+State GenerateRandomState(const Schema& schema, const GeneratorParams& params) {
+  State state(&schema);
+  std::mt19937_64 rng(params.seed);
+
+  // Primitive pools so object attributes of primitive type have targets.
+  for (uint32_t i = 0; i < params.primitive_pool; ++i) {
+    state.InternInt(static_cast<int64_t>(i));
+    state.InternReal(i + 0.5);
+    state.InternString("str" + std::to_string(i));
+  }
+
+  // All objects first, so references may point anywhere.
+  std::vector<Oid> user_objects;
+  for (ClassId c : schema.TerminalClasses(/*include_builtins=*/false)) {
+    for (uint32_t i = 0; i < params.objects_per_class; ++i) {
+      StatusOr<Oid> oid = state.AddObject(c);
+      user_objects.push_back(*oid);
+    }
+  }
+
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (Oid oid : user_objects) {
+    ClassId cls = state.class_of(oid);
+    for (const AttributeDef& attr : schema.class_info(cls).all_attributes) {
+      if (unit(rng) < params.null_probability) continue;  // Stays Λ.
+      std::vector<Oid> pool = state.Extent(attr.type.cls());
+      if (pool.empty()) continue;
+      std::uniform_int_distribution<size_t> pick(0, pool.size() - 1);
+      if (attr.type.is_set()) {
+        std::uniform_int_distribution<uint32_t> size_dist(0,
+                                                          params.max_set_size);
+        uint32_t size = size_dist(rng);
+        std::vector<Oid> members;
+        for (uint32_t k = 0; k < size; ++k) members.push_back(pool[pick(rng)]);
+        state.SetAttribute(oid, attr.name, Value::Set(std::move(members)));
+      } else {
+        state.SetAttribute(oid, attr.name, Value::Ref(pool[pick(rng)]));
+      }
+    }
+  }
+  return state;
+}
+
+}  // namespace oocq

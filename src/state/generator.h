@@ -1,0 +1,33 @@
+#ifndef OOCQ_STATE_GENERATOR_H_
+#define OOCQ_STATE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "schema/schema.h"
+#include "state/state.h"
+
+namespace oocq {
+
+/// Knobs for the seeded random-state generator.
+struct GeneratorParams {
+  /// Objects created per user-declared terminal class.
+  uint32_t objects_per_class = 8;
+  /// Probability that an attribute slot stays Λ.
+  double null_probability = 0.15;
+  /// Set-valued slots get 0..max_set_size members.
+  uint32_t max_set_size = 4;
+  /// Distinct interned values per primitive class.
+  uint32_t primitive_pool = 12;
+  uint64_t seed = 42;
+};
+
+/// Generates a random *legal* state: `objects_per_class` objects in every
+/// user terminal class, attribute slots filled with type-correct
+/// references/sets drawn uniformly from the target class's extent (or Λ
+/// with `null_probability`). Deterministic in `seed`. Used by the
+/// property tests (E6) and the evaluation benches (E7).
+State GenerateRandomState(const Schema& schema, const GeneratorParams& params);
+
+}  // namespace oocq
+
+#endif  // OOCQ_STATE_GENERATOR_H_

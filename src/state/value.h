@@ -1,0 +1,64 @@
+#ifndef OOCQ_STATE_VALUE_H_
+#define OOCQ_STATE_VALUE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace oocq {
+
+/// Identity of an object within a State.
+using Oid = uint32_t;
+
+inline constexpr Oid kInvalidOid = static_cast<Oid>(-1);
+
+/// One attribute slot of an object: the null value Λ, a reference to an
+/// object, or a finite set of references (the three things the paper's
+/// model stores in a component).
+class Value {
+ public:
+  enum class Kind { kNull, kRef, kSet };
+
+  /// The unknown value Λ.
+  static Value Null() { return Value(Kind::kNull, kInvalidOid, {}); }
+  static Value Ref(Oid oid) { return Value(Kind::kRef, oid, {}); }
+  static Value Set(std::vector<Oid> members) {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    return Value(Kind::kSet, kInvalidOid, std::move(members));
+  }
+  /// Default: Λ.
+  Value() : Value(Kind::kNull, kInvalidOid, {}) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  Oid ref() const { return ref_; }
+  const std::vector<Oid>& set() const { return set_; }
+
+  bool Contains(Oid oid) const {
+    return kind_ == Kind::kSet &&
+           std::binary_search(set_.begin(), set_.end(), oid);
+  }
+
+  /// Adds a member to a set value (no-op on duplicates).
+  void Insert(Oid oid) {
+    auto it = std::lower_bound(set_.begin(), set_.end(), oid);
+    if (it == set_.end() || *it != oid) set_.insert(it, oid);
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.kind_ == b.kind_ && a.ref_ == b.ref_ && a.set_ == b.set_;
+  }
+
+ private:
+  Value(Kind kind, Oid ref, std::vector<Oid> set)
+      : kind_(kind), ref_(ref), set_(std::move(set)) {}
+
+  Kind kind_;
+  Oid ref_;
+  std::vector<Oid> set_;
+};
+
+}  // namespace oocq
+
+#endif  // OOCQ_STATE_VALUE_H_

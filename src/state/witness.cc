@@ -1,0 +1,148 @@
+#include "state/witness.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/satisfiability.h"
+#include "query/equality_graph.h"
+#include "query/well_formed.h"
+#include "state/evaluation.h"
+#include "support/status_macros.h"
+
+namespace oocq {
+
+StatusOr<State> BuildCanonicalWitnessState(const Schema& schema,
+                                           const ConjunctiveQuery& query) {
+  OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
+  if (!query.IsTerminal(schema)) {
+    return Status::FailedPrecondition(
+        "BuildCanonicalWitnessState requires a terminal query");
+  }
+  SatisfiabilityResult sat = CheckSatisfiable(schema, query);
+  if (!sat.satisfiable) {
+    return Status::FailedPrecondition("query is unsatisfiable: " + sat.reason);
+  }
+
+  EqualityGraph graph = EqualityGraph::Build(query);
+  State state(&schema);
+
+  // Constant bindings pin their class to one specific primitive object.
+  std::map<TermId, ConstantValue> bound;
+  std::set<int64_t> taken_ints;
+  std::set<double> taken_reals;
+  std::set<std::string> taken_strings;
+  for (const Atom& atom : query.atoms()) {
+    if (atom.kind() == AtomKind::kConstant) {
+      bound.emplace(graph.Find(graph.VarNode(atom.var())), atom.constant());
+      if (const int64_t* i = std::get_if<int64_t>(&atom.constant())) {
+        taken_ints.insert(*i);
+      } else if (const double* d = std::get_if<double>(&atom.constant())) {
+        taken_reals.insert(*d);
+      } else {
+        taken_strings.insert(std::get<std::string>(atom.constant()));
+      }
+    }
+  }
+
+  // One object per variable equivalence class. Unbound primitive classes
+  // receive fresh interned values so distinct classes stay distinct.
+  std::map<TermId, Oid> object_of;
+  int64_t fresh = 0;
+  for (TermId rep : graph.ClassRepresentatives()) {
+    const std::vector<VarId>& vars = graph.ClassVariables(rep);
+    if (vars.empty()) continue;
+    ClassId cls = query.RangeClassOf(vars.front());
+    Oid oid = kInvalidOid;
+    auto constant = bound.find(rep);
+    if (constant != bound.end()) {
+      const ConstantValue& value = constant->second;
+      if (const int64_t* i = std::get_if<int64_t>(&value)) {
+        oid = state.InternInt(*i);
+      } else if (const double* d = std::get_if<double>(&value)) {
+        oid = state.InternReal(*d);
+      } else {
+        oid = state.InternString(std::get<std::string>(value));
+      }
+    } else if (cls == kIntClassId) {
+      while (taken_ints.count(fresh) > 0) ++fresh;
+      oid = state.InternInt(fresh++);
+    } else if (cls == kRealClassId) {
+      double candidate = static_cast<double>(fresh++) + 0.25;
+      while (taken_reals.count(candidate) > 0) candidate += 1.0;
+      oid = state.InternReal(candidate);
+    } else if (cls == kStringClassId) {
+      std::string candidate;
+      do {
+        candidate = "_w" + std::to_string(fresh++);
+      } while (taken_strings.count(candidate) > 0);
+      oid = state.InternString(candidate);
+    } else {
+      OOCQ_ASSIGN_OR_RETURN(oid, state.AddObject(cls));
+    }
+    object_of[rep] = oid;
+  }
+
+  // Object attribute slots: x.A denotes the object of [x.A].
+  for (TermId t = 0; t < graph.num_terms(); ++t) {
+    const Term& term = graph.term(t);
+    if (!term.is_attribute() || !graph.IsObjectTerm(t)) continue;
+    Oid owner = object_of.at(graph.Find(graph.VarNode(term.var)));
+    Oid target = object_of.at(graph.Find(t));
+    OOCQ_RETURN_IF_ERROR(state.SetAttribute(owner, term.attr, Value::Ref(target)));
+  }
+
+  // Set slots: empty set for every set term, then the derivable members.
+  for (TermId t = 0; t < graph.num_terms(); ++t) {
+    const Term& term = graph.term(t);
+    if (!term.is_attribute() || !graph.IsSetTerm(t)) continue;
+    Oid owner = object_of.at(graph.Find(graph.VarNode(term.var)));
+    OOCQ_RETURN_IF_ERROR(state.SetAttribute(owner, term.attr, Value::Set({})));
+  }
+  for (const Atom& atom : query.atoms()) {
+    if (atom.kind() != AtomKind::kMembership) continue;
+    Oid owner = object_of.at(graph.Find(graph.VarNode(atom.set_term().var)));
+    Oid member = object_of.at(graph.Find(graph.VarNode(atom.var())));
+    Value slot = *state.GetAttribute(owner, atom.set_term().attr);
+    slot.Insert(member);
+    OOCQ_RETURN_IF_ERROR(state.SetAttribute(owner, atom.set_term().attr,
+                                            std::move(slot)));
+  }
+
+  Status legal = state.Validate();
+  if (!legal.ok()) {
+    return Status::Internal(
+        "canonical witness state fails legality (satisfiability bug): " +
+        legal.ToString());
+  }
+  return state;
+}
+
+StatusOr<std::optional<State>> FindContainmentCounterexample(
+    const Schema& schema, const ConjunctiveQuery& q1,
+    const ConjunctiveQuery& q2, const WitnessSearchOptions& options) {
+  auto refutes = [&](const State& state) -> StatusOr<bool> {
+    OOCQ_ASSIGN_OR_RETURN(std::vector<Oid> a1, Evaluate(state, q1));
+    OOCQ_ASSIGN_OR_RETURN(std::vector<Oid> a2, Evaluate(state, q2));
+    return !std::includes(a2.begin(), a2.end(), a1.begin(), a1.end());
+  };
+
+  if (CheckSatisfiable(schema, q1).satisfiable) {
+    OOCQ_ASSIGN_OR_RETURN(State canonical,
+                          BuildCanonicalWitnessState(schema, q1));
+    OOCQ_ASSIGN_OR_RETURN(bool found, refutes(canonical));
+    if (found) return std::optional<State>(std::move(canonical));
+  }
+
+  for (uint32_t trial = 0; trial < options.max_trials; ++trial) {
+    GeneratorParams params = options.base;
+    params.seed = options.base.seed + trial;
+    params.objects_per_class = options.base.objects_per_class + trial / 4;
+    State state = GenerateRandomState(schema, params);
+    OOCQ_ASSIGN_OR_RETURN(bool found, refutes(state));
+    if (found) return std::optional<State>(std::move(state));
+  }
+  return std::optional<State>();
+}
+
+}  // namespace oocq

@@ -1,0 +1,43 @@
+#ifndef OOCQ_STATE_WITNESS_H_
+#define OOCQ_STATE_WITNESS_H_
+
+#include <optional>
+
+#include "query/query.h"
+#include "schema/schema.h"
+#include "state/generator.h"
+#include "state/state.h"
+#include "support/status.h"
+
+namespace oocq {
+
+/// The constructive half of our Thm 2.2 procedure (DESIGN.md §5.3):
+/// builds a state witnessing the satisfiability of a well-formed terminal
+/// conjunctive query — one object per variable equivalence class of E(Q),
+/// object-attribute slots set per the equality atoms, set slots seeded
+/// with exactly the derivable memberships. Evaluating the query on the
+/// result yields (at least) the free variable's witness object.
+///
+/// Returns FailedPrecondition when the query is unsatisfiable.
+StatusOr<State> BuildCanonicalWitnessState(const Schema& schema,
+                                           const ConjunctiveQuery& query);
+
+/// Options for the randomized counterexample search.
+struct WitnessSearchOptions {
+  /// Number of random states tried (growing sizes, deterministic seeds).
+  uint32_t max_trials = 40;
+  GeneratorParams base;
+};
+
+/// Searches for a state disproving Q1 ⊆ Q2, i.e. one where Q1(s) ⊄ Q2(s).
+/// Trial 0 is the canonical witness state of Q1 (the adversarial state the
+/// containment theory reasons about); later trials are random states of
+/// growing size. Returns the first counterexample state found, or nullopt.
+/// Both queries must be well-formed; Q1 terminal.
+StatusOr<std::optional<State>> FindContainmentCounterexample(
+    const Schema& schema, const ConjunctiveQuery& q1,
+    const ConjunctiveQuery& q2, const WitnessSearchOptions& options = {});
+
+}  // namespace oocq
+
+#endif  // OOCQ_STATE_WITNESS_H_

@@ -1,0 +1,27 @@
+#ifndef OOCQ_SUPPORT_STATUS_MACROS_H_
+#define OOCQ_SUPPORT_STATUS_MACROS_H_
+
+#include "support/status.h"
+
+/// Propagates a non-OK Status out of the current function.
+#define OOCQ_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::oocq::Status oocq_status_tmp_ = (expr);     \
+    if (!oocq_status_tmp_.ok()) return oocq_status_tmp_; \
+  } while (false)
+
+#define OOCQ_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define OOCQ_STATUS_MACROS_CONCAT_(x, y) OOCQ_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+/// Evaluates a StatusOr expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define OOCQ_ASSIGN_OR_RETURN(lhs, expr)                                   \
+  OOCQ_ASSIGN_OR_RETURN_IMPL_(                                             \
+      OOCQ_STATUS_MACROS_CONCAT_(oocq_statusor_, __LINE__), lhs, expr)
+
+#define OOCQ_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+#endif  // OOCQ_SUPPORT_STATUS_MACROS_H_

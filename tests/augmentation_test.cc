@@ -1,0 +1,125 @@
+// Unit tests for the consistent-augmentation enumeration (Thm 3.1).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/augmentation.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+class AugmentationTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(R"(
+schema Aug {
+  class D { }
+  class E under D { }
+  class F under D { }
+  class C { A: D; }
+})");
+
+  uint64_t Count(const std::string& text) {
+    ConjunctiveQuery query = MustParseQuery(schema_, text);
+    StatusOr<uint64_t> count =
+        CountConsistentAugmentations(schema_, query, {});
+    EXPECT_TRUE(count.ok()) << count.status().ToString();
+    return count.ok() ? *count : 0;
+  }
+};
+
+TEST_F(AugmentationTest, SingleVariableHasOnlyEmptyAugmentation) {
+  EXPECT_EQ(Count("{ x | x in E }"), 1u);
+}
+
+TEST_F(AugmentationTest, TwoSameClassVariablesBellTwo) {
+  // Partitions of {x, y}: discrete and merged.
+  EXPECT_EQ(Count("{ x | exists y (x in E & y in E) }"), 2u);
+}
+
+TEST_F(AugmentationTest, ThreeSameClassVariablesBellThree) {
+  // Bell(3) = 5.
+  EXPECT_EQ(Count("{ x | exists y exists z (x in E & y in E & z in E) }"),
+            5u);
+}
+
+TEST_F(AugmentationTest, CrossClassVariablesNeverMerge) {
+  // E and F cannot merge: only the discrete partition.
+  EXPECT_EQ(Count("{ x | exists y (x in E & y in F) }"), 1u);
+}
+
+TEST_F(AugmentationTest, MixedGroupsMultiply) {
+  // {x,y} over E (Bell 2) x {u,v} over F (Bell 2) = 4.
+  EXPECT_EQ(Count("{ x | exists y exists u exists v (x in E & y in E & "
+                  "u in F & v in F) }"),
+            4u);
+}
+
+TEST_F(AugmentationTest, InequalityBlocksMergedPartition) {
+  // Merging x, y contradicts x != y: only the discrete partition remains.
+  EXPECT_EQ(Count("{ x | exists y (x in E & y in E & x != y) }"), 1u);
+}
+
+TEST_F(AugmentationTest, CongruenceBlocksMerge) {
+  // Example 1.3's engine: merging x, y forces s = t across E/F.
+  EXPECT_EQ(
+      Count("{ x | exists y exists s exists t (x in C & y in C & s in E & "
+            "t in F & s = x.A & t = y.A) }"),
+      1u);
+}
+
+TEST_F(AugmentationTest, AugmentedQueriesCarryEqualities) {
+  ConjunctiveQuery query =
+      MustParseQuery(schema_, "{ x | exists y (x in E & y in E) }");
+  std::vector<size_t> atom_counts;
+  StatusOr<bool> result = ForEachConsistentAugmentation(
+      schema_, query, {}, [&](const ConjunctiveQuery& augmented) {
+        atom_counts.push_back(augmented.atoms().size());
+        EXPECT_EQ(augmented.num_vars(), query.num_vars());
+        return true;
+      });
+  OOCQ_ASSERT_OK(result.status());
+  EXPECT_TRUE(*result);
+  std::sort(atom_counts.begin(), atom_counts.end());
+  // Discrete: 2 atoms; merged: 2 range atoms + 1 equality.
+  EXPECT_EQ(atom_counts, (std::vector<size_t>{2, 3}));
+}
+
+TEST_F(AugmentationTest, EarlyStopPropagates) {
+  ConjunctiveQuery query =
+      MustParseQuery(schema_, "{ x | exists y (x in E & y in E) }");
+  int calls = 0;
+  StatusOr<bool> result = ForEachConsistentAugmentation(
+      schema_, query, {}, [&](const ConjunctiveQuery&) {
+        ++calls;
+        return false;  // Stop immediately.
+      });
+  OOCQ_ASSERT_OK(result.status());
+  EXPECT_FALSE(*result);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(AugmentationTest, CapEnforced) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ a | exists b exists c exists d exists e (a in E & b in E & "
+      "c in E & d in E & e in E) }");
+  AugmentationOptions options;
+  options.max_augmentations = 10;  // Bell(5) = 52 > 10.
+  EXPECT_EQ(
+      CountConsistentAugmentations(schema_, query, options).status().code(),
+      StatusCode::kResourceExhausted);
+}
+
+TEST_F(AugmentationTest, BellNumbersForLargerGroups) {
+  EXPECT_EQ(Count("{ a | exists b exists c exists d (a in E & b in E & "
+                  "c in E & d in E) }"),
+            15u);  // Bell(4).
+}
+
+}  // namespace
+}  // namespace oocq

@@ -1,0 +1,163 @@
+// Tests for query canonicalization: renamings collapse to one canonical
+// form; distinct queries keep distinct keys; random renaming property.
+
+#include "core/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "random_query.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::GenerateRandomQuery;
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+using ::oocq::testing::RandomQueryParams;
+
+class CanonicalTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(R"(
+schema Can {
+  class D { }
+  class E under D { }
+  class F under D { }
+  class C { A: D; B: D; S: {D}; }
+})");
+};
+
+TEST_F(CanonicalTest, RenamedQueriesShareKey) {
+  ConjunctiveQuery a = MustParseQuery(
+      schema_, "{ x | exists u (x in C & u in E & u = x.A & u in x.S) }");
+  ConjunctiveQuery b = MustParseQuery(
+      schema_, "{ q | exists w (q in C & w in E & w = q.A & w in q.S) }");
+  EXPECT_EQ(CanonicalKey(a), CanonicalKey(b));
+  EXPECT_EQ(CanonicalizeQuery(a), CanonicalizeQuery(b));
+}
+
+TEST_F(CanonicalTest, QuantifierOrderIrrelevant) {
+  ConjunctiveQuery a = MustParseQuery(
+      schema_,
+      "{ x | exists u exists w (x in C & u in E & w in F & u = x.A & "
+      "w = x.B) }");
+  ConjunctiveQuery b = MustParseQuery(
+      schema_,
+      "{ x | exists w exists u (x in C & u in F & w in E & w = x.A & "
+      "u = x.B) }");
+  EXPECT_EQ(CanonicalKey(a), CanonicalKey(b));
+}
+
+TEST_F(CanonicalTest, AtomOrderIrrelevant) {
+  ConjunctiveQuery a = MustParseQuery(
+      schema_, "{ x | exists u (x in C & u in E & u = x.A & u in x.S) }");
+  ConjunctiveQuery b = MustParseQuery(
+      schema_, "{ x | exists u (u in x.S & u = x.A & u in E & x in C) }");
+  EXPECT_EQ(CanonicalKey(a), CanonicalKey(b));
+}
+
+TEST_F(CanonicalTest, DifferentQueriesDifferentKeys) {
+  const char* queries[] = {
+      "{ x | x in E }",
+      "{ x | x in F }",
+      "{ x | exists u (x in C & u in E & u = x.A) }",
+      "{ x | exists u (x in C & u in E & u = x.B) }",
+      "{ x | exists u (x in C & u in E & u in x.S) }",
+      "{ x | exists u (x in C & u in E & u notin x.S) }",
+      "{ x | exists u exists w (x in C & u in E & w in E & u in x.S & "
+      "w in x.S) }",
+  };
+  std::set<std::string> keys;
+  for (const char* text : queries) {
+    keys.insert(CanonicalKey(MustParseQuery(schema_, text)));
+  }
+  EXPECT_EQ(keys.size(), std::size(queries));
+}
+
+TEST_F(CanonicalTest, FreeVariableDistinguishes) {
+  // Same atoms, different answer variable.
+  ConjunctiveQuery a = MustParseQuery(
+      schema_, "{ x | exists u (x in E & u in E & x != u) }");
+  ConjunctiveQuery b = MustParseQuery(
+      schema_, "{ u | exists x (u in E & x in E & x != u) }");
+  // These ARE renamings of each other (swap names): keys equal.
+  EXPECT_EQ(CanonicalKey(a), CanonicalKey(b));
+
+  ConjunctiveQuery c = MustParseQuery(
+      schema_, "{ x | exists u (x in C & u in E & u = x.A) }");
+  ConjunctiveQuery d = MustParseQuery(
+      schema_, "{ u | exists x (x in C & u in E & u = x.A) }");
+  EXPECT_NE(CanonicalKey(c), CanonicalKey(d));
+}
+
+TEST_F(CanonicalTest, SymmetricTieGroupsResolve) {
+  // u and w are fully interchangeable: all 2 orderings must canonicalize
+  // identically.
+  ConjunctiveQuery a = MustParseQuery(
+      schema_,
+      "{ x | exists u exists w (x in C & u in E & w in E & u in x.S & "
+      "w in x.S) }");
+  ConjunctiveQuery b = MustParseQuery(
+      schema_,
+      "{ x | exists w exists u (x in C & u in E & w in E & w in x.S & "
+      "u in x.S) }");
+  EXPECT_EQ(CanonicalKey(a), CanonicalKey(b));
+}
+
+TEST_F(CanonicalTest, CanonicalFormIsIdempotent) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists u exists w (x in C & u in E & w in F & u = x.A & "
+      "w = x.B & u in x.S) }");
+  ConjunctiveQuery once = CanonicalizeQuery(query);
+  ConjunctiveQuery twice = CanonicalizeQuery(once);
+  EXPECT_EQ(once, twice);
+}
+
+class CanonicalProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Schema schema_ = MustParseSchema(R"(
+schema CanProp {
+  class D { }
+  class E under D { }
+  class F under D { }
+  class C { A: D; S: {D}; }
+})");
+};
+
+TEST_P(CanonicalProperty, RandomRenamingsCollapse) {
+  std::mt19937_64 rng(GetParam());
+  RandomQueryParams params;
+  params.allow_negative = true;
+  params.max_vars = 5;
+  for (int round = 0; round < 15; ++round) {
+    ConjunctiveQuery query = GenerateRandomQuery(schema_, rng, params);
+
+    // Random bijective renaming: permute variable ids.
+    std::vector<VarId> perm(query.num_vars());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    ConjunctiveQuery renamed;
+    std::vector<VarId> inverse(perm.size());
+    for (VarId v = 0; v < perm.size(); ++v) inverse[perm[v]] = v;
+    for (VarId v = 0; v < perm.size(); ++v) {
+      renamed.AddVariable("r" + std::to_string(v));
+    }
+    renamed.set_free_var(perm[query.free_var()]);
+    for (const Atom& atom : query.atoms()) {
+      renamed.AddAtom(atom.MapVariables(perm));
+    }
+
+    EXPECT_EQ(CanonicalKey(query), CanonicalKey(renamed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{8}));
+
+}  // namespace
+}  // namespace oocq

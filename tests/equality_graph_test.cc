@@ -1,0 +1,166 @@
+// Unit tests for Algorithm EqualityGraph (paper §2.3): reflexivity,
+// transitivity, the congruence rule, and object/set classification.
+
+#include <gtest/gtest.h>
+
+#include "query/equality_graph.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+class EqualityGraphTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(R"(
+schema G {
+  class D { }
+  class C { A: D; B: D; S: {D}; }
+})");
+};
+
+TEST_F(EqualityGraphTest, VariablesAreNodes) {
+  ConjunctiveQuery query =
+      MustParseQuery(schema_, "{ x | exists y (x in C & y in C) }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  EXPECT_EQ(graph.num_terms(), 2u);
+  EXPECT_NE(graph.FindTermId(Term::Var(0)), kInvalidTermId);
+  EXPECT_NE(graph.FindTermId(Term::Var(1)), kInvalidTermId);
+  EXPECT_EQ(graph.FindTermId(Term::Attr(0, "A")), kInvalidTermId);
+}
+
+TEST_F(EqualityGraphTest, DistinctVariablesDistinctClasses) {
+  ConjunctiveQuery query =
+      MustParseQuery(schema_, "{ x | exists y (x in C & y in C) }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  EXPECT_FALSE(graph.Equivalent(Term::Var(0), Term::Var(1)));
+}
+
+TEST_F(EqualityGraphTest, EqualityAtomMergesClasses) {
+  ConjunctiveQuery query =
+      MustParseQuery(schema_, "{ x | exists y (x in C & y in C & x = y) }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  EXPECT_TRUE(graph.Equivalent(Term::Var(0), Term::Var(1)));
+  EXPECT_EQ(graph.ClassVariables(graph.VarNode(0)).size(), 2u);
+}
+
+TEST_F(EqualityGraphTest, Transitivity) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists y exists z (x in C & y in C & z in C & x = y & y = z) }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  EXPECT_TRUE(graph.Equivalent(Term::Var(0), Term::Var(2)));
+}
+
+TEST_F(EqualityGraphTest, CongruenceMergesAttributeTerms) {
+  // x = y and both x.A, y.A occur => x.A = y.A (step (iii)).
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists y exists u exists v (x in C & y in C & u in D & v in D "
+      "& x = y & u = x.A & v = y.A) }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  EXPECT_TRUE(graph.Equivalent(Term::Attr(0, "A"), Term::Attr(1, "A")));
+  // And transitively the equated variables u, v.
+  EXPECT_TRUE(graph.Equivalent(Term::Var(2), Term::Var(3)));
+}
+
+TEST_F(EqualityGraphTest, CongruenceCascades) {
+  // Merging u = v (via congruence consequences) must re-trigger the rule:
+  // x = y -> x.A = y.A; with u = x.A, v = y.A the variables u, v merge, so
+  // u.B = v.B must merge too — but only D-typed classes here, so build a
+  // two-level chain over C instead.
+  Schema schema = MustParseSchema(R"(
+schema Chain {
+  class C { Next: C; }
+})");
+  ConjunctiveQuery query = MustParseQuery(
+      schema,
+      "{ x | exists y exists u exists v exists p exists q "
+      "(x in C & y in C & u in C & v in C & p in C & q in C "
+      "& x = y & u = x.Next & v = y.Next & p = u.Next & q = v.Next) }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  // Round 1: x.Next = y.Next, hence u = v.
+  EXPECT_TRUE(graph.Equivalent(Term::Var(2), Term::Var(3)));
+  // Round 2 (fixpoint): u.Next = v.Next, hence p = q.
+  EXPECT_TRUE(graph.Equivalent(Term::Attr(2, "Next"), Term::Attr(3, "Next")));
+  EXPECT_TRUE(graph.Equivalent(Term::Var(4), Term::Var(5)));
+}
+
+TEST_F(EqualityGraphTest, CongruenceOnlyWhenBothNodesExist) {
+  // x = y but only x.A occurs; there is no y.A node to merge with.
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists y exists u (x in C & y in C & u in D & x = y & "
+      "u = x.A) }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  EXPECT_EQ(graph.FindTermId(Term::Attr(1, "A")), kInvalidTermId);
+  EXPECT_TRUE(graph.Equivalent(Term::Var(2), Term::Attr(0, "A")));
+}
+
+TEST_F(EqualityGraphTest, DifferentAttributesDoNotMerge) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists u exists v (x in C & u in D & v in D & u = x.A & "
+      "v = x.B) }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  EXPECT_FALSE(graph.Equivalent(Term::Attr(0, "A"), Term::Attr(0, "B")));
+}
+
+TEST_F(EqualityGraphTest, InequalityAtomsDoNotMerge) {
+  ConjunctiveQuery query =
+      MustParseQuery(schema_, "{ x | exists y (x in C & y in C & x != y) }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  EXPECT_FALSE(graph.Equivalent(Term::Var(0), Term::Var(1)));
+}
+
+TEST_F(EqualityGraphTest, ObjectAndSetClassification) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists y exists u (x in C & y in D & u in D & u = x.A & "
+      "y in x.S) }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  TermId a_node = graph.FindTermId(Term::Attr(0, "A"));
+  TermId s_node = graph.FindTermId(Term::Attr(0, "S"));
+  ASSERT_NE(a_node, kInvalidTermId);
+  ASSERT_NE(s_node, kInvalidTermId);
+  EXPECT_TRUE(graph.IsObjectTerm(a_node));
+  EXPECT_FALSE(graph.IsSetTerm(a_node));
+  EXPECT_TRUE(graph.IsSetTerm(s_node));
+  EXPECT_FALSE(graph.IsObjectTerm(s_node));
+  // The element variable has an object occurrence.
+  EXPECT_TRUE(graph.IsObjectTerm(graph.VarNode(1)));
+}
+
+TEST_F(EqualityGraphTest, SetOccurrenceFromNonMembership) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists y (x in C & y in D & y notin x.S) }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  TermId s_node = graph.FindTermId(Term::Attr(0, "S"));
+  ASSERT_NE(s_node, kInvalidTermId);
+  EXPECT_TRUE(graph.IsSetTerm(s_node));
+}
+
+TEST_F(EqualityGraphTest, ClassRepresentativesPartitionNodes) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists y exists u (x in C & y in C & u in D & x = y & "
+      "u = x.A) }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  size_t total = 0;
+  for (TermId rep : graph.ClassRepresentatives()) {
+    EXPECT_EQ(graph.Find(rep), rep);
+    total += graph.ClassMembers(rep).size();
+  }
+  EXPECT_EQ(total, graph.num_terms());
+}
+
+TEST_F(EqualityGraphTest, EquivalentOnAbsentTermsIsFalse) {
+  ConjunctiveQuery query = MustParseQuery(schema_, "{ x | x in C }");
+  EqualityGraph graph = EqualityGraph::Build(query);
+  EXPECT_FALSE(graph.Equivalent(Term::Var(0), Term::Attr(0, "A")));
+}
+
+}  // namespace
+}  // namespace oocq

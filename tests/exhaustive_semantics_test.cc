@@ -1,0 +1,487 @@
+// Exhaustive micro-universe verification of Thm 3.1 (whose proof the
+// extended abstract omits): over a tiny schema we enumerate
+//   * every terminal conjunctive query from a bounded family (≤2
+//     variables, atoms drawn from the full applicable pool), and
+//   * every legal state with ≤2 objects per terminal class and all
+//     attribute configurations (including nulls),
+// and assert that the containment algorithm's verdict equals *semantic*
+// containment over the enumerated states, in both directions. For this
+// bounded family the enumerated states include every adversarial
+// configuration the theorem quantifies over (augmentations need at most
+// two same-class objects; membership subsets range over all subsets of
+// the C extent), so agreement here is a genuine completeness check, not
+// just a soundness spot-check.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/containment.h"
+#include "core/satisfiability.h"
+#include "query/printer.h"
+#include "query/well_formed.h"
+#include "state/evaluation.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseSchema;
+
+class ExhaustiveSemantics : public ::testing::Test {
+ protected:
+  ExhaustiveSemantics()
+      : schema_(MustParseSchema(R"(
+schema Micro {
+  class C { }
+  class P { A: C; S: {C}; }
+})")) {
+    c_ = schema_.FindClass("C").value();
+    p_ = schema_.FindClass("P").value();
+    BuildQueries();
+    BuildStates();
+  }
+
+  // ---- query enumeration ------------------------------------------
+  void AddQueriesFor(const std::vector<ClassId>& var_classes) {
+    ConjunctiveQuery base;
+    for (size_t i = 0; i < var_classes.size(); ++i) {
+      VarId v = base.AddVariable(std::string(1, static_cast<char>('x' + i)));
+      base.AddAtom(Atom::Range(v, {var_classes[i]}));
+    }
+
+    // The pool of applicable non-range atoms over all ordered pairs.
+    std::vector<Atom> pool;
+    for (VarId a = 0; a < var_classes.size(); ++a) {
+      for (VarId b = 0; b < var_classes.size(); ++b) {
+        if (a == b) continue;
+        if (a < b && var_classes[a] == var_classes[b]) {
+          pool.push_back(Atom::Equality(Term::Var(a), Term::Var(b)));
+          pool.push_back(Atom::Inequality(Term::Var(a), Term::Var(b)));
+        }
+        if (var_classes[a] == c_ && var_classes[b] == p_) {
+          pool.push_back(Atom::Equality(Term::Var(a), Term::Attr(b, "A")));
+          pool.push_back(Atom::Membership(a, b, "S"));
+          pool.push_back(Atom::NonMembership(a, b, "S"));
+        }
+      }
+    }
+
+    // All subsets of the pool of size <= 2 (plus the empty one).
+    queries_.push_back(base);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      ConjunctiveQuery one = base;
+      one.AddAtom(pool[i]);
+      queries_.push_back(one);
+      for (size_t j = i + 1; j < pool.size(); ++j) {
+        ConjunctiveQuery two = base;
+        two.AddAtom(pool[i]);
+        two.AddAtom(pool[j]);
+        queries_.push_back(two);
+      }
+    }
+  }
+
+  void BuildQueries() {
+    for (ClassId x_cls : {c_, p_}) {
+      AddQueriesFor({x_cls});
+      for (ClassId y_cls : {c_, p_}) {
+        AddQueriesFor({x_cls, y_cls});
+      }
+    }
+    // Three-variable families (triple inequalities, shared witnesses,
+    // membership + non-membership interplay).
+    AddQueriesFor({c_, c_, c_});
+    AddQueriesFor({c_, c_, p_});
+    AddQueriesFor({c_, p_, p_});
+    for (const ConjunctiveQuery& q : queries_) {
+      ASSERT_TRUE(CheckWellFormed(schema_, q).ok())
+          << QueryToString(schema_, q);
+    }
+  }
+
+  // ---- state enumeration -------------------------------------------
+  void BuildStates() {
+    // Three C objects cover triple-inequality witnesses; two P objects
+    // cover all two-P-variable configurations.
+    for (int nc = 0; nc <= 3; ++nc) {
+      for (int np = 0; np <= 2; ++np) {
+        // Per P object: A-slot (null or one of the C objects) and S-slot
+        // (null or any subset of the C objects).
+        int a_choices = 1 + nc;
+        int s_choices = 1 + (1 << nc);
+        int per_p = a_choices * s_choices;
+        int total = 1;
+        for (int k = 0; k < np; ++k) total *= per_p;
+        for (int config = 0; config < total; ++config) {
+          State state(&schema_);
+          std::vector<Oid> cs;
+          for (int i = 0; i < nc; ++i) cs.push_back(*state.AddObject(c_));
+          int rest = config;
+          for (int k = 0; k < np; ++k) {
+            Oid p = *state.AddObject(p_);
+            int local = rest % per_p;
+            rest /= per_p;
+            int a_pick = local % a_choices;
+            int s_pick = local / a_choices;
+            if (a_pick > 0) {
+              ASSERT_TRUE(
+                  state.SetAttribute(p, "A", Value::Ref(cs[a_pick - 1])).ok());
+            }
+            if (s_pick > 0) {
+              std::vector<Oid> members;
+              int mask = s_pick - 1;
+              for (int i = 0; i < nc; ++i) {
+                if (mask & (1 << i)) members.push_back(cs[i]);
+              }
+              ASSERT_TRUE(
+                  state.SetAttribute(p, "S", Value::Set(std::move(members)))
+                      .ok());
+            }
+          }
+          ASSERT_TRUE(state.Validate().ok());
+          states_.push_back(std::move(state));
+        }
+      }
+    }
+  }
+
+  Schema schema_;
+  ClassId c_, p_;
+  std::vector<ConjunctiveQuery> queries_;
+  std::vector<State> states_;
+};
+
+TEST_F(ExhaustiveSemantics, UniverseIsNontrivial) {
+  EXPECT_GT(queries_.size(), 100u);
+  EXPECT_GT(states_.size(), 1000u);
+}
+
+TEST_F(ExhaustiveSemantics, SatisfiabilityMatchesEnumeratedStates) {
+  // A query is satisfiable iff some enumerated state answers it — exact
+  // in this universe (the canonical witness uses at most 2 objects per
+  // class for these queries).
+  for (const ConjunctiveQuery& q : queries_) {
+    bool algorithmic = CheckSatisfiable(schema_, q).satisfiable;
+    bool semantic = false;
+    for (const State& s : states_) {
+      if (!Evaluate(s, q)->empty()) {
+        semantic = true;
+        break;
+      }
+    }
+    EXPECT_EQ(algorithmic, semantic) << QueryToString(schema_, q);
+  }
+}
+
+TEST_F(ExhaustiveSemantics, ContainmentMatchesEnumeratedStates) {
+  // Precompute all answer sets.
+  std::vector<std::vector<std::vector<Oid>>> answers(queries_.size());
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    answers[qi].reserve(states_.size());
+    for (const State& s : states_) {
+      answers[qi].push_back(*Evaluate(s, queries_[qi]));
+    }
+  }
+
+  int checked = 0, contained_count = 0;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    for (size_t j = 0; j < queries_.size(); ++j) {
+      StatusOr<bool> algorithmic = Contained(schema_, queries_[i], queries_[j]);
+      ASSERT_TRUE(algorithmic.ok()) << algorithmic.status().ToString();
+      bool semantic = true;
+      for (size_t si = 0; si < states_.size() && semantic; ++si) {
+        semantic = std::includes(answers[j][si].begin(), answers[j][si].end(),
+                                 answers[i][si].begin(), answers[i][si].end());
+      }
+      EXPECT_EQ(*algorithmic, semantic)
+          << "Q1 = " << QueryToString(schema_, queries_[i])
+          << "\nQ2 = " << QueryToString(schema_, queries_[j]);
+      ++checked;
+      if (*algorithmic) ++contained_count;
+    }
+  }
+  // Sanity: the family is rich enough to exercise both outcomes heavily.
+  EXPECT_GT(contained_count, checked / 20);
+  EXPECT_LT(contained_count, checked);
+}
+
+// ---------------------------------------------------------------------
+// A micro-universe with TWO set attributes, exercising the Thm 3.1
+// membership-subset pool across distinct set terms exhaustively.
+// ---------------------------------------------------------------------
+
+class ExhaustiveTwoSets : public ::testing::Test {
+ protected:
+  ExhaustiveTwoSets()
+      : schema_(MustParseSchema(R"(
+schema Micro3 {
+  class C { }
+  class P { S: {C}; T: {C}; }
+})")) {
+    c_ = schema_.FindClass("C").value();
+    p_ = schema_.FindClass("P").value();
+    BuildQueries();
+    BuildStates();
+  }
+
+  void AddQueriesFor(const std::vector<ClassId>& var_classes) {
+    ConjunctiveQuery base;
+    for (size_t i = 0; i < var_classes.size(); ++i) {
+      VarId v = base.AddVariable(std::string(1, static_cast<char>('x' + i)));
+      base.AddAtom(Atom::Range(v, {var_classes[i]}));
+    }
+    std::vector<Atom> pool;
+    for (VarId a = 0; a < var_classes.size(); ++a) {
+      for (VarId b = 0; b < var_classes.size(); ++b) {
+        if (a == b) continue;
+        if (a < b && var_classes[a] == var_classes[b]) {
+          pool.push_back(Atom::Equality(Term::Var(a), Term::Var(b)));
+          pool.push_back(Atom::Inequality(Term::Var(a), Term::Var(b)));
+        }
+        if (var_classes[a] == c_ && var_classes[b] == p_) {
+          pool.push_back(Atom::Membership(a, b, "S"));
+          pool.push_back(Atom::NonMembership(a, b, "S"));
+          pool.push_back(Atom::Membership(a, b, "T"));
+          pool.push_back(Atom::NonMembership(a, b, "T"));
+        }
+      }
+    }
+    queries_.push_back(base);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      ConjunctiveQuery one = base;
+      one.AddAtom(pool[i]);
+      queries_.push_back(one);
+      for (size_t j = i + 1; j < pool.size(); ++j) {
+        ConjunctiveQuery two = base;
+        two.AddAtom(pool[i]);
+        two.AddAtom(pool[j]);
+        if (CheckWellFormed(schema_, two).ok()) {
+          queries_.push_back(std::move(two));
+        }
+      }
+    }
+  }
+
+  void BuildQueries() {
+    AddQueriesFor({c_, p_});
+    AddQueriesFor({c_, c_, p_});
+  }
+
+  void BuildStates() {
+    // <= 2 C objects, <= 1 P object; each set slot independently null or
+    // any subset of the C objects.
+    for (int nc = 0; nc <= 2; ++nc) {
+      for (int np = 0; np <= 1; ++np) {
+        int slot_choices = 1 + (1 << nc);
+        int total = np == 0 ? 1 : slot_choices * slot_choices;
+        for (int config = 0; config < total; ++config) {
+          State state(&schema_);
+          std::vector<Oid> cs;
+          for (int i = 0; i < nc; ++i) cs.push_back(*state.AddObject(c_));
+          if (np == 1) {
+            Oid p = *state.AddObject(p_);
+            int s_pick = config % slot_choices;
+            int t_pick = config / slot_choices;
+            for (const auto& [attr, pick] :
+                 {std::make_pair("S", s_pick), std::make_pair("T", t_pick)}) {
+              if (pick == 0) continue;
+              std::vector<Oid> members;
+              int mask = pick - 1;
+              for (int i = 0; i < nc; ++i) {
+                if (mask & (1 << i)) members.push_back(cs[i]);
+              }
+              ASSERT_TRUE(
+                  state.SetAttribute(p, attr, Value::Set(std::move(members)))
+                      .ok());
+            }
+          }
+          ASSERT_TRUE(state.Validate().ok());
+          states_.push_back(std::move(state));
+        }
+      }
+    }
+  }
+
+  Schema schema_;
+  ClassId c_, p_;
+  std::vector<ConjunctiveQuery> queries_;
+  std::vector<State> states_;
+};
+
+TEST_F(ExhaustiveTwoSets, ContainmentAcrossTwoSetTermsMatchesSemantics) {
+  std::vector<std::vector<std::vector<Oid>>> answers(queries_.size());
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    for (const State& s : states_) {
+      answers[qi].push_back(*Evaluate(s, queries_[qi]));
+    }
+  }
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    for (size_t j = 0; j < queries_.size(); ++j) {
+      StatusOr<bool> algorithmic = Contained(schema_, queries_[i], queries_[j]);
+      ASSERT_TRUE(algorithmic.ok()) << algorithmic.status().ToString();
+      bool semantic = true;
+      for (size_t si = 0; si < states_.size() && semantic; ++si) {
+        semantic = std::includes(answers[j][si].begin(), answers[j][si].end(),
+                                 answers[i][si].begin(), answers[i][si].end());
+      }
+      EXPECT_EQ(*algorithmic, semantic)
+          << "Q1 = " << QueryToString(schema_, queries_[i])
+          << "\nQ2 = " << QueryToString(schema_, queries_[j]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// A second micro-universe for the constants extension: P.N : Int, with
+// the literals 1 and 2. Every state interns both literals, so the
+// enumerated states cover every adversarial configuration for queries
+// over this family.
+// ---------------------------------------------------------------------
+
+class ExhaustiveConstants : public ::testing::Test {
+ protected:
+  ExhaustiveConstants()
+      : schema_(MustParseSchema(R"(
+schema Micro2 {
+  class P { N: Int; }
+})")) {
+    p_ = schema_.FindClass("P").value();
+    BuildQueries();
+    BuildStates();
+  }
+
+  void AddQueriesFor(const std::vector<ClassId>& var_classes) {
+    ConjunctiveQuery base;
+    for (size_t i = 0; i < var_classes.size(); ++i) {
+      VarId v = base.AddVariable(std::string(1, static_cast<char>('x' + i)));
+      base.AddAtom(Atom::Range(v, {var_classes[i]}));
+    }
+    std::vector<Atom> pool;
+    for (VarId a = 0; a < var_classes.size(); ++a) {
+      if (var_classes[a] == kIntClassId) {
+        pool.push_back(Atom::Constant(a, int64_t{1}));
+        pool.push_back(Atom::Constant(a, int64_t{2}));
+      }
+      for (VarId b = 0; b < var_classes.size(); ++b) {
+        if (a == b) continue;
+        if (a < b && var_classes[a] == var_classes[b]) {
+          pool.push_back(Atom::Equality(Term::Var(a), Term::Var(b)));
+          pool.push_back(Atom::Inequality(Term::Var(a), Term::Var(b)));
+        }
+        if (var_classes[a] == kIntClassId && var_classes[b] == p_) {
+          pool.push_back(Atom::Equality(Term::Var(a), Term::Attr(b, "N")));
+        }
+      }
+    }
+    queries_.push_back(base);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      ConjunctiveQuery one = base;
+      one.AddAtom(pool[i]);
+      queries_.push_back(one);
+      for (size_t j = i + 1; j < pool.size(); ++j) {
+        ConjunctiveQuery two = base;
+        two.AddAtom(pool[i]);
+        two.AddAtom(pool[j]);
+        queries_.push_back(two);
+      }
+    }
+  }
+
+  void BuildQueries() {
+    AddQueriesFor({p_});
+    AddQueriesFor({kIntClassId});
+    AddQueriesFor({p_, kIntClassId});
+    AddQueriesFor({kIntClassId, p_});
+    AddQueriesFor({kIntClassId, kIntClassId});
+    AddQueriesFor({p_, p_});
+    AddQueriesFor({kIntClassId, p_, p_});
+  }
+
+  void BuildStates() {
+    // Every subset of the literal pool {1, 2, 7} may be interned (under
+    // active-domain semantics the Int extent is exactly what the state
+    // interns — a state without the literal 1 refutes, e.g.,
+    // { x | x in P } ⊆ { x | ∃y (x in P & y in Int & y = 1) }; the
+    // third value 7 witnesses "some int different from both constants").
+    // Each P object's N slot is null or one of the interned ints.
+    const int64_t kPool[] = {1, 2, 7};
+    for (int subset = 0; subset < 8; ++subset) {
+      std::vector<int64_t> interned;
+      for (int i = 0; i < 3; ++i) {
+        if (subset & (1 << i)) interned.push_back(kPool[i]);
+      }
+      for (int np = 0; np <= 2; ++np) {
+        int per_p = 1 + static_cast<int>(interned.size());
+        int total = 1;
+        for (int k = 0; k < np; ++k) total *= per_p;
+        for (int config = 0; config < total; ++config) {
+          State state(&schema_);
+          std::vector<Oid> ints;
+          for (int64_t value : interned) {
+            ints.push_back(state.InternInt(value));
+          }
+          int rest = config;
+          for (int k = 0; k < np; ++k) {
+            Oid p = *state.AddObject(p_);
+            int pick = rest % per_p;
+            rest /= per_p;
+            if (pick > 0) {
+              ASSERT_TRUE(
+                  state.SetAttribute(p, "N", Value::Ref(ints[pick - 1])).ok());
+            }
+          }
+          ASSERT_TRUE(state.Validate().ok());
+          states_.push_back(std::move(state));
+        }
+      }
+    }
+  }
+
+  Schema schema_;
+  ClassId p_;
+  std::vector<ConjunctiveQuery> queries_;
+  std::vector<State> states_;
+};
+
+TEST_F(ExhaustiveConstants, ContainmentWithConstantsMatchesSemantics) {
+  std::vector<std::vector<std::vector<Oid>>> answers(queries_.size());
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    for (const State& s : states_) {
+      answers[qi].push_back(*Evaluate(s, queries_[qi]));
+    }
+  }
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    for (size_t j = 0; j < queries_.size(); ++j) {
+      StatusOr<bool> algorithmic = Contained(schema_, queries_[i], queries_[j]);
+      ASSERT_TRUE(algorithmic.ok()) << algorithmic.status().ToString();
+      bool semantic = true;
+      for (size_t si = 0; si < states_.size() && semantic; ++si) {
+        semantic = std::includes(answers[j][si].begin(), answers[j][si].end(),
+                                 answers[i][si].begin(), answers[i][si].end());
+      }
+      EXPECT_EQ(*algorithmic, semantic)
+          << "Q1 = " << QueryToString(schema_, queries_[i])
+          << "\nQ2 = " << QueryToString(schema_, queries_[j]);
+    }
+  }
+}
+
+TEST_F(ExhaustiveConstants, SatisfiabilityWithConstantsMatchesSemantics) {
+  for (const ConjunctiveQuery& q : queries_) {
+    bool algorithmic = CheckSatisfiable(schema_, q).satisfiable;
+    bool semantic = false;
+    for (const State& s : states_) {
+      if (!Evaluate(s, q)->empty()) {
+        semantic = true;
+        break;
+      }
+    }
+    EXPECT_EQ(algorithmic, semantic) << QueryToString(schema_, q);
+  }
+}
+
+}  // namespace
+}  // namespace oocq

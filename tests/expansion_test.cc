@@ -1,0 +1,141 @@
+// Unit tests for the Prop 2.1 terminal expansion.
+
+#include <gtest/gtest.h>
+
+#include "core/expansion.h"
+#include "core/satisfiability.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+class ExpansionTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(R"(
+schema Exp {
+  class A { }
+  class A1 under A { }
+  class A2 under A { }
+  class A3 under A { }
+  class B { }
+  class B1 under B { }
+  class B2 under B { }
+})");
+};
+
+TEST_F(ExpansionTest, TerminalQueryExpandsToItself) {
+  ConjunctiveQuery query = MustParseQuery(schema_, "{ x | x in A1 }");
+  StatusOr<UnionQuery> expansion = ExpandToTerminalQueries(schema_, query);
+  OOCQ_ASSERT_OK(expansion.status());
+  ASSERT_EQ(expansion->disjuncts.size(), 1u);
+  EXPECT_EQ(expansion->disjuncts[0], query);
+}
+
+TEST_F(ExpansionTest, NonTerminalVariableFansOut) {
+  ConjunctiveQuery query = MustParseQuery(schema_, "{ x | x in A }");
+  StatusOr<UnionQuery> expansion = ExpandToTerminalQueries(schema_, query);
+  OOCQ_ASSERT_OK(expansion.status());
+  EXPECT_EQ(expansion->disjuncts.size(), 3u);
+}
+
+TEST_F(ExpansionTest, ProductAcrossVariables) {
+  ConjunctiveQuery query =
+      MustParseQuery(schema_, "{ x | exists y (x in A & y in B) }");
+  ExpansionStats stats;
+  StatusOr<UnionQuery> expansion =
+      ExpandToTerminalQueries(schema_, query, {}, &stats);
+  OOCQ_ASSERT_OK(expansion.status());
+  EXPECT_EQ(expansion->disjuncts.size(), 6u);
+  EXPECT_EQ(stats.raw_disjuncts, 6u);
+  EXPECT_EQ(stats.satisfiable_disjuncts, 6u);
+}
+
+TEST_F(ExpansionTest, DisjunctionRange) {
+  ConjunctiveQuery query = MustParseQuery(schema_, "{ x | x in A1|B }");
+  StatusOr<UnionQuery> expansion = ExpandToTerminalQueries(schema_, query);
+  OOCQ_ASSERT_OK(expansion.status());
+  // A1 + {B1, B2} = 3 choices.
+  EXPECT_EQ(expansion->disjuncts.size(), 3u);
+}
+
+TEST_F(ExpansionTest, DisjunctionOverlapDeduplicates) {
+  // A and A2 overlap: terminal choices are {A1,A2,A3}, not 4.
+  ConjunctiveQuery query = MustParseQuery(schema_, "{ x | x in A|A2 }");
+  StatusOr<UnionQuery> expansion = ExpandToTerminalQueries(schema_, query);
+  OOCQ_ASSERT_OK(expansion.status());
+  EXPECT_EQ(expansion->disjuncts.size(), 3u);
+}
+
+TEST_F(ExpansionTest, AllDisjunctsAreTerminalAndSatisfiable) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists y (x in A & y in A & x = y) }");
+  StatusOr<UnionQuery> expansion = ExpandToTerminalQueries(schema_, query);
+  OOCQ_ASSERT_OK(expansion.status());
+  // x = y forces equal terminal classes: 3 of the 9 combinations survive.
+  EXPECT_EQ(expansion->disjuncts.size(), 3u);
+  for (const ConjunctiveQuery& disjunct : expansion->disjuncts) {
+    EXPECT_TRUE(disjunct.IsTerminal(schema_));
+    EXPECT_TRUE(CheckSatisfiable(schema_, disjunct).satisfiable);
+  }
+}
+
+TEST_F(ExpansionTest, NonRangeAtomPrunesAndIsRemoved) {
+  ConjunctiveQuery query =
+      MustParseQuery(schema_, "{ x | x in A & x notin A2 }");
+  StatusOr<UnionQuery> expansion = ExpandToTerminalQueries(schema_, query);
+  OOCQ_ASSERT_OK(expansion.status());
+  // A2 choice is unsatisfiable; survivors have the non-range atom removed.
+  EXPECT_EQ(expansion->disjuncts.size(), 2u);
+  for (const ConjunctiveQuery& disjunct : expansion->disjuncts) {
+    EXPECT_EQ(disjunct.atoms().size(), 1u);
+    EXPECT_NE(disjunct.RangeClassOf(0), schema_.FindClass("A2").value());
+  }
+}
+
+TEST_F(ExpansionTest, RawModeKeepsUnsatisfiable) {
+  ConjunctiveQuery query =
+      MustParseQuery(schema_, "{ x | x in A & x notin A2 }");
+  ExpansionOptions options;
+  options.prune_unsatisfiable = false;
+  StatusOr<UnionQuery> expansion =
+      ExpandToTerminalQueries(schema_, query, options);
+  OOCQ_ASSERT_OK(expansion.status());
+  EXPECT_EQ(expansion->disjuncts.size(), 3u);
+}
+
+TEST_F(ExpansionTest, DisjunctCapEnforced) {
+  // 3 * 3 * 3 * 3 * 3 = 243 > 100.
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ a | exists b exists c exists d exists e (a in A & b in A & c in A "
+      "& d in A & e in A) }");
+  ExpansionOptions options;
+  options.max_disjuncts = 100;
+  EXPECT_EQ(ExpandToTerminalQueries(schema_, query, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(ExpansionTest, PrimitiveRangesStayPut) {
+  Schema schema = MustParseSchema(R"(
+schema P {
+  class C { Name: String; }
+})");
+  ConjunctiveQuery query = MustParseQuery(
+      schema, "{ x | exists n (x in C & n in String & n = x.Name) }");
+  StatusOr<UnionQuery> expansion = ExpandToTerminalQueries(schema, query);
+  OOCQ_ASSERT_OK(expansion.status());
+  EXPECT_EQ(expansion->disjuncts.size(), 1u);
+}
+
+TEST_F(ExpansionTest, IllFormedQueryRejected) {
+  ConjunctiveQuery query;
+  query.AddVariable("x");  // No range atom.
+  EXPECT_EQ(ExpandToTerminalQueries(schema_, query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace oocq

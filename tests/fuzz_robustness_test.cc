@@ -1,0 +1,111 @@
+// Robustness tests: no input — however malformed — may crash the lexer
+// or the parsers; everything must come back as a Status. Random byte
+// strings, random token soups, and systematic truncations of valid
+// inputs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "parser/state_parser.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseSchema;
+
+class FuzzRobustness : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Schema schema_ = MustParseSchema(testing::kVehicleRentalSchema);
+};
+
+TEST_P(FuzzRobustness, RandomBytesNeverCrash) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> length(0, 120);
+  std::uniform_int_distribution<int> byte(1, 126);  // Printable-ish ASCII.
+  for (int round = 0; round < 60; ++round) {
+    std::string input;
+    int n = length(rng);
+    for (int i = 0; i < n; ++i) input += static_cast<char>(byte(rng));
+    // Every front end must return a Status, never crash or hang.
+    (void)Tokenize(input);
+    (void)ParseSchema(input);
+    (void)ParseQuery(schema_, input);
+    (void)ParseUnionQuery(schema_, input);
+    (void)ParseState(&schema_, input);
+  }
+}
+
+TEST_P(FuzzRobustness, RandomTokenSoupNeverCrashes) {
+  // Structurally plausible garbage: valid tokens in random order.
+  const std::string tokens[] = {
+      "{", "}", "(", ")", "|", "&", ".", ";", ":", ",", "=", "!=",
+      "exists", "in", "notin", "union", "schema", "class", "under",
+      "state", "null", "x", "y", "Auto", "Vehicle", "VehRented", "42",
+      "2.5", "\"s\""};
+  std::mt19937_64 rng(GetParam() + 100);
+  std::uniform_int_distribution<size_t> pick(0, std::size(tokens) - 1);
+  std::uniform_int_distribution<int> length(1, 40);
+  for (int round = 0; round < 60; ++round) {
+    std::string input;
+    int n = length(rng);
+    for (int i = 0; i < n; ++i) {
+      input += tokens[pick(rng)];
+      input += ' ';
+    }
+    (void)ParseSchema(input);
+    (void)ParseQuery(schema_, input);
+    (void)ParseState(&schema_, input);
+  }
+}
+
+TEST_F(FuzzRobustness, TruncationsOfValidQueryAllReturnStatus) {
+  const std::string valid =
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented & "
+      "x != y & x notin y.VehRented) }";
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    std::string truncated = valid.substr(0, cut);
+    StatusOr<ConjunctiveQuery> result = ParseQuery(schema_, truncated);
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;  // All proper prefixes fail.
+  }
+  OOCQ_EXPECT_OK(ParseQuery(schema_, valid).status());
+}
+
+TEST_F(FuzzRobustness, TruncationsOfValidSchemaAllReturnStatus) {
+  const std::string valid(testing::kVehicleRentalSchema);
+  for (size_t cut = 0; cut < valid.size(); cut += 3) {
+    (void)ParseSchema(valid.substr(0, cut));
+  }
+}
+
+TEST_F(FuzzRobustness, TruncationsOfValidStateAllReturnStatus) {
+  const std::string valid = R"(
+state {
+  corolla: Auto { VehId = "COR-1"; Doors = 4; }
+  alice: Discount { VehRented = { corolla }; Rate = 0.1; }
+})";
+  for (size_t cut = 0; cut < valid.size(); cut += 2) {
+    (void)ParseState(&schema_, valid.substr(0, cut));
+  }
+}
+
+TEST_F(FuzzRobustness, PathologicalNesting) {
+  // Deep brace nesting must not blow the stack.
+  std::string deep(5000, '{');
+  (void)ParseQuery(schema_, deep);
+  (void)ParseSchema(deep);
+  std::string long_path = "{ x | x in Auto & x";
+  for (int i = 0; i < 2000; ++i) long_path += ".VehId";
+  long_path += " = x }";
+  (void)ParseQuery(schema_, long_path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRobustness,
+                         ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+}  // namespace
+}  // namespace oocq

@@ -1,0 +1,338 @@
+// End-to-end reproduction of every worked example in the paper (the
+// reproduction targets E1-E4 of DESIGN.md): each test drives the public
+// pipeline — parser, expansion, containment, minimization — and asserts
+// the claims the paper makes about the example.
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "core/expansion.h"
+#include "core/minimization.h"
+#include "core/optimizer.h"
+#include "core/search_space.h"
+#include "query/printer.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::kImpliedInequalitySchema;
+using ::oocq::testing::kExample31Schema;
+using ::oocq::testing::kExample32Schema;
+using ::oocq::testing::kExample33Schema;
+using ::oocq::testing::kPartitionSchema;
+using ::oocq::testing::kVehicleRentalSchema;
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+// ---------------------------------------------------------------------
+// E1 — Example 1.1 / 2.1: the Vehicle/Discount query.
+// ---------------------------------------------------------------------
+
+class VehicleRentalExample : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(kVehicleRentalSchema);
+  ConjunctiveQuery query_ = MustParseQuery(
+      schema_,
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }");
+};
+
+TEST_F(VehicleRentalExample, Example21RawExpansionHasThreeDisjuncts) {
+  // Ex 2.1: Vehicle expands into Auto/Trailer/Truck; Discount is terminal.
+  ExpansionOptions options;
+  options.prune_unsatisfiable = false;
+  StatusOr<UnionQuery> expansion =
+      ExpandToTerminalQueries(schema_, query_, options);
+  OOCQ_ASSERT_OK(expansion.status());
+  EXPECT_EQ(expansion->disjuncts.size(), 3u);
+}
+
+TEST_F(VehicleRentalExample, Example11OnlyAutoDisjunctSurvives) {
+  // Ex 1.1: discount clients rent automobiles only, so the query is
+  // equivalent to { x | exists y (x in Auto & ...) }.
+  StatusOr<UnionQuery> expansion = ExpandToTerminalQueries(schema_, query_);
+  OOCQ_ASSERT_OK(expansion.status());
+  ASSERT_EQ(expansion->disjuncts.size(), 1u);
+  EXPECT_EQ(expansion->disjuncts[0].RangeClassOf(
+                expansion->disjuncts[0].free_var()),
+            schema_.FindClass("Auto").value());
+}
+
+TEST_F(VehicleRentalExample, Example11EquivalentToAutoQuery) {
+  QueryOptimizer optimizer(schema_);
+  ConjunctiveQuery auto_query = MustParseQuery(
+      schema_,
+      "{ x | exists y (x in Auto & y in Discount & x in y.VehRented) }");
+  StatusOr<bool> equivalent = optimizer.IsEquivalent(query_, auto_query);
+  OOCQ_ASSERT_OK(equivalent.status());
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST_F(VehicleRentalExample, OptimizeReducesSearchSpace) {
+  QueryOptimizer optimizer(schema_);
+  StatusOr<OptimizeReport> report = optimizer.Optimize(query_);
+  OOCQ_ASSERT_OK(report.status());
+  EXPECT_TRUE(report->exact);
+  // Original: x ranges over 3 terminal vehicle classes + y over Discount
+  // = 4; optimized: Auto + Discount = 2.
+  EXPECT_EQ(report->original_cost.total, 4u);
+  EXPECT_EQ(report->optimized_cost.total, 2u);
+}
+
+// ---------------------------------------------------------------------
+// E2 — Example 1.2 / 4.1: the partitioned N1 query.
+// ---------------------------------------------------------------------
+
+class PartitionExample : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(kPartitionSchema);
+  ConjunctiveQuery query_ = MustParseQuery(
+      schema_,
+      "{ x | exists y exists s (x in N1 & y in G & s in H & y = x.B & "
+      "y in x.A & s in x.A) }");
+};
+
+TEST_F(PartitionExample, Example41SixRawDisjuncts) {
+  ExpansionOptions options;
+  options.prune_unsatisfiable = false;
+  StatusOr<UnionQuery> expansion =
+      ExpandToTerminalQueries(schema_, query_, options);
+  OOCQ_ASSERT_OK(expansion.status());
+  // x in {T1,T2,T3} x y in {H,I} x s in {H} = 6 (Q1..Q6 in the paper).
+  EXPECT_EQ(expansion->disjuncts.size(), 6u);
+}
+
+TEST_F(PartitionExample, Example41OnlyQ2AndQ5Satisfiable) {
+  // Q1/Q4 die because T1 lacks B; Q3/Q6 because T3.A is of type {I}.
+  StatusOr<UnionQuery> expansion = ExpandToTerminalQueries(schema_, query_);
+  OOCQ_ASSERT_OK(expansion.status());
+  ASSERT_EQ(expansion->disjuncts.size(), 2u);
+  for (const ConjunctiveQuery& disjunct : expansion->disjuncts) {
+    EXPECT_EQ(disjunct.RangeClassOf(disjunct.free_var()),
+              schema_.FindClass("T2").value());
+  }
+}
+
+TEST_F(PartitionExample, Example41MinimizedResult) {
+  StatusOr<MinimizationReport> report =
+      MinimizePositiveQuery(schema_, query_);
+  OOCQ_ASSERT_OK(report.status());
+  EXPECT_EQ(report->raw_disjuncts, 6u);
+  EXPECT_EQ(report->satisfiable_disjuncts, 2u);
+  EXPECT_EQ(report->nonredundant_disjuncts, 2u);
+  // Q2 folds s onto y (one variable removed); Q5 is already minimal.
+  EXPECT_EQ(report->variables_removed, 1u);
+  ASSERT_EQ(report->minimized.disjuncts.size(), 2u);
+
+  // The minimized union is Q2' (2 bound->free vars: x,y) and Q5 (x,y,s).
+  std::vector<size_t> sizes;
+  for (const ConjunctiveQuery& q : report->minimized.disjuncts) {
+    sizes.push_back(q.num_vars());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{2, 3}));
+}
+
+TEST_F(PartitionExample, Example12MinimizedEquivalentToPaperUnion) {
+  // The paper's optimal union:
+  //   { x | exists y (x in T2 & y in H & y = x.B & y in x.A) }  union
+  //   { x | exists y exists s (x in T2 & y in I & s in H & y = x.B &
+  //                            y in x.A & s in x.A) }.
+  StatusOr<UnionQuery> expected = ParseUnionQuery(
+      schema_,
+      "{ x | exists y (x in T2 & y in H & y = x.B & y in x.A) } union "
+      "{ x | exists y exists s (x in T2 & y in I & s in H & y = x.B & "
+      "y in x.A & s in x.A) }");
+  OOCQ_ASSERT_OK(expected.status());
+
+  StatusOr<MinimizationReport> report =
+      MinimizePositiveQuery(schema_, query_);
+  OOCQ_ASSERT_OK(report.status());
+  StatusOr<bool> equivalent =
+      UnionEquivalent(schema_, report->minimized, *expected);
+  OOCQ_ASSERT_OK(equivalent.status());
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST_F(PartitionExample, Example41MinimizedDisjunctsAreMinimal) {
+  StatusOr<MinimizationReport> report =
+      MinimizePositiveQuery(schema_, query_);
+  OOCQ_ASSERT_OK(report.status());
+  for (const ConjunctiveQuery& disjunct : report->minimized.disjuncts) {
+    StatusOr<bool> minimal = IsMinimalTerminalPositive(schema_, disjunct);
+    OOCQ_ASSERT_OK(minimal.status());
+    EXPECT_TRUE(*minimal) << QueryToString(schema_, disjunct);
+  }
+}
+
+TEST_F(PartitionExample, Example41CostDropsFromOriginal) {
+  QueryOptimizer optimizer(schema_);
+  StatusOr<OptimizeReport> report = optimizer.Optimize(query_);
+  OOCQ_ASSERT_OK(report.status());
+  // Original: x over {T1,T2,T3} (3) + y over {H,I} (2) + s over {H} (1) = 6.
+  EXPECT_EQ(report->original_cost.total, 6u);
+  // Optimized: Q2' contributes x:T2 + y:H = 2; Q5 contributes
+  // x:T2 + y:I + s:H = 3; total 5. Note the costs are *incomparable*
+  // under the paper's per-class <= relation (T2 now occurs twice): the
+  // optimality claim is that no equivalent union is strictly better, not
+  // that the result dominates the input.
+  EXPECT_EQ(report->optimized_cost.total, 5u);
+  EXPECT_FALSE(CostLeq(report->original_cost, report->optimized_cost));
+}
+
+// ---------------------------------------------------------------------
+// E3 — Example 1.3: inequality implied by positive conditions.
+// ---------------------------------------------------------------------
+
+class ImpliedInequalityExample : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(kImpliedInequalitySchema);
+  ConjunctiveQuery q1_ = MustParseQuery(
+      schema_,
+      "{ x | exists y exists s exists t (x in C & y in C & s in T1 & "
+      "t in T2 & s = x.A & t = y.A & x != y) }");
+  ConjunctiveQuery q2_ = MustParseQuery(
+      schema_,
+      "{ x | exists y exists s exists t (x in C & y in C & s in T1 & "
+      "t in T2 & s = x.A & t = y.A) }");
+};
+
+TEST_F(ImpliedInequalityExample, Q1ContainedInQ2) {
+  StatusOr<bool> contained = Contained(schema_, q1_, q2_);
+  OOCQ_ASSERT_OK(contained.status());
+  EXPECT_TRUE(*contained);
+}
+
+TEST_F(ImpliedInequalityExample, Q2ContainedInQ1) {
+  // The interesting direction: s in T1 and t in T2 force x != y, so the
+  // explicit inequality in Q1 is implied.
+  StatusOr<bool> contained = Contained(schema_, q2_, q1_);
+  OOCQ_ASSERT_OK(contained.status());
+  EXPECT_TRUE(*contained);
+}
+
+TEST_F(ImpliedInequalityExample, Q1EquivalentQ2) {
+  StatusOr<bool> equivalent = EquivalentQueries(schema_, q1_, q2_);
+  OOCQ_ASSERT_OK(equivalent.status());
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST_F(ImpliedInequalityExample, WithoutTypeForcingInequalityMatters) {
+  // Control: drop the t = y.A condition; then x != y is NOT implied.
+  ConjunctiveQuery weak_q1 = MustParseQuery(
+      schema_,
+      "{ x | exists y exists s (x in C & y in C & s in T1 & s = x.A & "
+      "x != y) }");
+  ConjunctiveQuery weak_q2 = MustParseQuery(
+      schema_,
+      "{ x | exists y exists s (x in C & y in C & s in T1 & s = x.A) }");
+  StatusOr<bool> forward = Contained(schema_, weak_q1, weak_q2);
+  OOCQ_ASSERT_OK(forward.status());
+  EXPECT_TRUE(*forward);
+  StatusOr<bool> backward = Contained(schema_, weak_q2, weak_q1);
+  OOCQ_ASSERT_OK(backward.status());
+  EXPECT_FALSE(*backward);
+}
+
+// ---------------------------------------------------------------------
+// E4 — Examples 3.1, 3.2, 3.3: containment of terminal queries.
+// ---------------------------------------------------------------------
+
+class Example31 : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(kExample31Schema);
+  ConjunctiveQuery q1_ = MustParseQuery(
+      schema_,
+      "{ x | exists y exists z (x in C & y in C & z in D & z = y.A & "
+      "z in y.B & x = y) }");
+  ConjunctiveQuery q2_ =
+      MustParseQuery(schema_, "{ y | exists z (y in C & z in D & z = y.A) }");
+};
+
+TEST_F(Example31, Q1ContainedInQ2) {
+  StatusOr<bool> contained = Contained(schema_, q1_, q2_);
+  OOCQ_ASSERT_OK(contained.status());
+  EXPECT_TRUE(*contained);
+}
+
+TEST_F(Example31, Q2NotContainedInQ1) {
+  // The only range-preserving mapping needs z in y.B derivable from Q2,
+  // which it is not.
+  StatusOr<bool> contained = Contained(schema_, q2_, q1_);
+  OOCQ_ASSERT_OK(contained.status());
+  EXPECT_FALSE(*contained);
+}
+
+class Example32 : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(kExample32Schema);
+  ConjunctiveQuery q1_ = MustParseQuery(
+      schema_,
+      "{ x | exists y exists z (x in C & y in C & z in C & x != y & "
+      "y != z) }");
+  ConjunctiveQuery q2_ =
+      MustParseQuery(schema_, "{ x | exists y (x in C & y in C & x != y) }");
+  ConjunctiveQuery q3_ = MustParseQuery(
+      schema_,
+      "{ x | exists y exists z (x in C & y in C & z in C & x != y & "
+      "y != z & x != z) }");
+};
+
+TEST_F(Example32, Q1EquivalentQ2) {
+  // Two distinct objects satisfy both chains of inequalities.
+  StatusOr<bool> equivalent = EquivalentQueries(schema_, q1_, q2_);
+  OOCQ_ASSERT_OK(equivalent.status());
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST_F(Example32, Q3ContainedInQ1) {
+  StatusOr<bool> contained = Contained(schema_, q3_, q1_);
+  OOCQ_ASSERT_OK(contained.status());
+  EXPECT_TRUE(*contained);
+}
+
+TEST_F(Example32, Q1NotContainedInQ3) {
+  // Q3 requires three pairwise-distinct objects.
+  StatusOr<bool> contained = Contained(schema_, q1_, q3_);
+  OOCQ_ASSERT_OK(contained.status());
+  EXPECT_FALSE(*contained);
+}
+
+TEST_F(Example32, Q3NotEquivalentQ1) {
+  StatusOr<bool> equivalent = EquivalentQueries(schema_, q3_, q1_);
+  OOCQ_ASSERT_OK(equivalent.status());
+  EXPECT_FALSE(*equivalent);
+}
+
+class Example33 : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(kExample33Schema);
+  ConjunctiveQuery q1_ =
+      MustParseQuery(schema_, "{ x | exists y (x in T1 & y in T2) }");
+  ConjunctiveQuery q2_ = MustParseQuery(
+      schema_, "{ x | exists y (x in T1 & y in T2 & x notin y.A) }");
+};
+
+TEST_F(Example33, Q2ContainedInQ1) {
+  StatusOr<bool> contained = Contained(schema_, q2_, q1_);
+  OOCQ_ASSERT_OK(contained.status());
+  EXPECT_TRUE(*contained);
+}
+
+TEST_F(Example33, Q1NotContainedInQ2) {
+  // A state where every T2 object's A-set contains x (or is null)
+  // separates the queries; the test machinery sees it through the
+  // membership-subset enumeration (W in Thm 3.1).
+  StatusOr<bool> contained = Contained(schema_, q1_, q2_);
+  OOCQ_ASSERT_OK(contained.status());
+  EXPECT_FALSE(*contained);
+}
+
+TEST_F(Example33, Q2SelfContained) {
+  StatusOr<bool> contained = Contained(schema_, q2_, q2_);
+  OOCQ_ASSERT_OK(contained.status());
+  EXPECT_TRUE(*contained);
+}
+
+}  // namespace
+}  // namespace oocq

@@ -1,0 +1,147 @@
+// Stress tests over a programmatically generated large schema (deep and
+// wide hierarchies, many attributes): the algorithms must stay correct
+// and within their documented complexity at realistic schema scale.
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "core/expansion.h"
+#include "core/minimization.h"
+#include "core/optimizer.h"
+#include "core/satisfiability.h"
+#include "schema/schema_builder.h"
+#include "schema/schema_printer.h"
+#include "state/evaluation.h"
+#include "state/generator.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+
+/// Builds a schema with a depth-`depth`, fanout-`fanout` class tree under
+/// a root "Part", each class adding one attribute, plus a container class
+/// with set attributes at every level.
+Schema BuildLargeSchema(int depth, int fanout) {
+  SchemaBuilder builder;
+  builder.AddClass("Part");
+  builder.AddAttribute("Part", "PartId", TypeName::Class("String"));
+  std::vector<std::string> frontier = {"Part"};
+  int counter = 0;
+  for (int level = 0; level < depth; ++level) {
+    std::vector<std::string> next;
+    for (const std::string& parent : frontier) {
+      for (int i = 0; i < fanout; ++i) {
+        std::string name = "P" + std::to_string(counter++);
+        builder.AddClass(name, {parent});
+        builder.AddAttribute(name, "Attr" + name, TypeName::Class("Int"));
+        next.push_back(name);
+      }
+    }
+    frontier = std::move(next);
+  }
+  builder.AddClass("Assembly");
+  builder.AddAttribute("Assembly", "Components", TypeName::SetOf("Part"));
+  builder.AddAttribute("Assembly", "Root", TypeName::Class("Part"));
+  return *builder.Build();
+}
+
+TEST(LargeSchema, BuildsAndResolves) {
+  Schema schema = BuildLargeSchema(/*depth=*/4, /*fanout=*/3);
+  // 1 + 3 + 9 + 27 + 81 = 121 part classes + Assembly.
+  EXPECT_EQ(schema.UserClasses().size(), 122u);
+  ClassId part = schema.FindClass("Part").value();
+  EXPECT_EQ(schema.TerminalDescendants(part).size(), 81u);
+  // Every leaf inherits PartId and its whole ancestor chain's attributes.
+  ClassId leaf = schema.TerminalDescendants(part).back();
+  EXPECT_NE(schema.FindAttribute(leaf, "PartId"), nullptr);
+  EXPECT_EQ(schema.class_info(leaf).all_attributes.size(), 1u + 4u);
+}
+
+TEST(LargeSchema, PrinterRoundTripsAtScale) {
+  Schema schema = BuildLargeSchema(3, 4);
+  std::string printed = SchemaToString(schema);
+  StatusOr<Schema> reparsed = ParseSchema(printed);
+  OOCQ_ASSERT_OK(reparsed.status());
+  EXPECT_EQ(reparsed->num_classes(), schema.num_classes());
+}
+
+TEST(LargeSchema, ExpansionAcross81Terminals) {
+  Schema schema = BuildLargeSchema(4, 3);
+  ConjunctiveQuery query = MustParseQuery(
+      schema,
+      "{ x | exists a (x in Part & a in Assembly & x in a.Components) }");
+  ExpansionStats stats;
+  StatusOr<UnionQuery> expansion =
+      ExpandToTerminalQueries(schema, query, {}, &stats);
+  OOCQ_ASSERT_OK(expansion.status());
+  EXPECT_EQ(stats.raw_disjuncts, 81u);
+  EXPECT_EQ(expansion->disjuncts.size(), 81u);
+}
+
+TEST(LargeSchema, AttributePinsSingleSubtree) {
+  Schema schema = BuildLargeSchema(4, 3);
+  // AttrP0 exists only in P0's subtree: 27 of the 81 leaves qualify.
+  ConjunctiveQuery query = MustParseQuery(
+      schema, "{ x | exists n (x in Part & n in Int & n = x.AttrP0) }");
+  StatusOr<MinimizationReport> report = MinimizePositiveQuery(schema, query);
+  OOCQ_ASSERT_OK(report.status());
+  EXPECT_EQ(report->raw_disjuncts, 81u);
+  EXPECT_EQ(report->satisfiable_disjuncts, 27u);
+}
+
+TEST(LargeSchema, DeepAttributePinsOneLeaf) {
+  Schema schema = BuildLargeSchema(4, 3);
+  // Pinning one attribute from every level of one chain isolates a
+  // single terminal class.
+  ClassId part = schema.FindClass("Part").value();
+  ClassId leaf = schema.TerminalDescendants(part).front();
+  std::string text = "{ x | ";
+  const auto& attrs = schema.class_info(leaf).all_attributes;
+  int quantified = 0;
+  std::string matrix = "x in Part";
+  for (const AttributeDef& attr : attrs) {
+    if (attr.name == "PartId") continue;
+    std::string v = "n" + std::to_string(quantified++);
+    text += "exists " + v + " ";
+    matrix += " & " + v + " in Int & " + v + " = x." + attr.name;
+  }
+  text += "(" + matrix + ") }";
+  ConjunctiveQuery query = MustParseQuery(schema, text);
+  StatusOr<MinimizationReport> report = MinimizePositiveQuery(schema, query);
+  OOCQ_ASSERT_OK(report.status());
+  ASSERT_EQ(report->minimized.disjuncts.size(), 1u);
+  EXPECT_EQ(report->minimized.disjuncts[0].RangeClassOf(
+                report->minimized.disjuncts[0].free_var()),
+            leaf);
+}
+
+TEST(LargeSchema, ContainmentAcrossSubtrees) {
+  Schema schema = BuildLargeSchema(4, 3);
+  QueryOptimizer optimizer(schema);
+  ConjunctiveQuery narrow = MustParseQuery(
+      schema, "{ x | exists n (x in P0 & n in Int & n = x.AttrP0) }");
+  ConjunctiveQuery wide = MustParseQuery(schema, "{ x | x in Part }");
+  StatusOr<bool> forward = optimizer.IsContained(narrow, wide);
+  OOCQ_ASSERT_OK(forward.status());
+  EXPECT_TRUE(*forward);
+  StatusOr<bool> backward = optimizer.IsContained(wide, narrow);
+  OOCQ_ASSERT_OK(backward.status());
+  EXPECT_FALSE(*backward);
+}
+
+TEST(LargeSchema, RandomStatesStayLegalAndEvaluable) {
+  Schema schema = BuildLargeSchema(3, 3);
+  GeneratorParams params;
+  params.objects_per_class = 2;
+  State state = GenerateRandomState(schema, params);
+  OOCQ_ASSERT_OK(state.Validate());
+  ConjunctiveQuery query = MustParseQuery(
+      schema,
+      "{ x | exists a (x in Part & a in Assembly & x in a.Components) }");
+  OOCQ_ASSERT_OK(Evaluate(state, query).status());
+}
+
+}  // namespace
+}  // namespace oocq

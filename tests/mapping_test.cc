@@ -1,0 +1,175 @@
+// Unit tests for the non-contradictory variable mapping search.
+
+#include <gtest/gtest.h>
+
+#include "core/derivability.h"
+#include "core/mapping.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+class MappingTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(R"(
+schema Map {
+  class D { }
+  class E under D { }
+  class F under D { }
+  class C { A: D; S: {D}; }
+})");
+
+  QueryAnalysis Analyze(const ConjunctiveQuery& query) {
+    StatusOr<QueryAnalysis> analysis = QueryAnalysis::Create(schema_, query);
+    EXPECT_TRUE(analysis.ok()) << analysis.status().ToString();
+    return *std::move(analysis);
+  }
+
+  MappingResult Find(const std::string& from_text, const std::string& to_text,
+                     MappingConstraints constraints = {}) {
+    ConjunctiveQuery from = MustParseQuery(schema_, from_text);
+    ConjunctiveQuery to = MustParseQuery(schema_, to_text);
+    QueryAnalysis analysis = Analyze(to);
+    return FindNonContradictoryMapping(schema_, from, analysis, constraints);
+  }
+};
+
+TEST_F(MappingTest, IdentityMappingFound) {
+  MappingResult result = Find("{ x | x in E }", "{ x | x in E }");
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ((*result.image)[0], 0u);
+}
+
+TEST_F(MappingTest, RangeClassMustMatchExactly) {
+  // E vs F: no candidate for the free variable.
+  EXPECT_FALSE(Find("{ x | x in E }", "{ x | x in F }").found());
+}
+
+TEST_F(MappingTest, FoldsTwoVariablesOntoOne) {
+  MappingResult result =
+      Find("{ x | exists y (x in E & y in E) }", "{ x | x in E }");
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ((*result.image)[0], 0u);
+  EXPECT_EQ((*result.image)[1], 0u);
+}
+
+TEST_F(MappingTest, FreeVariableConditionViaEquivalence) {
+  // Condition (i): the free variable may land on any variable equivalent
+  // to the target free variable.
+  MappingResult result = Find(
+      "{ x | x in E }",
+      "{ x | exists y (x in E & y in E & x = y) }");
+  ASSERT_TRUE(result.found());
+  VarId image = (*result.image)[0];
+  EXPECT_TRUE(image == 0u || image == 1u);
+}
+
+TEST_F(MappingTest, FreeVariableCannotLandElsewhere) {
+  MappingResult result = Find(
+      "{ x | x in E }", "{ x | exists y (x in E & y in E) }");
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ((*result.image)[0], 0u);
+}
+
+TEST_F(MappingTest, EqualityAtomMustBeDerivable) {
+  // from: u = x.A; to has no x.A term.
+  MappingResult result = Find(
+      "{ x | exists u (x in C & u in E & u = x.A) }",
+      "{ x | exists u (x in C & u in E) }");
+  EXPECT_FALSE(result.found());
+
+  result = Find(
+      "{ x | exists u (x in C & u in E & u = x.A) }",
+      "{ x | exists u (x in C & u in E & u = x.A) }");
+  EXPECT_TRUE(result.found());
+}
+
+TEST_F(MappingTest, MembershipAtomMustBeDerivable) {
+  MappingResult result = Find(
+      "{ x | exists u (x in C & u in E & u in x.S) }",
+      "{ x | exists u (x in C & u in E & u notin x.S) }");
+  EXPECT_FALSE(result.found());
+}
+
+TEST_F(MappingTest, InequalityNeedsDistinctClasses) {
+  // Mapping x != y onto a target where both candidates collapse fails.
+  MappingResult result = Find(
+      "{ x | exists y (x in E & y in E & x != y) }",
+      "{ x | exists y (x in E & y in E & x = y) }");
+  EXPECT_FALSE(result.found());
+
+  result = Find(
+      "{ x | exists y (x in E & y in E & x != y) }",
+      "{ x | exists y (x in E & y in E & x != y) }");
+  EXPECT_TRUE(result.found());
+}
+
+TEST_F(MappingTest, InequalityToleratedWithoutExplicitAtom) {
+  // 'Does not contradict' only needs distinct equivalence classes in the
+  // target, not an inequality atom.
+  MappingResult result = Find(
+      "{ x | exists y (x in E & y in E & x != y) }",
+      "{ x | exists y (x in E & y in E) }");
+  EXPECT_TRUE(result.found());
+}
+
+TEST_F(MappingTest, ForbiddenTargetExcluded) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists y (x in E & y in E) }");
+  QueryAnalysis analysis = Analyze(query);
+  MappingConstraints constraints;
+  constraints.forbidden_target = 1;
+  MappingResult result =
+      FindNonContradictoryMapping(schema_, query, analysis, constraints);
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ((*result.image)[1], 0u);  // y had to fold onto x.
+}
+
+TEST_F(MappingTest, ForbiddenTargetMakesSearchFail) {
+  // y in x.S cannot fold onto x (different classes), so forbidding y
+  // leaves no mapping.
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists y (x in C & y in E & y in x.S) }");
+  QueryAnalysis analysis = Analyze(query);
+  MappingConstraints constraints;
+  constraints.forbidden_target = 1;
+  EXPECT_FALSE(
+      FindNonContradictoryMapping(schema_, query, analysis, constraints)
+          .found());
+}
+
+TEST_F(MappingTest, StepBudgetExhaustion) {
+  ConjunctiveQuery from = MustParseQuery(
+      schema_,
+      "{ a | exists b exists c exists d (a in E & b in E & c in E & "
+      "d in E & a != b & b != c & c != d) }");
+  ConjunctiveQuery to = MustParseQuery(
+      schema_,
+      "{ a | exists b exists c exists d (a in E & b in E & c in E & "
+      "d in E) }");
+  QueryAnalysis analysis = Analyze(to);
+  MappingConstraints constraints;
+  constraints.max_steps = 2;
+  MappingResult result =
+      FindNonContradictoryMapping(schema_, from, analysis, constraints);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.found());
+}
+
+TEST_F(MappingTest, StepsAreCounted) {
+  MappingResult result = Find("{ x | x in E }", "{ x | x in E }");
+  EXPECT_GT(result.steps, 0u);
+}
+
+TEST_F(MappingTest, NonRangeAtomCheckedStatically) {
+  // from has x notin F; image class E is not under F: fine.
+  MappingResult result = Find("{ x | x in E & x notin F }",
+                              "{ x | x in E }");
+  EXPECT_TRUE(result.found());
+}
+
+}  // namespace
+}  // namespace oocq

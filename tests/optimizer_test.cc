@@ -1,0 +1,119 @@
+// Unit tests for the QueryOptimizer facade.
+
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "query/printer.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(testing::kVehicleRentalSchema);
+  QueryOptimizer optimizer_{schema_};
+};
+
+TEST_F(OptimizerTest, OptimizeTextParsesAndMinimizes) {
+  StatusOr<OptimizeReport> report = optimizer_.OptimizeText(
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }");
+  OOCQ_ASSERT_OK(report.status());
+  EXPECT_TRUE(report->exact);
+  ASSERT_EQ(report->optimized.disjuncts.size(), 1u);
+  EXPECT_EQ(report->original_cost.total, 4u);
+  EXPECT_EQ(report->optimized_cost.total, 2u);
+}
+
+TEST_F(OptimizerTest, OptimizeTextParseErrorPropagates) {
+  EXPECT_EQ(optimizer_.OptimizeText("{ x | x in Nowhere }").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(OptimizerTest, OptimizeNormalizesRaggedQueries) {
+  // A variable with no range atom: the facade normalizes before §4.
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  VarId y = query.AddVariable("y");
+  query.AddAtom(Atom::Range(x, {schema_.FindClass("Auto").value()}));
+  query.AddAtom(Atom::Equality(Term::Var(x), Term::Var(y)));
+  StatusOr<OptimizeReport> report = optimizer_.Optimize(query);
+  OOCQ_ASSERT_OK(report.status());
+  ASSERT_EQ(report->optimized.disjuncts.size(), 1u);
+  // The equated pair folds to a single variable.
+  EXPECT_EQ(report->optimized.disjuncts[0].num_vars(), 1u);
+}
+
+TEST_F(OptimizerTest, UnsatisfiableQueryOptimizesToEmptyUnion) {
+  StatusOr<OptimizeReport> report = optimizer_.OptimizeText(
+      "{ x | exists y (x in Trailer & y in Discount & x in y.VehRented) }");
+  OOCQ_ASSERT_OK(report.status());
+  EXPECT_TRUE(report->optimized.disjuncts.empty());
+  EXPECT_EQ(report->optimized_cost.total, 0u);
+}
+
+TEST_F(OptimizerTest, GeneralQueriesRouteThroughVerifiedFolding) {
+  StatusOr<OptimizeReport> report = optimizer_.OptimizeText(
+      "{ x | exists y exists z (x in Auto & y in Discount & z in Discount & "
+      "x in y.VehRented & x in z.VehRented & y != z) }");
+  OOCQ_ASSERT_OK(report.status());
+  EXPECT_FALSE(report->exact);
+  ASSERT_EQ(report->optimized.disjuncts.size(), 1u);
+  // y != z pins both client witnesses: nothing may fold.
+  EXPECT_EQ(report->optimized.disjuncts[0].num_vars(), 3u);
+}
+
+TEST_F(OptimizerTest, IsContainedAcrossHierarchy) {
+  ConjunctiveQuery specific = MustParseQuery(
+      schema_,
+      "{ x | exists y (x in Auto & y in Discount & x in y.VehRented) }");
+  ConjunctiveQuery general = MustParseQuery(
+      schema_,
+      "{ x | exists y (x in Vehicle & y in Client & x in y.VehRented) }");
+  StatusOr<bool> forward = optimizer_.IsContained(specific, general);
+  OOCQ_ASSERT_OK(forward.status());
+  EXPECT_TRUE(*forward);
+  StatusOr<bool> backward = optimizer_.IsContained(general, specific);
+  OOCQ_ASSERT_OK(backward.status());
+  EXPECT_FALSE(*backward);
+}
+
+TEST_F(OptimizerTest, IsEquivalentThroughTypingConstraints) {
+  ConjunctiveQuery a = MustParseQuery(
+      schema_,
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }");
+  ConjunctiveQuery b = MustParseQuery(
+      schema_,
+      "{ x | exists y (x in Auto & y in Discount & x in y.VehRented) }");
+  StatusOr<bool> equivalent = optimizer_.IsEquivalent(a, b);
+  OOCQ_ASSERT_OK(equivalent.status());
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST_F(OptimizerTest, SummaryMentionsKeyNumbers) {
+  StatusOr<OptimizeReport> report = optimizer_.OptimizeText(
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }");
+  OOCQ_ASSERT_OK(report.status());
+  std::string summary = report->Summary(schema_);
+  EXPECT_NE(summary.find("exact minimization"), std::string::npos);
+  EXPECT_NE(summary.find("3 raw"), std::string::npos);
+  EXPECT_NE(summary.find("4 -> 2"), std::string::npos);
+  EXPECT_NE(summary.find("x in Auto"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, OptimizedOutputReparses) {
+  StatusOr<OptimizeReport> report = optimizer_.OptimizeText(
+      "{ x | exists y (x in Vehicle & y in Client & x in y.VehRented) }");
+  OOCQ_ASSERT_OK(report.status());
+  std::string printed = UnionQueryToString(schema_, report->optimized);
+  StatusOr<UnionQuery> reparsed = ParseUnionQuery(schema_, printed);
+  OOCQ_ASSERT_OK(reparsed.status());
+  EXPECT_EQ(reparsed->disjuncts.size(), report->optimized.disjuncts.size());
+}
+
+}  // namespace
+}  // namespace oocq

@@ -1,0 +1,270 @@
+// Unit tests for the lexer and the schema/query parsers.
+
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseSchema;
+
+// --------------------------- Lexer ---------------------------
+
+TEST(Lexer, Tokens) {
+  StatusOr<std::vector<Token>> tokens =
+      Tokenize("{ x | exists y (x in C & y != x.A) }");
+  OOCQ_ASSERT_OK(tokens.status());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kLBrace, TokenKind::kIdent, TokenKind::kPipe,
+                       TokenKind::kExists, TokenKind::kIdent,
+                       TokenKind::kLParen, TokenKind::kIdent, TokenKind::kIn,
+                       TokenKind::kIdent, TokenKind::kAmp, TokenKind::kIdent,
+                       TokenKind::kNeq, TokenKind::kIdent, TokenKind::kDot,
+                       TokenKind::kIdent, TokenKind::kRParen,
+                       TokenKind::kRBrace, TokenKind::kEnd}));
+}
+
+TEST(Lexer, Keywords) {
+  StatusOr<std::vector<Token>> tokens =
+      Tokenize("schema class under union in notin exists");
+  OOCQ_ASSERT_OK(tokens.status());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kSchema);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kClass);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kUnder);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kUnion);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kIn);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kNotin);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kExists);
+}
+
+TEST(Lexer, KeywordsAreCaseSensitive) {
+  StatusOr<std::vector<Token>> tokens = Tokenize("In NOTIN Exists");
+  OOCQ_ASSERT_OK(tokens.status());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*tokens)[i].kind, TokenKind::kIdent);
+  }
+}
+
+TEST(Lexer, CommentsSkipped) {
+  StatusOr<std::vector<Token>> tokens =
+      Tokenize("a // comment\n# another\nb");
+  OOCQ_ASSERT_OK(tokens.status());
+  ASSERT_EQ(tokens->size(), 3u);  // a, b, End.
+  EXPECT_EQ((*tokens)[1].text, "b");
+  EXPECT_EQ((*tokens)[1].line, 3);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  StatusOr<std::vector<Token>> tokens = Tokenize("ab\n  cd");
+  OOCQ_ASSERT_OK(tokens.status());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[0].column, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(Lexer, PrimeInIdentifier) {
+  StatusOr<std::vector<Token>> tokens = Tokenize("x'1");
+  OOCQ_ASSERT_OK(tokens.status());
+  EXPECT_EQ((*tokens)[0].text, "x'1");
+}
+
+TEST(Lexer, BangWithoutEqualsRejected) {
+  EXPECT_EQ(Tokenize("x ! y").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Lexer, UnexpectedCharacterRejected) {
+  Status status = Tokenize("x @ y").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("1:3"), std::string::npos);
+}
+
+// --------------------------- Schema parser ---------------------------
+
+TEST(ParseSchema, VehicleRental) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  ClassId discount = schema.FindClass("Discount").value();
+  const TypeExpr* rented = schema.FindAttribute(discount, "VehRented");
+  ASSERT_NE(rented, nullptr);
+  EXPECT_TRUE(rented->is_set());
+  EXPECT_EQ(rented->cls(), schema.FindClass("Auto").value());
+}
+
+TEST(ParseSchema, MultipleParents) {
+  StatusOr<Schema> schema = ParseSchema(R"(
+schema M {
+  class A { }
+  class B { }
+  class C under A, B { }
+})");
+  OOCQ_ASSERT_OK(schema.status());
+  ClassId c = schema->FindClass("C").value();
+  EXPECT_TRUE(schema->IsSubclassOf(c, schema->FindClass("A").value()));
+  EXPECT_TRUE(schema->IsSubclassOf(c, schema->FindClass("B").value()));
+}
+
+TEST(ParseSchema, MissingSemicolonRejected) {
+  Status status =
+      ParseSchema("schema S { class A { X: Int } }").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseSchema, MissingKeywordRejected) {
+  EXPECT_FALSE(ParseSchema("klass A { }").ok());
+}
+
+TEST(ParseSchema, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseSchema("schema S { } extra").ok());
+}
+
+TEST(ParseSchema, SetType) {
+  StatusOr<Schema> schema = ParseSchema(R"(
+schema S {
+  class A { }
+  class B { Items: {A}; Count: Int; }
+})");
+  OOCQ_ASSERT_OK(schema.status());
+  const TypeExpr* items =
+      schema->FindAttribute(schema->FindClass("B").value(), "Items");
+  ASSERT_NE(items, nullptr);
+  EXPECT_TRUE(items->is_set());
+}
+
+// --------------------------- Query parser ---------------------------
+
+class ParseQueryTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(testing::kVehicleRentalSchema);
+};
+
+TEST_F(ParseQueryTest, SimpleQuery) {
+  StatusOr<ConjunctiveQuery> query = ParseQuery(
+      schema_,
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }");
+  OOCQ_ASSERT_OK(query.status());
+  EXPECT_EQ(query->num_vars(), 2u);
+  EXPECT_EQ(query->free_var(), 0u);
+  EXPECT_EQ(query->atoms().size(), 3u);
+  EXPECT_EQ(query->atoms()[2].kind(), AtomKind::kMembership);
+}
+
+TEST_F(ParseQueryTest, SingleAtomWithoutParens) {
+  StatusOr<ConjunctiveQuery> query = ParseQuery(schema_, "{ x | x in Auto }");
+  OOCQ_ASSERT_OK(query.status());
+  EXPECT_EQ(query->atoms().size(), 1u);
+}
+
+TEST_F(ParseQueryTest, ClassDisjunction) {
+  StatusOr<ConjunctiveQuery> query =
+      ParseQuery(schema_, "{ x | x in Auto|Truck|Trailer }");
+  OOCQ_ASSERT_OK(query.status());
+  EXPECT_EQ(query->atoms()[0].classes().size(), 3u);
+}
+
+TEST_F(ParseQueryTest, AllAtomKinds) {
+  StatusOr<ConjunctiveQuery> query = ParseQuery(
+      schema_,
+      "{ x | exists y exists z (x in Auto & y notin Truck|Trailer & "
+      "y in Client & z in Auto & x = z & x != y.VehRented & "
+      "x in y.VehRented & z notin y.VehRented) }");
+  OOCQ_ASSERT_OK(query.status());
+  EXPECT_EQ(query->atoms().size(), 8u);
+  EXPECT_EQ(query->atoms()[1].kind(), AtomKind::kNonRange);
+  EXPECT_EQ(query->atoms()[4].kind(), AtomKind::kEquality);
+  EXPECT_EQ(query->atoms()[5].kind(), AtomKind::kInequality);
+  EXPECT_EQ(query->atoms()[6].kind(), AtomKind::kMembership);
+  EXPECT_EQ(query->atoms()[7].kind(), AtomKind::kNonMembership);
+}
+
+TEST_F(ParseQueryTest, UndeclaredVariableRejected) {
+  Status status = ParseQuery(schema_, "{ x | x in Auto & y in Auto }").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("undeclared variable 'y'"),
+            std::string::npos);
+}
+
+TEST_F(ParseQueryTest, UnknownClassRejected) {
+  Status status = ParseQuery(schema_, "{ x | x in Bicycle }").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unknown class 'Bicycle'"),
+            std::string::npos);
+}
+
+TEST_F(ParseQueryTest, DuplicateQuantifierRejected) {
+  Status status =
+      ParseQuery(schema_, "{ x | exists x (x in Auto) }").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParseQueryTest, MembershipAttributeLhsDesugars) {
+  // `x.VehId in y.VehRented` lowers to `_p = x.VehId & _p in y.VehRented`
+  // (the paper's §2.2 remark).
+  StatusOr<ConjunctiveQuery> query =
+      ParseQuery(schema_, "{ x | exists y (x in Auto & y in Client & "
+                          "x.VehId in y.VehRented) }");
+  OOCQ_ASSERT_OK(query.status());
+  EXPECT_EQ(query->num_vars(), 3u);  // x, y, _p0... fresh element.
+  bool found_equality = false;
+  bool found_membership = false;
+  for (const Atom& atom : query->atoms()) {
+    if (atom.kind() == AtomKind::kEquality &&
+        (atom.lhs() == Term::Attr(0, "VehId") ||
+         atom.rhs() == Term::Attr(0, "VehId"))) {
+      found_equality = true;
+    }
+    if (atom.kind() == AtomKind::kMembership) found_membership = true;
+  }
+  EXPECT_TRUE(found_equality);
+  EXPECT_TRUE(found_membership);
+}
+
+TEST_F(ParseQueryTest, MissingOperatorRejected) {
+  EXPECT_FALSE(ParseQuery(schema_, "{ x | x Auto }").ok());
+}
+
+TEST_F(ParseQueryTest, UnbalancedParensRejected) {
+  EXPECT_FALSE(ParseQuery(schema_, "{ x | (x in Auto }").ok());
+}
+
+TEST_F(ParseQueryTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseQuery(schema_, "{ x | x in Auto } stuff").ok());
+}
+
+TEST_F(ParseQueryTest, AttributeTermsInEquality) {
+  StatusOr<ConjunctiveQuery> query = ParseQuery(
+      schema_,
+      "{ x | exists y (x in Auto & y in Auto & x.VehId = y.VehId) }");
+  OOCQ_ASSERT_OK(query.status());
+  const Atom& eq = query->atoms()[2];
+  EXPECT_EQ(eq.kind(), AtomKind::kEquality);
+  EXPECT_TRUE(eq.lhs().is_attribute());
+  EXPECT_TRUE(eq.rhs().is_attribute());
+}
+
+TEST(ParseUnionQueryTest, TwoDisjuncts) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  StatusOr<UnionQuery> query = ParseUnionQuery(
+      schema, "{ x | x in Auto } union { y | y in Truck }");
+  OOCQ_ASSERT_OK(query.status());
+  EXPECT_EQ(query->disjuncts.size(), 2u);
+}
+
+TEST(ParseUnionQueryTest, SingleDisjunct) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  StatusOr<UnionQuery> query = ParseUnionQuery(schema, "{ x | x in Auto }");
+  OOCQ_ASSERT_OK(query.status());
+  EXPECT_EQ(query->disjuncts.size(), 1u);
+}
+
+TEST(ParseUnionQueryTest, DanglingUnionRejected) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  EXPECT_FALSE(ParseUnionQuery(schema, "{ x | x in Auto } union").ok());
+}
+
+}  // namespace
+}  // namespace oocq

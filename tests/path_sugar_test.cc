@@ -1,0 +1,151 @@
+// Tests for the §2.2 syntactic-sugar desugaring: path expressions
+// `x.A1...An`, range atoms over attribute terms, and attribute-term
+// memberships — parsed, normalized, and run through the full pipeline.
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "query/well_formed.h"
+#include "state/evaluation.h"
+#include "state/state.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+class PathSugarTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(R"(
+schema Paths {
+  class Person { Name: String; Boss: Person; Reports: {Person}; }
+  class Dept { Head: Person; }
+})");
+};
+
+TEST_F(PathSugarTest, TwoLevelPathParses) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists n (x in Person & n in String & "
+               "n = x.Boss.Name) }");
+  // x, n, plus one fresh variable for x.Boss.
+  EXPECT_EQ(query.num_vars(), 3u);
+  // Desugared form: _p = x.Boss and n = _p.Name.
+  int equalities = 0;
+  for (const Atom& atom : query.atoms()) {
+    if (atom.kind() == AtomKind::kEquality) ++equalities;
+  }
+  EXPECT_EQ(equalities, 2);
+}
+
+TEST_F(PathSugarTest, ThreeLevelPathParses) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists y (x in Person & y in Person & "
+               "y = x.Boss.Boss.Boss) }");
+  EXPECT_EQ(query.num_vars(), 4u);  // x, y + 2 fresh.
+}
+
+TEST_F(PathSugarTest, NormalizationMakesPathQueriesWellFormed) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists n (x in Person & n in String & "
+               "n = x.Boss.Name) }");
+  // Fresh variables lack range atoms until normalization.
+  EXPECT_FALSE(CheckWellFormed(schema_, query).ok());
+  StatusOr<ConjunctiveQuery> normalized = NormalizeToWellFormed(schema_, query);
+  OOCQ_ASSERT_OK(normalized.status());
+  OOCQ_EXPECT_OK(CheckWellFormed(schema_, *normalized));
+  // The fresh variable's range narrows to Person (the type of Boss).
+  VarId fresh = normalized->FindVariable("_p2");
+  ASSERT_NE(fresh, kInvalidVarId);
+  EXPECT_EQ(normalized->RangeAtomOf(fresh)->classes(),
+            std::vector<ClassId>{schema_.FindClass("Person").value()});
+}
+
+TEST_F(PathSugarTest, RangeAtomOverAttributeTerm) {
+  // `x.Boss in Person` desugars to `_p = x.Boss & _p in Person`.
+  ConjunctiveQuery query =
+      MustParseQuery(schema_, "{ x | x in Person & x.Boss in Person }");
+  EXPECT_EQ(query.num_vars(), 2u);
+  StatusOr<ConjunctiveQuery> normalized = NormalizeToWellFormed(schema_, query);
+  OOCQ_ASSERT_OK(normalized.status());
+  OOCQ_EXPECT_OK(CheckWellFormed(schema_, *normalized));
+}
+
+TEST_F(PathSugarTest, MembershipThroughPath) {
+  // `x in d.Head.Reports`: the set term's owner is a path.
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists d (x in Person & d in Dept & x in d.Head.Reports) }");
+  bool found = false;
+  for (const Atom& atom : query.atoms()) {
+    if (atom.kind() == AtomKind::kMembership &&
+        atom.set_term().attr == "Reports") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(PathSugarTest, PlainSetTermStillRequired) {
+  // 'x in y' with no attribute on the right is a range atom over an
+  // unknown class -> error, not a membership.
+  EXPECT_FALSE(
+      ParseQuery(schema_, "{ x | exists y (x in Person & y in Person & "
+                          "x in y) }")
+          .ok());
+}
+
+TEST_F(PathSugarTest, PathQuerySemanticsMatchManualDesugaring) {
+  // Evaluate the sugared and hand-desugared forms on a state: equal.
+  State db(&schema_);
+  ClassId person = schema_.FindClass("Person").value();
+  Oid alice = *db.AddObject(person);
+  Oid bob = *db.AddObject(person);
+  Oid carol = *db.AddObject(person);
+  Oid name = db.InternString("Carol");
+  ASSERT_TRUE(db.SetAttribute(alice, "Boss", Value::Ref(bob)).ok());
+  ASSERT_TRUE(db.SetAttribute(bob, "Boss", Value::Ref(carol)).ok());
+  ASSERT_TRUE(db.SetAttribute(carol, "Name", Value::Ref(name)).ok());
+  OOCQ_ASSERT_OK(db.Validate());
+
+  ConjunctiveQuery sugared = *NormalizeToWellFormed(
+      schema_, MustParseQuery(schema_,
+                              "{ x | exists n (x in Person & n in String & "
+                              "n = x.Boss.Boss.Name) }"));
+  ConjunctiveQuery manual = *NormalizeToWellFormed(
+      schema_,
+      MustParseQuery(schema_,
+                     "{ x | exists n exists b exists c (x in Person & "
+                     "n in String & b in Person & c in Person & b = x.Boss & "
+                     "c = b.Boss & n = c.Name) }"));
+  std::vector<Oid> sugared_answers = *Evaluate(db, sugared);
+  std::vector<Oid> manual_answers = *Evaluate(db, manual);
+  EXPECT_EQ(sugared_answers, manual_answers);
+  EXPECT_EQ(sugared_answers, std::vector<Oid>{alice});
+}
+
+TEST_F(PathSugarTest, OptimizerPipelineHandlesPaths) {
+  QueryOptimizer optimizer(schema_);
+  StatusOr<OptimizeReport> report = optimizer.OptimizeText(
+      "{ x | exists n (x in Person & n in String & n = x.Boss.Name) }");
+  OOCQ_ASSERT_OK(report.status());
+  EXPECT_TRUE(report->exact);
+  EXPECT_EQ(report->optimized.disjuncts.size(), 1u);
+}
+
+TEST_F(PathSugarTest, FreshNamesAvoidUserCollisions) {
+  Schema schema = MustParseSchema(R"(
+schema P { class C { Next: C; } })");
+  // The user already uses "_p2"; the desugarer must pick another name.
+  StatusOr<ConjunctiveQuery> query = ParseQuery(
+      schema,
+      "{ x | exists _p2 (x in C & _p2 in C & _p2 = x.Next.Next) }");
+  OOCQ_ASSERT_OK(query.status());
+  EXPECT_EQ(query->num_vars(), 3u);
+  // All three names distinct.
+  EXPECT_NE(query->FindVariable("_p2"), kInvalidVarId);
+}
+
+}  // namespace
+}  // namespace oocq

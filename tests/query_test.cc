@@ -1,0 +1,204 @@
+// Unit tests for the query AST: atoms, accessors, variable mappings.
+
+#include <gtest/gtest.h>
+
+#include "query/printer.h"
+#include "query/query.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+TEST(Atom, RangeSortsAndDedupesClasses) {
+  Atom atom = Atom::Range(0, {5, 3, 5, 4});
+  EXPECT_EQ(atom.classes(), (std::vector<ClassId>{3, 4, 5}));
+  EXPECT_EQ(atom.kind(), AtomKind::kRange);
+  EXPECT_EQ(atom.var(), 0u);
+  EXPECT_TRUE(atom.is_positive());
+}
+
+TEST(Atom, EqualityIsSymmetric) {
+  Atom a = Atom::Equality(Term::Var(1), Term::Attr(0, "A"));
+  Atom b = Atom::Equality(Term::Attr(0, "A"), Term::Var(1));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Atom, InequalityIsSymmetric) {
+  Atom a = Atom::Inequality(Term::Var(2), Term::Var(1));
+  Atom b = Atom::Inequality(Term::Var(1), Term::Var(2));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Atom, EqualityAndInequalityDiffer) {
+  EXPECT_FALSE(Atom::Equality(Term::Var(0), Term::Var(1)) ==
+               Atom::Inequality(Term::Var(0), Term::Var(1)));
+}
+
+TEST(Atom, MembershipAccessors) {
+  Atom atom = Atom::Membership(3, 1, "Parts");
+  EXPECT_EQ(atom.kind(), AtomKind::kMembership);
+  EXPECT_EQ(atom.var(), 3u);
+  EXPECT_EQ(atom.set_term().var, 1u);
+  EXPECT_EQ(atom.set_term().attr, "Parts");
+  EXPECT_TRUE(atom.is_positive());
+  EXPECT_FALSE(Atom::NonMembership(3, 1, "Parts").is_positive());
+}
+
+TEST(Atom, MapVariables) {
+  std::vector<VarId> image = {2, 0, 1};
+  Atom eq = Atom::Equality(Term::Var(0), Term::Attr(1, "A"));
+  Atom mapped = eq.MapVariables(image);
+  EXPECT_EQ(mapped, Atom::Equality(Term::Var(2), Term::Attr(0, "A")));
+
+  Atom mem = Atom::Membership(0, 2, "S");
+  EXPECT_EQ(mem.MapVariables(image), Atom::Membership(2, 1, "S"));
+
+  Atom range = Atom::Range(1, {7});
+  EXPECT_EQ(range.MapVariables(image), Atom::Range(0, {7}));
+}
+
+TEST(Term, Ordering) {
+  EXPECT_TRUE(Term::Var(0) < Term::Var(1));
+  EXPECT_TRUE(Term::Var(0) < Term::Attr(0, "A"));
+  EXPECT_TRUE(Term::Attr(0, "A") < Term::Attr(0, "B"));
+  EXPECT_FALSE(Term::Attr(0, "A") < Term::Attr(0, "A"));
+}
+
+TEST(ConjunctiveQuery, FirstVariableIsFreeByDefault) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  query.AddVariable("y");
+  EXPECT_EQ(query.free_var(), x);
+  EXPECT_EQ(query.num_vars(), 2u);
+  EXPECT_EQ(query.var_name(x), "x");
+  EXPECT_EQ(query.FindVariable("y"), 1u);
+  EXPECT_EQ(query.FindVariable("zz"), kInvalidVarId);
+}
+
+TEST(ConjunctiveQuery, RangeAtomLookup) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  VarId y = query.AddVariable("y");
+  query.AddAtom(Atom::Range(x, {3}));
+  query.AddAtom(Atom::Range(y, {4}));
+  query.AddAtom(Atom::Range(y, {5}));
+  EXPECT_EQ(query.CountRangeAtomsOf(x), 1);
+  EXPECT_EQ(query.CountRangeAtomsOf(y), 2);
+  ASSERT_NE(query.RangeAtomOf(x), nullptr);
+  EXPECT_EQ(query.RangeAtomOf(x)->classes(), std::vector<ClassId>{3});
+  EXPECT_EQ(query.RangeClassOf(x), 3u);
+}
+
+TEST(ConjunctiveQuery, IsPositive) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  VarId y = query.AddVariable("y");
+  query.AddAtom(Atom::Range(x, {3}));
+  query.AddAtom(Atom::Equality(Term::Var(x), Term::Var(y)));
+  EXPECT_TRUE(query.IsPositive());
+  query.AddAtom(Atom::Inequality(Term::Var(x), Term::Var(y)));
+  EXPECT_FALSE(query.IsPositive());
+}
+
+TEST(ConjunctiveQuery, IsTerminal) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  ConjunctiveQuery terminal = MustParseQuery(schema, "{ x | x in Auto }");
+  EXPECT_TRUE(terminal.IsTerminal(schema));
+  ConjunctiveQuery non_terminal = MustParseQuery(schema, "{ x | x in Vehicle }");
+  EXPECT_FALSE(non_terminal.IsTerminal(schema));
+  ConjunctiveQuery disjunctive =
+      MustParseQuery(schema, "{ x | x in Auto|Truck }");
+  EXPECT_FALSE(disjunctive.IsTerminal(schema));
+}
+
+TEST(ConjunctiveQuery, DeduplicateAtoms) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  VarId y = query.AddVariable("y");
+  query.AddAtom(Atom::Range(x, {3}));
+  query.AddAtom(Atom::Equality(Term::Var(x), Term::Var(y)));
+  query.AddAtom(Atom::Equality(Term::Var(y), Term::Var(x)));  // Symmetric dup.
+  query.AddAtom(Atom::Range(x, {3}));                          // Exact dup.
+  query.DeduplicateAtoms();
+  EXPECT_EQ(query.atoms().size(), 2u);
+}
+
+TEST(ApplyVariableMapping, CollapsesVariables) {
+  // { x | exists y exists s (...) } with s -> y.
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  VarId y = query.AddVariable("y");
+  VarId s = query.AddVariable("s");
+  query.AddAtom(Atom::Range(x, {3}));
+  query.AddAtom(Atom::Range(y, {4}));
+  query.AddAtom(Atom::Range(s, {4}));
+  query.AddAtom(Atom::Membership(y, x, "A"));
+  query.AddAtom(Atom::Membership(s, x, "A"));
+
+  ConjunctiveQuery folded = ApplyVariableMapping(query, {x, y, y});
+  EXPECT_EQ(folded.num_vars(), 2u);
+  EXPECT_EQ(folded.free_var(), 0u);
+  // Range atoms collapse to two, the two memberships become one.
+  EXPECT_EQ(folded.atoms().size(), 3u);
+}
+
+TEST(ApplyVariableMapping, IdentityKeepsQuery) {
+  Schema schema = MustParseSchema(testing::kExample33Schema);
+  ConjunctiveQuery query = MustParseQuery(
+      schema, "{ x | exists y (x in T1 & y in T2 & x in y.A) }");
+  ConjunctiveQuery mapped = ApplyVariableMapping(query, {0, 1});
+  EXPECT_EQ(mapped, query);
+}
+
+TEST(ApplyVariableMapping, FreeVariableFollowsMapping) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  VarId y = query.AddVariable("y");
+  query.AddAtom(Atom::Range(x, {3}));
+  query.AddAtom(Atom::Range(y, {3}));
+  query.AddAtom(Atom::Equality(Term::Var(x), Term::Var(y)));
+  // Map the free variable onto y.
+  ConjunctiveQuery folded = ApplyVariableMapping(query, {y, y});
+  EXPECT_EQ(folded.num_vars(), 1u);
+  EXPECT_EQ(folded.free_var(), 0u);
+  EXPECT_EQ(folded.var_name(0), "y");
+}
+
+TEST(Printer, QueryRoundTripsThroughParser) {
+  Schema schema = MustParseSchema(testing::kPartitionSchema);
+  const char* text =
+      "{ x | exists y exists s (x in N1 & y in G & s in H & y = x.B & "
+      "y in x.A & s in x.A) }";
+  ConjunctiveQuery query = MustParseQuery(schema, text);
+  std::string printed = QueryToString(schema, query);
+  ConjunctiveQuery reparsed = MustParseQuery(schema, printed);
+  EXPECT_EQ(reparsed, query) << printed;
+}
+
+TEST(Printer, AtomForms) {
+  Schema schema = MustParseSchema(testing::kExample33Schema);
+  ConjunctiveQuery query = MustParseQuery(
+      schema,
+      "{ x | exists y (x in T1 & y in T2 & x notin y.A & x != y) }");
+  std::string printed = QueryToString(schema, query);
+  EXPECT_NE(printed.find("x notin y.A"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("x != y"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("x in T1"), std::string::npos) << printed;
+}
+
+TEST(Printer, UnionQuery) {
+  Schema schema = MustParseSchema(testing::kExample32Schema);
+  StatusOr<UnionQuery> parsed =
+      ParseUnionQuery(schema, "{ x | x in C } union { y | y in C }");
+  OOCQ_ASSERT_OK(parsed.status());
+  std::string printed = UnionQueryToString(schema, *parsed);
+  EXPECT_NE(printed.find(" union "), std::string::npos);
+  UnionQuery empty;
+  EXPECT_EQ(UnionQueryToString(schema, empty), "{}");
+}
+
+}  // namespace
+}  // namespace oocq

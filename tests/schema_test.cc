@@ -1,0 +1,323 @@
+// Unit tests for the schema substrate: builder validation, inheritance
+// resolution, subtyping, terminal classes, attribute refinement.
+
+#include <gtest/gtest.h>
+
+#include "schema/schema_builder.h"
+#include "schema/schema_printer.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseSchema;
+
+TEST(SchemaBuilder, EmptySchemaHasBuiltins) {
+  StatusOr<Schema> schema = SchemaBuilder().Build();
+  OOCQ_ASSERT_OK(schema.status());
+  EXPECT_EQ(schema->num_classes(), kNumBuiltinClasses);
+  EXPECT_EQ(schema->class_name(kIntClassId), "Int");
+  EXPECT_EQ(schema->class_name(kRealClassId), "Real");
+  EXPECT_EQ(schema->class_name(kStringClassId), "String");
+}
+
+TEST(SchemaBuilder, BuiltinsAreTerminalAndUnrelated) {
+  Schema schema = *SchemaBuilder().Build();
+  for (ClassId c = 0; c < kNumBuiltinClasses; ++c) {
+    EXPECT_TRUE(schema.is_terminal(c));
+    EXPECT_TRUE(schema.class_info(c).is_builtin);
+    for (ClassId d = 0; d < kNumBuiltinClasses; ++d) {
+      EXPECT_EQ(schema.IsSubclassOf(c, d), c == d);
+    }
+  }
+}
+
+TEST(SchemaBuilder, SimpleHierarchy) {
+  SchemaBuilder builder;
+  builder.AddClass("Vehicle");
+  builder.AddClass("Auto", {"Vehicle"});
+  StatusOr<Schema> schema = builder.Build();
+  OOCQ_ASSERT_OK(schema.status());
+  ClassId vehicle = schema->FindClass("Vehicle").value();
+  ClassId auto_cls = schema->FindClass("Auto").value();
+  EXPECT_TRUE(schema->IsSubclassOf(auto_cls, vehicle));
+  EXPECT_FALSE(schema->IsSubclassOf(vehicle, auto_cls));
+  EXPECT_TRUE(schema->IsSubclassOf(vehicle, vehicle));
+  EXPECT_FALSE(schema->is_terminal(vehicle));
+  EXPECT_TRUE(schema->is_terminal(auto_cls));
+}
+
+TEST(SchemaBuilder, ForwardReferencesResolve) {
+  SchemaBuilder builder;
+  builder.AddClass("Auto", {"Vehicle"});  // Declared before its parent.
+  builder.AddClass("Vehicle");
+  builder.AddAttribute("Vehicle", "Owner", TypeName::Class("Person"));
+  builder.AddClass("Person");
+  OOCQ_ASSERT_OK(builder.Build().status());
+}
+
+TEST(SchemaBuilder, DuplicateClassNameRejected) {
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddClass("A");
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaBuilder, BuiltinNameCollisionRejected) {
+  SchemaBuilder builder;
+  builder.AddClass("Int");
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaBuilder, UnknownParentRejected) {
+  SchemaBuilder builder;
+  builder.AddClass("A", {"Nowhere"});
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaBuilder, SelfParentRejected) {
+  SchemaBuilder builder;
+  builder.AddClass("A", {"A"});
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaBuilder, CycleRejected) {
+  SchemaBuilder builder;
+  builder.AddClass("A", {"B"});
+  builder.AddClass("B", {"C"});
+  builder.AddClass("C", {"A"});
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaBuilder, TwoCycleRejected) {
+  SchemaBuilder builder;
+  builder.AddClass("A", {"B"});
+  builder.AddClass("B", {"A"});
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaBuilder, SubclassOfBuiltinRejected) {
+  SchemaBuilder builder;
+  builder.AddClass("FancyInt", {"Int"});
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaBuilder, AttributeOnUndeclaredClassRejected) {
+  SchemaBuilder builder;
+  builder.AddAttribute("Ghost", "A", TypeName::Class("Int"));
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaBuilder, UnknownAttributeTypeRejected) {
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddAttribute("A", "X", TypeName::Class("Ghost"));
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaBuilder, DuplicateAttributeRejected) {
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddAttribute("A", "X", TypeName::Class("Int"));
+  builder.AddAttribute("A", "X", TypeName::Class("Real"));
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaBuilder, AttributeInheritance) {
+  SchemaBuilder builder;
+  builder.AddClass("Vehicle");
+  builder.AddAttribute("Vehicle", "VehId", TypeName::Class("String"));
+  builder.AddClass("Auto", {"Vehicle"});
+  Schema schema = *builder.Build();
+  ClassId auto_cls = schema.FindClass("Auto").value();
+  const TypeExpr* type = schema.FindAttribute(auto_cls, "VehId");
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(type->cls(), kStringClassId);
+  EXPECT_FALSE(type->is_set());
+}
+
+TEST(SchemaBuilder, CompatibleRefinementKeepsMostSpecificType) {
+  SchemaBuilder builder;
+  builder.AddClass("Animal");
+  builder.AddClass("Dog", {"Animal"});
+  builder.AddClass("Owner");
+  builder.AddAttribute("Owner", "Pet", TypeName::Class("Animal"));
+  builder.AddClass("DogOwner", {"Owner"});
+  builder.AddAttribute("DogOwner", "Pet", TypeName::Class("Dog"));
+  Schema schema = *builder.Build();
+  const TypeExpr* type =
+      schema.FindAttribute(schema.FindClass("DogOwner").value(), "Pet");
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(type->cls(), schema.FindClass("Dog").value());
+}
+
+TEST(SchemaBuilder, IncompatibleRefinementRejected) {
+  SchemaBuilder builder;
+  builder.AddClass("Animal");
+  builder.AddClass("Rock");
+  builder.AddClass("Owner");
+  builder.AddAttribute("Owner", "Pet", TypeName::Class("Animal"));
+  builder.AddClass("WeirdOwner", {"Owner"});
+  builder.AddAttribute("WeirdOwner", "Pet", TypeName::Class("Rock"));
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaBuilder, SetRefinementMustStaySet) {
+  SchemaBuilder builder;
+  builder.AddClass("Animal");
+  builder.AddClass("Owner");
+  builder.AddAttribute("Owner", "Pets", TypeName::SetOf("Animal"));
+  builder.AddClass("Weird", {"Owner"});
+  builder.AddAttribute("Weird", "Pets", TypeName::Class("Animal"));
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaBuilder, MultipleInheritanceMergesAttributes) {
+  SchemaBuilder builder;
+  builder.AddClass("Named");
+  builder.AddAttribute("Named", "Name", TypeName::Class("String"));
+  builder.AddClass("Aged");
+  builder.AddAttribute("Aged", "Age", TypeName::Class("Int"));
+  builder.AddClass("Person", {"Named", "Aged"});
+  Schema schema = *builder.Build();
+  ClassId person = schema.FindClass("Person").value();
+  EXPECT_NE(schema.FindAttribute(person, "Name"), nullptr);
+  EXPECT_NE(schema.FindAttribute(person, "Age"), nullptr);
+}
+
+TEST(SchemaBuilder, DiamondInheritanceComparableTypesResolve) {
+  SchemaBuilder builder;
+  builder.AddClass("Animal");
+  builder.AddClass("Dog", {"Animal"});
+  builder.AddClass("P1");
+  builder.AddAttribute("P1", "Pet", TypeName::Class("Animal"));
+  builder.AddClass("P2");
+  builder.AddAttribute("P2", "Pet", TypeName::Class("Dog"));
+  builder.AddClass("Child", {"P1", "P2"});
+  Schema schema = *builder.Build();
+  const TypeExpr* type =
+      schema.FindAttribute(schema.FindClass("Child").value(), "Pet");
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(type->cls(), schema.FindClass("Dog").value());
+}
+
+TEST(SchemaBuilder, DiamondInheritanceIncomparableTypesRejected) {
+  SchemaBuilder builder;
+  builder.AddClass("Animal");
+  builder.AddClass("Rock");
+  builder.AddClass("P1");
+  builder.AddAttribute("P1", "Thing", TypeName::Class("Animal"));
+  builder.AddClass("P2");
+  builder.AddAttribute("P2", "Thing", TypeName::Class("Rock"));
+  builder.AddClass("Child", {"P1", "P2"});
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaBuilder, DiamondIncomparableResolvedByRedefinition) {
+  SchemaBuilder builder;
+  builder.AddClass("Animal");
+  builder.AddClass("Rock");
+  builder.AddClass("PetRock", {"Animal", "Rock"});
+  builder.AddClass("P1");
+  builder.AddAttribute("P1", "Thing", TypeName::Class("Animal"));
+  builder.AddClass("P2");
+  builder.AddAttribute("P2", "Thing", TypeName::Class("Rock"));
+  builder.AddClass("Child", {"P1", "P2"});
+  builder.AddAttribute("Child", "Thing", TypeName::Class("PetRock"));
+  Schema schema = *builder.Build();
+  const TypeExpr* type =
+      schema.FindAttribute(schema.FindClass("Child").value(), "Thing");
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(type->cls(), schema.FindClass("PetRock").value());
+}
+
+TEST(Schema, TerminalDescendants) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  ClassId vehicle = schema.FindClass("Vehicle").value();
+  const std::vector<ClassId>& terms = schema.TerminalDescendants(vehicle);
+  EXPECT_EQ(terms.size(), 3u);
+  for (const char* name : {"Auto", "Trailer", "Truck"}) {
+    ClassId c = schema.FindClass(name).value();
+    EXPECT_NE(std::find(terms.begin(), terms.end(), c), terms.end()) << name;
+    EXPECT_EQ(schema.TerminalDescendants(c),
+              std::vector<ClassId>{c});  // Terminal: itself only.
+  }
+}
+
+TEST(Schema, DeepHierarchyTerminalDescendants) {
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddClass("B", {"A"});
+  builder.AddClass("C", {"B"});
+  builder.AddClass("D", {"B"});
+  builder.AddClass("E", {"A"});
+  Schema schema = *builder.Build();
+  EXPECT_EQ(schema.TerminalDescendants(schema.FindClass("A").value()).size(),
+            3u);  // C, D, E.
+  EXPECT_EQ(schema.TerminalDescendants(schema.FindClass("B").value()).size(),
+            2u);  // C, D.
+}
+
+TEST(Schema, FindClassErrors) {
+  Schema schema = *SchemaBuilder().Build();
+  EXPECT_EQ(schema.FindClass("Nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(schema.FindClassOrInvalid("Nope"), kInvalidClassId);
+}
+
+TEST(Schema, IsSubtype) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  ClassId vehicle = schema.FindClass("Vehicle").value();
+  ClassId auto_cls = schema.FindClass("Auto").value();
+  EXPECT_TRUE(schema.IsSubtype(TypeExpr::Class(auto_cls),
+                               TypeExpr::Class(vehicle)));
+  EXPECT_TRUE(schema.IsSubtype(TypeExpr::SetOf(auto_cls),
+                               TypeExpr::SetOf(vehicle)));
+  EXPECT_FALSE(schema.IsSubtype(TypeExpr::SetOf(auto_cls),
+                                TypeExpr::Class(vehicle)));
+  EXPECT_FALSE(schema.IsSubtype(TypeExpr::Class(vehicle),
+                                TypeExpr::Class(auto_cls)));
+}
+
+TEST(Schema, TerminalClassesFilter) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  std::vector<ClassId> with = schema.TerminalClasses(true);
+  std::vector<ClassId> without = schema.TerminalClasses(false);
+  EXPECT_EQ(with.size(), without.size() + kNumBuiltinClasses);
+  // User terminals: Auto, Trailer, Truck, Regular, Discount.
+  EXPECT_EQ(without.size(), 5u);
+}
+
+TEST(Schema, UserClasses) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  EXPECT_EQ(schema.UserClasses().size(), 7u);
+}
+
+TEST(SchemaPrinter, RoundTripsThroughParser) {
+  Schema original = MustParseSchema(testing::kVehicleRentalSchema);
+  std::string printed = SchemaToString(original, "VehicleRental");
+  Schema reparsed = MustParseSchema(printed);
+  ASSERT_EQ(reparsed.num_classes(), original.num_classes());
+  for (ClassId c = 0; c < original.num_classes(); ++c) {
+    EXPECT_EQ(reparsed.class_name(c), original.class_name(c));
+    EXPECT_EQ(reparsed.is_terminal(c), original.is_terminal(c));
+    EXPECT_EQ(reparsed.class_info(c).all_attributes.size(),
+              original.class_info(c).all_attributes.size());
+    for (ClassId d = 0; d < original.num_classes(); ++d) {
+      EXPECT_EQ(reparsed.IsSubclassOf(c, d), original.IsSubclassOf(c, d));
+    }
+  }
+}
+
+TEST(SchemaPrinter, MultipleParentsSerialized) {
+  SchemaBuilder builder;
+  builder.AddClass("A");
+  builder.AddClass("B");
+  builder.AddClass("C", {"A", "B"});
+  Schema schema = *builder.Build();
+  std::string printed = SchemaToString(schema);
+  EXPECT_NE(printed.find("class C under A, B"), std::string::npos) << printed;
+  MustParseSchema(printed);
+}
+
+}  // namespace
+}  // namespace oocq

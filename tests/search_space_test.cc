@@ -1,0 +1,88 @@
+// Unit tests for term-class and the search-space cost metric (§4).
+
+#include "core/search_space.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+class SearchSpaceTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(testing::kVehicleRentalSchema);
+};
+
+TEST_F(SearchSpaceTest, TermClassOfTerminalVariable) {
+  ConjunctiveQuery query = MustParseQuery(schema_, "{ x | x in Auto }");
+  EXPECT_EQ(TermClass(schema_, query, 0),
+            std::vector<ClassId>{schema_.FindClass("Auto").value()});
+}
+
+TEST_F(SearchSpaceTest, TermClassExpandsHierarchy) {
+  ConjunctiveQuery query = MustParseQuery(schema_, "{ x | x in Vehicle }");
+  EXPECT_EQ(TermClass(schema_, query, 0).size(), 3u);  // Auto/Trailer/Truck.
+}
+
+TEST_F(SearchSpaceTest, TermClassOfDisjunction) {
+  ConjunctiveQuery query =
+      MustParseQuery(schema_, "{ x | x in Vehicle|Client }");
+  // 3 vehicle terminals + Regular + Discount.
+  EXPECT_EQ(TermClass(schema_, query, 0).size(), 5u);
+}
+
+TEST_F(SearchSpaceTest, CostSumsOverVariables) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists y (x in Vehicle & y in Discount) }");
+  SearchSpaceCost cost = SearchSpaceCostOf(schema_, query);
+  EXPECT_EQ(cost.total, 4u);
+  EXPECT_EQ(cost.per_class.at(schema_.FindClass("Auto").value()), 1u);
+  EXPECT_EQ(cost.per_class.at(schema_.FindClass("Discount").value()), 1u);
+  EXPECT_EQ(cost.per_class.count(schema_.FindClass("Regular").value()), 0u);
+}
+
+TEST_F(SearchSpaceTest, CostOfUnionAccumulates) {
+  StatusOr<UnionQuery> query = ParseUnionQuery(
+      schema_, "{ x | x in Auto } union { x | x in Auto } union "
+               "{ x | x in Truck }");
+  OOCQ_ASSERT_OK(query.status());
+  SearchSpaceCost cost = SearchSpaceCostOf(schema_, *query);
+  EXPECT_EQ(cost.total, 3u);
+  EXPECT_EQ(cost.per_class.at(schema_.FindClass("Auto").value()), 2u);
+}
+
+TEST_F(SearchSpaceTest, CostLeqComponentwise) {
+  SearchSpaceCost a;
+  a.per_class = {{3, 1}, {4, 2}};
+  a.total = 3;
+  SearchSpaceCost b;
+  b.per_class = {{3, 1}, {4, 2}, {5, 1}};
+  b.total = 4;
+  EXPECT_TRUE(CostLeq(a, b));
+  EXPECT_FALSE(CostLeq(b, a));
+  EXPECT_TRUE(CostLeq(a, a));
+}
+
+TEST_F(SearchSpaceTest, CostLeqIncomparable) {
+  SearchSpaceCost a;
+  a.per_class = {{3, 2}};
+  SearchSpaceCost b;
+  b.per_class = {{4, 2}};
+  EXPECT_FALSE(CostLeq(a, b));
+  EXPECT_FALSE(CostLeq(b, a));
+}
+
+TEST_F(SearchSpaceTest, EmptyCostIsLeast) {
+  SearchSpaceCost empty;
+  SearchSpaceCost b;
+  b.per_class = {{3, 1}};
+  EXPECT_TRUE(CostLeq(empty, b));
+  EXPECT_TRUE(CostLeq(empty, empty));
+}
+
+}  // namespace
+}  // namespace oocq

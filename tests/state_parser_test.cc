@@ -1,0 +1,188 @@
+// Tests for the state DSL parser and serializer.
+
+#include <gtest/gtest.h>
+
+#include "parser/state_parser.h"
+#include "state/evaluation.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+class StateParserTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(testing::kVehicleRentalSchema);
+
+  State MustParse(const std::string& text) {
+    StatusOr<State> state = ParseState(&schema_, text);
+    EXPECT_TRUE(state.ok()) << state.status().ToString();
+    return state.ok() ? *std::move(state) : State(&schema_);
+  }
+};
+
+TEST_F(StateParserTest, EmptyState) {
+  State state = MustParse("state { }");
+  EXPECT_EQ(state.num_objects(), 0u);
+}
+
+TEST_F(StateParserTest, BasicObjects) {
+  State state = MustParse(R"(
+state {
+  corolla: Auto { VehId = "COR-1"; Doors = 4; }
+  alice: Discount { Name = "Alice"; VehRented = { corolla }; Rate = 0.1; }
+})");
+  ClassId auto_cls = schema_.FindClass("Auto").value();
+  std::vector<Oid> autos = state.Extent(auto_cls);
+  ASSERT_EQ(autos.size(), 1u);
+  const Value* doors = state.GetAttribute(autos[0], "Doors");
+  ASSERT_NE(doors, nullptr);
+  EXPECT_EQ(doors->kind(), Value::Kind::kRef);
+  EXPECT_EQ(state.DebugString(doors->ref()), "Int(4)");
+}
+
+TEST_F(StateParserTest, ForwardReferences) {
+  State state = MustParse(R"(
+state {
+  alice: Discount { VehRented = { corolla, civic }; }
+  corolla: Auto { }
+  civic: Auto { }
+})");
+  ClassId discount = schema_.FindClass("Discount").value();
+  std::vector<Oid> discounts = state.Extent(discount);
+  ASSERT_EQ(discounts.size(), 1u);
+  EXPECT_EQ(state.GetAttribute(discounts[0], "VehRented")->set().size(), 2u);
+}
+
+TEST_F(StateParserTest, ExplicitNullAndEmptySet) {
+  State state = MustParse(R"(
+state {
+  a: Auto { VehId = null; }
+  c: Regular { VehRented = { }; }
+})");
+  ClassId regular = schema_.FindClass("Regular").value();
+  Oid client = state.Extent(regular)[0];
+  const Value* rented = state.GetAttribute(client, "VehRented");
+  EXPECT_EQ(rented->kind(), Value::Kind::kSet);
+  EXPECT_TRUE(rented->set().empty());
+}
+
+TEST_F(StateParserTest, NegativeNumbers) {
+  State state = MustParse(R"(
+state {
+  a: Auto { Doors = -2; Weight = -1.5; }
+})");
+  ClassId auto_cls = schema_.FindClass("Auto").value();
+  Oid oid = state.Extent(auto_cls)[0];
+  EXPECT_EQ(state.DebugString(state.GetAttribute(oid, "Doors")->ref()),
+            "Int(-2)");
+}
+
+TEST_F(StateParserTest, StringEscapes) {
+  State state = MustParse(R"(
+state {
+  a: Auto { VehId = "say \"hi\"\n"; }
+})");
+  ClassId auto_cls = schema_.FindClass("Auto").value();
+  Oid oid = state.Extent(auto_cls)[0];
+  Oid ref = state.GetAttribute(oid, "VehId")->ref();
+  EXPECT_EQ(std::get<std::string>(state.payload(ref)), "say \"hi\"\n");
+}
+
+TEST_F(StateParserTest, OverflowingLiteralsRejectedNotThrown) {
+  EXPECT_EQ(ParseState(&schema_, R"(
+state { a: Auto { Doors = 99999999999999999999999999999; } })")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateParserTest, UndeclaredObjectRejected) {
+  EXPECT_EQ(ParseState(&schema_, R"(
+state { alice: Discount { VehRented = { ghost }; } })")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StateParserTest, DuplicateNameRejected) {
+  EXPECT_EQ(ParseState(&schema_, R"(
+state { a: Auto { } a: Auto { } })")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateParserTest, NonTerminalClassRejected) {
+  EXPECT_EQ(ParseState(&schema_, "state { v: Vehicle { } }").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateParserTest, UnknownClassRejected) {
+  EXPECT_EQ(ParseState(&schema_, "state { v: Bike { } }").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StateParserTest, UnknownAttributeRejected) {
+  EXPECT_EQ(ParseState(&schema_, "state { a: Auto { Wings = 2; } }")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StateParserTest, TypeErrorsRejectedByValidation) {
+  // Doors expects Int, given a String.
+  EXPECT_EQ(ParseState(&schema_, R"(state { a: Auto { Doors = "four"; } })")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Discount.VehRented is {Auto}; a Truck member is illegal.
+  EXPECT_EQ(ParseState(&schema_, R"(
+state {
+  t: Truck { }
+  d: Discount { VehRented = { t }; }
+})")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateParserTest, RoundTripPreservesAnswers) {
+  State original = MustParse(R"(
+state {
+  corolla: Auto { VehId = "COR-1"; }
+  f150: Truck { }
+  alice: Discount { Name = "Alice"; VehRented = { corolla }; }
+  bob: Regular { VehRented = { f150, corolla }; }
+})");
+  std::string serialized = StateToString(original);
+  StatusOr<State> reparsed = ParseState(&schema_, serialized);
+  OOCQ_ASSERT_OK(reparsed.status());
+
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }");
+  std::vector<Oid> a = *Evaluate(original, query);
+  std::vector<Oid> b = *Evaluate(*reparsed, query);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.size(), 1u) << serialized;
+}
+
+TEST_F(StateParserTest, RoundTripRealPrecision) {
+  State original = MustParse(R"(
+state { a: Auto { Weight = 0.30000000000000004; } })");
+  StatusOr<State> reparsed = ParseState(&schema_, StateToString(original));
+  OOCQ_ASSERT_OK(reparsed.status());
+  ClassId auto_cls = schema_.FindClass("Auto").value();
+  Oid o1 = original.Extent(auto_cls)[0];
+  Oid o2 = reparsed->Extent(auto_cls)[0];
+  EXPECT_EQ(std::get<double>(
+                original.payload(original.GetAttribute(o1, "Weight")->ref())),
+            std::get<double>(reparsed->payload(
+                reparsed->GetAttribute(o2, "Weight")->ref())));
+}
+
+}  // namespace
+}  // namespace oocq

@@ -1,0 +1,163 @@
+// Unit tests for the object store: object creation, attribute slots,
+// primitive interning, extents, and legal-state validation.
+
+#include <gtest/gtest.h>
+
+#include "state/state.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseSchema;
+
+class StateTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(testing::kVehicleRentalSchema);
+  State state_{&schema_};
+
+  ClassId Cls(const char* name) { return schema_.FindClass(name).value(); }
+};
+
+TEST_F(StateTest, AddObjectInitializesAttributesToNull) {
+  StatusOr<Oid> auto_oid = state_.AddObject(Cls("Auto"));
+  OOCQ_ASSERT_OK(auto_oid.status());
+  const Value* veh_id = state_.GetAttribute(*auto_oid, "VehId");
+  ASSERT_NE(veh_id, nullptr);
+  EXPECT_TRUE(veh_id->is_null());
+  // Inherited and own attributes both exist.
+  EXPECT_NE(state_.GetAttribute(*auto_oid, "Doors"), nullptr);
+  // Attributes of other classes do not.
+  EXPECT_EQ(state_.GetAttribute(*auto_oid, "Rate"), nullptr);
+}
+
+TEST_F(StateTest, AddObjectRejectsNonTerminal) {
+  EXPECT_EQ(state_.AddObject(Cls("Vehicle")).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(state_.AddObject(Cls("Client")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateTest, AddObjectRejectsBuiltin) {
+  EXPECT_EQ(state_.AddObject(kIntClassId).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateTest, SetAttributeUnknownNameRejected) {
+  Oid oid = *state_.AddObject(Cls("Auto"));
+  EXPECT_EQ(state_.SetAttribute(oid, "Nope", Value::Null()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StateTest, PrimitiveInterningIsCanonical) {
+  Oid a = state_.InternInt(42);
+  Oid b = state_.InternInt(42);
+  Oid c = state_.InternInt(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(state_.class_of(a), kIntClassId);
+
+  Oid s1 = state_.InternString("hi");
+  Oid s2 = state_.InternString("hi");
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(state_.class_of(s1), kStringClassId);
+
+  Oid r = state_.InternReal(2.5);
+  EXPECT_EQ(state_.class_of(r), kRealClassId);
+}
+
+TEST_F(StateTest, ExtentFollowsHierarchy) {
+  Oid auto1 = *state_.AddObject(Cls("Auto"));
+  Oid auto2 = *state_.AddObject(Cls("Auto"));
+  Oid truck = *state_.AddObject(Cls("Truck"));
+  *state_.AddObject(Cls("Discount"));
+
+  std::vector<Oid> vehicles = state_.Extent(Cls("Vehicle"));
+  EXPECT_EQ(vehicles, (std::vector<Oid>{auto1, auto2, truck}));
+  EXPECT_EQ(state_.Extent(Cls("Auto")), (std::vector<Oid>{auto1, auto2}));
+  EXPECT_EQ(state_.Extent(Cls("Client")).size(), 1u);
+}
+
+TEST_F(StateTest, TerminalPartitioningByConstruction) {
+  Oid auto1 = *state_.AddObject(Cls("Auto"));
+  // An object belongs to exactly one terminal class.
+  EXPECT_TRUE(state_.IsMember(auto1, Cls("Auto")));
+  EXPECT_TRUE(state_.IsMember(auto1, Cls("Vehicle")));
+  EXPECT_FALSE(state_.IsMember(auto1, Cls("Truck")));
+  EXPECT_FALSE(state_.IsMember(auto1, Cls("Client")));
+}
+
+TEST_F(StateTest, ValidateAcceptsWellTypedState) {
+  Oid auto1 = *state_.AddObject(Cls("Auto"));
+  Oid discount = *state_.AddObject(Cls("Discount"));
+  OOCQ_ASSERT_OK(state_.SetAttribute(auto1, "VehId",
+                                     Value::Ref(state_.InternString("A1"))));
+  OOCQ_ASSERT_OK(
+      state_.SetAttribute(discount, "VehRented", Value::Set({auto1})));
+  OOCQ_EXPECT_OK(state_.Validate());
+}
+
+TEST_F(StateTest, ValidateRejectsWrongRefClass) {
+  Oid auto1 = *state_.AddObject(Cls("Auto"));
+  // VehId must be a String, not an Int.
+  OOCQ_ASSERT_OK(
+      state_.SetAttribute(auto1, "VehId", Value::Ref(state_.InternInt(7))));
+  EXPECT_EQ(state_.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateTest, ValidateRejectsSetInObjectSlot) {
+  Oid auto1 = *state_.AddObject(Cls("Auto"));
+  OOCQ_ASSERT_OK(state_.SetAttribute(auto1, "VehId", Value::Set({})));
+  EXPECT_EQ(state_.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateTest, ValidateRejectsRefInSetSlot) {
+  Oid discount = *state_.AddObject(Cls("Discount"));
+  Oid auto1 = *state_.AddObject(Cls("Auto"));
+  OOCQ_ASSERT_OK(
+      state_.SetAttribute(discount, "VehRented", Value::Ref(auto1)));
+  EXPECT_EQ(state_.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateTest, ValidateRejectsSetMemberOutsideElementClass) {
+  // Discount.VehRented is refined to {Auto}: a Truck member is illegal.
+  Oid discount = *state_.AddObject(Cls("Discount"));
+  Oid truck = *state_.AddObject(Cls("Truck"));
+  OOCQ_ASSERT_OK(
+      state_.SetAttribute(discount, "VehRented", Value::Set({truck})));
+  EXPECT_EQ(state_.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StateTest, ValidateAcceptsRefinedSetMember) {
+  // Regular clients may rent any vehicle.
+  Oid regular = *state_.AddObject(Cls("Regular"));
+  Oid truck = *state_.AddObject(Cls("Truck"));
+  OOCQ_ASSERT_OK(
+      state_.SetAttribute(regular, "VehRented", Value::Set({truck})));
+  OOCQ_EXPECT_OK(state_.Validate());
+}
+
+TEST_F(StateTest, DebugStrings) {
+  Oid auto1 = *state_.AddObject(Cls("Auto"));
+  EXPECT_EQ(state_.DebugString(auto1), "Auto#" + std::to_string(auto1));
+  EXPECT_EQ(state_.DebugString(state_.InternInt(5)), "Int(5)");
+  EXPECT_EQ(state_.DebugString(state_.InternString("hi")),
+            "String(\"hi\")");
+  EXPECT_EQ(state_.DebugString(9999), "<invalid oid>");
+}
+
+TEST(ValueTest, SetOperations) {
+  Value set = Value::Set({3, 1, 2, 2});
+  EXPECT_EQ(set.set(), (std::vector<Oid>{1, 2, 3}));
+  EXPECT_TRUE(set.Contains(2));
+  EXPECT_FALSE(set.Contains(5));
+  set.Insert(5);
+  set.Insert(5);
+  EXPECT_EQ(set.set(), (std::vector<Oid>{1, 2, 3, 5}));
+  EXPECT_FALSE(Value::Null().Contains(1));
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Ref(7).ref(), 7u);
+}
+
+}  // namespace
+}  // namespace oocq

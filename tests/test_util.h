@@ -1,0 +1,114 @@
+#ifndef OOCQ_TESTS_TEST_UTIL_H_
+#define OOCQ_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "parser/parser.h"
+#include "query/query.h"
+#include "schema/schema.h"
+#include "schema/schema_builder.h"
+#include "support/status.h"
+
+namespace oocq::testing {
+
+/// gtest helpers for Status / StatusOr.
+#define OOCQ_ASSERT_OK(expr)                                \
+  do {                                                      \
+    const auto& oocq_assert_status_ = (expr);               \
+    ASSERT_TRUE(oocq_assert_status_.ok())                   \
+        << oocq_assert_status_.ToString();                  \
+  } while (false)
+
+#define OOCQ_EXPECT_OK(expr)                                \
+  do {                                                      \
+    const auto& oocq_expect_status_ = (expr);               \
+    EXPECT_TRUE(oocq_expect_status_.ok())                   \
+        << oocq_expect_status_.ToString();                  \
+  } while (false)
+
+/// Parses a schema, aborting the test on error.
+inline Schema MustParseSchema(std::string_view text) {
+  StatusOr<Schema> schema = ParseSchema(text);
+  if (!schema.ok()) {
+    ADD_FAILURE() << "schema parse failed: " << schema.status().ToString();
+    return Schema(SchemaBuilder().Build().value());
+  }
+  return *std::move(schema);
+}
+
+/// Parses a query, aborting the test on error.
+inline ConjunctiveQuery MustParseQuery(const Schema& schema,
+                                       std::string_view text) {
+  StatusOr<ConjunctiveQuery> query = ParseQuery(schema, text);
+  EXPECT_TRUE(query.ok()) << "query parse failed: "
+                          << query.status().ToString() << "\n  " << text;
+  return query.ok() ? *std::move(query) : ConjunctiveQuery();
+}
+
+/// The vehicle rental schema of Example 1.1 / 2.1. Discount clients may
+/// only rent automobiles: Discount refines VehRented to {Auto}.
+inline const char* kVehicleRentalSchema = R"(
+schema VehicleRental {
+  class Vehicle { VehId: String; Weight: Real; }
+  class Auto under Vehicle { Doors: Int; }
+  class Trailer under Vehicle { Axles: Int; }
+  class Truck under Vehicle { Payload: Real; }
+  class Client { Name: String; VehRented: {Vehicle}; Deposit: Real; }
+  class Regular under Client { }
+  class Discount under Client { Rate: Real; VehRented: {Auto}; }
+}
+)";
+
+/// The partitioned schema of Example 1.2 / 4.1: T1 lacks attribute B; T3
+/// refines A to {I}, which makes 's in x.A' with s in H unsatisfiable.
+inline const char* kPartitionSchema = R"(
+schema Partition {
+  class G { }
+  class H under G { }
+  class I under G { }
+  class N1 { A: {G}; }
+  class T1 under N1 { }
+  class T2 under N1 { B: G; }
+  class T3 under N1 { B: G; A: {I}; }
+}
+)";
+
+/// The schema of Example 1.3: C.A has type D; T1 and T2 are unrelated
+/// terminal subclasses of D.
+inline const char* kImpliedInequalitySchema = R"(
+schema ImpliedInequality {
+  class D { }
+  class T1 under D { }
+  class T2 under D { }
+  class C { A: D; }
+}
+)";
+
+/// The schema of Example 3.1: C.A of type D (object), C.B of type {D}.
+inline const char* kExample31Schema = R"(
+schema Example31 {
+  class D { }
+  class C { A: D; B: {D}; }
+}
+)";
+
+/// The schema of Example 3.2: a single terminal class C.
+inline const char* kExample32Schema = R"(
+schema Example32 {
+  class C { }
+}
+)";
+
+/// The schema of Example 3.3: T2.A is a set of T1.
+inline const char* kExample33Schema = R"(
+schema Example33 {
+  class T1 { }
+  class T2 { A: {T1}; }
+}
+)";
+
+}  // namespace oocq::testing
+
+#endif  // OOCQ_TESTS_TEST_UTIL_H_

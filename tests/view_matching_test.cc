@@ -1,0 +1,224 @@
+// Tests for the answering-queries-using-views triage, the containment
+// cache, union minimization, and the optimizer's exact general-query
+// single-disjunct containment path.
+
+#include <gtest/gtest.h>
+
+#include "core/containment_cache.h"
+#include "core/minimization.h"
+#include "core/optimizer.h"
+#include "core/view_matching.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+class ViewMatchingTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(testing::kVehicleRentalSchema);
+
+  ViewDefinition View(const std::string& name, const std::string& text) {
+    return ViewDefinition{name, MustParseQuery(schema_, text)};
+  }
+};
+
+TEST_F(ViewMatchingTest, ClassifiesAllFourWays) {
+  std::vector<ViewDefinition> views = {
+      View("exact",
+           "{ x | exists y (x in Auto & y in Discount & x in y.VehRented) }"),
+      View("superset",
+           "{ x | exists y (x in Vehicle & y in Client & x in y.VehRented) }"),
+      View("subset",
+           "{ x | exists y exists n (x in Auto & y in Discount & "
+           "x in y.VehRented & n in Int & n = x.Doors) }"),
+      View("unrelated", "{ x | x in Truck }"),
+  };
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }");
+
+  StatusOr<std::vector<ViewMatch>> matches =
+      MatchViews(schema_, views, query);
+  OOCQ_ASSERT_OK(matches.status());
+  ASSERT_EQ(matches->size(), 4u);
+  // The Vehicle/Discount query is equivalent to the Auto view (typing).
+  EXPECT_EQ((*matches)[0].usability, ViewUsability::kExact);
+  EXPECT_EQ((*matches)[1].usability, ViewUsability::kSuperset);
+  EXPECT_EQ((*matches)[2].usability, ViewUsability::kSubset);
+  EXPECT_EQ((*matches)[3].usability, ViewUsability::kUnrelated);
+}
+
+TEST_F(ViewMatchingTest, BestViewPrefersExactThenSuperset) {
+  std::vector<ViewDefinition> views = {
+      View("wide",
+           "{ x | exists y (x in Vehicle & y in Client & x in y.VehRented) }"),
+      View("tight",
+           "{ x | exists y (x in Auto & y in Discount & x in y.VehRented) }"),
+  };
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }");
+  StatusOr<std::string> best = BestViewFor(schema_, views, query);
+  OOCQ_ASSERT_OK(best.status());
+  EXPECT_EQ(*best, "tight");
+
+  // Without the tight view, the wide superset wins.
+  views.pop_back();
+  best = BestViewFor(schema_, views, query);
+  OOCQ_ASSERT_OK(best.status());
+  EXPECT_EQ(*best, "wide");
+}
+
+TEST_F(ViewMatchingTest, NoUsableViewGivesEmpty) {
+  std::vector<ViewDefinition> views = {View("trucks", "{ x | x in Truck }")};
+  ConjunctiveQuery query = MustParseQuery(schema_, "{ x | x in Auto }");
+  StatusOr<std::string> best = BestViewFor(schema_, views, query);
+  OOCQ_ASSERT_OK(best.status());
+  EXPECT_TRUE(best->empty());
+}
+
+TEST_F(ViewMatchingTest, UsabilityStrings) {
+  EXPECT_STREQ(ViewUsabilityToString(ViewUsability::kExact), "EXACT");
+  EXPECT_STREQ(ViewUsabilityToString(ViewUsability::kUnrelated), "UNRELATED");
+}
+
+// --------------------------- containment cache ---------------------------
+
+TEST_F(ViewMatchingTest, CacheHitsOnRenamedPairs) {
+  ContainmentCache cache(&schema_);
+  ConjunctiveQuery a1 = MustParseQuery(
+      schema_,
+      "{ x | exists y (x in Auto & y in Discount & x in y.VehRented) }");
+  ConjunctiveQuery a2 = MustParseQuery(
+      schema_,
+      "{ q | exists w (q in Auto & w in Discount & q in w.VehRented) }");
+  ConjunctiveQuery b = MustParseQuery(schema_, "{ x | x in Auto }");
+
+  StatusOr<bool> first = cache.Contained(a1, b);
+  OOCQ_ASSERT_OK(first.status());
+  EXPECT_TRUE(*first);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // A renaming of the same pair hits.
+  StatusOr<bool> second = cache.Contained(a2, b);
+  OOCQ_ASSERT_OK(second.status());
+  EXPECT_TRUE(*second);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // The reversed direction is a distinct decision.
+  StatusOr<bool> reversed = cache.Contained(b, a1);
+  OOCQ_ASSERT_OK(reversed.status());
+  EXPECT_FALSE(*reversed);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+// --------------------------- union minimization ---------------------------
+
+TEST_F(ViewMatchingTest, MinimizePositiveUnionCollapsesAcrossDisjuncts) {
+  // The second disjunct is exactly the first's surviving expansion.
+  StatusOr<UnionQuery> parsed = ParseUnionQuery(
+      schema_,
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) } "
+      "union "
+      "{ x | exists y (x in Auto & y in Discount & x in y.VehRented) }");
+  OOCQ_ASSERT_OK(parsed.status());
+  StatusOr<MinimizationReport> report =
+      MinimizePositiveUnion(schema_, *parsed);
+  OOCQ_ASSERT_OK(report.status());
+  // 3 + 1 raw expansions collapse to the single Auto disjunct.
+  EXPECT_EQ(report->raw_disjuncts, 4u);
+  EXPECT_EQ(report->minimized.disjuncts.size(), 1u);
+}
+
+TEST_F(ViewMatchingTest, MinimizeUnionMatchesSingleQueryPipeline) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists y (x in Vehicle & y in Client & x in y.VehRented) }");
+  UnionQuery as_union;
+  as_union.disjuncts.push_back(query);
+  StatusOr<MinimizationReport> via_union =
+      MinimizePositiveUnion(schema_, as_union);
+  StatusOr<MinimizationReport> via_query =
+      MinimizePositiveQuery(schema_, query);
+  OOCQ_ASSERT_OK(via_union.status());
+  OOCQ_ASSERT_OK(via_query.status());
+  StatusOr<bool> equivalent = UnionEquivalent(
+      schema_, via_union->minimized, via_query->minimized);
+  OOCQ_ASSERT_OK(equivalent.status());
+  EXPECT_TRUE(*equivalent);
+}
+
+// ----------------- optimizer exact general single-disjunct ----------------
+
+TEST_F(ViewMatchingTest, GeneralContainmentExactWhenRhsSingleDisjunct) {
+  QueryOptimizer optimizer(schema_);
+  // Q2 is terminal with an inequality; Q1 ranges over the hierarchy.
+  ConjunctiveQuery q1 = MustParseQuery(
+      schema_,
+      "{ x | exists y exists z (x in Auto & y in Discount & z in Discount & "
+      "x in y.VehRented & x in z.VehRented & y != z) }");
+  ConjunctiveQuery q2 = MustParseQuery(
+      schema_,
+      "{ x | exists y exists z (x in Auto & y in Discount & z in Discount & "
+      "x in y.VehRented & x in z.VehRented) }");
+  StatusOr<bool> forward = optimizer.IsContained(q1, q2);
+  OOCQ_ASSERT_OK(forward.status());
+  EXPECT_TRUE(*forward);
+  StatusOr<bool> backward = optimizer.IsContained(q2, q1);
+  OOCQ_ASSERT_OK(backward.status());
+  EXPECT_FALSE(*backward);
+}
+
+TEST_F(ViewMatchingTest, MinimizeUnionRejectsNegativeDisjuncts) {
+  StatusOr<UnionQuery> parsed = ParseUnionQuery(
+      schema_, "{ x | exists y (x in Auto & y in Auto & x != y) }");
+  OOCQ_ASSERT_OK(parsed.status());
+  EXPECT_EQ(MinimizePositiveUnion(schema_, *parsed).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ViewMatchingTest, MinimizeEmptyUnionIsEmpty) {
+  UnionQuery empty;
+  StatusOr<MinimizationReport> report = MinimizePositiveUnion(schema_, empty);
+  OOCQ_ASSERT_OK(report.status());
+  EXPECT_TRUE(report->minimized.disjuncts.empty());
+}
+
+TEST_F(ViewMatchingTest, CachePropagatesErrors) {
+  ContainmentCache cache(&schema_);
+  ConjunctiveQuery non_terminal =
+      MustParseQuery(schema_, "{ x | x in Vehicle }");
+  EXPECT_EQ(cache.Contained(non_terminal, non_terminal).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Errors are not cached.
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(ViewMatchingTest, CacheAgreesWithDirectContainedOnBatch) {
+  ContainmentCache cache(&schema_);
+  const char* queries[] = {
+      "{ x | x in Auto }",
+      "{ x | exists y (x in Auto & y in Discount & x in y.VehRented) }",
+      "{ x | exists y (x in Auto & y in Regular & x in y.VehRented) }",
+      "{ x | exists y (x in Auto & y in Discount & x notin y.VehRented) }",
+  };
+  for (const char* a : queries) {
+    for (const char* b : queries) {
+      ConjunctiveQuery q1 = MustParseQuery(schema_, a);
+      ConjunctiveQuery q2 = MustParseQuery(schema_, b);
+      StatusOr<bool> direct = Contained(schema_, q1, q2);
+      StatusOr<bool> via_cache = cache.Contained(q1, q2);
+      OOCQ_ASSERT_OK(direct.status());
+      OOCQ_ASSERT_OK(via_cache.status());
+      EXPECT_EQ(*direct, *via_cache) << a << " vs " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oocq

@@ -1,0 +1,216 @@
+// Unit tests for the paper's well-formedness conditions (§2.3) and the
+// normalization rewrite.
+
+#include <gtest/gtest.h>
+
+#include "query/well_formed.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+class WellFormedTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(R"(
+schema W {
+  class D { }
+  class E under D { }
+  class F under D { }
+  class C { A: D; S: {D}; }
+})");
+};
+
+TEST_F(WellFormedTest, SimpleQueryIsWellFormed) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists u (x in C & u in D & u = x.A) }");
+  OOCQ_EXPECT_OK(CheckWellFormed(schema_, query));
+}
+
+TEST_F(WellFormedTest, EmptyQueryRejected) {
+  ConjunctiveQuery query;
+  EXPECT_EQ(ValidateStructure(schema_, query).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(WellFormedTest, ConditionIiiMissingRangeAtom) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  VarId y = query.AddVariable("y");
+  query.AddAtom(Atom::Range(x, {schema_.FindClass("C").value()}));
+  query.AddAtom(Atom::Equality(Term::Var(x), Term::Var(y)));
+  EXPECT_EQ(CheckWellFormed(schema_, query).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(WellFormedTest, ConditionIiiTwoRangeAtoms) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  query.AddAtom(Atom::Range(x, {schema_.FindClass("E").value()}));
+  query.AddAtom(Atom::Range(x, {schema_.FindClass("F").value()}));
+  EXPECT_EQ(CheckWellFormed(schema_, query).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(WellFormedTest, ConditionIiStrandedObjectTerm) {
+  // x.A = y.A without any variable equated: both sides are object terms
+  // with no variable in their class.
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  VarId y = query.AddVariable("y");
+  ClassId c = schema_.FindClass("C").value();
+  query.AddAtom(Atom::Range(x, {c}));
+  query.AddAtom(Atom::Range(y, {c}));
+  query.AddAtom(Atom::Equality(Term::Attr(x, "A"), Term::Attr(y, "A")));
+  EXPECT_EQ(CheckWellFormed(schema_, query).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(WellFormedTest, ConditionIObjectSetClash) {
+  // u = x.S makes x.S an object term, y in x.S makes it a set term.
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists u exists y (x in C & u in D & y in D & u = x.S & "
+      "y in x.S) }");
+  Status status = CheckWellFormed(schema_, query);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("object"), std::string::npos);
+}
+
+TEST_F(WellFormedTest, StructuralUnknownVariableId) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  query.AddAtom(Atom::Range(x, {schema_.FindClass("C").value()}));
+  query.AddAtom(Atom::Equality(Term::Var(x), Term::Var(99)));
+  EXPECT_EQ(ValidateStructure(schema_, query).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(WellFormedTest, StructuralBadClassId) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  query.AddAtom(Atom::Range(x, {12345}));
+  EXPECT_EQ(ValidateStructure(schema_, query).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(WellFormedTest, NormalizeInfersRangeFromEquatedVariable) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  VarId y = query.AddVariable("y");
+  query.AddAtom(Atom::Range(x, {schema_.FindClass("C").value()}));
+  query.AddAtom(Atom::Equality(Term::Var(x), Term::Var(y)));
+  StatusOr<ConjunctiveQuery> normalized = NormalizeToWellFormed(schema_, query);
+  OOCQ_ASSERT_OK(normalized.status());
+  OOCQ_EXPECT_OK(CheckWellFormed(schema_, *normalized));
+  EXPECT_EQ(normalized->CountRangeAtomsOf(y), 1);
+  // x = y bounds y by x's range.
+  EXPECT_EQ(normalized->RangeAtomOf(y)->classes(),
+            std::vector<ClassId>{schema_.FindClass("C").value()});
+}
+
+TEST_F(WellFormedTest, NormalizeDefaultsToAllTerminalsWhenUnconstrained) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  query.AddVariable("y");  // No atoms at all about y.
+  query.AddAtom(Atom::Range(x, {schema_.FindClass("C").value()}));
+  StatusOr<ConjunctiveQuery> normalized = NormalizeToWellFormed(schema_, query);
+  OOCQ_ASSERT_OK(normalized.status());
+  EXPECT_EQ(normalized->RangeAtomOf(1)->classes().size(),
+            schema_.TerminalClasses(true).size());
+}
+
+TEST_F(WellFormedTest, NormalizeInfersRangeFromAttributeEquality) {
+  // y = x.A bounds y by the terminal descendants of A's type D = {E, F}.
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  VarId y = query.AddVariable("y");
+  query.AddAtom(Atom::Range(x, {schema_.FindClass("C").value()}));
+  query.AddAtom(Atom::Equality(Term::Var(y), Term::Attr(x, "A")));
+  StatusOr<ConjunctiveQuery> normalized = NormalizeToWellFormed(schema_, query);
+  OOCQ_ASSERT_OK(normalized.status());
+  EXPECT_EQ(normalized->RangeAtomOf(y)->classes(),
+            (std::vector<ClassId>{schema_.FindClass("E").value(),
+                                  schema_.FindClass("F").value()}));
+}
+
+TEST_F(WellFormedTest, NormalizeSplitsMultipleRangeAtoms) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  query.AddAtom(Atom::Range(x, {schema_.FindClass("E").value()}));
+  query.AddAtom(Atom::Range(x, {schema_.FindClass("D").value()}));
+  StatusOr<ConjunctiveQuery> normalized = NormalizeToWellFormed(schema_, query);
+  OOCQ_ASSERT_OK(normalized.status());
+  OOCQ_EXPECT_OK(CheckWellFormed(schema_, *normalized));
+  // A fresh variable carries the second range atom, equated to x.
+  EXPECT_EQ(normalized->num_vars(), 2u);
+  EXPECT_EQ(normalized->CountRangeAtomsOf(x), 1);
+}
+
+TEST_F(WellFormedTest, NormalizeEquatesStrandedObjectTerm) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  VarId y = query.AddVariable("y");
+  ClassId c = schema_.FindClass("C").value();
+  query.AddAtom(Atom::Range(x, {c}));
+  query.AddAtom(Atom::Range(y, {c}));
+  query.AddAtom(Atom::Equality(Term::Attr(x, "A"), Term::Attr(y, "A")));
+  StatusOr<ConjunctiveQuery> normalized = NormalizeToWellFormed(schema_, query);
+  OOCQ_ASSERT_OK(normalized.status());
+  OOCQ_EXPECT_OK(CheckWellFormed(schema_, *normalized));
+  // One fresh variable suffices: x.A and y.A are in one equivalence class.
+  EXPECT_EQ(normalized->num_vars(), 3u);
+  // Its range is narrowed to the terminal descendants of D = {E, F}.
+  const Atom* range = normalized->RangeAtomOf(2);
+  ASSERT_NE(range, nullptr);
+  EXPECT_EQ(range->classes().size(), 2u);
+}
+
+TEST_F(WellFormedTest, NormalizeTwoStrandedClasses) {
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  ClassId c = schema_.FindClass("C").value();
+  query.AddAtom(Atom::Range(x, {c}));
+  // x.A = x.A is one stranded class; a membership over x.S leaves the set
+  // term alone (set terms need no variable).
+  query.AddAtom(Atom::Equality(Term::Attr(x, "A"), Term::Attr(x, "A")));
+  StatusOr<ConjunctiveQuery> normalized = NormalizeToWellFormed(schema_, query);
+  OOCQ_ASSERT_OK(normalized.status());
+  OOCQ_EXPECT_OK(CheckWellFormed(schema_, *normalized));
+  EXPECT_EQ(normalized->num_vars(), 2u);
+}
+
+TEST_F(WellFormedTest, NormalizeLeavesWellFormedQueryAlone) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists u (x in C & u in D & u = x.A) }");
+  StatusOr<ConjunctiveQuery> normalized = NormalizeToWellFormed(schema_, query);
+  OOCQ_ASSERT_OK(normalized.status());
+  EXPECT_EQ(*normalized, query);
+}
+
+TEST_F(WellFormedTest, NormalizeCannotFixObjectSetClash) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_,
+      "{ x | exists u exists y (x in C & u in D & y in D & u = x.S & "
+      "y in x.S) }");
+  EXPECT_EQ(NormalizeToWellFormed(schema_, query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(WellFormedTest, MembershipElementMustBeVariable) {
+  // The parser enforces this, but hand-built atoms could violate it.
+  ConjunctiveQuery query;
+  VarId x = query.AddVariable("x");
+  query.AddAtom(Atom::Range(x, {schema_.FindClass("C").value()}));
+  Atom bad = Atom::Equality(Term::Attr(x, "A"), Term::Var(x));
+  // Equality with attribute lhs is fine; build an actually-bad membership
+  // through the factory is impossible, so check ValidateStructure accepts
+  // factory-built atoms.
+  query.AddAtom(bad);
+  OOCQ_EXPECT_OK(ValidateStructure(schema_, query));
+}
+
+}  // namespace
+}  // namespace oocq

@@ -1,0 +1,218 @@
+// Unit tests for the canonical witness construction (the completeness
+// half of Thm 2.2) and the counterexample search, plus the random state
+// generator's legality.
+
+#include <gtest/gtest.h>
+
+#include "state/evaluation.h"
+#include "state/generator.h"
+#include "state/witness.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+class WitnessTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MustParseSchema(R"(
+schema Wit {
+  class D { }
+  class E under D { }
+  class F under D { }
+  class C { A: D; B: D; S: {D}; }
+})");
+
+  // Asserts the canonical witness state actually satisfies the query.
+  void ExpectWitnessWorks(const std::string& text) {
+    ConjunctiveQuery query = MustParseQuery(schema_, text);
+    StatusOr<State> state = BuildCanonicalWitnessState(schema_, query);
+    OOCQ_ASSERT_OK(state.status());
+    OOCQ_EXPECT_OK(state->Validate());
+    StatusOr<std::vector<Oid>> answers = Evaluate(*state, query);
+    OOCQ_ASSERT_OK(answers.status());
+    EXPECT_FALSE(answers->empty()) << text;
+  }
+};
+
+TEST_F(WitnessTest, SimpleRange) { ExpectWitnessWorks("{ x | x in E }"); }
+
+TEST_F(WitnessTest, AttributeEquality) {
+  ExpectWitnessWorks("{ x | exists u (x in C & u in E & u = x.A) }");
+}
+
+TEST_F(WitnessTest, TwoAttributes) {
+  ExpectWitnessWorks(
+      "{ x | exists u exists v (x in C & u in E & v in F & u = x.A & "
+      "v = x.B) }");
+}
+
+TEST_F(WitnessTest, SharedWitness) {
+  ExpectWitnessWorks(
+      "{ x | exists u (x in C & u in E & u = x.A & u = x.B) }");
+}
+
+TEST_F(WitnessTest, Membership) {
+  ExpectWitnessWorks(
+      "{ x | exists u exists v (x in C & u in E & v in F & u in x.S & "
+      "v in x.S) }");
+}
+
+TEST_F(WitnessTest, NonMembershipGetsEmptySet) {
+  ExpectWitnessWorks(
+      "{ x | exists u (x in C & u in E & u notin x.S) }");
+}
+
+TEST_F(WitnessTest, MembershipAndNonMembershipMix) {
+  ExpectWitnessWorks(
+      "{ x | exists u exists v (x in C & u in E & v in E & u in x.S & "
+      "v notin x.S) }");
+}
+
+TEST_F(WitnessTest, Inequalities) {
+  ExpectWitnessWorks(
+      "{ x | exists y exists z (x in E & y in E & z in E & x != y & "
+      "y != z & x != z) }");
+}
+
+TEST_F(WitnessTest, EqualitiesCollapseObjects) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists y (x in E & y in E & x = y) }");
+  StatusOr<State> state = BuildCanonicalWitnessState(schema_, query);
+  OOCQ_ASSERT_OK(state.status());
+  // One object per equivalence class: x ~ y share one object.
+  EXPECT_EQ(state->Extent(schema_.FindClass("E").value()).size(), 1u);
+}
+
+TEST_F(WitnessTest, PrimitiveVariables) {
+  Schema schema = MustParseSchema(R"(
+schema P {
+  class C { Name: String; Age: Int; }
+})");
+  ConjunctiveQuery query = MustParseQuery(
+      schema,
+      "{ x | exists n exists a (x in C & n in String & a in Int & "
+      "n = x.Name & a = x.Age) }");
+  StatusOr<State> state = BuildCanonicalWitnessState(schema, query);
+  OOCQ_ASSERT_OK(state.status());
+  StatusOr<std::vector<Oid>> answers = Evaluate(*state, query);
+  OOCQ_ASSERT_OK(answers.status());
+  EXPECT_EQ(answers->size(), 1u);
+}
+
+TEST_F(WitnessTest, DistinctPrimitiveClassesGetDistinctValues) {
+  Schema schema = MustParseSchema(R"(
+schema P2 {
+  class C { X: Int; Y: Int; }
+})");
+  // a != b must hold in the witness: fresh values per class.
+  ConjunctiveQuery query = MustParseQuery(
+      schema,
+      "{ x | exists a exists b (x in C & a in Int & b in Int & a = x.X & "
+      "b = x.Y & a != b) }");
+  StatusOr<State> state = BuildCanonicalWitnessState(schema, query);
+  OOCQ_ASSERT_OK(state.status());
+  StatusOr<std::vector<Oid>> answers = Evaluate(*state, query);
+  OOCQ_ASSERT_OK(answers.status());
+  EXPECT_EQ(answers->size(), 1u);
+}
+
+TEST_F(WitnessTest, UnsatisfiableQueryRejected) {
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists y (x in E & y in F & x = y) }");
+  EXPECT_EQ(BuildCanonicalWitnessState(schema_, query).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ------------------------ counterexample search ------------------------
+
+TEST_F(WitnessTest, FindsCounterexampleForStrictContainment) {
+  // Q1 = everything in E; Q2 = E objects inside some C's set.
+  ConjunctiveQuery q1 = MustParseQuery(schema_, "{ x | x in E }");
+  ConjunctiveQuery q2 = MustParseQuery(
+      schema_, "{ x | exists y (x in E & y in C & x in y.S) }");
+  StatusOr<std::optional<State>> counterexample =
+      FindContainmentCounterexample(schema_, q1, q2);
+  OOCQ_ASSERT_OK(counterexample.status());
+  ASSERT_TRUE(counterexample->has_value());
+  // Confirm it separates the queries.
+  std::vector<Oid> a1 = *Evaluate(**counterexample, q1);
+  std::vector<Oid> a2 = *Evaluate(**counterexample, q2);
+  EXPECT_FALSE(std::includes(a2.begin(), a2.end(), a1.begin(), a1.end()));
+}
+
+TEST_F(WitnessTest, NoCounterexampleForActualContainment) {
+  ConjunctiveQuery q1 = MustParseQuery(
+      schema_, "{ x | exists y (x in E & y in C & x in y.S) }");
+  ConjunctiveQuery q2 = MustParseQuery(schema_, "{ x | x in E }");
+  WitnessSearchOptions options;
+  options.max_trials = 10;
+  StatusOr<std::optional<State>> counterexample =
+      FindContainmentCounterexample(schema_, q1, q2, options);
+  OOCQ_ASSERT_OK(counterexample.status());
+  EXPECT_FALSE(counterexample->has_value());
+}
+
+TEST_F(WitnessTest, CanonicalStateSeparatesExample31) {
+  // Q2 ⊄ Q1 in Example 3.1; the canonical witness of Q2 separates them.
+  Schema schema = MustParseSchema(testing::kExample31Schema);
+  ConjunctiveQuery q1 = MustParseQuery(
+      schema,
+      "{ x | exists y exists z (x in C & y in C & z in D & z = y.A & "
+      "z in y.B & x = y) }");
+  ConjunctiveQuery q2 = MustParseQuery(
+      schema, "{ y | exists z (y in C & z in D & z = y.A) }");
+  StatusOr<std::optional<State>> counterexample =
+      FindContainmentCounterexample(schema, q2, q1);
+  OOCQ_ASSERT_OK(counterexample.status());
+  EXPECT_TRUE(counterexample->has_value());
+}
+
+// ------------------------ random generator ------------------------
+
+TEST(GeneratorTest, GeneratesLegalStates) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    GeneratorParams params;
+    params.seed = seed;
+    State state = GenerateRandomState(schema, params);
+    OOCQ_EXPECT_OK(state.Validate());
+    EXPECT_GT(state.num_objects(), 0u);
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  GeneratorParams params;
+  params.seed = 7;
+  State a = GenerateRandomState(schema, params);
+  State b = GenerateRandomState(schema, params);
+  ASSERT_EQ(a.num_objects(), b.num_objects());
+  for (Oid oid = 0; oid < a.num_objects(); ++oid) {
+    EXPECT_EQ(a.class_of(oid), b.class_of(oid));
+  }
+}
+
+TEST(GeneratorTest, ObjectsPerClassRespected) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  GeneratorParams params;
+  params.objects_per_class = 3;
+  State state = GenerateRandomState(schema, params);
+  EXPECT_EQ(state.Extent(schema.FindClass("Auto").value()).size(), 3u);
+  EXPECT_EQ(state.Extent(schema.FindClass("Vehicle").value()).size(), 9u);
+}
+
+TEST(GeneratorTest, NullProbabilityOneLeavesAllNull) {
+  Schema schema = MustParseSchema(testing::kVehicleRentalSchema);
+  GeneratorParams params;
+  params.null_probability = 1.0;
+  State state = GenerateRandomState(schema, params);
+  for (Oid oid : state.Extent(schema.FindClass("Auto").value())) {
+    EXPECT_TRUE(state.GetAttribute(oid, "VehId")->is_null());
+  }
+}
+
+}  // namespace
+}  // namespace oocq
