@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_containment_general"
+  "../bench/bench_containment_general.pdb"
+  "CMakeFiles/bench_containment_general.dir/bench_containment_general.cpp.o"
+  "CMakeFiles/bench_containment_general.dir/bench_containment_general.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_containment_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

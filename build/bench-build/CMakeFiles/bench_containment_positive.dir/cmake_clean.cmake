@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_containment_positive"
+  "../bench/bench_containment_positive.pdb"
+  "CMakeFiles/bench_containment_positive.dir/bench_containment_positive.cpp.o"
+  "CMakeFiles/bench_containment_positive.dir/bench_containment_positive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_containment_positive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

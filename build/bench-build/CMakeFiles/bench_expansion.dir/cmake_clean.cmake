@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_expansion"
+  "../bench/bench_expansion.pdb"
+  "CMakeFiles/bench_expansion.dir/bench_expansion.cpp.o"
+  "CMakeFiles/bench_expansion.dir/bench_expansion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_minimization"
+  "../bench/bench_minimization.pdb"
+  "CMakeFiles/bench_minimization.dir/bench_minimization.cpp.o"
+  "CMakeFiles/bench_minimization.dir/bench_minimization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

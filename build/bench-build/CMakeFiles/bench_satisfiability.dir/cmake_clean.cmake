@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_satisfiability"
+  "../bench/bench_satisfiability.pdb"
+  "CMakeFiles/bench_satisfiability.dir/bench_satisfiability.cpp.o"
+  "CMakeFiles/bench_satisfiability.dir/bench_satisfiability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_satisfiability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

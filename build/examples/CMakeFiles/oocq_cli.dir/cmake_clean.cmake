@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocq_cli.dir/oocq_cli.cpp.o"
+  "CMakeFiles/oocq_cli.dir/oocq_cli.cpp.o.d"
+  "oocq_cli"
+  "oocq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

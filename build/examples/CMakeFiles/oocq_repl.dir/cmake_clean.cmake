@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oocq_repl.dir/oocq_repl.cpp.o"
+  "CMakeFiles/oocq_repl.dir/oocq_repl.cpp.o.d"
+  "oocq_repl"
+  "oocq_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oocq_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

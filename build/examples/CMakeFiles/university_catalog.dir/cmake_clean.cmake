@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_catalog.dir/university_catalog.cpp.o"
+  "CMakeFiles/university_catalog.dir/university_catalog.cpp.o.d"
+  "university_catalog"
+  "university_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicle_rental.dir/vehicle_rental.cpp.o"
+  "CMakeFiles/vehicle_rental.dir/vehicle_rental.cpp.o.d"
+  "vehicle_rental"
+  "vehicle_rental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicle_rental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vehicle_rental.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/augmentation.cc" "src/CMakeFiles/oocq.dir/core/augmentation.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/augmentation.cc.o.d"
+  "/root/repo/src/core/canonical.cc" "src/CMakeFiles/oocq.dir/core/canonical.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/canonical.cc.o.d"
+  "/root/repo/src/core/containment.cc" "src/CMakeFiles/oocq.dir/core/containment.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/containment.cc.o.d"
+  "/root/repo/src/core/containment_cache.cc" "src/CMakeFiles/oocq.dir/core/containment_cache.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/containment_cache.cc.o.d"
+  "/root/repo/src/core/derivability.cc" "src/CMakeFiles/oocq.dir/core/derivability.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/derivability.cc.o.d"
+  "/root/repo/src/core/expansion.cc" "src/CMakeFiles/oocq.dir/core/expansion.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/expansion.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/oocq.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/general_minimization.cc" "src/CMakeFiles/oocq.dir/core/general_minimization.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/general_minimization.cc.o.d"
+  "/root/repo/src/core/mapping.cc" "src/CMakeFiles/oocq.dir/core/mapping.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/mapping.cc.o.d"
+  "/root/repo/src/core/minimization.cc" "src/CMakeFiles/oocq.dir/core/minimization.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/minimization.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/oocq.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/satisfiability.cc" "src/CMakeFiles/oocq.dir/core/satisfiability.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/satisfiability.cc.o.d"
+  "/root/repo/src/core/search_space.cc" "src/CMakeFiles/oocq.dir/core/search_space.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/search_space.cc.o.d"
+  "/root/repo/src/core/view_matching.cc" "src/CMakeFiles/oocq.dir/core/view_matching.cc.o" "gcc" "src/CMakeFiles/oocq.dir/core/view_matching.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/oocq.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/oocq.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/oocq.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/oocq.dir/parser/parser.cc.o.d"
+  "/root/repo/src/parser/state_parser.cc" "src/CMakeFiles/oocq.dir/parser/state_parser.cc.o" "gcc" "src/CMakeFiles/oocq.dir/parser/state_parser.cc.o.d"
+  "/root/repo/src/query/atom.cc" "src/CMakeFiles/oocq.dir/query/atom.cc.o" "gcc" "src/CMakeFiles/oocq.dir/query/atom.cc.o.d"
+  "/root/repo/src/query/equality_graph.cc" "src/CMakeFiles/oocq.dir/query/equality_graph.cc.o" "gcc" "src/CMakeFiles/oocq.dir/query/equality_graph.cc.o.d"
+  "/root/repo/src/query/printer.cc" "src/CMakeFiles/oocq.dir/query/printer.cc.o" "gcc" "src/CMakeFiles/oocq.dir/query/printer.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/oocq.dir/query/query.cc.o" "gcc" "src/CMakeFiles/oocq.dir/query/query.cc.o.d"
+  "/root/repo/src/query/well_formed.cc" "src/CMakeFiles/oocq.dir/query/well_formed.cc.o" "gcc" "src/CMakeFiles/oocq.dir/query/well_formed.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/oocq.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/oocq.dir/schema/schema.cc.o.d"
+  "/root/repo/src/schema/schema_builder.cc" "src/CMakeFiles/oocq.dir/schema/schema_builder.cc.o" "gcc" "src/CMakeFiles/oocq.dir/schema/schema_builder.cc.o.d"
+  "/root/repo/src/schema/schema_printer.cc" "src/CMakeFiles/oocq.dir/schema/schema_printer.cc.o" "gcc" "src/CMakeFiles/oocq.dir/schema/schema_printer.cc.o.d"
+  "/root/repo/src/state/evaluation.cc" "src/CMakeFiles/oocq.dir/state/evaluation.cc.o" "gcc" "src/CMakeFiles/oocq.dir/state/evaluation.cc.o.d"
+  "/root/repo/src/state/generator.cc" "src/CMakeFiles/oocq.dir/state/generator.cc.o" "gcc" "src/CMakeFiles/oocq.dir/state/generator.cc.o.d"
+  "/root/repo/src/state/index.cc" "src/CMakeFiles/oocq.dir/state/index.cc.o" "gcc" "src/CMakeFiles/oocq.dir/state/index.cc.o.d"
+  "/root/repo/src/state/indexed_evaluation.cc" "src/CMakeFiles/oocq.dir/state/indexed_evaluation.cc.o" "gcc" "src/CMakeFiles/oocq.dir/state/indexed_evaluation.cc.o.d"
+  "/root/repo/src/state/state.cc" "src/CMakeFiles/oocq.dir/state/state.cc.o" "gcc" "src/CMakeFiles/oocq.dir/state/state.cc.o.d"
+  "/root/repo/src/state/witness.cc" "src/CMakeFiles/oocq.dir/state/witness.cc.o" "gcc" "src/CMakeFiles/oocq.dir/state/witness.cc.o.d"
+  "/root/repo/src/support/status.cc" "src/CMakeFiles/oocq.dir/support/status.cc.o" "gcc" "src/CMakeFiles/oocq.dir/support/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

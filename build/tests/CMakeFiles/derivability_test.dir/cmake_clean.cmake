@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derivability_test.dir/derivability_test.cc.o"
+  "CMakeFiles/derivability_test.dir/derivability_test.cc.o.d"
+  "derivability_test"
+  "derivability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derivability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

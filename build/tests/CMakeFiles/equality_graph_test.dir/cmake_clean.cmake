@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equality_graph_test.dir/equality_graph_test.cc.o"
+  "CMakeFiles/equality_graph_test.dir/equality_graph_test.cc.o.d"
+  "equality_graph_test"
+  "equality_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equality_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_semantics_test.dir/exhaustive_semantics_test.cc.o"
+  "CMakeFiles/exhaustive_semantics_test.dir/exhaustive_semantics_test.cc.o.d"
+  "exhaustive_semantics_test"
+  "exhaustive_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

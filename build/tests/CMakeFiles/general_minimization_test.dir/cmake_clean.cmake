@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_minimization_test.dir/general_minimization_test.cc.o"
+  "CMakeFiles/general_minimization_test.dir/general_minimization_test.cc.o.d"
+  "general_minimization_test"
+  "general_minimization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_minimization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexed_evaluation_test.dir/indexed_evaluation_test.cc.o"
+  "CMakeFiles/indexed_evaluation_test.dir/indexed_evaluation_test.cc.o.d"
+  "indexed_evaluation_test"
+  "indexed_evaluation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexed_evaluation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

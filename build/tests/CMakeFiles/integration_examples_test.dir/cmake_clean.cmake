@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_examples_test.dir/integration_examples_test.cc.o"
+  "CMakeFiles/integration_examples_test.dir/integration_examples_test.cc.o.d"
+  "integration_examples_test"
+  "integration_examples_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

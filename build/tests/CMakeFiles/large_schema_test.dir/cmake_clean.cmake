@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_schema_test.dir/large_schema_test.cc.o"
+  "CMakeFiles/large_schema_test.dir/large_schema_test.cc.o.d"
+  "large_schema_test"
+  "large_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

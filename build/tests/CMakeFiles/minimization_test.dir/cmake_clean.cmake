@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimization_test.dir/minimization_test.cc.o"
+  "CMakeFiles/minimization_test.dir/minimization_test.cc.o.d"
+  "minimization_test"
+  "minimization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

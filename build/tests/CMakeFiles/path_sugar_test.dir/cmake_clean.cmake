@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_sugar_test.dir/path_sugar_test.cc.o"
+  "CMakeFiles/path_sugar_test.dir/path_sugar_test.cc.o.d"
+  "path_sugar_test"
+  "path_sugar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_sugar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_containment_test.dir/property_containment_test.cc.o"
+  "CMakeFiles/property_containment_test.dir/property_containment_test.cc.o.d"
+  "property_containment_test"
+  "property_containment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_containment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_minimization_test.dir/property_minimization_test.cc.o"
+  "CMakeFiles/property_minimization_test.dir/property_minimization_test.cc.o.d"
+  "property_minimization_test"
+  "property_minimization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_minimization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

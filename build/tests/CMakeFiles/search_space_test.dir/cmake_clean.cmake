@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_space_test.dir/search_space_test.cc.o"
+  "CMakeFiles/search_space_test.dir/search_space_test.cc.o.d"
+  "search_space_test"
+  "search_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_parser_test.dir/state_parser_test.cc.o"
+  "CMakeFiles/state_parser_test.dir/state_parser_test.cc.o.d"
+  "state_parser_test"
+  "state_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

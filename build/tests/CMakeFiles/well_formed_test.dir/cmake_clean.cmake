@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/well_formed_test.dir/well_formed_test.cc.o"
+  "CMakeFiles/well_formed_test.dir/well_formed_test.cc.o.d"
+  "well_formed_test"
+  "well_formed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/well_formed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
