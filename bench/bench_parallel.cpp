@@ -1,0 +1,121 @@
+// Thread-scaling benchmark for the parallel engine core: one redundancy-
+// heavy union (chains of length 1..k — every shorter chain contains every
+// longer one, so the containment matrix is dense) pushed through
+// RemoveRedundantDisjuncts and MinimizePositiveUnion at 1/2/4/8 threads.
+//
+// Standalone binary (no google-benchmark): it cross-checks that every
+// thread count produces the byte-identical union, then writes
+// BENCH_parallel.json with per-thread-count timings and speedups.
+// Speedups require real cores — on a single-core container every
+// configuration degenerates to the serial path.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine_options.h"
+#include "core/minimization.h"
+#include "query/printer.h"
+
+namespace oocq::bench {
+namespace {
+
+struct Sample {
+  uint32_t threads = 1;
+  double millis = 0;
+  double speedup = 1;
+};
+
+UnionQuery MakeRedundantUnion(const Schema& schema, int max_len,
+                              int copies_per_len) {
+  // Chains of every length 1..max_len, each `copies_per_len` times with
+  // distinct variable names: C_{j} ⊆ C_{i} for i ≤ j, so redundancy
+  // removal keeps exactly the shortest chain and the matrix is dense.
+  UnionQuery u;
+  for (int len = 1; len <= max_len; ++len) {
+    for (int copy = 0; copy < copies_per_len; ++copy) {
+      u.disjuncts.push_back(MakeChainQuery(schema, len));
+    }
+  }
+  return u;
+}
+
+double TimeRunMillis(const Schema& schema, const UnionQuery& input,
+                     uint32_t threads, std::string* rendered) {
+  EngineOptions options;
+  options.parallel.num_threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  MinimizationReport report =
+      Must(MinimizePositiveUnion(schema, input, options));
+  const auto stop = std::chrono::steady_clock::now();
+  *rendered = UnionQueryToString(schema, report.minimized);
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+int Run() {
+  const Schema schema = MakeChainSchema();
+  const UnionQuery input =
+      MakeRedundantUnion(schema, /*max_len=*/9, /*copies_per_len=*/2);
+
+  const std::vector<uint32_t> thread_counts = {1, 2, 4, 8};
+  constexpr int kReps = 3;
+
+  std::string baseline_rendered;
+  std::vector<Sample> samples;
+  for (uint32_t threads : thread_counts) {
+    double best = -1;
+    std::string rendered;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const double ms = TimeRunMillis(schema, input, threads, &rendered);
+      if (best < 0 || ms < best) best = ms;
+    }
+    if (threads == 1) {
+      baseline_rendered = rendered;
+    } else if (rendered != baseline_rendered) {
+      std::fprintf(stderr,
+                   "FAIL: %u-thread result differs from 1-thread result\n",
+                   threads);
+      return 1;
+    }
+    Sample sample;
+    sample.threads = threads;
+    sample.millis = best;
+    samples.push_back(sample);
+  }
+  for (Sample& sample : samples) {
+    sample.speedup = samples.front().millis / sample.millis;
+  }
+
+  std::FILE* out = std::fopen("BENCH_parallel.json", "w");
+  if (out == nullptr) {
+    std::perror("BENCH_parallel.json");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"workload\": \"MinimizePositiveUnion over %zu "
+                    "redundant chain disjuncts\",\n  \"samples\": [\n",
+               input.disjuncts.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"threads\": %u, \"best_ms\": %.3f, "
+                 "\"speedup\": %.3f}%s\n",
+                 samples[i].threads, samples[i].millis, samples[i].speedup,
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+
+  for (const Sample& sample : samples) {
+    std::printf("threads=%u  best=%.3f ms  speedup=%.2fx\n", sample.threads,
+                sample.millis, sample.speedup);
+  }
+  std::printf("results identical across thread counts; wrote "
+              "BENCH_parallel.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace oocq::bench
+
+int main() { return oocq::bench::Run(); }

@@ -1,8 +1,10 @@
 #include "core/containment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 #include <utility>
+#include <vector>
 
 #include "core/augmentation.h"
 #include "core/derivability.h"
@@ -11,15 +13,30 @@
 #include "query/equality_graph.h"
 #include "query/well_formed.h"
 #include "support/status_macros.h"
+#include "support/thread_pool.h"
 
 namespace oocq {
 
 namespace {
 
+constexpr uint64_t kNoEvent = ~uint64_t{0};
+
 bool HasAtomKind(const ConjunctiveQuery& query, AtomKind kind) {
   return std::any_of(
       query.atoms().begin(), query.atoms().end(),
       [kind](const Atom& atom) { return atom.kind() == kind; });
+}
+
+/// Atomically lowers `target` to `value` if `value` is smaller. Workers
+/// publish decisive events through this so later indices can stop early;
+/// the final minimum is schedule-independent because indices are claimed
+/// in order (support/thread_pool.h).
+template <typename T>
+void AtomicMin(std::atomic<T>& target, T value) {
+  T current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_acq_rel)) {
+  }
 }
 
 }  // namespace
@@ -120,6 +137,10 @@ StatusOr<bool> Contained(const Schema& schema, const ConjunctiveQuery& q1,
 
   // Checks the Thm 3.1 condition against one consistent augmentation
   // Q1&S, enumerating the subsets W of T when Q2 has non-membership atoms.
+  // The subsets are independent, so the 2^|T| masks are scanned in chunks
+  // that fan out over options.parallel; the verdict is resolved as the
+  // smallest decisive mask in enumeration order, which is exactly what
+  // the serial scan reports.
   auto check_augmentation =
       [&](const ConjunctiveQuery& base) -> StatusOr<bool> {
     if (stats != nullptr) ++stats->augmentations;
@@ -129,26 +150,83 @@ StatusOr<bool> Contained(const Schema& schema, const ConjunctiveQuery& q1,
                             MembershipCandidatePool(schema, base, options));
     }
     const size_t t_size = membership_pool.size();
-    for (uint64_t mask = 0; mask < (uint64_t{1} << t_size); ++mask) {
-      ConjunctiveQuery target = base;
-      for (size_t i = 0; i < t_size; ++i) {
-        if (mask & (uint64_t{1} << i)) target.AddAtom(membership_pool[i]);
+    const uint64_t total = uint64_t{1} << t_size;
+
+    // A chunk's outcome: the first mask in its range that decided the
+    // test (condition violated, or an error such as ResourceExhausted),
+    // plus the work counters for the masks it actually scanned.
+    struct ChunkResult {
+      uint64_t event_mask = kNoEvent;
+      bool is_error = false;
+      Status error = Status::Ok();
+      ContainmentStats stats;
+    };
+    std::atomic<uint64_t> first_event{kNoEvent};
+
+    auto scan_masks = [&](uint64_t begin, uint64_t end) -> ChunkResult {
+      ChunkResult result;
+      for (uint64_t mask = begin; mask < end; ++mask) {
+        // A smaller decisive mask already settles the answer.
+        if (mask > first_event.load(std::memory_order_acquire)) break;
+        ConjunctiveQuery target = base;
+        for (size_t i = 0; i < t_size; ++i) {
+          if (mask & (uint64_t{1} << i)) target.AddAtom(membership_pool[i]);
+        }
+        if (!CheckSatisfiable(schema, target).satisfiable) continue;
+        ++result.stats.membership_subsets;
+        ++result.stats.mapping_searches;
+        StatusOr<QueryAnalysis> analysis = QueryAnalysis::Create(schema, target);
+        if (!analysis.ok()) {
+          result.event_mask = mask;
+          result.is_error = true;
+          result.error = analysis.status();
+          AtomicMin(first_event, mask);
+          break;
+        }
+        MappingResult mapping =
+            FindNonContradictoryMapping(schema, n2, *analysis, constraints);
+        result.stats.mapping_steps += mapping.steps;
+        if (mapping.exhausted) {
+          result.event_mask = mask;
+          result.is_error = true;
+          result.error = Status::ResourceExhausted(
+              "mapping search exceeded ContainmentOptions::max_mapping_steps");
+          AtomicMin(first_event, mask);
+          break;
+        }
+        if (!mapping.found()) {
+          result.event_mask = mask;
+          AtomicMin(first_event, mask);
+          break;
+        }
       }
-      if (!CheckSatisfiable(schema, target).satisfiable) continue;
-      if (stats != nullptr) {
-        ++stats->membership_subsets;
-        ++stats->mapping_searches;
-      }
-      OOCQ_ASSIGN_OR_RETURN(QueryAnalysis analysis,
-                            QueryAnalysis::Create(schema, target));
-      MappingResult mapping =
-          FindNonContradictoryMapping(schema, n2, analysis, constraints);
-      if (stats != nullptr) stats->mapping_steps += mapping.steps;
-      if (mapping.exhausted) {
-        return Status::ResourceExhausted(
-            "mapping search exceeded ContainmentOptions::max_mapping_steps");
-      }
-      if (!mapping.found()) return false;
+      return result;
+    };
+
+    uint64_t num_chunks = 1;
+    const uint32_t threads = EffectiveThreads(options.parallel);
+    if (threads > 1 && !InParallelRegion() &&
+        total >= options.parallel.min_parallel_items) {
+      // Over-decompose so uneven mapping searches balance across workers.
+      num_chunks = std::min<uint64_t>(total, uint64_t{threads} * 8);
+    }
+    const uint64_t chunk_size = (total + num_chunks - 1) / num_chunks;
+    OOCQ_ASSIGN_OR_RETURN(
+        std::vector<ChunkResult> chunks,
+        (ParallelMap<ChunkResult>(
+            options.parallel, static_cast<size_t>(num_chunks),
+            [&](size_t c) -> StatusOr<ChunkResult> {
+              const uint64_t begin = static_cast<uint64_t>(c) * chunk_size;
+              const uint64_t end = std::min<uint64_t>(total, begin + chunk_size);
+              return scan_masks(begin, end);
+            })));
+    for (const ChunkResult& chunk : chunks) {
+      if (stats != nullptr) stats->Add(chunk.stats);
+    }
+    for (const ChunkResult& chunk : chunks) {
+      if (chunk.event_mask == kNoEvent) continue;
+      if (chunk.is_error) return chunk.error;
+      return false;
     }
     return true;
   };
@@ -180,15 +258,17 @@ StatusOr<bool> Contained(const Schema& schema, const ConjunctiveQuery& q1,
 StatusOr<bool> EquivalentQueries(const Schema& schema,
                                  const ConjunctiveQuery& q1,
                                  const ConjunctiveQuery& q2,
-                                 const ContainmentOptions& options) {
-  OOCQ_ASSIGN_OR_RETURN(bool forward, Contained(schema, q1, q2, options));
+                                 const ContainmentOptions& options,
+                                 ContainmentStats* stats) {
+  OOCQ_ASSIGN_OR_RETURN(bool forward, Contained(schema, q1, q2, options, stats));
   if (!forward) return false;
-  return Contained(schema, q2, q1, options);
+  return Contained(schema, q2, q1, options, stats);
 }
 
 StatusOr<bool> UnionContained(const Schema& schema, const UnionQuery& m,
                               const UnionQuery& n,
-                              const ContainmentOptions& options) {
+                              const ContainmentOptions& options,
+                              ContainmentStats* stats) {
   // Thm 4.1 is stated (and true) for unions of terminal positive
   // conjunctive queries; reject anything else.
   for (const UnionQuery* side : {&m, &n}) {
@@ -208,28 +288,62 @@ StatusOr<bool> UnionContained(const Schema& schema, const UnionQuery& m,
     }
   }
 
-  for (const ConjunctiveQuery& qi : m.disjuncts) {
-    if (!CheckSatisfiable(schema, qi).satisfiable) continue;
-    bool contained_somewhere = false;
-    for (const ConjunctiveQuery& pj : n.disjuncts) {
-      OOCQ_ASSIGN_OR_RETURN(bool contained,
-                            Contained(schema, qi, pj, options));
-      if (contained) {
-        contained_somewhere = true;
-        break;
-      }
-    }
-    if (!contained_somewhere) return false;
+  // Thm 4.1 fan-out: each disjunct of M is tested independently. The
+  // verdict is the smallest decisive disjunct index (a "not contained
+  // anywhere" or an error), matching the serial in-order scan.
+  struct DisjunctResult {
+    bool decisive = false;
+    bool is_error = false;
+    Status error = Status::Ok();
+    ContainmentStats stats;
+  };
+  std::atomic<size_t> first_event{static_cast<size_t>(-1)};
+  OOCQ_ASSIGN_OR_RETURN(
+      std::vector<DisjunctResult> outcomes,
+      (ParallelMap<DisjunctResult>(
+          options.parallel, m.disjuncts.size(),
+          [&](size_t i) -> StatusOr<DisjunctResult> {
+            DisjunctResult result;
+            if (i > first_event.load(std::memory_order_acquire)) {
+              return result;  // a smaller index already decided
+            }
+            const ConjunctiveQuery& qi = m.disjuncts[i];
+            if (!CheckSatisfiable(schema, qi).satisfiable) return result;
+            for (const ConjunctiveQuery& pj : n.disjuncts) {
+              StatusOr<bool> contained =
+                  Contained(schema, qi, pj, options, &result.stats);
+              if (!contained.ok()) {
+                result.decisive = true;
+                result.is_error = true;
+                result.error = contained.status();
+                AtomicMin(first_event, i);
+                return result;
+              }
+              if (*contained) return result;
+            }
+            result.decisive = true;  // contained in no disjunct of N
+            AtomicMin(first_event, i);
+            return result;
+          })));
+  for (const DisjunctResult& outcome : outcomes) {
+    if (stats != nullptr) stats->Add(outcome.stats);
+  }
+  for (const DisjunctResult& outcome : outcomes) {
+    if (!outcome.decisive) continue;
+    if (outcome.is_error) return outcome.error;
+    return false;
   }
   return true;
 }
 
 StatusOr<bool> UnionEquivalent(const Schema& schema, const UnionQuery& m,
                                const UnionQuery& n,
-                               const ContainmentOptions& options) {
-  OOCQ_ASSIGN_OR_RETURN(bool forward, UnionContained(schema, m, n, options));
+                               const ContainmentOptions& options,
+                               ContainmentStats* stats) {
+  OOCQ_ASSIGN_OR_RETURN(bool forward,
+                        UnionContained(schema, m, n, options, stats));
   if (!forward) return false;
-  return UnionContained(schema, n, m, options);
+  return UnionContained(schema, n, m, options, stats);
 }
 
 }  // namespace oocq

@@ -6,6 +6,7 @@
 #include "query/query.h"
 #include "schema/schema.h"
 #include "support/status.h"
+#include "support/thread_pool.h"
 
 namespace oocq {
 
@@ -24,14 +25,33 @@ struct ContainmentOptions {
   /// atom kinds admit a Cor 3.2–3.4 fast path. The outcome is identical;
   /// bench_ablation measures what the fast paths save.
   bool force_full_theorem = false;
+  /// Fan-out knobs for the 2^|T| membership-subset enumeration inside
+  /// Contained() and the per-disjunct tests of UnionContained(). Default
+  /// serial; the pipeline entry points overwrite this with
+  /// EngineOptions::parallel (core/engine_options.h). Verdicts are
+  /// schedule-independent; only the work counters may differ when an
+  /// early exit races (docs/parallelism.md).
+  ParallelOptions parallel;
 };
 
 /// Work counters filled by Contained() when non-null (benches E4/E8).
+/// Under parallel execution counters measure the work actually done:
+/// identical to the serial run except on early-exit paths, where
+/// cancelled workers may have completed extra units first.
 struct ContainmentStats {
   uint64_t augmentations = 0;
   uint64_t membership_subsets = 0;
   uint64_t mapping_searches = 0;
   uint64_t mapping_steps = 0;
+
+  /// Accumulates `other` into this (fan-out workers aggregate task-local
+  /// counters through this).
+  void Add(const ContainmentStats& other) {
+    augmentations += other.augmentations;
+    membership_subsets += other.membership_subsets;
+    mapping_searches += other.mapping_searches;
+    mapping_steps += other.mapping_steps;
+  }
 };
 
 /// Decides Q1 ⊆ Q2 for well-formed terminal conjunctive queries over
@@ -60,21 +80,25 @@ StatusOr<std::vector<Atom>> MembershipCandidatePool(
 StatusOr<bool> EquivalentQueries(const Schema& schema,
                                  const ConjunctiveQuery& q1,
                                  const ConjunctiveQuery& q2,
-                                 const ContainmentOptions& options = {});
+                                 const ContainmentOptions& options = {},
+                                 ContainmentStats* stats = nullptr);
 
 /// Thm 4.1: for unions of terminal *positive* conjunctive queries,
 /// M ⊆ N iff every satisfiable disjunct of M is contained in some disjunct
 /// of N. Returns FailedPrecondition when a satisfiable disjunct is not
 /// positive or not terminal (the componentwise characterization does not
-/// hold for general queries).
+/// hold for general queries). The per-disjunct tests are independent and
+/// fan out over options.parallel; the verdict is schedule-independent.
 StatusOr<bool> UnionContained(const Schema& schema, const UnionQuery& m,
                               const UnionQuery& n,
-                              const ContainmentOptions& options = {});
+                              const ContainmentOptions& options = {},
+                              ContainmentStats* stats = nullptr);
 
 /// M ≡ N for unions of terminal positive conjunctive queries.
 StatusOr<bool> UnionEquivalent(const Schema& schema, const UnionQuery& m,
                                const UnionQuery& n,
-                               const ContainmentOptions& options = {});
+                               const ContainmentOptions& options = {},
+                               ContainmentStats* stats = nullptr);
 
 }  // namespace oocq
 

@@ -1,23 +1,112 @@
 #include "core/containment_cache.h"
 
+#include <algorithm>
+#include <functional>
+#include <utility>
+
 #include "core/canonical.h"
 #include "support/status_macros.h"
 
 namespace oocq {
 
-StatusOr<bool> ContainmentCache::Contained(const ConjunctiveQuery& q1,
-                                           const ConjunctiveQuery& q2) {
-  std::pair<std::string, std::string> key(CanonicalKey(q1), CanonicalKey(q2));
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++hits_;
-    return it->second;
+ContainmentCache::ContainmentCache(const Schema* schema, Options options)
+    : schema_(schema), options_(std::move(options)) {
+  const uint32_t num_shards = std::max(1u, options_.num_shards);
+  shards_.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
   }
-  ++misses_;
-  OOCQ_ASSIGN_OR_RETURN(bool contained,
-                        ::oocq::Contained(*schema_, q1, q2, options_));
-  cache_.emplace(std::move(key), contained);
-  return contained;
+  max_entries_per_shard_ =
+      options_.max_entries == 0
+          ? 0
+          : std::max<size_t>(1, options_.max_entries / num_shards);
+}
+
+ContainmentCache::ContainmentCache(const Schema* schema,
+                                   ContainmentOptions containment)
+    : ContainmentCache(schema, Options{.containment = containment}) {}
+
+ContainmentCache::Shard& ContainmentCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+size_t ContainmentCache::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+StatusOr<bool> ContainmentCache::Contained(const ConjunctiveQuery& q1,
+                                           const ConjunctiveQuery& q2,
+                                           ContainmentStats* stats) {
+  // Length-prefixing Q1's key makes the concatenation injective even if a
+  // string constant inside a canonical key contains arbitrary bytes.
+  const std::string k1 = CanonicalKey(q1);
+  std::string key = std::to_string(k1.size());
+  key += ':';
+  key += k1;
+  key += CanonicalKey(q2);
+  Shard& shard = ShardFor(key);
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      // This thread owns the computation; concurrent requesters of the
+      // same key wait below instead of duplicating the work.
+      entry = std::make_shared<Entry>();
+      shard.map.emplace(key, entry);
+      shard.fifo.push_back(key);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      if (max_entries_per_shard_ != 0 &&
+          shard.map.size() > max_entries_per_shard_) {
+        // Evict the oldest finished entry; skip stale fifo keys (erased
+        // on error) and in-flight ones.
+        for (size_t scanned = shard.fifo.size(); scanned > 0; --scanned) {
+          std::string victim = std::move(shard.fifo.front());
+          shard.fifo.pop_front();
+          auto vit = shard.map.find(victim);
+          if (vit == shard.map.end()) continue;  // stale
+          if (!vit->second->done) {
+            shard.fifo.push_back(std::move(victim));  // in flight: keep
+            continue;
+          }
+          shard.map.erase(vit);
+          break;
+        }
+      }
+    } else {
+      entry = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (!entry->done) {
+        shard.cv.wait(lock, [&entry] { return entry->done; });
+      }
+      if (!entry->error.ok()) return entry->error;
+      return entry->value;
+    }
+  }
+
+  // This thread owns the entry: decide outside the lock.
+  StatusOr<bool> decided =
+      ::oocq::Contained(*schema_, q1, q2, options_.containment, stats);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (decided.ok()) {
+      entry->value = *decided;
+    } else {
+      // Errors are delivered to current waiters but not memoized: a
+      // retry (possibly with raised limits) recomputes.
+      entry->error = decided.status();
+      shard.map.erase(key);
+    }
+    entry->done = true;
+  }
+  shard.cv.notify_all();
+  return decided;
 }
 
 }  // namespace oocq

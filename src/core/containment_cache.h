@@ -1,9 +1,15 @@
 #ifndef OOCQ_CORE_CONTAINMENT_CACHE_H_
 #define OOCQ_CORE_CONTAINMENT_CACHE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <map>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "core/containment.h"
 #include "query/query.h"
@@ -18,29 +24,74 @@ namespace oocq {
 /// code deciding many overlapping pairs (redundancy removal,
 /// view-selection matrices) hits the cache for every renamed duplicate.
 ///
-/// The cache is tied to one schema; not thread-safe (like the rest of the
-/// library, one engine per thread).
+/// Thread-safe: the table is split into independently mutex-guarded
+/// shards, so the engine's parallel fan-outs share one memo table instead
+/// of one engine per thread. Each decision is computed exactly once — a
+/// thread requesting a key another thread is already computing blocks on
+/// that shard until the value lands and then counts a hit. This keeps
+/// hit/miss counters and the aggregated work statistics deterministic
+/// across thread counts (misses == distinct keys decided).
+///
+/// The table is capped: when a shard reaches its share of
+/// `Options::max_entries`, its oldest finished entry is evicted (FIFO).
+/// The cache is tied to one schema.
 class ContainmentCache {
  public:
-  explicit ContainmentCache(const Schema* schema,
-                            ContainmentOptions options = {})
-      : schema_(schema), options_(options) {}
+  struct Options {
+    /// Limits forwarded to every underlying Contained() call.
+    ContainmentOptions containment;
+    /// Total entry cap across all shards (0 = unlimited).
+    size_t max_entries = 1 << 20;
+    /// Number of independently locked shards (values < 1 act as 1).
+    uint32_t num_shards = 16;
+  };
+
+  explicit ContainmentCache(const Schema* schema)
+      : ContainmentCache(schema, Options()) {}
+  ContainmentCache(const Schema* schema, Options options);
+  /// Back-compat constructor: containment limits only, default sharding.
+  ContainmentCache(const Schema* schema, ContainmentOptions containment);
+
+  ContainmentCache(const ContainmentCache&) = delete;
+  ContainmentCache& operator=(const ContainmentCache&) = delete;
 
   /// Contained(q1, q2), answered from the cache when a renaming of the
-  /// pair was decided before.
+  /// pair was decided before (or is being decided concurrently — the call
+  /// then waits instead of recomputing). `stats` (optional) accumulates
+  /// the work counters of decisions this call actually computed.
   StatusOr<bool> Contained(const ConjunctiveQuery& q1,
-                           const ConjunctiveQuery& q2);
+                           const ConjunctiveQuery& q2,
+                           ContainmentStats* stats = nullptr);
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  size_t size() const { return cache_.size(); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Finished entries currently resident (sums shard sizes under locks).
+  size_t size() const;
 
  private:
+  /// One memo slot. `done` flips under the shard mutex once the decision
+  /// (or its error) is available; waiters sleep on the shard's condvar.
+  struct Entry {
+    bool done = false;
+    bool value = false;
+    Status error = Status::Ok();
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> map;
+    std::deque<std::string> fifo;  // insertion order, for eviction
+  };
+
+  Shard& ShardFor(const std::string& key);
+
   const Schema* schema_;
-  ContainmentOptions options_;
-  std::map<std::pair<std::string, std::string>, bool> cache_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  Options options_;
+  size_t max_entries_per_shard_;  // 0 = unlimited
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace oocq

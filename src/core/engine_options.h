@@ -1,0 +1,56 @@
+#ifndef OOCQ_CORE_ENGINE_OPTIONS_H_
+#define OOCQ_CORE_ENGINE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/containment.h"
+#include "core/expansion.h"
+#include "support/thread_pool.h"
+
+namespace oocq {
+
+/// Sizing knobs for the shared containment memo table the optimizer
+/// pipeline threads through its fan-out (core/containment_cache.h).
+struct CacheOptions {
+  /// Memoize Contained() decisions across the pipeline. Disabling falls
+  /// back to recomputing every pair.
+  bool enabled = true;
+  /// Total entry cap across all shards (0 = unlimited). When a shard is
+  /// full its oldest entry is evicted first.
+  size_t max_entries = 1 << 20;
+  /// Number of independently locked shards; contention drops roughly
+  /// linearly in this. Values < 1 are treated as 1.
+  uint32_t num_shards = 16;
+};
+
+/// The unified option set for the engine: one struct configures the whole
+/// §3/§4 pipeline — containment limits, Prop 2.1 expansion caps, parallel
+/// fan-out, and the shared containment cache. `MinimizationOptions`
+/// (core/minimization.h) is an alias, so existing call sites compile
+/// unchanged; new code should say EngineOptions.
+///
+/// `parallel` governs the pipeline-level fan-outs (the containment matrix
+/// of RemoveRedundantDisjuncts, per-disjunct pruning/minimization, the
+/// per-disjunct tests of UnionContained). The pipeline entry points copy
+/// it into `containment.parallel` so the Thm 3.1 subset enumeration inside
+/// Contained() sees the same knobs; set `containment.parallel` directly
+/// only when calling Contained() outside the pipeline.
+struct EngineOptions {
+  ContainmentOptions containment;
+  ExpansionOptions expansion;
+  ParallelOptions parallel;
+  CacheOptions cache;
+};
+
+/// Returns `options` with `parallel` propagated into the containment and
+/// expansion sub-structs — what the pipeline entry points apply on entry.
+inline EngineOptions WithPropagatedParallelism(EngineOptions options) {
+  options.containment.parallel = options.parallel;
+  options.expansion.parallel = options.parallel;
+  return options;
+}
+
+}  // namespace oocq
+
+#endif  // OOCQ_CORE_ENGINE_OPTIONS_H_

@@ -1,11 +1,13 @@
 #include "core/expansion.h"
 
+#include <optional>
 #include <set>
 #include <vector>
 
 #include "core/satisfiability.h"
 #include "query/well_formed.h"
 #include "support/status_macros.h"
+#include "support/thread_pool.h"
 
 namespace oocq {
 
@@ -42,40 +44,57 @@ StatusOr<UnionQuery> ExpandToTerminalQueries(const Schema& schema,
   }
   if (stats != nullptr) stats->raw_disjuncts = product;
 
-  UnionQuery result;
-  std::vector<size_t> pick(query.num_vars(), 0);
-  while (true) {
-    // Build the disjunct for the current combination.
+  // Combination `c` in mixed-radix (variable 0 least significant — the
+  // order the serial counter enumerated).
+  auto build_combination = [&](uint64_t c) {
     ConjunctiveQuery disjunct;
     for (VarId v = 0; v < query.num_vars(); ++v) {
       disjunct.AddVariable(query.var_name(v));
     }
     disjunct.set_free_var(query.free_var());
+    std::vector<size_t> pick(query.num_vars());
+    uint64_t rest = c;
+    for (VarId v = 0; v < query.num_vars(); ++v) {
+      pick[v] = static_cast<size_t>(rest % choices[v].size());
+      rest /= choices[v].size();
+    }
     for (const Atom& atom : query.atoms()) {
       if (atom.kind() == AtomKind::kRange) {
-        disjunct.AddAtom(Atom::Range(atom.var(), {choices[atom.var()][pick[atom.var()]]}));
+        disjunct.AddAtom(
+            Atom::Range(atom.var(), {choices[atom.var()][pick[atom.var()]]}));
       } else {
         disjunct.AddAtom(atom);
       }
     }
+    return disjunct;
+  };
 
-    if (options.prune_unsatisfiable) {
-      if (CheckSatisfiable(schema, disjunct).satisfiable) {
-        OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery normalized,
-                              NormalizeTerminalQuery(schema, disjunct));
-        result.disjuncts.push_back(std::move(normalized));
+  UnionQuery result;
+  if (!options.prune_unsatisfiable) {
+    for (uint64_t c = 0; c < product; ++c) {
+      result.disjuncts.push_back(build_combination(c));
+    }
+  } else {
+    // Each combination's satisfiability check + normalization is
+    // independent: fan out, keep survivors in enumeration order.
+    OOCQ_ASSIGN_OR_RETURN(
+        std::vector<std::optional<ConjunctiveQuery>> pruned,
+        (ParallelMap<std::optional<ConjunctiveQuery>>(
+            options.parallel, static_cast<size_t>(product),
+            [&](size_t c) -> StatusOr<std::optional<ConjunctiveQuery>> {
+              ConjunctiveQuery disjunct = build_combination(c);
+              if (!CheckSatisfiable(schema, disjunct).satisfiable) {
+                return std::optional<ConjunctiveQuery>();
+              }
+              OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery normalized,
+                                    NormalizeTerminalQuery(schema, disjunct));
+              return std::optional<ConjunctiveQuery>(std::move(normalized));
+            })));
+    for (std::optional<ConjunctiveQuery>& disjunct : pruned) {
+      if (disjunct.has_value()) {
+        result.disjuncts.push_back(*std::move(disjunct));
       }
-    } else {
-      result.disjuncts.push_back(std::move(disjunct));
     }
-
-    // Advance the mixed-radix counter.
-    VarId v = 0;
-    for (; v < query.num_vars(); ++v) {
-      if (++pick[v] < choices[v].size()) break;
-      pick[v] = 0;
-    }
-    if (v == query.num_vars()) break;
   }
 
   if (stats != nullptr) stats->satisfiable_disjuncts = result.disjuncts.size();

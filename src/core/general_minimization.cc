@@ -1,18 +1,24 @@
 #include "core/general_minimization.h"
 
+#include <utility>
+#include <vector>
+
 #include "core/containment.h"
+#include "core/containment_cache.h"
 #include "core/derivability.h"
 #include "core/expansion.h"
 #include "core/mapping.h"
 #include "core/satisfiability.h"
 #include "query/well_formed.h"
 #include "support/status_macros.h"
+#include "support/thread_pool.h"
 
 namespace oocq {
 
 StatusOr<ConjunctiveQuery> FoldTerminalQueryVerified(
     const Schema& schema, const ConjunctiveQuery& query,
-    const MinimizationOptions& options, uint64_t* removed) {
+    const MinimizationOptions& options, uint64_t* removed,
+    ContainmentStats* stats) {
   OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
   if (!query.IsTerminal(schema)) {
     return Status::FailedPrecondition(
@@ -33,6 +39,10 @@ StatusOr<ConjunctiveQuery> FoldTerminalQueryVerified(
       constraints.max_steps = options.containment.max_mapping_steps;
       MappingResult mapping =
           FindNonContradictoryMapping(schema, current, analysis, constraints);
+      if (stats != nullptr) {
+        ++stats->mapping_searches;
+        stats->mapping_steps += mapping.steps;
+      }
       if (mapping.exhausted) {
         return Status::ResourceExhausted(
             "self-mapping search exceeded max_mapping_steps");
@@ -47,8 +57,8 @@ StatusOr<ConjunctiveQuery> FoldTerminalQueryVerified(
         accept = true;
       } else {
         OOCQ_ASSIGN_OR_RETURN(
-            accept,
-            EquivalentQueries(schema, current, folded, options.containment));
+            accept, EquivalentQueries(schema, current, folded,
+                                      options.containment, stats));
       }
       if (!accept) continue;
       if (removed != nullptr) {
@@ -89,7 +99,7 @@ StatusOr<ConjunctiveQuery> RemoveRedundantAtoms(
       // Removal only weakens: redundant iff (Q - A) ⊆ Q.
       OOCQ_ASSIGN_OR_RETURN(
           bool contained,
-          Contained(schema, reduced, current, options.containment));
+          Contained(schema, reduced, current, options.containment, nullptr));
       if (!contained) continue;
       current = std::move(reduced);
       if (removed != nullptr) ++*removed;
@@ -102,31 +112,53 @@ StatusOr<ConjunctiveQuery> RemoveRedundantAtoms(
 
 StatusOr<GeneralMinimizationReport> MinimizeConjunctiveQuery(
     const Schema& schema, const ConjunctiveQuery& query,
-    const MinimizationOptions& options) {
+    const MinimizationOptions& options, ContainmentCache* cache) {
   OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
+  const EngineOptions opts = WithPropagatedParallelism(options);
 
   GeneralMinimizationReport report;
 
   ExpansionStats expansion_stats;
   OOCQ_ASSIGN_OR_RETURN(
       UnionQuery expanded,
-      ExpandToTerminalQueries(schema, query, options.expansion,
+      ExpandToTerminalQueries(schema, query, opts.expansion,
                               &expansion_stats));
   report.raw_disjuncts = expansion_stats.raw_disjuncts;
   report.satisfiable_disjuncts = expansion_stats.satisfiable_disjuncts;
 
   // RemoveRedundantDisjuncts uses the general Contained test, which is
   // sound for any terminal conjunctive disjuncts.
-  OOCQ_ASSIGN_OR_RETURN(UnionQuery nonredundant,
-                        RemoveRedundantDisjuncts(schema, expanded, options));
+  OOCQ_ASSIGN_OR_RETURN(
+      UnionQuery nonredundant,
+      RemoveRedundantDisjuncts(schema, expanded, opts, cache,
+                               &report.containment));
   report.nonredundant_disjuncts = nonredundant.disjuncts.size();
 
-  for (ConjunctiveQuery& disjunct : nonredundant.disjuncts) {
-    OOCQ_ASSIGN_OR_RETURN(
-        ConjunctiveQuery folded,
-        FoldTerminalQueryVerified(schema, disjunct, options,
-                                  &report.variables_removed));
-    report.minimized.disjuncts.push_back(std::move(folded));
+  // Verified folding of each survivor is independent work (Thm 4.3 does
+  // not extend to general disjuncts, so each fold re-verifies; the
+  // verification containments are per-disjunct and fan out with them).
+  struct FoldOutcome {
+    ConjunctiveQuery folded;
+    uint64_t removed = 0;
+    ContainmentStats stats;
+  };
+  OOCQ_ASSIGN_OR_RETURN(
+      std::vector<FoldOutcome> outcomes,
+      (ParallelMap<FoldOutcome>(
+          opts.parallel, nonredundant.disjuncts.size(),
+          [&](size_t i) -> StatusOr<FoldOutcome> {
+            FoldOutcome outcome;
+            OOCQ_ASSIGN_OR_RETURN(
+                outcome.folded,
+                FoldTerminalQueryVerified(schema, nonredundant.disjuncts[i],
+                                          opts, &outcome.removed,
+                                          &outcome.stats));
+            return outcome;
+          })));
+  for (FoldOutcome& outcome : outcomes) {
+    report.variables_removed += outcome.removed;
+    report.containment.Add(outcome.stats);
+    report.minimized.disjuncts.push_back(std::move(outcome.folded));
   }
   return report;
 }

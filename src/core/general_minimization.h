@@ -8,6 +8,8 @@
 
 namespace oocq {
 
+class ContainmentCache;
+
 /// Result of the general (non-positive) minimization.
 struct GeneralMinimizationReport {
   /// An equivalent union of terminal conjunctive queries, reduced as far
@@ -17,6 +19,8 @@ struct GeneralMinimizationReport {
   uint64_t satisfiable_disjuncts = 0;
   uint64_t nonredundant_disjuncts = 0;
   uint64_t variables_removed = 0;
+  /// Aggregate work counters of every containment / self-mapping search.
+  ContainmentStats containment;
 };
 
 /// Best-effort minimization for *general* conjunctive queries — the
@@ -39,13 +43,16 @@ struct GeneralMinimizationReport {
 /// guarantee — it is an equivalent, usually smaller union.
 StatusOr<GeneralMinimizationReport> MinimizeConjunctiveQuery(
     const Schema& schema, const ConjunctiveQuery& query,
-    const MinimizationOptions& options = {});
+    const MinimizationOptions& options = {},
+    ContainmentCache* cache = nullptr);
 
 /// The folding step alone, for one satisfiable terminal conjunctive
-/// query (any atom kinds). `removed` counts eliminated variables.
+/// query (any atom kinds). `removed` counts eliminated variables; `stats`
+/// accumulates the self-mapping and verification-containment work.
 StatusOr<ConjunctiveQuery> FoldTerminalQueryVerified(
     const Schema& schema, const ConjunctiveQuery& query,
-    const MinimizationOptions& options = {}, uint64_t* removed = nullptr);
+    const MinimizationOptions& options = {}, uint64_t* removed = nullptr,
+    ContainmentStats* stats = nullptr);
 
 /// Atom-level minimization (a further extension; the paper minimizes
 /// variables only): greedily removes non-range atoms whose deletion

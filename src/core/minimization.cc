@@ -2,14 +2,17 @@
 
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/canonical.h"
+#include "core/containment_cache.h"
 #include "core/derivability.h"
 #include "core/mapping.h"
 #include "core/satisfiability.h"
 #include "query/well_formed.h"
 #include "support/status_macros.h"
+#include "support/thread_pool.h"
 
 namespace oocq {
 
@@ -20,21 +23,61 @@ namespace {
 /// image when found.
 StatusOr<MappingResult> FindEliminatingSelfMapping(
     const Schema& schema, const ConjunctiveQuery& query, VarId eliminate,
-    const MinimizationOptions& options) {
+    const MinimizationOptions& options, ContainmentStats* stats) {
   OOCQ_ASSIGN_OR_RETURN(QueryAnalysis analysis,
                         QueryAnalysis::Create(schema, query));
   MappingConstraints constraints;
   constraints.forbidden_target = eliminate;
   constraints.free_target = query.free_var();
   constraints.max_steps = options.containment.max_mapping_steps;
-  return FindNonContradictoryMapping(schema, query, analysis, constraints);
+  MappingResult mapping =
+      FindNonContradictoryMapping(schema, query, analysis, constraints);
+  if (stats != nullptr) {
+    ++stats->mapping_searches;
+    stats->mapping_steps += mapping.steps;
+  }
+  return mapping;
+}
+
+/// Fans the variable minimization of each disjunct out over
+/// options.parallel and appends the results (and their work counters) to
+/// `report` in input order.
+Status MinimizeDisjunctsInto(const Schema& schema,
+                             const UnionQuery& nonredundant,
+                             const EngineOptions& options,
+                             MinimizationReport& report) {
+  struct DisjunctOutcome {
+    ConjunctiveQuery minimal;
+    uint64_t removed = 0;
+    ContainmentStats stats;
+  };
+  OOCQ_ASSIGN_OR_RETURN(
+      std::vector<DisjunctOutcome> outcomes,
+      (ParallelMap<DisjunctOutcome>(
+          options.parallel, nonredundant.disjuncts.size(),
+          [&](size_t i) -> StatusOr<DisjunctOutcome> {
+            DisjunctOutcome outcome;
+            OOCQ_ASSIGN_OR_RETURN(
+                outcome.minimal,
+                MinimizeTerminalPositive(schema, nonredundant.disjuncts[i],
+                                         options, &outcome.removed,
+                                         &outcome.stats));
+            return outcome;
+          })));
+  for (DisjunctOutcome& outcome : outcomes) {
+    report.variables_removed += outcome.removed;
+    report.containment.Add(outcome.stats);
+    report.minimized.disjuncts.push_back(std::move(outcome.minimal));
+  }
+  return Status::Ok();
 }
 
 }  // namespace
 
 StatusOr<ConjunctiveQuery> MinimizeTerminalPositive(
     const Schema& schema, const ConjunctiveQuery& query,
-    const MinimizationOptions& options, uint64_t* removed) {
+    const MinimizationOptions& options, uint64_t* removed,
+    ContainmentStats* stats) {
   OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
   if (!query.IsTerminal(schema) || !query.IsPositive()) {
     return Status::FailedPrecondition(
@@ -49,7 +92,7 @@ StatusOr<ConjunctiveQuery> MinimizeTerminalPositive(
     for (VarId v = 0; v < current.num_vars(); ++v) {
       OOCQ_ASSIGN_OR_RETURN(
           MappingResult mapping,
-          FindEliminatingSelfMapping(schema, current, v, options));
+          FindEliminatingSelfMapping(schema, current, v, options, stats));
       if (mapping.exhausted) {
         return Status::ResourceExhausted(
             "self-mapping search exceeded max_mapping_steps");
@@ -80,8 +123,9 @@ StatusOr<bool> IsMinimalTerminalPositive(const Schema& schema,
   // A non-bijective self-mapping on a finite variable set misses some
   // variable, so trying every variable as the missing one is exhaustive.
   for (VarId v = 0; v < query.num_vars(); ++v) {
-    OOCQ_ASSIGN_OR_RETURN(MappingResult mapping,
-                          FindEliminatingSelfMapping(schema, query, v, options));
+    OOCQ_ASSIGN_OR_RETURN(
+        MappingResult mapping,
+        FindEliminatingSelfMapping(schema, query, v, options, nullptr));
     if (mapping.exhausted) {
       return Status::ResourceExhausted(
           "self-mapping search exceeded max_mapping_steps");
@@ -93,28 +137,73 @@ StatusOr<bool> IsMinimalTerminalPositive(const Schema& schema,
 
 StatusOr<UnionQuery> RemoveRedundantDisjuncts(const Schema& schema,
                                               const UnionQuery& query,
-                                              const MinimizationOptions& options) {
+                                              const MinimizationOptions& options,
+                                              ContainmentCache* cache,
+                                              ContainmentStats* stats) {
+  const EngineOptions opts = WithPropagatedParallelism(options);
+
   // Drop unsatisfiable disjuncts, and collapse disjuncts that are
   // syntactic renamings of an earlier one (canonical-key pre-pass) before
-  // paying for pairwise containment tests.
+  // paying for pairwise containment tests. Screening each disjunct is
+  // independent work and fans out; the ordered dedup stays serial.
+  struct Screened {
+    bool satisfiable = false;
+    std::string key;
+  };
+  OOCQ_ASSIGN_OR_RETURN(
+      std::vector<Screened> screened,
+      (ParallelMap<Screened>(
+          opts.parallel, query.disjuncts.size(),
+          [&](size_t i) -> StatusOr<Screened> {
+            Screened s;
+            s.satisfiable =
+                CheckSatisfiable(schema, query.disjuncts[i]).satisfiable;
+            if (s.satisfiable) s.key = CanonicalKey(query.disjuncts[i]);
+            return s;
+          })));
   std::vector<ConjunctiveQuery> live;
   std::set<std::string> seen_keys;
-  for (const ConjunctiveQuery& q : query.disjuncts) {
-    if (!CheckSatisfiable(schema, q).satisfiable) continue;
-    if (!seen_keys.insert(CanonicalKey(q)).second) continue;
-    live.push_back(q);
+  for (size_t i = 0; i < query.disjuncts.size(); ++i) {
+    if (!screened[i].satisfiable) continue;
+    if (!seen_keys.insert(std::move(screened[i].key)).second) continue;
+    live.push_back(query.disjuncts[i]);
   }
 
   const size_t n = live.size();
-  // contained[i][j] == live[i] ⊆ live[j].
+  // contained[i][j] == live[i] ⊆ live[j]. The n·(n-1) tests are
+  // independent; every pair is decided (no early exit), so the matrix —
+  // and therefore the kept set and `stats` — is deterministic under any
+  // schedule.
+  struct PairOutcome {
+    bool contained = false;
+    ContainmentStats stats;
+  };
+  const size_t num_pairs = n < 2 ? 0 : n * (n - 1);
+  OOCQ_ASSIGN_OR_RETURN(
+      std::vector<PairOutcome> pairs,
+      (ParallelMap<PairOutcome>(
+          opts.parallel, num_pairs,
+          [&](size_t p) -> StatusOr<PairOutcome> {
+            const size_t i = p / (n - 1);
+            const size_t off = p % (n - 1);
+            const size_t j = off < i ? off : off + 1;
+            PairOutcome outcome;
+            StatusOr<bool> contained =
+                cache != nullptr
+                    ? cache->Contained(live[i], live[j], &outcome.stats)
+                    : Contained(schema, live[i], live[j], opts.containment,
+                                &outcome.stats);
+            if (!contained.ok()) return contained.status();
+            outcome.contained = *contained;
+            return outcome;
+          })));
   std::vector<std::vector<bool>> contained(n, std::vector<bool>(n, false));
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      OOCQ_ASSIGN_OR_RETURN(
-          bool c, Contained(schema, live[i], live[j], options.containment));
-      contained[i][j] = c;
-    }
+  for (size_t p = 0; p < num_pairs; ++p) {
+    const size_t i = p / (n - 1);
+    const size_t off = p % (n - 1);
+    const size_t j = off < i ? off : off + 1;
+    contained[i][j] = pairs[p].contained;
+    if (stats != nullptr) stats->Add(pairs[p].stats);
   }
 
   // Keep the first member of each equivalence group; drop anything
@@ -136,71 +225,81 @@ StatusOr<UnionQuery> RemoveRedundantDisjuncts(const Schema& schema,
 
 StatusOr<MinimizationReport> MinimizePositiveUnion(
     const Schema& schema, const UnionQuery& query,
-    const MinimizationOptions& options) {
+    const MinimizationOptions& options, ContainmentCache* cache) {
+  const EngineOptions opts = WithPropagatedParallelism(options);
   MinimizationReport report;
 
-  UnionQuery expanded;
-  for (const ConjunctiveQuery& disjunct : query.disjuncts) {
-    OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, disjunct));
-    if (!disjunct.IsPositive()) {
-      return Status::FailedPrecondition(
-          "MinimizePositiveUnion requires positive disjuncts");
-    }
+  // Each input disjunct expands (and prunes) independently.
+  struct ExpandedPart {
+    UnionQuery part;
     ExpansionStats stats;
-    OOCQ_ASSIGN_OR_RETURN(
-        UnionQuery part,
-        ExpandToTerminalQueries(schema, disjunct, options.expansion, &stats));
-    report.raw_disjuncts += stats.raw_disjuncts;
-    report.satisfiable_disjuncts += stats.satisfiable_disjuncts;
-    for (ConjunctiveQuery& q : part.disjuncts) {
+  };
+  OOCQ_ASSIGN_OR_RETURN(
+      std::vector<ExpandedPart> parts,
+      (ParallelMap<ExpandedPart>(
+          opts.parallel, query.disjuncts.size(),
+          [&](size_t i) -> StatusOr<ExpandedPart> {
+            const ConjunctiveQuery& disjunct = query.disjuncts[i];
+            OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, disjunct));
+            if (!disjunct.IsPositive()) {
+              return Status::FailedPrecondition(
+                  "MinimizePositiveUnion requires positive disjuncts");
+            }
+            ExpandedPart expanded;
+            OOCQ_ASSIGN_OR_RETURN(
+                expanded.part,
+                ExpandToTerminalQueries(schema, disjunct, opts.expansion,
+                                        &expanded.stats));
+            return expanded;
+          })));
+  UnionQuery expanded;
+  for (ExpandedPart& part : parts) {
+    report.raw_disjuncts += part.stats.raw_disjuncts;
+    report.satisfiable_disjuncts += part.stats.satisfiable_disjuncts;
+    for (ConjunctiveQuery& q : part.part.disjuncts) {
       expanded.disjuncts.push_back(std::move(q));
     }
   }
 
-  OOCQ_ASSIGN_OR_RETURN(UnionQuery nonredundant,
-                        RemoveRedundantDisjuncts(schema, expanded, options));
+  OOCQ_ASSIGN_OR_RETURN(
+      UnionQuery nonredundant,
+      RemoveRedundantDisjuncts(schema, expanded, opts, cache,
+                               &report.containment));
   report.nonredundant_disjuncts = nonredundant.disjuncts.size();
 
-  for (ConjunctiveQuery& disjunct : nonredundant.disjuncts) {
-    OOCQ_ASSIGN_OR_RETURN(
-        ConjunctiveQuery minimal,
-        MinimizeTerminalPositive(schema, disjunct, options,
-                                 &report.variables_removed));
-    report.minimized.disjuncts.push_back(std::move(minimal));
-  }
+  OOCQ_RETURN_IF_ERROR(
+      MinimizeDisjunctsInto(schema, nonredundant, opts, report));
   return report;
 }
 
 StatusOr<MinimizationReport> MinimizePositiveQuery(
     const Schema& schema, const ConjunctiveQuery& query,
-    const MinimizationOptions& options) {
+    const MinimizationOptions& options, ContainmentCache* cache) {
   OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
   if (!query.IsPositive()) {
     return Status::FailedPrecondition(
         "MinimizePositiveQuery requires a positive conjunctive query");
   }
+  const EngineOptions opts = WithPropagatedParallelism(options);
 
   MinimizationReport report;
 
   ExpansionStats expansion_stats;
   OOCQ_ASSIGN_OR_RETURN(
       UnionQuery expanded,
-      ExpandToTerminalQueries(schema, query, options.expansion,
+      ExpandToTerminalQueries(schema, query, opts.expansion,
                               &expansion_stats));
   report.raw_disjuncts = expansion_stats.raw_disjuncts;
   report.satisfiable_disjuncts = expansion_stats.satisfiable_disjuncts;
 
-  OOCQ_ASSIGN_OR_RETURN(UnionQuery nonredundant,
-                        RemoveRedundantDisjuncts(schema, expanded, options));
+  OOCQ_ASSIGN_OR_RETURN(
+      UnionQuery nonredundant,
+      RemoveRedundantDisjuncts(schema, expanded, opts, cache,
+                               &report.containment));
   report.nonredundant_disjuncts = nonredundant.disjuncts.size();
 
-  for (ConjunctiveQuery& disjunct : nonredundant.disjuncts) {
-    OOCQ_ASSIGN_OR_RETURN(
-        ConjunctiveQuery minimal,
-        MinimizeTerminalPositive(schema, disjunct, options,
-                                 &report.variables_removed));
-    report.minimized.disjuncts.push_back(std::move(minimal));
-  }
+  OOCQ_RETURN_IF_ERROR(
+      MinimizeDisjunctsInto(schema, nonredundant, opts, report));
   return report;
 }
 

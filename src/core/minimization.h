@@ -2,6 +2,7 @@
 #define OOCQ_CORE_MINIMIZATION_H_
 
 #include "core/containment.h"
+#include "core/engine_options.h"
 #include "core/expansion.h"
 #include "query/query.h"
 #include "schema/schema.h"
@@ -9,11 +10,11 @@
 
 namespace oocq {
 
-/// Options shared by the minimization pipeline.
-struct MinimizationOptions {
-  ContainmentOptions containment;
-  ExpansionOptions expansion;
-};
+class ContainmentCache;
+
+/// Historical name for the engine-wide option struct; kept as an alias so
+/// existing call sites compile unchanged (core/engine_options.h).
+using MinimizationOptions = EngineOptions;
 
 /// Bookkeeping from one MinimizePositiveQuery run.
 struct MinimizationReport {
@@ -24,6 +25,11 @@ struct MinimizationReport {
   uint64_t satisfiable_disjuncts = 0;  // after unsatisfiability pruning
   uint64_t nonredundant_disjuncts = 0; // after redundancy removal (Thm 4.1)
   uint64_t variables_removed = 0;      // folded by self-mappings (Thm 4.3)
+  /// Aggregate work counters of every containment / self-mapping search
+  /// the pipeline ran. Deterministic across thread counts for positive
+  /// inputs (the containment matrix has no early exit and the shared
+  /// cache computes each decision exactly once).
+  ContainmentStats containment;
 };
 
 /// Exact minimization for positive conjunctive queries (§4): expands the
@@ -34,20 +40,29 @@ struct MinimizationReport {
 /// Cor 4.4). The result is search-space-optimal among all unions of
 /// positive conjunctive queries (Thms 4.2/4.5).
 ///
+/// The per-disjunct stages (satisfiability pruning, the redundancy
+/// containment matrix, variable minimization) fan out over
+/// options.parallel; results are deterministic and identical to the
+/// serial run. `cache` (optional) memoizes the containment matrix — pass
+/// a ContainmentCache built over the same schema and containment options.
+///
 /// Precondition: `query` is well-formed and positive (returns
 /// FailedPrecondition otherwise; run NormalizeToWellFormed first for raw
 /// user queries).
 StatusOr<MinimizationReport> MinimizePositiveQuery(
     const Schema& schema, const ConjunctiveQuery& query,
-    const MinimizationOptions& options = {});
+    const MinimizationOptions& options = {},
+    ContainmentCache* cache = nullptr);
 
 /// Minimizes one satisfiable terminal positive conjunctive query by
 /// repeatedly applying non-bijective non-contradictory self-mappings that
 /// preserve the free variable, until only bijective ones exist (Cor 4.4).
-/// `removed` (optional) counts eliminated variables.
+/// `removed` (optional) counts eliminated variables; `stats` (optional)
+/// accumulates the self-mapping search work.
 StatusOr<ConjunctiveQuery> MinimizeTerminalPositive(
     const Schema& schema, const ConjunctiveQuery& query,
-    const MinimizationOptions& options = {}, uint64_t* removed = nullptr);
+    const MinimizationOptions& options = {}, uint64_t* removed = nullptr,
+    ContainmentStats* stats = nullptr);
 
 /// Cor 4.4: true iff every non-contradictory self-mapping of `query` that
 /// preserves the free variable is bijective.
@@ -58,10 +73,16 @@ StatusOr<bool> IsMinimalTerminalPositive(const Schema& schema,
 /// Removes from the union every satisfiable disjunct that is contained in
 /// another kept disjunct (unsatisfiable disjuncts are dropped outright);
 /// of an equivalence group the first disjunct survives. The result is a
-/// nonredundant union (§4).
+/// nonredundant union (§4). The O(n²) containment matrix consists of
+/// independent tests and fans out over options.parallel; all pairs are
+/// always decided (no early exit), so the kept set — and the aggregated
+/// `stats` — are deterministic. `cache` (optional) memoizes decisions
+/// across renamed-duplicate pairs; when given, its containment options
+/// govern the cached tests.
 StatusOr<UnionQuery> RemoveRedundantDisjuncts(
     const Schema& schema, const UnionQuery& query,
-    const MinimizationOptions& options = {});
+    const MinimizationOptions& options = {},
+    ContainmentCache* cache = nullptr, ContainmentStats* stats = nullptr);
 
 /// Minimizes a union of positive conjunctive queries as a whole: each
 /// disjunct is expanded (Prop 2.1), the combined expansion is made
@@ -70,7 +91,8 @@ StatusOr<UnionQuery> RemoveRedundantDisjuncts(
 /// search-space-optimal union the single-query pipeline produces.
 StatusOr<MinimizationReport> MinimizePositiveUnion(
     const Schema& schema, const UnionQuery& query,
-    const MinimizationOptions& options = {});
+    const MinimizationOptions& options = {},
+    ContainmentCache* cache = nullptr);
 
 }  // namespace oocq
 

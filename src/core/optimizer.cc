@@ -1,6 +1,10 @@
 #include "core/optimizer.h"
 
+#include <memory>
+#include <utility>
+
 #include "core/containment.h"
+#include "core/containment_cache.h"
 #include "core/general_minimization.h"
 #include "parser/parser.h"
 #include "query/printer.h"
@@ -20,6 +24,13 @@ std::string OptimizeReport::Summary(const Schema& schema) const {
          " nonredundant\n";
   out += "  variables removed by self-mappings: " +
          std::to_string(details.variables_removed) + "\n";
+  out += "  containment work: " + std::to_string(containment.augmentations) +
+         " augmentation(s), " + std::to_string(containment.membership_subsets) +
+         " membership subset(s), " +
+         std::to_string(containment.mapping_searches) + " mapping search(es), " +
+         std::to_string(containment.mapping_steps) + " step(s)\n";
+  out += "  containment cache: " + std::to_string(cache_hits) + " hit(s), " +
+         std::to_string(cache_misses) + " miss(es)\n";
   out += "  search-space cost: " + std::to_string(original_cost.total) +
          " -> " + std::to_string(optimized_cost.total) + "\n";
   out += "  optimized: " + UnionQueryToString(schema, optimized) + "\n";
@@ -31,13 +42,29 @@ StatusOr<OptimizeReport> QueryOptimizer::Optimize(
   OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery well_formed,
                         NormalizeToWellFormed(schema_, query));
 
+  const EngineOptions opts = WithPropagatedParallelism(options_);
+
+  // One memo table per run: every containment the fan-out performs lands
+  // in the same sharded cache, so repeated pairs (matrix symmetry,
+  // re-checks after folding) are computed once.
+  std::unique_ptr<ContainmentCache> cache;
+  if (opts.cache.enabled) {
+    ContainmentCache::Options cache_options;
+    cache_options.containment = opts.containment;
+    cache_options.max_entries = opts.cache.max_entries;
+    cache_options.num_shards = opts.cache.num_shards;
+    cache = std::make_unique<ContainmentCache>(&schema_, cache_options);
+  }
+
   OptimizeReport report;
   report.original_cost = SearchSpaceCostOf(schema_, well_formed);
 
   if (well_formed.IsPositive()) {
     OOCQ_ASSIGN_OR_RETURN(
-        report.details, MinimizePositiveQuery(schema_, well_formed, options_));
+        report.details,
+        MinimizePositiveQuery(schema_, well_formed, opts, cache.get()));
     report.optimized = report.details.minimized;
+    report.containment = report.details.containment;
     report.exact = true;
   } else {
     // General conjunctive queries: the equivalent reduced union of
@@ -45,13 +72,19 @@ StatusOr<OptimizeReport> QueryOptimizer::Optimize(
     // guarantee.
     OOCQ_ASSIGN_OR_RETURN(
         GeneralMinimizationReport general,
-        MinimizeConjunctiveQuery(schema_, well_formed, options_));
+        MinimizeConjunctiveQuery(schema_, well_formed, opts, cache.get()));
     report.optimized = std::move(general.minimized);
     report.details.raw_disjuncts = general.raw_disjuncts;
     report.details.satisfiable_disjuncts = general.satisfiable_disjuncts;
     report.details.nonredundant_disjuncts = general.nonredundant_disjuncts;
     report.details.variables_removed = general.variables_removed;
+    report.details.containment = general.containment;
+    report.containment = general.containment;
     report.exact = false;
+  }
+  if (cache != nullptr) {
+    report.cache_hits = cache->hits();
+    report.cache_misses = cache->misses();
   }
   report.optimized_cost = SearchSpaceCostOf(schema_, report.optimized);
   return report;
@@ -67,13 +100,16 @@ StatusOr<UnionQuery> QueryOptimizer::ExpandToUnion(
     const ConjunctiveQuery& query) const {
   OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery well_formed,
                         NormalizeToWellFormed(schema_, query));
-  return ExpandToTerminalQueries(schema_, well_formed, options_.expansion);
+  const EngineOptions opts = WithPropagatedParallelism(options_);
+  return ExpandToTerminalQueries(schema_, well_formed, opts.expansion);
 }
 
 StatusOr<bool> QueryOptimizer::IsContained(const ConjunctiveQuery& q1,
-                                           const ConjunctiveQuery& q2) const {
+                                           const ConjunctiveQuery& q2,
+                                           ContainmentStats* stats) const {
   OOCQ_ASSIGN_OR_RETURN(UnionQuery m, ExpandToUnion(q1));
   OOCQ_ASSIGN_OR_RETURN(UnionQuery n, ExpandToUnion(q2));
+  const EngineOptions opts = WithPropagatedParallelism(options_);
   // When Q2 expands to a single disjunct, M ⊆ N iff every disjunct of M
   // is contained in it — exact for arbitrary atom kinds, so general
   // queries are decided here; Thm 4.1 handles multi-disjunct positive N.
@@ -81,7 +117,7 @@ StatusOr<bool> QueryOptimizer::IsContained(const ConjunctiveQuery& q1,
     for (const ConjunctiveQuery& qi : m.disjuncts) {
       OOCQ_ASSIGN_OR_RETURN(
           bool contained,
-          Contained(schema_, qi, n.disjuncts[0], options_.containment));
+          Contained(schema_, qi, n.disjuncts[0], opts.containment, stats));
       if (!contained) return false;
     }
     return true;
@@ -90,14 +126,15 @@ StatusOr<bool> QueryOptimizer::IsContained(const ConjunctiveQuery& q1,
     // N is unsatisfiable: containment iff M is too.
     return m.disjuncts.empty();
   }
-  return UnionContained(schema_, m, n, options_.containment);
+  return UnionContained(schema_, m, n, opts.containment, stats);
 }
 
 StatusOr<bool> QueryOptimizer::IsEquivalent(const ConjunctiveQuery& q1,
-                                            const ConjunctiveQuery& q2) const {
-  OOCQ_ASSIGN_OR_RETURN(bool forward, IsContained(q1, q2));
+                                            const ConjunctiveQuery& q2,
+                                            ContainmentStats* stats) const {
+  OOCQ_ASSIGN_OR_RETURN(bool forward, IsContained(q1, q2, stats));
   if (!forward) return false;
-  return IsContained(q2, q1);
+  return IsContained(q2, q1, stats);
 }
 
 }  // namespace oocq

@@ -23,6 +23,14 @@ struct OptimizeReport {
   SearchSpaceCost original_cost;
   SearchSpaceCost optimized_cost;
   MinimizationReport details;
+  /// Aggregate work counters of every containment / self-mapping search
+  /// the run performed (also available as details.containment).
+  ContainmentStats containment;
+  /// Containment-cache traffic of this run (EngineOptions::cache); both
+  /// zero when the cache is disabled. Misses equal the distinct
+  /// containment decisions computed — deterministic across thread counts.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   /// Multi-line human-readable description of the run.
   std::string Summary(const Schema& schema) const;
@@ -30,7 +38,9 @@ struct OptimizeReport {
 
 /// The library facade: owns a schema and drives the full pipeline
 /// (well-forming, expansion, satisfiability pruning, redundancy removal,
-/// variable minimization) for user queries.
+/// variable minimization) for user queries. Configure parallel fan-out
+/// and the shared containment cache through EngineOptions
+/// (MinimizationOptions is its historical alias).
 class QueryOptimizer {
  public:
   explicit QueryOptimizer(Schema schema, MinimizationOptions options = {})
@@ -41,7 +51,8 @@ class QueryOptimizer {
   /// Optimizes `query` (any conjunctive query; it is normalized to
   /// well-formed first). Positive queries get the exact §4 minimization;
   /// general conjunctive queries get the equivalent satisfiability-pruned
-  /// terminal expansion.
+  /// terminal expansion. All workers of the run share one containment
+  /// memo table when options.cache.enabled.
   StatusOr<OptimizeReport> Optimize(const ConjunctiveQuery& query) const;
 
   /// Parses and optimizes a query written in the calculus-like syntax.
@@ -50,13 +61,16 @@ class QueryOptimizer {
   /// Containment Q1 ⊆ Q2 of two (arbitrary) conjunctive queries whose
   /// terminal expansions are positive: both sides are normalized, expanded
   /// and compared with Thm 4.1. For terminal queries with negative atoms
-  /// use Contained() directly.
+  /// use Contained() directly. `stats` (optional) accumulates the work
+  /// counters of the underlying containment tests.
   StatusOr<bool> IsContained(const ConjunctiveQuery& q1,
-                             const ConjunctiveQuery& q2) const;
+                             const ConjunctiveQuery& q2,
+                             ContainmentStats* stats = nullptr) const;
 
   /// IsContained in both directions.
   StatusOr<bool> IsEquivalent(const ConjunctiveQuery& q1,
-                              const ConjunctiveQuery& q2) const;
+                              const ConjunctiveQuery& q2,
+                              ContainmentStats* stats = nullptr) const;
 
  private:
   StatusOr<UnionQuery> ExpandToUnion(const ConjunctiveQuery& query) const;

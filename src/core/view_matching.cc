@@ -35,18 +35,19 @@ StatusOr<UnionQuery> Expand(const Schema& schema, const ConjunctiveQuery& q,
 StatusOr<std::vector<ViewMatch>> MatchViews(
     const Schema& schema, const std::vector<ViewDefinition>& views,
     const ConjunctiveQuery& query, const MinimizationOptions& options) {
-  OOCQ_ASSIGN_OR_RETURN(UnionQuery q, Expand(schema, query, options));
+  const EngineOptions opts = WithPropagatedParallelism(options);
+  OOCQ_ASSIGN_OR_RETURN(UnionQuery q, Expand(schema, query, opts));
 
   std::vector<ViewMatch> matches;
   matches.reserve(views.size());
   for (const ViewDefinition& view : views) {
-    OOCQ_ASSIGN_OR_RETURN(UnionQuery v, Expand(schema, view.query, options));
+    OOCQ_ASSIGN_OR_RETURN(UnionQuery v, Expand(schema, view.query, opts));
     OOCQ_ASSIGN_OR_RETURN(
         bool query_in_view,
-        UnionContained(schema, q, v, options.containment));
+        UnionContained(schema, q, v, opts.containment));
     OOCQ_ASSIGN_OR_RETURN(
         bool view_in_query,
-        UnionContained(schema, v, q, options.containment));
+        UnionContained(schema, v, q, opts.containment));
     ViewMatch match;
     match.view_name = view.name;
     if (query_in_view && view_in_query) {

@@ -1,0 +1,107 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace oocq {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// RAII flag marking the current thread as a parallel worker for the
+/// duration of a drained region.
+class ParallelRegionGuard {
+ public:
+  ParallelRegionGuard() : previous_(t_in_parallel_region) {
+    t_in_parallel_region = true;
+  }
+  ~ParallelRegionGuard() { t_in_parallel_region = previous_; }
+
+ private:
+  bool previous_;
+};
+
+}  // namespace
+
+uint32_t EffectiveThreads(const ParallelOptions& options) {
+  if (options.num_threads != 0) return options.num_threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(const ParallelOptions& options, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const uint32_t threads = EffectiveThreads(options);
+  if (threads <= 1 || n < options.min_parallel_items || InParallelRegion()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Indices are claimed in order from a shared counter, so the set of
+  // started indices is always a prefix — the property ParallelMap's
+  // smallest-failure determinism relies on.
+  std::atomic<size_t> next{0};
+  auto drain = [&next, n, &fn] {
+    ParallelRegionGuard guard;
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+
+  const uint32_t workers =
+      static_cast<uint32_t>(std::min<size_t>(threads, n));
+  ThreadPool pool(workers - 1);  // the caller is worker #0
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers - 1);
+  for (uint32_t w = 0; w + 1 < workers; ++w) {
+    futures.push_back(pool.Submit(drain));
+  }
+  drain();
+  for (std::future<void>& future : futures) future.get();
+}
+
+}  // namespace oocq

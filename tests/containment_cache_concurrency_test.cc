@@ -1,0 +1,207 @@
+// Hammers the sharded ContainmentCache from many threads: verdicts must
+// match the uncached Contained(), each distinct decision must be computed
+// exactly once (compute-once: misses == distinct keys, independent of
+// thread count), and the entry cap must hold. Labeled `concurrency` so a
+// TSan build can run it via `ctest -L concurrency`.
+
+#include "core/containment_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/containment.h"
+#include "query/printer.h"
+#include "query/well_formed.h"
+#include "random_query.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::GenerateRandomQuery;
+using ::oocq::testing::MustParseSchema;
+using ::oocq::testing::RandomQueryParams;
+
+const char* const kSchema = R"(
+schema CachePound {
+  class D { }
+  class E under D { }
+  class C { A: D; S: {D}; }
+  class C1 under C { }
+  class C2 under C { B: E; }
+})";
+
+// Terminal well-formed queries the cache can decide directly.
+std::vector<ConjunctiveQuery> DrawTerminalQueries(const Schema& schema,
+                                                  uint64_t seed, int want) {
+  std::mt19937_64 rng(seed);
+  RandomQueryParams params;
+  params.terminal_only = true;
+  params.max_vars = 3;
+  std::vector<ConjunctiveQuery> queries;
+  while (static_cast<int>(queries.size()) < want) {
+    ConjunctiveQuery q = GenerateRandomQuery(schema, rng, params);
+    if (CheckWellFormed(schema, q).ok()) queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+TEST(ContainmentCacheConcurrency, VerdictsMatchUncachedUnderContention) {
+  Schema schema = MustParseSchema(kSchema);
+  std::vector<ConjunctiveQuery> queries =
+      DrawTerminalQueries(schema, /*seed=*/7, /*want=*/10);
+  const size_t n = queries.size();
+
+  // Serial ground truth, uncached.
+  std::vector<std::vector<bool>> expected(n, std::vector<bool>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      StatusOr<bool> verdict = Contained(schema, queries[i], queries[j]);
+      ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+      expected[i][j] = *verdict;
+    }
+  }
+
+  ContainmentCache::Options options;
+  options.num_shards = 4;
+  ContainmentCache cache(&schema, options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 6;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread walks every pair in a thread-specific order, so the
+      // same keys are requested concurrently from different points.
+      std::mt19937_64 rng(1000 + t);
+      std::vector<size_t> order(n * n);
+      for (size_t p = 0; p < order.size(); ++p) order[p] = p;
+      std::shuffle(order.begin(), order.end(), rng);
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        for (size_t p : order) {
+          const size_t i = p / n, j = p % n;
+          StatusOr<bool> verdict = cache.Contained(queries[i], queries[j]);
+          if (!verdict.ok()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          } else if (*verdict != expected[i][j]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Compute-once: every one of the kThreads * kRounds * n^2 lookups was
+  // either a hit or a miss, and misses count distinct canonical keys only
+  // — no pair was decided twice no matter how the threads interleaved.
+  const uint64_t total =
+      static_cast<uint64_t>(kThreads) * kRoundsPerThread * n * n;
+  EXPECT_EQ(cache.hits() + cache.misses(), total);
+  EXPECT_LE(cache.misses(), static_cast<uint64_t>(n * n));
+  EXPECT_EQ(cache.size(), cache.misses());
+
+  // A serial rerun over a fresh cache decides the same distinct keys:
+  // miss counts are a function of the workload, not the schedule.
+  ContainmentCache serial_cache(&schema, options);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_TRUE(serial_cache.Contained(queries[i], queries[j]).ok());
+    }
+  }
+  EXPECT_EQ(cache.misses(), serial_cache.misses());
+}
+
+TEST(ContainmentCacheConcurrency, StatsAccumulateOnlyComputedWork) {
+  Schema schema = MustParseSchema(kSchema);
+  std::vector<ConjunctiveQuery> queries =
+      DrawTerminalQueries(schema, /*seed=*/21, /*want=*/6);
+  ContainmentCache cache(&schema);
+
+  ContainmentStats first;
+  for (const ConjunctiveQuery& q1 : queries) {
+    for (const ConjunctiveQuery& q2 : queries) {
+      ASSERT_TRUE(cache.Contained(q1, q2, &first).ok());
+    }
+  }
+  // Second sweep: pure hits — no additional work counted.
+  ContainmentStats second;
+  for (const ConjunctiveQuery& q1 : queries) {
+    for (const ConjunctiveQuery& q2 : queries) {
+      ASSERT_TRUE(cache.Contained(q1, q2, &second).ok());
+    }
+  }
+  EXPECT_EQ(second.augmentations, 0u);
+  EXPECT_EQ(second.membership_subsets, 0u);
+  EXPECT_EQ(second.mapping_searches, 0u);
+  EXPECT_EQ(second.mapping_steps, 0u);
+}
+
+TEST(ContainmentCacheConcurrency, EntryCapBoundsResidentEntries) {
+  Schema schema = MustParseSchema(kSchema);
+  std::vector<ConjunctiveQuery> queries =
+      DrawTerminalQueries(schema, /*seed=*/42, /*want=*/12);
+  ContainmentCache::Options options;
+  options.max_entries = 8;
+  options.num_shards = 2;
+  ContainmentCache cache(&schema, options);
+
+  for (const ConjunctiveQuery& q1 : queries) {
+    for (const ConjunctiveQuery& q2 : queries) {
+      ASSERT_TRUE(cache.Contained(q1, q2).ok());
+    }
+  }
+  EXPECT_LE(cache.size(), 8u);
+  // Evicted keys recompute (misses exceed residency) but verdicts stay
+  // correct against the uncached oracle.
+  for (const ConjunctiveQuery& q1 : queries) {
+    for (const ConjunctiveQuery& q2 : queries) {
+      StatusOr<bool> cached = cache.Contained(q1, q2);
+      StatusOr<bool> oracle = Contained(schema, q1, q2);
+      ASSERT_TRUE(cached.ok());
+      ASSERT_TRUE(oracle.ok());
+      EXPECT_EQ(*cached, *oracle);
+    }
+  }
+}
+
+TEST(ContainmentCacheConcurrency, RenamedQueriesShareOneEntry) {
+  Schema schema = MustParseSchema(kSchema);
+  const ClassId c1 = schema.FindClassOrInvalid("C1");
+  const ClassId e = schema.FindClassOrInvalid("E");
+
+  // The same query twice, with different bound-variable names: the
+  // canonical-form key makes them one cache entry.
+  auto build = [&](const char* bound_name) {
+    ConjunctiveQuery q;
+    q.AddVariable("x");
+    q.AddVariable(bound_name);
+    q.set_free_var(0);
+    q.AddAtom(Atom::Range(0, {c1}));
+    q.AddAtom(Atom::Range(1, {e}));
+    q.AddAtom(Atom::Membership(1, 0, "S"));
+    return q;
+  };
+  ConjunctiveQuery a = build("y");
+  ConjunctiveQuery b = build("z");
+
+  ContainmentCache cache(&schema);
+  ASSERT_TRUE(cache.Contained(a, a).ok());
+  ASSERT_TRUE(cache.Contained(b, b).ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace oocq
