@@ -1,12 +1,19 @@
 // Command-line front end for the library: load a schema file, then
 // minimize queries or decide containment/equivalence.
 //
-//   oocq_cli SCHEMA.oocq minimize '<query>'
+//   oocq_cli [--trace=FILE] [--metrics] SCHEMA.oocq minimize '<query>'
 //   oocq_cli SCHEMA.oocq contain  '<query1>' '<query2>'
 //   oocq_cli SCHEMA.oocq equiv    '<query1>' '<query2>'
 //   oocq_cli SCHEMA.oocq satisfiable '<terminal query>'
 //   oocq_cli SCHEMA.oocq eval STATE.oocq '<query>'   (answers on a state)
 //   oocq_cli SCHEMA.oocq explain '<terminal q1>' '<terminal q2>'
+//
+// Observability flags (must precede SCHEMA):
+//   --trace=FILE   record the command's engine spans and write a Chrome
+//                  tracing JSON to FILE (load in chrome://tracing or
+//                  https://ui.perfetto.dev); implies --metrics
+//   --metrics      collect engine metrics; Summary() gains the per-phase
+//                  table and the full registry is printed as JSON
 //
 // Example:
 //   oocq_cli rental.oocq minimize
@@ -14,6 +21,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -26,6 +34,8 @@
 #include "query/printer.h"
 #include "query/well_formed.h"
 #include "state/evaluation.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace {
 
@@ -33,7 +43,8 @@ using namespace oocq;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: oocq_cli SCHEMA (minimize Q | contain Q1 Q2 | "
+               "usage: oocq_cli [--trace=FILE] [--metrics] SCHEMA "
+               "(minimize Q | contain Q1 Q2 | "
                "equiv Q1 Q2 | satisfiable Q | eval STATE Q | "
                "explain Q1 Q2)\n");
   return 2;
@@ -59,16 +70,18 @@ T Must(StatusOr<T> value) {
   return *std::move(value);
 }
 
-int RunMinimize(const Schema& schema, const std::string& text) {
-  QueryOptimizer optimizer(schema);
+int RunMinimize(const Schema& schema, const MinimizationOptions& options,
+                const std::string& text) {
+  QueryOptimizer optimizer(schema, options);
   OptimizeReport report = Must(optimizer.OptimizeText(text));
   std::printf("%s", report.Summary(schema).c_str());
   return 0;
 }
 
-int RunContain(const Schema& schema, const std::string& q1,
-               const std::string& q2, bool both_directions) {
-  QueryOptimizer optimizer(schema);
+int RunContain(const Schema& schema, const MinimizationOptions& options,
+               const std::string& q1, const std::string& q2,
+               bool both_directions) {
+  QueryOptimizer optimizer(schema, options);
   ConjunctiveQuery a = Must(ParseQuery(schema, q1));
   ConjunctiveQuery b = Must(ParseQuery(schema, q2));
   if (both_directions) {
@@ -126,36 +139,90 @@ int RunEval(const Schema& schema, const char* state_path,
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 4) return Usage();
-
-  Schema schema = Must(ParseSchema(ReadFileOrDie(argv[1])));
-
-  std::string command = argv[2];
-  if (command == "minimize" && argc == 4) {
-    return RunMinimize(schema, argv[3]);
+int Dispatch(const Schema& schema, const MinimizationOptions& options,
+             int argc, char** argv) {
+  std::string command = argv[0];
+  if (command == "minimize" && argc == 2) {
+    return RunMinimize(schema, options, argv[1]);
   }
-  if (command == "contain" && argc == 5) {
-    return RunContain(schema, argv[3], argv[4], /*both_directions=*/false);
+  if (command == "contain" && argc == 3) {
+    return RunContain(schema, options, argv[1], argv[2],
+                      /*both_directions=*/false);
   }
-  if (command == "equiv" && argc == 5) {
-    return RunContain(schema, argv[3], argv[4], /*both_directions=*/true);
+  if (command == "equiv" && argc == 3) {
+    return RunContain(schema, options, argv[1], argv[2],
+                      /*both_directions=*/true);
   }
-  if (command == "satisfiable" && argc == 4) {
-    return RunSatisfiable(schema, argv[3]);
+  if (command == "satisfiable" && argc == 2) {
+    return RunSatisfiable(schema, argv[1]);
   }
-  if (command == "eval" && argc == 5) {
-    return RunEval(schema, argv[3], argv[4]);
+  if (command == "eval" && argc == 3) {
+    return RunEval(schema, argv[1], argv[2]);
   }
-  if (command == "explain" && argc == 5) {
-    ConjunctiveQuery q1 = Must(ParseQuery(schema, argv[3]));
-    ConjunctiveQuery q2 = Must(ParseQuery(schema, argv[4]));
+  if (command == "explain" && argc == 3) {
+    ConjunctiveQuery q1 = Must(ParseQuery(schema, argv[1]));
+    ConjunctiveQuery q2 = Must(ParseQuery(schema, argv[2]));
     ContainmentExplanation explanation =
         Must(ExplainContainment(schema, q1, q2));
     std::printf("%s", explanation.text.c_str());
     return explanation.contained ? 0 : 1;
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  bool want_metrics = false;
+  int arg = 1;
+  for (; arg < argc; ++arg) {
+    std::string flag = argv[arg];
+    if (flag.rfind("--trace=", 0) == 0) {
+      trace_path = flag.substr(8);
+      if (trace_path.empty()) return Usage();
+    } else if (flag == "--metrics") {
+      want_metrics = true;
+    } else if (flag.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+      return Usage();
+    } else {
+      break;
+    }
+  }
+  if (argc - arg < 3) return Usage();
+
+  Schema schema = Must(ParseSchema(ReadFileOrDie(argv[arg])));
+
+  // Tracing implies metrics: the trace and the phase table describe the
+  // same run. Both sinks wrap the whole command, so every engine call the
+  // command makes lands in one log/registry.
+  const bool observing = want_metrics || !trace_path.empty();
+  MinimizationOptions options;
+  options.observability.metrics = observing;
+
+  TraceLog trace_log;
+  MetricsRegistry registry;
+  std::optional<TraceSession> trace_session;
+  std::optional<MetricsScope> metrics_scope;
+  if (!trace_path.empty()) trace_session.emplace(&trace_log);
+  if (observing) metrics_scope.emplace(&registry);
+
+  int rc = Dispatch(schema, options, argc - arg - 1, argv + arg + 1);
+
+  metrics_scope.reset();
+  trace_session.reset();  // finalizes the log
+  if (!trace_path.empty()) {
+    Status written = trace_log.WriteChromeTrace(trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: wrote %zu span(s) to %s\n",
+                 trace_log.events().size(), trace_path.c_str());
+  }
+  if (want_metrics) {
+    std::printf("%s\n", registry.JsonString().c_str());
+  }
+  return rc;
 }

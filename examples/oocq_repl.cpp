@@ -11,6 +11,10 @@
 //   contain Q1 ; Q2          containment of two terminal queries
 //   explain Q1 ; Q2          narrated containment
 //   sat QUERY                satisfiability (general queries expanded)
+//   trace FILE | trace off   record engine spans; 'off' (or quit) writes
+//                            the Chrome tracing JSON to FILE
+//   metrics on|off|show      collect engine metrics; 'show'/'off' print
+//                            the registry as JSON
 //   show schema | state      print the loaded artifacts
 //   QUERY                    evaluate on the loaded state (default)
 //   help, quit
@@ -18,6 +22,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -31,6 +36,8 @@
 #include "query/well_formed.h"
 #include "schema/schema_printer.h"
 #include "state/evaluation.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace {
 
@@ -39,6 +46,25 @@ using namespace oocq;
 struct Session {
   std::optional<Schema> schema;
   std::optional<State> state;
+
+  // Observability sinks; active between 'trace FILE'/'metrics on' and the
+  // matching 'off' (or quit). The log/registry outlive their RAII
+  // installers, so destruction order inside the struct is managed by
+  // StopTrace/StopMetrics rather than member order.
+  std::string trace_path;
+  std::unique_ptr<TraceLog> trace_log;
+  std::unique_ptr<TraceSession> trace_session;
+  std::unique_ptr<MetricsRegistry> registry;
+  std::unique_ptr<MetricsScope> metrics_scope;
+
+  /// Engine options for the next command: phase table in Summary() while
+  /// either sink is live.
+  MinimizationOptions Options() const {
+    MinimizationOptions options;
+    options.observability.metrics =
+        metrics_scope != nullptr || trace_session != nullptr;
+    return options;
+  }
 };
 
 std::string Trim(const std::string& text) {
@@ -58,6 +84,28 @@ StatusOr<std::string> ReadFile(const std::string& path) {
 
 void Report(const Status& status) {
   std::printf("error: %s\n", status.ToString().c_str());
+}
+
+void StopTrace(Session& session) {
+  if (session.trace_session == nullptr) return;
+  session.trace_session.reset();  // finalizes the log
+  Status written = session.trace_log->WriteChromeTrace(session.trace_path);
+  if (written.ok()) {
+    std::printf("trace: wrote %zu span(s) to %s\n",
+                session.trace_log->events().size(),
+                session.trace_path.c_str());
+  } else {
+    Report(written);
+  }
+  session.trace_log.reset();
+  session.trace_path.clear();
+}
+
+void StopMetrics(Session& session, bool print) {
+  if (session.metrics_scope == nullptr) return;
+  session.metrics_scope.reset();
+  if (print) std::printf("%s\n", session.registry->JsonString().c_str());
+  session.registry.reset();
 }
 
 void HandleEvaluate(Session& session, const std::string& text) {
@@ -97,7 +145,7 @@ void HandlePair(Session& session, const std::string& args, bool explain) {
     if (!result.ok()) return Report(result.status());
     std::printf("%s", result->text.c_str());
   } else {
-    QueryOptimizer optimizer(*session.schema);
+    QueryOptimizer optimizer(*session.schema, session.Options());
     StatusOr<bool> result = optimizer.IsContained(*q1, *q2);
     if (!result.ok()) return Report(result.status());
     std::printf("%s\n", *result ? "CONTAINED" : "NOT contained");
@@ -116,7 +164,58 @@ void HandleLine(Session& session, const std::string& raw) {
   if (line == "help") {
     std::printf(
         "schema FILE | state FILE | minimize Q | contain Q1 ; Q2 |\n"
-        "explain Q1 ; Q2 | sat Q | show schema|state | QUERY | quit\n");
+        "explain Q1 ; Q2 | sat Q | trace FILE|off | metrics on|off|show |\n"
+        "show schema|state | QUERY | quit\n");
+    return;
+  }
+  if (starts_with("trace ")) {
+    std::string target = rest_after(6);
+    if (target == "off") {
+      if (session.trace_session == nullptr) {
+        std::printf("trace: not recording\n");
+      } else {
+        StopTrace(session);
+      }
+      return;
+    }
+    if (session.trace_session != nullptr) {
+      std::printf("trace: already recording to %s; 'trace off' first\n",
+                  session.trace_path.c_str());
+      return;
+    }
+    session.trace_path = target;
+    session.trace_log = std::make_unique<TraceLog>();
+    session.trace_session = std::make_unique<TraceSession>(
+        session.trace_log.get());
+    std::printf("trace: recording; 'trace off' writes %s\n", target.c_str());
+    return;
+  }
+  if (starts_with("metrics ")) {
+    std::string mode = rest_after(8);
+    if (mode == "on") {
+      if (session.metrics_scope != nullptr) {
+        std::printf("metrics: already collecting\n");
+        return;
+      }
+      session.registry = std::make_unique<MetricsRegistry>();
+      session.metrics_scope =
+          std::make_unique<MetricsScope>(session.registry.get());
+      std::printf("metrics: collecting\n");
+    } else if (mode == "show") {
+      if (session.metrics_scope == nullptr) {
+        std::printf("metrics: not collecting; 'metrics on' first\n");
+        return;
+      }
+      std::printf("%s\n", session.registry->JsonString().c_str());
+    } else if (mode == "off") {
+      if (session.metrics_scope == nullptr) {
+        std::printf("metrics: not collecting\n");
+        return;
+      }
+      StopMetrics(session, /*print=*/true);
+    } else {
+      std::printf("usage: metrics on|off|show\n");
+    }
     return;
   }
   if (starts_with("schema ")) {
@@ -144,7 +243,7 @@ void HandleLine(Session& session, const std::string& raw) {
     return;
   }
   if (starts_with("minimize ")) {
-    QueryOptimizer optimizer(*session.schema);
+    QueryOptimizer optimizer(*session.schema, session.Options());
     StatusOr<OptimizeReport> report = optimizer.OptimizeText(rest_after(9));
     if (!report.ok()) return Report(report.status());
     std::printf("%s", report->Summary(*session.schema).c_str());
@@ -176,7 +275,12 @@ void HandleLine(Session& session, const std::string& raw) {
     std::printf("%s", StateToString(*session.state).c_str());
     return;
   }
-  if (line == "quit" || line == "exit") std::exit(0);
+  if (line == "quit" || line == "exit") {
+    // Flush pending sinks before exiting so a trace is never lost.
+    StopTrace(session);
+    StopMetrics(session, /*print=*/false);
+    std::exit(0);
+  }
   // Default: treat the line as a query to evaluate.
   HandleEvaluate(session, line);
 }
@@ -193,5 +297,8 @@ int main() {
     if (tty) std::printf("oocq> ");
   }
   std::printf("\n");
+  // EOF without 'quit': flush sinks the same way.
+  StopTrace(session);
+  StopMetrics(session, /*print=*/false);
   return 0;
 }

@@ -2,24 +2,37 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <set>
 #include <utility>
 #include <vector>
 
 #include "core/augmentation.h"
+#include "core/containment_cache.h"
 #include "core/derivability.h"
 #include "core/mapping.h"
 #include "core/satisfiability.h"
 #include "query/equality_graph.h"
 #include "query/well_formed.h"
+#include "support/metrics.h"
 #include "support/status_macros.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace oocq {
 
 namespace {
 
 constexpr uint64_t kNoEvent = ~uint64_t{0};
+
+/// What one Contained() call decided structurally: which Thm 3.1
+/// specialization dispatch fired, and the largest membership pool |T| it
+/// enumerated subsets of. Deterministic — the dispatch depends only on
+/// Q2's atom kinds and the pool only on the (augmented) query.
+struct ContainedTraceInfo {
+  const char* specialization = "trivial";  // decided by a shortcut
+  uint64_t max_pool = 0;
+};
 
 bool HasAtomKind(const ConjunctiveQuery& query, AtomKind kind) {
   return std::any_of(
@@ -107,10 +120,15 @@ StatusOr<std::vector<Atom>> MembershipCandidatePool(
 }
 
 
-StatusOr<bool> Contained(const Schema& schema, const ConjunctiveQuery& q1,
-                         const ConjunctiveQuery& q2,
-                         const ContainmentOptions& options,
-                         ContainmentStats* stats) {
+namespace {
+
+/// The Thm 3.1 decision procedure proper; the public Contained() wraps it
+/// with a trace span and metrics. `tinfo` receives the dispatch outcome.
+StatusOr<bool> ContainedImpl(const Schema& schema, const ConjunctiveQuery& q1,
+                             const ConjunctiveQuery& q2,
+                             const ContainmentOptions& options,
+                             ContainmentStats* stats,
+                             ContainedTraceInfo* tinfo) {
   OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, q1));
   OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, q2));
   if (!q1.IsTerminal(schema) || !q2.IsTerminal(schema)) {
@@ -130,6 +148,12 @@ StatusOr<bool> Contained(const Schema& schema, const ConjunctiveQuery& q1,
   const bool rhs_has_non_membership =
       options.force_full_theorem ||
       HasAtomKind(n2, AtomKind::kNonMembership);
+  // Thm 3.1's specialization lattice over Q2's atom kinds (§3, Cor
+  // 3.2–3.4): inequalities force the augmentation axis, non-membership
+  // atoms force the membership-subset axis.
+  tinfo->specialization =
+      rhs_has_inequality ? (rhs_has_non_membership ? "Thm3.1" : "Cor3.3")
+                         : (rhs_has_non_membership ? "Cor3.2" : "Cor3.4");
 
   MappingConstraints constraints;
   constraints.free_target = n1.free_var();
@@ -150,6 +174,7 @@ StatusOr<bool> Contained(const Schema& schema, const ConjunctiveQuery& q1,
                             MembershipCandidatePool(schema, base, options));
     }
     const size_t t_size = membership_pool.size();
+    tinfo->max_pool = std::max<uint64_t>(tinfo->max_pool, t_size);
     const uint64_t total = uint64_t{1} << t_size;
 
     // A chunk's outcome: the first mask in its range that decided the
@@ -255,6 +280,52 @@ StatusOr<bool> Contained(const Schema& schema, const ConjunctiveQuery& q1,
   return *outcome;
 }
 
+/// "Cor3.4" -> "containment/cor34", "Thm3.1" -> "containment/thm31", …
+std::string SpecializationCounterName(const char* specialization) {
+  std::string name = "containment/";
+  for (const char* p = specialization; *p != '\0'; ++p) {
+    if (*p == '.') continue;
+    name += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p)));
+  }
+  return name;
+}
+
+}  // namespace
+
+StatusOr<bool> Contained(const Schema& schema, const ConjunctiveQuery& q1,
+                         const ConjunctiveQuery& q2,
+                         const ContainmentOptions& options,
+                         ContainmentStats* stats) {
+  OOCQ_TRACE_SPAN(span, "Contained");
+  ContainedTraceInfo tinfo;
+  ContainmentStats local;
+  StatusOr<bool> verdict =
+      ContainedImpl(schema, q1, q2, options, &local, &tinfo);
+  if (stats != nullptr) stats->Add(local);
+  if (MetricsRegistry* metrics = ActiveMetrics()) {
+    metrics->Add("containment/calls", 1);
+    metrics->Add(SpecializationCounterName(tinfo.specialization), 1);
+    metrics->Add("containment/augmentations", local.augmentations);
+    metrics->Add("containment/membership_subsets", local.membership_subsets);
+    metrics->Add("containment/mapping_searches", local.mapping_searches);
+    metrics->Add("containment/mapping_steps", local.mapping_steps);
+    metrics->Record("containment/pool_size", tinfo.max_pool);
+  }
+  if (span.recording()) {
+    // All annotations are scheduling-independent on the positive
+    // pipeline (docs/observability.md); the work counters can differ on
+    // early-exit paths, mirroring the PR 1 determinism contract.
+    span.Arg("spec", tinfo.specialization)
+        .Arg("pool", tinfo.max_pool)
+        .Arg("augmentations", local.augmentations)
+        .Arg("subsets", local.membership_subsets)
+        .Arg("mapping_steps", local.mapping_steps);
+    if (verdict.ok()) span.Arg("contained", *verdict ? "true" : "false");
+  }
+  return verdict;
+}
+
 StatusOr<bool> EquivalentQueries(const Schema& schema,
                                  const ConjunctiveQuery& q1,
                                  const ConjunctiveQuery& q2,
@@ -268,7 +339,12 @@ StatusOr<bool> EquivalentQueries(const Schema& schema,
 StatusOr<bool> UnionContained(const Schema& schema, const UnionQuery& m,
                               const UnionQuery& n,
                               const ContainmentOptions& options,
-                              ContainmentStats* stats) {
+                              ContainmentStats* stats,
+                              ContainmentCache* cache) {
+  OOCQ_TRACE_SPAN(span, "UnionContained");
+  span.Arg("m_disjuncts", static_cast<uint64_t>(m.disjuncts.size()))
+      .Arg("n_disjuncts", static_cast<uint64_t>(n.disjuncts.size()));
+  MetricAdd("containment/union_calls", 1);
   // Thm 4.1 is stated (and true) for unions of terminal positive
   // conjunctive queries; reject anything else.
   for (const UnionQuery* side : {&m, &n}) {
@@ -311,7 +387,9 @@ StatusOr<bool> UnionContained(const Schema& schema, const UnionQuery& m,
             if (!CheckSatisfiable(schema, qi).satisfiable) return result;
             for (const ConjunctiveQuery& pj : n.disjuncts) {
               StatusOr<bool> contained =
-                  Contained(schema, qi, pj, options, &result.stats);
+                  cache != nullptr
+                      ? cache->Contained(qi, pj, &result.stats)
+                      : Contained(schema, qi, pj, options, &result.stats);
               if (!contained.ok()) {
                 result.decisive = true;
                 result.is_error = true;
@@ -339,11 +417,12 @@ StatusOr<bool> UnionContained(const Schema& schema, const UnionQuery& m,
 StatusOr<bool> UnionEquivalent(const Schema& schema, const UnionQuery& m,
                                const UnionQuery& n,
                                const ContainmentOptions& options,
-                               ContainmentStats* stats) {
+                               ContainmentStats* stats,
+                               ContainmentCache* cache) {
   OOCQ_ASSIGN_OR_RETURN(bool forward,
-                        UnionContained(schema, m, n, options, stats));
+                        UnionContained(schema, m, n, options, stats, cache));
   if (!forward) return false;
-  return UnionContained(schema, n, m, options, stats);
+  return UnionContained(schema, n, m, options, stats, cache);
 }
 
 }  // namespace oocq

@@ -43,6 +43,12 @@ struct ContainmentStats {
   uint64_t membership_subsets = 0;
   uint64_t mapping_searches = 0;
   uint64_t mapping_steps = 0;
+  /// Containment-cache traffic of the decisions this call routed through
+  /// a ContainmentCache (both zero when no cache was involved). Misses
+  /// equal the distinct decisions computed — deterministic across thread
+  /// counts on the positive pipeline (docs/parallelism.md).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   /// Accumulates `other` into this (fan-out workers aggregate task-local
   /// counters through this).
@@ -51,6 +57,8 @@ struct ContainmentStats {
     membership_subsets += other.membership_subsets;
     mapping_searches += other.mapping_searches;
     mapping_steps += other.mapping_steps;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
   }
 };
 
@@ -83,22 +91,29 @@ StatusOr<bool> EquivalentQueries(const Schema& schema,
                                  const ContainmentOptions& options = {},
                                  ContainmentStats* stats = nullptr);
 
+class ContainmentCache;
+
 /// Thm 4.1: for unions of terminal *positive* conjunctive queries,
 /// M ⊆ N iff every satisfiable disjunct of M is contained in some disjunct
 /// of N. Returns FailedPrecondition when a satisfiable disjunct is not
 /// positive or not terminal (the componentwise characterization does not
 /// hold for general queries). The per-disjunct tests are independent and
 /// fan out over options.parallel; the verdict is schedule-independent.
+/// When `cache` is non-null the per-disjunct tests route through it (its
+/// ContainmentOptions govern those decisions) and its hit/miss traffic
+/// lands in `stats`.
 StatusOr<bool> UnionContained(const Schema& schema, const UnionQuery& m,
                               const UnionQuery& n,
                               const ContainmentOptions& options = {},
-                              ContainmentStats* stats = nullptr);
+                              ContainmentStats* stats = nullptr,
+                              ContainmentCache* cache = nullptr);
 
 /// M ≡ N for unions of terminal positive conjunctive queries.
 StatusOr<bool> UnionEquivalent(const Schema& schema, const UnionQuery& m,
                                const UnionQuery& n,
                                const ContainmentOptions& options = {},
-                               ContainmentStats* stats = nullptr);
+                               ContainmentStats* stats = nullptr,
+                               ContainmentCache* cache = nullptr);
 
 }  // namespace oocq
 

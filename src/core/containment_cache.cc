@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/canonical.h"
+#include "support/metrics.h"
 #include "support/status_macros.h"
 
 namespace oocq {
@@ -62,6 +63,8 @@ StatusOr<bool> ContainmentCache::Contained(const ConjunctiveQuery& q1,
       shard.map.emplace(key, entry);
       shard.fifo.push_back(key);
       misses_.fetch_add(1, std::memory_order_relaxed);
+      if (stats != nullptr) ++stats->cache_misses;
+      MetricAdd("cache/miss", 1);
       if (max_entries_per_shard_ != 0 &&
           shard.map.size() > max_entries_per_shard_) {
         // Evict the oldest finished entry; skip stale fifo keys (erased
@@ -76,13 +79,19 @@ StatusOr<bool> ContainmentCache::Contained(const ConjunctiveQuery& q1,
             continue;
           }
           shard.map.erase(vit);
+          MetricAdd("cache/evict", 1);
           break;
         }
       }
     } else {
       entry = it->second;
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (stats != nullptr) ++stats->cache_hits;
+      MetricAdd("cache/hit", 1);
       if (!entry->done) {
+        // Another thread owns this key's computation; block until its
+        // value lands (compute-once, docs/parallelism.md).
+        MetricAdd("cache/wait", 1);
         shard.cv.wait(lock, [&entry] { return entry->done; });
       }
       if (!entry->error.ok()) return entry->error;

@@ -10,6 +10,22 @@
 
 namespace oocq {
 
+class TraceLog;
+
+/// Observability sinks for a pipeline run. Both default off so an
+/// unconfigured run is byte-identical to the pre-observability engine
+/// (and pays one relaxed atomic load per instrumentation site).
+struct ObservabilityOptions {
+  /// When non-null, the pipeline entry points (Optimize, IsContained,
+  /// IsEquivalent) install a TraceSession around the run and spans from
+  /// every layer land here. Finalized when the entry point returns.
+  /// One session is active at a time process-wide (first wins).
+  TraceLog* trace = nullptr;
+  /// Collect named counters/histograms into OptimizeReport::metrics and
+  /// render the per-phase table in Summary(). Implied by `trace`.
+  bool metrics = false;
+};
+
 /// Sizing knobs for the shared containment memo table the optimizer
 /// pipeline threads through its fan-out (core/containment_cache.h).
 struct CacheOptions {
@@ -41,6 +57,7 @@ struct EngineOptions {
   ExpansionOptions expansion;
   ParallelOptions parallel;
   CacheOptions cache;
+  ObservabilityOptions observability;
 };
 
 /// Returns `options` with `parallel` propagated into the containment and

@@ -6,8 +6,10 @@
 
 #include "core/satisfiability.h"
 #include "query/well_formed.h"
+#include "support/metrics.h"
 #include "support/status_macros.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace oocq {
 
@@ -15,6 +17,10 @@ StatusOr<UnionQuery> ExpandToTerminalQueries(const Schema& schema,
                                              const ConjunctiveQuery& query,
                                              const ExpansionOptions& options,
                                              ExpansionStats* stats) {
+  // Prop 2.1: the query is equivalent to the union of its terminal
+  // instantiations — the expansion phase of every pipeline run.
+  OOCQ_TRACE_SPAN(span, "Expand");
+  ScopedPhaseTimer timer("phase/expand");
   OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
 
   // Per-variable terminal choices: the terminal descendants of any class
@@ -77,6 +83,9 @@ StatusOr<UnionQuery> ExpandToTerminalQueries(const Schema& schema,
   } else {
     // Each combination's satisfiability check + normalization is
     // independent: fan out, keep survivors in enumeration order.
+    OOCQ_TRACE_SPAN(prune_span, "SatisfiabilityPrune");
+    prune_span.Arg("raw", product);
+    ScopedPhaseTimer prune_timer("phase/satisfiability_prune");
     OOCQ_ASSIGN_OR_RETURN(
         std::vector<std::optional<ConjunctiveQuery>> pruned,
         (ParallelMap<std::optional<ConjunctiveQuery>>(
@@ -98,6 +107,10 @@ StatusOr<UnionQuery> ExpandToTerminalQueries(const Schema& schema,
   }
 
   if (stats != nullptr) stats->satisfiable_disjuncts = result.disjuncts.size();
+  span.Arg("raw", product)
+      .Arg("satisfiable", static_cast<uint64_t>(result.disjuncts.size()));
+  MetricAdd("expand/raw_disjuncts", product);
+  MetricAdd("expand/satisfiable_disjuncts", result.disjuncts.size());
   return result;
 }
 

@@ -10,8 +10,10 @@
 #include "core/mapping.h"
 #include "core/satisfiability.h"
 #include "query/well_formed.h"
+#include "support/metrics.h"
 #include "support/status_macros.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace oocq {
 
@@ -19,6 +21,7 @@ StatusOr<ConjunctiveQuery> FoldTerminalQueryVerified(
     const Schema& schema, const ConjunctiveQuery& query,
     const MinimizationOptions& options, uint64_t* removed,
     ContainmentStats* stats) {
+  OOCQ_TRACE_SPAN(span, "FoldTerminalQueryVerified");
   OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
   if (!query.IsTerminal(schema)) {
     return Status::FailedPrecondition(
@@ -26,6 +29,8 @@ StatusOr<ConjunctiveQuery> FoldTerminalQueryVerified(
   }
   OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery current,
                         NormalizeTerminalQuery(schema, query));
+
+  span.Arg("vars_in", static_cast<uint64_t>(current.num_vars()));
 
   bool progress = true;
   while (progress) {
@@ -68,6 +73,7 @@ StatusOr<ConjunctiveQuery> FoldTerminalQueryVerified(
       progress = true;
     }
   }
+  span.Arg("vars_out", static_cast<uint64_t>(current.num_vars()));
   return current;
 }
 
@@ -113,6 +119,7 @@ StatusOr<ConjunctiveQuery> RemoveRedundantAtoms(
 StatusOr<GeneralMinimizationReport> MinimizeConjunctiveQuery(
     const Schema& schema, const ConjunctiveQuery& query,
     const MinimizationOptions& options, ContainmentCache* cache) {
+  OOCQ_TRACE_SPAN(span, "MinimizeConjunctiveQuery");
   OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
   const EngineOptions opts = WithPropagatedParallelism(options);
 
@@ -142,6 +149,10 @@ StatusOr<GeneralMinimizationReport> MinimizeConjunctiveQuery(
     uint64_t removed = 0;
     ContainmentStats stats;
   };
+  OOCQ_TRACE_SPAN(fold_span, "FoldDisjuncts");
+  fold_span.Arg("disjuncts",
+                static_cast<uint64_t>(nonredundant.disjuncts.size()));
+  ScopedPhaseTimer fold_timer("phase/fold_vars");
   OOCQ_ASSIGN_OR_RETURN(
       std::vector<FoldOutcome> outcomes,
       (ParallelMap<FoldOutcome>(
@@ -160,6 +171,8 @@ StatusOr<GeneralMinimizationReport> MinimizeConjunctiveQuery(
     report.containment.Add(outcome.stats);
     report.minimized.disjuncts.push_back(std::move(outcome.folded));
   }
+  fold_span.Arg("vars_removed", report.variables_removed);
+  MetricAdd("minimize/vars_removed", report.variables_removed);
   return report;
 }
 

@@ -11,8 +11,10 @@
 #include "core/mapping.h"
 #include "core/satisfiability.h"
 #include "query/well_formed.h"
+#include "support/metrics.h"
 #include "support/status_macros.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace oocq {
 
@@ -46,6 +48,11 @@ Status MinimizeDisjunctsInto(const Schema& schema,
                              const UnionQuery& nonredundant,
                              const EngineOptions& options,
                              MinimizationReport& report) {
+  // §4 variable minimization (Thm 4.3 / Cor 4.4) of every surviving
+  // disjunct.
+  OOCQ_TRACE_SPAN(span, "MinimizeVariables");
+  span.Arg("disjuncts", static_cast<uint64_t>(nonredundant.disjuncts.size()));
+  ScopedPhaseTimer timer("phase/minimize_vars");
   struct DisjunctOutcome {
     ConjunctiveQuery minimal;
     uint64_t removed = 0;
@@ -69,6 +76,8 @@ Status MinimizeDisjunctsInto(const Schema& schema,
     report.containment.Add(outcome.stats);
     report.minimized.disjuncts.push_back(std::move(outcome.minimal));
   }
+  span.Arg("vars_removed", report.variables_removed);
+  MetricAdd("minimize/vars_removed", report.variables_removed);
   return Status::Ok();
 }
 
@@ -78,6 +87,7 @@ StatusOr<ConjunctiveQuery> MinimizeTerminalPositive(
     const Schema& schema, const ConjunctiveQuery& query,
     const MinimizationOptions& options, uint64_t* removed,
     ContainmentStats* stats) {
+  OOCQ_TRACE_SPAN(span, "MinimizeTerminalPositive");
   OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, query));
   if (!query.IsTerminal(schema) || !query.IsPositive()) {
     return Status::FailedPrecondition(
@@ -85,6 +95,7 @@ StatusOr<ConjunctiveQuery> MinimizeTerminalPositive(
   }
   OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery current,
                         NormalizeTerminalQuery(schema, query));
+  span.Arg("vars_in", static_cast<uint64_t>(current.num_vars()));
 
   bool progress = true;
   while (progress) {
@@ -109,6 +120,7 @@ StatusOr<ConjunctiveQuery> MinimizeTerminalPositive(
       break;
     }
   }
+  span.Arg("vars_out", static_cast<uint64_t>(current.num_vars()));
   return current;
 }
 
@@ -140,6 +152,11 @@ StatusOr<UnionQuery> RemoveRedundantDisjuncts(const Schema& schema,
                                               const MinimizationOptions& options,
                                               ContainmentCache* cache,
                                               ContainmentStats* stats) {
+  // Thm 4.2: the nonredundant union is unique up to equivalence — this
+  // phase finds it via the pairwise containment matrix.
+  OOCQ_TRACE_SPAN(span, "RemoveRedundantDisjuncts");
+  span.Arg("disjuncts_in", static_cast<uint64_t>(query.disjuncts.size()));
+  ScopedPhaseTimer timer("phase/redundancy");
   const EngineOptions opts = WithPropagatedParallelism(options);
 
   // Drop unsatisfiable disjuncts, and collapse disjuncts that are
@@ -150,23 +167,28 @@ StatusOr<UnionQuery> RemoveRedundantDisjuncts(const Schema& schema,
     bool satisfiable = false;
     std::string key;
   };
-  OOCQ_ASSIGN_OR_RETURN(
-      std::vector<Screened> screened,
-      (ParallelMap<Screened>(
-          opts.parallel, query.disjuncts.size(),
-          [&](size_t i) -> StatusOr<Screened> {
-            Screened s;
-            s.satisfiable =
-                CheckSatisfiable(schema, query.disjuncts[i]).satisfiable;
-            if (s.satisfiable) s.key = CanonicalKey(query.disjuncts[i]);
-            return s;
-          })));
   std::vector<ConjunctiveQuery> live;
-  std::set<std::string> seen_keys;
-  for (size_t i = 0; i < query.disjuncts.size(); ++i) {
-    if (!screened[i].satisfiable) continue;
-    if (!seen_keys.insert(std::move(screened[i].key)).second) continue;
-    live.push_back(query.disjuncts[i]);
+  {
+    OOCQ_TRACE_SPAN(screen_span, "ScreenDisjuncts");
+    screen_span.Arg("disjuncts", static_cast<uint64_t>(query.disjuncts.size()));
+    OOCQ_ASSIGN_OR_RETURN(
+        std::vector<Screened> screened,
+        (ParallelMap<Screened>(
+            opts.parallel, query.disjuncts.size(),
+            [&](size_t i) -> StatusOr<Screened> {
+              Screened s;
+              s.satisfiable =
+                  CheckSatisfiable(schema, query.disjuncts[i]).satisfiable;
+              if (s.satisfiable) s.key = CanonicalKey(query.disjuncts[i]);
+              return s;
+            })));
+    std::set<std::string> seen_keys;
+    for (size_t i = 0; i < query.disjuncts.size(); ++i) {
+      if (!screened[i].satisfiable) continue;
+      if (!seen_keys.insert(std::move(screened[i].key)).second) continue;
+      live.push_back(query.disjuncts[i]);
+    }
+    screen_span.Arg("live", static_cast<uint64_t>(live.size()));
   }
 
   const size_t n = live.size();
@@ -179,6 +201,9 @@ StatusOr<UnionQuery> RemoveRedundantDisjuncts(const Schema& schema,
     ContainmentStats stats;
   };
   const size_t num_pairs = n < 2 ? 0 : n * (n - 1);
+  OOCQ_TRACE_SPAN(matrix_span, "ContainmentMatrix");
+  matrix_span.Arg("pairs", static_cast<uint64_t>(num_pairs));
+  MetricAdd("redundancy/pairs", num_pairs);
   OOCQ_ASSIGN_OR_RETURN(
       std::vector<PairOutcome> pairs,
       (ParallelMap<PairOutcome>(
@@ -220,6 +245,7 @@ StatusOr<UnionQuery> RemoveRedundantDisjuncts(const Schema& schema,
   for (size_t i = 0; i < n; ++i) {
     if (kept[i]) result.disjuncts.push_back(std::move(live[i]));
   }
+  span.Arg("kept", static_cast<uint64_t>(result.disjuncts.size()));
   return result;
 }
 

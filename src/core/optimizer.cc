@@ -1,6 +1,8 @@
 #include "core/optimizer.h"
 
+#include <cstdio>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "core/containment.h"
@@ -9,9 +11,91 @@
 #include "parser/parser.h"
 #include "query/printer.h"
 #include "query/well_formed.h"
+#include "support/metrics.h"
 #include "support/status_macros.h"
+#include "support/trace.h"
 
 namespace oocq {
+
+namespace {
+
+std::string FormatMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f ms",
+                static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+uint64_t CounterOr0(const std::vector<std::pair<std::string, uint64_t>>& counters,
+                    std::string_view name) {
+  for (const auto& [counter_name, value] : counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+/// Builds the per-phase table of `out` from the run's registry plus the
+/// report's work counts. Phases appear in pipeline order, only when their
+/// ScopedPhaseTimer actually fired.
+void FillRunMetrics(const MetricsRegistry& registry,
+                    const MinimizationReport& details, RunMetrics* out) {
+  out->enabled = true;
+  MetricsRegistry::Snapshot snap = registry.Snap();
+  out->counters.clear();
+  out->counters.reserve(snap.counters.size());
+  for (const MetricsRegistry::CounterSnapshot& counter : snap.counters) {
+    out->counters.emplace_back(counter.name, counter.value);
+  }
+
+  auto work_for = [&](std::string_view phase) -> std::string {
+    if (phase == "well_form") return "1 query normalized";
+    if (phase == "expand") {
+      return std::to_string(details.raw_disjuncts) + " raw disjunct(s)";
+    }
+    if (phase == "satisfiability_prune") {
+      return std::to_string(details.satisfiable_disjuncts) +
+             " satisfiable of " + std::to_string(details.raw_disjuncts) + " (" +
+             std::to_string(CounterOr0(out->counters, "satisfiability/checks")) +
+             " check(s) total this run)";
+    }
+    if (phase == "redundancy") {
+      return std::to_string(details.nonredundant_disjuncts) + " kept, " +
+             std::to_string(CounterOr0(out->counters, "redundancy/pairs")) +
+             " pair test(s)";
+    }
+    if (phase == "minimize_vars" || phase == "fold_vars") {
+      return std::to_string(details.variables_removed) + " variable(s) removed";
+    }
+    return "";
+  };
+
+  for (const char* phase :
+       {"well_form", "expand", "satisfiability_prune", "redundancy",
+        "minimize_vars", "fold_vars"}) {
+    const std::string prefix = std::string("phase/") + phase;
+    const uint64_t calls = CounterOr0(out->counters, prefix + ".calls");
+    if (calls == 0) continue;
+    PhaseMetrics row;
+    row.name = phase;
+    row.ns = CounterOr0(out->counters, prefix + ".ns");
+    row.calls = calls;
+    row.work = work_for(phase);
+    out->phases.push_back(std::move(row));
+  }
+}
+
+/// Human label for a phase key, with its paper anchor.
+const char* PhaseLabel(const std::string& name) {
+  if (name == "well_form") return "well-forming (§2)";
+  if (name == "expand") return "expansion (Prop 2.1)";
+  if (name == "satisfiability_prune") return "satisfiability pruning (Thm 2.2)";
+  if (name == "redundancy") return "redundancy removal (Thm 4.1/4.2)";
+  if (name == "minimize_vars") return "variable minimization (Thm 4.3)";
+  if (name == "fold_vars") return "verified folding (§5)";
+  return name.c_str();
+}
+
+}  // namespace
 
 std::string OptimizeReport::Summary(const Schema& schema) const {
   std::string out;
@@ -33,16 +117,57 @@ std::string OptimizeReport::Summary(const Schema& schema) const {
          std::to_string(cache_misses) + " miss(es)\n";
   out += "  search-space cost: " + std::to_string(original_cost.total) +
          " -> " + std::to_string(optimized_cost.total) + "\n";
+  if (metrics.enabled) {
+    out += "  phases:\n";
+    for (const PhaseMetrics& phase : metrics.phases) {
+      std::string label = PhaseLabel(phase.name);
+      // Pad by display columns, not bytes: '§' is two UTF-8 bytes but one
+      // column, and counting continuation bytes would skew the table.
+      size_t columns = 0;
+      for (char c : label) {
+        if ((static_cast<unsigned char>(c) & 0xC0) != 0x80) ++columns;
+      }
+      for (; columns < 34; ++columns) label += ' ';
+      std::string time = FormatMs(phase.ns);
+      if (time.size() < 12) time.resize(12, ' ');
+      out += "    " + label + time + phase.work + "\n";
+    }
+  }
   out += "  optimized: " + UnionQueryToString(schema, optimized) + "\n";
   return out;
 }
 
 StatusOr<OptimizeReport> QueryOptimizer::Optimize(
     const ConjunctiveQuery& query) const {
-  OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery well_formed,
-                        NormalizeToWellFormed(schema_, query));
-
   const EngineOptions opts = WithPropagatedParallelism(options_);
+
+  // Observability sinks for this run. Tracing implies metrics (the trace
+  // and the phase table describe the same run). When a caller already
+  // installed a MetricsScope (e.g. the CLI around a whole command), the
+  // engine collects into — and reports from — that registry instead of
+  // installing a nested one.
+  const bool collect_metrics =
+      opts.observability.metrics || opts.observability.trace != nullptr;
+  std::unique_ptr<MetricsRegistry> owned_registry;
+  std::optional<MetricsScope> metrics_scope;
+  MetricsRegistry* registry = nullptr;
+  if (collect_metrics) {
+    registry = ActiveMetrics();
+    if (registry == nullptr) {
+      owned_registry = std::make_unique<MetricsRegistry>();
+      metrics_scope.emplace(owned_registry.get());
+      registry = owned_registry.get();
+    }
+  }
+  TraceSession trace_session(opts.observability.trace);
+  OOCQ_TRACE_SPAN(span, "Optimize");
+
+  ConjunctiveQuery well_formed;
+  {
+    OOCQ_TRACE_SPAN(wf_span, "NormalizeToWellFormed");
+    ScopedPhaseTimer wf_timer("phase/well_form");
+    OOCQ_ASSIGN_OR_RETURN(well_formed, NormalizeToWellFormed(schema_, query));
+  }
 
   // One memo table per run: every containment the fan-out performs lands
   // in the same sharded cache, so repeated pairs (matrix symmetry,
@@ -87,6 +212,13 @@ StatusOr<OptimizeReport> QueryOptimizer::Optimize(
     report.cache_misses = cache->misses();
   }
   report.optimized_cost = SearchSpaceCostOf(schema_, report.optimized);
+  span.Arg("exact", report.exact ? "true" : "false")
+      .Arg("raw", report.details.raw_disjuncts)
+      .Arg("optimized_disjuncts",
+           static_cast<uint64_t>(report.optimized.disjuncts.size()));
+  if (registry != nullptr) {
+    FillRunMetrics(*registry, report.details, &report.metrics);
+  }
   return report;
 }
 
@@ -104,12 +236,30 @@ StatusOr<UnionQuery> QueryOptimizer::ExpandToUnion(
   return ExpandToTerminalQueries(schema_, well_formed, opts.expansion);
 }
 
-StatusOr<bool> QueryOptimizer::IsContained(const ConjunctiveQuery& q1,
-                                           const ConjunctiveQuery& q2,
-                                           ContainmentStats* stats) const {
+namespace {
+
+/// The per-call memo table of the IsContained/IsEquivalent entry points
+/// (their disjunct fan-outs hit it for renamed duplicates, and
+/// IsEquivalent's two directions share one). Null when caching is off.
+std::unique_ptr<ContainmentCache> MakeCallCache(const Schema* schema,
+                                                const EngineOptions& opts) {
+  if (!opts.cache.enabled) return nullptr;
+  ContainmentCache::Options cache_options;
+  cache_options.containment = opts.containment;
+  cache_options.max_entries = opts.cache.max_entries;
+  cache_options.num_shards = opts.cache.num_shards;
+  return std::make_unique<ContainmentCache>(schema, cache_options);
+}
+
+}  // namespace
+
+StatusOr<bool> QueryOptimizer::IsContainedWithCache(
+    const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+    ContainmentStats* stats, const EngineOptions& opts,
+    ContainmentCache* cache) const {
+  OOCQ_TRACE_SPAN(span, "IsContained");
   OOCQ_ASSIGN_OR_RETURN(UnionQuery m, ExpandToUnion(q1));
   OOCQ_ASSIGN_OR_RETURN(UnionQuery n, ExpandToUnion(q2));
-  const EngineOptions opts = WithPropagatedParallelism(options_);
   // When Q2 expands to a single disjunct, M ⊆ N iff every disjunct of M
   // is contained in it — exact for arbitrary atom kinds, so general
   // queries are decided here; Thm 4.1 handles multi-disjunct positive N.
@@ -117,7 +267,10 @@ StatusOr<bool> QueryOptimizer::IsContained(const ConjunctiveQuery& q1,
     for (const ConjunctiveQuery& qi : m.disjuncts) {
       OOCQ_ASSIGN_OR_RETURN(
           bool contained,
-          Contained(schema_, qi, n.disjuncts[0], opts.containment, stats));
+          cache != nullptr
+              ? cache->Contained(qi, n.disjuncts[0], stats)
+              : Contained(schema_, qi, n.disjuncts[0], opts.containment,
+                          stats));
       if (!contained) return false;
     }
     return true;
@@ -126,15 +279,30 @@ StatusOr<bool> QueryOptimizer::IsContained(const ConjunctiveQuery& q1,
     // N is unsatisfiable: containment iff M is too.
     return m.disjuncts.empty();
   }
-  return UnionContained(schema_, m, n, opts.containment, stats);
+  return UnionContained(schema_, m, n, opts.containment, stats, cache);
+}
+
+StatusOr<bool> QueryOptimizer::IsContained(const ConjunctiveQuery& q1,
+                                           const ConjunctiveQuery& q2,
+                                           ContainmentStats* stats) const {
+  const EngineOptions opts = WithPropagatedParallelism(options_);
+  TraceSession trace_session(opts.observability.trace);
+  std::unique_ptr<ContainmentCache> cache = MakeCallCache(&schema_, opts);
+  return IsContainedWithCache(q1, q2, stats, opts, cache.get());
 }
 
 StatusOr<bool> QueryOptimizer::IsEquivalent(const ConjunctiveQuery& q1,
                                             const ConjunctiveQuery& q2,
                                             ContainmentStats* stats) const {
-  OOCQ_ASSIGN_OR_RETURN(bool forward, IsContained(q1, q2, stats));
+  const EngineOptions opts = WithPropagatedParallelism(options_);
+  TraceSession trace_session(opts.observability.trace);
+  // One cache across both directions: the backward test reuses every
+  // decision the forward test computed on shared disjunct pairs.
+  std::unique_ptr<ContainmentCache> cache = MakeCallCache(&schema_, opts);
+  OOCQ_ASSIGN_OR_RETURN(bool forward,
+                        IsContainedWithCache(q1, q2, stats, opts, cache.get()));
   if (!forward) return false;
-  return IsContained(q2, q1, stats);
+  return IsContainedWithCache(q2, q1, stats, opts, cache.get());
 }
 
 }  // namespace oocq

@@ -1,7 +1,10 @@
 #ifndef OOCQ_CORE_OPTIMIZER_H_
 #define OOCQ_CORE_OPTIMIZER_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/minimization.h"
 #include "core/search_space.h"
@@ -10,6 +13,29 @@
 #include "support/status.h"
 
 namespace oocq {
+
+/// One pipeline phase's aggregated wall time and work, one row of the
+/// Summary() per-phase table.
+struct PhaseMetrics {
+  /// Phase key: "well_form", "expand", "satisfiability_prune",
+  /// "redundancy", "minimize_vars" (positive §4) or "fold_vars" (general).
+  std::string name;
+  uint64_t ns = 0;     // wall time accumulated by the phase's timer
+  uint64_t calls = 0;  // times the phase ran in this pipeline
+  std::string work;    // phase-specific work description
+};
+
+/// Metrics of one engine run, collected when
+/// EngineOptions::observability requests it (`metrics` or `trace`).
+struct RunMetrics {
+  bool enabled = false;
+  /// Phases in pipeline order; only phases that actually ran appear.
+  std::vector<PhaseMetrics> phases;
+  /// Every named counter the run touched, name-sorted. Work counters are
+  /// deterministic across thread counts on the positive pipeline; *.ns
+  /// timing counters are not (docs/observability.md).
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
 
 /// Everything the optimizer learned about one query.
 struct OptimizeReport {
@@ -31,8 +57,12 @@ struct OptimizeReport {
   /// containment decisions computed — deterministic across thread counts.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Per-phase timing/work and the run's counters; empty (enabled ==
+  /// false) unless EngineOptions::observability asked for collection.
+  RunMetrics metrics;
 
-  /// Multi-line human-readable description of the run.
+  /// Multi-line human-readable description of the run; includes the
+  /// per-phase time/work table when `metrics` was collected.
   std::string Summary(const Schema& schema) const;
 };
 
@@ -74,6 +104,13 @@ class QueryOptimizer {
 
  private:
   StatusOr<UnionQuery> ExpandToUnion(const ConjunctiveQuery& query) const;
+  /// IsContained body sharing one per-call containment cache, so
+  /// IsEquivalent's two directions reuse each other's decisions.
+  StatusOr<bool> IsContainedWithCache(const ConjunctiveQuery& q1,
+                                      const ConjunctiveQuery& q2,
+                                      ContainmentStats* stats,
+                                      const EngineOptions& opts,
+                                      ContainmentCache* cache) const;
 
   Schema schema_;
   MinimizationOptions options_;

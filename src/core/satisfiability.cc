@@ -7,6 +7,7 @@
 #include "query/equality_graph.h"
 #include "query/well_formed.h"
 #include "query/printer.h"
+#include "support/metrics.h"
 #include "support/status_macros.h"
 
 namespace oocq {
@@ -38,6 +39,9 @@ ClassId ClassOfEquivalenceClass(const ConjunctiveQuery& query,
 
 SatisfiabilityResult CheckSatisfiable(const Schema& schema,
                                       const ConjunctiveQuery& query) {
+  // Counter only — this (Thm 2.2) is the hottest engine entry point, one
+  // call per expanded disjunct, so a span per check would swamp traces.
+  MetricAdd("satisfiability/checks", 1);
   EqualityGraph graph = EqualityGraph::Build(query);
 
   // (a) variables equated across distinct terminal classes.

@@ -6,7 +6,9 @@
 #include <set>
 
 #include "state/eval_internal.h"
+#include "support/metrics.h"
 #include "support/status_macros.h"
+#include "support/trace.h"
 
 namespace oocq {
 
@@ -17,7 +19,10 @@ StatusOr<std::vector<Oid>> Evaluate(const State& state,
                                     const ConjunctiveQuery& query,
                                     const EvalOptions& options,
                                     EvalStats* stats) {
+  OOCQ_TRACE_SPAN(span, "Evaluate");
+  MetricAdd("eval/calls", 1);
   const size_t n = query.num_vars();
+  span.Arg("vars", static_cast<uint64_t>(n));
 
   // Candidate extents per variable from its range atom(s). A variable
   // with no range atom ranges over the whole active domain.
@@ -147,6 +152,9 @@ StatusOr<std::vector<Oid>> Evaluate(const State& state,
     ++depth;
   }
   if (stats != nullptr) stats->assignments_tried += tried;
+  span.Arg("assignments", tried)
+      .Arg("answers", static_cast<uint64_t>(answers.size()));
+  MetricAdd("eval/assignments", tried);
 
   return std::vector<Oid>(answers.begin(), answers.end());
 }

@@ -1,0 +1,203 @@
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+
+namespace oocq {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+
+void AtomicRelaxedMin(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicRelaxedMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+MetricHistogram::MetricHistogram()
+    : min_(std::numeric_limits<uint64_t>::max()) {
+  for (std::atomic<uint64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t MetricHistogram::BucketIndex(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+uint64_t MetricHistogram::BucketLowerBound(size_t i) {
+  if (i == 0) return 0;
+  return uint64_t{1} << (i - 1);
+}
+
+void MetricHistogram::Record(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  AtomicRelaxedMin(&min_, value);
+  AtomicRelaxedMax(&max_, value);
+}
+
+MetricsRegistry::MetricsRegistry(uint32_t num_shards)
+    : shards_(num_shards < 1 ? 1 : num_shards) {}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(std::string_view name) {
+  return shards_[std::hash<std::string_view>{}(name) % shards_.size()];
+}
+
+const MetricsRegistry::Shard& MetricsRegistry::ShardFor(
+    std::string_view name) const {
+  return shards_[std::hash<std::string_view>{}(name) % shards_.size()];
+}
+
+MetricCounter* MetricsRegistry::Counter(std::string_view name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_ptr<MetricCounter>& slot = shard.counters[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<MetricCounter>();
+  return slot.get();
+}
+
+MetricHistogram* MetricsRegistry::Histogram(std::string_view name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_ptr<MetricHistogram>& slot = shard.histograms[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<MetricHistogram>();
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  const Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.counters.find(std::string(name));
+  return it != shard.counters.end() ? it->second->value() : 0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  Snapshot snap;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, counter] : shard.counters) {
+      snap.counters.push_back({name, counter->value()});
+    }
+    for (const auto& [name, histogram] : shard.histograms) {
+      HistogramSnapshot h;
+      h.name = name;
+      h.count = histogram->count();
+      h.sum = histogram->sum();
+      h.min = h.count == 0 ? 0 : histogram->min();
+      h.max = histogram->max();
+      h.buckets.resize(MetricHistogram::kNumBuckets);
+      for (size_t i = 0; i < MetricHistogram::kNumBuckets; ++i) {
+        h.buckets[i] = histogram->bucket(i);
+      }
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const CounterSnapshot& a, const CounterSnapshot& b) {
+              return a.name < b.name;
+            });
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+std::string MetricsRegistry::JsonString() const {
+  Snapshot snap = Snap();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterSnapshot& counter : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += counter.name;  // metric names are code-controlled identifiers
+    out += "\":";
+    out += std::to_string(counter.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& histogram : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += histogram.name;
+    out += "\":{\"count\":";
+    out += std::to_string(histogram.count);
+    out += ",\"sum\":";
+    out += std::to_string(histogram.sum);
+    out += ",\"min\":";
+    out += std::to_string(histogram.min);
+    out += ",\"max\":";
+    out += std::to_string(histogram.max);
+    out += ",\"buckets\":{";
+    bool first_bucket = true;
+    for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+      if (histogram.buckets[i] == 0) continue;  // sparse: 65 mostly-zero slots
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '"';
+      out += std::to_string(MetricHistogram::BucketLowerBound(i));
+      out += "\":";
+      out += std::to_string(histogram.buckets[i]);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsScope::MetricsScope(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  MetricsRegistry* expected = nullptr;
+  owned_ = g_metrics.compare_exchange_strong(expected, registry,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed);
+}
+
+MetricsScope::~MetricsScope() {
+  if (owned_) g_metrics.store(nullptr, std::memory_order_release);
+}
+
+MetricsRegistry* ActiveMetrics() {
+  return g_metrics.load(std::memory_order_relaxed);
+}
+
+ScopedPhaseTimer::ScopedPhaseTimer(const char* name) : name_(name) {
+  registry_ = ActiveMetrics();
+  if (registry_ != nullptr) start_ns_ = NowNs();
+}
+
+ScopedPhaseTimer::~ScopedPhaseTimer() {
+  if (registry_ == nullptr) return;
+  // Use the registry captured at entry: if the scope ended mid-phase the
+  // registry still outlives its scope (the caller owns both), and a new
+  // scope's registry must not receive a partial phase.
+  registry_->Add(std::string(name_) + ".ns", NowNs() - start_ns_);
+  registry_->Add(std::string(name_) + ".calls", 1);
+}
+
+}  // namespace oocq

@@ -1,10 +1,20 @@
 #include "support/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "support/metrics.h"
 
 namespace oocq {
 
 namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 thread_local bool t_in_parallel_region = false;
 
@@ -47,13 +57,28 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  // With a metrics scope installed, wrap the task to sample queue wait
+  // and run time; the registry outlives the region (the caller owns both
+  // and drains the pool before the scope ends).
+  if (MetricsRegistry* metrics = ActiveMetrics()) {
+    metrics->Add("pool/tasks", 1);
+    task = [metrics, enqueue_ns = NowNs(), inner = std::move(task)] {
+      const uint64_t start_ns = NowNs();
+      metrics->Record("pool/queue_wait_ns", start_ns - enqueue_ns);
+      inner();
+      metrics->Record("pool/task_ns", NowNs() - start_ns);
+    };
+  }
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(packaged));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  MetricRecord("pool/queue_depth", depth);
   return future;
 }
 
@@ -76,9 +101,11 @@ void ParallelFor(const ParallelOptions& options, size_t n,
   if (n == 0) return;
   const uint32_t threads = EffectiveThreads(options);
   if (threads <= 1 || n < options.min_parallel_items || InParallelRegion()) {
+    MetricAdd("pool/regions_inline", 1);
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  MetricAdd("pool/regions", 1);
 
   // Indices are claimed in order from a shared counter, so the set of
   // started indices is always a prefix — the property ParallelMap's
