@@ -18,6 +18,7 @@
 #include "core/engine_options.h"
 #include "core/minimization.h"
 #include "query/printer.h"
+#include "support/cancellation.h"
 
 namespace oocq::bench {
 namespace {
@@ -54,6 +55,36 @@ double TimeRunMillis(const Schema& schema, const UnionQuery& input,
   return std::chrono::duration<double, std::milli>(stop - start).count();
 }
 
+// A tripped CancellationToken must abort the fan-out with its retryable
+// status — and leave the engine reusable: the same input rerun afterwards
+// with the same options must reproduce the baseline (pool workers drained
+// cleanly, no half-cancelled state leaks into later runs).
+int CheckCancelledTeardown(const Schema& schema, const UnionQuery& input,
+                           const std::string& baseline_rendered) {
+  EngineOptions options;
+  options.parallel.num_threads = 4;
+  CancellationToken cancelled;
+  cancelled.Cancel();
+  options.containment.cancel = &cancelled;
+  StatusOr<MinimizationReport> aborted =
+      MinimizePositiveUnion(schema, input, options);
+  if (aborted.ok() || !IsRetryable(aborted.status().code())) {
+    std::fprintf(stderr,
+                 "FAIL: cancelled run should abort with a retryable "
+                 "status, got %s\n",
+                 aborted.ok() ? "OK" : aborted.status().ToString().c_str());
+    return 1;
+  }
+  options.containment.cancel = nullptr;
+  MinimizationReport rerun = Must(MinimizePositiveUnion(schema, input, options));
+  if (UnionQueryToString(schema, rerun.minimized) != baseline_rendered) {
+    std::fprintf(stderr,
+                 "FAIL: rerun after cancellation differs from baseline\n");
+    return 1;
+  }
+  return 0;
+}
+
 int Run() {
   const Schema schema = MakeChainSchema();
   const UnionQuery input =
@@ -88,6 +119,11 @@ int Run() {
     sample.speedup = samples.front().millis / sample.millis;
   }
 
+  if (int rc = CheckCancelledTeardown(schema, input, baseline_rendered);
+      rc != 0) {
+    return rc;
+  }
+
   std::FILE* out = std::fopen("BENCH_parallel.json", "w");
   if (out == nullptr) {
     std::perror("BENCH_parallel.json");
@@ -110,7 +146,8 @@ int Run() {
     std::printf("threads=%u  best=%.3f ms  speedup=%.2fx\n", sample.threads,
                 sample.millis, sample.speedup);
   }
-  std::printf("results identical across thread counts; wrote "
+  std::printf("results identical across thread counts; cancelled run "
+              "aborted retryably and tore down cleanly; wrote "
               "BENCH_parallel.json\n");
   return 0;
 }

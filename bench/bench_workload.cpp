@@ -19,6 +19,7 @@
 #include "core/minimization.h"
 #include "core/satisfiability.h"
 #include "query/well_formed.h"
+#include "support/cancellation.h"
 #include "../tests/random_query.h"
 
 namespace oocq {
@@ -148,6 +149,43 @@ BENCHMARK(BM_WorkloadContainmentMatrixCached)
     ->ArgNames({"cached"})
     ->Arg(0)
     ->Arg(1);
+
+// Cancellation overhead and teardown: every minimization carries a live
+// (never-tripped) deadline token, the request-with-deadline shape the
+// server puts on this exact pipeline. Verdict parity with the token-free
+// BM_WorkloadMinimize run is asserted every iteration — a token that is
+// polled but never trips must not change results or leak state.
+void BM_WorkloadMinimizeCancelled(benchmark::State& state) {
+  Schema schema = bench::Must(ParseSchema(kWorkloadSchema));
+  std::vector<ConjunctiveQuery> batch =
+      MakeBatch(schema, 32, /*terminal_only=*/false, /*negative=*/false, 7);
+  size_t baseline_disjuncts = 0;
+  for (const ConjunctiveQuery& query : batch) {
+    StatusOr<MinimizationReport> report = MinimizePositiveQuery(schema, query);
+    if (report.ok()) baseline_disjuncts += report->minimized.disjuncts.size();
+  }
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    disjuncts = 0;
+    CancellationToken token = CancellationToken::AfterMillis(60'000);
+    MinimizationOptions options;
+    options.containment.cancel = &token;
+    for (const ConjunctiveQuery& query : batch) {
+      StatusOr<MinimizationReport> report =
+          MinimizePositiveQuery(schema, query, options);
+      if (report.ok()) disjuncts += report->minimized.disjuncts.size();
+    }
+    if (disjuncts != baseline_disjuncts) {
+      state.SkipWithError("cancelled-token run diverged from baseline");
+      break;
+    }
+    benchmark::DoNotOptimize(disjuncts);
+  }
+  state.counters["queries"] = static_cast<double>(batch.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_WorkloadMinimizeCancelled);
 
 void BM_WorkloadSatisfiability(benchmark::State& state) {
   Schema schema = bench::Must(ParseSchema(kWorkloadSchema));

@@ -20,6 +20,7 @@
 //       '{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }'
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -43,10 +44,15 @@ using namespace oocq;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: oocq_cli [--trace=FILE] [--metrics] SCHEMA "
-               "(minimize Q | contain Q1 Q2 | "
+               "usage: oocq_cli [--trace=FILE] [--metrics] [--threads=N] "
+               "SCHEMA (minimize Q | contain Q1 Q2 | "
                "equiv Q1 Q2 | satisfiable Q | eval STATE Q | "
-               "explain Q1 Q2)\n");
+               "explain Q1 Q2)\n"
+               "  --trace=FILE  write a Chrome trace of the run to FILE\n"
+               "  --metrics     print the engine metrics registry as JSON\n"
+               "  --threads=N   engine worker threads (1 = serial, "
+               "0 = one per hardware thread)\n"
+               "  --help        this message\n");
   return 2;
 }
 
@@ -175,6 +181,7 @@ int Dispatch(const Schema& schema, const MinimizationOptions& options,
 int main(int argc, char** argv) {
   std::string trace_path;
   bool want_metrics = false;
+  uint32_t num_threads = 1;
   int arg = 1;
   for (; arg < argc; ++arg) {
     std::string flag = argv[arg];
@@ -183,6 +190,12 @@ int main(int argc, char** argv) {
       if (trace_path.empty()) return Usage();
     } else if (flag == "--metrics") {
       want_metrics = true;
+    } else if (flag.rfind("--threads=", 0) == 0) {
+      num_threads = static_cast<uint32_t>(
+          std::strtoul(flag.c_str() + 10, nullptr, 10));
+    } else if (flag == "--help") {
+      Usage();
+      return 0;
     } else if (flag.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
       return Usage();
@@ -200,6 +213,7 @@ int main(int argc, char** argv) {
   const bool observing = want_metrics || !trace_path.empty();
   MinimizationOptions options;
   options.observability.metrics = observing;
+  options.parallel.num_threads = num_threads;
 
   TraceLog trace_log;
   MetricsRegistry registry;

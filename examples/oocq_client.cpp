@@ -1,0 +1,140 @@
+// Minimal client for oocq_serve: forwards stdin to the server and frames
+// replies by their "." terminator, so scripted conversations (and shell
+// pipelines) see exactly one reply per request.
+//
+//   oocq_client [--port=N] [--host=A.B.C.D] < conversation.txt
+//
+// Example conversation (docs/server.md):
+//
+//   SESSION NEW
+//   schema S { class A { } class A1 under A { } }
+//   .
+//   CONTAIN s1 deadline_ms=500
+//   { x | x in A1 }
+//   { x | x in A }
+//   .
+//   QUIT
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: oocq_client [--port=N] [--host=A.B.C.D] "
+               "< conversation\n");
+  return 2;
+}
+
+/// Reads one "."-terminated reply frame; false on connection close.
+bool ReadReply(int fd, std::string* buffer, std::string* reply) {
+  reply->clear();
+  size_t line_start = 0;
+  while (true) {
+    size_t nl;
+    while ((nl = buffer->find('\n', line_start)) != std::string::npos) {
+      std::string line = buffer->substr(line_start, nl - line_start);
+      line_start = nl + 1;
+      if (line == ".") {
+        reply->append(buffer->substr(0, line_start));
+        buffer->erase(0, line_start);
+        return true;
+      }
+    }
+    line_start = buffer->size();
+    char chunk[4096];
+    ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(got));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t port = 7733;
+  std::string host = "127.0.0.1";
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--port=", 0) == 0) {
+      port = std::strtoull(flag.c_str() + 7, nullptr, 10);
+    } else if (flag.rfind("--host=", 0) == 0) {
+      host = flag.substr(7);
+    } else {
+      return Usage();
+    }
+  }
+  if (port == 0 || port > 65535) return Usage();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "error: bad --host '%s'\n", host.c_str());
+    return 2;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::perror("connect");
+    return 1;
+  }
+
+  // Count the requests stdin contains while sending them, so we know how
+  // many reply frames to await: one per command line outside a payload.
+  std::string line;
+  std::string out;
+  uint64_t requests = 0;
+  bool in_payload = false;
+  bool saw_quit = false;
+  while (std::getline(std::cin, line)) {
+    out = line + "\n";
+    if (::send(fd, out.data(), out.size(), MSG_NOSIGNAL) < 0) {
+      std::perror("send");
+      return 1;
+    }
+    if (in_payload) {
+      if (line == ".") in_payload = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    ++requests;
+    std::string verb = line.substr(0, line.find(' '));
+    for (char& c : verb) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    if (verb == "QUIT") saw_quit = true;
+    // Payload verbs mirror the server's framing (server/protocol.h):
+    // everything except the no-payload control verbs reads until ".".
+    if (verb != "PING" && verb != "QUIT" && verb != "METRICS" &&
+        !(verb == "SESSION" && line.find("DROP") != std::string::npos &&
+          line.find("NEW") == std::string::npos)) {
+      in_payload = true;
+    }
+  }
+  if (!saw_quit) {
+    const char* quit = "QUIT\n";
+    if (::send(fd, quit, std::strlen(quit), MSG_NOSIGNAL) >= 0) ++requests;
+  }
+
+  std::string buffer, reply;
+  uint64_t received = 0;
+  while (received < requests && ReadReply(fd, &buffer, &reply)) {
+    std::fputs(reply.c_str(), stdout);
+    ++received;
+  }
+  ::close(fd);
+  return received == requests ? 0 : 1;
+}

@@ -1,0 +1,233 @@
+// The oocq query service as a TCP daemon: sessions, admission control,
+// deadlines and batching over the line protocol of docs/server.md.
+//
+//   oocq_serve [--port=N] [--workers=N] [--queue=N] [--threads=N]
+//              [--deadline_ms=N] [--trace=FILE] [--metrics] [--smoke]
+//
+//   --port=N        listen port (default 7733; 0 picks an ephemeral port,
+//                   printed on startup)
+//   --workers=N     requests executing concurrently (default 4)
+//   --queue=N       admitted-but-waiting requests beyond --workers before
+//                   the server sheds with UNAVAILABLE (default 64)
+//   --threads=N     engine threads *per request* (default 1: concurrency
+//                   comes from independent requests, not splitting one)
+//   --deadline_ms=N default per-request deadline when a request carries
+//                   none (default 0 = unbounded)
+//   --trace=FILE    write a Chrome trace of all request spans to FILE on
+//                   shutdown (request ids appear as span args)
+//   --metrics       print the metrics registry JSON on shutdown
+//   --smoke         self-test: start on an ephemeral port, run one
+//                   client conversation against it, shut down, exit 0/1
+//
+// Shutdown: SIGINT/SIGTERM stop the listener, let in-flight requests
+// finish and write their responses, then drain the service. The signal
+// handler only writes one byte to a self-pipe; all real work happens on
+// the main thread.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "server/service.h"
+#include "server/tcp_server.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace {
+
+using namespace oocq;
+using namespace oocq::server;
+
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  char byte = 1;
+  // write() is async-signal-safe; the result is deliberately unused (the
+  // pipe full means a byte is already pending, which is just as good).
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: oocq_serve [--port=N] [--workers=N] [--queue=N] "
+               "[--threads=N] [--deadline_ms=N] [--trace=FILE] [--metrics] "
+               "[--smoke] [--help]\n"
+               "Line protocol on the socket; see docs/server.md. Send\n"
+               "SIGINT for a graceful drain.\n");
+  return 2;
+}
+
+bool ParseUintFlag(const std::string& flag, const char* prefix,
+                   uint64_t* out) {
+  size_t len = std::strlen(prefix);
+  if (flag.rfind(prefix, 0) != 0) return false;
+  *out = std::strtoull(flag.c_str() + len, nullptr, 10);
+  return true;
+}
+
+/// One scripted client conversation over a real socket — the --smoke
+/// self-test and a template for writing clients.
+int RunSmoke(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::perror("connect");
+    ::close(fd);
+    return 1;
+  }
+  const char* script =
+      "PING\n"
+      "SESSION NEW\n"
+      "schema Smoke {\n"
+      "  class Vehicle { }\n"
+      "  class Auto under Vehicle { }\n"
+      "}\n"
+      ".\n"
+      "CONTAIN s1 id=smoke-1\n"
+      "{ x | x in Auto }\n"
+      "{ x | x in Vehicle }\n"
+      ".\n"
+      "MINIMIZE s1\n"
+      "{ x | x in Auto & x in Vehicle }\n"
+      ".\n"
+      "METRICS\n"
+      "QUIT\n";
+  if (::send(fd, script, std::strlen(script), 0) < 0) {
+    std::perror("send");
+    ::close(fd);
+    return 1;
+  }
+  std::string all;
+  char chunk[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    all.append(chunk, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  std::printf("%s", all.c_str());
+  // Six replies (PING, SESSION NEW, CONTAIN, MINIMIZE, METRICS, QUIT),
+  // the containment verdict among them.
+  bool ok = all.find("session=s1") != std::string::npos &&
+            all.find("contained=1") != std::string::npos &&
+            all.find("server/requests") != std::string::npos;
+  std::fprintf(stderr, "smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t port = 7733, workers = 4, queue = 64, threads = 1, deadline_ms = 0;
+  std::string trace_path;
+  bool want_metrics = false, smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (ParseUintFlag(flag, "--port=", &port) ||
+        ParseUintFlag(flag, "--workers=", &workers) ||
+        ParseUintFlag(flag, "--queue=", &queue) ||
+        ParseUintFlag(flag, "--threads=", &threads) ||
+        ParseUintFlag(flag, "--deadline_ms=", &deadline_ms)) {
+      continue;
+    }
+    if (flag.rfind("--trace=", 0) == 0) {
+      trace_path = flag.substr(8);
+    } else if (flag == "--metrics") {
+      want_metrics = true;
+    } else if (flag == "--smoke") {
+      smoke = true;
+    } else if (flag == "--help") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+      return Usage();
+    }
+  }
+  if (port > 65535) {
+    std::fprintf(stderr, "error: --port out of range\n");
+    return Usage();
+  }
+
+  TraceLog trace_log;
+  std::optional<TraceSession> trace_session;
+  if (!trace_path.empty()) trace_session.emplace(&trace_log);
+
+  ServiceOptions service_options;
+  service_options.engine.parallel.num_threads = static_cast<uint32_t>(threads);
+  service_options.max_in_flight = static_cast<uint32_t>(workers);
+  service_options.max_queue_depth = static_cast<uint32_t>(queue);
+  service_options.default_deadline_ms = deadline_ms;
+  OocqService service(service_options);
+
+  TcpServerOptions server_options;
+  server_options.port = smoke ? 0 : static_cast<uint16_t>(port);
+  TcpServer server(&service, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "oocq_serve: listening on 127.0.0.1:%u "
+               "(workers=%u queue=%u threads=%u deadline_ms=%llu)\n",
+               server.port(), service_options.max_in_flight,
+               service_options.max_queue_depth,
+               service_options.engine.parallel.num_threads,
+               static_cast<unsigned long long>(deadline_ms));
+
+  int rc = 0;
+  if (smoke) {
+    rc = RunSmoke(server.port());
+    server.Stop();
+  } else {
+    if (::pipe(g_signal_pipe) != 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    struct sigaction action{};
+    action.sa_handler = OnSignal;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+
+    char byte;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::fprintf(stderr, "oocq_serve: draining %llu connection(s)...\n",
+                 static_cast<unsigned long long>(
+                     server.connections_accepted()));
+    server.Stop();  // graceful: in-flight requests finish and respond
+    std::fprintf(stderr, "oocq_serve: drained, shutting down\n");
+  }
+
+  if (want_metrics) {
+    std::printf("%s\n", service.metrics().JsonString().c_str());
+  }
+  trace_session.reset();
+  if (!trace_path.empty()) {
+    Status written = trace_log.WriteChromeTrace(trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: wrote %zu span(s) to %s\n",
+                 trace_log.events().size(), trace_path.c_str());
+  }
+  return rc;
+}

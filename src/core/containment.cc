@@ -129,6 +129,9 @@ StatusOr<bool> ContainedImpl(const Schema& schema, const ConjunctiveQuery& q1,
                              const ContainmentOptions& options,
                              ContainmentStats* stats,
                              ContainedTraceInfo* tinfo) {
+  if (options.cancel != nullptr) {
+    OOCQ_RETURN_IF_ERROR(options.cancel->Check());
+  }
   OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, q1));
   OOCQ_RETURN_IF_ERROR(CheckWellFormed(schema, q2));
   if (!q1.IsTerminal(schema) || !q2.IsTerminal(schema)) {
@@ -167,6 +170,11 @@ StatusOr<bool> ContainedImpl(const Schema& schema, const ConjunctiveQuery& q1,
   // the serial scan reports.
   auto check_augmentation =
       [&](const ConjunctiveQuery& base) -> StatusOr<bool> {
+    // Cancellation is polled once per augmentation here and once per
+    // mask inside the subset scan, so both Thm 3.1 axes abort promptly.
+    if (options.cancel != nullptr) {
+      OOCQ_RETURN_IF_ERROR(options.cancel->Check());
+    }
     if (stats != nullptr) ++stats->augmentations;
     std::vector<Atom> membership_pool;
     if (rhs_has_non_membership) {
@@ -193,6 +201,16 @@ StatusOr<bool> ContainedImpl(const Schema& schema, const ConjunctiveQuery& q1,
       for (uint64_t mask = begin; mask < end; ++mask) {
         // A smaller decisive mask already settles the answer.
         if (mask > first_event.load(std::memory_order_acquire)) break;
+        if (options.cancel != nullptr) {
+          Status live = options.cancel->Check();
+          if (!live.ok()) {
+            result.event_mask = mask;
+            result.is_error = true;
+            result.error = std::move(live);
+            AtomicMin(first_event, mask);
+            break;
+          }
+        }
         ConjunctiveQuery target = base;
         for (size_t i = 0; i < t_size; ++i) {
           if (mask & (uint64_t{1} << i)) target.AddAtom(membership_pool[i]);
@@ -383,12 +401,23 @@ StatusOr<bool> UnionContained(const Schema& schema, const UnionQuery& m,
             if (i > first_event.load(std::memory_order_acquire)) {
               return result;  // a smaller index already decided
             }
+            if (options.cancel != nullptr) {
+              Status live = options.cancel->Check();
+              if (!live.ok()) {
+                result.decisive = true;
+                result.is_error = true;
+                result.error = std::move(live);
+                AtomicMin(first_event, i);
+                return result;
+              }
+            }
             const ConjunctiveQuery& qi = m.disjuncts[i];
             if (!CheckSatisfiable(schema, qi).satisfiable) return result;
             for (const ConjunctiveQuery& pj : n.disjuncts) {
               StatusOr<bool> contained =
                   cache != nullptr
-                      ? cache->Contained(qi, pj, &result.stats)
+                      ? cache->Contained(qi, pj, &result.stats,
+                                         options.cancel)
                       : Contained(schema, qi, pj, options, &result.stats);
               if (!contained.ok()) {
                 result.decisive = true;

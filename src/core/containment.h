@@ -5,6 +5,7 @@
 
 #include "query/query.h"
 #include "schema/schema.h"
+#include "support/cancellation.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
 
@@ -32,6 +33,14 @@ struct ContainmentOptions {
   /// schedule-independent; only the work counters may differ when an
   /// early exit races (docs/parallelism.md).
   ParallelOptions parallel;
+  /// Cooperative cancellation (support/cancellation.h), polled between
+  /// independent work items — per membership-subset mask, per
+  /// augmentation, per disjunct test, per self-mapping search. When the
+  /// token trips, the test aborts with its retryable status
+  /// (kDeadlineExceeded / kUnavailable) instead of finishing the scan;
+  /// every fan-out worker polls the same token, so one expiry drains the
+  /// whole region. Null (the default) disables polling. Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Work counters filled by Contained() when non-null (benches E4/E8).

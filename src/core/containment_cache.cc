@@ -1,6 +1,7 @@
 #include "core/containment_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <utility>
 
@@ -42,7 +43,8 @@ size_t ContainmentCache::size() const {
 
 StatusOr<bool> ContainmentCache::Contained(const ConjunctiveQuery& q1,
                                            const ConjunctiveQuery& q2,
-                                           ContainmentStats* stats) {
+                                           ContainmentStats* stats,
+                                           const CancellationToken* cancel) {
   // Length-prefixing Q1's key makes the concatenation injective even if a
   // string constant inside a canonical key contains arbitrary bytes.
   const std::string k1 = CanonicalKey(q1);
@@ -90,18 +92,32 @@ StatusOr<bool> ContainmentCache::Contained(const ConjunctiveQuery& q1,
       MetricAdd("cache/hit", 1);
       if (!entry->done) {
         // Another thread owns this key's computation; block until its
-        // value lands (compute-once, docs/parallelism.md).
+        // value lands (compute-once, docs/parallelism.md). A waiter with
+        // a token re-polls it between waits so a tripped deadline never
+        // leaves it hung behind a slower (or unbounded) owner.
         MetricAdd("cache/wait", 1);
-        shard.cv.wait(lock, [&entry] { return entry->done; });
+        if (cancel == nullptr) {
+          shard.cv.wait(lock, [&entry] { return entry->done; });
+        } else {
+          while (!shard.cv.wait_for(lock, std::chrono::milliseconds(5),
+                                    [&entry] { return entry->done; })) {
+            Status live = cancel->Check();
+            if (!live.ok()) return live;
+          }
+        }
       }
       if (!entry->error.ok()) return entry->error;
       return entry->value;
     }
   }
 
-  // This thread owns the entry: decide outside the lock.
+  // This thread owns the entry: decide outside the lock. The caller's
+  // token governs only the decision it computes; cached hits are instant
+  // and never observe it.
+  ContainmentOptions compute_options = options_.containment;
+  compute_options.cancel = cancel;
   StatusOr<bool> decided =
-      ::oocq::Contained(*schema_, q1, q2, options_.containment, stats);
+      ::oocq::Contained(*schema_, q1, q2, compute_options, stats);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (decided.ok()) {

@@ -59,9 +59,14 @@ class ContainmentCache {
   /// pair was decided before (or is being decided concurrently — the call
   /// then waits instead of recomputing). `stats` (optional) accumulates
   /// the work counters of decisions this call actually computed.
+  /// `cancel` (optional) is polled by a decision this call computes; a
+  /// tripped token surfaces its retryable status, which — like every
+  /// error — is delivered to current waiters but never memoized, so a
+  /// retry with a fresh deadline recomputes.
   StatusOr<bool> Contained(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2,
-                           ContainmentStats* stats = nullptr);
+                           ContainmentStats* stats = nullptr,
+                           const CancellationToken* cancel = nullptr);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }

@@ -101,6 +101,12 @@ StatusOr<ConjunctiveQuery> MinimizeTerminalPositive(
   while (progress) {
     progress = false;
     for (VarId v = 0; v < current.num_vars(); ++v) {
+      // One poll per candidate variable: each self-mapping search is an
+      // independent work item, the granularity the cancellation contract
+      // promises (support/cancellation.h).
+      if (options.containment.cancel != nullptr) {
+        OOCQ_RETURN_IF_ERROR(options.containment.cancel->Check());
+      }
       OOCQ_ASSIGN_OR_RETURN(
           MappingResult mapping,
           FindEliminatingSelfMapping(schema, current, v, options, stats));
@@ -213,9 +219,15 @@ StatusOr<UnionQuery> RemoveRedundantDisjuncts(const Schema& schema,
             const size_t off = p % (n - 1);
             const size_t j = off < i ? off : off + 1;
             PairOutcome outcome;
+            // Poll per matrix cell so an n² scan aborts within one test
+            // of a tripped token (ParallelMap then drains cooperatively).
+            if (opts.containment.cancel != nullptr) {
+              OOCQ_RETURN_IF_ERROR(opts.containment.cancel->Check());
+            }
             StatusOr<bool> contained =
                 cache != nullptr
-                    ? cache->Contained(live[i], live[j], &outcome.stats)
+                    ? cache->Contained(live[i], live[j], &outcome.stats,
+                                       opts.containment.cancel)
                     : Contained(schema, live[i], live[j], opts.containment,
                                 &outcome.stats);
             if (!contained.ok()) return contained.status();

@@ -1,0 +1,315 @@
+#include "server/protocol.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace oocq::server {
+
+namespace {
+
+std::string JoinLines(const std::vector<std::string>& lines, size_t begin,
+                      size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end && i < lines.size(); ++i) {
+    out += lines[i];
+    out += '\n';
+  }
+  return out;
+}
+
+/// Appends `body` as response payload lines. A payload line that is
+/// exactly "." would terminate the frame early, so it is dot-stuffed to
+/// ".." (clients undo this; docs/server.md).
+void AppendPayload(const std::string& body, std::string* out) {
+  std::string line;
+  size_t start = 0;
+  while (start <= body.size()) {
+    size_t nl = body.find('\n', start);
+    if (nl == std::string::npos) {
+      line = body.substr(start);
+      start = body.size() + 1;
+      if (line.empty()) break;  // no trailing partial line
+    } else {
+      line = body.substr(start, nl - start);
+      start = nl + 1;
+    }
+    if (!line.empty() && line[0] == '.') out->append(1, '.');
+    out->append(line);
+    out->append(1, '\n');
+  }
+}
+
+ProtocolReply OkReply(const std::string& fields, const std::string& body = "") {
+  ProtocolReply reply;
+  reply.text = fields.empty() ? "OK\n" : "OK " + fields + "\n";
+  AppendPayload(body, &reply.text);
+  reply.text += ".\n";
+  return reply;
+}
+
+ProtocolReply ErrReply(const Status& status) {
+  ProtocolReply reply;
+  // Keep the status line single-line: newlines in engine messages would
+  // break framing.
+  std::string message = status.message();
+  std::replace(message.begin(), message.end(), '\n', ' ');
+  reply.text = "ERR ";
+  reply.text += StatusCodeToString(status.code());
+  reply.text += ' ';
+  reply.text += message;
+  reply.text += "\n.\n";
+  return reply;
+}
+
+Status BadRequest(const std::string& what) {
+  return Status::InvalidArgument(what);
+}
+
+uint64_t ParamUint(const CommandLine& command, const std::string& key) {
+  const std::string* value = command.Param(key);
+  if (value == nullptr) return 0;
+  return std::strtoull(value->c_str(), nullptr, 10);
+}
+
+void FillCommonRequestFields(const CommandLine& command, Request* request) {
+  request->deadline_ms = ParamUint(command, "deadline_ms");
+  if (const std::string* id = command.Param("id")) request->request_id = *id;
+}
+
+}  // namespace
+
+const std::string* CommandLine::Param(const std::string& key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+CommandLine ParseCommandLine(const std::string& line) {
+  CommandLine command;
+  size_t i = 0;
+  auto skip_spaces = [&] {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+  };
+  skip_spaces();
+  bool first = true;
+  while (i < line.size()) {
+    size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::string token = line.substr(start, i - start);
+    skip_spaces();
+    if (first) {
+      for (char& c : token) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      command.verb = std::move(token);
+      first = false;
+      continue;
+    }
+    size_t eq = token.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      command.params.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    } else {
+      command.args.push_back(std::move(token));
+    }
+  }
+  return command;
+}
+
+bool VerbHasPayload(const std::string& verb) {
+  // SESSION NEW's payload-ness depends on its subcommand, but the NEW/DROP
+  // split is resolved by the first argument, which the transport has by
+  // the time it needs to frame — see TcpServer's read loop.
+  return verb == "MINIMIZE" || verb == "CONTAIN" || verb == "EQUIV" ||
+         verb == "UCONTAIN" || verb == "SAT" || verb == "EVAL" ||
+         verb == "EXPLAIN" || verb == "BATCH" || verb == "DEFINE" ||
+         verb == "STATE";
+}
+
+ProtocolReply ProtocolHandler::Handle(const CommandLine& command,
+                                      const std::vector<std::string>& payload) {
+  const std::string& verb = command.verb;
+
+  if (verb == "PING") return OkReply("");
+  if (verb == "QUIT") {
+    ProtocolReply reply = OkReply("");
+    reply.close = true;
+    return reply;
+  }
+  if (verb == "METRICS") {
+    return OkReply("", service_->metrics().JsonString() + "\n");
+  }
+  if (verb == "SESSION") {
+    if (command.args.empty()) {
+      return ErrReply(BadRequest("SESSION needs NEW or DROP"));
+    }
+    std::string sub = command.args[0];
+    for (char& c : sub) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    if (sub == "NEW") {
+      StatusOr<std::string> id =
+          service_->CreateSession(JoinLines(payload, 0, payload.size()));
+      if (!id.ok()) return ErrReply(id.status());
+      return OkReply("session=" + *id);
+    }
+    if (sub == "DROP" && command.args.size() == 2) {
+      Status dropped = service_->DropSession(command.args[1]);
+      if (!dropped.ok()) return ErrReply(dropped);
+      return OkReply("");
+    }
+    return ErrReply(BadRequest("usage: SESSION NEW | SESSION DROP <id>"));
+  }
+  if (verb == "DEFINE") {
+    if (command.args.size() != 2 || payload.empty()) {
+      return ErrReply(
+          BadRequest("usage: DEFINE <session> <name> + query payload"));
+    }
+    Status defined = service_->DefineQuery(
+        command.args[0], command.args[1], JoinLines(payload, 0, payload.size()));
+    if (!defined.ok()) return ErrReply(defined);
+    return OkReply("");
+  }
+  if (verb == "STATE") {
+    if (command.args.size() != 1) {
+      return ErrReply(BadRequest("usage: STATE <session> + state payload"));
+    }
+    Status loaded = service_->LoadState(command.args[0],
+                                        JoinLines(payload, 0, payload.size()));
+    if (!loaded.ok()) return ErrReply(loaded);
+    return OkReply("");
+  }
+
+  // The decision verbs map 1:1 onto the typed service requests.
+  Request request;
+  if (command.args.empty()) {
+    return ErrReply(BadRequest(verb + " needs a session id"));
+  }
+  request.session_id = command.args[0];
+  FillCommonRequestFields(command, &request);
+
+  auto run_unary = [&](RequestKind kind) -> ProtocolReply {
+    if (payload.empty()) {
+      return ErrReply(BadRequest(verb + " needs a query payload line"));
+    }
+    request.kind = kind;
+    request.query = JoinLines(payload, 0, payload.size());
+    Response response = service_->Execute(request);
+    if (!response.status.ok()) return ErrReply(response.status);
+    switch (kind) {
+      case RequestKind::kMinimize:
+        return OkReply("exact=" + std::string(response.verdict ? "1" : "0"),
+                       response.body);
+      case RequestKind::kSatisfiable:
+        return OkReply(
+            "satisfiable=" + std::string(response.verdict ? "1" : "0"),
+            response.body);
+      case RequestKind::kEvaluate:
+        return OkReply("nonempty=" + std::string(response.verdict ? "1" : "0"),
+                       response.body);
+      default:
+        return ErrReply(Status::Internal("bad unary kind"));
+    }
+  };
+  auto run_binary = [&](RequestKind kind,
+                        const char* field) -> ProtocolReply {
+    if (payload.size() != 2) {
+      return ErrReply(
+          BadRequest(verb + " needs exactly two payload lines (Q1, Q2)"));
+    }
+    request.kind = kind;
+    request.query = payload[0];
+    request.query2 = payload[1];
+    Response response = service_->Execute(request);
+    if (!response.status.ok()) return ErrReply(response.status);
+    return OkReply(
+        std::string(field) + "=" + (response.verdict ? "1" : "0"),
+        response.body);
+  };
+
+  if (verb == "MINIMIZE") return run_unary(RequestKind::kMinimize);
+  if (verb == "SAT") return run_unary(RequestKind::kSatisfiable);
+  if (verb == "EVAL") return run_unary(RequestKind::kEvaluate);
+  if (verb == "CONTAIN") return run_binary(RequestKind::kContained, "contained");
+  if (verb == "EQUIV") return run_binary(RequestKind::kEquivalent, "equivalent");
+  if (verb == "EXPLAIN") return run_binary(RequestKind::kExplain, "contained");
+  if (verb == "UCONTAIN") {
+    // Payload: disjuncts of M, a "--" separator line, disjuncts of N.
+    request.kind = RequestKind::kUnionContained;
+    bool in_n = false;
+    for (const std::string& line : payload) {
+      if (line == "--") {
+        in_n = true;
+        continue;
+      }
+      (in_n ? request.union_n : request.union_m).push_back(line);
+    }
+    if (!in_n) {
+      return ErrReply(BadRequest("UCONTAIN payload needs a '--' separator"));
+    }
+    Response response = service_->Execute(request);
+    if (!response.status.ok()) return ErrReply(response.status);
+    return OkReply("contained=" + std::string(response.verdict ? "1" : "0"));
+  }
+  if (verb == "BATCH") {
+    // Each payload line is `KIND <TAB> q1 [<TAB> q2]` with KIND one of
+    // CONTAIN | EQUIV | SAT. The batch fans out on the service pool.
+    std::vector<Request> batch;
+    for (const std::string& line : payload) {
+      std::vector<std::string> fields;
+      size_t start = 0;
+      while (true) {
+        size_t tab = line.find('\t', start);
+        fields.push_back(line.substr(start, tab - start));
+        if (tab == std::string::npos) break;
+        start = tab + 1;
+      }
+      Request item = request;  // session, deadline, id inherited
+      if (fields[0] == "CONTAIN" && fields.size() == 3) {
+        item.kind = RequestKind::kContained;
+        item.query = fields[1];
+        item.query2 = fields[2];
+      } else if (fields[0] == "EQUIV" && fields.size() == 3) {
+        item.kind = RequestKind::kEquivalent;
+        item.query = fields[1];
+        item.query2 = fields[2];
+      } else if (fields[0] == "SAT" && fields.size() == 2) {
+        item.kind = RequestKind::kSatisfiable;
+        item.query = fields[1];
+      } else {
+        return ErrReply(BadRequest(
+            "BATCH lines are 'CONTAIN\\tQ1\\tQ2', 'EQUIV\\tQ1\\tQ2' or "
+            "'SAT\\tQ'"));
+      }
+      batch.push_back(std::move(item));
+    }
+    std::vector<Response> responses = service_->ExecuteBatch(batch);
+    // One verdict character per request, '-' for per-item failures; the
+    // worst retryable status is surfaced in the OK line so clients can
+    // retry the shed subset.
+    std::string verdicts;
+    uint64_t shed = 0;
+    for (const Response& response : responses) {
+      if (response.status.ok()) {
+        verdicts += response.verdict ? '1' : '0';
+      } else {
+        verdicts += '-';
+        if (IsRetryable(response.status.code())) ++shed;
+      }
+    }
+    return OkReply("n=" + std::to_string(responses.size()) +
+                       " retryable=" + std::to_string(shed),
+                   verdicts + "\n");
+  }
+
+  return ErrReply(BadRequest("unknown verb '" + verb + "'"));
+}
+
+}  // namespace oocq::server

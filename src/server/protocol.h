@@ -1,0 +1,66 @@
+#ifndef OOCQ_SERVER_PROTOCOL_H_
+#define OOCQ_SERVER_PROTOCOL_H_
+
+/// The line/payload wire protocol of oocq_serve, factored out of the TCP
+/// transport so it is testable (and smokable) without sockets.
+///
+/// Framing (docs/server.md has the full grammar):
+///
+///   request  := command-line "\n" [ payload ]
+///   payload  := (line "\n")* "." "\n"          -- for payload verbs only
+///   response := status-line "\n" (line "\n")* "." "\n"
+///
+/// A command line is a verb plus space-separated arguments; `key=value`
+/// arguments become parameters (deadline_ms=50, id=req-7). Whether a verb
+/// reads a payload is static (VerbHasPayload), so the transport can frame
+/// without understanding the command. Every response ends with a lone "."
+/// line, so clients frame responses the same way.
+///
+/// Status lines: "OK key=value ..." on success, "ERR <CODE> <message>" on
+/// failure; CODE is the StatusCodeToString name, and DEADLINE_EXCEEDED /
+/// UNAVAILABLE are the retryable pair (support/status.h).
+#include <string>
+#include <vector>
+
+#include "server/service.h"
+
+namespace oocq::server {
+
+/// A parsed command line: verb, positional args, key=value params.
+struct CommandLine {
+  std::string verb;                 // upper-cased
+  std::vector<std::string> args;    // positional, in order
+  std::vector<std::pair<std::string, std::string>> params;
+
+  const std::string* Param(const std::string& key) const;
+};
+
+CommandLine ParseCommandLine(const std::string& line);
+
+/// True when `verb` (upper-case) is followed by a "."-terminated payload.
+bool VerbHasPayload(const std::string& verb);
+
+/// One protocol exchange, rendered ready-to-send (terminating ".\n"
+/// included). `close` is set by QUIT.
+struct ProtocolReply {
+  std::string text;
+  bool close = false;
+};
+
+/// Executes one parsed request against `service` and renders the reply.
+/// Never throws and never returns an unterminated reply — protocol
+/// errors become ERR status lines.
+class ProtocolHandler {
+ public:
+  explicit ProtocolHandler(OocqService* service) : service_(service) {}
+
+  ProtocolReply Handle(const CommandLine& command,
+                       const std::vector<std::string>& payload);
+
+ private:
+  OocqService* service_;
+};
+
+}  // namespace oocq::server
+
+#endif  // OOCQ_SERVER_PROTOCOL_H_

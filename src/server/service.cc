@@ -1,0 +1,552 @@
+#include "server/service.h"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "core/containment.h"
+#include "core/explain.h"
+#include "core/general_minimization.h"
+#include "core/minimization.h"
+#include "core/satisfiability.h"
+#include "parser/parser.h"
+#include "parser/state_parser.h"
+#include "query/printer.h"
+#include "query/well_formed.h"
+#include "state/evaluation.h"
+#include "support/status_macros.h"
+#include "support/trace.h"
+
+namespace oocq::server {
+
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kMinimize:
+      return "minimize";
+    case RequestKind::kContained:
+      return "contained";
+    case RequestKind::kEquivalent:
+      return "equivalent";
+    case RequestKind::kUnionContained:
+      return "union_contained";
+    case RequestKind::kSatisfiable:
+      return "satisfiable";
+    case RequestKind::kEvaluate:
+      return "evaluate";
+    case RequestKind::kExplain:
+      return "explain";
+  }
+  return "unknown";
+}
+
+OocqService::OocqService(ServiceOptions options)
+    : options_(std::move(options)) {
+  if (options_.max_in_flight < 1) options_.max_in_flight = 1;
+  if (options_.metrics) metrics_scope_.emplace(&registry_);
+  pool_ = std::make_unique<ThreadPool>(options_.max_in_flight);
+}
+
+OocqService::~OocqService() {
+  Drain();
+  // The pool joins before the metrics scope (a member declared earlier)
+  // is torn down, so late task metrics never land in a dead registry.
+  pool_.reset();
+}
+
+StatusOr<std::string> OocqService::CreateSession(
+    const std::string& schema_text) {
+  OOCQ_ASSIGN_OR_RETURN(Schema schema, ParseSchema(schema_text));
+  auto session = std::make_shared<Session>(std::move(schema));
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::string id = "s" + std::to_string(next_session_++);
+  // The cache binds to the Session-owned schema, whose address is stable
+  // for the session's lifetime (sessions are held by shared_ptr).
+  ContainmentCache::Options cache_options;
+  cache_options.containment = options_.engine.containment;
+  cache_options.max_entries = options_.engine.cache.max_entries;
+  cache_options.num_shards = options_.engine.cache.num_shards;
+  if (options_.engine.cache.enabled) {
+    session->cache =
+        std::make_unique<ContainmentCache>(&session->schema, cache_options);
+  }
+  sessions_.emplace(id, std::move(session));
+  registry_.Add("server/sessions_created", 1);
+  return id;
+}
+
+Status OocqService::DropSession(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  // In-flight requests keep the Session alive through their shared_ptr;
+  // dropping only unregisters the id.
+  if (sessions_.erase(session_id) == 0) {
+    return Status::NotFound("no session '" + session_id + "'");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::shared_ptr<OocqService::Session>> OocqService::FindSession(
+    const std::string& session_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session '" + session_id + "'");
+  }
+  return it->second;
+}
+
+Status OocqService::DefineQuery(const std::string& session_id,
+                                const std::string& name,
+                                const std::string& query_text) {
+  OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        FindSession(session_id));
+  OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery query,
+                        ParseQuery(session->schema, query_text));
+  std::unique_lock<std::shared_mutex> lock(session->mu);
+  session->named.insert_or_assign(name, std::move(query));
+  return Status::Ok();
+}
+
+Status OocqService::LoadState(const std::string& session_id,
+                              const std::string& state_text) {
+  OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        FindSession(session_id));
+  OOCQ_ASSIGN_OR_RETURN(State state,
+                        ParseState(&session->schema, state_text));
+  std::unique_lock<std::shared_mutex> lock(session->mu);
+  session->state.emplace(std::move(state));
+  return Status::Ok();
+}
+
+size_t OocqService::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+Status OocqService::AdmitOne() {
+  if (draining_.load(std::memory_order_relaxed)) {
+    registry_.Add("server/shed", 1);
+    return Status::Unavailable("server draining; retry elsewhere");
+  }
+  const uint32_t limit = options_.max_in_flight + options_.max_queue_depth;
+  if (pending_.fetch_add(1, std::memory_order_acq_rel) >= limit) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    registry_.Add("server/shed", 1);
+    return Status::Unavailable("admission queue full; retry with backoff");
+  }
+  return Status::Ok();
+}
+
+void OocqService::FinishOne() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+void OocqService::Drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+namespace {
+
+/// Resolution + pipeline helpers shared by the request kinds. They all
+/// take the session under its shared lock (held by the caller).
+
+StatusOr<ConjunctiveQuery> ResolveQuery(
+    const OocqService& /*service*/, const Schema& schema,
+    const std::map<std::string, ConjunctiveQuery>& named,
+    const std::string& text) {
+  if (!text.empty() && text[0] == '@') {
+    auto it = named.find(text.substr(1));
+    if (it == named.end()) {
+      return Status::NotFound("no registered query '" + text.substr(1) + "'");
+    }
+    return it->second;
+  }
+  return ParseQuery(schema, text);
+}
+
+/// Expands an arbitrary conjunctive query to its union of terminal
+/// queries — the normal form every decision kind works on.
+StatusOr<UnionQuery> ExpandForRequest(const Schema& schema,
+                                      const ConjunctiveQuery& query,
+                                      const EngineOptions& opts) {
+  OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery well_formed,
+                        NormalizeToWellFormed(schema, query));
+  return ExpandToTerminalQueries(schema, well_formed, opts.expansion);
+}
+
+/// The QueryOptimizer::IsContained decision with the *session's* shared
+/// cache: expand both sides, use the exact single-disjunct path when N is
+/// one terminal query, else Thm 4.1.
+StatusOr<bool> ContainedViaPipeline(const Schema& schema,
+                                    const ConjunctiveQuery& q1,
+                                    const ConjunctiveQuery& q2,
+                                    const EngineOptions& opts,
+                                    ContainmentCache* cache) {
+  OOCQ_ASSIGN_OR_RETURN(UnionQuery m, ExpandForRequest(schema, q1, opts));
+  OOCQ_ASSIGN_OR_RETURN(UnionQuery n, ExpandForRequest(schema, q2, opts));
+  if (n.disjuncts.size() == 1) {
+    for (const ConjunctiveQuery& qi : m.disjuncts) {
+      OOCQ_ASSIGN_OR_RETURN(
+          bool contained,
+          cache != nullptr
+              ? cache->Contained(qi, n.disjuncts[0], nullptr,
+                                 opts.containment.cancel)
+              : Contained(schema, qi, n.disjuncts[0], opts.containment));
+      if (!contained) return false;
+    }
+    return true;
+  }
+  if (n.disjuncts.empty()) return m.disjuncts.empty();
+  return UnionContained(schema, m, n, opts.containment, nullptr, cache);
+}
+
+}  // namespace
+
+Response OocqService::Run(const Request& request, Session& session,
+                          const CancellationToken* cancel) const {
+  Response response;
+  // Engine options for this request: session-wide knobs plus this
+  // request's cancellation token on every containment path.
+  EngineOptions opts = WithPropagatedParallelism(options_.engine);
+  opts.containment.cancel = cancel;
+  // The per-run cache below is the session's, not a fresh one.
+  opts.cache.enabled = false;
+
+  std::shared_lock<std::shared_mutex> lock(session.mu);
+  const Schema& schema = session.schema;
+  ContainmentCache* cache = session.cache.get();
+
+  auto resolve = [&](const std::string& text) {
+    return ResolveQuery(*this, schema, session.named, text);
+  };
+
+  switch (request.kind) {
+    case RequestKind::kMinimize: {
+      StatusOr<ConjunctiveQuery> query = resolve(request.query);
+      if (!query.ok()) {
+        response.status = query.status();
+        return response;
+      }
+      StatusOr<ConjunctiveQuery> well_formed =
+          NormalizeToWellFormed(schema, *query);
+      if (!well_formed.ok()) {
+        response.status = well_formed.status();
+        return response;
+      }
+      UnionQuery minimized;
+      bool exact = false;
+      if (well_formed->IsPositive()) {
+        StatusOr<MinimizationReport> report =
+            MinimizePositiveQuery(schema, *well_formed, opts, cache);
+        if (!report.ok()) {
+          response.status = report.status();
+          return response;
+        }
+        minimized = std::move(report->minimized);
+        exact = true;
+      } else {
+        StatusOr<GeneralMinimizationReport> report =
+            MinimizeConjunctiveQuery(schema, *well_formed, opts, cache);
+        if (!report.ok()) {
+          response.status = report.status();
+          return response;
+        }
+        minimized = std::move(report->minimized);
+      }
+      response.verdict = exact;
+      response.body = UnionQueryToString(schema, minimized);
+      return response;
+    }
+    case RequestKind::kContained:
+    case RequestKind::kEquivalent: {
+      StatusOr<ConjunctiveQuery> q1 = resolve(request.query);
+      StatusOr<ConjunctiveQuery> q2 = resolve(request.query2);
+      if (!q1.ok() || !q2.ok()) {
+        response.status = !q1.ok() ? q1.status() : q2.status();
+        return response;
+      }
+      StatusOr<bool> forward =
+          ContainedViaPipeline(schema, *q1, *q2, opts, cache);
+      if (!forward.ok()) {
+        response.status = forward.status();
+        return response;
+      }
+      if (request.kind == RequestKind::kContained || !*forward) {
+        response.verdict = *forward;
+        return response;
+      }
+      StatusOr<bool> backward =
+          ContainedViaPipeline(schema, *q2, *q1, opts, cache);
+      if (!backward.ok()) {
+        response.status = backward.status();
+        return response;
+      }
+      response.verdict = *backward;
+      return response;
+    }
+    case RequestKind::kUnionContained: {
+      UnionQuery m, n;
+      for (const auto* side : {&request.union_m, &request.union_n}) {
+        UnionQuery& out = side == &request.union_m ? m : n;
+        for (const std::string& text : *side) {
+          StatusOr<ConjunctiveQuery> q = resolve(text);
+          if (!q.ok()) {
+            response.status = q.status();
+            return response;
+          }
+          StatusOr<UnionQuery> expanded = ExpandForRequest(schema, *q, opts);
+          if (!expanded.ok()) {
+            response.status = expanded.status();
+            return response;
+          }
+          for (ConjunctiveQuery& d : expanded->disjuncts) {
+            out.disjuncts.push_back(std::move(d));
+          }
+        }
+      }
+      StatusOr<bool> verdict =
+          UnionContained(schema, m, n, opts.containment, nullptr, cache);
+      if (!verdict.ok()) {
+        response.status = verdict.status();
+        return response;
+      }
+      response.verdict = *verdict;
+      return response;
+    }
+    case RequestKind::kSatisfiable: {
+      StatusOr<ConjunctiveQuery> query = resolve(request.query);
+      if (!query.ok()) {
+        response.status = query.status();
+        return response;
+      }
+      StatusOr<ConjunctiveQuery> well_formed =
+          NormalizeToWellFormed(schema, *query);
+      if (!well_formed.ok()) {
+        response.status = well_formed.status();
+        return response;
+      }
+      if (!well_formed->IsTerminal(schema)) {
+        response.status = Status::FailedPrecondition(
+            "satisfiable requires a terminal query; minimize first");
+        return response;
+      }
+      SatisfiabilityResult result = CheckSatisfiable(schema, *well_formed);
+      response.verdict = result.satisfiable;
+      if (!result.satisfiable) response.body = result.reason;
+      return response;
+    }
+    case RequestKind::kEvaluate: {
+      if (!session.state.has_value()) {
+        response.status = Status::FailedPrecondition(
+            "session has no state loaded; send one first");
+        return response;
+      }
+      StatusOr<ConjunctiveQuery> query = resolve(request.query);
+      if (!query.ok()) {
+        response.status = query.status();
+        return response;
+      }
+      StatusOr<ConjunctiveQuery> well_formed =
+          NormalizeToWellFormed(schema, *query);
+      if (!well_formed.ok()) {
+        response.status = well_formed.status();
+        return response;
+      }
+      StatusOr<std::vector<Oid>> answers =
+          Evaluate(*session.state, *well_formed);
+      if (!answers.ok()) {
+        response.status = answers.status();
+        return response;
+      }
+      response.verdict = !answers->empty();
+      for (Oid oid : *answers) {
+        response.body += session.state->DebugString(oid);
+        response.body += '\n';
+      }
+      return response;
+    }
+    case RequestKind::kExplain: {
+      StatusOr<ConjunctiveQuery> q1 = resolve(request.query);
+      StatusOr<ConjunctiveQuery> q2 = resolve(request.query2);
+      if (!q1.ok() || !q2.ok()) {
+        response.status = !q1.ok() ? q1.status() : q2.status();
+        return response;
+      }
+      StatusOr<ContainmentExplanation> explanation =
+          ExplainContainment(schema, *q1, *q2, opts.containment);
+      if (!explanation.ok()) {
+        response.status = explanation.status();
+        return response;
+      }
+      response.verdict = explanation->contained;
+      response.body = explanation->text;
+      return response;
+    }
+  }
+  response.status = Status::Internal("unhandled request kind");
+  return response;
+}
+
+Response OocqService::Execute(const Request& request) {
+  const uint64_t admitted_us = NowUs();
+  registry_.Add("server/requests", 1);
+  Response response;
+
+  Status admitted = AdmitOne();
+  if (!admitted.ok()) {
+    response.status = std::move(admitted);
+    response.latency_us = NowUs() - admitted_us;
+    return response;
+  }
+
+  StatusOr<std::shared_ptr<Session>> session = FindSession(request.session_id);
+  if (!session.ok()) {
+    FinishOne();
+    response.status = session.status();
+    response.latency_us = NowUs() - admitted_us;
+    return response;
+  }
+
+  const uint64_t deadline_ms = request.deadline_ms != 0
+                                   ? request.deadline_ms
+                                   : options_.default_deadline_ms;
+  std::optional<CancellationToken> token;
+  if (deadline_ms != 0) {
+    token.emplace(std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms));
+  }
+  const CancellationToken* cancel = token.has_value() ? &*token : nullptr;
+
+  std::future<void> done = pool_->Submit([&] {
+    OOCQ_TRACE_SPAN(span, "Request");
+    span.Arg("kind", RequestKindName(request.kind));
+    if (!request.request_id.empty()) span.Arg("id", request.request_id);
+    registry_.Add("server/started", 1);
+    // A request that out-waited its deadline in the queue is answered
+    // without touching the engine.
+    Status live = cancel != nullptr ? cancel->Check() : Status::Ok();
+    if (!live.ok()) {
+      response.status = std::move(live);
+    } else {
+      response = Run(request, **session, cancel);
+    }
+    if (span.recording()) {
+      span.Arg("status", StatusCodeToString(response.status.code()));
+    }
+  });
+  done.wait();
+  FinishOne();
+
+  response.latency_us = NowUs() - admitted_us;
+  registry_.Record("server/latency_us", response.latency_us);
+  if (response.status.ok()) {
+    registry_.Add("server/ok", 1);
+  } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+    registry_.Add("server/deadline_exceeded", 1);
+  } else {
+    registry_.Add("server/errors", 1);
+  }
+  return response;
+}
+
+std::vector<Response> OocqService::ExecuteBatch(
+    const std::vector<Request>& requests) {
+  registry_.Add("server/batches", 1);
+  // Each request is admitted and submitted independently; the pool is the
+  // fan-out. Blocking here on all futures keeps the caller's thread as
+  // the single completion point, so responses come back in order.
+  std::vector<Response> responses(requests.size());
+  struct Pending {
+    size_t index = 0;
+    std::shared_ptr<Session> session;
+    std::optional<CancellationToken> token;  // address-stable: heap slot
+    std::future<void> done;
+    uint64_t admitted_us = 0;
+  };
+  std::vector<std::unique_ptr<Pending>> pending;
+  pending.reserve(requests.size());
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& request = requests[i];
+    const uint64_t admitted_us = NowUs();
+    registry_.Add("server/requests", 1);
+    Status admitted = AdmitOne();
+    if (!admitted.ok()) {
+      responses[i].status = std::move(admitted);
+      continue;
+    }
+    StatusOr<std::shared_ptr<Session>> session =
+        FindSession(request.session_id);
+    if (!session.ok()) {
+      FinishOne();
+      responses[i].status = session.status();
+      continue;
+    }
+    auto p = std::make_unique<Pending>();
+    p->index = i;
+    p->session = *std::move(session);
+    p->admitted_us = admitted_us;
+    const uint64_t deadline_ms = request.deadline_ms != 0
+                                     ? request.deadline_ms
+                                     : options_.default_deadline_ms;
+    if (deadline_ms != 0) {
+      p->token.emplace(std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(deadline_ms));
+    }
+    const CancellationToken* cancel =
+        p->token.has_value() ? &*p->token : nullptr;
+    Response* out = &responses[i];
+    Session* sess = p->session.get();
+    p->done = pool_->Submit([this, &request, out, sess, cancel] {
+      OOCQ_TRACE_SPAN(span, "Request");
+      span.Arg("kind", RequestKindName(request.kind)).Arg("batch", "true");
+      if (!request.request_id.empty()) span.Arg("id", request.request_id);
+      registry_.Add("server/started", 1);
+      Status live = cancel != nullptr ? cancel->Check() : Status::Ok();
+      if (!live.ok()) {
+        out->status = std::move(live);
+      } else {
+        *out = Run(request, *sess, cancel);
+      }
+      if (span.recording()) {
+        span.Arg("status", StatusCodeToString(out->status.code()));
+      }
+    });
+    pending.push_back(std::move(p));
+  }
+
+  for (std::unique_ptr<Pending>& p : pending) {
+    p->done.wait();
+    FinishOne();
+    responses[p->index].latency_us = NowUs() - p->admitted_us;
+    registry_.Record("server/latency_us", responses[p->index].latency_us);
+    if (responses[p->index].status.ok()) {
+      registry_.Add("server/ok", 1);
+    } else if (responses[p->index].status.code() ==
+               StatusCode::kDeadlineExceeded) {
+      registry_.Add("server/deadline_exceeded", 1);
+    } else {
+      registry_.Add("server/errors", 1);
+    }
+  }
+  return responses;
+}
+
+}  // namespace oocq::server

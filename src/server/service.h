@@ -1,0 +1,192 @@
+#ifndef OOCQ_SERVER_SERVICE_H_
+#define OOCQ_SERVER_SERVICE_H_
+
+/// The embeddable, transport-agnostic query service: schemas, states and
+/// named queries are registered once into a *session* and reused across
+/// requests, so the per-request cost is the decision procedure alone —
+/// the deployment shape the paper's reusable per-schema containment
+/// (Thm 3.1 / Cor 3.4) and minimization (Thm 4.2–4.5) services motivate.
+///
+///   OocqService service;
+///   std::string sid = *service.CreateSession(schema_text);
+///   Request request;
+///   request.kind = RequestKind::kContained;
+///   request.session_id = sid;
+///   request.query = "{ x | x in Auto }";
+///   request.query2 = "{ x | x in Vehicle }";
+///   request.deadline_ms = 50;
+///   Response response = service.Execute(request);   // blocking
+///
+/// Concurrency model: Execute() admits the request (bounded queue +
+/// max-in-flight — beyond capacity it sheds immediately with retryable
+/// kUnavailable), runs it on the service's support/thread_pool, and
+/// blocks the calling thread until the response is ready. Transports
+/// call Execute() from one thread per connection; the pool bounds the
+/// engine work actually running. ExecuteBatch() fans a batch out onto
+/// the same pool and returns responses in request order.
+///
+/// Each request gets a CancellationToken from its deadline, threaded
+/// through the engine (ContainmentOptions::cancel), so expiry mid-scan
+/// returns kDeadlineExceeded — never a hung request. All requests of a
+/// session share one ContainmentCache; retryable errors are never
+/// memoized (core/containment_cache.h).
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/containment_cache.h"
+#include "core/engine_options.h"
+#include "query/query.h"
+#include "schema/schema.h"
+#include "state/state.h"
+#include "support/cancellation.h"
+#include "support/metrics.h"
+#include "support/status.h"
+#include "support/thread_pool.h"
+
+namespace oocq::server {
+
+struct ServiceOptions {
+  /// Engine configuration applied to every request (parallel fan-out,
+  /// containment limits, cache sizing). The default (serial engine) is
+  /// right for a loaded server: concurrency comes from running
+  /// `max_in_flight` independent requests, not from splitting one.
+  EngineOptions engine;
+  /// Requests executing concurrently (the service pool's worker count).
+  uint32_t max_in_flight = 4;
+  /// Admitted-but-not-running requests tolerated beyond max_in_flight;
+  /// one more is shed with kUnavailable instead of queued.
+  uint32_t max_queue_depth = 64;
+  /// Deadline applied when a request carries none (0 = unbounded).
+  uint64_t default_deadline_ms = 0;
+  /// Collect service counters/histograms into metrics() (server/requests,
+  /// server/shed, server/latency_us, …). The registry is the one the
+  /// `METRICS` protocol command snapshots.
+  bool metrics = true;
+};
+
+enum class RequestKind {
+  kMinimize,        // §4 exact (positive) or §5 reduced union (general)
+  kContained,       // Q1 ⊆ Q2 through the Thm 4.1 expansion pipeline
+  kEquivalent,      // both directions, shared per-session cache
+  kUnionContained,  // Thm 4.1 over explicit disjunct lists
+  kSatisfiable,     // Thm 2.2 on a terminal query
+  kEvaluate,        // answers on the session's registered state
+  kExplain,         // narrated containment decision
+};
+
+const char* RequestKindName(RequestKind kind);
+
+/// One typed request. Query fields hold either query text or `@name`
+/// references to queries registered with DefineQuery().
+struct Request {
+  RequestKind kind = RequestKind::kContained;
+  std::string session_id;
+  std::string query;                 // primary query (all kinds)
+  std::string query2;                // second query (binary kinds)
+  std::vector<std::string> union_m;  // kUnionContained: disjuncts of M
+  std::vector<std::string> union_n;  // kUnionContained: disjuncts of N
+  /// Relative deadline; 0 inherits ServiceOptions::default_deadline_ms.
+  /// Expiry — in the admission queue or mid-scan — yields
+  /// kDeadlineExceeded (retryable, IsRetryable()).
+  uint64_t deadline_ms = 0;
+  /// Caller-chosen id annotated onto the request's trace span, so a
+  /// Chrome trace of the server shows which spans served which request.
+  std::string request_id;
+};
+
+struct Response {
+  Status status;            // retryable codes: shed / expired deadline
+  bool verdict = false;     // contained / equivalent / satisfiable
+  std::string body;         // rendered result (minimize, eval, explain)
+  uint64_t latency_us = 0;  // admission to completion, queue wait included
+};
+
+class OocqService {
+ public:
+  explicit OocqService(ServiceOptions options = {});
+  /// Drains: refuses new work and joins in-flight requests.
+  ~OocqService();
+
+  OocqService(const OocqService&) = delete;
+  OocqService& operator=(const OocqService&) = delete;
+
+  // ---- Session registry -------------------------------------------------
+  /// Parses `schema_text` and registers a fresh session around it (own
+  /// named-query map, own ContainmentCache). Returns the session id.
+  StatusOr<std::string> CreateSession(const std::string& schema_text);
+  Status DropSession(const std::string& session_id);
+  /// Parses and registers a named query; requests reference it as @name.
+  Status DefineQuery(const std::string& session_id, const std::string& name,
+                     const std::string& query_text);
+  /// Parses and registers the session's database state (kEvaluate target).
+  Status LoadState(const std::string& session_id,
+                   const std::string& state_text);
+  size_t session_count() const;
+
+  // ---- Request execution ------------------------------------------------
+  /// Admission control + pool execution + wait; see the header comment.
+  Response Execute(const Request& request);
+  /// Admits and fans the whole batch onto the pool; responses come back
+  /// in request order, and verdicts are identical to running the batch
+  /// sequentially (each request is independent; the shared cache computes
+  /// each decision once regardless of schedule). Requests that don't fit
+  /// the admission window are shed individually.
+  std::vector<Response> ExecuteBatch(const std::vector<Request>& requests);
+
+  // ---- Lifecycle / introspection ----------------------------------------
+  /// Stops admitting (subsequent Execute sheds with kUnavailable) and
+  /// blocks until every in-flight request finished. Idempotent.
+  void Drain();
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// The service-lifetime registry (populated when options.metrics).
+  const MetricsRegistry& metrics() const { return registry_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Session {
+    explicit Session(Schema s) : schema(std::move(s)) {}
+    Schema schema;
+    std::optional<State> state;
+    std::map<std::string, ConjunctiveQuery> named;
+    std::unique_ptr<ContainmentCache> cache;
+    /// Registry mutations (DefineQuery/LoadState) take it exclusively;
+    /// request execution reads under a shared lock.
+    mutable std::shared_mutex mu;
+  };
+
+  StatusOr<std::shared_ptr<Session>> FindSession(
+      const std::string& session_id) const;
+  /// Admission check; on success the caller owes one FinishOne().
+  Status AdmitOne();
+  void FinishOne();
+  /// The request body, run on a pool worker. `cancel` may be null.
+  Response Run(const Request& request, Session& session,
+               const CancellationToken* cancel) const;
+
+  ServiceOptions options_;
+  MetricsRegistry registry_;
+  std::optional<MetricsScope> metrics_scope_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_ = 1;
+
+  std::atomic<uint32_t> pending_{0};  // admitted: queued + running
+  std::atomic<bool> draining_{false};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace oocq::server
+
+#endif  // OOCQ_SERVER_SERVICE_H_

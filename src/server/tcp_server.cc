@@ -1,0 +1,203 @@
+#include "server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/protocol.h"
+#include "support/metrics.h"
+
+namespace oocq::server {
+
+namespace {
+
+/// Buffered line reader over a socket fd. Lines are "\n"-terminated; a
+/// trailing "\r" (telnet clients) is stripped.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads one line into *line (terminator stripped). Returns false on
+  /// EOF / error with no buffered line.
+  bool ReadLine(std::string* line) {
+    while (true) {
+      size_t nl = buffer_.find('\n', scan_from_);
+      if (nl != std::string::npos) {
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        scan_from_ = 0;
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return true;
+      }
+      scan_from_ = buffer_.size();
+      char chunk[4096];
+      ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got <= 0) return false;  // peer closed or read side shut down
+      buffer_.append(chunk, static_cast<size_t>(got));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  size_t scan_from_ = 0;
+};
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(OocqService* service, TcpServerOptions options)
+    : service_(service), options_(options) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::Internal("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  addr.sin_addr.s_addr =
+      htonl(options_.loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status failed =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return failed;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    Status failed =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return failed;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    MetricAdd("server/connections", 1);
+    uint64_t id;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (stopping_.load(std::memory_order_acquire)) {
+        ::close(fd);
+        break;
+      }
+      id = next_conn_++;
+      conns_.emplace(id, fd);
+      conn_threads_.emplace_back([this, fd, id] {
+        Serve(fd);
+        {
+          std::lock_guard<std::mutex> inner(conns_mu_);
+          conns_.erase(id);
+        }
+        ::close(fd);
+      });
+    }
+  }
+}
+
+void TcpServer::Serve(int fd) {
+  LineReader reader(fd);
+  ProtocolHandler handler(service_);
+  std::string line;
+  while (reader.ReadLine(&line)) {
+    if (line.empty()) continue;
+    CommandLine command = ParseCommandLine(line);
+    std::vector<std::string> payload;
+    bool has_payload = VerbHasPayload(command.verb) ||
+                       (command.verb == "SESSION" && !command.args.empty() &&
+                        (command.args[0] == "NEW" || command.args[0] == "new"));
+    if (has_payload) {
+      std::string payload_line;
+      bool terminated = false;
+      while (reader.ReadLine(&payload_line)) {
+        if (payload_line == ".") {
+          terminated = true;
+          break;
+        }
+        // Undo dot-stuffing so payload lines may begin with '.'.
+        if (!payload_line.empty() && payload_line[0] == '.') {
+          payload_line.erase(0, 1);
+        }
+        payload.push_back(std::move(payload_line));
+      }
+      if (!terminated) return;  // connection dropped mid-payload
+    }
+    ProtocolReply reply = handler.Handle(command, payload);
+    if (!SendAll(fd, reply.text)) return;
+    if (reply.close) return;
+  }
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // Unblock accept(): shut down and close the listener.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+
+  // Half-close live connections: their next ReadLine() sees EOF, but the
+  // write side stays open so a request already executing still gets its
+  // response before the handler returns.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& [id, fd] : conns_) ::shutdown(fd, SHUT_RD);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  service_->Drain();
+}
+
+}  // namespace oocq::server

@@ -1,0 +1,89 @@
+#ifndef OOCQ_SERVER_TCP_SERVER_H_
+#define OOCQ_SERVER_TCP_SERVER_H_
+
+/// Thread-per-connection TCP front end over ProtocolHandler. The server
+/// owns only transport state; all engine work, admission control and
+/// deadlines live in the OocqService it wraps.
+///
+/// Lifecycle:
+///
+///   OocqService service(service_options);
+///   TcpServer server(&service, {.port = 0});   // 0 = ephemeral
+///   OOCQ_RETURN_IF_ERROR(server.Start());      // accept loop running
+///   uint16_t port = server.port();             // resolved port
+///   ...
+///   server.Stop();   // graceful: stop accepting, drain, join
+///
+/// Stop() (also run by the destructor) closes the listener, half-closes
+/// every live connection's read side — so in-flight requests still get
+/// their response written — joins the connection threads, then drains
+/// the service. oocq_serve wires SIGINT to Stop() via a self-pipe.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "server/service.h"
+#include "support/status.h"
+
+namespace oocq::server {
+
+struct TcpServerOptions {
+  /// Port to bind; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Bind only the loopback interface (the safe default for a local
+  /// decision-procedure service); false binds all interfaces.
+  bool loopback_only = true;
+};
+
+class TcpServer {
+ public:
+  TcpServer(OocqService* service, TcpServerOptions options = {});
+  ~TcpServer();  // runs Stop()
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens and starts the accept thread. Fails (kInternal) if
+  /// the port is taken or sockets are unavailable.
+  Status Start();
+
+  /// Graceful shutdown; see the header comment. Idempotent, and safe to
+  /// call from a signal-handling thread.
+  void Stop();
+
+  /// The bound port (resolved when options.port == 0). 0 before Start().
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Connections accepted over the server's lifetime.
+  uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void Serve(int fd);
+
+  OocqService* service_;
+  TcpServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  /// Live connection fds keyed by id; Serve() removes its own entry, so
+  /// Stop() only half-closes fds whose handler is still running.
+  std::map<uint64_t, int> conns_;
+  uint64_t next_conn_ = 1;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace oocq::server
+
+#endif  // OOCQ_SERVER_TCP_SERVER_H_

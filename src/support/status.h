@@ -26,7 +26,21 @@ enum class StatusCode {
   kResourceExhausted = 4,
   /// An internal invariant was violated; indicates a library bug.
   kInternal = 5,
+  /// The operation's deadline passed before it completed. Retryable: the
+  /// same request with a fresh (or longer) deadline may succeed.
+  kDeadlineExceeded = 6,
+  /// The operation was refused or aborted for a transient reason — an
+  /// admission queue at capacity, a server draining for shutdown, or an
+  /// explicit cancellation. Retryable after backoff.
+  kUnavailable = 7,
 };
+
+/// True for the transient codes a client should retry (with backoff):
+/// kDeadlineExceeded and kUnavailable.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kUnavailable;
+}
 
 /// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
 const char* StatusCodeToString(StatusCode code);
@@ -55,6 +69,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

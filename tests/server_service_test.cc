@@ -1,0 +1,391 @@
+// Tests for the embeddable OocqService (server/service.h): session
+// registry reuse, per-request deadlines tripping mid-containment,
+// admission shedding under overload, batch determinism, and the line
+// protocol handler over the same service.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/containment.h"
+#include "server/protocol.h"
+#include "server/service.h"
+#include "support/cancellation.h"
+#include "test_util.h"
+
+namespace oocq::server {
+namespace {
+
+using ::oocq::testing::kVehicleRentalSchema;
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+// ---- Heavy workload: a containment whose Thm 3.1 subset scan is 2^(k-1)
+// masks (the Cor 3.2 axis; bench_containment_general measures the same
+// shape). At k around 20 the full scan takes far longer than any test
+// deadline, and cancellation is polled per mask, so a deadline trips
+// mid-scan deterministically.
+
+std::string HeavySchemaText(int k) {
+  std::string text = "schema Heavy {\n  class D { }\n  class C { ";
+  for (int i = 0; i < k; ++i) {
+    text += "S" + std::to_string(i) + ": {D}; ";
+  }
+  text += "}\n}";
+  return text;
+}
+
+// One element witness u in every set y.S_i plus the pin x notin y.S0:
+// the candidate pool T is {x in y.S_j : j >= 1}, all 2^(k-1) subsets
+// are scanned, and the containment holds.
+std::string HeavyQ1(int k) {
+  std::string text = "{ x | exists y exists u (x in D & y in C & u in D";
+  for (int i = 0; i < k; ++i) {
+    text += " & u in y.S" + std::to_string(i);
+  }
+  text += " & x notin y.S0) }";
+  return text;
+}
+
+const char* HeavyQ2() {
+  return "{ x | exists y (x in D & y in C & x notin y.S0) }";
+}
+
+Request MakeContain(const std::string& session_id, const std::string& q1,
+                    const std::string& q2, uint64_t deadline_ms = 0) {
+  Request request;
+  request.kind = RequestKind::kContained;
+  request.session_id = session_id;
+  request.query = q1;
+  request.query2 = q2;
+  request.deadline_ms = deadline_ms;
+  return request;
+}
+
+// Spins until `count` requests have entered the pool (server/started).
+void AwaitStarted(const OocqService& service, uint64_t count) {
+  while (service.metrics().CounterValue("server/started") < count) {
+    std::this_thread::yield();
+  }
+}
+
+TEST(ServiceSessionTest, RegistryReuseAcrossRequests) {
+  OocqService service;
+  StatusOr<std::string> sid = service.CreateSession(kVehicleRentalSchema);
+  OOCQ_ASSERT_OK(sid.status());
+  EXPECT_EQ(service.session_count(), 1u);
+
+  // Register once, reference many times.
+  OOCQ_ASSERT_OK(service.DefineQuery(*sid, "autos", "{ x | x in Auto }"));
+  OOCQ_ASSERT_OK(
+      service.DefineQuery(*sid, "vehicles", "{ x | x in Vehicle }"));
+
+  Response forward = service.Execute(MakeContain(*sid, "@autos", "@vehicles"));
+  OOCQ_ASSERT_OK(forward.status);
+  EXPECT_TRUE(forward.verdict);
+
+  Response backward = service.Execute(MakeContain(*sid, "@vehicles", "@autos"));
+  OOCQ_ASSERT_OK(backward.status);
+  EXPECT_FALSE(backward.verdict);
+
+  // The session's cache serves the repeat decision.
+  Response repeat = service.Execute(MakeContain(*sid, "@autos", "@vehicles"));
+  OOCQ_ASSERT_OK(repeat.status);
+  EXPECT_TRUE(repeat.verdict);
+
+  Response unknown = service.Execute(MakeContain(*sid, "@nosuch", "@autos"));
+  EXPECT_EQ(unknown.status.code(), StatusCode::kNotFound);
+
+  OOCQ_ASSERT_OK(service.DropSession(*sid));
+  EXPECT_EQ(service.session_count(), 0u);
+  Response dropped = service.Execute(MakeContain(*sid, "@autos", "@vehicles"));
+  EXPECT_EQ(dropped.status.code(), StatusCode::kNotFound);
+}
+
+TEST(ServiceSessionTest, MinimizeAndEquivalentKinds) {
+  OocqService service;
+  StatusOr<std::string> sid = service.CreateSession(kVehicleRentalSchema);
+  OOCQ_ASSERT_OK(sid.status());
+
+  Request minimize;
+  minimize.kind = RequestKind::kMinimize;
+  minimize.session_id = *sid;
+  minimize.query =
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }";
+  Response minimized = service.Execute(minimize);
+  OOCQ_ASSERT_OK(minimized.status);
+  EXPECT_TRUE(minimized.verdict);  // positive query: §4 exact
+  EXPECT_NE(minimized.body.find("x in Auto"), std::string::npos)
+      << minimized.body;
+
+  Request equiv = MakeContain(
+      *sid,
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }",
+      "{ x | exists y (x in Auto & y in Discount & x in y.VehRented) }");
+  equiv.kind = RequestKind::kEquivalent;
+  Response equivalent = service.Execute(equiv);
+  OOCQ_ASSERT_OK(equivalent.status);
+  EXPECT_TRUE(equivalent.verdict);
+}
+
+// The core abort path, without the service: a pre-expired token makes
+// Contained() return kDeadlineExceeded instead of scanning.
+TEST(ServiceDeadlineTest, PreExpiredTokenAbortsContainment) {
+  Schema schema = MustParseSchema(HeavySchemaText(8));
+  ConjunctiveQuery q1 = MustParseQuery(schema, HeavyQ1(8));
+  ConjunctiveQuery q2 = MustParseQuery(schema, HeavyQ2());
+  CancellationToken expired = CancellationToken::AfterMillis(0);
+  ContainmentOptions options;
+  options.cancel = &expired;
+  StatusOr<bool> verdict = Contained(schema, q1, q2, options);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(IsRetryable(verdict.status().code()));
+}
+
+TEST(ServiceDeadlineTest, DeadlineExpiresMidContainment) {
+  OocqService service;
+  StatusOr<std::string> sid = service.CreateSession(HeavySchemaText(20));
+  OOCQ_ASSERT_OK(sid.status());
+
+  // Sanity: the same query shape at a small k decides quickly.
+  StatusOr<std::string> small = service.CreateSession(HeavySchemaText(6));
+  OOCQ_ASSERT_OK(small.status());
+  Response quick =
+      service.Execute(MakeContain(*small, HeavyQ1(6), HeavyQ2()));
+  OOCQ_ASSERT_OK(quick.status);
+  EXPECT_TRUE(quick.verdict);
+
+  // At k=20 the scan is ~2^19 masks — the 10 ms deadline trips inside it.
+  Response expired = service.Execute(
+      MakeContain(*sid, HeavyQ1(20), HeavyQ2(), /*deadline_ms=*/10));
+  EXPECT_EQ(expired.status.code(), StatusCode::kDeadlineExceeded)
+      << expired.status.ToString();
+  EXPECT_TRUE(IsRetryable(expired.status.code()));
+
+  // The expired decision was not memoized: the session still answers.
+  Response after =
+      service.Execute(MakeContain(*sid, HeavyQ1(6), HeavyQ2()));
+  OOCQ_ASSERT_OK(after.status);
+}
+
+TEST(ServiceDeadlineTest, QueuedRequestExpiresBeforeStarting) {
+  ServiceOptions options;
+  options.max_in_flight = 1;
+  options.max_queue_depth = 4;
+  OocqService service(options);
+  StatusOr<std::string> sid = service.CreateSession(HeavySchemaText(20));
+  OOCQ_ASSERT_OK(sid.status());
+
+  // Occupy the only worker with a heavy request whose own 250 ms deadline
+  // bounds the test's runtime.
+  std::thread occupant([&service, &sid] {
+    Response heavy = service.Execute(
+        MakeContain(*sid, HeavyQ1(20), HeavyQ2(), /*deadline_ms=*/250));
+    EXPECT_EQ(heavy.status.code(), StatusCode::kDeadlineExceeded);
+  });
+  AwaitStarted(service, 1);
+
+  // Queued behind a worker that stays busy far past 1 ms: by start time
+  // the deadline has passed, and the queue-expiry precheck answers
+  // without touching the engine.
+  Response queued = service.Execute(
+      MakeContain(*sid, HeavyQ1(6), HeavyQ2(), /*deadline_ms=*/1));
+  EXPECT_EQ(queued.status.code(), StatusCode::kDeadlineExceeded);
+  occupant.join();
+}
+
+TEST(ServiceAdmissionTest, ShedsUnderOverloadAndRecovers) {
+  ServiceOptions options;
+  options.max_in_flight = 1;
+  options.max_queue_depth = 0;  // capacity: exactly one admitted request
+  OocqService service(options);
+  StatusOr<std::string> sid = service.CreateSession(HeavySchemaText(20));
+  OOCQ_ASSERT_OK(sid.status());
+
+  std::thread occupant([&service, &sid] {
+    Response heavy = service.Execute(
+        MakeContain(*sid, HeavyQ1(20), HeavyQ2(), /*deadline_ms=*/250));
+    EXPECT_EQ(heavy.status.code(), StatusCode::kDeadlineExceeded);
+  });
+  AwaitStarted(service, 1);
+
+  Response shed =
+      service.Execute(MakeContain(*sid, HeavyQ1(6), HeavyQ2()));
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable)
+      << shed.status.ToString();
+  EXPECT_TRUE(IsRetryable(shed.status.code()));
+  EXPECT_GE(service.metrics().CounterValue("server/shed"), 1u);
+  occupant.join();
+
+  // Capacity freed: the retry the status promised now succeeds.
+  Response retry =
+      service.Execute(MakeContain(*sid, HeavyQ1(6), HeavyQ2()));
+  OOCQ_ASSERT_OK(retry.status);
+  EXPECT_TRUE(retry.verdict);
+}
+
+TEST(ServiceBatchTest, BatchMatchesSequentialExecution) {
+  std::vector<Request> batch;
+  auto build_requests = [&batch](const std::string& sid) {
+    batch.clear();
+    Request contain = MakeContain(
+        sid,
+        "{ x | exists y (x in Auto & y in Discount & x in y.VehRented) }",
+        "{ x | exists y (x in Vehicle & y in Client & x in y.VehRented) }");
+    batch.push_back(contain);
+    Request not_contained = MakeContain(sid, "{ x | x in Vehicle }",
+                                        "{ x | x in Truck }");
+    batch.push_back(not_contained);
+    Request equiv = MakeContain(
+        sid,
+        "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }",
+        "{ x | exists y (x in Auto & y in Discount & x in y.VehRented) }");
+    equiv.kind = RequestKind::kEquivalent;
+    batch.push_back(equiv);
+    Request sat;
+    sat.kind = RequestKind::kSatisfiable;
+    sat.session_id = sid;
+    sat.query =
+        "{ x | exists y (x in Trailer & y in Discount & x in y.VehRented) }";
+    batch.push_back(sat);
+    Request bad = MakeContain(sid, "@missing", "{ x | x in Auto }");
+    batch.push_back(bad);
+    // Duplicates exercise the shared cache under concurrent execution.
+    batch.push_back(contain);
+    batch.push_back(not_contained);
+    batch.push_back(equiv);
+  };
+
+  // Sequential reference on its own service.
+  std::vector<Response> expected;
+  {
+    OocqService sequential;
+    StatusOr<std::string> sid = sequential.CreateSession(kVehicleRentalSchema);
+    OOCQ_ASSERT_OK(sid.status());
+    build_requests(*sid);
+    for (const Request& request : batch) {
+      expected.push_back(sequential.Execute(request));
+    }
+  }
+
+  ServiceOptions options;
+  options.max_in_flight = 4;
+  OocqService service(options);
+  StatusOr<std::string> sid = service.CreateSession(kVehicleRentalSchema);
+  OOCQ_ASSERT_OK(sid.status());
+  build_requests(*sid);
+  std::vector<Response> responses = service.ExecuteBatch(batch);
+
+  ASSERT_EQ(responses.size(), expected.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].status.code(), expected[i].status.code())
+        << "request " << i << ": " << responses[i].status.ToString();
+    EXPECT_EQ(responses[i].verdict, expected[i].verdict) << "request " << i;
+  }
+}
+
+TEST(ServiceDrainTest, DrainRefusesNewWork) {
+  OocqService service;
+  StatusOr<std::string> sid = service.CreateSession(kVehicleRentalSchema);
+  OOCQ_ASSERT_OK(sid.status());
+  service.Drain();
+  EXPECT_TRUE(service.draining());
+  Response refused = service.Execute(
+      MakeContain(*sid, "{ x | x in Auto }", "{ x | x in Vehicle }"));
+  EXPECT_EQ(refused.status.code(), StatusCode::kUnavailable);
+}
+
+// ---- The protocol layer over the same service, no sockets involved ----
+
+std::vector<std::string> Payload(std::initializer_list<const char*> lines) {
+  return std::vector<std::string>(lines.begin(), lines.end());
+}
+
+TEST(ProtocolTest, ParseCommandLineSplitsVerbArgsParams) {
+  CommandLine command =
+      ParseCommandLine("contain s1 deadline_ms=50 id=req-7");
+  EXPECT_EQ(command.verb, "CONTAIN");  // verbs are case-insensitive
+  ASSERT_EQ(command.args.size(), 1u);
+  EXPECT_EQ(command.args[0], "s1");
+  ASSERT_NE(command.Param("deadline_ms"), nullptr);
+  EXPECT_EQ(*command.Param("deadline_ms"), "50");
+  ASSERT_NE(command.Param("id"), nullptr);
+  EXPECT_EQ(*command.Param("id"), "req-7");
+  EXPECT_EQ(command.Param("nope"), nullptr);
+
+  EXPECT_TRUE(VerbHasPayload("CONTAIN"));
+  EXPECT_TRUE(VerbHasPayload("BATCH"));
+  EXPECT_FALSE(VerbHasPayload("PING"));
+  EXPECT_FALSE(VerbHasPayload("METRICS"));
+}
+
+TEST(ProtocolTest, FullConversation) {
+  OocqService service;
+  ProtocolHandler handler(&service);
+
+  ProtocolReply pong = handler.Handle(ParseCommandLine("PING"), {});
+  EXPECT_EQ(pong.text, "OK\n.\n");
+  EXPECT_FALSE(pong.close);
+
+  // A needs a second terminal subclass: with A1 alone the extents of A
+  // and A1 coincide and every containment below would hold.
+  ProtocolReply created = handler.Handle(
+      ParseCommandLine("SESSION NEW"),
+      Payload({"schema S {", "  class A { }", "  class A1 under A { }",
+               "  class A2 under A { }", "}"}));
+  EXPECT_EQ(created.text, "OK session=s1\n.\n");
+
+  ProtocolReply contained =
+      handler.Handle(ParseCommandLine("CONTAIN s1 id=t1"),
+                     Payload({"{ x | x in A1 }", "{ x | x in A }"}));
+  EXPECT_EQ(contained.text, "OK contained=1\n.\n");
+
+  ProtocolReply not_contained =
+      handler.Handle(ParseCommandLine("CONTAIN s1"),
+                     Payload({"{ x | x in A }", "{ x | x in A1 }"}));
+  EXPECT_EQ(not_contained.text, "OK contained=0\n.\n");
+
+  ProtocolReply batch = handler.Handle(
+      ParseCommandLine("BATCH s1"),
+      Payload({"CONTAIN\t{ x | x in A1 }\t{ x | x in A }",
+               "CONTAIN\t{ x | x in A }\t{ x | x in A1 }",
+               "SAT\t{ x | x in A1 }"}));
+  EXPECT_EQ(batch.text, "OK n=3 retryable=0\n101\n.\n");
+
+  ProtocolReply metrics = handler.Handle(ParseCommandLine("METRICS"), {});
+  EXPECT_NE(metrics.text.find("server/requests"), std::string::npos);
+
+  ProtocolReply parse_error = handler.Handle(
+      ParseCommandLine("CONTAIN s1"), Payload({"{ not a query", "x }"}));
+  EXPECT_EQ(parse_error.text.rfind("ERR ", 0), 0u) << parse_error.text;
+
+  ProtocolReply unknown = handler.Handle(ParseCommandLine("FROBNICATE"), {});
+  EXPECT_EQ(unknown.text.rfind("ERR INVALID_ARGUMENT", 0), 0u);
+
+  ProtocolReply quit = handler.Handle(ParseCommandLine("QUIT"), {});
+  EXPECT_TRUE(quit.close);
+
+  ProtocolReply dropped =
+      handler.Handle(ParseCommandLine("SESSION DROP s1"), {});
+  EXPECT_EQ(dropped.text, "OK\n.\n");
+}
+
+TEST(ProtocolTest, DeadlineParamSurfacesRetryableError) {
+  OocqService service;
+  ProtocolHandler handler(&service);
+  ProtocolReply created =
+      handler.Handle(ParseCommandLine("SESSION NEW"),
+                     Payload({HeavySchemaText(20).c_str()}));
+  ASSERT_EQ(created.text, "OK session=s1\n.\n");
+  ProtocolReply expired = handler.Handle(
+      ParseCommandLine("CONTAIN s1 deadline_ms=10"),
+      {HeavyQ1(20), HeavyQ2()});
+  EXPECT_EQ(expired.text.rfind("ERR DEADLINE_EXCEEDED", 0), 0u)
+      << expired.text;
+}
+
+}  // namespace
+}  // namespace oocq::server
