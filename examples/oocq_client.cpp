@@ -30,8 +30,15 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: oocq_client [--port=N] [--host=A.B.C.D] "
-               "< conversation\n");
+               "usage: oocq_client [--port=N] [--host=A.B.C.D] [--help] "
+               "< conversation\n"
+               "  --port=N        server port (default 7733)\n"
+               "  --host=A.B.C.D  server IPv4 address (default 127.0.0.1)\n"
+               "  --help          this message\n"
+               "Forwards stdin to an oocq_serve instance and frames replies\n"
+               "by their '.' terminator (one reply per request); appends a\n"
+               "QUIT if the conversation lacks one. See docs/server.md for\n"
+               "the protocol.\n");
   return 2;
 }
 
@@ -69,7 +76,11 @@ int main(int argc, char** argv) {
       port = std::strtoull(flag.c_str() + 7, nullptr, 10);
     } else if (flag.rfind("--host=", 0) == 0) {
       host = flag.substr(7);
+    } else if (flag == "--help") {
+      Usage();
+      return 0;
     } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
       return Usage();
     }
   }

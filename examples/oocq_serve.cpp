@@ -1,28 +1,21 @@
 // The oocq query service as a TCP daemon: sessions, admission control,
-// deadlines and batching over the line protocol of docs/server.md.
+// deadlines, batching and (optionally) a durable catalog over the line
+// protocol of docs/server.md.
 //
 //   oocq_serve [--port=N] [--workers=N] [--queue=N] [--threads=N]
-//              [--deadline_ms=N] [--trace=FILE] [--metrics] [--smoke]
+//              [--deadline_ms=N] [--data-dir=DIR] [--snapshot_interval_s=N]
+//              [--trace=FILE] [--metrics] [--smoke]
 //
-//   --port=N        listen port (default 7733; 0 picks an ephemeral port,
-//                   printed on startup)
-//   --workers=N     requests executing concurrently (default 4)
-//   --queue=N       admitted-but-waiting requests beyond --workers before
-//                   the server sheds with UNAVAILABLE (default 64)
-//   --threads=N     engine threads *per request* (default 1: concurrency
-//                   comes from independent requests, not splitting one)
-//   --deadline_ms=N default per-request deadline when a request carries
-//                   none (default 0 = unbounded)
-//   --trace=FILE    write a Chrome trace of all request spans to FILE on
-//                   shutdown (request ids appear as span args)
-//   --metrics       print the metrics registry JSON on shutdown
-//   --smoke         self-test: start on an ephemeral port, run one
-//                   client conversation against it, shut down, exit 0/1
+// With --data-dir the server opens a DurableCatalog in DIR
+// (docs/persistence.md): restart replays snapshot + WAL, re-registers
+// every session, named query and state, and warm-starts each session's
+// containment cache. Without it the server is purely in-memory.
 //
 // Shutdown: SIGINT/SIGTERM stop the listener, let in-flight requests
-// finish and write their responses, then drain the service. The signal
-// handler only writes one byte to a self-pipe; all real work happens on
-// the main thread.
+// finish and write their responses, then drain the service (and, with
+// --data-dir, take a final compacting snapshot). The signal handler only
+// writes one byte to a self-pipe; all real work happens on the main
+// thread.
 
 #include <signal.h>
 #include <unistd.h>
@@ -34,9 +27,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "persist/catalog.h"
 #include "server/service.h"
 #include "server/tcp_server.h"
 #include "support/metrics.h"
@@ -58,12 +53,35 @@ void OnSignal(int) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: oocq_serve [--port=N] [--workers=N] [--queue=N] "
-               "[--threads=N] [--deadline_ms=N] [--trace=FILE] [--metrics] "
-               "[--smoke] [--help]\n"
-               "Line protocol on the socket; see docs/server.md. Send\n"
-               "SIGINT for a graceful drain.\n");
+  std::fprintf(
+      stderr,
+      "usage: oocq_serve [--port=N] [--workers=N] [--queue=N] [--threads=N] "
+      "[--deadline_ms=N] [--data-dir=DIR] [--snapshot_interval_s=N] "
+      "[--trace=FILE] [--metrics] [--smoke] [--help]\n"
+      "  --port=N        listen port (default 7733; 0 picks an ephemeral\n"
+      "                  port, printed on startup)\n"
+      "  --workers=N     requests executing concurrently (default 4)\n"
+      "  --queue=N       admitted-but-waiting requests beyond --workers\n"
+      "                  before shedding with UNAVAILABLE (default 64)\n"
+      "  --threads=N     engine threads per request (default 1: concurrency\n"
+      "                  comes from independent requests)\n"
+      "  --deadline_ms=N default per-request deadline when a request\n"
+      "                  carries none (default 0 = unbounded)\n"
+      "  --data-dir=DIR  durable catalog directory (docs/persistence.md);\n"
+      "                  restart replays snapshot+WAL and warm-starts the\n"
+      "                  containment caches (default: in-memory only)\n"
+      "  --snapshot_interval_s=N\n"
+      "                  background snapshot cadence with --data-dir\n"
+      "                  (default 60; 0 = snapshot only on shutdown)\n"
+      "  --trace=FILE    write a Chrome trace of all request spans to FILE\n"
+      "                  on shutdown\n"
+      "  --metrics       print the metrics registry JSON on shutdown\n"
+      "  --smoke         self-test: ephemeral port, one scripted client\n"
+      "                  conversation (with --data-dir: restart the service\n"
+      "                  and verify the warm catalog), exit 0/1\n"
+      "  --help          this message\n"
+      "Line protocol on the socket; see docs/server.md. Send SIGINT for a\n"
+      "graceful drain.\n");
   return 2;
 }
 
@@ -75,13 +93,13 @@ bool ParseUintFlag(const std::string& flag, const char* prefix,
   return true;
 }
 
-/// One scripted client conversation over a real socket — the --smoke
-/// self-test and a template for writing clients.
-int RunSmoke(uint16_t port) {
+/// Sends `script` over a fresh connection and returns everything the
+/// server wrote back (empty on connect failure).
+std::string RunScript(uint16_t port, const char* script) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     std::perror("socket");
-    return 1;
+    return "";
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -90,29 +108,12 @@ int RunSmoke(uint16_t port) {
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     std::perror("connect");
     ::close(fd);
-    return 1;
+    return "";
   }
-  const char* script =
-      "PING\n"
-      "SESSION NEW\n"
-      "schema Smoke {\n"
-      "  class Vehicle { }\n"
-      "  class Auto under Vehicle { }\n"
-      "}\n"
-      ".\n"
-      "CONTAIN s1 id=smoke-1\n"
-      "{ x | x in Auto }\n"
-      "{ x | x in Vehicle }\n"
-      ".\n"
-      "MINIMIZE s1\n"
-      "{ x | x in Auto & x in Vehicle }\n"
-      ".\n"
-      "METRICS\n"
-      "QUIT\n";
   if (::send(fd, script, std::strlen(script), 0) < 0) {
     std::perror("send");
     ::close(fd);
-    return 1;
+    return "";
   }
   std::string all;
   char chunk[4096];
@@ -121,21 +122,67 @@ int RunSmoke(uint16_t port) {
     all.append(chunk, static_cast<size_t>(got));
   }
   ::close(fd);
+  return all;
+}
+
+/// One scripted client conversation over a real socket — the --smoke
+/// self-test and a template for writing clients.
+bool RunSmokeConversation(uint16_t port) {
+  const char* script =
+      "PING\n"
+      "SESSION NEW\n"
+      "schema Smoke {\n"
+      "  class Vehicle { }\n"
+      "  class Auto under Vehicle { }\n"
+      "}\n"
+      ".\n"
+      "DEFINE s1 q1\n"
+      "{ x | x in Auto }\n"
+      ".\n"
+      "CONTAIN s1 id=smoke-1\n"
+      "@q1\n"
+      "{ x | x in Vehicle }\n"
+      ".\n"
+      "MINIMIZE s1\n"
+      "{ x | x in Auto & x in Vehicle }\n"
+      ".\n"
+      "METRICS\n"
+      "QUIT\n";
+  std::string all = RunScript(port, script);
   std::printf("%s", all.c_str());
-  // Six replies (PING, SESSION NEW, CONTAIN, MINIMIZE, METRICS, QUIT),
-  // the containment verdict among them.
-  bool ok = all.find("session=s1") != std::string::npos &&
-            all.find("contained=1") != std::string::npos &&
-            all.find("server/requests") != std::string::npos;
-  std::fprintf(stderr, "smoke: %s\n", ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  // Seven replies (PING, SESSION NEW, DEFINE, CONTAIN, MINIMIZE, METRICS,
+  // QUIT), the containment verdict among them.
+  return all.find("session=s1") != std::string::npos &&
+         all.find("contained=1") != std::string::npos &&
+         all.find("server/requests") != std::string::npos;
+}
+
+/// The warm half of the persistence smoke: the restarted server must
+/// still know session s1 and its named query, and the repeated CONTAIN
+/// must be answered from the warm-started cache.
+bool RunWarmConversation(uint16_t port) {
+  const char* script =
+      "PING\n"
+      "CONTAIN s1 id=smoke-warm\n"
+      "@q1\n"
+      "{ x | x in Vehicle }\n"
+      ".\n"
+      "METRICS\n"
+      "QUIT\n";
+  std::string all = RunScript(port, script);
+  std::printf("%s", all.c_str());
+  return all.find("contained=1") != std::string::npos &&
+         all.find("sessions_restored") != std::string::npos &&
+         all.find("cache/hit") != std::string::npos;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   uint64_t port = 7733, workers = 4, queue = 64, threads = 1, deadline_ms = 0;
+  uint64_t snapshot_interval_s = 60;
   std::string trace_path;
+  std::string data_dir;
   bool want_metrics = false, smoke = false;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -143,11 +190,14 @@ int main(int argc, char** argv) {
         ParseUintFlag(flag, "--workers=", &workers) ||
         ParseUintFlag(flag, "--queue=", &queue) ||
         ParseUintFlag(flag, "--threads=", &threads) ||
-        ParseUintFlag(flag, "--deadline_ms=", &deadline_ms)) {
+        ParseUintFlag(flag, "--deadline_ms=", &deadline_ms) ||
+        ParseUintFlag(flag, "--snapshot_interval_s=", &snapshot_interval_s)) {
       continue;
     }
     if (flag.rfind("--trace=", 0) == 0) {
       trace_path = flag.substr(8);
+    } else if (flag.rfind("--data-dir=", 0) == 0) {
+      data_dir = flag.substr(11);
     } else if (flag == "--metrics") {
       want_metrics = true;
     } else if (flag == "--smoke") {
@@ -174,28 +224,83 @@ int main(int argc, char** argv) {
   service_options.max_in_flight = static_cast<uint32_t>(workers);
   service_options.max_queue_depth = static_cast<uint32_t>(queue);
   service_options.default_deadline_ms = deadline_ms;
-  OocqService service(service_options);
+
+  // Opens (or re-opens) the durable catalog; recovery problems degrade to
+  // a logged cold start inside Open(), so failure here is environmental.
+  auto open_catalog = [&]() -> std::shared_ptr<persist::DurableCatalog> {
+    if (data_dir.empty()) return nullptr;
+    persist::DurableCatalogOptions catalog_options;
+    catalog_options.data_dir = data_dir;
+    catalog_options.snapshot_interval_s =
+        static_cast<uint32_t>(snapshot_interval_s);
+    StatusOr<std::unique_ptr<persist::DurableCatalog>> opened =
+        persist::DurableCatalog::Open(catalog_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::shared_ptr<persist::DurableCatalog> catalog = *std::move(opened);
+    const persist::DurableCatalog::Recovery& recovery = catalog->recovery();
+    std::fprintf(stderr,
+                 "oocq_serve: catalog %s: %s (snapshot seq=%llu records=%llu, "
+                 "wal records=%llu truncated_bytes=%llu)\n",
+                 data_dir.c_str(), recovery.note.c_str(),
+                 static_cast<unsigned long long>(recovery.snapshot_seq),
+                 static_cast<unsigned long long>(recovery.snapshot_records),
+                 static_cast<unsigned long long>(recovery.wal_records),
+                 static_cast<unsigned long long>(recovery.wal_truncated_bytes));
+    return catalog;
+  };
+
+  service_options.catalog = open_catalog();
+  auto service = std::make_unique<OocqService>(service_options);
 
   TcpServerOptions server_options;
   server_options.port = smoke ? 0 : static_cast<uint16_t>(port);
-  TcpServer server(&service, server_options);
-  Status started = server.Start();
+  auto server = std::make_unique<TcpServer>(service.get(), server_options);
+  Status started = server->Start();
   if (!started.ok()) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
     return 1;
   }
   std::fprintf(stderr,
                "oocq_serve: listening on 127.0.0.1:%u "
-               "(workers=%u queue=%u threads=%u deadline_ms=%llu)\n",
-               server.port(), service_options.max_in_flight,
+               "(workers=%u queue=%u threads=%u deadline_ms=%llu%s%s)\n",
+               server->port(), service_options.max_in_flight,
                service_options.max_queue_depth,
                service_options.engine.parallel.num_threads,
-               static_cast<unsigned long long>(deadline_ms));
+               static_cast<unsigned long long>(deadline_ms),
+               data_dir.empty() ? "" : " data_dir=",
+               data_dir.empty() ? "" : data_dir.c_str());
 
   int rc = 0;
   if (smoke) {
-    rc = RunSmoke(server.port());
-    server.Stop();
+    bool ok = RunSmokeConversation(server->port());
+    server->Stop();
+    server.reset();
+    if (ok && !data_dir.empty()) {
+      service.reset();  // final snapshot persists the warm cache
+      // Second phase: a fresh service over the same data dir must restore
+      // s1, @q1 and the cache without any re-registration.
+      service_options.catalog = open_catalog();
+      service = std::make_unique<OocqService>(service_options);
+      server_options.port = 0;
+      server = std::make_unique<TcpServer>(service.get(), server_options);
+      started = server->Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+        return 1;
+      }
+      ok = RunWarmConversation(server->port());
+      server->Stop();
+      server.reset();
+    }
+    if (want_metrics) {
+      std::printf("%s\n", service->metrics().JsonString().c_str());
+    }
+    service.reset();
+    std::fprintf(stderr, "smoke: %s\n", ok ? "PASS" : "FAIL");
+    rc = ok ? 0 : 1;
   } else {
     if (::pipe(g_signal_pipe) != 0) {
       std::perror("pipe");
@@ -211,14 +316,16 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "oocq_serve: draining %llu connection(s)...\n",
                  static_cast<unsigned long long>(
-                     server.connections_accepted()));
-    server.Stop();  // graceful: in-flight requests finish and respond
+                     server->connections_accepted()));
+    server->Stop();  // graceful: in-flight requests finish and respond
+    if (want_metrics) {
+      std::printf("%s\n", service->metrics().JsonString().c_str());
+    }
+    server.reset();
+    service.reset();  // drains, then final catalog snapshot
     std::fprintf(stderr, "oocq_serve: drained, shutting down\n");
   }
 
-  if (want_metrics) {
-    std::printf("%s\n", service.metrics().JsonString().c_str());
-  }
   trace_session.reset();
   if (!trace_path.empty()) {
     Status written = trace_log.WriteChromeTrace(trace_path);

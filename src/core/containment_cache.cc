@@ -32,6 +32,59 @@ ContainmentCache::Shard& ContainmentCache::ShardFor(const std::string& key) {
   return *shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
+void ContainmentCache::EvictIfOver(Shard& shard) {
+  if (max_entries_per_shard_ == 0 ||
+      shard.map.size() <= max_entries_per_shard_) {
+    return;
+  }
+  // Evict the oldest finished entry; skip stale fifo keys (erased on
+  // error) and in-flight ones.
+  for (size_t scanned = shard.fifo.size(); scanned > 0; --scanned) {
+    std::string victim = std::move(shard.fifo.front());
+    shard.fifo.pop_front();
+    auto vit = shard.map.find(victim);
+    if (vit == shard.map.end()) continue;  // stale
+    if (!vit->second->done) {
+      shard.fifo.push_back(std::move(victim));  // in flight: keep
+      continue;
+    }
+    shard.map.erase(vit);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    MetricAdd("cache/evictions", 1);
+    break;
+  }
+}
+
+std::vector<std::pair<std::string, bool>> ContainmentCache::Export(
+    size_t max_entries) const {
+  std::vector<std::pair<std::string, bool>> exported;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const std::string& key : shard->fifo) {
+      if (max_entries != 0 && exported.size() >= max_entries) return exported;
+      auto it = shard->map.find(key);
+      if (it == shard->map.end() || !it->second->done ||
+          !it->second->error.ok()) {
+        continue;
+      }
+      exported.emplace_back(key, it->second->value);
+    }
+  }
+  return exported;
+}
+
+void ContainmentCache::Preload(const std::string& key, bool value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.count(key) != 0) return;
+  auto entry = std::make_shared<Entry>();
+  entry->done = true;
+  entry->value = value;
+  shard.map.emplace(key, std::move(entry));
+  shard.fifo.push_back(key);
+  EvictIfOver(shard);
+}
+
 size_t ContainmentCache::size() const {
   size_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
@@ -67,24 +120,7 @@ StatusOr<bool> ContainmentCache::Contained(const ConjunctiveQuery& q1,
       misses_.fetch_add(1, std::memory_order_relaxed);
       if (stats != nullptr) ++stats->cache_misses;
       MetricAdd("cache/miss", 1);
-      if (max_entries_per_shard_ != 0 &&
-          shard.map.size() > max_entries_per_shard_) {
-        // Evict the oldest finished entry; skip stale fifo keys (erased
-        // on error) and in-flight ones.
-        for (size_t scanned = shard.fifo.size(); scanned > 0; --scanned) {
-          std::string victim = std::move(shard.fifo.front());
-          shard.fifo.pop_front();
-          auto vit = shard.map.find(victim);
-          if (vit == shard.map.end()) continue;  // stale
-          if (!vit->second->done) {
-            shard.fifo.push_back(std::move(victim));  // in flight: keep
-            continue;
-          }
-          shard.map.erase(vit);
-          MetricAdd("cache/evict", 1);
-          break;
-        }
-      }
+      EvictIfOver(shard);
     } else {
       entry = it->second;
       hits_.fetch_add(1, std::memory_order_relaxed);

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/containment.h"
@@ -70,8 +71,21 @@ class ContainmentCache {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   /// Finished entries currently resident (sums shard sizes under locks).
   size_t size() const;
+
+  /// Finished (key, verdict) pairs, oldest-first within each shard, for
+  /// persistence (docs/persistence.md). At most `max_entries` pairs
+  /// (0 = all). In-flight and errored entries are never exported.
+  std::vector<std::pair<std::string, bool>> Export(size_t max_entries) const;
+
+  /// Seeds one decided verdict under its canonical-pair key, as produced
+  /// by Export(). Counts toward the entry cap (evicting as usual) but not
+  /// toward hits/misses; an existing entry for the key wins.
+  void Preload(const std::string& key, bool value);
 
  private:
   /// One memo slot. `done` flips under the shard mutex once the decision
@@ -90,6 +104,9 @@ class ContainmentCache {
   };
 
   Shard& ShardFor(const std::string& key);
+  /// FIFO-evicts oldest finished entries until `shard` is within its cap.
+  /// Caller holds shard.mu.
+  void EvictIfOver(Shard& shard);
 
   const Schema* schema_;
   Options options_;
@@ -97,6 +114,7 @@ class ContainmentCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace oocq

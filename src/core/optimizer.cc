@@ -114,7 +114,8 @@ std::string OptimizeReport::Summary(const Schema& schema) const {
          std::to_string(containment.mapping_searches) + " mapping search(es), " +
          std::to_string(containment.mapping_steps) + " step(s)\n";
   out += "  containment cache: " + std::to_string(cache_hits) + " hit(s), " +
-         std::to_string(cache_misses) + " miss(es)\n";
+         std::to_string(cache_misses) + " miss(es), " +
+         std::to_string(cache_evictions) + " eviction(s)\n";
   out += "  search-space cost: " + std::to_string(original_cost.total) +
          " -> " + std::to_string(optimized_cost.total) + "\n";
   if (metrics.enabled) {
@@ -210,6 +211,7 @@ StatusOr<OptimizeReport> QueryOptimizer::Optimize(
   if (cache != nullptr) {
     report.cache_hits = cache->hits();
     report.cache_misses = cache->misses();
+    report.cache_evictions = cache->evictions();
   }
   report.optimized_cost = SearchSpaceCostOf(schema_, report.optimized);
   span.Arg("exact", report.exact ? "true" : "false")

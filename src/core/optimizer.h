@@ -57,6 +57,8 @@ struct OptimizeReport {
   /// containment decisions computed — deterministic across thread counts.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Entries the cache's entry cap pushed out during this run.
+  uint64_t cache_evictions = 0;
   /// Per-phase timing/work and the run's counters; empty (enabled ==
   /// false) unless EngineOptions::observability asked for collection.
   RunMetrics metrics;

@@ -1,0 +1,226 @@
+#include "persist/codec.h"
+
+#include <array>
+
+#include "core/canonical.h"
+#include "parser/parser.h"
+#include "query/query.h"
+#include "schema/schema.h"
+
+namespace oocq::persist {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'O', 'C', 'Q', 'P', 'R', 'S', '1'};
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+void PutU32(uint32_t value, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+bool GetU32(std::string_view buffer, size_t* offset, uint32_t* value) {
+  if (buffer.size() - *offset < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(
+             static_cast<unsigned char>(buffer[*offset + static_cast<size_t>(i)]))
+         << (8 * i);
+  }
+  *offset += 4;
+  *value = v;
+  return true;
+}
+
+void PutString(std::string_view value, std::string* out) {
+  PutU32(static_cast<uint32_t>(value.size()), out);
+  out->append(value);
+}
+
+bool GetString(std::string_view buffer, size_t* offset, std::string* value) {
+  uint32_t len = 0;
+  if (!GetU32(buffer, offset, &len)) return false;
+  if (buffer.size() - *offset < len) return false;
+  value->assign(buffer.substr(*offset, len));
+  *offset += len;
+  return true;
+}
+
+uint64_t Fnv1a64(std::string_view data, uint64_t hash = 0xcbf29ce484222325ull) {
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string HexU64(uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+/// Computes the fingerprint by running the actual canonicalization on
+/// probe queries that exercise its interesting axes (subclassing, set
+/// attributes, bound variables, negative atoms) — any behavioral drift
+/// in CanonicalKey shows up in these outputs.
+std::string ComputeFingerprint() {
+  StatusOr<Schema> schema = ParseSchema(R"(
+schema Fingerprint {
+  class A { S: {A}; N: Int; }
+  class B under A { T: {B}; }
+}
+)");
+  std::string material = "oocq-persist-v" + std::to_string(kFormatVersion);
+  if (schema.ok()) {
+    const char* kProbes[] = {
+        "{ x | exists y (x in B & y in A & x in y.S) }",
+        "{ x | exists y exists z (x in A & y in B & z in B & x in y.T & "
+        "y in z.S & x notin z.T) }",
+        "{ x | x in A & x.N = 7 }",
+    };
+    for (const char* probe : kProbes) {
+      StatusOr<ConjunctiveQuery> query = ParseQuery(*schema, probe);
+      if (query.ok()) {
+        material += '|';
+        material += CanonicalKey(*query);
+      }
+    }
+  }
+  return HexU64(Fnv1a64(material));
+}
+
+}  // namespace
+
+const std::string& EngineFingerprint() {
+  static const std::string fingerprint = ComputeFingerprint();
+  return fingerprint;
+}
+
+const char* RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kCreateSession:
+      return "create_session";
+    case RecordType::kDefineQuery:
+      return "define_query";
+    case RecordType::kSetState:
+      return "set_state";
+    case RecordType::kDropSession:
+      return "drop_session";
+    case RecordType::kCacheEntry:
+      return "cache_entry";
+  }
+  return "unknown";
+}
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<unsigned char>(c)) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void EncodeRecord(const Record& record, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(record.type));
+  payload.push_back(record.verdict ? 1 : 0);
+  PutString(record.session_id, &payload);
+  PutString(record.name, &payload);
+  PutString(record.text, &payload);
+
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  PutU32(Crc32(payload), out);
+  out->append(payload);
+}
+
+void EncodeFileHeader(std::string* out, std::string_view fingerprint) {
+  out->append(kMagic, sizeof(kMagic));
+  PutU32(kFormatVersion, out);
+  PutString(fingerprint, out);
+}
+
+size_t EncodedHeaderSize(std::string_view fingerprint) {
+  return sizeof(kMagic) + 4 + 4 + fingerprint.size();
+}
+
+Status DecodeFileHeader(std::string_view buffer, size_t* offset) {
+  if (buffer.size() - *offset < sizeof(kMagic) + 4) {
+    return Status::InvalidArgument("catalog file shorter than its header");
+  }
+  if (buffer.compare(*offset, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return Status::FailedPrecondition("bad magic: not a catalog file");
+  }
+  *offset += sizeof(kMagic);
+  uint32_t version = 0;
+  if (!GetU32(buffer, offset, &version)) {
+    return Status::InvalidArgument("catalog header truncated");
+  }
+  if (version != kFormatVersion) {
+    return Status::FailedPrecondition(
+        "format version " + std::to_string(version) + " != " +
+        std::to_string(kFormatVersion));
+  }
+  std::string fingerprint;
+  if (!GetString(buffer, offset, &fingerprint)) {
+    return Status::InvalidArgument("catalog header truncated");
+  }
+  if (fingerprint != EngineFingerprint()) {
+    return Status::FailedPrecondition("engine fingerprint '" + fingerprint +
+                                      "' != '" + EngineFingerprint() + "'");
+  }
+  return Status::Ok();
+}
+
+DecodeResult DecodeRecord(std::string_view buffer, size_t* offset,
+                          Record* out) {
+  size_t cursor = *offset;
+  uint32_t payload_len = 0, crc = 0;
+  if (!GetU32(buffer, &cursor, &payload_len)) return DecodeResult::kNeedMore;
+  if (payload_len > kMaxPayloadBytes) return DecodeResult::kCorrupt;
+  if (!GetU32(buffer, &cursor, &crc)) return DecodeResult::kNeedMore;
+  if (buffer.size() - cursor < payload_len) return DecodeResult::kNeedMore;
+  std::string_view payload = buffer.substr(cursor, payload_len);
+  if (Crc32(payload) != crc) return DecodeResult::kCorrupt;
+
+  // The payload checksummed clean; structural violations below are real
+  // corruption (or an encoder bug), not a torn tail.
+  if (payload.size() < 2) return DecodeResult::kCorrupt;
+  const uint8_t type = static_cast<uint8_t>(payload[0]);
+  if (type < static_cast<uint8_t>(RecordType::kCreateSession) ||
+      type > static_cast<uint8_t>(RecordType::kCacheEntry)) {
+    return DecodeResult::kCorrupt;
+  }
+  Record record;
+  record.type = static_cast<RecordType>(type);
+  record.verdict = payload[1] != 0;
+  size_t field_offset = 2;
+  if (!GetString(payload, &field_offset, &record.session_id) ||
+      !GetString(payload, &field_offset, &record.name) ||
+      !GetString(payload, &field_offset, &record.text) ||
+      field_offset != payload.size()) {
+    return DecodeResult::kCorrupt;
+  }
+  *out = std::move(record);
+  *offset = cursor + payload_len;
+  return DecodeResult::kOk;
+}
+
+}  // namespace oocq::persist

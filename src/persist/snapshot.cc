@@ -1,0 +1,132 @@
+#include "persist/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/file.h"
+#include "support/metrics.h"
+#include "support/trace.h"
+
+namespace oocq::persist {
+
+namespace {
+
+constexpr const char* kPrefix = "snapshot.";
+
+/// Parses "snapshot.NNNNNN" → NNNNNN; 0 when `name` is not a snapshot
+/// (snapshot sequence numbers start at 1).
+uint64_t SeqOf(const std::string& name) {
+  const size_t prefix_len = std::char_traits<char>::length(kPrefix);
+  if (name.rfind(kPrefix, 0) != 0 || name.size() == prefix_len) return 0;
+  uint64_t seq = 0;
+  for (size_t i = prefix_len; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+/// Snapshot seqs present in `dir`, ascending.
+std::vector<uint64_t> SnapshotSeqs(const std::string& dir) {
+  std::vector<uint64_t> seqs;
+  StatusOr<std::vector<std::string>> names = ListDir(dir);
+  if (!names.ok()) return seqs;
+  for (const std::string& name : *names) {
+    if (uint64_t seq = SeqOf(name); seq != 0) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+}  // namespace
+
+std::string SnapshotPath(const std::string& dir, uint64_t seq) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), "%06llu",
+                static_cast<unsigned long long>(seq));
+  return dir + "/" + kPrefix + suffix;
+}
+
+Status WriteSnapshot(const std::string& dir, uint64_t seq,
+                     const std::vector<Record>& records) {
+  OOCQ_TRACE_SPAN(span, "SnapshotWrite");
+  span.Arg("seq", seq).Arg("records", static_cast<uint64_t>(records.size()));
+  std::string contents;
+  EncodeFileHeader(&contents);
+  for (const Record& record : records) {
+    EncodeRecord(record, &contents);
+  }
+  Status written = WriteFileDurable(SnapshotPath(dir, seq), contents);
+  if (written.ok()) {
+    MetricAdd("persist/snapshots", 1);
+    MetricAdd("persist/snapshot_records", records.size());
+    MetricRecord("persist/snapshot_bytes", contents.size());
+  }
+  return written;
+}
+
+StatusOr<LoadedSnapshot> LoadLatestSnapshot(const std::string& dir) {
+  OOCQ_TRACE_SPAN(span, "SnapshotLoad");
+  LoadedSnapshot loaded;
+  std::vector<uint64_t> seqs = SnapshotSeqs(dir);
+  for (auto it = seqs.rbegin(); it != seqs.rend(); ++it) {
+    const std::string path = SnapshotPath(dir, *it);
+    StatusOr<std::string> contents = ReadFileToString(path);
+    if (!contents.ok()) {
+      loaded.skipped.push_back(path + ": " + contents.status().ToString());
+      continue;
+    }
+    size_t offset = 0;
+    Status header = DecodeFileHeader(*contents, &offset);
+    if (!header.ok()) {
+      loaded.skipped.push_back(path + ": " + header.ToString());
+      continue;
+    }
+    std::vector<Record> records;
+    Record record;
+    DecodeResult decoded;
+    while ((decoded = DecodeRecord(*contents, &offset, &record)) ==
+           DecodeResult::kOk) {
+      records.push_back(std::move(record));
+    }
+    if (offset != contents->size()) {
+      // Rename-protected files should never be torn; a short or corrupt
+      // one means external damage — skip it rather than trust a prefix.
+      loaded.skipped.push_back(
+          path + ": " +
+          (decoded == DecodeResult::kCorrupt ? "corrupt frame" : "torn file"));
+      continue;
+    }
+    loaded.seq = *it;
+    loaded.records = std::move(records);
+    break;
+  }
+  span.Arg("seq", loaded.seq)
+      .Arg("records", static_cast<uint64_t>(loaded.records.size()))
+      .Arg("skipped", static_cast<uint64_t>(loaded.skipped.size()));
+  if (!loaded.skipped.empty()) {
+    MetricAdd("persist/snapshots_skipped", loaded.skipped.size());
+  }
+  return loaded;
+}
+
+uint64_t LatestSnapshotSeq(const std::string& dir) {
+  std::vector<uint64_t> seqs = SnapshotSeqs(dir);
+  return seqs.empty() ? 0 : seqs.back();
+}
+
+void RemoveSnapshotsBefore(const std::string& dir, uint64_t keep_seq) {
+  StatusOr<std::vector<std::string>> names = ListDir(dir);
+  if (!names.ok()) return;
+  for (const std::string& name : *names) {
+    uint64_t seq = SeqOf(name);
+    bool tmp_orphan = name.rfind(kPrefix, 0) == 0 &&
+                      name.size() > 4 &&
+                      name.compare(name.size() - 4, 4, ".tmp") == 0;
+    if ((seq != 0 && seq < keep_seq) || tmp_orphan) {
+      (void)RemoveFileIfExists(dir + "/" + name);
+    }
+  }
+}
+
+}  // namespace oocq::persist

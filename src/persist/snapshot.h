@@ -1,0 +1,58 @@
+#ifndef OOCQ_PERSIST_SNAPSHOT_H_
+#define OOCQ_PERSIST_SNAPSHOT_H_
+
+/// Atomic catalog snapshots: the full session registry (and the
+/// containment-cache verdicts worth warming) serialized as one codec
+/// file `snapshot.NNNNNN` in the data directory.
+///
+/// Atomicity comes from the write protocol, not the format: the records
+/// are written and fsynced into a `.tmp` sibling, renamed into place,
+/// and the directory is fsynced — a reader (the next process) either
+/// sees the complete snapshot or none of it, never a torn one. A crash
+/// mid-write leaves only a `.tmp` orphan, which loading ignores.
+///
+/// Loading walks snapshots newest-first and returns the first readable
+/// one; files with a mismatched version/fingerprint or corrupt frames
+/// are skipped (never trusted, never fatal). Old snapshots are removed
+/// by the writer after the newer one is durable.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/codec.h"
+#include "support/status.h"
+
+namespace oocq::persist {
+
+/// Writes `records` as `<dir>/snapshot.<seq>` via temp + rename + dir
+/// fsync.
+Status WriteSnapshot(const std::string& dir, uint64_t seq,
+                     const std::vector<Record>& records);
+
+struct LoadedSnapshot {
+  /// 0 when no readable snapshot exists (records then empty).
+  uint64_t seq = 0;
+  std::vector<Record> records;
+  /// Snapshots that were present but unreadable (corrupt or written by
+  /// an incompatible engine) and therefore skipped, newest first.
+  std::vector<std::string> skipped;
+};
+
+/// Loads the newest readable snapshot in `dir` (see header comment).
+/// A missing directory or no snapshots at all is a seq-0 result, not an
+/// error.
+StatusOr<LoadedSnapshot> LoadLatestSnapshot(const std::string& dir);
+
+/// The highest snapshot sequence number present in `dir` (readable or
+/// not); 0 when none.
+uint64_t LatestSnapshotSeq(const std::string& dir);
+
+/// Removes every snapshot (and snapshot temp orphan) with seq < keep_seq.
+void RemoveSnapshotsBefore(const std::string& dir, uint64_t keep_seq);
+
+/// "<dir>/snapshot.NNNNNN" for `seq`.
+std::string SnapshotPath(const std::string& dir, uint64_t seq);
+
+}  // namespace oocq::persist
+
+#endif  // OOCQ_PERSIST_SNAPSHOT_H_

@@ -1,0 +1,227 @@
+#include "persist/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "support/file.h"
+#include "support/metrics.h"
+#include "support/status_macros.h"
+#include "support/trace.h"
+
+namespace oocq::persist {
+
+namespace {
+
+/// write(2) the whole buffer, honoring the injected fault point: bytes
+/// beyond `fail_at` (0 = off) are dropped on the floor, as if the
+/// process had died mid-write. Returns false on the injected fault or a
+/// real write error.
+bool WriteAllWithFault(int fd, const char* data, size_t size,
+                       uint64_t written_so_far, uint64_t fail_at) {
+  size_t allowed = size;
+  bool faulted = false;
+  if (fail_at != 0) {
+    if (written_so_far >= fail_at) {
+      allowed = 0;
+      faulted = true;
+    } else if (written_so_far + size > fail_at) {
+      allowed = static_cast<size_t>(fail_at - written_so_far);
+      faulted = true;
+    }
+  }
+  size_t done = 0;
+  while (done < allowed) {
+    ssize_t n = ::write(fd, data + done, allowed - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return !faulted;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, WalOptions options) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::Internal("open wal '" + path + "': " +
+                            std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::Internal("lseek wal '" + path + "': " +
+                            std::strerror(errno));
+  }
+  std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog(
+      path, fd, static_cast<uint64_t>(size), options));
+  if (size == 0) {
+    std::string header;
+    EncodeFileHeader(&header);
+    if (!WriteAllWithFault(fd, header.data(), header.size(), 0, 0)) {
+      return Status::Internal("write wal header '" + path + "'");
+    }
+    wal->bytes_ = header.size();
+    OOCQ_RETURN_IF_ERROR(FsyncFd(fd));
+    OOCQ_RETURN_IF_ERROR(FsyncDir(DirName(path)));
+  }
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+Status WriteAheadLog::Append(const Record& record) {
+  std::string frame;
+  EncodeRecord(record, &frame);
+
+  uint64_t my_seq;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (broken_) {
+      return Status::Internal("write-ahead log is broken; mutations are "
+                              "applied in memory only");
+    }
+    if (!WriteAllWithFault(fd_, frame.data(), frame.size(), bytes_,
+                           options_.fail_after_bytes)) {
+      broken_ = true;
+      // The torn bytes stay in the file — exactly what replay's tail
+      // truncation exists to clean up.
+      bytes_ = options_.fail_after_bytes != 0 &&
+                       bytes_ < options_.fail_after_bytes
+                   ? options_.fail_after_bytes
+                   : bytes_;
+      return Status::Internal("wal append failed mid-write (torn frame)");
+    }
+    bytes_ += frame.size();
+    my_seq = ++write_seq_;
+  }
+  appended_.fetch_add(1, std::memory_order_relaxed);
+  MetricAdd("persist/wal_appends", 1);
+  MetricAdd("persist/wal_bytes", frame.size());
+  return SyncCovering(my_seq);
+}
+
+Status WriteAheadLog::SyncCovering(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  while (true) {
+    if (synced_seq_ >= seq) return Status::Ok();
+    if (!sync_in_flight_) break;
+    // A leader is (or just was) syncing; wait for its result and
+    // re-check coverage.
+    sync_cv_.wait(lock, [this] { return !sync_in_flight_; });
+  }
+  // This thread leads the next sync round.
+  sync_in_flight_ = true;
+  lock.unlock();
+
+  if (options_.group_commit_window_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.group_commit_window_us));
+  }
+  uint64_t covered;
+  {
+    std::lock_guard<std::mutex> write_lock(write_mu_);
+    covered = write_seq_;
+  }
+  Status synced = FsyncFd(fd_);
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  MetricAdd("persist/fsyncs", 1);
+
+  lock.lock();
+  if (synced.ok()) synced_seq_ = covered;
+  sync_in_flight_ = false;
+  lock.unlock();
+  sync_cv_.notify_all();
+  return synced;
+}
+
+Status WriteAheadLog::Reset() {
+  std::string header;
+  EncodeFileHeader(&header);
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::Internal("ftruncate wal: " + std::string(std::strerror(errno)));
+  }
+  // O_APPEND writes always land at the (new) end; rewrite the header.
+  if (!WriteAllWithFault(fd_, header.data(), header.size(), 0, 0)) {
+    broken_ = true;
+    return Status::Internal("rewrite wal header after reset");
+  }
+  bytes_ = header.size();
+  broken_ = false;
+  write_seq_ = 0;
+  synced_seq_ = 0;
+  MetricAdd("persist/wal_resets", 1);
+  return FsyncFd(fd_);
+}
+
+uint64_t WriteAheadLog::appended() const {
+  return appended_.load(std::memory_order_relaxed);
+}
+
+uint64_t WriteAheadLog::syncs() const {
+  return syncs_.load(std::memory_order_relaxed);
+}
+
+StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
+    const std::string& path) {
+  OOCQ_TRACE_SPAN(span, "WalReplay");
+  ReplayResult result;
+  StatusOr<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) {
+    if (contents.status().code() == StatusCode::kNotFound) return result;
+    return contents.status();
+  }
+  if (contents->empty()) return result;
+
+  size_t offset = 0;
+  Status header = DecodeFileHeader(*contents, &offset);
+  if (!header.ok()) {
+    // Truncated header: a crash during the very first write. Treat as a
+    // torn tail (empty log); anything else (mismatched version or
+    // fingerprint) the caller must handle explicitly.
+    if (header.code() == StatusCode::kInvalidArgument) {
+      result.truncated_bytes = contents->size();
+      OOCQ_RETURN_IF_ERROR(RemoveFileIfExists(path));
+      return result;
+    }
+    return header;
+  }
+
+  Record record;
+  while (DecodeRecord(*contents, &offset, &record) == DecodeResult::kOk) {
+    result.records.push_back(std::move(record));
+  }
+  if (offset < contents->size()) {
+    // Torn or corrupt tail: truncate the file back to the last intact
+    // frame so the next append continues from a clean state.
+    result.truncated_bytes = contents->size() - offset;
+    if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+      return Status::Internal("truncate wal tail: " +
+                              std::string(std::strerror(errno)));
+    }
+    MetricAdd("persist/wal_truncated_bytes", result.truncated_bytes);
+  }
+  span.Arg("records", static_cast<uint64_t>(result.records.size()))
+      .Arg("truncated_bytes", result.truncated_bytes);
+  MetricAdd("persist/wal_replayed_records", result.records.size());
+  return result;
+}
+
+}  // namespace oocq::persist

@@ -1,0 +1,115 @@
+#ifndef OOCQ_PERSIST_WAL_H_
+#define OOCQ_PERSIST_WAL_H_
+
+/// The durable catalog's write-ahead log: session mutations are appended
+/// as codec frames (persist/codec.h) and fsynced before the mutation is
+/// acknowledged, so a restart replays every acked mutation since the
+/// last snapshot. Snapshots compact the log by resetting it to a bare
+/// header (DurableCatalog holds its mutation gate across both steps).
+///
+/// fsync batching: with `group_commit_window_us` > 0 an Append first
+/// publishes its frame under the log mutex, then joins a *group commit* —
+/// one appender becomes the sync leader, sleeps the window so concurrent
+/// appends pile in behind it, and issues a single fsync covering all of
+/// them; the rest just wait for the leader's sync to cover their
+/// sequence number. Window 0 degenerates to fsync-per-append.
+///
+/// Replay tolerates exactly the failure a torn append leaves behind: the
+/// first frame that is short or fails its CRC ends the replay and the
+/// file is truncated back to the last good frame ("corrupt-tail
+/// truncation") — acked history is never dropped, unacked bytes never
+/// replayed. A header from a different format version or engine
+/// fingerprint rejects the whole file with kFailedPrecondition; the
+/// catalog degrades that to a logged cold start.
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "persist/codec.h"
+#include "support/status.h"
+
+namespace oocq::persist {
+
+struct WalOptions {
+  /// How long a sync leader waits for concurrent appends to share its
+  /// fsync. 0 = every append fsyncs immediately.
+  uint32_t group_commit_window_us = 200;
+  /// Test-only fault injection: after this many total bytes the file
+  /// "dies" — a frame crossing the limit is written only up to it (a
+  /// torn append, as a SIGKILL mid-write would leave) and the append
+  /// fails with kInternal. 0 disables.
+  uint64_t fail_after_bytes = 0;
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens `path` for appending, writing a fresh header when the file is
+  /// new or empty. Open() does NOT validate existing contents — replay
+  /// first (Replay()), then open.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path, WalOptions options = {});
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record and returns once an fsync covers it (see the
+  /// group-commit comment above). Thread-safe.
+  Status Append(const Record& record);
+
+  /// Truncates the log back to a bare header — run by the snapshotter
+  /// after the snapshot that subsumes the log's records is durable.
+  Status Reset();
+
+  /// Records appended through this handle (not counting replayed ones).
+  uint64_t appended() const;
+  /// fsync(2) calls issued; with batching, less than appended().
+  uint64_t syncs() const;
+  const std::string& path() const { return path_; }
+
+  struct ReplayResult {
+    std::vector<Record> records;
+    /// Bytes of torn/corrupt tail removed from the file.
+    uint64_t truncated_bytes = 0;
+  };
+
+  /// Replays `path`: decodes every intact frame, truncating the file at
+  /// the first torn or corrupt one. A missing file is an empty result; a
+  /// header mismatch (version / engine fingerprint) is
+  /// kFailedPrecondition and leaves the file untouched.
+  static StatusOr<ReplayResult> Replay(const std::string& path);
+
+ private:
+  WriteAheadLog(std::string path, int fd, uint64_t size, WalOptions options)
+      : path_(std::move(path)), fd_(fd), options_(options), bytes_(size) {}
+
+  /// Blocks until an fsync covers sequence number `seq`; one caller
+  /// becomes the leader for each sync round.
+  Status SyncCovering(uint64_t seq);
+
+  const std::string path_;
+  int fd_;
+  WalOptions options_;
+
+  std::mutex write_mu_;       // serializes write(2) calls; guards bytes_
+  uint64_t bytes_ = 0;        // file size written so far (incl. header)
+  uint64_t write_seq_ = 0;    // frames fully written
+  bool broken_ = false;       // a write failed; the log refuses appends
+
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  uint64_t synced_seq_ = 0;   // frames covered by a completed fsync
+  bool sync_in_flight_ = false;
+
+  std::atomic<uint64_t> appended_{0};
+  std::atomic<uint64_t> syncs_{0};
+};
+
+}  // namespace oocq::persist
+
+#endif  // OOCQ_PERSIST_WAL_H_

@@ -1,6 +1,9 @@
 #include "server/service.h"
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <cstdlib>
 #include <future>
 #include <utility>
 
@@ -55,21 +58,32 @@ OocqService::OocqService(ServiceOptions options)
   if (options_.max_in_flight < 1) options_.max_in_flight = 1;
   if (options_.metrics) metrics_scope_.emplace(&registry_);
   pool_ = std::make_unique<ThreadPool>(options_.max_in_flight);
+  if (options_.catalog != nullptr) {
+    RestoreFromCatalog();
+    options_.catalog->StartSnapshotter([this] { return DumpCatalog(); });
+  }
 }
 
 OocqService::~OocqService() {
   Drain();
+  if (options_.catalog != nullptr) {
+    options_.catalog->StopSnapshotter();
+    // Final compaction: the snapshot carries the warm containment cache
+    // into the next process. Then detach the dump — the catalog may
+    // outlive this service.
+    (void)options_.catalog->SnapshotNow();
+    options_.catalog->StartSnapshotter(nullptr);
+  }
   // The pool joins before the metrics scope (a member declared earlier)
   // is torn down, so late task metrics never land in a dead registry.
   pool_.reset();
 }
 
-StatusOr<std::string> OocqService::CreateSession(
-    const std::string& schema_text) {
+StatusOr<std::shared_ptr<OocqService::Session>> OocqService::MakeSession(
+    const std::string& schema_text) const {
   OOCQ_ASSIGN_OR_RETURN(Schema schema, ParseSchema(schema_text));
   auto session = std::make_shared<Session>(std::move(schema));
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  std::string id = "s" + std::to_string(next_session_++);
+  session->schema_text = schema_text;
   // The cache binds to the Session-owned schema, whose address is stable
   // for the session's lifetime (sessions are held by shared_ptr).
   ContainmentCache::Options cache_options;
@@ -80,19 +94,54 @@ StatusOr<std::string> OocqService::CreateSession(
     session->cache =
         std::make_unique<ContainmentCache>(&session->schema, cache_options);
   }
-  sessions_.emplace(id, std::move(session));
+  return session;
+}
+
+StatusOr<std::string> OocqService::CreateSession(
+    const std::string& schema_text) {
+  OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                        MakeSession(schema_text));
+  // Persistence gate (shared): the catalog's snapshotter cannot cut
+  // between this mutation's in-memory commit and its WAL append.
+  std::shared_lock<std::shared_mutex> guard;
+  if (options_.catalog != nullptr) guard = options_.catalog->MutationGuard();
+  std::string id;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    id = "s" + std::to_string(next_session_++);
+    sessions_.emplace(id, std::move(session));
+  }
   registry_.Add("server/sessions_created", 1);
+  persist::Record record;
+  record.type = persist::RecordType::kCreateSession;
+  record.session_id = id;
+  record.text = schema_text;
+  Status logged = LogMutation(std::move(record));
+  if (!logged.ok()) {
+    // Unlogged sessions are never acked: roll back so the client can
+    // retry (or fail over) with a consistent view.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(id);
+    return logged;
+  }
   return id;
 }
 
 Status OocqService::DropSession(const std::string& session_id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  // In-flight requests keep the Session alive through their shared_ptr;
-  // dropping only unregisters the id.
-  if (sessions_.erase(session_id) == 0) {
-    return Status::NotFound("no session '" + session_id + "'");
+  std::shared_lock<std::shared_mutex> guard;
+  if (options_.catalog != nullptr) guard = options_.catalog->MutationGuard();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    // In-flight requests keep the Session alive through their shared_ptr;
+    // dropping only unregisters the id.
+    if (sessions_.erase(session_id) == 0) {
+      return Status::NotFound("no session '" + session_id + "'");
+    }
   }
-  return Status::Ok();
+  persist::Record record;
+  record.type = persist::RecordType::kDropSession;
+  record.session_id = session_id;
+  return LogMutation(std::move(record));
 }
 
 StatusOr<std::shared_ptr<OocqService::Session>> OocqService::FindSession(
@@ -112,9 +161,21 @@ Status OocqService::DefineQuery(const std::string& session_id,
                         FindSession(session_id));
   OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery query,
                         ParseQuery(session->schema, query_text));
-  std::unique_lock<std::shared_mutex> lock(session->mu);
-  session->named.insert_or_assign(name, std::move(query));
-  return Status::Ok();
+  std::shared_lock<std::shared_mutex> guard;
+  if (options_.catalog != nullptr) guard = options_.catalog->MutationGuard();
+  {
+    std::unique_lock<std::shared_mutex> lock(session->mu);
+    session->named.insert_or_assign(name, std::move(query));
+    session->named_text.insert_or_assign(name, query_text);
+  }
+  persist::Record record;
+  record.type = persist::RecordType::kDefineQuery;
+  record.session_id = session_id;
+  record.name = name;
+  record.text = query_text;
+  // A failed append leaves the definition live in memory; redefinition is
+  // idempotent, so the client's retry converges.
+  return LogMutation(std::move(record));
 }
 
 Status OocqService::LoadState(const std::string& session_id,
@@ -123,14 +184,174 @@ Status OocqService::LoadState(const std::string& session_id,
                         FindSession(session_id));
   OOCQ_ASSIGN_OR_RETURN(State state,
                         ParseState(&session->schema, state_text));
-  std::unique_lock<std::shared_mutex> lock(session->mu);
-  session->state.emplace(std::move(state));
-  return Status::Ok();
+  std::shared_lock<std::shared_mutex> guard;
+  if (options_.catalog != nullptr) guard = options_.catalog->MutationGuard();
+  {
+    std::unique_lock<std::shared_mutex> lock(session->mu);
+    session->state.emplace(std::move(state));
+    session->state_text = state_text;
+  }
+  persist::Record record;
+  record.type = persist::RecordType::kSetState;
+  record.session_id = session_id;
+  record.text = state_text;
+  return LogMutation(std::move(record));
 }
 
 size_t OocqService::session_count() const {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   return sessions_.size();
+}
+
+Status OocqService::LogMutation(persist::Record record) {
+  if (options_.catalog == nullptr) return Status::Ok();
+  Status logged = options_.catalog->Log(record);
+  if (!logged.ok()) registry_.Add("persist/log_failures", 1);
+  return logged;
+}
+
+Status OocqService::ApplyRecord(const persist::Record& record) {
+  switch (record.type) {
+    case persist::RecordType::kCreateSession: {
+      {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        // Idempotent: a crash between snapshot rename and WAL reset makes
+        // the WAL replay records the snapshot already holds.
+        if (sessions_.count(record.session_id) != 0) return Status::Ok();
+      }
+      OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                            MakeSession(record.text));
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.emplace(record.session_id, std::move(session));
+      // Persisted ids are never reused: "s<N>" bumps the counter past N.
+      if (record.session_id.size() > 1 && record.session_id[0] == 's') {
+        const std::string digits = record.session_id.substr(1);
+        if (std::all_of(digits.begin(), digits.end(), [](unsigned char c) {
+              return std::isdigit(c) != 0;
+            })) {
+          uint64_t n = std::strtoull(digits.c_str(), nullptr, 10);
+          next_session_ = std::max(next_session_, n + 1);
+        }
+      }
+      return Status::Ok();
+    }
+    case persist::RecordType::kDefineQuery: {
+      OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                            FindSession(record.session_id));
+      OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery query,
+                            ParseQuery(session->schema, record.text));
+      std::unique_lock<std::shared_mutex> lock(session->mu);
+      session->named.insert_or_assign(record.name, std::move(query));
+      session->named_text.insert_or_assign(record.name, record.text);
+      return Status::Ok();
+    }
+    case persist::RecordType::kSetState: {
+      OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                            FindSession(record.session_id));
+      OOCQ_ASSIGN_OR_RETURN(State state,
+                            ParseState(&session->schema, record.text));
+      std::unique_lock<std::shared_mutex> lock(session->mu);
+      session->state.emplace(std::move(state));
+      session->state_text = record.text;
+      return Status::Ok();
+    }
+    case persist::RecordType::kDropSession: {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.erase(record.session_id);  // tolerate already-gone
+      return Status::Ok();
+    }
+    case persist::RecordType::kCacheEntry: {
+      OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                            FindSession(record.session_id));
+      std::shared_lock<std::shared_mutex> lock(session->mu);
+      if (session->cache != nullptr) {
+        session->cache->Preload(record.text, record.verdict);
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown record type");
+}
+
+void OocqService::RestoreFromCatalog() {
+  size_t sessions_before;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_before = sessions_.size();
+  }
+  size_t applied = 0;
+  size_t skipped = 0;
+  size_t cache_entries = 0;
+  for (const persist::Record& record : options_.catalog->recovered()) {
+    // A record that no longer parses (hand-edited file, removed feature)
+    // is skipped and counted — recovery always completes.
+    if (ApplyRecord(record).ok()) {
+      ++applied;
+      if (record.type == persist::RecordType::kCacheEntry) ++cache_entries;
+    } else {
+      ++skipped;
+    }
+  }
+  registry_.Add("persist/restored_records", applied);
+  registry_.Add("persist/restored_cache_entries", cache_entries);
+  if (skipped != 0) registry_.Add("persist/restore_skipped", skipped);
+  size_t restored;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    restored = sessions_.size() - sessions_before;
+  }
+  registry_.Add("server/sessions_restored", restored);
+}
+
+std::vector<persist::Record> OocqService::DumpCatalog() {
+  std::vector<persist::Record> records;
+  std::vector<std::pair<std::string, std::shared_ptr<Session>>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.assign(sessions_.begin(), sessions_.end());
+  }
+  size_t cache_budget = options_.catalog != nullptr
+                            ? options_.catalog->options().max_cache_entries
+                            : 0;
+  const bool cache_unlimited = cache_budget == 0;
+  for (const auto& [id, session] : sessions) {
+    std::shared_lock<std::shared_mutex> lock(session->mu);
+    persist::Record create;
+    create.type = persist::RecordType::kCreateSession;
+    create.session_id = id;
+    create.text = session->schema_text;
+    records.push_back(std::move(create));
+    for (const auto& [name, text] : session->named_text) {
+      persist::Record define;
+      define.type = persist::RecordType::kDefineQuery;
+      define.session_id = id;
+      define.name = name;
+      define.text = text;
+      records.push_back(std::move(define));
+    }
+    if (session->state_text.has_value()) {
+      persist::Record state;
+      state.type = persist::RecordType::kSetState;
+      state.session_id = id;
+      state.text = *session->state_text;
+      records.push_back(std::move(state));
+    }
+    if (session->cache != nullptr && (cache_unlimited || cache_budget > 0)) {
+      // Only decided verdicts are exported; errors (deadline expiry
+      // included) are never memoized, so they can never be persisted.
+      for (auto& [key, verdict] :
+           session->cache->Export(cache_unlimited ? 0 : cache_budget)) {
+        persist::Record entry;
+        entry.type = persist::RecordType::kCacheEntry;
+        entry.session_id = id;
+        entry.text = std::move(key);
+        entry.verdict = verdict;
+        records.push_back(std::move(entry));
+        if (!cache_unlimited) --cache_budget;
+      }
+    }
+  }
+  return records;
 }
 
 Status OocqService::AdmitOne() {

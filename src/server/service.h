@@ -43,6 +43,7 @@
 
 #include "core/containment_cache.h"
 #include "core/engine_options.h"
+#include "persist/catalog.h"
 #include "query/query.h"
 #include "schema/schema.h"
 #include "state/state.h"
@@ -70,6 +71,13 @@ struct ServiceOptions {
   /// server/shed, server/latency_us, …). The registry is the one the
   /// `METRICS` protocol command snapshots.
   bool metrics = true;
+  /// Durable catalog (docs/persistence.md). When set, the service replays
+  /// the catalog's recovered records on construction — re-registering
+  /// sessions, named queries and states, and warm-starting each session's
+  /// ContainmentCache — then logs every session mutation through it and
+  /// registers the catalog's snapshot dump. On destruction the service
+  /// takes one final snapshot so the warm cache survives clean restarts.
+  std::shared_ptr<persist::DurableCatalog> catalog;
 };
 
 enum class RequestKind {
@@ -158,6 +166,12 @@ class OocqService {
     std::optional<State> state;
     std::map<std::string, ConjunctiveQuery> named;
     std::unique_ptr<ContainmentCache> cache;
+    /// Source texts of schema / named queries / state, kept verbatim so
+    /// the durable catalog persists exactly what the client sent (no
+    /// print-reparse round trip).
+    std::string schema_text;
+    std::map<std::string, std::string> named_text;
+    std::optional<std::string> state_text;
     /// Registry mutations (DefineQuery/LoadState) take it exclusively;
     /// request execution reads under a shared lock.
     mutable std::shared_mutex mu;
@@ -165,6 +179,19 @@ class OocqService {
 
   StatusOr<std::shared_ptr<Session>> FindSession(
       const std::string& session_id) const;
+  /// Builds a Session around parsed `schema_text`; shared by CreateSession
+  /// and replay (which forces the persisted id instead of minting one).
+  StatusOr<std::shared_ptr<Session>> MakeSession(
+      const std::string& schema_text) const;
+  /// Replays one catalog record idempotently (see docs/persistence.md);
+  /// a failure skips the record, never aborts the restore.
+  Status ApplyRecord(const persist::Record& record);
+  void RestoreFromCatalog();
+  /// Serializes the whole registry (+ cache verdicts worth warming) for
+  /// the catalog's snapshotter. Called with mutations gated off.
+  std::vector<persist::Record> DumpCatalog();
+  /// Appends one mutation to the catalog's WAL (no-op without a catalog).
+  Status LogMutation(persist::Record record);
   /// Admission check; on success the caller owes one FinishOne().
   Status AdmitOne();
   void FinishOne();

@@ -20,12 +20,17 @@ namespace {
 
 /// Buffered line reader over a socket fd. Lines are "\n"-terminated; a
 /// trailing "\r" (telnet clients) is stripped.
+/// A single protocol line (command or payload) may not exceed this many
+/// bytes; a client that streams more without a newline is dropped rather
+/// than allowed to grow the connection's buffer without bound.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
 class LineReader {
  public:
   explicit LineReader(int fd) : fd_(fd) {}
 
   /// Reads one line into *line (terminator stripped). Returns false on
-  /// EOF / error with no buffered line.
+  /// EOF / error with no buffered line, or on a line over kMaxLineBytes.
   bool ReadLine(std::string* line) {
     while (true) {
       size_t nl = buffer_.find('\n', scan_from_);
@@ -36,6 +41,7 @@ class LineReader {
         if (!line->empty() && line->back() == '\r') line->pop_back();
         return true;
       }
+      if (buffer_.size() > kMaxLineBytes) return false;  // oversized line
       scan_from_ = buffer_.size();
       char chunk[4096];
       ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);

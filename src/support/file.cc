@@ -1,0 +1,136 @@
+#include "support/file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace oocq {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  if (errno == ENOENT) return Status::NotFound(what + " '" + path + "': no such file");
+  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", path);
+  std::string out;
+  char chunk[1 << 16];
+  ssize_t got;
+  while ((got = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    out.append(chunk, static_cast<size_t>(got));
+  }
+  const bool failed = got < 0;
+  ::close(fd);
+  if (failed) return Errno("read", path);
+  return out;
+}
+
+Status FsyncFd(int fd) {
+  if (::fsync(fd) != 0) {
+    return Status::Internal(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status FsyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open dir", path);
+  Status synced = FsyncFd(fd);
+  ::close(fd);
+  return synced;
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status WriteFileDurable(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status failed = Errno("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return failed;
+    }
+    written += static_cast<size_t>(n);
+  }
+  Status synced = FsyncFd(fd);
+  ::close(fd);
+  if (!synced.ok()) {
+    ::unlink(tmp.c_str());
+    return synced;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status failed = Errno("rename", path);
+    ::unlink(tmp.c_str());
+    return failed;
+  }
+  return FsyncDir(DirName(path));
+}
+
+Status MakeDirs(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  std::string prefix;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t slash = path.find('/', start);
+    size_t end = slash == std::string::npos ? path.size() : slash;
+    prefix = path.substr(0, end);
+    start = end + 1;
+    if (prefix.empty() || prefix == ".") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", prefix);
+    }
+    if (slash == std::string::npos) break;
+  }
+  return Status::Ok();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Errno("opendir", path);
+  std::vector<std::string> names;
+  while (dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StatusOr<uint64_t> FileSize(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace oocq

@@ -1,0 +1,51 @@
+#ifndef OOCQ_SUPPORT_FILE_H_
+#define OOCQ_SUPPORT_FILE_H_
+
+/// Small POSIX file helpers for the persistence layer: whole-file reads,
+/// durable (temp + fsync + rename + directory fsync) writes, and the
+/// fsync primitives the write-ahead log builds its group commit on.
+/// Everything returns Status — the library never throws.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace oocq {
+
+/// Reads the whole file into a string. kNotFound when it does not exist.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path` atomically: a `path.tmp` sibling is
+/// written and fsynced, renamed over `path`, and the parent directory is
+/// fsynced so the rename itself is durable. Readers never observe a
+/// partially written file.
+Status WriteFileDurable(const std::string& path, const std::string& contents);
+
+/// fsync(2) on an open descriptor.
+Status FsyncFd(int fd);
+
+/// Opens `path` (a directory) read-only and fsyncs it — makes a rename
+/// or unlink inside it durable.
+Status FsyncDir(const std::string& path);
+
+/// mkdir -p for one level of nesting at a time; existing directories are
+/// fine.
+Status MakeDirs(const std::string& path);
+
+/// Unlinks `path`; missing files are not an error.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Names (not paths) of the directory's entries, sorted; "." and ".."
+/// excluded. kNotFound when the directory does not exist.
+StatusOr<std::vector<std::string>> ListDir(const std::string& path);
+
+/// Size of `path` in bytes; kNotFound when it does not exist.
+StatusOr<uint64_t> FileSize(const std::string& path);
+
+/// The directory component of `path` ("." when there is none).
+std::string DirName(const std::string& path);
+
+}  // namespace oocq
+
+#endif  // OOCQ_SUPPORT_FILE_H_

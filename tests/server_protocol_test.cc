@@ -1,0 +1,204 @@
+// ProtocolHandler behavior the e2e smoke doesn't pin down: the METRICS
+// verb's reply framing, and malformed dot-stuffed frames at the TCP layer
+// (a line over the reader's cap, a payload whose "." terminator never
+// arrives) — both must drop the connection, never hang or crash the
+// server, and never corrupt a neighboring connection.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/service.h"
+#include "server/tcp_server.h"
+#include "test_util.h"
+
+namespace oocq::server {
+namespace {
+
+using ::oocq::testing::kVehicleRentalSchema;
+
+TEST(ProtocolHandlerTest, MetricsReplyIsFramedJson) {
+  OocqService service;
+  OOCQ_ASSERT_OK(service.CreateSession(kVehicleRentalSchema).status());
+  ProtocolHandler handler(&service);
+
+  ProtocolReply reply = handler.Handle(ParseCommandLine("METRICS"), {});
+  EXPECT_FALSE(reply.close);
+  EXPECT_EQ(reply.text.rfind("OK", 0), 0u) << reply.text;
+  EXPECT_NE(reply.text.find("\"counters\""), std::string::npos) << reply.text;
+  EXPECT_NE(reply.text.find("server/sessions_created"), std::string::npos);
+  // Every reply is "."-framed so clients can stream them.
+  ASSERT_GE(reply.text.size(), 2u);
+  EXPECT_EQ(reply.text.substr(reply.text.size() - 2), ".\n");
+}
+
+TEST(ProtocolHandlerTest, MetricsSeesCacheEvictionCounter) {
+  // A cache capped at one entry per shard evicts on the second distinct
+  // decision; the eviction must surface in the METRICS registry.
+  ServiceOptions options;
+  options.engine.cache.max_entries = 1;
+  options.engine.cache.num_shards = 1;
+  OocqService service(options);
+  StatusOr<std::string> sid = service.CreateSession(kVehicleRentalSchema);
+  OOCQ_ASSERT_OK(sid.status());
+  ProtocolHandler handler(&service);
+
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"{ x | x in Auto }", "{ x | x in Vehicle }"},
+      {"{ x | x in Truck }", "{ x | x in Vehicle }"},
+      {"{ x | x in Trailer }", "{ x | x in Vehicle }"},
+  };
+  for (const auto& [q1, q2] : pairs) {
+    ProtocolReply reply =
+        handler.Handle(ParseCommandLine("CONTAIN " + *sid), {q1, q2});
+    EXPECT_EQ(reply.text.rfind("OK contained=1", 0), 0u) << reply.text;
+  }
+  ProtocolReply metrics = handler.Handle(ParseCommandLine("METRICS"), {});
+  EXPECT_NE(metrics.text.find("cache/evictions"), std::string::npos)
+      << metrics.text;
+}
+
+TEST(ProtocolHandlerTest, MalformedCommandsAreErrNotCrash) {
+  OocqService service;
+  StatusOr<std::string> sid = service.CreateSession(kVehicleRentalSchema);
+  OOCQ_ASSERT_OK(sid.status());
+  ProtocolHandler handler(&service);
+
+  struct Case {
+    const char* line;
+    std::vector<std::string> payload;
+  };
+  const std::vector<Case> cases = {
+      {"FROBNICATE", {}},
+      {"SESSION", {}},
+      {"SESSION DROP", {}},
+      {"CONTAIN", {"{ x | x in Auto }", "{ x | x in Vehicle }"}},
+      {"CONTAIN s999", {"{ x | x in Auto }", "{ x | x in Vehicle }"}},
+      {"DEFINE s1", {"{ x | x in Auto }"}},
+      {"MINIMIZE s1", {}},
+  };
+  for (const Case& test_case : cases) {
+    ProtocolReply reply =
+        handler.Handle(ParseCommandLine(test_case.line), test_case.payload);
+    EXPECT_EQ(reply.text.rfind("ERR", 0), 0u)
+        << "'" << test_case.line << "' got: " << reply.text;
+    EXPECT_EQ(reply.text.substr(reply.text.size() - 2), ".\n");
+    EXPECT_FALSE(reply.close);
+  }
+  // A binary verb with the wrong payload arity is an ERR, not a hang.
+  ProtocolReply reply = handler.Handle(ParseCommandLine("CONTAIN " + *sid),
+                                       {"{ x | x in Auto }"});
+  EXPECT_EQ(reply.text.rfind("ERR", 0), 0u) << reply.text;
+}
+
+// ---- TCP-layer framing abuse ------------------------------------------
+
+int ConnectTo(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+bool SendString(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string RecvAll(int fd) {
+  std::string all;
+  char chunk[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    all.append(chunk, static_cast<size_t>(got));
+  }
+  return all;
+}
+
+class TcpFramingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_unique<OocqService>();
+    OOCQ_ASSERT_OK(service_->CreateSession(kVehicleRentalSchema).status());
+    TcpServerOptions options;
+    options.port = 0;
+    server_ = std::make_unique<TcpServer>(service_.get(), options);
+    OOCQ_ASSERT_OK(server_->Start());
+  }
+  void TearDown() override {
+    server_->Stop();
+    server_.reset();
+    service_.reset();
+  }
+
+  std::unique_ptr<OocqService> service_;
+  std::unique_ptr<TcpServer> server_;
+};
+
+TEST_F(TcpFramingTest, OversizedLineDropsConnectionButNotServer) {
+  int fd = ConnectTo(server_->port());
+  // > 1 MiB without a newline: the reader must give up, not buffer
+  // forever.
+  const std::string huge((1 << 20) + 4096, 'x');
+  (void)SendString(fd, huge);  // server may drop mid-send; both are fine
+  std::string reply = RecvAll(fd);  // connection closes with no reply
+  EXPECT_TRUE(reply.empty()) << reply;
+  ::close(fd);
+
+  // The server is still healthy for the next client.
+  int fd2 = ConnectTo(server_->port());
+  ASSERT_TRUE(SendString(fd2, "PING\nQUIT\n"));
+  std::string ok = RecvAll(fd2);
+  EXPECT_NE(ok.find("OK"), std::string::npos) << ok;
+  ::close(fd2);
+}
+
+TEST_F(TcpFramingTest, MissingPayloadTerminatorIsCleanDisconnect) {
+  int fd = ConnectTo(server_->port());
+  // CONTAIN opens a payload frame; the client dies before sending ".".
+  ASSERT_TRUE(SendString(fd, "CONTAIN s1\n{ x | x in Auto }\n"));
+  ::shutdown(fd, SHUT_WR);
+  std::string reply = RecvAll(fd);
+  EXPECT_TRUE(reply.empty()) << reply;  // no reply for a half frame
+  ::close(fd);
+
+  int fd2 = ConnectTo(server_->port());
+  ASSERT_TRUE(SendString(fd2, "PING\nQUIT\n"));
+  EXPECT_NE(RecvAll(fd2).find("OK"), std::string::npos);
+  ::close(fd2);
+}
+
+TEST_F(TcpFramingTest, DotStuffedPayloadLinesAreUnstuffed) {
+  int fd = ConnectTo(server_->port());
+  // A payload line starting with "." must be sent dot-stuffed ("..");
+  // the server unstuffs it before parsing. "." alone still terminates.
+  ASSERT_TRUE(SendString(fd, "SAT s1\n..invalid on purpose\n.\nQUIT\n"));
+  std::string reply = RecvAll(fd);
+  // The unstuffed payload ".invalid on purpose" reaches the parser and
+  // fails as a query — an ERR reply, not a framing error.
+  EXPECT_NE(reply.find("ERR"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("OK"), std::string::npos) << reply;  // the QUIT
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace oocq::server
