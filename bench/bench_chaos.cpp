@@ -1,0 +1,223 @@
+// E15 — the cost of robustness (docs/robustness.md): (1) the disarmed
+// failpoint fast path must be invisible — its per-check cost, scaled by
+// the checks a request actually crosses, must stay under 1% of request
+// latency; (2) after an injected WAL fsync fault, a mutation must roll
+// back and the immediate retry must land — the p50 of that
+// fault-to-recovered window is the self-healing latency a retrying
+// client observes.
+//
+// Standalone binary (no google-benchmark): writes BENCH_chaos.json and
+// exits nonzero when the <1% overhead bound or the recovery property
+// fails.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "persist/catalog.h"
+#include "server/service.h"
+#include "support/failpoint.h"
+#include "support/file.h"
+#include "support/status.h"
+
+namespace oocq::bench {
+namespace {
+
+using server::OocqService;
+using server::Request;
+using server::RequestKind;
+using server::Response;
+using server::ServiceOptions;
+
+constexpr const char* kSchema = R"(
+schema Bench {
+  class Vehicle { }
+  class Auto under Vehicle { }
+  class Trailer under Vehicle { }
+  class Client { VehRented: {Vehicle}; }
+  class Discount under Client { VehRented: {Auto}; }
+}
+)";
+
+// The E13 rotating decision mix (bench_server.cpp), cache disabled so
+// every request crosses the full pipeline — and all its failpoints.
+Request MakeRequest(const std::string& sid, int i) {
+  static const char* kQueries[] = {
+      "{ x | exists y (x in Vehicle & y in Discount & x in y.VehRented) }",
+      "{ x | x in Auto }",
+      "{ x | exists y (x in Auto & y in Client & x in y.VehRented) }",
+      "{ x | x in Trailer }",
+  };
+  Request request;
+  request.kind = RequestKind::kContained;
+  request.session_id = sid;
+  request.query = kQueries[i % 4];
+  request.query2 = kQueries[(i + 1) % 4];
+  return request;
+}
+
+uint64_t Percentile(std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t index = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int Run() {
+  // ---- (1) Disarmed-check overhead --------------------------------------
+  Failpoints::Reset();  // everything disarmed: the fast path under test
+  constexpr uint64_t kChecks = 20'000'000;
+  const uint64_t check_start = NowUs();
+  uint64_t live = 0;
+  for (uint64_t i = 0; i < kChecks; ++i) {
+    live += Failpoints::Hit("bench/disarmed") ? 1 : 0;
+  }
+  const uint64_t check_us = NowUs() - check_start;
+  if (live != kChecks) {
+    std::fprintf(stderr, "FAIL: disarmed failpoint fired\n");
+    return 1;
+  }
+  const double check_ns =
+      static_cast<double>(check_us) * 1000.0 / static_cast<double>(kChecks);
+
+  // Request latency of the mix, for scale.
+  ServiceOptions options;
+  OocqService service(options);
+  StatusOr<std::string> created = service.CreateSession(kSchema);
+  if (!created.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  constexpr uint32_t kRequests = 400;
+  std::vector<uint64_t> latencies;
+  latencies.reserve(kRequests);
+  for (uint32_t i = 0; i < kRequests; ++i) {
+    Response response =
+        service.Execute(MakeRequest(*created, static_cast<int>(i)));
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "FAIL: request %u: %s\n", i,
+                   response.status.ToString().c_str());
+      return 1;
+    }
+    latencies.push_back(response.latency_us);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const uint64_t p50_request_us = Percentile(latencies, 0.50);
+
+  // A request crosses well under 64 failpoint sites (service/execute,
+  // pool/dispatch, cache/lookup, one core/subset_scan per disjunct pair,
+  // plus transport sites when served over TCP); 64 is a generous bound.
+  constexpr double kChecksPerRequest = 64.0;
+  const double overhead_pct =
+      p50_request_us > 0
+          ? (kChecksPerRequest * check_ns / 1000.0) /
+                static_cast<double>(p50_request_us) * 100.0
+          : 0.0;
+  if (overhead_pct >= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: disarmed failpoint overhead %.3f%% >= 1%% "
+                 "(%.2f ns/check against p50 %llu us)\n",
+                 overhead_pct, check_ns,
+                 static_cast<unsigned long long>(p50_request_us));
+    return 1;
+  }
+
+  // ---- (2) Recovery latency after an injected WAL fault -----------------
+  const std::string dir = "bench_chaos_data";
+  if (StatusOr<std::vector<std::string>> names = ListDir(dir); names.ok()) {
+    for (const std::string& file : *names) {
+      (void)RemoveFileIfExists(dir + "/" + file);
+    }
+  }
+  persist::DurableCatalogOptions catalog_options;
+  catalog_options.data_dir = dir;
+  catalog_options.snapshot_interval_s = 0;
+  catalog_options.group_commit_window_us = 0;
+  StatusOr<std::unique_ptr<persist::DurableCatalog>> catalog =
+      persist::DurableCatalog::Open(catalog_options);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  ServiceOptions durable_options;
+  durable_options.catalog = *std::move(catalog);
+  OocqService durable(durable_options);
+  StatusOr<std::string> sid = durable.CreateSession(kSchema);
+  if (!sid.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", sid.status().ToString().c_str());
+    return 1;
+  }
+
+  constexpr uint32_t kFaults = 50;
+  std::vector<uint64_t> recovery_us;
+  recovery_us.reserve(kFaults);
+  for (uint32_t i = 0; i < kFaults; ++i) {
+    // Re-arming restarts the hit counter: the next WAL fsync fails, the
+    // one after succeeds — a one-shot transient fault per round.
+    MustOk(Failpoints::Configure("wal/fsync=error@1"));
+    const std::string name = "q" + std::to_string(i);
+    const std::string text = "{ x | x in Auto }";
+    const uint64_t fault_start = NowUs();
+    Status faulted = durable.DefineQuery(*sid, name, text);
+    if (faulted.ok() || !IsRetryable(faulted.code())) {
+      std::fprintf(stderr, "FAIL: fault %u not injected retryably: %s\n", i,
+                   faulted.ToString().c_str());
+      return 1;
+    }
+    Status recovered = durable.DefineQuery(*sid, name, text);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "FAIL: retry %u: %s\n", i,
+                   recovered.ToString().c_str());
+      return 1;
+    }
+    recovery_us.push_back(NowUs() - fault_start);
+  }
+  Failpoints::Reset();
+  std::sort(recovery_us.begin(), recovery_us.end());
+  const uint64_t p50_recovery_us = Percentile(recovery_us, 0.50);
+  const uint64_t p99_recovery_us = Percentile(recovery_us, 0.99);
+
+  std::printf("disarmed check      %.2f ns  (overhead %.4f%% of p50 %llu us)\n",
+              check_ns, overhead_pct,
+              static_cast<unsigned long long>(p50_request_us));
+  std::printf("fault->recovered    p50=%llu us  p99=%llu us  (%u WAL faults)\n",
+              static_cast<unsigned long long>(p50_recovery_us),
+              static_cast<unsigned long long>(p99_recovery_us), kFaults);
+
+  std::FILE* out = std::fopen("BENCH_chaos.json", "w");
+  if (out == nullptr) {
+    std::perror("BENCH_chaos.json");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"workload\": \"E13 containment mix + %u injected WAL "
+               "fsync faults\",\n",
+               kFaults);
+  std::fprintf(out, "  \"disarmed_check_ns\": %.2f,\n", check_ns);
+  std::fprintf(out, "  \"p50_request_us\": %llu,\n",
+               static_cast<unsigned long long>(p50_request_us));
+  std::fprintf(out, "  \"disarmed_overhead_pct\": %.4f,\n", overhead_pct);
+  std::fprintf(out, "  \"p50_recovery_us\": %llu,\n",
+               static_cast<unsigned long long>(p50_recovery_us));
+  std::fprintf(out, "  \"p99_recovery_us\": %llu\n}\n",
+               static_cast<unsigned long long>(p99_recovery_us));
+  std::fclose(out);
+  std::printf("wrote BENCH_chaos.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace oocq::bench
+
+int main() { return oocq::bench::Run(); }

@@ -4,6 +4,8 @@
 //
 //   oocq_serve [--port=N] [--workers=N] [--queue=N] [--threads=N]
 //              [--deadline_ms=N] [--data-dir=DIR] [--snapshot_interval_s=N]
+//              [--failpoints=SPEC] [--max_disjuncts=N] [--max_work_units=N]
+//              [--max_resident_bytes=N] [--watchdog_s=N]
 //              [--trace=FILE] [--metrics] [--smoke]
 //
 // With --data-dir the server opens a DurableCatalog in DIR
@@ -24,12 +26,15 @@
 #include <netinet/in.h>
 #include <sys/socket.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "persist/catalog.h"
 #include "server/service.h"
@@ -57,6 +62,8 @@ int Usage() {
       stderr,
       "usage: oocq_serve [--port=N] [--workers=N] [--queue=N] [--threads=N] "
       "[--deadline_ms=N] [--data-dir=DIR] [--snapshot_interval_s=N] "
+      "[--failpoints=SPEC] [--max_disjuncts=N] [--max_work_units=N] "
+      "[--max_resident_bytes=N] [--watchdog_s=N] "
       "[--trace=FILE] [--metrics] [--smoke] [--help]\n"
       "  --port=N        listen port (default 7733; 0 picks an ephemeral\n"
       "                  port, printed on startup)\n"
@@ -73,6 +80,20 @@ int Usage() {
       "  --snapshot_interval_s=N\n"
       "                  background snapshot cadence with --data-dir\n"
       "                  (default 60; 0 = snapshot only on shutdown)\n"
+      "  --failpoints=SPEC\n"
+      "                  arm fault-injection points, e.g.\n"
+      "                  'wal/fsync=error@3,tcp/accept=delay:50'\n"
+      "                  (support/failpoint.h; also honored from the\n"
+      "                  OOCQ_FAILPOINTS environment variable)\n"
+      "  --max_disjuncts=N / --max_work_units=N / --max_resident_bytes=N\n"
+      "                  service-wide resource ceilings; overruns return\n"
+      "                  retryable RESOURCE_EXHAUSTED (docs/robustness.md;\n"
+      "                  default 0 = unlimited)\n"
+      "  --watchdog_s=N  watchdog sampling interval: warn (and count\n"
+      "                  server/watchdog_stalls) when requests are pending\n"
+      "                  but none completes across two samples (default 5;\n"
+      "                  0 disables). HEALTH reports the same counters on\n"
+      "                  demand.\n"
       "  --trace=FILE    write a Chrome trace of all request spans to FILE\n"
       "                  on shutdown\n"
       "  --metrics       print the metrics registry JSON on shutdown\n"
@@ -176,11 +197,62 @@ bool RunWarmConversation(uint16_t port) {
          all.find("cache/hit") != std::string::npos;
 }
 
+/// Samples the service's progress counters: requests pending while no
+/// request completes across two consecutive samples means the worker
+/// pool is wedged (e.g. every worker stalled — reproducible with the
+/// pool/dispatch=delay failpoint). Threads can't be safely unwedged from
+/// outside, so the watchdog alarms instead: one stderr line plus the
+/// server/watchdog_stalls counter, and the HEALTH verb exposes the same
+/// pending/completed state to remote probes (docs/robustness.md).
+class Watchdog {
+ public:
+  Watchdog(const OocqService* service, uint64_t interval_s)
+      : service_(service), interval_s_(interval_s) {
+    if (interval_s_ > 0) thread_ = std::thread([this] { Loop(); });
+  }
+  ~Watchdog() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Loop() {
+    uint64_t last_completed = service_->completed();
+    while (!stop_.load(std::memory_order_acquire)) {
+      // Sleep in slices so shutdown never waits out a full interval.
+      for (uint64_t slept_ms = 0; slept_ms < interval_s_ * 1000 &&
+                                  !stop_.load(std::memory_order_acquire);
+           slept_ms += 100) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      if (stop_.load(std::memory_order_acquire)) break;
+      uint64_t completed = service_->completed();
+      uint32_t pending = service_->pending();
+      if (pending > 0 && completed == last_completed) {
+        MetricAdd("server/watchdog_stalls", 1);
+        std::fprintf(stderr,
+                     "oocq_serve: watchdog: %u request(s) pending and none "
+                     "completed in %llus — worker pool wedged?\n",
+                     pending, static_cast<unsigned long long>(interval_s_));
+      }
+      last_completed = completed;
+    }
+  }
+
+  const OocqService* service_;
+  uint64_t interval_s_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint64_t port = 7733, workers = 4, queue = 64, threads = 1, deadline_ms = 0;
   uint64_t snapshot_interval_s = 60;
+  uint64_t max_disjuncts = 0, max_work_units = 0, max_resident_bytes = 0;
+  uint64_t watchdog_s = 5;
+  std::string failpoints;
   std::string trace_path;
   std::string data_dir;
   bool want_metrics = false, smoke = false;
@@ -191,11 +263,17 @@ int main(int argc, char** argv) {
         ParseUintFlag(flag, "--queue=", &queue) ||
         ParseUintFlag(flag, "--threads=", &threads) ||
         ParseUintFlag(flag, "--deadline_ms=", &deadline_ms) ||
-        ParseUintFlag(flag, "--snapshot_interval_s=", &snapshot_interval_s)) {
+        ParseUintFlag(flag, "--snapshot_interval_s=", &snapshot_interval_s) ||
+        ParseUintFlag(flag, "--max_disjuncts=", &max_disjuncts) ||
+        ParseUintFlag(flag, "--max_work_units=", &max_work_units) ||
+        ParseUintFlag(flag, "--max_resident_bytes=", &max_resident_bytes) ||
+        ParseUintFlag(flag, "--watchdog_s=", &watchdog_s)) {
       continue;
     }
     if (flag.rfind("--trace=", 0) == 0) {
       trace_path = flag.substr(8);
+    } else if (flag.rfind("--failpoints=", 0) == 0) {
+      failpoints = flag.substr(13);
     } else if (flag.rfind("--data-dir=", 0) == 0) {
       data_dir = flag.substr(11);
     } else if (flag == "--metrics") {
@@ -224,6 +302,10 @@ int main(int argc, char** argv) {
   service_options.max_in_flight = static_cast<uint32_t>(workers);
   service_options.max_queue_depth = static_cast<uint32_t>(queue);
   service_options.default_deadline_ms = deadline_ms;
+  service_options.budget.max_expanded_disjuncts = max_disjuncts;
+  service_options.budget.max_subset_work_units = max_work_units;
+  service_options.budget.max_resident_bytes = max_resident_bytes;
+  service_options.failpoints = failpoints;  // env OOCQ_FAILPOINTS also read
 
   // Opens (or re-opens) the durable catalog; recovery problems degrade to
   // a logged cold start inside Open(), so failure here is environmental.
@@ -273,17 +355,22 @@ int main(int argc, char** argv) {
                data_dir.empty() ? "" : " data_dir=",
                data_dir.empty() ? "" : data_dir.c_str());
 
+  std::optional<Watchdog> watchdog;
+  watchdog.emplace(service.get(), watchdog_s);
+
   int rc = 0;
   if (smoke) {
     bool ok = RunSmokeConversation(server->port());
     server->Stop();
     server.reset();
     if (ok && !data_dir.empty()) {
+      watchdog.reset();
       service.reset();  // final snapshot persists the warm cache
       // Second phase: a fresh service over the same data dir must restore
       // s1, @q1 and the cache without any re-registration.
       service_options.catalog = open_catalog();
       service = std::make_unique<OocqService>(service_options);
+      watchdog.emplace(service.get(), watchdog_s);
       server_options.port = 0;
       server = std::make_unique<TcpServer>(service.get(), server_options);
       started = server->Start();
@@ -298,6 +385,7 @@ int main(int argc, char** argv) {
     if (want_metrics) {
       std::printf("%s\n", service->metrics().JsonString().c_str());
     }
+    watchdog.reset();
     service.reset();
     std::fprintf(stderr, "smoke: %s\n", ok ? "PASS" : "FAIL");
     rc = ok ? 0 : 1;
@@ -322,6 +410,7 @@ int main(int argc, char** argv) {
       std::printf("%s\n", service->metrics().JsonString().c_str());
     }
     server.reset();
+    watchdog.reset();
     service.reset();  // drains, then final catalog snapshot
     std::fprintf(stderr, "oocq_serve: drained, shutting down\n");
   }

@@ -14,6 +14,7 @@
 #include "core/satisfiability.h"
 #include "query/equality_graph.h"
 #include "query/well_formed.h"
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/status_macros.h"
 #include "support/thread_pool.h"
@@ -198,6 +199,13 @@ StatusOr<bool> ContainedImpl(const Schema& schema, const ConjunctiveQuery& q1,
 
     auto scan_masks = [&](uint64_t begin, uint64_t end) -> ChunkResult {
       ChunkResult result;
+      if (Status chaos = Failpoints::Check("core/subset_scan"); !chaos.ok()) {
+        result.event_mask = begin;
+        result.is_error = true;
+        result.error = std::move(chaos);
+        AtomicMin(first_event, begin);
+        return result;
+      }
       for (uint64_t mask = begin; mask < end; ++mask) {
         // A smaller decisive mask already settles the answer.
         if (mask > first_event.load(std::memory_order_acquire)) break;
@@ -207,6 +215,16 @@ StatusOr<bool> ContainedImpl(const Schema& schema, const ConjunctiveQuery& q1,
             result.event_mask = mask;
             result.is_error = true;
             result.error = std::move(live);
+            AtomicMin(first_event, mask);
+            break;
+          }
+        }
+        if (options.budget != nullptr) {
+          Status charged = options.budget->ChargeSubsetWork(1);
+          if (!charged.ok()) {
+            result.event_mask = mask;
+            result.is_error = true;
+            result.error = std::move(charged);
             AtomicMin(first_event, mask);
             break;
           }
@@ -417,7 +435,7 @@ StatusOr<bool> UnionContained(const Schema& schema, const UnionQuery& m,
               StatusOr<bool> contained =
                   cache != nullptr
                       ? cache->Contained(qi, pj, &result.stats,
-                                         options.cancel)
+                                         options.cancel, options.budget)
                       : Contained(schema, qi, pj, options, &result.stats);
               if (!contained.ok()) {
                 result.decisive = true;

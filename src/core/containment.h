@@ -6,6 +6,7 @@
 #include "query/query.h"
 #include "schema/schema.h"
 #include "support/cancellation.h"
+#include "support/resource_budget.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
 
@@ -41,6 +42,12 @@ struct ContainmentOptions {
   /// every fan-out worker polls the same token, so one expiry drains the
   /// whole region. Null (the default) disables polling. Not owned.
   const CancellationToken* cancel = nullptr;
+  /// Optional shared budget, charged one subset work unit per membership
+  /// mask scanned — the same cadence the cancellation token is polled at.
+  /// Unlike max_membership_candidates (a per-call structural cap), a
+  /// budget meters aggregate work across the requests sharing it and
+  /// trips with retryable kResourceExhausted. Not owned; may be null.
+  ResourceBudget* budget = nullptr;
 };
 
 /// Work counters filled by Contained() when non-null (benches E4/E8).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/canonical.h"
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/status_macros.h"
 
@@ -97,7 +98,9 @@ size_t ContainmentCache::size() const {
 StatusOr<bool> ContainmentCache::Contained(const ConjunctiveQuery& q1,
                                            const ConjunctiveQuery& q2,
                                            ContainmentStats* stats,
-                                           const CancellationToken* cancel) {
+                                           const CancellationToken* cancel,
+                                           ResourceBudget* budget) {
+  OOCQ_RETURN_IF_ERROR(Failpoints::Check("cache/lookup"));
   // Length-prefixing Q1's key makes the concatenation injective even if a
   // string constant inside a canonical key contains arbitrary bytes.
   const std::string k1 = CanonicalKey(q1);
@@ -152,6 +155,7 @@ StatusOr<bool> ContainmentCache::Contained(const ConjunctiveQuery& q1,
   // and never observe it.
   ContainmentOptions compute_options = options_.containment;
   compute_options.cancel = cancel;
+  if (budget != nullptr) compute_options.budget = budget;
   StatusOr<bool> decided =
       ::oocq::Contained(*schema_, q1, q2, compute_options, stats);
   {
@@ -159,10 +163,17 @@ StatusOr<bool> ContainmentCache::Contained(const ConjunctiveQuery& q1,
     if (decided.ok()) {
       entry->value = *decided;
     } else {
-      // Errors are delivered to current waiters but not memoized: a
-      // retry (possibly with raised limits) recomputes.
       entry->error = decided.status();
-      shard.map.erase(key);
+      if (IsRetryable(decided.status().code())) {
+        // Transient outcomes (deadline, cancellation, budget) are
+        // delivered to current waiters but not memoized: a retry —
+        // possibly with raised limits or under less load — recomputes.
+        shard.map.erase(key);
+      }
+      // Deterministic errors (bad precondition, structural cap) stay
+      // memoized so identical requests fail fast instead of redoing the
+      // doomed enumeration. Export() skips errored entries, so they never
+      // reach the durable catalog.
     }
     entry->done = true;
   }

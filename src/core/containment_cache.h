@@ -61,13 +61,18 @@ class ContainmentCache {
   /// then waits instead of recomputing). `stats` (optional) accumulates
   /// the work counters of decisions this call actually computed.
   /// `cancel` (optional) is polled by a decision this call computes; a
-  /// tripped token surfaces its retryable status, which — like every
-  /// error — is delivered to current waiters but never memoized, so a
-  /// retry with a fresh deadline recomputes.
+  /// tripped token surfaces its retryable status. `budget` (optional) is
+  /// charged by a decision this call computes — cached hits are free.
+  /// Retryable errors (IsRetryable: deadline, cancellation, budget) are
+  /// delivered to current waiters but never memoized, so a retry with a
+  /// fresh deadline or budget recomputes; deterministic errors stay
+  /// memoized to fail identical requests fast (Export() still never
+  /// persists them).
   StatusOr<bool> Contained(const ConjunctiveQuery& q1,
                            const ConjunctiveQuery& q2,
                            ContainmentStats* stats = nullptr,
-                           const CancellationToken* cancel = nullptr);
+                           const CancellationToken* cancel = nullptr,
+                           ResourceBudget* budget = nullptr);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }

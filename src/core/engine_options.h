@@ -6,6 +6,7 @@
 
 #include "core/containment.h"
 #include "core/expansion.h"
+#include "support/resource_budget.h"
 #include "support/thread_pool.h"
 
 namespace oocq {
@@ -58,6 +59,14 @@ struct EngineOptions {
   ParallelOptions parallel;
   CacheOptions cache;
   ObservabilityOptions observability;
+  /// Per-run resource ceilings (support/resource_budget.h). When any limit
+  /// is set, each pipeline entry point (Optimize, IsContained,
+  /// IsEquivalent) installs a run-scoped ResourceBudget into
+  /// containment.budget / expansion.budget, chained under any budget the
+  /// caller already placed there (e.g. a service-wide one) — so both the
+  /// per-run cap and the aggregate cap are enforced, and overruns surface
+  /// as retryable kResourceExhausted.
+  ResourceLimits limits;
 };
 
 /// Returns `options` with `parallel` propagated into the containment and

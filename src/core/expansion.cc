@@ -49,6 +49,11 @@ StatusOr<UnionQuery> ExpandToTerminalQueries(const Schema& schema,
     product *= choices[v].size();
   }
   if (stats != nullptr) stats->raw_disjuncts = product;
+  if (options.budget != nullptr) {
+    // Charge the whole product up front: the budget refuses before any
+    // disjunct is materialized, keeping peak memory bounded.
+    OOCQ_RETURN_IF_ERROR(options.budget->ChargeDisjuncts(product));
+  }
 
   // Combination `c` in mixed-radix (variable 0 least significant — the
   // order the serial counter enumerated).

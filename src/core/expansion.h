@@ -5,6 +5,7 @@
 
 #include "query/query.h"
 #include "schema/schema.h"
+#include "support/resource_budget.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
 
@@ -14,6 +15,11 @@ namespace oocq {
 struct ExpansionOptions {
   /// Cap on the product of per-variable terminal-class choices.
   uint64_t max_disjuncts = 1'000'000;
+  /// Optional shared budget; the expansion charges its raw disjunct count
+  /// before materializing any (kResourceExhausted on overrun). Unlike
+  /// max_disjuncts — a per-call cap — a budget can be shared across the
+  /// requests of a session or a whole service. Not owned; may be null.
+  ResourceBudget* budget = nullptr;
   /// Drop unsatisfiable disjuncts and normalize the satisfiable ones
   /// (remove non-range atoms etc.). Disable to obtain the raw Prop 2.1
   /// expansion.

@@ -227,7 +227,8 @@ StatusOr<UnionQuery> RemoveRedundantDisjuncts(const Schema& schema,
             StatusOr<bool> contained =
                 cache != nullptr
                     ? cache->Contained(live[i], live[j], &outcome.stats,
-                                       opts.containment.cancel)
+                                       opts.containment.cancel,
+                                       opts.containment.budget)
                     : Contained(schema, live[i], live[j], opts.containment,
                                 &outcome.stats);
             if (!contained.ok()) return contained.status();

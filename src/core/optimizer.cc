@@ -95,6 +95,31 @@ const char* PhaseLabel(const std::string& name) {
   return name.c_str();
 }
 
+/// Run-scoped budget wiring: when EngineOptions::limits is set, a budget
+/// local to this run — chained under any budget the caller already
+/// threaded into the options — replaces the options' budget pointers for
+/// the duration of the run. Declare before the run's ContainmentCache so
+/// the cache (which copies the containment options) dies first.
+class RunBudget {
+ public:
+  explicit RunBudget(EngineOptions& opts) {
+    if (!opts.limits.AnySet()) return;
+    budget_.emplace(opts.limits, opts.containment.budget);
+    opts.containment.budget = &*budget_;
+    opts.expansion.budget = &*budget_;
+  }
+
+  void Report(OptimizeReport* report) const {
+    if (!budget_.has_value()) return;
+    report->budget_enforced = true;
+    report->budget_disjuncts = budget_->disjuncts_charged();
+    report->budget_work_units = budget_->work_units_charged();
+  }
+
+ private:
+  std::optional<ResourceBudget> budget_;
+};
+
 }  // namespace
 
 std::string OptimizeReport::Summary(const Schema& schema) const {
@@ -116,6 +141,11 @@ std::string OptimizeReport::Summary(const Schema& schema) const {
   out += "  containment cache: " + std::to_string(cache_hits) + " hit(s), " +
          std::to_string(cache_misses) + " miss(es), " +
          std::to_string(cache_evictions) + " eviction(s)\n";
+  if (budget_enforced) {
+    out += "  resource budget: " + std::to_string(budget_disjuncts) +
+           " disjunct(s), " + std::to_string(budget_work_units) +
+           " subset work unit(s) charged\n";
+  }
   out += "  search-space cost: " + std::to_string(original_cost.total) +
          " -> " + std::to_string(optimized_cost.total) + "\n";
   if (metrics.enabled) {
@@ -140,7 +170,8 @@ std::string OptimizeReport::Summary(const Schema& schema) const {
 
 StatusOr<OptimizeReport> QueryOptimizer::Optimize(
     const ConjunctiveQuery& query) const {
-  const EngineOptions opts = WithPropagatedParallelism(options_);
+  EngineOptions opts = WithPropagatedParallelism(options_);
+  RunBudget run_budget(opts);
 
   // Observability sinks for this run. Tracing implies metrics (the trace
   // and the phase table describe the same run). When a caller already
@@ -214,6 +245,7 @@ StatusOr<OptimizeReport> QueryOptimizer::Optimize(
     report.cache_evictions = cache->evictions();
   }
   report.optimized_cost = SearchSpaceCostOf(schema_, report.optimized);
+  run_budget.Report(&report);
   span.Arg("exact", report.exact ? "true" : "false")
       .Arg("raw", report.details.raw_disjuncts)
       .Arg("optimized_disjuncts",
@@ -270,7 +302,9 @@ StatusOr<bool> QueryOptimizer::IsContainedWithCache(
       OOCQ_ASSIGN_OR_RETURN(
           bool contained,
           cache != nullptr
-              ? cache->Contained(qi, n.disjuncts[0], stats)
+              ? cache->Contained(qi, n.disjuncts[0], stats,
+                                 opts.containment.cancel,
+                                 opts.containment.budget)
               : Contained(schema_, qi, n.disjuncts[0], opts.containment,
                           stats));
       if (!contained) return false;
@@ -287,7 +321,8 @@ StatusOr<bool> QueryOptimizer::IsContainedWithCache(
 StatusOr<bool> QueryOptimizer::IsContained(const ConjunctiveQuery& q1,
                                            const ConjunctiveQuery& q2,
                                            ContainmentStats* stats) const {
-  const EngineOptions opts = WithPropagatedParallelism(options_);
+  EngineOptions opts = WithPropagatedParallelism(options_);
+  RunBudget run_budget(opts);
   TraceSession trace_session(opts.observability.trace);
   std::unique_ptr<ContainmentCache> cache = MakeCallCache(&schema_, opts);
   return IsContainedWithCache(q1, q2, stats, opts, cache.get());
@@ -296,7 +331,8 @@ StatusOr<bool> QueryOptimizer::IsContained(const ConjunctiveQuery& q1,
 StatusOr<bool> QueryOptimizer::IsEquivalent(const ConjunctiveQuery& q1,
                                             const ConjunctiveQuery& q2,
                                             ContainmentStats* stats) const {
-  const EngineOptions opts = WithPropagatedParallelism(options_);
+  EngineOptions opts = WithPropagatedParallelism(options_);
+  RunBudget run_budget(opts);
   TraceSession trace_session(opts.observability.trace);
   // One cache across both directions: the backward test reuses every
   // decision the forward test computed on shared disjunct pairs.

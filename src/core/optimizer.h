@@ -62,6 +62,11 @@ struct OptimizeReport {
   /// Per-phase timing/work and the run's counters; empty (enabled ==
   /// false) unless EngineOptions::observability asked for collection.
   RunMetrics metrics;
+  /// Resource-budget usage of the run (EngineOptions::limits); all zero
+  /// with budget_enforced == false when no budget governed the run.
+  bool budget_enforced = false;
+  uint64_t budget_disjuncts = 0;   // Prop 2.1 disjuncts charged
+  uint64_t budget_work_units = 0;  // Thm 3.1 subset masks charged
 
   /// Multi-line human-readable description of the run; includes the
   /// per-phase time/work table when `metrics` was collected.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "support/failpoint.h"
 #include "support/file.h"
 #include "support/metrics.h"
+#include "support/status_macros.h"
 #include "support/trace.h"
 
 namespace oocq::persist {
@@ -51,6 +53,7 @@ Status WriteSnapshot(const std::string& dir, uint64_t seq,
                      const std::vector<Record>& records) {
   OOCQ_TRACE_SPAN(span, "SnapshotWrite");
   span.Arg("seq", seq).Arg("records", static_cast<uint64_t>(records.size()));
+  OOCQ_RETURN_IF_ERROR(Failpoints::Check("snapshot/write"));
   std::string contents;
   EncodeFileHeader(&contents);
   for (const Record& record : records) {
@@ -67,6 +70,7 @@ Status WriteSnapshot(const std::string& dir, uint64_t seq,
 
 StatusOr<LoadedSnapshot> LoadLatestSnapshot(const std::string& dir) {
   OOCQ_TRACE_SPAN(span, "SnapshotLoad");
+  OOCQ_RETURN_IF_ERROR(Failpoints::Check("snapshot/load"));
   LoadedSnapshot loaded;
   std::vector<uint64_t> seqs = SnapshotSeqs(dir);
   for (auto it = seqs.rbegin(); it != seqs.rend(); ++it) {

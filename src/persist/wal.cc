@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "support/failpoint.h"
 #include "support/file.h"
 #include "support/metrics.h"
 #include "support/status_macros.h"
@@ -86,6 +87,7 @@ WriteAheadLog::~WriteAheadLog() {
 }
 
 Status WriteAheadLog::Append(const Record& record) {
+  OOCQ_RETURN_IF_ERROR(Failpoints::Check("wal/append"));
   std::string frame;
   EncodeRecord(record, &frame);
 
@@ -138,7 +140,8 @@ Status WriteAheadLog::SyncCovering(uint64_t seq) {
     std::lock_guard<std::mutex> write_lock(write_mu_);
     covered = write_seq_;
   }
-  Status synced = FsyncFd(fd_);
+  Status synced = Failpoints::Check("wal/fsync");
+  if (synced.ok()) synced = FsyncFd(fd_);
   syncs_.fetch_add(1, std::memory_order_relaxed);
   MetricAdd("persist/fsyncs", 1);
 

@@ -146,6 +146,29 @@ ProtocolReply ProtocolHandler::Handle(const CommandLine& command,
   if (verb == "METRICS") {
     return OkReply("", service_->metrics().JsonString() + "\n");
   }
+  if (verb == "HEALTH") {
+    // Liveness + progress snapshot for operators and watchdogs: a server
+    // whose pending stays > 0 while completed stops advancing has a
+    // wedged worker pool (docs/robustness.md).
+    std::string fields =
+        "pending=" + std::to_string(service_->pending()) +
+        " completed=" + std::to_string(service_->completed()) +
+        " draining=" + std::string(service_->draining() ? "1" : "0") +
+        " sessions=" + std::to_string(service_->session_count());
+    std::string body;
+    if (const ResourceBudget* budget = service_->budget()) {
+      const ResourceLimits& limits = budget->limits();
+      body = "budget: resident_bytes=" +
+             std::to_string(budget->resident_bytes()) + "/" +
+             std::to_string(limits.max_resident_bytes) +
+             " work_units=" + std::to_string(budget->work_units_charged()) +
+             "/" + std::to_string(limits.max_subset_work_units) +
+             " disjuncts=" + std::to_string(budget->disjuncts_charged()) +
+             "/" + std::to_string(limits.max_expanded_disjuncts) +
+             " exhausted=" + std::to_string(budget->exhausted_count()) + "\n";
+    }
+    return OkReply(fields, body);
+  }
   if (verb == "SESSION") {
     if (command.args.empty()) {
       return ErrReply(BadRequest("SESSION needs NEW or DROP"));

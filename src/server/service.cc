@@ -17,6 +17,7 @@
 #include "query/printer.h"
 #include "query/well_formed.h"
 #include "state/evaluation.h"
+#include "support/failpoint.h"
 #include "support/status_macros.h"
 #include "support/trace.h"
 
@@ -29,6 +30,33 @@ uint64_t NowUs() {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// One finished request's outcome → the registry, classified through the
+/// shared retryable taxonomy (IsRetryable, support/status.h) rather than
+/// per-code special cases. The per-code counters under the rollup keep
+/// dashboards able to tell expiry from shedding from budget overrun.
+void CountOutcome(MetricsRegistry& registry, const Status& status) {
+  if (status.ok()) {
+    registry.Add("server/ok", 1);
+    return;
+  }
+  if (!IsRetryable(status.code())) {
+    registry.Add("server/errors", 1);
+    return;
+  }
+  registry.Add("server/retryable", 1);
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      registry.Add("server/deadline_exceeded", 1);
+      break;
+    case StatusCode::kResourceExhausted:
+      registry.Add("server/resource_exhausted", 1);
+      break;
+    default:
+      registry.Add("server/unavailable", 1);
+      break;
+  }
 }
 
 }  // namespace
@@ -57,6 +85,11 @@ OocqService::OocqService(ServiceOptions options)
     : options_(std::move(options)) {
   if (options_.max_in_flight < 1) options_.max_in_flight = 1;
   if (options_.metrics) metrics_scope_.emplace(&registry_);
+  if (!options_.failpoints.empty()) {
+    Status armed = Failpoints::Configure(options_.failpoints);
+    if (!armed.ok()) registry_.Add("failpoint/config_errors", 1);
+  }
+  if (options_.budget.AnySet()) budget_.emplace(options_.budget);
   pool_ = std::make_unique<ThreadPool>(options_.max_in_flight);
   if (options_.catalog != nullptr) {
     RestoreFromCatalog();
@@ -101,15 +134,18 @@ StatusOr<std::string> OocqService::CreateSession(
     const std::string& schema_text) {
   OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                         MakeSession(schema_text));
+  OOCQ_RETURN_IF_ERROR(ChargeResident(*session, schema_text.size()));
   // Persistence gate (shared): the catalog's snapshotter cannot cut
   // between this mutation's in-memory commit and its WAL append.
   std::shared_lock<std::shared_mutex> guard;
   if (options_.catalog != nullptr) guard = options_.catalog->MutationGuard();
   std::string id;
+  uint64_t allocated = 0;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    id = "s" + std::to_string(next_session_++);
-    sessions_.emplace(id, std::move(session));
+    allocated = next_session_++;
+    id = "s" + std::to_string(allocated);
+    sessions_.emplace(id, session);
   }
   registry_.Add("server/sessions_created", 1);
   persist::Record record;
@@ -119,9 +155,15 @@ StatusOr<std::string> OocqService::CreateSession(
   Status logged = LogMutation(std::move(record));
   if (!logged.ok()) {
     // Unlogged sessions are never acked: roll back so the client can
-    // retry (or fail over) with a consistent view.
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    sessions_.erase(id);
+    // retry (or fail over) with a consistent view. The id is released
+    // too (unless a concurrent create already claimed the next one), so
+    // a scripted retry lands on the same session name.
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.erase(id);
+      if (next_session_ == allocated + 1) next_session_ = allocated;
+    }
+    ReleaseResident(*session, session->resident_bytes);
     return logged;
   }
   return id;
@@ -130,14 +172,19 @@ StatusOr<std::string> OocqService::CreateSession(
 Status OocqService::DropSession(const std::string& session_id) {
   std::shared_lock<std::shared_mutex> guard;
   if (options_.catalog != nullptr) guard = options_.catalog->MutationGuard();
+  std::shared_ptr<Session> dropped;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     // In-flight requests keep the Session alive through their shared_ptr;
     // dropping only unregisters the id.
-    if (sessions_.erase(session_id) == 0) {
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
       return Status::NotFound("no session '" + session_id + "'");
     }
+    dropped = it->second;
+    sessions_.erase(it);
   }
+  ReleaseResident(*dropped, dropped->resident_bytes);
   persist::Record record;
   record.type = persist::RecordType::kDropSession;
   record.session_id = session_id;
@@ -165,6 +212,15 @@ Status OocqService::DefineQuery(const std::string& session_id,
   if (options_.catalog != nullptr) guard = options_.catalog->MutationGuard();
   {
     std::unique_lock<std::shared_mutex> lock(session->mu);
+    auto old = session->named_text.find(name);
+    const uint64_t old_bytes =
+        old != session->named_text.end() ? old->second.size() : 0;
+    if (query_text.size() > old_bytes) {
+      OOCQ_RETURN_IF_ERROR(
+          ChargeResident(*session, query_text.size() - old_bytes));
+    } else {
+      ReleaseResident(*session, old_bytes - query_text.size());
+    }
     session->named.insert_or_assign(name, std::move(query));
     session->named_text.insert_or_assign(name, query_text);
   }
@@ -188,6 +244,14 @@ Status OocqService::LoadState(const std::string& session_id,
   if (options_.catalog != nullptr) guard = options_.catalog->MutationGuard();
   {
     std::unique_lock<std::shared_mutex> lock(session->mu);
+    const uint64_t old_bytes =
+        session->state_text.has_value() ? session->state_text->size() : 0;
+    if (state_text.size() > old_bytes) {
+      OOCQ_RETURN_IF_ERROR(
+          ChargeResident(*session, state_text.size() - old_bytes));
+    } else {
+      ReleaseResident(*session, old_bytes - state_text.size());
+    }
     session->state.emplace(std::move(state));
     session->state_text = state_text;
   }
@@ -221,6 +285,7 @@ Status OocqService::ApplyRecord(const persist::Record& record) {
       }
       OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                             MakeSession(record.text));
+      OOCQ_RETURN_IF_ERROR(ChargeResident(*session, record.text.size()));
       std::lock_guard<std::mutex> lock(sessions_mu_);
       sessions_.emplace(record.session_id, std::move(session));
       // Persisted ids are never reused: "s<N>" bumps the counter past N.
@@ -241,6 +306,15 @@ Status OocqService::ApplyRecord(const persist::Record& record) {
       OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery query,
                             ParseQuery(session->schema, record.text));
       std::unique_lock<std::shared_mutex> lock(session->mu);
+      auto old = session->named_text.find(record.name);
+      const uint64_t old_bytes =
+          old != session->named_text.end() ? old->second.size() : 0;
+      if (record.text.size() > old_bytes) {
+        OOCQ_RETURN_IF_ERROR(
+            ChargeResident(*session, record.text.size() - old_bytes));
+      } else {
+        ReleaseResident(*session, old_bytes - record.text.size());
+      }
       session->named.insert_or_assign(record.name, std::move(query));
       session->named_text.insert_or_assign(record.name, record.text);
       return Status::Ok();
@@ -251,13 +325,28 @@ Status OocqService::ApplyRecord(const persist::Record& record) {
       OOCQ_ASSIGN_OR_RETURN(State state,
                             ParseState(&session->schema, record.text));
       std::unique_lock<std::shared_mutex> lock(session->mu);
+      const uint64_t old_bytes =
+          session->state_text.has_value() ? session->state_text->size() : 0;
+      if (record.text.size() > old_bytes) {
+        OOCQ_RETURN_IF_ERROR(
+            ChargeResident(*session, record.text.size() - old_bytes));
+      } else {
+        ReleaseResident(*session, old_bytes - record.text.size());
+      }
       session->state.emplace(std::move(state));
       session->state_text = record.text;
       return Status::Ok();
     }
     case persist::RecordType::kDropSession: {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
-      sessions_.erase(record.session_id);  // tolerate already-gone
+      std::shared_ptr<Session> dropped;
+      {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        auto it = sessions_.find(record.session_id);
+        if (it == sessions_.end()) return Status::Ok();  // already gone
+        dropped = it->second;
+        sessions_.erase(it);
+      }
+      ReleaseResident(*dropped, dropped->resident_bytes);
       return Status::Ok();
     }
     case persist::RecordType::kCacheEntry: {
@@ -369,10 +458,29 @@ Status OocqService::AdmitOne() {
 }
 
 void OocqService::FinishOne() {
+  completed_.fetch_add(1, std::memory_order_relaxed);
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(drain_mu_);
     drain_cv_.notify_all();
   }
+}
+
+Status OocqService::ChargeResident(Session& session, uint64_t bytes) {
+  if (bytes == 0 || !budget_.has_value()) return Status::Ok();
+  Status charged = budget_->ChargeResidentBytes(bytes);
+  if (!charged.ok()) {
+    registry_.Add("server/budget_exhausted", 1);
+    return charged;
+  }
+  session.resident_bytes += bytes;
+  return Status::Ok();
+}
+
+void OocqService::ReleaseResident(Session& session, uint64_t bytes) {
+  if (bytes == 0 || !budget_.has_value()) return;
+  bytes = std::min<uint64_t>(bytes, session.resident_bytes);
+  budget_->ReleaseResidentBytes(bytes);
+  session.resident_bytes -= bytes;
 }
 
 void OocqService::Drain() {
@@ -428,7 +536,8 @@ StatusOr<bool> ContainedViaPipeline(const Schema& schema,
           bool contained,
           cache != nullptr
               ? cache->Contained(qi, n.disjuncts[0], nullptr,
-                                 opts.containment.cancel)
+                                 opts.containment.cancel,
+                                 opts.containment.budget)
               : Contained(schema, qi, n.disjuncts[0], opts.containment));
       if (!contained) return false;
     }
@@ -443,12 +552,26 @@ StatusOr<bool> ContainedViaPipeline(const Schema& schema,
 Response OocqService::Run(const Request& request, Session& session,
                           const CancellationToken* cancel) const {
   Response response;
+  if (Status chaos = Failpoints::Check("service/execute"); !chaos.ok()) {
+    response.status = std::move(chaos);
+    return response;
+  }
   // Engine options for this request: session-wide knobs plus this
   // request's cancellation token on every containment path.
   EngineOptions opts = WithPropagatedParallelism(options_.engine);
   opts.containment.cancel = cancel;
   // The per-run cache below is the session's, not a fresh one.
   opts.cache.enabled = false;
+  // Per-request budget (engine.limits) chained under the service-wide one,
+  // so both the per-request and the aggregate ceilings hold; the work it
+  // charged is returned to the service budget when this request finishes.
+  std::optional<ResourceBudget> request_budget;
+  if (opts.limits.AnySet() || budget_.has_value()) {
+    request_budget.emplace(opts.limits,
+                           budget_.has_value() ? &*budget_ : nullptr);
+    opts.containment.budget = &*request_budget;
+    opts.expansion.budget = &*request_budget;
+  }
 
   std::shared_lock<std::shared_mutex> lock(session.mu);
   const Schema& schema = session.schema;
@@ -677,13 +800,7 @@ Response OocqService::Execute(const Request& request) {
 
   response.latency_us = NowUs() - admitted_us;
   registry_.Record("server/latency_us", response.latency_us);
-  if (response.status.ok()) {
-    registry_.Add("server/ok", 1);
-  } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
-    registry_.Add("server/deadline_exceeded", 1);
-  } else {
-    registry_.Add("server/errors", 1);
-  }
+  CountOutcome(registry_, response.status);
   return response;
 }
 
@@ -758,14 +875,7 @@ std::vector<Response> OocqService::ExecuteBatch(
     FinishOne();
     responses[p->index].latency_us = NowUs() - p->admitted_us;
     registry_.Record("server/latency_us", responses[p->index].latency_us);
-    if (responses[p->index].status.ok()) {
-      registry_.Add("server/ok", 1);
-    } else if (responses[p->index].status.code() ==
-               StatusCode::kDeadlineExceeded) {
-      registry_.Add("server/deadline_exceeded", 1);
-    } else {
-      registry_.Add("server/errors", 1);
-    }
+    CountOutcome(registry_, responses[p->index].status);
   }
   return responses;
 }

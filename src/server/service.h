@@ -49,6 +49,7 @@
 #include "state/state.h"
 #include "support/cancellation.h"
 #include "support/metrics.h"
+#include "support/resource_budget.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
 
@@ -71,6 +72,17 @@ struct ServiceOptions {
   /// server/shed, server/latency_us, …). The registry is the one the
   /// `METRICS` protocol command snapshots.
   bool metrics = true;
+  /// Service-wide resource ceilings (docs/robustness.md). Work limits
+  /// (disjuncts, subset work units) cap the *aggregate* of all in-flight
+  /// requests; max_resident_bytes caps the catalog text (schemas, named
+  /// queries, states) the service keeps registered. Per-request ceilings
+  /// go in engine.limits; every request budget chains under this one.
+  /// Overruns surface as retryable kResourceExhausted.
+  ResourceLimits budget;
+  /// Failpoint spec armed at construction ("wal/fsync=error@3,...", see
+  /// support/failpoint.h). Empty arms nothing; a malformed spec is
+  /// reported once to the metrics registry and ignored.
+  std::string failpoints;
   /// Durable catalog (docs/persistence.md). When set, the service replays
   /// the catalog's recovered records on construction — re-registering
   /// sessions, named queries and states, and warm-starting each session's
@@ -159,6 +171,20 @@ class OocqService {
   const MetricsRegistry& metrics() const { return registry_; }
   const ServiceOptions& options() const { return options_; }
 
+  /// Requests admitted and not yet finished (queued + running).
+  uint32_t pending() const { return pending_.load(std::memory_order_relaxed); }
+  /// Requests finished since construction (any status). A watchdog that
+  /// sees pending() > 0 while this stops advancing has found a wedged
+  /// worker pool (examples/oocq_serve.cpp).
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  /// The service-wide budget (ServiceOptions::budget); null when no
+  /// service limit is set. Read-only introspection for HEALTH.
+  const ResourceBudget* budget() const {
+    return budget_.has_value() ? &*budget_ : nullptr;
+  }
+
  private:
   struct Session {
     explicit Session(Schema s) : schema(std::move(s)) {}
@@ -172,6 +198,9 @@ class OocqService {
     std::string schema_text;
     std::map<std::string, std::string> named_text;
     std::optional<std::string> state_text;
+    /// Catalog bytes this session has charged on the service budget
+    /// (released on DropSession).
+    uint64_t resident_bytes = 0;
     /// Registry mutations (DefineQuery/LoadState) take it exclusively;
     /// request execution reads under a shared lock.
     mutable std::shared_mutex mu;
@@ -195,6 +224,10 @@ class OocqService {
   /// Admission check; on success the caller owes one FinishOne().
   Status AdmitOne();
   void FinishOne();
+  /// Charges `delta` catalog bytes for `session` on the service budget
+  /// (no-op without one); negative-delta releases never fail.
+  Status ChargeResident(Session& session, uint64_t bytes);
+  void ReleaseResident(Session& session, uint64_t bytes);
   /// The request body, run on a pool worker. `cancel` may be null.
   Response Run(const Request& request, Session& session,
                const CancellationToken* cancel) const;
@@ -209,6 +242,10 @@ class OocqService {
   uint64_t next_session_ = 1;
 
   std::atomic<uint32_t> pending_{0};  // admitted: queued + running
+  std::atomic<uint64_t> completed_{0};
+  /// ServiceOptions::budget. Mutable: const request paths (Run) charge
+  /// work against it; charging is internally synchronized (atomics).
+  mutable std::optional<ResourceBudget> budget_;
   std::atomic<bool> draining_{false};
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;

@@ -5,13 +5,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "server/protocol.h"
+#include "support/failpoint.h"
 #include "support/metrics.h"
 
 namespace oocq::server {
@@ -43,6 +47,9 @@ class LineReader {
       }
       if (buffer_.size() > kMaxLineBytes) return false;  // oversized line
       scan_from_ = buffer_.size();
+      // Chaos hook: `error` fails the read (the connection is treated as
+      // dropped — exactly what a retrying client must survive).
+      if (!Failpoints::Hit("tcp/read")) return false;
       char chunk[4096];
       ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
       if (got <= 0) return false;  // peer closed or read side shut down
@@ -57,6 +64,7 @@ class LineReader {
 };
 
 bool SendAll(int fd, const std::string& data) {
+  if (!Failpoints::Hit("tcp/write")) return false;  // injected send failure
   size_t sent = 0;
   while (sent < data.size()) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
@@ -117,11 +125,33 @@ Status TcpServer::Start() {
 }
 
 void TcpServer::AcceptLoop() {
+  // Transient-failure backoff: EMFILE/ENFILE (fd exhaustion) and
+  // ENOBUFS/ENOMEM mean the *process or host* is out of resources, not
+  // that the listener is broken — exiting the loop would turn a burst of
+  // connections into a dead server. Sleep (bounded, doubling) and retry;
+  // a successful accept resets the backoff.
+  uint64_t backoff_ms = 10;
+  constexpr uint64_t kMaxBackoffMs = 1000;
   while (!stopping_.load(std::memory_order_acquire)) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        MetricAdd("server/accept_backoff", 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, kMaxBackoffMs);
+        continue;
+      }
       break;  // listener closed by Stop()
+    }
+    backoff_ms = 10;
+    // Chaos hook (after accept returns, before the connection is served):
+    // `delay` stalls acceptance, `error` drops the connection on the
+    // floor — a retrying client reconnects.
+    if (!Failpoints::Hit("tcp/accept")) {
+      ::close(fd);
+      continue;
     }
     accepted_.fetch_add(1, std::memory_order_relaxed);
     MetricAdd("server/connections", 1);

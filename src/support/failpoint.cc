@@ -1,0 +1,259 @@
+#include "support/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/metrics.h"
+#include "support/status_macros.h"
+
+namespace oocq {
+
+namespace {
+
+enum class Action { kOff, kError, kDelay, kCrash };
+
+/// One armed failpoint. `from_hit`/`every_hit` encode the selector:
+/// "@N" fires exactly on hit N, "@N+" on hit N and after, no selector on
+/// every hit.
+struct Arm {
+  Action action = Action::kOff;
+  StatusCode code = StatusCode::kUnavailable;
+  uint64_t delay_ms = 0;
+  uint64_t from_hit = 1;
+  bool once = false;  // true: fire only on hit == from_hit
+};
+
+struct PointState {
+  Arm arm;
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, PointState> points;
+};
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::once_flag g_env_once;
+
+StatusOr<Arm> ParseAction(const std::string& text) {
+  Arm arm;
+  std::string body = text;
+  // Split off the "@N" / "@N+" hit selector first.
+  size_t at = body.rfind('@');
+  if (at != std::string::npos) {
+    std::string selector = body.substr(at + 1);
+    body = body.substr(0, at);
+    bool plus = !selector.empty() && selector.back() == '+';
+    if (plus) selector.pop_back();
+    if (selector.empty()) {
+      return Status::InvalidArgument("failpoint selector '@' needs a number");
+    }
+    uint64_t n = 0;
+    for (char c : selector) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad failpoint hit selector '@" +
+                                       selector + "'");
+      }
+      n = n * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (n == 0) {
+      return Status::InvalidArgument("failpoint hits are 1-based");
+    }
+    arm.from_hit = n;
+    arm.once = !plus;
+  }
+  // Then the ":ARG" payload.
+  std::string argument;
+  size_t colon = body.find(':');
+  if (colon != std::string::npos) {
+    argument = body.substr(colon + 1);
+    body = body.substr(0, colon);
+  }
+  if (body == "off") {
+    arm.action = Action::kOff;
+  } else if (body == "error") {
+    arm.action = Action::kError;
+    if (!argument.empty()) {
+      if (argument == "UNAVAILABLE") {
+        arm.code = StatusCode::kUnavailable;
+      } else if (argument == "DEADLINE_EXCEEDED") {
+        arm.code = StatusCode::kDeadlineExceeded;
+      } else if (argument == "RESOURCE_EXHAUSTED") {
+        arm.code = StatusCode::kResourceExhausted;
+      } else if (argument == "INTERNAL") {
+        arm.code = StatusCode::kInternal;
+      } else {
+        return Status::InvalidArgument("bad failpoint error code '" +
+                                       argument + "'");
+      }
+    }
+  } else if (body == "delay") {
+    arm.action = Action::kDelay;
+    for (char c : argument) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad failpoint delay '" + argument +
+                                       "'");
+      }
+      arm.delay_ms = arm.delay_ms * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (argument.empty()) {
+      return Status::InvalidArgument("delay needs ':MS'");
+    }
+  } else if (body == "crash") {
+    arm.action = Action::kCrash;
+  } else {
+    return Status::InvalidArgument("unknown failpoint action '" + body + "'");
+  }
+  return arm;
+}
+
+/// The fire decision + side effect for one counted hit. Returns the
+/// injected error (never Ok) when the action is `error` and the selector
+/// matched; Ok otherwise.
+Status FireLocked(const std::string& name, PointState& point,
+                  std::unique_lock<std::mutex>& lock) {
+  ++point.hits;
+  const Arm& arm = point.arm;
+  if (arm.action == Action::kOff) return Status::Ok();
+  const uint64_t hit = point.hits;
+  const bool selected =
+      arm.once ? hit == arm.from_hit : hit >= arm.from_hit;
+  if (!selected) return Status::Ok();
+  MetricAdd("failpoint/fired", 1);
+  switch (arm.action) {
+    case Action::kError:
+      return Status(arm.code,
+                    "injected failure at failpoint '" + name + "'");
+    case Action::kDelay: {
+      const uint64_t ms = arm.delay_ms;
+      lock.unlock();  // never sleep under the registry mutex
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      return Status::Ok();
+    }
+    case Action::kCrash:
+      std::fprintf(stderr, "failpoint '%s': injected crash\n", name.c_str());
+      std::abort();
+    case Action::kOff:
+      break;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void Failpoints::BootstrapFromEnv() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("OOCQ_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') {
+      (void)Failpoints::Configure(env);
+    }
+    env_checked_.store(true, std::memory_order_release);
+  });
+}
+
+const std::vector<std::string>& Failpoints::KnownNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "wal/append",        // persist/wal.cc: before the frame write
+      "wal/fsync",         // persist/wal.cc: before the group-commit fsync
+      "snapshot/write",    // persist/snapshot.cc: before the durable write
+      "snapshot/load",     // persist/snapshot.cc: before reading a file
+      "pool/dispatch",     // support/thread_pool.cc: before a task runs
+      "core/subset_scan",  // core/containment.cc: per Thm 3.1 chunk
+      "cache/lookup",      // core/containment_cache.cc: on entry
+      "service/execute",   // server/service.cc: before the request body
+      "tcp/accept",        // server/tcp_server.cc: after accept() returns
+      "tcp/read",          // server/tcp_server.cc: before each recv()
+      "tcp/write",         // server/tcp_server.cc: before each send()
+  };
+  return *names;
+}
+
+Status Failpoints::Configure(const std::string& spec) {
+  if (spec.empty()) return Status::Ok();
+  // Parse the whole spec before arming anything, so a bad entry cannot
+  // leave a half-armed configuration behind.
+  std::vector<std::pair<std::string, Arm>> parsed;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    std::string entry = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint entry '" + entry +
+                                     "' is not name=action");
+    }
+    OOCQ_ASSIGN_OR_RETURN(Arm arm, ParseAction(entry.substr(eq + 1)));
+    parsed.emplace_back(entry.substr(0, eq), arm);
+  }
+
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [name, arm] : parsed) {
+    PointState& point = registry.points[name];
+    const bool was_armed = point.arm.action != Action::kOff;
+    const bool now_armed = arm.action != Action::kOff;
+    point.arm = arm;
+    point.hits = 0;  // arming (or re-arming) restarts the hit counter
+    if (was_armed != now_armed) {
+      if (now_armed) {
+        armed_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        armed_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void Failpoints::Reset() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.clear();
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+Status Failpoints::CheckSlow(const char* name) {
+  Registry& registry = TheRegistry();
+  std::unique_lock<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end()) {
+    // Sites self-register so HitNames() shows coverage even for points
+    // that were never armed.
+    it = registry.points.emplace(name, PointState{}).first;
+  }
+  return FireLocked(it->first, it->second, lock);
+}
+
+uint64_t Failpoints::HitCount(const std::string& name) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> Failpoints::HitNames() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  for (const auto& [name, point] : registry.points) {
+    if (point.hits != 0) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace oocq

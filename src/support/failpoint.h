@@ -1,0 +1,114 @@
+#ifndef OOCQ_SUPPORT_FAILPOINT_H_
+#define OOCQ_SUPPORT_FAILPOINT_H_
+
+/// Named, deterministic fault injection for chaos testing the engine and
+/// the server (docs/robustness.md). A *failpoint* is a named site in the
+/// code — WAL fsync, snapshot write, thread-pool dispatch, the Thm 3.1
+/// subset scan, socket accept/read/write — that normally does nothing
+/// and costs two inlined atomic loads. When armed, the site fires a
+/// configured action:
+///
+///   error[:CODE]   return a Status with CODE (default UNAVAILABLE)
+///   delay:MS       sleep MS milliseconds, then continue normally
+///   crash          abort() — simulates SIGKILL at exactly this site
+///   off            disarm
+///
+/// Every action takes an optional hit selector, so "fail the 3rd WAL
+/// fsync" is reproducible:
+///
+///   wal/fsync=error@3        fire on the 3rd hit only
+///   tcp/accept=delay:50@2+   fire on the 2nd hit and every one after
+///   snapshot/write=crash     fire on every hit (first one aborts)
+///
+/// Specs combine with commas: "wal/fsync=error@3,tcp/accept=delay:20".
+/// Arm them via Failpoints::Configure() (used by OocqService options and
+/// `oocq_serve --failpoints=...`) or the OOCQ_FAILPOINTS environment
+/// variable, read once at first use.
+///
+/// Hit counters are per-failpoint and process-wide; tests call Reset()
+/// between scenarios. Sites call:
+///
+///   OOCQ_RETURN_IF_ERROR(Failpoints::Check("wal/fsync"));
+///
+/// or, where no Status can propagate (accept loop, pool worker):
+///
+///   Failpoints::Hit("tcp/accept");   // delay/crash only; error is inert
+///
+/// Sites self-register on first hit; Failpoints::KnownNames() lists the
+/// canonical set wired through the tree so the chaos suite can assert
+/// every one of them fired (tests/chaos_test.cc).
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace oocq {
+
+class Failpoints {
+ public:
+  /// The canonical failpoint names threaded through the tree. Kept in one
+  /// place so the chaos suite enumerates them; a site name not listed
+  /// here still works but is invisible to ctest -L chaos coverage.
+  static const std::vector<std::string>& KnownNames();
+
+  /// Parses and arms `spec` ("name=action,name=action", grammar above).
+  /// An empty spec is a no-op (Ok). Unknown action or malformed selector
+  /// is kInvalidArgument; nothing is armed when parsing fails.
+  static Status Configure(const std::string& spec);
+
+  /// Disarms every failpoint and zeroes all hit counters.
+  static void Reset();
+
+  /// True when at least one failpoint is armed. Inlined so a disarmed
+  /// site costs two predictable atomic loads and no call — the entire
+  /// price of shipping failpoints in production builds.
+  static bool AnyActive() {
+    if (!env_checked_.load(std::memory_order_acquire)) BootstrapFromEnv();
+    return armed_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// The full check: counts a hit and fires the armed action. Returns the
+  /// configured status for `error`, sleeps for `delay`, aborts for
+  /// `crash`; Ok when disarmed or the hit selector does not match.
+  static Status Check(const char* name) {
+    if (!AnyActive()) return Status::Ok();
+    return CheckSlow(name);
+  }
+
+  /// Check() for sites that cannot surface a Status (accept loop, pool
+  /// workers): delay and crash fire, error returns false ("site should
+  /// fail") and the caller decides what that means locally.
+  static bool Hit(const char* name) {
+    if (!AnyActive()) return true;
+    return CheckSlow(name).ok();
+  }
+
+  /// Hits observed at `name` since the last Reset() (0 if never hit).
+  static uint64_t HitCount(const std::string& name);
+
+  /// Names hit at least once since the last Reset(), sorted.
+  static std::vector<std::string> HitNames();
+
+ private:
+  /// The armed path: registry lock, self-registration, hit accounting,
+  /// selector match, action.
+  static Status CheckSlow(const char* name);
+
+  /// Reads OOCQ_FAILPOINTS exactly once before the first site check, so
+  /// a chaos run needs no code changes in the binary under test.
+  static void BootstrapFromEnv();
+
+  /// Count of armed failpoints; the disarmed fast path is one relaxed
+  /// load of this (maintained by Configure()/Reset() in failpoint.cc).
+  static inline std::atomic<uint64_t> armed_{0};
+
+  /// Latched true once the env bootstrap ran (acquire/release pairs with
+  /// the Configure() the bootstrap may perform).
+  static inline std::atomic<bool> env_checked_{false};
+};
+
+}  // namespace oocq
+
+#endif  // OOCQ_SUPPORT_FAILPOINT_H_

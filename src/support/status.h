@@ -22,7 +22,9 @@ enum class StatusCode {
   /// A lookup failed (e.g., no class with the given name).
   kNotFound = 3,
   /// A configurable resource limit was exceeded (e.g., the augmentation
-  /// enumeration cap in the general containment test).
+  /// enumeration cap in the general containment test, or a ResourceBudget
+  /// cap on expansion/scan work). Retryable: the same request may succeed
+  /// under a larger budget or once concurrent load drains.
   kResourceExhausted = 4,
   /// An internal invariant was violated; indicates a library bug.
   kInternal = 5,
@@ -36,9 +38,14 @@ enum class StatusCode {
 };
 
 /// True for the transient codes a client should retry (with backoff):
-/// kDeadlineExceeded and kUnavailable.
+/// kResourceExhausted, kDeadlineExceeded, and kUnavailable. This is the
+/// single source of truth for the retryable taxonomy — servers use it to
+/// classify outcomes, the containment cache uses it to decide which
+/// errors to memoize, and clients use it to gate backoff-retry
+/// (docs/robustness.md).
 inline bool IsRetryable(StatusCode code) {
-  return code == StatusCode::kDeadlineExceeded ||
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded ||
          code == StatusCode::kUnavailable;
 }
 

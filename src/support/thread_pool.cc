@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "support/failpoint.h"
 #include "support/metrics.h"
 
 namespace oocq {
@@ -92,6 +93,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Chaos hook: delay simulates a stalled worker (the serve watchdog's
+    // trigger), crash a worker death. `error` is inert here — a pool task
+    // has no Status channel.
+    Failpoints::Hit("pool/dispatch");
     task();
   }
 }

@@ -1,0 +1,160 @@
+// The failpoint registry (support/failpoint.h): spec parsing, hit
+// selectors, counters, the env bootstrap contract, and the disarmed
+// fast path.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "support/failpoint.h"
+#include "support/status.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Reset(); }
+  void TearDown() override { Failpoints::Reset(); }
+};
+
+TEST_F(FailpointTest, DisarmedSitesAreInertAndUncounted) {
+  EXPECT_FALSE(Failpoints::AnyActive());
+  OOCQ_EXPECT_OK(Failpoints::Check("wal/fsync"));
+  EXPECT_TRUE(Failpoints::Hit("tcp/accept"));
+  // The disarmed fast path never touches the registry, so nothing is
+  // counted — hit accounting is a property of armed runs.
+  EXPECT_EQ(Failpoints::HitCount("wal/fsync"), 0u);
+  EXPECT_TRUE(Failpoints::HitNames().empty());
+}
+
+TEST_F(FailpointTest, ErrorActionDefaultsToUnavailable) {
+  OOCQ_ASSERT_OK(Failpoints::Configure("wal/fsync=error"));
+  EXPECT_TRUE(Failpoints::AnyActive());
+  Status injected = Failpoints::Check("wal/fsync");
+  EXPECT_EQ(injected.code(), StatusCode::kUnavailable);
+  EXPECT_NE(injected.message().find("wal/fsync"), std::string::npos);
+  EXPECT_TRUE(IsRetryable(injected.code()));
+}
+
+TEST_F(FailpointTest, ErrorActionHonorsExplicitCode) {
+  OOCQ_ASSERT_OK(
+      Failpoints::Configure("snapshot/write=error:RESOURCE_EXHAUSTED"));
+  EXPECT_EQ(Failpoints::Check("snapshot/write").code(),
+            StatusCode::kResourceExhausted);
+  OOCQ_ASSERT_OK(Failpoints::Configure("snapshot/write=error:INTERNAL"));
+  EXPECT_EQ(Failpoints::Check("snapshot/write").code(),
+            StatusCode::kInternal);
+}
+
+TEST_F(FailpointTest, OnceSelectorFiresOnExactlyThatHit) {
+  // "fail the 3rd WAL fsync" — the reproducibility contract.
+  OOCQ_ASSERT_OK(Failpoints::Configure("wal/fsync=error@3"));
+  OOCQ_EXPECT_OK(Failpoints::Check("wal/fsync"));
+  OOCQ_EXPECT_OK(Failpoints::Check("wal/fsync"));
+  EXPECT_EQ(Failpoints::Check("wal/fsync").code(), StatusCode::kUnavailable);
+  OOCQ_EXPECT_OK(Failpoints::Check("wal/fsync"));
+  EXPECT_EQ(Failpoints::HitCount("wal/fsync"), 4u);
+}
+
+TEST_F(FailpointTest, FromSelectorFiresOnEveryHitAfter) {
+  OOCQ_ASSERT_OK(Failpoints::Configure("tcp/read=error@2+"));
+  OOCQ_EXPECT_OK(Failpoints::Check("tcp/read"));
+  EXPECT_FALSE(Failpoints::Check("tcp/read").ok());
+  EXPECT_FALSE(Failpoints::Check("tcp/read").ok());
+}
+
+TEST_F(FailpointTest, HitIsFalseOnInjectedErrorForVoidSites) {
+  OOCQ_ASSERT_OK(Failpoints::Configure("tcp/accept=error@1"));
+  EXPECT_FALSE(Failpoints::Hit("tcp/accept"));  // "site should fail"
+  EXPECT_TRUE(Failpoints::Hit("tcp/accept"));   // once selector passed
+}
+
+TEST_F(FailpointTest, DelayActionSleepsThenContinues) {
+  OOCQ_ASSERT_OK(Failpoints::Configure("pool/dispatch=delay:30"));
+  auto start = std::chrono::steady_clock::now();
+  OOCQ_EXPECT_OK(Failpoints::Check("pool/dispatch"));
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 25);
+}
+
+TEST_F(FailpointTest, CommaJoinedSpecArmsEveryEntry) {
+  OOCQ_ASSERT_OK(
+      Failpoints::Configure("wal/fsync=error@2,tcp/accept=delay:1"));
+  OOCQ_EXPECT_OK(Failpoints::Check("wal/fsync"));
+  EXPECT_FALSE(Failpoints::Check("wal/fsync").ok());
+  EXPECT_TRUE(Failpoints::Hit("tcp/accept"));
+  EXPECT_EQ(Failpoints::HitCount("tcp/accept"), 1u);
+}
+
+TEST_F(FailpointTest, OffDisarmsAndConfigureRestartsHitCounter) {
+  OOCQ_ASSERT_OK(Failpoints::Configure("wal/fsync=error@1"));
+  EXPECT_FALSE(Failpoints::Check("wal/fsync").ok());
+  OOCQ_ASSERT_OK(Failpoints::Configure("wal/fsync=off"));
+  // Another point keeps the registry armed so the site is still counted.
+  OOCQ_ASSERT_OK(Failpoints::Configure("tcp/write=delay:1"));
+  OOCQ_EXPECT_OK(Failpoints::Check("wal/fsync"));
+  EXPECT_EQ(Failpoints::HitCount("wal/fsync"), 1u);  // counter restarted
+}
+
+TEST_F(FailpointTest, MalformedSpecsRejectAtomically) {
+  // The bad tail entry must not leave the good head armed.
+  EXPECT_EQ(Failpoints::Configure("wal/fsync=error,oops").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Configure("wal/fsync=explode").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Configure("wal/fsync=error@0").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Configure("wal/fsync=error@x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Configure("wal/fsync=delay").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Configure("wal/fsync=error:BOGUS").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Configure("=error").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(Failpoints::AnyActive());
+}
+
+TEST_F(FailpointTest, EmptySpecIsANoOp) {
+  OOCQ_EXPECT_OK(Failpoints::Configure(""));
+  EXPECT_FALSE(Failpoints::AnyActive());
+}
+
+TEST_F(FailpointTest, HitNamesTracksArmedRunCoverage) {
+  OOCQ_ASSERT_OK(Failpoints::Configure("wal/fsync=delay:0"));
+  OOCQ_EXPECT_OK(Failpoints::Check("wal/fsync"));
+  OOCQ_EXPECT_OK(Failpoints::Check("snapshot/load"));  // self-registered
+  std::vector<std::string> hit = Failpoints::HitNames();
+  ASSERT_EQ(hit.size(), 2u);
+  EXPECT_EQ(hit[0], "snapshot/load");
+  EXPECT_EQ(hit[1], "wal/fsync");
+}
+
+TEST_F(FailpointTest, KnownNamesListsTheWiredSites) {
+  const std::vector<std::string>& names = Failpoints::KnownNames();
+  EXPECT_GE(names.size(), 11u);
+  for (const char* expected :
+       {"wal/append", "wal/fsync", "snapshot/write", "snapshot/load",
+        "pool/dispatch", "core/subset_scan", "cache/lookup",
+        "service/execute", "tcp/accept", "tcp/read", "tcp/write"}) {
+    bool found = false;
+    for (const std::string& name : names) found = found || name == expected;
+    EXPECT_TRUE(found) << expected;
+  }
+}
+
+using FailpointDeathTest = FailpointTest;
+
+TEST_F(FailpointDeathTest, CrashActionAborts) {
+  OOCQ_ASSERT_OK(Failpoints::Configure("snapshot/write=crash@2"));
+  OOCQ_EXPECT_OK(Failpoints::Check("snapshot/write"));
+  EXPECT_DEATH((void)Failpoints::Check("snapshot/write"), "injected crash");
+}
+
+}  // namespace
+}  // namespace oocq

@@ -1,0 +1,148 @@
+// ResourceBudget (support/resource_budget.h): limits, the retryable
+// overrun contract, parent chaining, and the destructor's release of
+// work charges back to the chain.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "support/resource_budget.h"
+#include "support/status.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+TEST(ResourceBudgetTest, UnlimitedByDefault) {
+  ResourceLimits limits;
+  EXPECT_FALSE(limits.AnySet());
+  ResourceBudget budget(limits);
+  OOCQ_EXPECT_OK(budget.ChargeDisjuncts(1'000'000));
+  OOCQ_EXPECT_OK(budget.ChargeSubsetWork(1'000'000));
+  OOCQ_EXPECT_OK(budget.ChargeResidentBytes(1'000'000));
+  EXPECT_EQ(budget.exhausted_count(), 0u);
+}
+
+TEST(ResourceBudgetTest, OverrunIsRetryableAndUndone) {
+  ResourceLimits limits;
+  limits.max_subset_work_units = 10;
+  ResourceBudget budget(limits);
+  OOCQ_EXPECT_OK(budget.ChargeSubsetWork(10));
+  Status refused = budget.ChargeSubsetWork(1);
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsRetryable(refused.code()));
+  EXPECT_NE(refused.message().find("max_subset_work_units"),
+            std::string::npos);
+  // The refused charge is undone: the budget sits exactly at its cap.
+  EXPECT_EQ(budget.work_units_charged(), 10u);
+  EXPECT_EQ(budget.exhausted_count(), 1u);
+}
+
+TEST(ResourceBudgetTest, AxesAreIndependent) {
+  ResourceLimits limits;
+  limits.max_expanded_disjuncts = 5;
+  ResourceBudget budget(limits);
+  EXPECT_EQ(budget.ChargeDisjuncts(6).code(),
+            StatusCode::kResourceExhausted);
+  // Work units and resident bytes are not capped by the disjunct limit.
+  OOCQ_EXPECT_OK(budget.ChargeSubsetWork(100));
+  OOCQ_EXPECT_OK(budget.ChargeResidentBytes(100));
+}
+
+TEST(ResourceBudgetTest, ChildChargesPropagateToParent) {
+  ResourceLimits parent_limits;
+  parent_limits.max_subset_work_units = 10;
+  ResourceBudget parent(parent_limits);
+  ResourceBudget child(ResourceLimits{}, &parent);
+
+  OOCQ_EXPECT_OK(child.ChargeSubsetWork(7));
+  EXPECT_EQ(child.work_units_charged(), 7u);
+  EXPECT_EQ(parent.work_units_charged(), 7u);
+
+  // The child is unlimited, but the parent's aggregate cap still binds.
+  Status refused = child.ChargeSubsetWork(4);
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  // A parent refusal leaves no child charge behind.
+  EXPECT_EQ(child.work_units_charged(), 7u);
+  EXPECT_EQ(parent.work_units_charged(), 7u);
+  EXPECT_EQ(parent.exhausted_count(), 1u);
+  EXPECT_EQ(child.exhausted_count(), 0u);
+}
+
+TEST(ResourceBudgetTest, ChildRefusalReleasesParentCharge) {
+  ResourceBudget parent(ResourceLimits{});
+  ResourceLimits child_limits;
+  child_limits.max_expanded_disjuncts = 3;
+  ResourceBudget child(child_limits, &parent);
+
+  EXPECT_EQ(child.ChargeDisjuncts(4).code(),
+            StatusCode::kResourceExhausted);
+  // The parent was charged first, then released by the child's undo.
+  EXPECT_EQ(parent.disjuncts_charged(), 0u);
+  EXPECT_EQ(child.disjuncts_charged(), 0u);
+}
+
+TEST(ResourceBudgetTest, DestructorReturnsWorkChargesToParent) {
+  ResourceLimits parent_limits;
+  parent_limits.max_subset_work_units = 10;
+  parent_limits.max_expanded_disjuncts = 10;
+  ResourceBudget parent(parent_limits);
+  {
+    ResourceBudget request(ResourceLimits{}, &parent);
+    OOCQ_EXPECT_OK(request.ChargeSubsetWork(9));
+    OOCQ_EXPECT_OK(request.ChargeDisjuncts(9));
+    EXPECT_EQ(parent.work_units_charged(), 9u);
+  }
+  // The lease expired with the request: the next request gets the full
+  // aggregate window again.
+  EXPECT_EQ(parent.work_units_charged(), 0u);
+  EXPECT_EQ(parent.disjuncts_charged(), 0u);
+  ResourceBudget next(ResourceLimits{}, &parent);
+  OOCQ_EXPECT_OK(next.ChargeSubsetWork(10));
+}
+
+TEST(ResourceBudgetTest, ResidentBytesAreNotReturnedByDestructor) {
+  ResourceBudget parent(ResourceLimits{});
+  {
+    ResourceBudget child(ResourceLimits{}, &parent);
+    OOCQ_EXPECT_OK(child.ChargeResidentBytes(64));
+    EXPECT_EQ(parent.resident_bytes(), 64u);
+  }
+  // Catalog text outlives the request that registered it; release is
+  // explicit (DropSession), never implicit.
+  EXPECT_EQ(parent.resident_bytes(), 64u);
+  parent.ReleaseResidentBytes(64);
+  EXPECT_EQ(parent.resident_bytes(), 0u);
+}
+
+TEST(ResourceBudgetTest, ConcurrentChargesNeverExceedTheCap) {
+  ResourceLimits limits;
+  limits.max_subset_work_units = 1000;
+  ResourceBudget budget(limits);
+  std::atomic<uint64_t> accepted{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&budget, &accepted] {
+      for (int i = 0; i < 500; ++i) {
+        if (budget.ChargeSubsetWork(1).ok()) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  // Refused charges undo themselves, so the settled counter equals the
+  // accepted count and never exceeds the cap. (A refusal racing another
+  // thread's transient overshoot may spuriously refuse near the cap, so
+  // `accepted` is bounded, not pinned, at 1000.)
+  EXPECT_EQ(budget.work_units_charged(), accepted.load());
+  EXPECT_LE(accepted.load(), 1000u);
+  EXPECT_GE(accepted.load(), 900u);
+  EXPECT_EQ(budget.exhausted_count(), 8u * 500u - accepted.load());
+}
+
+}  // namespace
+}  // namespace oocq

@@ -195,8 +195,14 @@ TEST_F(ViewMatchingTest, CachePropagatesErrors) {
       MustParseQuery(schema_, "{ x | x in Vehicle }");
   EXPECT_EQ(cache.Contained(non_terminal, non_terminal).status().code(),
             StatusCode::kFailedPrecondition);
-  // Errors are not cached.
-  EXPECT_EQ(cache.size(), 0u);
+  // Deterministic errors stay memoized so the identical request fails
+  // fast (only retryable codes are dropped — docs/robustness.md), and
+  // Export() never surfaces errored entries to the durable catalog.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Contained(non_terminal, non_terminal).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Export(0).empty());
 }
 
 TEST_F(ViewMatchingTest, CacheAgreesWithDirectContainedOnBatch) {
