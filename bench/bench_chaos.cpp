@@ -200,8 +200,9 @@ int Run() {
     std::perror("BENCH_chaos.json");
     return 1;
   }
+  BeginBenchJson(out);
   std::fprintf(out,
-               "{\n  \"workload\": \"E13 containment mix + %u injected WAL "
+               "  \"workload\": \"E13 containment mix + %u injected WAL "
                "fsync faults\",\n",
                kFaults);
   std::fprintf(out, "  \"disarmed_check_ns\": %.2f,\n", check_ns);

@@ -154,8 +154,8 @@ int Run() {
     std::perror("BENCH_observability.json");
     return 1;
   }
+  BeginBenchJson(out);
   std::fprintf(out,
-               "{\n"
                "  \"workload\": \"MinimizePositiveUnion over %zu redundant "
                "chain disjuncts\",\n"
                "  \"disabled_ms\": %.3f,\n"

@@ -129,7 +129,8 @@ int Run() {
     std::perror("BENCH_parallel.json");
     return 1;
   }
-  std::fprintf(out, "{\n  \"workload\": \"MinimizePositiveUnion over %zu "
+  BeginBenchJson(out);
+  std::fprintf(out, "  \"workload\": \"MinimizePositiveUnion over %zu "
                     "redundant chain disjuncts\",\n  \"samples\": [\n",
                input.disjuncts.size());
   for (size_t i = 0; i < samples.size(); ++i) {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "persist/catalog.h"
 #include "persist/snapshot.h"
 #include "server/service.h"
@@ -190,8 +191,9 @@ int Run() {
     std::perror("BENCH_persist.json");
     return 1;
   }
+  BeginBenchJson(out);
   std::fprintf(out,
-               "{\n  \"workload\": \"E13 containment mix, %u requests, "
+               "  \"workload\": \"E13 containment mix, %u requests, "
                "restart between runs\",\n",
                kRequests);
   std::fprintf(out,

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "server/service.h"
 #include "support/status.h"
 
@@ -152,8 +153,9 @@ int Run() {
     std::perror("BENCH_server.json");
     return 1;
   }
+  BeginBenchJson(out);
   std::fprintf(out,
-               "{\n  \"workload\": \"closed-loop containment mix, "
+               "  \"workload\": \"closed-loop containment mix, "
                "%u requests/client, shared session\",\n  \"samples\": [\n",
                kPerClient);
   for (size_t i = 0; i < samples.size(); ++i) {

@@ -11,7 +11,25 @@
 #include "schema/schema_builder.h"
 #include "support/status.h"
 
+// Baked in by bench/CMakeLists.txt at configure time; "unknown" when the
+// header is compiled outside that directory (or git is unavailable).
+#ifndef OOCQ_BENCH_GIT_SHA
+#define OOCQ_BENCH_GIT_SHA "unknown"
+#endif
+#ifndef OOCQ_BENCH_BUILD_TYPE
+#define OOCQ_BENCH_BUILD_TYPE "unknown"
+#endif
+
 namespace oocq::bench {
+
+/// Opens the top-level object of a BENCH_*.json result file and stamps
+/// it with provenance — the commit the binary was built from and the
+/// build configuration — so archived result files stay comparable.
+/// Callers continue with their own fields and close the object.
+inline void BeginBenchJson(std::FILE* out) {
+  std::fprintf(out, "{\n  \"git_sha\": \"%s\",\n  \"build_type\": \"%s\",\n",
+               OOCQ_BENCH_GIT_SHA, OOCQ_BENCH_BUILD_TYPE);
+}
 
 /// Aborts the benchmark on error (benchmarks have no failure channel).
 template <typename T>

@@ -1,0 +1,143 @@
+#ifndef OOCQ_EXAMPLES_FLAG_UTIL_H_
+#define OOCQ_EXAMPLES_FLAG_UTIL_H_
+
+// Shared --flag parsing for the example binaries (oocq_serve,
+// oocq_client, oocq_cli), replacing three hand-rolled parsers with one
+// convention:
+//
+//   * flags are --name=VALUE (or bare --name for booleans) and precede
+//     any positional arguments;
+//   * --help prints the generated usage text and exits 0;
+//   * an unknown --flag prints an error plus the usage text and exits 2
+//     (the same exit code callers should use for bad positionals, via
+//     UsageError()).
+//
+// Usage:
+//
+//   FlagSet flags("oocq_serve", "", "Line protocol on the socket; ...");
+//   uint64_t port = 7733;
+//   flags.Uint("port", &port, "N", "listen port (default 7733)");
+//   int first_positional = flags.Parse(argc, argv);
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace oocq::examples {
+
+class FlagSet {
+ public:
+  /// `positionals` is the usage-line suffix after the flags (e.g.
+  /// "SCHEMA (minimize Q | ...)"); `trailer` is free-form text printed
+  /// after the flag list. Either may be "".
+  FlagSet(std::string program, std::string positionals, std::string trailer)
+      : program_(std::move(program)),
+        positionals_(std::move(positionals)),
+        trailer_(std::move(trailer)) {}
+
+  /// Registers --name=<placeholder> parsed with strtoull (base 10).
+  void Uint(const char* name, uint64_t* target, const char* placeholder,
+            const char* help) {
+    flags_.push_back({name, placeholder, help, target, nullptr, nullptr});
+  }
+
+  /// Registers --name=<placeholder> captured verbatim.
+  void Str(const char* name, std::string* target, const char* placeholder,
+           const char* help) {
+    flags_.push_back({name, placeholder, help, nullptr, target, nullptr});
+  }
+
+  /// Registers bare --name setting *target to true.
+  void Bool(const char* name, bool* target, const char* help) {
+    flags_.push_back({name, "", help, nullptr, nullptr, target});
+  }
+
+  /// Parses flags from argv until the first non---prefixed argument and
+  /// returns its index (== argc when everything was a flag). --help
+  /// exits 0; an unknown or malformed flag exits 2.
+  int Parse(int argc, char** argv) {
+    int arg = 1;
+    for (; arg < argc; ++arg) {
+      std::string flag = argv[arg];
+      if (flag.rfind("--", 0) != 0) break;
+      if (flag == "--help") {
+        PrintUsage();
+        std::exit(0);
+      }
+      if (!Apply(flag)) {
+        std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+        PrintUsage();
+        std::exit(2);
+      }
+    }
+    return arg;
+  }
+
+  /// For callers rejecting bad positionals or flag values with the same
+  /// convention: prints the usage text and returns exit code 2.
+  int UsageError() {
+    PrintUsage();
+    return 2;
+  }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string placeholder;  // "" for booleans
+    std::string help;
+    uint64_t* uint_target;
+    std::string* str_target;
+    bool* bool_target;
+  };
+
+  bool Apply(const std::string& flag) {
+    for (const Flag& f : flags_) {
+      if (f.bool_target != nullptr) {
+        if (flag == "--" + f.name) {
+          *f.bool_target = true;
+          return true;
+        }
+        continue;
+      }
+      std::string prefix = "--" + f.name + "=";
+      if (flag.rfind(prefix, 0) != 0) continue;
+      std::string value = flag.substr(prefix.size());
+      if (f.str_target != nullptr) {
+        *f.str_target = value;
+      } else {
+        *f.uint_target = std::strtoull(value.c_str(), nullptr, 10);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void PrintUsage() const {
+    std::string line = "usage: " + program_;
+    for (const Flag& f : flags_) {
+      line += " [--" + f.name;
+      if (!f.placeholder.empty()) line += "=" + f.placeholder;
+      line += "]";
+    }
+    line += " [--help]";
+    if (!positionals_.empty()) line += " " + positionals_;
+    std::fprintf(stderr, "%s\n", line.c_str());
+    for (const Flag& f : flags_) {
+      std::string head = "--" + f.name;
+      if (!f.placeholder.empty()) head += "=" + f.placeholder;
+      std::fprintf(stderr, "  %-18s %s\n", head.c_str(), f.help.c_str());
+    }
+    std::fprintf(stderr, "  %-18s %s\n", "--help", "this message");
+    if (!trailer_.empty()) std::fprintf(stderr, "%s\n", trailer_.c_str());
+  }
+
+  std::string program_;
+  std::string positionals_;
+  std::string trailer_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace oocq::examples
+
+#endif  // OOCQ_EXAMPLES_FLAG_UTIL_H_

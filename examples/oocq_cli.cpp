@@ -27,6 +27,7 @@
 #include <string>
 
 #include "core/containment.h"
+#include "flag_util.h"
 #include "core/explain.h"
 #include "core/optimizer.h"
 #include "core/satisfiability.h"
@@ -42,18 +43,30 @@ namespace {
 
 using namespace oocq;
 
+/// The flag registry doubles as the usage text; main() binds the same
+/// instance, so Dispatch's arity errors print identical help.
+examples::FlagSet MakeFlagSet(std::string* trace_path, bool* want_metrics,
+                              uint64_t* num_threads) {
+  examples::FlagSet flags(
+      "oocq_cli",
+      "SCHEMA (minimize Q | contain Q1 Q2 | equiv Q1 Q2 | satisfiable Q | "
+      "eval STATE Q | explain Q1 Q2)",
+      "");
+  flags.Str("trace", trace_path, "FILE",
+            "write a Chrome trace of the run to FILE (implies --metrics)");
+  flags.Bool("metrics", want_metrics,
+             "print the engine metrics registry as JSON");
+  flags.Uint("threads", num_threads, "N",
+             "engine worker threads (1 = serial, 0 = one per hardware "
+             "thread)");
+  return flags;
+}
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: oocq_cli [--trace=FILE] [--metrics] [--threads=N] "
-               "SCHEMA (minimize Q | contain Q1 Q2 | "
-               "equiv Q1 Q2 | satisfiable Q | eval STATE Q | "
-               "explain Q1 Q2)\n"
-               "  --trace=FILE  write a Chrome trace of the run to FILE\n"
-               "  --metrics     print the engine metrics registry as JSON\n"
-               "  --threads=N   engine worker threads (1 = serial, "
-               "0 = one per hardware thread)\n"
-               "  --help        this message\n");
-  return 2;
+  std::string trace_path;
+  bool want_metrics = false;
+  uint64_t num_threads = 1;
+  return MakeFlagSet(&trace_path, &want_metrics, &num_threads).UsageError();
 }
 
 std::string ReadFileOrDie(const char* path) {
@@ -181,28 +194,10 @@ int Dispatch(const Schema& schema, const MinimizationOptions& options,
 int main(int argc, char** argv) {
   std::string trace_path;
   bool want_metrics = false;
-  uint32_t num_threads = 1;
-  int arg = 1;
-  for (; arg < argc; ++arg) {
-    std::string flag = argv[arg];
-    if (flag.rfind("--trace=", 0) == 0) {
-      trace_path = flag.substr(8);
-      if (trace_path.empty()) return Usage();
-    } else if (flag == "--metrics") {
-      want_metrics = true;
-    } else if (flag.rfind("--threads=", 0) == 0) {
-      num_threads = static_cast<uint32_t>(
-          std::strtoul(flag.c_str() + 10, nullptr, 10));
-    } else if (flag == "--help") {
-      Usage();
-      return 0;
-    } else if (flag.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
-      return Usage();
-    } else {
-      break;
-    }
-  }
+  uint64_t num_threads = 1;
+  examples::FlagSet flags =
+      MakeFlagSet(&trace_path, &want_metrics, &num_threads);
+  int arg = flags.Parse(argc, argv);
   if (argc - arg < 3) return Usage();
 
   Schema schema = Must(ParseSchema(ReadFileOrDie(argv[arg])));
@@ -213,7 +208,7 @@ int main(int argc, char** argv) {
   const bool observing = want_metrics || !trace_path.empty();
   MinimizationOptions options;
   options.observability.metrics = observing;
-  options.parallel.num_threads = num_threads;
+  options.parallel.num_threads = static_cast<uint32_t>(num_threads);
 
   TraceLog trace_log;
   MetricsRegistry registry;

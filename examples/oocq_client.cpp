@@ -37,28 +37,9 @@
 #include <thread>
 #include <vector>
 
-namespace {
+#include "flag_util.h"
 
-int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: oocq_client [--port=N] [--host=A.B.C.D] [--retries=N] "
-      "[--backoff_ms=N] [--help] < conversation\n"
-      "  --port=N        server port (default 7733)\n"
-      "  --host=A.B.C.D  server IPv4 address (default 127.0.0.1)\n"
-      "  --retries=N     retry a request up to N times on a retryable\n"
-      "                  failure: ERR UNAVAILABLE / DEADLINE_EXCEEDED /\n"
-      "                  RESOURCE_EXHAUSTED, a refused connect, or a\n"
-      "                  dropped connection (default 0 = fail fast)\n"
-      "  --backoff_ms=N  base retry backoff; doubles per attempt with\n"
-      "                  +/-50%% jitter, capped at 2000ms (default 50)\n"
-      "  --help          this message\n"
-      "Forwards stdin to an oocq_serve instance one request at a time and\n"
-      "frames replies by their '.' terminator (one reply per request);\n"
-      "appends a QUIT if the conversation lacks one. See docs/server.md\n"
-      "for the protocol and docs/robustness.md for the retry taxonomy.\n");
-  return 2;
-}
+namespace {
 
 /// One protocol request: the command line plus (for payload verbs) its
 /// payload lines through the "." terminator, ready to send verbatim.
@@ -71,7 +52,7 @@ struct ClientRequest {
 /// reads lines until "." except the no-payload control verbs.
 bool VerbHasPayload(const std::string& verb, const std::string& line) {
   if (verb == "PING" || verb == "QUIT" || verb == "METRICS" ||
-      verb == "HEALTH") {
+      verb == "HEALTH" || verb == "HELLO") {
     return false;
   }
   if (verb == "SESSION") {
@@ -185,25 +166,30 @@ int main(int argc, char** argv) {
   uint64_t retries = 0;
   uint64_t backoff_ms = 50;
   std::string host = "127.0.0.1";
-  for (int i = 1; i < argc; ++i) {
-    std::string flag = argv[i];
-    if (flag.rfind("--port=", 0) == 0) {
-      port = std::strtoull(flag.c_str() + 7, nullptr, 10);
-    } else if (flag.rfind("--host=", 0) == 0) {
-      host = flag.substr(7);
-    } else if (flag.rfind("--retries=", 0) == 0) {
-      retries = std::strtoull(flag.c_str() + 10, nullptr, 10);
-    } else if (flag.rfind("--backoff_ms=", 0) == 0) {
-      backoff_ms = std::strtoull(flag.c_str() + 13, nullptr, 10);
-    } else if (flag == "--help") {
-      Usage();
-      return 0;
-    } else {
-      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
-      return Usage();
-    }
+  oocq::examples::FlagSet flags(
+      "oocq_client", "< conversation",
+      "Forwards stdin to an oocq_serve instance one request at a time and\n"
+      "frames replies by their '.' terminator (one reply per request);\n"
+      "appends a QUIT if the conversation lacks one. See docs/server.md\n"
+      "for the protocol and docs/robustness.md for the retry taxonomy.");
+  flags.Uint("port", &port, "N", "server port (default 7733)");
+  flags.Str("host", &host, "A.B.C.D", "server IPv4 address (default 127.0.0.1)");
+  flags.Uint("retries", &retries, "N",
+             "retry a request up to N times on a retryable failure: "
+             "ERR UNAVAILABLE / DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED, "
+             "a refused connect, or a dropped connection "
+             "(default 0 = fail fast)");
+  flags.Uint("backoff_ms", &backoff_ms, "N",
+             "base retry backoff; doubles per attempt with +/-50% jitter, "
+             "capped at 2000ms (default 50)");
+  if (flags.Parse(argc, argv) != argc) {
+    std::fprintf(stderr, "error: unexpected positional argument\n");
+    return flags.UsageError();
   }
-  if (port == 0 || port > 65535) return Usage();
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "error: --port out of range\n");
+    return flags.UsageError();
+  }
   if (backoff_ms == 0) backoff_ms = 1;
 
   std::vector<ClientRequest> requests = ReadConversation(std::cin);

@@ -2,11 +2,18 @@
 // deadlines, batching and (optionally) a durable catalog over the line
 // protocol of docs/server.md.
 //
-//   oocq_serve [--port=N] [--workers=N] [--queue=N] [--threads=N]
-//              [--deadline_ms=N] [--data-dir=DIR] [--snapshot_interval_s=N]
-//              [--failpoints=SPEC] [--max_disjuncts=N] [--max_work_units=N]
+//   oocq_serve [--port=N] [--transport=event|thread] [--workers=N]
+//              [--queue=N] [--threads=N] [--io_threads=N]
+//              [--idle_timeout_ms=N] [--deadline_ms=N] [--data-dir=DIR]
+//              [--snapshot_interval_s=N] [--failpoints=SPEC]
+//              [--max_disjuncts=N] [--max_work_units=N]
 //              [--max_resident_bytes=N] [--watchdog_s=N]
 //              [--trace=FILE] [--metrics] [--smoke]
+//
+// Two transports serve the same protocol (docs/server.md): the default
+// epoll event loop (--transport=event) scales to tens of thousands of
+// concurrent connections; --transport=thread keeps the reference
+// thread-per-connection model.
 //
 // With --data-dir the server opens a DurableCatalog in DIR
 // (docs/persistence.md): restart replays snapshot + WAL, re-registers
@@ -36,7 +43,9 @@
 #include <string>
 #include <thread>
 
+#include "flag_util.h"
 #include "persist/catalog.h"
+#include "server/event_server.h"
 #include "server/service.h"
 #include "server/tcp_server.h"
 #include "support/metrics.h"
@@ -55,63 +64,6 @@ void OnSignal(int) {
   // pipe full means a byte is already pending, which is just as good).
   ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
   (void)ignored;
-}
-
-int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: oocq_serve [--port=N] [--workers=N] [--queue=N] [--threads=N] "
-      "[--deadline_ms=N] [--data-dir=DIR] [--snapshot_interval_s=N] "
-      "[--failpoints=SPEC] [--max_disjuncts=N] [--max_work_units=N] "
-      "[--max_resident_bytes=N] [--watchdog_s=N] "
-      "[--trace=FILE] [--metrics] [--smoke] [--help]\n"
-      "  --port=N        listen port (default 7733; 0 picks an ephemeral\n"
-      "                  port, printed on startup)\n"
-      "  --workers=N     requests executing concurrently (default 4)\n"
-      "  --queue=N       admitted-but-waiting requests beyond --workers\n"
-      "                  before shedding with UNAVAILABLE (default 64)\n"
-      "  --threads=N     engine threads per request (default 1: concurrency\n"
-      "                  comes from independent requests)\n"
-      "  --deadline_ms=N default per-request deadline when a request\n"
-      "                  carries none (default 0 = unbounded)\n"
-      "  --data-dir=DIR  durable catalog directory (docs/persistence.md);\n"
-      "                  restart replays snapshot+WAL and warm-starts the\n"
-      "                  containment caches (default: in-memory only)\n"
-      "  --snapshot_interval_s=N\n"
-      "                  background snapshot cadence with --data-dir\n"
-      "                  (default 60; 0 = snapshot only on shutdown)\n"
-      "  --failpoints=SPEC\n"
-      "                  arm fault-injection points, e.g.\n"
-      "                  'wal/fsync=error@3,tcp/accept=delay:50'\n"
-      "                  (support/failpoint.h; also honored from the\n"
-      "                  OOCQ_FAILPOINTS environment variable)\n"
-      "  --max_disjuncts=N / --max_work_units=N / --max_resident_bytes=N\n"
-      "                  service-wide resource ceilings; overruns return\n"
-      "                  retryable RESOURCE_EXHAUSTED (docs/robustness.md;\n"
-      "                  default 0 = unlimited)\n"
-      "  --watchdog_s=N  watchdog sampling interval: warn (and count\n"
-      "                  server/watchdog_stalls) when requests are pending\n"
-      "                  but none completes across two samples (default 5;\n"
-      "                  0 disables). HEALTH reports the same counters on\n"
-      "                  demand.\n"
-      "  --trace=FILE    write a Chrome trace of all request spans to FILE\n"
-      "                  on shutdown\n"
-      "  --metrics       print the metrics registry JSON on shutdown\n"
-      "  --smoke         self-test: ephemeral port, one scripted client\n"
-      "                  conversation (with --data-dir: restart the service\n"
-      "                  and verify the warm catalog), exit 0/1\n"
-      "  --help          this message\n"
-      "Line protocol on the socket; see docs/server.md. Send SIGINT for a\n"
-      "graceful drain.\n");
-  return 2;
-}
-
-bool ParseUintFlag(const std::string& flag, const char* prefix,
-                   uint64_t* out) {
-  size_t len = std::strlen(prefix);
-  if (flag.rfind(prefix, 0) != 0) return false;
-  *out = std::strtoull(flag.c_str() + len, nullptr, 10);
-  return true;
 }
 
 /// Sends `script` over a fresh connection and returns everything the
@@ -252,45 +204,75 @@ int main(int argc, char** argv) {
   uint64_t snapshot_interval_s = 60;
   uint64_t max_disjuncts = 0, max_work_units = 0, max_resident_bytes = 0;
   uint64_t watchdog_s = 5;
+  uint64_t io_threads = 8, idle_timeout_ms = 0;
+  std::string transport = "event";
   std::string failpoints;
   std::string trace_path;
   std::string data_dir;
   bool want_metrics = false, smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    std::string flag = argv[i];
-    if (ParseUintFlag(flag, "--port=", &port) ||
-        ParseUintFlag(flag, "--workers=", &workers) ||
-        ParseUintFlag(flag, "--queue=", &queue) ||
-        ParseUintFlag(flag, "--threads=", &threads) ||
-        ParseUintFlag(flag, "--deadline_ms=", &deadline_ms) ||
-        ParseUintFlag(flag, "--snapshot_interval_s=", &snapshot_interval_s) ||
-        ParseUintFlag(flag, "--max_disjuncts=", &max_disjuncts) ||
-        ParseUintFlag(flag, "--max_work_units=", &max_work_units) ||
-        ParseUintFlag(flag, "--max_resident_bytes=", &max_resident_bytes) ||
-        ParseUintFlag(flag, "--watchdog_s=", &watchdog_s)) {
-      continue;
-    }
-    if (flag.rfind("--trace=", 0) == 0) {
-      trace_path = flag.substr(8);
-    } else if (flag.rfind("--failpoints=", 0) == 0) {
-      failpoints = flag.substr(13);
-    } else if (flag.rfind("--data-dir=", 0) == 0) {
-      data_dir = flag.substr(11);
-    } else if (flag == "--metrics") {
-      want_metrics = true;
-    } else if (flag == "--smoke") {
-      smoke = true;
-    } else if (flag == "--help") {
-      Usage();
-      return 0;
-    } else {
-      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
-      return Usage();
-    }
+
+  oocq::examples::FlagSet flags(
+      "oocq_serve", "",
+      "Line protocol on the socket; see docs/server.md. Send SIGINT for a\n"
+      "graceful drain.");
+  flags.Uint("port", &port, "N",
+             "listen port (default 7733; 0 = ephemeral, printed on startup)");
+  flags.Str("transport", &transport, "event|thread",
+            "epoll event loop or thread-per-connection (default event)");
+  flags.Uint("workers", &workers, "N",
+             "requests executing concurrently (default 4)");
+  flags.Uint("queue", &queue, "N",
+             "waiting requests beyond --workers before shedding with "
+             "UNAVAILABLE (default 64)");
+  flags.Uint("threads", &threads, "N",
+             "engine threads per request (default 1)");
+  flags.Uint("io_threads", &io_threads, "N",
+             "event transport: request dispatch pool size (default 8; "
+             "0 = one per hardware thread)");
+  flags.Uint("idle_timeout_ms", &idle_timeout_ms, "N",
+             "event transport: close idle connections after N ms "
+             "(default 0 = never)");
+  flags.Uint("deadline_ms", &deadline_ms, "N",
+             "default per-request deadline (default 0 = unbounded)");
+  flags.Str("data-dir", &data_dir, "DIR",
+            "durable catalog directory (docs/persistence.md); "
+            "default in-memory only");
+  flags.Uint("snapshot_interval_s", &snapshot_interval_s, "N",
+             "snapshot cadence with --data-dir (default 60; "
+             "0 = snapshot only on shutdown)");
+  flags.Str("failpoints", &failpoints, "SPEC",
+            "arm fault injection, e.g. 'wal/fsync=error@3,tcp/accept="
+            "delay:50' (env OOCQ_FAILPOINTS also read)");
+  flags.Uint("max_disjuncts", &max_disjuncts, "N",
+             "resource ceiling; overruns return retryable "
+             "RESOURCE_EXHAUSTED (default 0 = unlimited)");
+  flags.Uint("max_work_units", &max_work_units, "N",
+             "resource ceiling; overruns return retryable "
+             "RESOURCE_EXHAUSTED (default 0 = unlimited)");
+  flags.Uint("max_resident_bytes", &max_resident_bytes, "N",
+             "resource ceiling; overruns return retryable "
+             "RESOURCE_EXHAUSTED (default 0 = unlimited)");
+  flags.Uint("watchdog_s", &watchdog_s, "N",
+             "stall watchdog sampling interval (default 5; 0 disables)");
+  flags.Str("trace", &trace_path, "FILE",
+            "write a Chrome trace of all request spans on shutdown");
+  flags.Bool("metrics", &want_metrics,
+             "print the metrics registry JSON on shutdown");
+  flags.Bool("smoke", &smoke,
+             "self-test: ephemeral port, one scripted conversation, "
+             "exit 0/1");
+  if (flags.Parse(argc, argv) != argc) {
+    std::fprintf(stderr, "error: unexpected positional argument\n");
+    return flags.UsageError();
   }
   if (port > 65535) {
     std::fprintf(stderr, "error: --port out of range\n");
-    return Usage();
+    return flags.UsageError();
+  }
+  if (transport != "event" && transport != "thread") {
+    std::fprintf(stderr,
+                 "error: --transport must be 'event' or 'thread'\n");
+    return flags.UsageError();
   }
 
   TraceLog trace_log;
@@ -337,9 +319,23 @@ int main(int argc, char** argv) {
   service_options.catalog = open_catalog();
   auto service = std::make_unique<OocqService>(service_options);
 
-  TcpServerOptions server_options;
-  server_options.port = smoke ? 0 : static_cast<uint16_t>(port);
-  auto server = std::make_unique<TcpServer>(service.get(), server_options);
+  // Both transports implement server/transport.h's Transport contract;
+  // everything below (smoke, signals, graceful drain) is transport-
+  // agnostic.
+  auto make_server = [&](uint16_t listen_port) -> std::unique_ptr<Transport> {
+    if (transport == "thread") {
+      TcpServerOptions options;
+      options.port = listen_port;
+      return std::make_unique<TcpServer>(service.get(), options);
+    }
+    EventServerOptions options;
+    options.port = listen_port;
+    options.dispatch_threads = static_cast<uint32_t>(io_threads);
+    options.idle_timeout_ms = idle_timeout_ms;
+    return std::make_unique<EventServer>(service.get(), options);
+  };
+  std::unique_ptr<Transport> server =
+      make_server(smoke ? 0 : static_cast<uint16_t>(port));
   Status started = server->Start();
   if (!started.ok()) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
@@ -347,8 +343,10 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "oocq_serve: listening on 127.0.0.1:%u "
-               "(workers=%u queue=%u threads=%u deadline_ms=%llu%s%s)\n",
-               server->port(), service_options.max_in_flight,
+               "(transport=%s workers=%u queue=%u threads=%u "
+               "deadline_ms=%llu%s%s)\n",
+               server->port(), transport.c_str(),
+               service_options.max_in_flight,
                service_options.max_queue_depth,
                service_options.engine.parallel.num_threads,
                static_cast<unsigned long long>(deadline_ms),
@@ -371,8 +369,7 @@ int main(int argc, char** argv) {
       service_options.catalog = open_catalog();
       service = std::make_unique<OocqService>(service_options);
       watchdog.emplace(service.get(), watchdog_s);
-      server_options.port = 0;
-      server = std::make_unique<TcpServer>(service.get(), server_options);
+      server = make_server(0);
       started = server->Start();
       if (!started.ok()) {
         std::fprintf(stderr, "error: %s\n", started.ToString().c_str());

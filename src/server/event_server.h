@@ -1,0 +1,136 @@
+#ifndef OOCQ_SERVER_EVENT_SERVER_H_
+#define OOCQ_SERVER_EVENT_SERVER_H_
+
+/// Event-driven transport: one epoll(7) readiness loop owning every
+/// connection, scaling concurrent sessions with sockets instead of OS
+/// threads (the thread-per-connection TcpServer caps out at thread
+/// scale; see docs/server.md for when to pick which).
+///
+/// Architecture — one loop thread, `dispatch_threads` workers:
+///
+///   epoll loop ── owns all per-connection state machines
+///     │   level-triggered, non-blocking sockets
+///     │   incremental framing via ConnectionHandler (1 MiB line cap)
+///     │   idle-session timeouts via a timer wheel
+///     │   write buffering; EPOLLOUT-driven flushes
+///     ▼
+///   support/thread_pool ── runs ProtocolHandler::Handle (and thus
+///     │   OocqService::Execute, which blocks on admission + engine)
+///     ▼
+///   completion queue + eventfd ── the worker posts the rendered reply
+///         and wakes the loop, which appends it to the connection's
+///         output buffer and flushes
+///
+/// Per-connection invariants:
+///
+///  * Requests are answered in arrival order; at most one request per
+///    connection executes at a time (pipelined frames queue on the
+///    connection, bounded by `max_pipeline_depth` — beyond it, requests
+///    are shed with a retryable ERR UNAVAILABLE instead of queued).
+///  * The output buffer is bounded: once a slow reader lets it exceed
+///    `max_output_buffer_bytes`, further requests are shed with
+///    UNAVAILABLE (cheap, constant-size replies); a reader so slow that
+///    even sheds accumulate past 4x the bound is dropped.
+///  * An idle connection (no request in flight, nothing buffered) that
+///    stays silent for `idle_timeout_ms` is closed by the timer wheel.
+///
+/// Stop() mirrors TcpServer's graceful drain: the listener closes, read
+/// sides are shut down, requests already received finish and their
+/// replies are flushed, then the service drains.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.h"
+#include "server/transport.h"
+#include "support/status.h"
+#include "support/thread_pool.h"
+
+namespace oocq::server {
+
+struct EventServerOptions : TransportOptions {
+  /// Workers executing parsed requests (each blocks in
+  /// OocqService::Execute for its request's duration, so this bounds
+  /// transport-side concurrency the way connection threads do for
+  /// TcpServer). 0 = one per hardware thread.
+  uint32_t dispatch_threads = 8;
+  /// Close a connection with no traffic, no queued request and nothing
+  /// to flush after this long. 0 = never (TcpServer parity).
+  uint64_t idle_timeout_ms = 0;
+  /// Pending unflushed reply bytes tolerated per connection before new
+  /// requests on it are shed with UNAVAILABLE (slow-reader
+  /// backpressure). Dropped outright at 4x this bound.
+  uint64_t max_output_buffer_bytes = 4 << 20;
+  /// Parsed-but-not-started requests tolerated per connection (clients
+  /// may pipeline); beyond it, requests are shed with UNAVAILABLE.
+  uint32_t max_pipeline_depth = 64;
+  /// Concurrent connections accepted; beyond it, new sockets are closed
+  /// immediately (counted as server/overflow_refused).
+  uint32_t max_connections = 50000;
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. The
+  /// kernel otherwise autotunes loopback send buffers to megabytes,
+  /// which hides slow readers from the `max_output_buffer_bytes` bound —
+  /// set this when the bound should actually engage.
+  uint32_t so_sndbuf_bytes = 0;
+};
+
+class EventServer : public Transport {
+ public:
+  EventServer(OocqService* service, EventServerOptions options = {});
+  ~EventServer() override;  // runs Stop()
+
+  EventServer(const EventServer&) = delete;
+  EventServer& operator=(const EventServer&) = delete;
+
+  Status Start() override;
+  void Stop() override;
+
+  uint16_t port() const override { return port_; }
+  bool running() const override {
+    return running_.load(std::memory_order_acquire);
+  }
+  uint64_t connections_accepted() const override {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Loop;  // all loop-thread-only state (connections, timer wheel)
+  friend struct Loop;
+
+  /// A finished request on its way back from a pool worker to the loop.
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string text;   // rendered reply, ready to send
+    bool close = false; // QUIT: close once flushed
+    bool drop = false;  // injected write failure: drop without replying
+  };
+
+  void Run();
+  /// Posts a completion from a pool worker and wakes the loop.
+  void PostCompletion(Completion completion);
+  void WakeLoop();
+
+  OocqService* service_;
+  EventServerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions posted, or Stop() requested
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::thread loop_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Loop> loop_;
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+};
+
+}  // namespace oocq::server
+
+#endif  // OOCQ_SERVER_EVENT_SERVER_H_

@@ -125,12 +125,74 @@ CommandLine ParseCommandLine(const std::string& line) {
 
 bool VerbHasPayload(const std::string& verb) {
   // SESSION NEW's payload-ness depends on its subcommand, but the NEW/DROP
-  // split is resolved by the first argument, which the transport has by
-  // the time it needs to frame — see TcpServer's read loop.
+  // split is resolved by the first argument, which the framing layer has
+  // by the time it needs to decide — see ConnectionHandler::Next.
   return verb == "MINIMIZE" || verb == "CONTAIN" || verb == "EQUIV" ||
          verb == "UCONTAIN" || verb == "SAT" || verb == "EVAL" ||
          verb == "EXPLAIN" || verb == "BATCH" || verb == "DEFINE" ||
          verb == "STATE";
+}
+
+bool ConnectionHandler::NextLine(std::string* line, bool* violation) {
+  size_t nl = buffer_.find('\n', scan_from_);
+  if (nl == std::string::npos) {
+    if (buffer_.size() > kMaxLineBytes) {
+      *violation = true;
+      return false;
+    }
+    scan_from_ = buffer_.size();
+    return false;
+  }
+  *line = buffer_.substr(0, nl);
+  buffer_.erase(0, nl + 1);
+  scan_from_ = 0;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
+
+ConnectionHandler::FrameResult ConnectionHandler::Next(
+    CommandLine* command, std::vector<std::string>* payload) {
+  if (violated_) return FrameResult::kViolation;
+  std::string line;
+  bool violation = false;
+  while (true) {
+    if (!in_payload_) {
+      do {
+        if (!NextLine(&line, &violation)) {
+          violated_ = violation;
+          return violation ? FrameResult::kViolation : FrameResult::kNeedMore;
+        }
+      } while (line.empty());  // blank lines between requests are noise
+      pending_command_ = ParseCommandLine(line);
+      pending_payload_.clear();
+      bool has_payload =
+          VerbHasPayload(pending_command_.verb) ||
+          (pending_command_.verb == "SESSION" &&
+           !pending_command_.args.empty() &&
+           (pending_command_.args[0] == "NEW" ||
+            pending_command_.args[0] == "new"));
+      if (!has_payload) {
+        *command = std::move(pending_command_);
+        payload->clear();
+        return FrameResult::kRequest;
+      }
+      in_payload_ = true;
+    }
+    while (NextLine(&line, &violation)) {
+      if (line == ".") {
+        in_payload_ = false;
+        *command = std::move(pending_command_);
+        *payload = std::move(pending_payload_);
+        pending_payload_.clear();
+        return FrameResult::kRequest;
+      }
+      // Undo dot-stuffing so payload lines may begin with '.'.
+      if (!line.empty() && line[0] == '.') line.erase(0, 1);
+      pending_payload_.push_back(std::move(line));
+    }
+    violated_ = violation;
+    return violation ? FrameResult::kViolation : FrameResult::kNeedMore;
+  }
 }
 
 ProtocolReply ProtocolHandler::Handle(const CommandLine& command,
@@ -138,6 +200,34 @@ ProtocolReply ProtocolHandler::Handle(const CommandLine& command,
   const std::string& verb = command.verb;
 
   if (verb == "PING") return OkReply("");
+  if (verb == "HELLO") {
+    // Handshake + capability discovery (docs/server.md): the client may
+    // announce the protocol version it speaks; a version this server
+    // does not know is refused up front instead of failing verb by
+    // verb. HELLO also subsumes the old PING-as-liveness convention —
+    // the reply carries the same liveness signal plus the server's
+    // capabilities — but bare PING keeps working for old clients.
+    if (!command.args.empty()) {
+      char* end = nullptr;
+      long requested = std::strtol(command.args[0].c_str(), &end, 10);
+      if (end == command.args[0].c_str() || *end != '\0' || requested < 1) {
+        return ErrReply(
+            BadRequest("HELLO takes a numeric protocol version"));
+      }
+      if (requested > kProtocolVersion) {
+        return ErrReply(Status::FailedPrecondition(
+            "protocol version " + command.args[0] +
+            " not supported; this server speaks " +
+            std::to_string(kProtocolVersion)));
+      }
+    }
+    return OkReply(
+        "protocol=" + std::to_string(kProtocolVersion) +
+        " server=oocq max_line_bytes=" + std::to_string(kMaxLineBytes) +
+        " caps=sessions,define,state,batch,deadlines,metrics,health,"
+        "explain,ucontain" +
+        " draining=" + std::string(service_->draining() ? "1" : "0"));
+  }
   if (verb == "QUIT") {
     ProtocolReply reply = OkReply("");
     reply.close = true;

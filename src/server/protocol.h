@@ -19,12 +19,24 @@
 /// Status lines: "OK key=value ..." on success, "ERR <CODE> <message>" on
 /// failure; CODE is the StatusCodeToString name, and DEADLINE_EXCEEDED /
 /// UNAVAILABLE are the retryable pair (support/status.h).
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "server/service.h"
 
 namespace oocq::server {
+
+/// The protocol revision this server speaks; negotiated by HELLO
+/// (docs/server.md). Bump only for incompatible framing changes — new
+/// verbs are discoverable through the HELLO capability list instead.
+inline constexpr int kProtocolVersion = 1;
+
+/// A single protocol line (command or payload) may not exceed this many
+/// bytes; a client that streams more without a newline is a framing
+/// violation and is dropped rather than allowed to grow the connection's
+/// buffer without bound.
+inline constexpr size_t kMaxLineBytes = 1 << 20;
 
 /// A parsed command line: verb, positional args, key=value params.
 struct CommandLine {
@@ -39,6 +51,52 @@ CommandLine ParseCommandLine(const std::string& line);
 
 /// True when `verb` (upper-case) is followed by a "."-terminated payload.
 bool VerbHasPayload(const std::string& verb);
+
+/// Incremental framing state machine for the request side of the wire
+/// protocol, shared by every transport: raw bytes go in via Feed() (from
+/// a blocking read or an epoll readiness callback — the handler does not
+/// care), complete request frames come out of Next() with the payload
+/// already dot-unstuffed. Frame state survives across Feed() calls, so a
+/// request split over arbitrarily many TCP segments parses identically
+/// to one delivered whole.
+class ConnectionHandler {
+ public:
+  enum class FrameResult {
+    kRequest,   // *command / *payload hold one complete request
+    kNeedMore,  // no complete frame buffered; Feed() more bytes
+    kViolation, // framing abuse (line over kMaxLineBytes); drop the conn
+  };
+
+  /// Appends raw bytes received from the peer.
+  void Feed(const char* data, size_t size) { buffer_.append(data, size); }
+
+  /// Extracts the next complete request. Blank lines between requests
+  /// are skipped; a payload-verb frame is complete only once its "."
+  /// terminator arrived. kViolation is sticky: the connection is beyond
+  /// recovery and must be dropped.
+  FrameResult Next(CommandLine* command, std::vector<std::string>* payload);
+
+  /// Bytes buffered but not yet returned as a frame (read backpressure
+  /// accounting for event-driven transports).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+  /// True while the handler is mid-payload — an EOF now is a truncated
+  /// frame, not a clean close.
+  bool mid_frame() const { return in_payload_; }
+
+ private:
+  /// Pops one "\n"-terminated line (terminator stripped, trailing "\r"
+  /// dropped for telnet clients). False with *violation unset = need
+  /// more bytes; false with *violation set = line over kMaxLineBytes.
+  bool NextLine(std::string* line, bool* violation);
+
+  std::string buffer_;
+  size_t scan_from_ = 0;
+  bool in_payload_ = false;
+  bool violated_ = false;
+  CommandLine pending_command_;
+  std::vector<std::string> pending_payload_;
+};
 
 /// One protocol exchange, rendered ready-to-send (terminating ".\n"
 /// included). `close` is set by QUIT.

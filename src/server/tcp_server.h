@@ -26,39 +26,38 @@
 #include <thread>
 
 #include "server/service.h"
+#include "server/transport.h"
 #include "support/status.h"
 
 namespace oocq::server {
 
-struct TcpServerOptions {
-  /// Port to bind; 0 picks an ephemeral port (read it back via port()).
-  uint16_t port = 0;
-  /// Bind only the loopback interface (the safe default for a local
-  /// decision-procedure service); false binds all interfaces.
-  bool loopback_only = true;
-};
+/// The shared knobs live in TransportOptions (server/transport.h); the
+/// thread-per-connection transport adds none of its own.
+struct TcpServerOptions : TransportOptions {};
 
-class TcpServer {
+class TcpServer : public Transport {
  public:
   TcpServer(OocqService* service, TcpServerOptions options = {});
-  ~TcpServer();  // runs Stop()
+  ~TcpServer() override;  // runs Stop()
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
   /// Binds, listens and starts the accept thread. Fails (kInternal) if
   /// the port is taken or sockets are unavailable.
-  Status Start();
+  Status Start() override;
 
   /// Graceful shutdown; see the header comment. Idempotent, and safe to
   /// call from a signal-handling thread.
-  void Stop();
+  void Stop() override;
 
   /// The bound port (resolved when options.port == 0). 0 before Start().
-  uint16_t port() const { return port_; }
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const override { return port_; }
+  bool running() const override {
+    return running_.load(std::memory_order_acquire);
+  }
   /// Connections accepted over the server's lifetime.
-  uint64_t connections_accepted() const {
+  uint64_t connections_accepted() const override {
     return accepted_.load(std::memory_order_relaxed);
   }
 

@@ -1,0 +1,63 @@
+#include "server/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace oocq::server {
+
+StatusOr<int> OpenListener(const TransportOptions& options, bool nonblocking,
+                           uint16_t* port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  addr.sin_addr.s_addr =
+      htonl(options.loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status failed = Status::Internal(std::string("bind: ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  // SOMAXCONN, not a small constant: an open-loop connect burst (10k+
+  // sockets from bench_load) must land in the kernel backlog, not be
+  // refused while the accept path catches up.
+  if (::listen(fd, SOMAXCONN) < 0) {
+    Status failed = Status::Internal(std::string("listen: ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  if (nonblocking) {
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      Status failed = Status::Internal(std::string("fcntl: ") +
+                                       std::strerror(errno));
+      ::close(fd);
+      return failed;
+    }
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (port != nullptr &&
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+          0) {
+    *port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+}  // namespace oocq::server

@@ -1,0 +1,76 @@
+#ifndef OOCQ_SERVER_TRANSPORT_H_
+#define OOCQ_SERVER_TRANSPORT_H_
+
+/// The transport seam of the server subsystem: every front end that puts
+/// the line protocol (server/protocol.h) on a socket implements this
+/// interface, so callers — oocq_serve, the e2e tests, the load
+/// generator — pick a transport without caring how connections are
+/// scheduled.
+///
+/// Two implementations ship:
+///
+///  * `TcpServer` (server/tcp_server.h) — one thread per connection.
+///    The reference implementation: simple, blocking reads, scales with
+///    OS threads.
+///  * `EventServer` (server/event_server.h) — a single epoll readiness
+///    loop owning per-connection state machines, dispatching parsed
+///    requests onto a worker pool. Scales with sockets.
+///
+/// Contract (both implementations, pinned by the parameterized e2e
+/// tests):
+///
+///  * Start() binds, listens and begins accepting; port() then reports
+///    the resolved port (options.port == 0 picks an ephemeral one).
+///  * One `ProtocolHandler` request/reply exchange at a time per
+///    connection, replies in request order (clients may pipeline).
+///  * A framing violation (oversized line, EOF mid-payload) drops that
+///    connection and only that connection.
+///  * Stop() is graceful and idempotent: the listener closes, requests
+///    already received still get their responses written, then the
+///    wrapped OocqService drains. Safe to call from a signal-handling
+///    thread.
+///  * The `tcp/accept`, `tcp/read` and `tcp/write` failpoints
+///    (support/failpoint.h) are honored at the equivalent sites.
+#include <cstdint>
+
+#include "support/status.h"
+
+namespace oocq::server {
+
+/// Options every transport shares; transport-specific option structs
+/// (TcpServerOptions, EventServerOptions) extend this base.
+struct TransportOptions {
+  /// Port to bind; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Bind only the loopback interface (the safe default for a local
+  /// decision-procedure service); false binds all interfaces.
+  bool loopback_only = true;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Binds, listens and starts serving. Fails (kInternal) if the port is
+  /// taken or sockets are unavailable.
+  virtual Status Start() = 0;
+
+  /// Graceful shutdown; see the contract above. Idempotent.
+  virtual void Stop() = 0;
+
+  /// The bound port (resolved when options.port == 0). 0 before Start().
+  virtual uint16_t port() const = 0;
+  virtual bool running() const = 0;
+  /// Connections accepted over the transport's lifetime.
+  virtual uint64_t connections_accepted() const = 0;
+};
+
+/// Opens a listening IPv4 socket per `options` (SOMAXCONN backlog,
+/// SO_REUSEADDR, optionally non-blocking), returning the fd and writing
+/// the resolved port to *port. Shared by both transports.
+StatusOr<int> OpenListener(const TransportOptions& options, bool nonblocking,
+                           uint16_t* port);
+
+}  // namespace oocq::server
+
+#endif  // OOCQ_SERVER_TRANSPORT_H_

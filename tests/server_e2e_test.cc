@@ -1,7 +1,9 @@
-// End-to-end tests for the TCP front end (server/tcp_server.h): an
-// in-process server on an ephemeral port, real sockets, 8 concurrent
-// client conversations, and a graceful shutdown that drains in-flight
-// requests instead of severing them.
+// End-to-end tests for the TCP front ends: an in-process server on an
+// ephemeral port, real sockets, 8 concurrent client conversations, and a
+// graceful shutdown that drains in-flight requests instead of severing
+// them. The whole suite is parameterized over both Transport
+// implementations (thread-per-connection and epoll event loop) — the
+// wire contract must be indistinguishable.
 
 #include <gtest/gtest.h>
 
@@ -17,8 +19,8 @@
 #include <vector>
 
 #include "server/service.h"
-#include "server/tcp_server.h"
 #include "test_util.h"
+#include "transport_test_util.h"
 
 namespace oocq::server {
 namespace {
@@ -99,11 +101,14 @@ std::string HeavyContainPayload(int k) {
   return q1 + "\n{ x | exists y (x in D & y in C & x notin y.S0) }\n.\n";
 }
 
-TEST(ServerE2eTest, EightConcurrentClients) {
+class ServerE2eTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ServerE2eTest, EightConcurrentClients) {
   ServiceOptions service_options;
   service_options.max_in_flight = 4;
   OocqService service(service_options);
-  TcpServer server(&service);
+  auto server_ptr = oocq::testing::MakeTransport(GetParam(), &service);
+  Transport& server = *server_ptr;
   OOCQ_ASSERT_OK(server.Start());
   ASSERT_NE(server.port(), 0);
 
@@ -153,9 +158,10 @@ TEST(ServerE2eTest, EightConcurrentClients) {
   EXPECT_FALSE(server.running());
 }
 
-TEST(ServerE2eTest, DeadlineEnforcedOverTheWire) {
+TEST_P(ServerE2eTest, DeadlineEnforcedOverTheWire) {
   OocqService service;
-  TcpServer server(&service);
+  auto server_ptr = oocq::testing::MakeTransport(GetParam(), &service);
+  Transport& server = *server_ptr;
   OOCQ_ASSERT_OK(server.Start());
 
   TestClient client(server.port());
@@ -176,11 +182,12 @@ TEST(ServerE2eTest, DeadlineEnforcedOverTheWire) {
   server.Stop();
 }
 
-TEST(ServerE2eTest, GracefulShutdownDrainsInFlightRequest) {
+TEST_P(ServerE2eTest, GracefulShutdownDrainsInFlightRequest) {
   ServiceOptions service_options;
   service_options.max_in_flight = 2;
   OocqService service(service_options);
-  TcpServer server(&service);
+  auto server_ptr = oocq::testing::MakeTransport(GetParam(), &service);
+  Transport& server = *server_ptr;
   OOCQ_ASSERT_OK(server.Start());
 
   TestClient client(server.port());
@@ -214,6 +221,12 @@ TEST(ServerE2eTest, GracefulShutdownDrainsInFlightRequest) {
     EXPECT_EQ(late.ReadReply(), "");
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(Transports, ServerE2eTest,
+                         ::testing::ValuesIn(oocq::testing::kTransportNames),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
 
 }  // namespace
 }  // namespace oocq::server

@@ -17,8 +17,8 @@
 
 #include "server/protocol.h"
 #include "server/service.h"
-#include "server/tcp_server.h"
 #include "test_util.h"
+#include "transport_test_util.h"
 
 namespace oocq::server {
 namespace {
@@ -134,14 +134,14 @@ std::string RecvAll(int fd) {
   return all;
 }
 
-class TcpFramingTest : public ::testing::Test {
+/// Runs against both transports: framing abuse must be handled
+/// identically by the blocking reader and the epoll state machine.
+class TcpFramingTest : public ::testing::TestWithParam<const char*> {
  protected:
   void SetUp() override {
     service_ = std::make_unique<OocqService>();
     OOCQ_ASSERT_OK(service_->CreateSession(kVehicleRentalSchema).status());
-    TcpServerOptions options;
-    options.port = 0;
-    server_ = std::make_unique<TcpServer>(service_.get(), options);
+    server_ = oocq::testing::MakeTransport(GetParam(), service_.get());
     OOCQ_ASSERT_OK(server_->Start());
   }
   void TearDown() override {
@@ -151,10 +151,10 @@ class TcpFramingTest : public ::testing::Test {
   }
 
   std::unique_ptr<OocqService> service_;
-  std::unique_ptr<TcpServer> server_;
+  std::unique_ptr<Transport> server_;
 };
 
-TEST_F(TcpFramingTest, OversizedLineDropsConnectionButNotServer) {
+TEST_P(TcpFramingTest, OversizedLineDropsConnectionButNotServer) {
   int fd = ConnectTo(server_->port());
   // > 1 MiB without a newline: the reader must give up, not buffer
   // forever.
@@ -172,7 +172,7 @@ TEST_F(TcpFramingTest, OversizedLineDropsConnectionButNotServer) {
   ::close(fd2);
 }
 
-TEST_F(TcpFramingTest, MissingPayloadTerminatorIsCleanDisconnect) {
+TEST_P(TcpFramingTest, MissingPayloadTerminatorIsCleanDisconnect) {
   int fd = ConnectTo(server_->port());
   // CONTAIN opens a payload frame; the client dies before sending ".".
   ASSERT_TRUE(SendString(fd, "CONTAIN s1\n{ x | x in Auto }\n"));
@@ -187,7 +187,7 @@ TEST_F(TcpFramingTest, MissingPayloadTerminatorIsCleanDisconnect) {
   ::close(fd2);
 }
 
-TEST_F(TcpFramingTest, DotStuffedPayloadLinesAreUnstuffed) {
+TEST_P(TcpFramingTest, DotStuffedPayloadLinesAreUnstuffed) {
   int fd = ConnectTo(server_->port());
   // A payload line starting with "." must be sent dot-stuffed ("..");
   // the server unstuffs it before parsing. "." alone still terminates.
@@ -199,6 +199,12 @@ TEST_F(TcpFramingTest, DotStuffedPayloadLinesAreUnstuffed) {
   EXPECT_NE(reply.find("OK"), std::string::npos) << reply;  // the QUIT
   ::close(fd);
 }
+
+INSTANTIATE_TEST_SUITE_P(Transports, TcpFramingTest,
+                         ::testing::ValuesIn(oocq::testing::kTransportNames),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
 
 }  // namespace
 }  // namespace oocq::server

@@ -1,0 +1,34 @@
+#ifndef OOCQ_TESTS_TRANSPORT_TEST_UTIL_H_
+#define OOCQ_TESTS_TRANSPORT_TEST_UTIL_H_
+
+/// Factory for transport-generic server tests: the same e2e and framing
+/// suites run against both Transport implementations (thread-per-
+/// connection TcpServer and epoll-based EventServer), instantiated by
+/// name via INSTANTIATE_TEST_SUITE_P.
+
+#include <memory>
+#include <string>
+
+#include "server/event_server.h"
+#include "server/service.h"
+#include "server/tcp_server.h"
+#include "server/transport.h"
+
+namespace oocq::testing {
+
+inline constexpr const char* kTransportNames[] = {"thread", "event"};
+
+inline std::unique_ptr<server::Transport> MakeTransport(
+    const std::string& name, server::OocqService* service) {
+  if (name == "event") {
+    server::EventServerOptions options;
+    options.dispatch_threads = 4;
+    return std::make_unique<server::EventServer>(service, options);
+  }
+  server::TcpServerOptions options;
+  return std::make_unique<server::TcpServer>(service, options);
+}
+
+}  // namespace oocq::testing
+
+#endif  // OOCQ_TESTS_TRANSPORT_TEST_UTIL_H_
