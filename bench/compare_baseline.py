@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Gate a merged bench report against the checked-in BASELINE.json.
+
+Reads the BENCH_ALL.json produced by bench/run_all.py, extracts every
+latency metric it knows how to compare — p50-style fields from the
+standalone harnesses (bench_server, bench_persist, ...) and per-case
+real_time from google-benchmark binaries (bench_containment_*, ...) —
+and fails (exit 1) when any metric present in the baseline regressed by
+more than the budget (default 10%, --budget to relax; CI uses a looser
+budget because shared runners are noisy — see .github/workflows/ci.yml).
+
+Metrics in the report but not in the baseline are listed, not gated, so
+adding a bench never breaks the gate until its baseline is recorded.
+Metrics in the baseline but missing from the report fail the gate: a
+bench silently vanishing is itself a regression.
+
+    python3 bench/compare_baseline.py BENCH_ALL.json
+    python3 bench/compare_baseline.py BENCH_ALL.json --budget 0.5
+    python3 bench/compare_baseline.py BENCH_ALL.json --update  # rewrite
+    python3 bench/compare_baseline.py --self-test              # negative test
+
+--self-test runs the comparator against synthetic reports: one with an
+injected 15% p50 regression (must be caught) and one within budget (must
+pass). It is wired as a ctest so the gate's own failure path stays
+exercised. Stdlib only — no pip installs.
+"""
+
+import argparse
+import copy
+import json
+import os
+import sys
+
+DEFAULT_BUDGET = 0.10
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "BASELINE.json")
+
+
+def extract_metrics(report):
+    """Flattens a merged report into {metric_name: value}.
+
+    Covered shapes:
+      - any dict field whose key ends in "p50_us" (bench_server samples,
+        bench_persist cold/warm, ...) under its JSON path;
+      - google-benchmark entries: benchmarks[].real_time keyed by name.
+    """
+    metrics = {}
+
+    def walk(bench, node, path):
+        if isinstance(node, dict):
+            if "benchmarks" in node and isinstance(node["benchmarks"], list):
+                for case in node["benchmarks"]:
+                    name = case.get("name")
+                    value = case.get("real_time")
+                    if name is not None and isinstance(value, (int, float)):
+                        metrics[f"{bench}/{name}/real_time"] = float(value)
+                return
+            for key, child in node.items():
+                walk(bench, child, f"{path}/{key}")
+        elif isinstance(node, list):
+            for i, child in enumerate(node):
+                # Prefer a self-describing key (bench_server samples carry
+                # their client count) over a bare index.
+                label = str(i)
+                if isinstance(child, dict) and "clients" in child:
+                    label = f"clients={child['clients']}"
+                walk(bench, child, f"{path}/{label}")
+        elif isinstance(node, (int, float)):
+            if path.endswith("p50_us"):
+                metrics[f"{bench}{path}"] = float(node)
+
+    for bench, result in report.get("results", {}).items():
+        walk(bench, result, "")
+    return metrics
+
+
+def compare(current, baseline, budget):
+    """Returns (regressions, missing, improvements, ungated) lists."""
+    regressions, missing, improvements, ungated = [], [], [], []
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            missing.append(name)
+            continue
+        now = current[name]
+        if base > 0 and now > base * (1.0 + budget):
+            regressions.append((name, base, now, (now - base) / base))
+        elif base > 0 and now < base * (1.0 - budget):
+            improvements.append((name, base, now, (now - base) / base))
+    for name in sorted(set(current) - set(baseline)):
+        ungated.append(name)
+    return regressions, missing, improvements, ungated
+
+
+def run_compare(current, baseline, budget, quiet=False):
+    regressions, missing, improvements, ungated = compare(
+        current, baseline, budget)
+    out = sys.stderr if (regressions or missing) else sys.stdout
+
+    def say(line):
+        if not quiet:
+            print(line, file=out)
+
+    for name, base, now, delta in regressions:
+        say(f"REGRESSION {name}: {base:.1f} -> {now:.1f} "
+            f"(+{delta * 100:.1f}% > {budget * 100:.0f}% budget)")
+    for name in missing:
+        say(f"MISSING {name}: in baseline but absent from the report")
+    for name, base, now, delta in improvements:
+        say(f"improved {name}: {base:.1f} -> {now:.1f} ({delta * 100:+.1f}%)"
+            " — consider refreshing the baseline")
+    if ungated:
+        say(f"ungated (not in baseline): {len(ungated)} metric(s)")
+    ok = not regressions and not missing
+    say(f"{'PASS' if ok else 'FAIL'}: {len(baseline)} gated metric(s), "
+        f"{len(regressions)} regression(s), {len(missing)} missing, "
+        f"budget {budget * 100:.0f}%")
+    return 0 if ok else 1
+
+
+def self_test():
+    """The gate's negative test: an injected 15% p50 regression must fail
+    the default 10% budget; a 5% wobble must pass."""
+    report = {"results": {
+        "bench_server": {"samples": [
+            {"clients": 1, "p50_us": 100, "p99_us": 500},
+            {"clients": 4, "p50_us": 400, "p99_us": 900},
+        ]},
+        "bench_persist": {"cold": {"p50_us": 1000},
+                          "warm": {"p50_us": 200}},
+        "bench_containment_positive": {"benchmarks": [
+            {"name": "BM_Chain/8", "real_time": 1234.5},
+        ]},
+    }}
+    baseline = extract_metrics(report)
+    expected = {
+        "bench_server/samples/clients=1/p50_us",
+        "bench_server/samples/clients=4/p50_us",
+        "bench_persist/cold/p50_us",
+        "bench_persist/warm/p50_us",
+        "bench_containment_positive/BM_Chain/8/real_time",
+    }
+    if set(baseline) != expected:
+        print(f"self-test FAIL: extraction mismatch: {sorted(baseline)}",
+              file=sys.stderr)
+        return 1
+
+    regressed = copy.deepcopy(report)
+    regressed["results"]["bench_server"]["samples"][1]["p50_us"] = 400 * 1.15
+    rc = run_compare(extract_metrics(regressed), baseline, DEFAULT_BUDGET,
+                     quiet=True)
+    if rc == 0:
+        print("self-test FAIL: 15% regression passed the 10% gate",
+              file=sys.stderr)
+        return 1
+
+    wobbled = copy.deepcopy(report)
+    wobbled["results"]["bench_server"]["samples"][1]["p50_us"] = 400 * 1.05
+    rc = run_compare(extract_metrics(wobbled), baseline, DEFAULT_BUDGET,
+                     quiet=True)
+    if rc != 0:
+        print("self-test FAIL: 5% wobble failed the 10% gate",
+              file=sys.stderr)
+        return 1
+
+    dropped = copy.deepcopy(report)
+    del dropped["results"]["bench_persist"]
+    rc = run_compare(extract_metrics(dropped), baseline, DEFAULT_BUDGET,
+                     quiet=True)
+    if rc == 0:
+        print("self-test FAIL: missing bench passed the gate",
+              file=sys.stderr)
+        return 1
+
+    print("self-test PASS: gate catches regressions and missing benches")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", nargs="?",
+                        help="merged report from bench/run_all.py")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help=f"baseline file (default: {BASELINE_PATH})")
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET,
+                        help="allowed fractional regression (default 0.10)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the report instead "
+                             "of comparing")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate catches an injected regression")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.report:
+        parser.error("a report is required unless --self-test")
+
+    with open(args.report) as f:
+        current = extract_metrics(json.load(f))
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.baseline}: {len(current)} metric(s)")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    return run_compare(current, baseline, args.budget)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Run every bench_* binary and merge their BENCH_*.json into one report.
+
+The repo's benchmarks come in two shapes: google-benchmark binaries
+(bench_containment_*, bench_minimization, ...) that emit JSON via
+--benchmark_out, and standalone harnesses (bench_server, bench_persist,
+bench_observability, ...) that write a BENCH_<name>.json into their
+working directory. This driver runs both shapes uniformly, collects
+every result file, and writes a single merged report:
+
+    {"generated_by": "bench/run_all.py", "results": {<bench>: <json>}}
+
+Usage (from the repo root, after a build):
+
+    python3 bench/run_all.py --build-dir build --out BENCH_ALL.json
+    python3 bench/run_all.py --only bench_server,bench_persist
+
+The merged report is what bench/compare_baseline.py consumes; see
+docs/observability.md#bench-baseline. Stdlib only — no pip installs.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Benches built against google-benchmark (bench/CMakeLists.txt's
+# OOCQ_BENCHES list): they need --benchmark_out to produce JSON.
+GBENCH = {
+    "bench_expansion",
+    "bench_satisfiability",
+    "bench_containment_positive",
+    "bench_containment_general",
+    "bench_minimization",
+    "bench_evaluation",
+    "bench_ablation",
+    "bench_workload",
+}
+
+
+def find_benches(bench_dir):
+    benches = []
+    for name in sorted(os.listdir(bench_dir)):
+        path = os.path.join(bench_dir, name)
+        if name.startswith("bench_") and os.access(path, os.X_OK) and \
+                os.path.isfile(path):
+            benches.append(name)
+    return benches
+
+
+def run_one(bench_dir, name, workdir, timeout_s):
+    """Runs one bench in `workdir`; returns (ok, parsed-json-or-None)."""
+    binary = os.path.join(bench_dir, name)
+    out_json = os.path.join(workdir, f"BENCH_{name}.json")
+    cmd = [binary]
+    if name in GBENCH:
+        cmd += [f"--benchmark_out={out_json}", "--benchmark_out_format=json"]
+    try:
+        proc = subprocess.run(cmd, cwd=workdir, timeout=timeout_s,
+                              stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    except subprocess.TimeoutExpired:
+        print(f"TIMEOUT {name} after {timeout_s}s", file=sys.stderr)
+        return False, None
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout.decode(errors="replace"))
+        print(f"FAIL {name}: exit {proc.returncode}", file=sys.stderr)
+        return False, None
+    # Standalone harnesses name their own output file (BENCH_server.json,
+    # not BENCH_bench_server.json); pick up whichever appeared.
+    candidates = [out_json,
+                  os.path.join(workdir,
+                               f"BENCH_{name.removeprefix('bench_')}.json")]
+    for candidate in candidates:
+        if os.path.exists(candidate):
+            with open(candidate) as f:
+                try:
+                    return True, json.load(f)
+                except json.JSONDecodeError as e:
+                    print(f"FAIL {name}: bad JSON in {candidate}: {e}",
+                          file=sys.stderr)
+                    return False, None
+    print(f"note: {name} produced no JSON result (kept: pass/fail only)")
+    return True, None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory (default: build)")
+    parser.add_argument("--out", default="BENCH_ALL.json",
+                        help="merged report path (default: BENCH_ALL.json)")
+    parser.add_argument("--only", default="",
+                        help="comma-separated bench names to run (default all)")
+    parser.add_argument("--skip", default="",
+                        help="comma-separated bench names to skip")
+    parser.add_argument("--timeout-s", type=int, default=600,
+                        help="per-bench timeout in seconds (default 600)")
+    args = parser.parse_args()
+
+    bench_dir = os.path.join(args.build_dir, "bench")
+    if not os.path.isdir(bench_dir):
+        print(f"error: {bench_dir} is not a directory (build first)",
+              file=sys.stderr)
+        return 2
+
+    benches = find_benches(bench_dir)
+    only = {b for b in args.only.split(",") if b}
+    skip = {b for b in args.skip.split(",") if b}
+    unknown = (only | skip) - set(benches)
+    if unknown:
+        print(f"error: unknown bench(es): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+    if only:
+        benches = [b for b in benches if b in only]
+    benches = [b for b in benches if b not in skip]
+    if skip:
+        # Coverage must never narrow silently: name what was left out.
+        print(f"skipping: {', '.join(sorted(skip))}")
+
+    bench_dir = os.path.abspath(bench_dir)
+    results = {}
+    failed = []
+    for name in benches:
+        print(f"running {name} ...", flush=True)
+        with tempfile.TemporaryDirectory(prefix=f"{name}.") as workdir:
+            ok, parsed = run_one(bench_dir, name, workdir, args.timeout_s)
+        if not ok:
+            failed.append(name)
+            continue
+        if parsed is not None:
+            results[name] = parsed
+
+    report = {"generated_by": "bench/run_all.py", "results": results}
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}: {len(results)} result(s), "
+          f"{len(failed)} failure(s)")
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

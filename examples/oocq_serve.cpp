@@ -8,7 +8,9 @@
 //              [--snapshot_interval_s=N] [--failpoints=SPEC]
 //              [--max_disjuncts=N] [--max_work_units=N]
 //              [--max_resident_bytes=N] [--watchdog_s=N]
-//              [--trace=FILE] [--metrics] [--smoke]
+//              [--log-level=debug|info|warn|error|off] [--log-json]
+//              [--slow_request_us=N] [--stats-file=FILE]
+//              [--stats_interval_s=N] [--trace=FILE] [--metrics] [--smoke]
 //
 // Two transports serve the same protocol (docs/server.md): the default
 // epoll event loop (--transport=event) scales to tens of thousands of
@@ -48,6 +50,7 @@
 #include "server/event_server.h"
 #include "server/service.h"
 #include "server/tcp_server.h"
+#include "support/log.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -182,16 +185,70 @@ class Watchdog {
       uint32_t pending = service_->pending();
       if (pending > 0 && completed == last_completed) {
         MetricAdd("server/watchdog_stalls", 1);
-        std::fprintf(stderr,
-                     "oocq_serve: watchdog: %u request(s) pending and none "
-                     "completed in %llus — worker pool wedged?\n",
-                     pending, static_cast<unsigned long long>(interval_s_));
+        OOCQ_LOG(Warn, "watchdog")
+            .Msg("requests pending and none completed — worker pool wedged?")
+            .With("pending", static_cast<uint64_t>(pending))
+            .With("interval_s", interval_s_);
       }
       last_completed = completed;
     }
   }
 
   const OocqService* service_;
+  uint64_t interval_s_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Periodically rewrites `path` with the service's Prometheus-style STATS
+/// text (docs/observability.md#stats) — the file-scrape twin of the STATS
+/// verb, for environments where the collector reads files rather than
+/// speaking the protocol. Write-then-rename keeps every scrape atomic.
+class StatsDumper {
+ public:
+  StatsDumper(const OocqService* service, std::string path,
+              uint64_t interval_s)
+      : service_(service), path_(std::move(path)), interval_s_(interval_s) {
+    if (!path_.empty() && interval_s_ > 0) {
+      thread_ = std::thread([this] { Loop(); });
+    }
+  }
+  ~StatsDumper() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Loop() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      for (uint64_t slept_ms = 0; slept_ms < interval_s_ * 1000 &&
+                                  !stop_.load(std::memory_order_acquire);
+           slept_ms += 100) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      WriteOnce();
+    }
+    WriteOnce();  // final dump so shutdown state is observable
+  }
+
+  void WriteOnce() {
+    const std::string text = service_->StatsText();
+    const std::string tmp = path_ + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      OOCQ_LOG(Warn, "serve").Msg("stats dump open failed").With("path", tmp);
+      return;
+    }
+    const bool wrote =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (!wrote || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      OOCQ_LOG(Warn, "serve").Msg("stats dump failed").With("path", path_);
+    }
+  }
+
+  const OocqService* service_;
+  std::string path_;
   uint64_t interval_s_;
   std::atomic<bool> stop_{false};
   std::thread thread_;
@@ -205,11 +262,14 @@ int main(int argc, char** argv) {
   uint64_t max_disjuncts = 0, max_work_units = 0, max_resident_bytes = 0;
   uint64_t watchdog_s = 5;
   uint64_t io_threads = 8, idle_timeout_ms = 0;
+  uint64_t slow_request_us = 0, stats_interval_s = 10;
   std::string transport = "event";
   std::string failpoints;
   std::string trace_path;
   std::string data_dir;
-  bool want_metrics = false, smoke = false;
+  std::string log_level = "info";
+  std::string stats_file;
+  bool want_metrics = false, smoke = false, log_json = false;
 
   oocq::examples::FlagSet flags(
       "oocq_serve", "",
@@ -254,6 +314,18 @@ int main(int argc, char** argv) {
              "RESOURCE_EXHAUSTED (default 0 = unlimited)");
   flags.Uint("watchdog_s", &watchdog_s, "N",
              "stall watchdog sampling interval (default 5; 0 disables)");
+  flags.Str("log-level", &log_level, "LEVEL",
+            "stderr log threshold: debug|info|warn|error|off "
+            "(default info; docs/observability.md#logging)");
+  flags.Bool("log-json", &log_json,
+             "emit log lines as JSONL instead of human-readable text");
+  flags.Uint("slow_request_us", &slow_request_us, "N",
+             "log requests slower than N microseconds at Warn with their "
+             "span tree (default 0 = off)");
+  flags.Str("stats-file", &stats_file, "FILE",
+            "periodically rewrite FILE with Prometheus-style STATS text");
+  flags.Uint("stats_interval_s", &stats_interval_s, "N",
+             "--stats-file rewrite cadence (default 10)");
   flags.Str("trace", &trace_path, "FILE",
             "write a Chrome trace of all request spans on shutdown");
   flags.Bool("metrics", &want_metrics,
@@ -274,6 +346,14 @@ int main(int argc, char** argv) {
                  "error: --transport must be 'event' or 'thread'\n");
     return flags.UsageError();
   }
+  LogConfig log_config;
+  if (!ParseLogLevel(log_level, &log_config.level)) {
+    std::fprintf(stderr, "error: --log-level must be one of "
+                         "debug|info|warn|error|off\n");
+    return flags.UsageError();
+  }
+  log_config.json = log_json;
+  ConfigureLogging(log_config);
 
   TraceLog trace_log;
   std::optional<TraceSession> trace_session;
@@ -287,6 +367,7 @@ int main(int argc, char** argv) {
   service_options.budget.max_expanded_disjuncts = max_disjuncts;
   service_options.budget.max_subset_work_units = max_work_units;
   service_options.budget.max_resident_bytes = max_resident_bytes;
+  service_options.slow_request_us = slow_request_us;
   service_options.failpoints = failpoints;  // env OOCQ_FAILPOINTS also read
 
   // Opens (or re-opens) the durable catalog; recovery problems degrade to
@@ -305,14 +386,14 @@ int main(int argc, char** argv) {
     }
     std::shared_ptr<persist::DurableCatalog> catalog = *std::move(opened);
     const persist::DurableCatalog::Recovery& recovery = catalog->recovery();
-    std::fprintf(stderr,
-                 "oocq_serve: catalog %s: %s (snapshot seq=%llu records=%llu, "
-                 "wal records=%llu truncated_bytes=%llu)\n",
-                 data_dir.c_str(), recovery.note.c_str(),
-                 static_cast<unsigned long long>(recovery.snapshot_seq),
-                 static_cast<unsigned long long>(recovery.snapshot_records),
-                 static_cast<unsigned long long>(recovery.wal_records),
-                 static_cast<unsigned long long>(recovery.wal_truncated_bytes));
+    OOCQ_LOG(Info, "serve")
+        .Msg("catalog opened")
+        .With("data_dir", data_dir)
+        .With("note", recovery.note)
+        .With("snapshot_seq", recovery.snapshot_seq)
+        .With("snapshot_records", recovery.snapshot_records)
+        .With("wal_records", recovery.wal_records)
+        .With("wal_truncated_bytes", recovery.wal_truncated_bytes);
     return catalog;
   };
 
@@ -341,20 +422,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr,
-               "oocq_serve: listening on 127.0.0.1:%u "
-               "(transport=%s workers=%u queue=%u threads=%u "
-               "deadline_ms=%llu%s%s)\n",
-               server->port(), transport.c_str(),
-               service_options.max_in_flight,
-               service_options.max_queue_depth,
-               service_options.engine.parallel.num_threads,
-               static_cast<unsigned long long>(deadline_ms),
-               data_dir.empty() ? "" : " data_dir=",
-               data_dir.empty() ? "" : data_dir.c_str());
+  OOCQ_LOG(Info, "serve")
+      .Msg("listening on 127.0.0.1")
+      .With("port", static_cast<uint64_t>(server->port()))
+      .With("transport", transport)
+      .With("workers", static_cast<uint64_t>(service_options.max_in_flight))
+      .With("queue", static_cast<uint64_t>(service_options.max_queue_depth))
+      .With("threads",
+            static_cast<uint64_t>(service_options.engine.parallel.num_threads))
+      .With("deadline_ms", deadline_ms)
+      .With("data_dir", data_dir);
 
   std::optional<Watchdog> watchdog;
   watchdog.emplace(service.get(), watchdog_s);
+  std::optional<StatsDumper> stats_dumper;
+  stats_dumper.emplace(service.get(), stats_file, stats_interval_s);
 
   int rc = 0;
   if (smoke) {
@@ -362,6 +444,7 @@ int main(int argc, char** argv) {
     server->Stop();
     server.reset();
     if (ok && !data_dir.empty()) {
+      stats_dumper.reset();
       watchdog.reset();
       service.reset();  // final snapshot persists the warm cache
       // Second phase: a fresh service over the same data dir must restore
@@ -369,6 +452,7 @@ int main(int argc, char** argv) {
       service_options.catalog = open_catalog();
       service = std::make_unique<OocqService>(service_options);
       watchdog.emplace(service.get(), watchdog_s);
+      stats_dumper.emplace(service.get(), stats_file, stats_interval_s);
       server = make_server(0);
       started = server->Start();
       if (!started.ok()) {
@@ -382,6 +466,7 @@ int main(int argc, char** argv) {
     if (want_metrics) {
       std::printf("%s\n", service->metrics().JsonString().c_str());
     }
+    stats_dumper.reset();
     watchdog.reset();
     service.reset();
     std::fprintf(stderr, "smoke: %s\n", ok ? "PASS" : "FAIL");
@@ -399,17 +484,18 @@ int main(int argc, char** argv) {
     char byte;
     while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
     }
-    std::fprintf(stderr, "oocq_serve: draining %llu connection(s)...\n",
-                 static_cast<unsigned long long>(
-                     server->connections_accepted()));
+    OOCQ_LOG(Info, "serve")
+        .Msg("draining")
+        .With("connections", server->connections_accepted());
     server->Stop();  // graceful: in-flight requests finish and respond
     if (want_metrics) {
       std::printf("%s\n", service->metrics().JsonString().c_str());
     }
     server.reset();
+    stats_dumper.reset();  // final dump happens before the service dies
     watchdog.reset();
     service.reset();  // drains, then final catalog snapshot
-    std::fprintf(stderr, "oocq_serve: drained, shutting down\n");
+    OOCQ_LOG(Info, "serve").Msg("drained, shutting down");
   }
 
   trace_session.reset();

@@ -380,7 +380,7 @@ StatusOr<bool> UnionContained(const Schema& schema, const UnionQuery& m,
   OOCQ_TRACE_SPAN(span, "UnionContained");
   span.Arg("m_disjuncts", static_cast<uint64_t>(m.disjuncts.size()))
       .Arg("n_disjuncts", static_cast<uint64_t>(n.disjuncts.size()));
-  MetricAdd("containment/union_calls", 1);
+  OOCQ_METRIC_ADD("containment/union_calls", 1);
   // Thm 4.1 is stated (and true) for unions of terminal positive
   // conjunctive queries; reject anything else.
   for (const UnionQuery* side : {&m, &n}) {

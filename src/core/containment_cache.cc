@@ -51,7 +51,7 @@ void ContainmentCache::EvictIfOver(Shard& shard) {
     }
     shard.map.erase(vit);
     evictions_.fetch_add(1, std::memory_order_relaxed);
-    MetricAdd("cache/evictions", 1);
+    OOCQ_METRIC_ADD("cache/evictions", 1);
     break;
   }
 }
@@ -122,19 +122,19 @@ StatusOr<bool> ContainmentCache::Contained(const ConjunctiveQuery& q1,
       shard.fifo.push_back(key);
       misses_.fetch_add(1, std::memory_order_relaxed);
       if (stats != nullptr) ++stats->cache_misses;
-      MetricAdd("cache/miss", 1);
+      OOCQ_METRIC_ADD("cache/miss", 1);
       EvictIfOver(shard);
     } else {
       entry = it->second;
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (stats != nullptr) ++stats->cache_hits;
-      MetricAdd("cache/hit", 1);
+      OOCQ_METRIC_ADD("cache/hit", 1);
       if (!entry->done) {
         // Another thread owns this key's computation; block until its
         // value lands (compute-once, docs/parallelism.md). A waiter with
         // a token re-polls it between waits so a tripped deadline never
         // leaves it hung behind a slower (or unbounded) owner.
-        MetricAdd("cache/wait", 1);
+        OOCQ_METRIC_ADD("cache/wait", 1);
         if (cancel == nullptr) {
           shard.cv.wait(lock, [&entry] { return entry->done; });
         } else {

@@ -114,8 +114,8 @@ StatusOr<UnionQuery> ExpandToTerminalQueries(const Schema& schema,
   if (stats != nullptr) stats->satisfiable_disjuncts = result.disjuncts.size();
   span.Arg("raw", product)
       .Arg("satisfiable", static_cast<uint64_t>(result.disjuncts.size()));
-  MetricAdd("expand/raw_disjuncts", product);
-  MetricAdd("expand/satisfiable_disjuncts", result.disjuncts.size());
+  OOCQ_METRIC_ADD("expand/raw_disjuncts", product);
+  OOCQ_METRIC_ADD("expand/satisfiable_disjuncts", result.disjuncts.size());
   return result;
 }
 

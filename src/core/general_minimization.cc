@@ -172,7 +172,7 @@ StatusOr<GeneralMinimizationReport> MinimizeConjunctiveQuery(
     report.minimized.disjuncts.push_back(std::move(outcome.folded));
   }
   fold_span.Arg("vars_removed", report.variables_removed);
-  MetricAdd("minimize/vars_removed", report.variables_removed);
+  OOCQ_METRIC_ADD("minimize/vars_removed", report.variables_removed);
   return report;
 }
 

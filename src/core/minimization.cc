@@ -77,7 +77,7 @@ Status MinimizeDisjunctsInto(const Schema& schema,
     report.minimized.disjuncts.push_back(std::move(outcome.minimal));
   }
   span.Arg("vars_removed", report.variables_removed);
-  MetricAdd("minimize/vars_removed", report.variables_removed);
+  OOCQ_METRIC_ADD("minimize/vars_removed", report.variables_removed);
   return Status::Ok();
 }
 
@@ -209,7 +209,7 @@ StatusOr<UnionQuery> RemoveRedundantDisjuncts(const Schema& schema,
   const size_t num_pairs = n < 2 ? 0 : n * (n - 1);
   OOCQ_TRACE_SPAN(matrix_span, "ContainmentMatrix");
   matrix_span.Arg("pairs", static_cast<uint64_t>(num_pairs));
-  MetricAdd("redundancy/pairs", num_pairs);
+  OOCQ_METRIC_ADD("redundancy/pairs", num_pairs);
   OOCQ_ASSIGN_OR_RETURN(
       std::vector<PairOutcome> pairs,
       (ParallelMap<PairOutcome>(

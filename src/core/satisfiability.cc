@@ -41,7 +41,7 @@ SatisfiabilityResult CheckSatisfiable(const Schema& schema,
                                       const ConjunctiveQuery& query) {
   // Counter only — this (Thm 2.2) is the hottest engine entry point, one
   // call per expanded disjunct, so a span per check would swamp traces.
-  MetricAdd("satisfiability/checks", 1);
+  OOCQ_METRIC_ADD("satisfiability/checks", 1);
   EqualityGraph graph = EqualityGraph::Build(query);
 
   // (a) variables equated across distinct terminal classes.

@@ -106,6 +106,12 @@ Status DurableCatalog::SnapshotNow() {
   }
   if (!dump) return Status::Ok();
 
+  // Snapshot duration matters operationally because the gate below holds
+  // off every mutation for its whole extent.
+  const uint64_t start_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
   OOCQ_TRACE_SPAN(span, "Snapshot");
   // Exclusive gate: no mutation commits (in memory or to the WAL) while
   // the dump, the snapshot write, and the WAL reset happen — the three
@@ -125,6 +131,12 @@ Status DurableCatalog::SnapshotNow() {
 
   RemoveSnapshotsBefore(options_.data_dir, seq);
   snapshots_taken_.fetch_add(1, std::memory_order_relaxed);
+  MetricRecord("persist/snapshot_us",
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count()) -
+                   start_us);
   span.Arg("seq", seq).Arg("records", static_cast<uint64_t>(records.size()));
   return Status::Ok();
 }

@@ -48,6 +48,13 @@ bool WriteAllWithFault(int fd, const char* data, size_t size,
   return !faulted;
 }
 
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
@@ -87,9 +94,17 @@ WriteAheadLog::~WriteAheadLog() {
 }
 
 Status WriteAheadLog::Append(const Record& record) {
+  // The durability leg of a mutation's trace path (WAL-before-ack): the
+  // span covers encode + serialized write + covering fsync, so a slow
+  // mutation attributes its latency to persistence, not the engine. The
+  // histogram sees exactly one sample per acked append (tests pin
+  // count == appended()).
+  const uint64_t start_us = NowUs();
+  OOCQ_TRACE_SPAN(span, "WalAppend");
   OOCQ_RETURN_IF_ERROR(Failpoints::Check("wal/append"));
   std::string frame;
   EncodeRecord(record, &frame);
+  span.Arg("bytes", frame.size());
 
   uint64_t my_seq;
   {
@@ -113,9 +128,11 @@ Status WriteAheadLog::Append(const Record& record) {
     my_seq = ++write_seq_;
   }
   appended_.fetch_add(1, std::memory_order_relaxed);
-  MetricAdd("persist/wal_appends", 1);
-  MetricAdd("persist/wal_bytes", frame.size());
-  return SyncCovering(my_seq);
+  OOCQ_METRIC_ADD("persist/wal_appends", 1);
+  OOCQ_METRIC_ADD("persist/wal_bytes", frame.size());
+  Status synced = SyncCovering(my_seq);
+  OOCQ_METRIC_RECORD("persist/wal_append_us", NowUs() - start_us);
+  return synced;
 }
 
 Status WriteAheadLog::SyncCovering(uint64_t seq) {
@@ -140,12 +157,22 @@ Status WriteAheadLog::SyncCovering(uint64_t seq) {
     std::lock_guard<std::mutex> write_lock(write_mu_);
     covered = write_seq_;
   }
+  const uint64_t fsync_start_us = NowUs();
   Status synced = Failpoints::Check("wal/fsync");
   if (synced.ok()) synced = FsyncFd(fd_);
+  // One histogram sample per physical fsync round (count == syncs()),
+  // successful or not — a failing disk should dominate the tail, not
+  // vanish from it.
+  OOCQ_METRIC_RECORD("persist/fsync_us", NowUs() - fsync_start_us);
   syncs_.fetch_add(1, std::memory_order_relaxed);
-  MetricAdd("persist/fsyncs", 1);
+  OOCQ_METRIC_ADD("persist/fsyncs", 1);
 
   lock.lock();
+  if (synced.ok() && covered > synced_seq_) {
+    // Appends this round durably covered beyond the ones already synced:
+    // the group-commit amplification the sleep window buys.
+    OOCQ_METRIC_RECORD("persist/group_commit_batch", covered - synced_seq_);
+  }
   if (synced.ok()) synced_seq_ = covered;
   sync_in_flight_ = false;
   lock.unlock();
@@ -170,7 +197,7 @@ Status WriteAheadLog::Reset() {
   broken_ = false;
   write_seq_ = 0;
   synced_seq_ = 0;
-  MetricAdd("persist/wal_resets", 1);
+  OOCQ_METRIC_ADD("persist/wal_resets", 1);
   return FsyncFd(fd_);
 }
 
@@ -219,11 +246,11 @@ StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
       return Status::Internal("truncate wal tail: " +
                               std::string(std::strerror(errno)));
     }
-    MetricAdd("persist/wal_truncated_bytes", result.truncated_bytes);
+    OOCQ_METRIC_ADD("persist/wal_truncated_bytes", result.truncated_bytes);
   }
   span.Arg("records", static_cast<uint64_t>(result.records.size()))
       .Arg("truncated_bytes", result.truncated_bytes);
-  MetricAdd("persist/wal_replayed_records", result.records.size());
+  OOCQ_METRIC_ADD("persist/wal_replayed_records", result.records.size());
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include "server/protocol.h"
 #include "support/failpoint.h"
 #include "support/metrics.h"
+#include "support/trace.h"
 
 namespace oocq::server {
 
@@ -43,6 +44,13 @@ uint64_t NowMs() {
           .count());
 }
 
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 /// All state touched only by the loop thread: the connection table, the
@@ -54,8 +62,15 @@ struct EventServer::Loop {
     uint64_t id = 0;
     ConnectionHandler framing;
     /// Parsed requests waiting for their turn (replies must go out in
-    /// request order, so at most one executes at a time).
-    std::deque<std::pair<CommandLine, std::vector<std::string>>> requests;
+    /// request order, so at most one executes at a time). The enqueue
+    /// timestamp feeds the server/dispatch_wait_us histogram and the
+    /// Dispatch span's queue_us annotation.
+    struct QueuedRequest {
+      CommandLine command;
+      std::vector<std::string> payload;
+      uint64_t enqueued_us = 0;
+    };
+    std::deque<QueuedRequest> requests;
     std::string outbox;
     size_t out_off = 0;
     bool want_write = false;  // EPOLLOUT currently armed
@@ -170,7 +185,7 @@ struct EventServer::Loop {
             errno == ENOMEM) {
           // Out of fds/kernel memory: pause accepting briefly instead of
           // spinning on a listener that stays level-triggered readable.
-          MetricAdd("server/accept_backoff", 1);
+          OOCQ_METRIC_ADD("server/accept_backoff", 1);
           listener_paused_until_ms = NowMs() + 100;
           ArmListener(false);
           return;
@@ -185,7 +200,7 @@ struct EventServer::Loop {
         continue;
       }
       if (conns.size() >= server->options_.max_connections) {
-        MetricAdd("server/overflow_refused", 1);
+        OOCQ_METRIC_ADD("server/overflow_refused", 1);
         ::close(fd);
         continue;
       }
@@ -208,7 +223,7 @@ struct EventServer::Loop {
         continue;
       }
       server->accepted_.fetch_add(1, std::memory_order_relaxed);
-      MetricAdd("server/connections", 1);
+      OOCQ_METRIC_ADD("server/connections", 1);
       Connection* raw = conn.get();
       conns.emplace(raw->id, std::move(conn));
       Touch(raw);
@@ -222,6 +237,9 @@ struct EventServer::Loop {
       conn->out_off = 0;
     }
     conn->outbox += text;
+    // Write-buffer watermark: the histogram's max is the high-water mark
+    // a slow reader drove this connection's outbox to.
+    OOCQ_METRIC_RECORD("server/outbox_bytes", conn->pending_output());
   }
 
   /// Starts the next queued request if the connection is free, shedding
@@ -231,22 +249,34 @@ struct EventServer::Loop {
     while (!conn->in_flight && !conn->quit && !conn->requests.empty()) {
       if (conn->pending_output() >
           server->options_.max_output_buffer_bytes) {
-        MetricAdd("server/backpressure_shed", 1);
+        OOCQ_METRIC_ADD("server/backpressure_shed", 1);
         Append(conn, ShedReply(
                          "slow reader: reply buffer over budget, request "
                          "shed"));
         conn->requests.pop_front();
         continue;
       }
-      auto [command, payload] = std::move(conn->requests.front());
+      Connection::QueuedRequest next = std::move(conn->requests.front());
       conn->requests.pop_front();
       conn->in_flight = true;
       ++dispatched;
+      // Depth gauge: requests handed to the pool whose completions the
+      // loop has not yet seen — the dispatch backlog a stalled pool grows.
+      OOCQ_METRIC_RECORD("server/dispatch_queue_depth", dispatched);
       uint64_t id = conn->id;
+      uint64_t enqueued_us = next.enqueued_us;
       OocqService* service = server->service_;
       EventServer* owner = server;
-      server->pool_->Submit([owner, service, id, command = std::move(command),
-                             payload = std::move(payload)] {
+      server->pool_->Submit([owner, service, id, enqueued_us,
+                             command = std::move(next.command),
+                             payload = std::move(next.payload)] {
+        const uint64_t queue_us = NowUs() - enqueued_us;
+        OOCQ_METRIC_RECORD("server/dispatch_wait_us", queue_us);
+        // The queue-wait leg of the request's trace path: parsed on the
+        // loop thread at enqueued_us, picked up by this pool worker now.
+        OOCQ_TRACE_SPAN(span, "Dispatch");
+        span.Arg("conn", id).Arg("queue_us", queue_us);
+        if (!command.request_id.empty()) span.Arg("id", command.request_id);
         Completion completion;
         completion.conn_id = id;
         ProtocolReply reply = ProtocolHandler(service).Handle(command, payload);
@@ -274,7 +304,7 @@ struct EventServer::Loop {
       std::vector<std::string> payload;
       switch (conn->framing.Next(&command, &payload)) {
         case ConnectionHandler::FrameResult::kViolation:
-          MetricAdd("server/framing_violations", 1);
+          OOCQ_METRIC_ADD("server/framing_violations", 1);
           Close(conn);
           return false;
         case ConnectionHandler::FrameResult::kNeedMore:
@@ -289,11 +319,12 @@ struct EventServer::Loop {
           break;
       }
       if (conn->requests.size() >= server->options_.max_pipeline_depth) {
-        MetricAdd("server/pipeline_shed", 1);
+        OOCQ_METRIC_ADD("server/pipeline_shed", 1);
         Append(conn, ShedReply("pipeline depth exceeded, request shed"));
         continue;
       }
-      conn->requests.emplace_back(std::move(command), std::move(payload));
+      conn->requests.push_back(
+          {std::move(command), std::move(payload), NowUs()});
     }
   }
 
@@ -303,27 +334,37 @@ struct EventServer::Loop {
     if (conn->read_off) return true;
     Touch(conn);
     char chunk[16384];
-    for (int round = 0; round < 8; ++round) {
-      // Chaos hook: `error` fails the read — the connection is treated
-      // as dropped, which a retrying client must survive.
-      if (!Failpoints::Hit("tcp/read")) {
+    {
+      // First leg of the request's trace path: bytes leaving the kernel
+      // on the loop thread. Linked to the later Dispatch/Request spans
+      // through the shared `conn` annotation (and `id` once parsed).
+      OOCQ_TRACE_SPAN(span, "SocketRead");
+      span.Arg("conn", conn->id);
+      uint64_t total = 0;
+      for (int round = 0; round < 8; ++round) {
+        // Chaos hook: `error` fails the read — the connection is treated
+        // as dropped, which a retrying client must survive.
+        if (!Failpoints::Hit("tcp/read")) {
+          Close(conn);
+          return false;
+        }
+        ssize_t got = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (got > 0) {
+          conn->framing.Feed(chunk, static_cast<size_t>(got));
+          total += static_cast<uint64_t>(got);
+          if (static_cast<size_t>(got) < sizeof(chunk)) break;
+          continue;
+        }
+        if (got == 0) {
+          conn->read_off = true;  // half-close: finish what was received
+          UpdateInterest(conn);
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
         Close(conn);
         return false;
       }
-      ssize_t got = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-      if (got > 0) {
-        conn->framing.Feed(chunk, static_cast<size_t>(got));
-        if (static_cast<size_t>(got) < sizeof(chunk)) break;
-        continue;
-      }
-      if (got == 0) {
-        conn->read_off = true;  // half-close: finish what was received
-        UpdateInterest(conn);
-        break;
-      }
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
-      Close(conn);
-      return false;
+      span.Arg("bytes", total);
     }
     if (!ParseFrames(conn)) return false;
     Pump(conn);
@@ -333,6 +374,18 @@ struct EventServer::Loop {
   /// Sends buffered reply bytes; arms EPOLLOUT when the socket fills.
   /// Returns false if the connection was closed.
   bool Flush(Connection* conn) {
+    const size_t backlog = conn->pending_output();
+    if (backlog > 0 && TracingActive()) {
+      // Last leg of the request's trace path: reply bytes entering the
+      // kernel on the loop thread.
+      OOCQ_TRACE_SPAN(span, "ReplyWrite");
+      span.Arg("conn", conn->id).Arg("bytes", backlog);
+      return FlushBytes(conn);
+    }
+    return FlushBytes(conn);
+  }
+
+  bool FlushBytes(Connection* conn) {
     while (conn->pending_output() > 0) {
       ssize_t sent =
           ::send(conn->fd, conn->outbox.data() + conn->out_off,
@@ -345,12 +398,15 @@ struct EventServer::Loop {
         if (!conn->want_write) {
           conn->want_write = true;
           UpdateInterest(conn);
+          // The peer's receive window is full; the reply waits in the
+          // outbox until EPOLLOUT. Counted once per stall, not per retry.
+          OOCQ_METRIC_ADD("server/outbox_stalls", 1);
         }
         // A reader so slow that even shed replies pile up unread gets
         // dropped — the bound must bound.
         if (conn->pending_output() >
             4 * server->options_.max_output_buffer_bytes) {
-          MetricAdd("server/slow_reader_dropped", 1);
+          OOCQ_METRIC_ADD("server/slow_reader_dropped", 1);
           Close(conn);
           return false;
         }
@@ -429,7 +485,7 @@ struct EventServer::Loop {
           wheel.Schedule(conn, now_tick);  // mid-request: not idle
           continue;
         }
-        MetricAdd("server/idle_closed", 1);
+        OOCQ_METRIC_ADD("server/idle_closed", 1);
         Close(conn);
       }
     }
@@ -532,6 +588,9 @@ Status EventServer::Start() {
 
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
+  // Transport marker: lets a METRICS/STATS scrape tell which transport
+  // served this process (the flat dumps are otherwise identical).
+  OOCQ_METRIC_ADD("server/transport/event", 1);
   loop_thread_ = std::thread([this] { Run(); });
   return Status::Ok();
 }
@@ -555,6 +614,11 @@ void EventServer::Run() {
       if (errno == EINTR) continue;
       break;  // epoll itself failed; nothing sane left to do
     }
+    OOCQ_METRIC_ADD("server/loop_wakeups", 1);
+    // Loop lag: wall time the loop thread spends handling one readiness
+    // batch — time during which no other connection's bytes move. A p99
+    // here in the milliseconds means some handler blocks the loop.
+    const uint64_t iteration_start_us = NowUs();
     for (int i = 0; i < n; ++i) {
       uint64_t tag = events[i].data.u64;
       if (tag == kListenerTag) {
@@ -575,6 +639,9 @@ void EventServer::Run() {
       }
       if ((events[i].events & EPOLLIN) && !loop_->OnReadable(conn)) continue;
       if (events[i].events & EPOLLOUT) loop_->OnWritable(conn);
+    }
+    if (n > 0) {
+      OOCQ_METRIC_RECORD("server/loop_iteration_us", NowUs() - iteration_start_us);
     }
     loop_->ExpireIdle();
   }

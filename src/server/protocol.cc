@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "support/trace.h"
+
 namespace oocq::server {
 
 namespace {
@@ -77,6 +79,23 @@ uint64_t ParamUint(const CommandLine& command, const std::string& key) {
 void FillCommonRequestFields(const CommandLine& command, Request* request) {
   request->deadline_ms = ParamUint(command, "deadline_ms");
   if (const std::string* id = command.Param("id")) request->request_id = *id;
+  // The wire-level `ID <token>` prefix wins over a legacy id= param.
+  if (!command.request_id.empty()) request->request_id = command.request_id;
+}
+
+/// Echoes the request id on the reply status line: "OK id=<rid> ..." /
+/// "ERR <CODE> id=<rid> <message>". The insertion points keep existing
+/// parsers working — clients read the verdict fields by name and the ERR
+/// code as the second token, both unmoved.
+void TagReply(const std::string& rid, ProtocolReply* reply) {
+  std::string& text = reply->text;
+  if (text.rfind("OK", 0) == 0) {
+    text.insert(2, " id=" + rid);
+  } else if (text.rfind("ERR ", 0) == 0) {
+    size_t code_end = text.find_first_of(" \n", 4);
+    if (code_end == std::string::npos) code_end = text.size();
+    text.insert(code_end, " id=" + rid);
+  }
 }
 
 }  // namespace
@@ -96,7 +115,11 @@ CommandLine ParseCommandLine(const std::string& line) {
       ++i;
   };
   skip_spaces();
-  bool first = true;
+  // Token roles: the first token is the verb — unless it is the `ID`
+  // prefix, in which case the next token is the request id and the verb
+  // follows it (`ID r7 CONTAIN s1` ≡ `CONTAIN s1` tagged r7).
+  enum class Expect { kVerb, kRequestId, kRest };
+  Expect expect = Expect::kVerb;
   while (i < line.size()) {
     size_t start = i;
     while (i < line.size() &&
@@ -105,12 +128,21 @@ CommandLine ParseCommandLine(const std::string& line) {
     }
     std::string token = line.substr(start, i - start);
     skip_spaces();
-    if (first) {
+    if (expect == Expect::kRequestId) {
+      command.request_id = std::move(token);
+      expect = Expect::kVerb;
+      continue;
+    }
+    if (expect == Expect::kVerb) {
       for (char& c : token) {
         c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
       }
+      if (token == "ID" && command.request_id.empty()) {
+        expect = Expect::kRequestId;
+        continue;
+      }
       command.verb = std::move(token);
-      first = false;
+      expect = Expect::kRest;
       continue;
     }
     size_t eq = token.find('=');
@@ -197,8 +229,33 @@ ConnectionHandler::FrameResult ConnectionHandler::Next(
 
 ProtocolReply ProtocolHandler::Handle(const CommandLine& command,
                                       const std::vector<std::string>& payload) {
+  // The effective request id: the wire `ID` prefix, else a legacy id=
+  // param. Either is annotated onto this span (and, through
+  // Request::request_id, onto the service/engine spans); only the `ID`
+  // prefix is echoed on the reply status line — clients that predate the
+  // prefix keep getting byte-identical replies for id= params.
+  std::string rid = command.request_id;
+  if (rid.empty()) {
+    if (const std::string* id = command.Param("id")) rid = *id;
+  }
+  OOCQ_TRACE_SPAN(span, "HandleRequest");
+  span.Arg("verb", command.verb.empty() ? "(none)" : command.verb);
+  if (!rid.empty()) span.Arg("id", rid);
+  ProtocolReply reply = HandleInner(command, payload);
+  if (span.recording()) {
+    span.Arg("bytes", static_cast<uint64_t>(reply.text.size()));
+  }
+  if (!command.request_id.empty()) TagReply(command.request_id, &reply);
+  return reply;
+}
+
+ProtocolReply ProtocolHandler::HandleInner(
+    const CommandLine& command, const std::vector<std::string>& payload) {
   const std::string& verb = command.verb;
 
+  if (verb.empty() && !command.request_id.empty()) {
+    return ErrReply(BadRequest("ID prefix needs a command after the token"));
+  }
   if (verb == "PING") return OkReply("");
   if (verb == "HELLO") {
     // Handshake + capability discovery (docs/server.md): the client may
@@ -225,7 +282,7 @@ ProtocolReply ProtocolHandler::Handle(const CommandLine& command,
         "protocol=" + std::to_string(kProtocolVersion) +
         " server=oocq max_line_bytes=" + std::to_string(kMaxLineBytes) +
         " caps=sessions,define,state,batch,deadlines,metrics,health,"
-        "explain,ucontain" +
+        "explain,ucontain,stats,request_ids" +
         " draining=" + std::string(service_->draining() ? "1" : "0"));
   }
   if (verb == "QUIT") {
@@ -236,26 +293,33 @@ ProtocolReply ProtocolHandler::Handle(const CommandLine& command,
   if (verb == "METRICS") {
     return OkReply("", service_->metrics().JsonString() + "\n");
   }
+  if (verb == "STATS") {
+    // Machine-readable exposition (docs/observability.md#stats):
+    // Prometheus-style text with counters and p50/p90/p99 summaries,
+    // superseding the flat METRICS JSON (kept above for old tooling).
+    return OkReply("", service_->StatsText());
+  }
   if (verb == "HEALTH") {
     // Liveness + progress snapshot for operators and watchdogs: a server
     // whose pending stays > 0 while completed stops advancing has a
-    // wedged worker pool (docs/robustness.md).
+    // wedged worker pool (docs/robustness.md). Renders the same
+    // ServiceHealth snapshot STATS exposes, in the PR 5 wire format.
+    const ServiceHealth health = service_->CollectHealth();
     std::string fields =
-        "pending=" + std::to_string(service_->pending()) +
-        " completed=" + std::to_string(service_->completed()) +
-        " draining=" + std::string(service_->draining() ? "1" : "0") +
-        " sessions=" + std::to_string(service_->session_count());
+        "pending=" + std::to_string(health.pending) +
+        " completed=" + std::to_string(health.completed) +
+        " draining=" + std::string(health.draining ? "1" : "0") +
+        " sessions=" + std::to_string(health.sessions);
     std::string body;
-    if (const ResourceBudget* budget = service_->budget()) {
-      const ResourceLimits& limits = budget->limits();
+    if (health.has_budget) {
       body = "budget: resident_bytes=" +
-             std::to_string(budget->resident_bytes()) + "/" +
-             std::to_string(limits.max_resident_bytes) +
-             " work_units=" + std::to_string(budget->work_units_charged()) +
-             "/" + std::to_string(limits.max_subset_work_units) +
-             " disjuncts=" + std::to_string(budget->disjuncts_charged()) +
-             "/" + std::to_string(limits.max_expanded_disjuncts) +
-             " exhausted=" + std::to_string(budget->exhausted_count()) + "\n";
+             std::to_string(health.resident_bytes) + "/" +
+             std::to_string(health.max_resident_bytes) +
+             " work_units=" + std::to_string(health.work_units) + "/" +
+             std::to_string(health.max_work_units) +
+             " disjuncts=" + std::to_string(health.disjuncts) + "/" +
+             std::to_string(health.max_disjuncts) +
+             " exhausted=" + std::to_string(health.exhausted) + "\n";
     }
     return OkReply(fields, body);
   }

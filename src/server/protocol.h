@@ -38,11 +38,18 @@ inline constexpr int kProtocolVersion = 1;
 /// buffer without bound.
 inline constexpr size_t kMaxLineBytes = 1 << 20;
 
-/// A parsed command line: verb, positional args, key=value params.
+/// A parsed command line: verb, positional args, key=value params, and
+/// the optional wire-propagated request id (docs/observability.md#ids).
 struct CommandLine {
   std::string verb;                 // upper-cased
   std::vector<std::string> args;    // positional, in order
   std::vector<std::pair<std::string, std::string>> params;
+  /// From the `ID <token>` prefix: `ID r7 CONTAIN s1` parses as verb
+  /// CONTAIN with request_id "r7". Echoed on the reply status line
+  /// (`OK id=r7 ...` / `ERR CODE id=r7 ...`) and threaded as the `id`
+  /// annotation through every span the request touches, so one token
+  /// links socket read → queue → engine → WAL → reply in a trace export.
+  std::string request_id;
 
   const std::string* Param(const std::string& key) const;
 };
@@ -116,6 +123,11 @@ class ProtocolHandler {
                        const std::vector<std::string>& payload);
 
  private:
+  /// Handle() minus the cross-cutting request-id plumbing: the wrapper
+  /// opens the HandleRequest span, runs this, and tags the reply.
+  ProtocolReply HandleInner(const CommandLine& command,
+                            const std::vector<std::string>& payload);
+
   OocqService* service_;
 };
 

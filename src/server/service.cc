@@ -18,6 +18,7 @@
 #include "query/well_formed.h"
 #include "state/evaluation.h"
 #include "support/failpoint.h"
+#include "support/log.h"
 #include "support/status_macros.h"
 #include "support/trace.h"
 
@@ -85,6 +86,15 @@ OocqService::OocqService(ServiceOptions options)
     : options_(std::move(options)) {
   if (options_.max_in_flight < 1) options_.max_in_flight = 1;
   if (options_.metrics) metrics_scope_.emplace(&registry_);
+  requests_total_ = registry_.Counter("server/requests");
+  started_total_ = registry_.Counter("server/started");
+  queue_wait_us_ = registry_.Histogram("server/queue_wait_us");
+  latency_us_ = registry_.Histogram("server/latency_us");
+  for (int kind = 0; kind < 7; ++kind) {
+    verb_latency_us_[kind] = registry_.Histogram(
+        std::string("server/verb/") +
+        RequestKindName(static_cast<RequestKind>(kind)) + "_us");
+  }
   if (!options_.failpoints.empty()) {
     Status armed = Failpoints::Configure(options_.failpoints);
     if (!armed.ok()) registry_.Add("failpoint/config_errors", 1);
@@ -483,6 +493,54 @@ void OocqService::ReleaseResident(Session& session, uint64_t bytes) {
   session.resident_bytes -= bytes;
 }
 
+ServiceHealth OocqService::CollectHealth() const {
+  ServiceHealth health;
+  health.pending = pending();
+  health.completed = completed();
+  health.draining = draining();
+  health.sessions = session_count();
+  if (const ResourceBudget* b = budget()) {
+    const ResourceLimits& limits = b->limits();
+    health.has_budget = true;
+    health.resident_bytes = b->resident_bytes();
+    health.max_resident_bytes = limits.max_resident_bytes;
+    health.work_units = b->work_units_charged();
+    health.max_work_units = limits.max_subset_work_units;
+    health.disjuncts = b->disjuncts_charged();
+    health.max_disjuncts = limits.max_expanded_disjuncts;
+    health.exhausted = b->exhausted_count();
+  }
+  return health;
+}
+
+std::string OocqService::StatsText() const {
+  std::string out = PrometheusString(registry_.Snap());
+  const ServiceHealth health = CollectHealth();
+  auto gauge = [&out](const char* name, uint64_t value) {
+    out += "# TYPE ";
+    out += name;
+    out += " gauge\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  gauge("oocq_server_pending", health.pending);
+  gauge("oocq_server_completed_total", health.completed);
+  gauge("oocq_server_draining", health.draining ? 1 : 0);
+  gauge("oocq_server_sessions", health.sessions);
+  if (health.has_budget) {
+    gauge("oocq_budget_resident_bytes", health.resident_bytes);
+    gauge("oocq_budget_resident_bytes_limit", health.max_resident_bytes);
+    gauge("oocq_budget_work_units", health.work_units);
+    gauge("oocq_budget_work_units_limit", health.max_work_units);
+    gauge("oocq_budget_disjuncts", health.disjuncts);
+    gauge("oocq_budget_disjuncts_limit", health.max_disjuncts);
+    gauge("oocq_budget_exhausted_total", health.exhausted);
+  }
+  return out;
+}
+
 void OocqService::Drain() {
   draining_.store(true, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(drain_mu_);
@@ -750,7 +808,7 @@ Response OocqService::Run(const Request& request, Session& session,
 
 Response OocqService::Execute(const Request& request) {
   const uint64_t admitted_us = NowUs();
-  registry_.Add("server/requests", 1);
+  requests_total_->Add(1);
   Response response;
 
   Status admitted = AdmitOne();
@@ -779,27 +837,51 @@ Response OocqService::Execute(const Request& request) {
   const CancellationToken* cancel = token.has_value() ? &*token : nullptr;
 
   std::future<void> done = pool_->Submit([&] {
-    OOCQ_TRACE_SPAN(span, "Request");
-    span.Arg("kind", RequestKindName(request.kind));
-    if (!request.request_id.empty()) span.Arg("id", request.request_id);
-    registry_.Add("server/started", 1);
-    // A request that out-waited its deadline in the queue is answered
-    // without touching the engine.
-    Status live = cancel != nullptr ? cancel->Check() : Status::Ok();
-    if (!live.ok()) {
-      response.status = std::move(live);
-    } else {
-      response = Run(request, **session, cancel);
+    queue_wait_us_->Record(NowUs() - admitted_us);
+    // Slow-request diagnostics: capture this thread's span tree so a
+    // request over the threshold can be logged with its full breakdown
+    // (engine phases, WAL appends) even when no TraceSession is active.
+    std::optional<ThreadSpanCapture> capture;
+    if (options_.slow_request_us != 0) capture.emplace();
+    {
+      OOCQ_TRACE_SPAN(span, "Request");
+      span.Arg("kind", RequestKindName(request.kind));
+      if (!request.request_id.empty()) span.Arg("id", request.request_id);
+      started_total_->Add(1);
+      // A request that out-waited its deadline in the queue is answered
+      // without touching the engine.
+      Status live = cancel != nullptr ? cancel->Check() : Status::Ok();
+      if (!live.ok()) {
+        response.status = std::move(live);
+      } else {
+        response = Run(request, **session, cancel);
+      }
+      if (span.recording()) {
+        span.Arg("status", StatusCodeToString(response.status.code()));
+      }
     }
-    if (span.recording()) {
-      span.Arg("status", StatusCodeToString(response.status.code()));
+    if (capture.has_value()) {
+      const uint64_t elapsed_us = NowUs() - admitted_us;
+      if (elapsed_us >= options_.slow_request_us) {
+        registry_.Add("server/slow_requests", 1);
+        OOCQ_LOG(Warn, "server")
+            .Msg("slow request")
+            .With("kind", RequestKindName(request.kind))
+            .With("id", request.request_id)
+            .With("session", request.session_id)
+            .With("status", StatusCodeToString(response.status.code()))
+            .With("latency_us", elapsed_us)
+            .With("spans", capture->Render());
+      }
     }
   });
   done.wait();
   FinishOne();
 
   response.latency_us = NowUs() - admitted_us;
-  registry_.Record("server/latency_us", response.latency_us);
+  latency_us_->Record(response.latency_us);
+  verb_latency_us_[static_cast<int>(request.kind)]->Record(
+      response.latency_us);
   CountOutcome(registry_, response.status);
   return response;
 }
@@ -824,7 +906,7 @@ std::vector<Response> OocqService::ExecuteBatch(
   for (size_t i = 0; i < requests.size(); ++i) {
     const Request& request = requests[i];
     const uint64_t admitted_us = NowUs();
-    registry_.Add("server/requests", 1);
+    requests_total_->Add(1);
     Status admitted = AdmitOne();
     if (!admitted.ok()) {
       responses[i].status = std::move(admitted);
@@ -856,7 +938,7 @@ std::vector<Response> OocqService::ExecuteBatch(
       OOCQ_TRACE_SPAN(span, "Request");
       span.Arg("kind", RequestKindName(request.kind)).Arg("batch", "true");
       if (!request.request_id.empty()) span.Arg("id", request.request_id);
-      registry_.Add("server/started", 1);
+      started_total_->Add(1);
       Status live = cancel != nullptr ? cancel->Check() : Status::Ok();
       if (!live.ok()) {
         out->status = std::move(live);
@@ -874,7 +956,9 @@ std::vector<Response> OocqService::ExecuteBatch(
     p->done.wait();
     FinishOne();
     responses[p->index].latency_us = NowUs() - p->admitted_us;
-    registry_.Record("server/latency_us", responses[p->index].latency_us);
+    latency_us_->Record(responses[p->index].latency_us);
+    verb_latency_us_[static_cast<int>(requests[p->index].kind)]->Record(
+        responses[p->index].latency_us);
     CountOutcome(registry_, responses[p->index].status);
   }
   return responses;

@@ -79,6 +79,12 @@ struct ServiceOptions {
   /// go in engine.limits; every request budget chains under this one.
   /// Overruns surface as retryable kResourceExhausted.
   ResourceLimits budget;
+  /// A request whose admission-to-completion latency reaches this many
+  /// microseconds is logged at Warn with its captured span tree
+  /// (support/trace.h ThreadSpanCapture), so one slow verdict can be
+  /// attributed to engine work vs. queueing vs. persistence without
+  /// tracing the whole server. 0 disables the slow-request log.
+  uint64_t slow_request_us = 0;
   /// Failpoint spec armed at construction ("wal/fsync=error@3,...", see
   /// support/failpoint.h). Empty arms nothing; a malformed spec is
   /// reported once to the metrics registry and ignored.
@@ -103,6 +109,24 @@ enum class RequestKind {
 };
 
 const char* RequestKindName(RequestKind kind);
+
+/// One liveness/progress snapshot, collected once and rendered by both
+/// the HEALTH verb (PR 5 wire format, unchanged) and the STATS
+/// exposition — a single collection path so the two can never disagree.
+struct ServiceHealth {
+  uint32_t pending = 0;
+  uint64_t completed = 0;
+  bool draining = false;
+  uint64_t sessions = 0;
+  bool has_budget = false;
+  uint64_t resident_bytes = 0;
+  uint64_t max_resident_bytes = 0;
+  uint64_t work_units = 0;
+  uint64_t max_work_units = 0;
+  uint64_t disjuncts = 0;
+  uint64_t max_disjuncts = 0;
+  uint64_t exhausted = 0;
+};
 
 /// One typed request. Query fields hold either query text or `@name`
 /// references to queries registered with DefineQuery().
@@ -171,6 +195,13 @@ class OocqService {
   const MetricsRegistry& metrics() const { return registry_; }
   const ServiceOptions& options() const { return options_; }
 
+  /// One coherent liveness snapshot (see ServiceHealth).
+  ServiceHealth CollectHealth() const;
+  /// Prometheus-style text exposition of the registry plus the
+  /// ServiceHealth gauges — what the STATS verb and `oocq_serve
+  /// --stats-file` emit (docs/observability.md#stats).
+  std::string StatsText() const;
+
   /// Requests admitted and not yet finished (queued + running).
   uint32_t pending() const { return pending_.load(std::memory_order_relaxed); }
   /// Requests finished since construction (any status). A watchdog that
@@ -235,6 +266,15 @@ class OocqService {
   ServiceOptions options_;
   MetricsRegistry registry_;
   std::optional<MetricsScope> metrics_scope_;
+  /// Per-request hot-path metric handles, resolved once at construction:
+  /// Execute()/ExecuteBatch() update lock-free atomics instead of paying
+  /// a name lookup (shard mutex + hash) per request. Handles stay valid
+  /// for the registry's (= this service's) lifetime.
+  MetricCounter* requests_total_ = nullptr;
+  MetricCounter* started_total_ = nullptr;
+  MetricHistogram* queue_wait_us_ = nullptr;
+  MetricHistogram* latency_us_ = nullptr;
+  MetricHistogram* verb_latency_us_[7] = {};  // indexed by RequestKind
   std::unique_ptr<ThreadPool> pool_;
 
   mutable std::mutex sessions_mu_;

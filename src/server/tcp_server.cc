@@ -50,6 +50,9 @@ Status TcpServer::Start() {
   listen_fd_ = *listener;
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
+  // Transport marker: lets a METRICS/STATS scrape tell which transport
+  // served this process (the flat dumps are otherwise identical).
+  MetricAdd("server/transport/thread", 1);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }

@@ -20,7 +20,7 @@ StatusOr<std::vector<Oid>> Evaluate(const State& state,
                                     const EvalOptions& options,
                                     EvalStats* stats) {
   OOCQ_TRACE_SPAN(span, "Evaluate");
-  MetricAdd("eval/calls", 1);
+  OOCQ_METRIC_ADD("eval/calls", 1);
   const size_t n = query.num_vars();
   span.Arg("vars", static_cast<uint64_t>(n));
 
@@ -154,7 +154,7 @@ StatusOr<std::vector<Oid>> Evaluate(const State& state,
   if (stats != nullptr) stats->assignments_tried += tried;
   span.Arg("assignments", tried)
       .Arg("answers", static_cast<uint64_t>(answers.size()));
-  MetricAdd("eval/assignments", tried);
+  OOCQ_METRIC_ADD("eval/assignments", tried);
 
   return std::vector<Oid>(answers.begin(), answers.end());
 }

@@ -1,0 +1,290 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "support/metrics.h"
+
+namespace oocq {
+
+namespace {
+
+/// Per-site rate-limiter state: a one-second window of emitted lines
+/// plus the count suppressed since this site last got a line through.
+struct SiteState {
+  uint64_t window_start_s = 0;
+  uint32_t emitted_in_window = 0;
+  uint64_t suppressed_pending = 0;
+};
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<uint64_t> g_suppressed_total{0};
+
+/// Everything below the level gate — sink, json flag, limiter map — is
+/// guarded by one mutex, which also serializes emission so concurrent
+/// lines never interleave.
+std::mutex g_mu;
+std::FILE* g_sink = nullptr;  // nullptr = stderr
+bool g_json = false;
+uint32_t g_rate_limit_per_s = 200;
+std::unordered_map<std::string, SiteState>& Sites() {
+  static auto* sites = new std::unordered_map<std::string, SiteState>();
+  return *sites;
+}
+
+uint64_t NowSeconds() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// "2026-08-08T12:34:56.789Z" (UTC wall clock).
+std::string WallTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '"') return true;
+  }
+  return false;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* level) {
+  std::string lower(text);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") *level = LogLevel::kDebug;
+  else if (lower == "info") *level = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning") *level = LogLevel::kWarn;
+  else if (lower == "error") *level = LogLevel::kError;
+  else if (lower == "off" || lower == "none") *level = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+void ConfigureLogging(const LogConfig& config) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_level.store(static_cast<int>(config.level), std::memory_order_relaxed);
+  g_sink = config.sink;
+  g_json = config.json;
+  g_rate_limit_per_s = config.rate_limit_per_s;
+}
+
+LogLevel CurrentLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+uint64_t LogSuppressedTotal() {
+  return g_suppressed_total.load(std::memory_order_relaxed);
+}
+
+LogEvent::LogEvent(LogLevel level, const char* component, const char* file,
+                   int line)
+    : level_(level), component_(component), file_(file), line_(line) {}
+
+LogEvent& LogEvent::Msg(std::string message) {
+  message_ = std::move(message);
+  return *this;
+}
+
+LogEvent& LogEvent::With(std::string_view key, std::string_view value) {
+  json_fields_ += ",\"";
+  AppendJsonEscaped(&json_fields_, key);
+  json_fields_ += "\":\"";
+  AppendJsonEscaped(&json_fields_, value);
+  json_fields_ += '"';
+  if (value.find('\n') != std::string_view::npos) {
+    // A multi-line value (slow-request span tree) renders as an indented
+    // block below the line so the human format stays line-oriented.
+    block_ += "  ";
+    block_ += key;
+    block_ += ":\n";
+    size_t start = 0;
+    while (start < value.size()) {
+      size_t nl = value.find('\n', start);
+      size_t end = nl == std::string_view::npos ? value.size() : nl;
+      block_ += "    ";
+      block_.append(value.data() + start, end - start);
+      block_ += '\n';
+      if (nl == std::string_view::npos) break;
+      start = nl + 1;
+    }
+    return *this;
+  }
+  fields_ += ' ';
+  fields_ += key;
+  fields_ += '=';
+  if (NeedsQuoting(value)) {
+    fields_ += '"';
+    fields_.append(value.data(), value.size());
+    fields_ += '"';
+  } else {
+    fields_.append(value.data(), value.size());
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::With(std::string_view key, const char* value) {
+  return With(key, std::string_view(value));
+}
+
+LogEvent& LogEvent::With(std::string_view key, uint64_t value) {
+  return With(key, std::string_view(std::to_string(value)));
+}
+
+LogEvent& LogEvent::With(std::string_view key, int value) {
+  return With(key, std::string_view(std::to_string(value)));
+}
+
+LogEvent& LogEvent::With(std::string_view key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return With(key, std::string_view(buf));
+}
+
+LogEvent::~LogEvent() {
+  const std::string timestamp = WallTimestamp();
+  std::lock_guard<std::mutex> lock(g_mu);
+
+  uint64_t suppressed_before = 0;
+  if (g_rate_limit_per_s > 0) {
+    std::string site_key = std::string(file_) + ":" + std::to_string(line_);
+    SiteState& site = Sites()[std::move(site_key)];
+    const uint64_t now_s = NowSeconds();
+    if (site.window_start_s != now_s) {
+      site.window_start_s = now_s;
+      site.emitted_in_window = 0;
+    }
+    if (site.emitted_in_window >= g_rate_limit_per_s) {
+      ++site.suppressed_pending;
+      g_suppressed_total.fetch_add(1, std::memory_order_relaxed);
+      MetricAdd("log/suppressed", 1);
+      return;
+    }
+    ++site.emitted_in_window;
+    suppressed_before = site.suppressed_pending;
+    site.suppressed_pending = 0;
+  }
+
+  std::FILE* sink = g_sink != nullptr ? g_sink : stderr;
+  std::string line;
+  if (g_json) {
+    line = "{\"ts\":\"" + timestamp + "\",\"level\":\"";
+    line += LogLevelName(level_);
+    line += "\",\"component\":\"";
+    AppendJsonEscaped(&line, component_);
+    line += "\",\"msg\":\"";
+    AppendJsonEscaped(&line, message_);
+    line += '"';
+    line += json_fields_;
+    if (suppressed_before > 0) {
+      line += ",\"suppressed\":\"" + std::to_string(suppressed_before) + "\"";
+    }
+    line += "}\n";
+  } else {
+    line = timestamp;
+    line += ' ';
+    line += LevelTag(level_);
+    line += ' ';
+    line += component_;
+    line += ' ';
+    line += message_;
+    line += fields_;
+    if (suppressed_before > 0) {
+      line += " suppressed=" + std::to_string(suppressed_before);
+    }
+    line += '\n';
+    line += block_;
+  }
+  std::fwrite(line.data(), 1, line.size(), sink);
+  std::fflush(sink);
+}
+
+}  // namespace oocq

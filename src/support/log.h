@@ -1,0 +1,118 @@
+#ifndef OOCQ_SUPPORT_LOG_H_
+#define OOCQ_SUPPORT_LOG_H_
+
+/// Leveled, rate-limited structured logging for the server and persist
+/// layers (docs/observability.md#logging). Replaces the ad-hoc fprintfs
+/// that used to live in examples/oocq_serve.cpp: every line carries a
+/// component, optional key=value fields (session/request ids), and is
+/// renderable either human-readable or as JSONL for ingestion.
+///
+///   OOCQ_LOG(Warn, "server").Msg("pool wedged")
+///       .With("pending", pending).With("completed", completed);
+///
+/// Design:
+///  * The disabled path is one relaxed atomic load + compare (the level
+///    gate lives inside the OOCQ_LOG macro), so debug logging costs
+///    nothing when the level is Info.
+///  * Each call site (file:line) gets a per-second token budget
+///    (LogConfig::rate_limit_per_s); a flooding site is suppressed and
+///    the next emitted line from it carries `suppressed=N`, so bursts
+///    are visible without drowning the sink. Suppression also bumps the
+///    `log/suppressed` counter in the active MetricsRegistry.
+///  * Emission serializes on one mutex, so lines never interleave. A
+///    multi-line field value (a slow-request span tree) renders as an
+///    indented block in human mode and as an escaped string in JSONL.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace oocq {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  // config-only: silences everything
+};
+
+/// "debug" / "info" / "warn" / "error" / "off".
+const char* LogLevelName(LogLevel level);
+
+/// Parses the names above (case-insensitive). False on unknown input,
+/// leaving *level untouched — the CLI surfaces that as a flag error.
+bool ParseLogLevel(std::string_view text, LogLevel* level);
+
+struct LogConfig {
+  LogLevel level = LogLevel::kInfo;
+  /// Emit one JSON object per line instead of the human format.
+  bool json = false;
+  /// Destination stream; nullptr means stderr. The logger never closes
+  /// it — ownership stays with the caller (oocq_serve --log-file).
+  std::FILE* sink = nullptr;
+  /// Lines one call site may emit per second before suppression kicks
+  /// in; 0 disables rate limiting entirely.
+  uint32_t rate_limit_per_s = 200;
+};
+
+/// Installs the process-wide logging configuration. Safe to call at any
+/// time; the level gate is updated atomically, the rest under the
+/// emission mutex.
+void ConfigureLogging(const LogConfig& config);
+
+/// The currently configured threshold (one relaxed load).
+LogLevel CurrentLogLevel();
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(CurrentLogLevel());
+}
+
+/// Lines dropped by the per-site rate limiter since process start.
+uint64_t LogSuppressedTotal();
+
+/// One structured log line, emitted when the temporary dies:
+///
+///   OOCQ_LOG(Info, "persist").Msg("snapshot written")
+///       .With("records", n).With("bytes", bytes);
+///
+/// Construction is assumed pre-gated on LogEnabled() (the macro does
+/// this); constructing one directly always emits.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, const char* component, const char* file, int line);
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& Msg(std::string message);
+  LogEvent& With(std::string_view key, std::string_view value);
+  LogEvent& With(std::string_view key, const char* value);
+  LogEvent& With(std::string_view key, uint64_t value);
+  LogEvent& With(std::string_view key, int value);
+  LogEvent& With(std::string_view key, double value);
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  const char* file_;
+  int line_;
+  std::string message_;
+  std::string fields_;       // pre-rendered " k=v" pairs (human form)
+  std::string json_fields_;  // pre-rendered ,"k":"v" pairs (JSON form)
+  std::string block_;        // multi-line values, human form only
+};
+
+/// The level gate is in the macro so a disabled-level call evaluates
+/// none of its arguments (the dangling-else keeps it statement-safe).
+#define OOCQ_LOG(severity, component)                            \
+  if (!::oocq::LogEnabled(::oocq::LogLevel::k##severity))        \
+    ;                                                            \
+  else                                                           \
+    ::oocq::LogEvent(::oocq::LogLevel::k##severity, (component), \
+                     __FILE__, __LINE__)
+
+}  // namespace oocq
+
+#endif  // OOCQ_SUPPORT_LOG_H_

@@ -19,6 +19,42 @@ uint64_t NowNs() {
 
 std::atomic<MetricsRegistry*> g_metrics{nullptr};
 
+#if defined(__x86_64__)
+// One-time TSC calibration: sample both clocks across a ~200us spin and
+// keep the ratio. Invariant TSC (constant rate, synchronized across
+// cores) has been universal on x86-64 for well over a decade; if the
+// measured rate comes out nonsensical anyway, usable stays false and
+// TelemetryNowNs falls back to the slow clock.
+struct TscClock {
+  bool usable = false;
+  double ns_per_tick = 0;
+  uint64_t tsc0 = 0;
+  uint64_t ns0 = 0;
+};
+
+const TscClock& GetTscClock() {
+  static const TscClock calibrated = [] {
+    TscClock clock;
+    const uint64_t ns_a = NowNs();
+    const uint64_t tsc_a = __builtin_ia32_rdtsc();
+    uint64_t ns_b = ns_a;
+    while (ns_b - ns_a < 200'000) ns_b = NowNs();
+    const uint64_t tsc_b = __builtin_ia32_rdtsc();
+    if (tsc_b > tsc_a) {
+      clock.ns_per_tick =
+          static_cast<double>(ns_b - ns_a) / static_cast<double>(tsc_b - tsc_a);
+      // Sanity: plausible CPU clocks are ~0.3-10 GHz.
+      clock.usable = clock.ns_per_tick > 0.05 && clock.ns_per_tick < 5.0;
+      clock.tsc0 = tsc_b;
+      clock.ns0 = ns_b;
+    }
+    return clock;
+  }();
+  return calibrated;
+}
+#endif
+std::atomic<uint64_t> g_metrics_epoch{0};
+
 void AtomicRelaxedMin(std::atomic<uint64_t>* target, uint64_t value) {
   uint64_t cur = target->load(std::memory_order_relaxed);
   while (value < cur &&
@@ -74,23 +110,31 @@ const MetricsRegistry::Shard& MetricsRegistry::ShardFor(
 MetricCounter* MetricsRegistry::Counter(std::string_view name) {
   Shard& shard = ShardFor(name);
   std::lock_guard<std::mutex> lock(shard.mu);
-  std::unique_ptr<MetricCounter>& slot = shard.counters[std::string(name)];
-  if (slot == nullptr) slot = std::make_unique<MetricCounter>();
-  return slot.get();
+  auto it = shard.counters.find(name);
+  if (it == shard.counters.end()) {
+    it = shard.counters
+             .emplace(std::string(name), std::make_unique<MetricCounter>())
+             .first;
+  }
+  return it->second.get();
 }
 
 MetricHistogram* MetricsRegistry::Histogram(std::string_view name) {
   Shard& shard = ShardFor(name);
   std::lock_guard<std::mutex> lock(shard.mu);
-  std::unique_ptr<MetricHistogram>& slot = shard.histograms[std::string(name)];
-  if (slot == nullptr) slot = std::make_unique<MetricHistogram>();
-  return slot.get();
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
+    it = shard.histograms
+             .emplace(std::string(name), std::make_unique<MetricHistogram>())
+             .first;
+  }
+  return it->second.get();
 }
 
 uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
   const Shard& shard = ShardFor(name);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.counters.find(std::string(name));
+  auto it = shard.counters.find(name);
   return it != shard.counters.end() ? it->second->value() : 0;
 }
 
@@ -170,34 +214,186 @@ std::string MetricsRegistry::JsonString() const {
   return out;
 }
 
+double HistogramQuantile(const MetricsRegistry::HistogramSnapshot& histogram,
+                         double q) {
+  if (histogram.count == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(histogram.min);
+  if (q >= 1.0) return static_cast<double>(histogram.max);
+  // The rank of the target sample (1-based), then walk buckets until the
+  // cumulative count covers it.
+  const double target = q * static_cast<double>(histogram.count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+    const uint64_t in_bucket = histogram.buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate inside [lower, upper): the fraction of this bucket's
+    // samples below the target rank maps linearly onto the value range.
+    const double lower = static_cast<double>(MetricHistogram::BucketLowerBound(i));
+    const double upper =
+        i + 1 < MetricHistogram::kNumBuckets
+            ? static_cast<double>(MetricHistogram::BucketLowerBound(i + 1))
+            : lower * 2.0;
+    const double fraction =
+        (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    double estimate = lower + fraction * (upper - lower);
+    estimate = std::max(estimate, static_cast<double>(histogram.min));
+    estimate = std::min(estimate, static_cast<double>(histogram.max));
+    return estimate;
+  }
+  return static_cast<double>(histogram.max);
+}
+
+namespace {
+
+std::string SanitizeMetricName(std::string_view prefix, const std::string& name) {
+  std::string out(prefix);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusString(const MetricsRegistry::Snapshot& snap,
+                             std::string_view prefix) {
+  std::string out;
+  for (const MetricsRegistry::CounterSnapshot& counter : snap.counters) {
+    const std::string name = SanitizeMetricName(prefix, counter.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(counter.value) + "\n";
+  }
+  for (const MetricsRegistry::HistogramSnapshot& histogram : snap.histograms) {
+    const std::string name = SanitizeMetricName(prefix, histogram.name);
+    out += "# TYPE " + name + " summary\n";
+    for (double q : {0.5, 0.9, 0.99}) {
+      out += name + "{quantile=\"";
+      AppendDouble(&out, q);
+      out += "\"} ";
+      AppendDouble(&out, HistogramQuantile(histogram, q));
+      out += '\n';
+    }
+    out += name + "_sum " + std::to_string(histogram.sum) + "\n";
+    out += name + "_count " + std::to_string(histogram.count) + "\n";
+    out += "# TYPE " + name + "_min gauge\n";
+    out += name + "_min " + std::to_string(histogram.min) + "\n";
+    out += "# TYPE " + name + "_max gauge\n";
+    out += name + "_max " + std::to_string(histogram.max) + "\n";
+  }
+  return out;
+}
+
 MetricsScope::MetricsScope(MetricsRegistry* registry) {
   if (registry == nullptr) return;
   MetricsRegistry* expected = nullptr;
   owned_ = g_metrics.compare_exchange_strong(expected, registry,
                                              std::memory_order_release,
                                              std::memory_order_relaxed);
+  if (owned_) g_metrics_epoch.fetch_add(1, std::memory_order_acq_rel);
 }
 
 MetricsScope::~MetricsScope() {
-  if (owned_) g_metrics.store(nullptr, std::memory_order_release);
+  if (owned_) {
+    g_metrics_epoch.fetch_add(1, std::memory_order_acq_rel);
+    g_metrics.store(nullptr, std::memory_order_release);
+  }
 }
 
 MetricsRegistry* ActiveMetrics() {
   return g_metrics.load(std::memory_order_relaxed);
 }
 
+uint64_t MetricsScopeEpoch() {
+  return g_metrics_epoch.load(std::memory_order_acquire);
+}
+
+uint64_t TelemetryNowNs() {
+#if defined(__x86_64__)
+  const TscClock& clock = GetTscClock();
+  if (clock.usable) {
+    const uint64_t ticks = __builtin_ia32_rdtsc() - clock.tsc0;
+    return clock.ns0 +
+           static_cast<uint64_t>(static_cast<double>(ticks) *
+                                 clock.ns_per_tick);
+  }
+#endif
+  return NowNs();
+}
+
 ScopedPhaseTimer::ScopedPhaseTimer(const char* name) : name_(name) {
   registry_ = ActiveMetrics();
-  if (registry_ != nullptr) start_ns_ = NowNs();
+  if (registry_ != nullptr) {
+    start_ns_ = TelemetryNowNs();
+    epoch_ = MetricsScopeEpoch();
+  }
 }
+
+namespace {
+
+/// Thread-local cache of resolved phase counters, keyed on the timer's
+/// name pointer (a literal) and the scope epoch. Phase timers sit on
+/// engine hot paths; the steady state is a short pointer scan instead of
+/// two string concatenations and two shard-mutex lookups per phase.
+struct PhaseSite {
+  const char* name = nullptr;
+  uint64_t epoch = 0;
+  MetricCounter* ns_counter = nullptr;
+  MetricCounter* calls_counter = nullptr;
+};
+thread_local std::vector<PhaseSite> t_phase_sites;
+
+PhaseSite* ResolvePhaseSite(MetricsRegistry* registry, const char* name,
+                            uint64_t epoch) {
+  for (PhaseSite& site : t_phase_sites) {
+    if (site.name == name && site.epoch == epoch) return &site;
+  }
+  char buf[80];
+  PhaseSite resolved;
+  resolved.name = name;
+  resolved.epoch = epoch;
+  int n = std::snprintf(buf, sizeof(buf), "%s.ns", name);
+  if (n <= 0 || static_cast<size_t>(n) >= sizeof(buf)) return nullptr;
+  resolved.ns_counter =
+      registry->Counter(std::string_view(buf, static_cast<size_t>(n)));
+  n = std::snprintf(buf, sizeof(buf), "%s.calls", name);
+  if (n <= 0 || static_cast<size_t>(n) >= sizeof(buf)) return nullptr;
+  resolved.calls_counter =
+      registry->Counter(std::string_view(buf, static_cast<size_t>(n)));
+  for (PhaseSite& site : t_phase_sites) {
+    if (site.name == name) {
+      site = resolved;
+      return &site;
+    }
+  }
+  t_phase_sites.push_back(resolved);
+  return &t_phase_sites.back();
+}
+
+}  // namespace
 
 ScopedPhaseTimer::~ScopedPhaseTimer() {
   if (registry_ == nullptr) return;
-  // Use the registry captured at entry: if the scope ended mid-phase the
-  // registry still outlives its scope (the caller owns both), and a new
-  // scope's registry must not receive a partial phase.
-  registry_->Add(std::string(name_) + ".ns", NowNs() - start_ns_);
-  registry_->Add(std::string(name_) + ".calls", 1);
+  // Use the registry and epoch captured at entry: if the scope ended
+  // mid-phase the registry still outlives its scope (the caller owns
+  // both), a new scope's registry must not receive a partial phase, and
+  // keying the cache on the entry epoch keeps stale handles from leaking
+  // into the next scope.
+  PhaseSite* site = ResolvePhaseSite(registry_, name_, epoch_);
+  if (site == nullptr) return;
+  site->ns_counter->Add(TelemetryNowNs() - start_ns_);
+  site->calls_counter->Add(1);
 }
 
 }  // namespace oocq

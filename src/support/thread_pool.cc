@@ -10,13 +10,6 @@ namespace oocq {
 
 namespace {
 
-uint64_t NowNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
 thread_local bool t_in_parallel_region = false;
 
 /// RAII flag marking the current thread as a parallel worker for the
@@ -57,47 +50,73 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+const ThreadPool::PoolMetrics* ThreadPool::ResolvePoolMetrics(
+    MetricsRegistry* metrics) {
+  auto handles = std::make_unique<PoolMetrics>();
+  handles->registry = metrics;
+  handles->tasks = metrics->Counter("pool/tasks");
+  handles->queue_wait_ns = metrics->Histogram("pool/queue_wait_ns");
+  handles->task_ns = metrics->Histogram("pool/task_ns");
+  handles->queue_depth = metrics->Histogram("pool/queue_depth");
+  const PoolMetrics* out = handles.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_metrics_storage_.push_back(std::move(handles));
+  pool_metrics_.store(out, std::memory_order_release);
+  return out;
+}
+
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
-  // With a metrics scope installed, wrap the task to sample queue wait
-  // and run time; the registry outlives the region (the caller owns both
-  // and drains the pool before the scope ends).
+  // With a metrics scope installed, the entry carries the enqueue time
+  // and resolved handles so the worker can sample queue wait and run
+  // time; the registry outlives the region (the caller owns both and
+  // drains the pool before the scope ends). Handles are cached per
+  // registry, so the steady state never touches a registry shard mutex.
+  Entry entry;
   if (MetricsRegistry* metrics = ActiveMetrics()) {
-    metrics->Add("pool/tasks", 1);
-    task = [metrics, enqueue_ns = NowNs(), inner = std::move(task)] {
-      const uint64_t start_ns = NowNs();
-      metrics->Record("pool/queue_wait_ns", start_ns - enqueue_ns);
-      inner();
-      metrics->Record("pool/task_ns", NowNs() - start_ns);
-    };
+    const PoolMetrics* handles = pool_metrics_.load(std::memory_order_acquire);
+    if (handles == nullptr || handles->registry != metrics) {
+      handles = ResolvePoolMetrics(metrics);
+    }
+    handles->tasks->Add(1);
+    entry.enqueue_ns = TelemetryNowNs();
+    entry.metrics = handles;
   }
-  std::packaged_task<void()> packaged(std::move(task));
-  std::future<void> future = packaged.get_future();
+  entry.task = std::packaged_task<void()>(std::move(task));
+  std::future<void> future = entry.task.get_future();
+  const PoolMetrics* handles = entry.metrics;
   size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(packaged));
+    queue_.push_back(std::move(entry));
     depth = queue_.size();
   }
   cv_.notify_one();
-  MetricRecord("pool/queue_depth", depth);
+  if (handles != nullptr) handles->queue_depth->Record(depth);
   return future;
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    Entry entry;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and queue drained
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
     }
     // Chaos hook: delay simulates a stalled worker (the serve watchdog's
     // trigger), crash a worker death. `error` is inert here — a pool task
     // has no Status channel.
     Failpoints::Hit("pool/dispatch");
-    task();
+    if (entry.metrics != nullptr) {
+      const uint64_t start_ns = TelemetryNowNs();
+      entry.metrics->queue_wait_ns->Record(start_ns - entry.enqueue_ns);
+      entry.task();
+      entry.metrics->task_ns->Record(TelemetryNowNs() - start_ns);
+    } else {
+      entry.task();
+    }
   }
 }
 
@@ -106,11 +125,11 @@ void ParallelFor(const ParallelOptions& options, size_t n,
   if (n == 0) return;
   const uint32_t threads = EffectiveThreads(options);
   if (threads <= 1 || n < options.min_parallel_items || InParallelRegion()) {
-    MetricAdd("pool/regions_inline", 1);
+    OOCQ_METRIC_ADD("pool/regions_inline", 1);
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  MetricAdd("pool/regions", 1);
+  OOCQ_METRIC_ADD("pool/regions", 1);
 
   // Indices are claimed in order from a shared counter, so the set of
   // started indices is always a prefix — the property ParallelMap's

@@ -18,6 +18,10 @@
 
 namespace oocq {
 
+class MetricsRegistry;
+class MetricCounter;
+class MetricHistogram;
+
 /// Fan-out knobs shared by every parallel region in the engine. The
 /// default is fully serial (num_threads = 1): parallelism is opt-in and
 /// the serial path is byte-for-byte the pre-parallel pipeline.
@@ -62,13 +66,37 @@ class ThreadPool {
   uint32_t num_threads() const { return static_cast<uint32_t>(workers_.size()); }
 
  private:
+  /// Resolved-once metric handles for the pool's per-task samples. One
+  /// struct per registry the pool has seen; Submit re-resolves only when
+  /// the installed registry changes, so the steady state is four atomic
+  /// bumps instead of four name lookups (each a shard mutex) per task.
+  struct PoolMetrics {
+    MetricsRegistry* registry = nullptr;
+    MetricCounter* tasks = nullptr;
+    MetricHistogram* queue_wait_ns = nullptr;
+    MetricHistogram* task_ns = nullptr;
+    MetricHistogram* queue_depth = nullptr;
+  };
+
+  /// A queued task plus the metric context captured at Submit time. The
+  /// worker samples queue wait / run time from these fields directly, so
+  /// instrumentation never re-wraps the task in another std::function.
+  struct Entry {
+    std::packaged_task<void()> task;
+    uint64_t enqueue_ns = 0;
+    const PoolMetrics* metrics = nullptr;  // null = no scope at Submit
+  };
+
   void WorkerLoop();
+  const PoolMetrics* ResolvePoolMetrics(MetricsRegistry* metrics);
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<Entry> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::atomic<const PoolMetrics*> pool_metrics_{nullptr};
+  std::vector<std::unique_ptr<PoolMetrics>> pool_metrics_storage_;  // mu_
 };
 
 /// Runs fn(0), …, fn(n-1), distributing indices over up to

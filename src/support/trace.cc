@@ -94,6 +94,9 @@ ThreadTraceBuffer& LocalBuffer() {
   return buffer;
 }
 
+/// The outermost ThreadSpanCapture alive on this thread (null when none).
+thread_local ThreadSpanCapture* g_capture = nullptr;
+
 void AppendJsonEscaped(std::string* out, const std::string& s) {
   for (char c : s) {
     switch (c) {
@@ -232,27 +235,91 @@ TraceSession::~TraceSession() {
   trace_internal::AssignDeterministicIds(&log_->events_);
 }
 
-TraceSpan::TraceSpan(const char* name) {
-  if (!trace_internal::g_enabled.load(std::memory_order_relaxed)) return;
-  trace_internal::ThreadTraceBuffer& buffer = LocalBuffer();
-  if (buffer.epoch != trace_internal::g_epoch.load(std::memory_order_acquire)) {
-    buffer.Rebind();
+ThreadSpanCapture::ThreadSpanCapture() {
+  if (trace_internal::g_capture != nullptr) return;  // outermost wins
+  trace_internal::g_capture = this;
+  owned_ = true;
+  start_ns_ = NowNs();
+}
+
+ThreadSpanCapture::~ThreadSpanCapture() {
+  if (owned_) trace_internal::g_capture = nullptr;
+}
+
+std::string ThreadSpanCapture::Render() const {
+  // spans_ is in finish order (children before parents); start order +
+  // depth reproduces the tree top-down.
+  std::vector<size_t> order(spans_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return spans_[a].start_ns < spans_[b].start_ns;
+  });
+  std::string out;
+  char buf[48];
+  for (size_t index : order) {
+    const CapturedSpan& span = spans_[index];
+    out.append(2 * span.depth, ' ');
+    out += span.name;
+    if (!span.args.empty()) {
+      out += " (";
+      bool first = true;
+      for (const auto& [key, value] : span.args) {
+        if (!first) out += ' ';
+        first = false;
+        out += key;
+        out += '=';
+        out += value;
+      }
+      out += ')';
+    }
+    std::snprintf(buf, sizeof(buf), " %.3fms",
+                  static_cast<double>(span.dur_ns) / 1e6);
+    out += buf;
+    out += '\n';
   }
-  if (buffer.core == nullptr) return;
-  buffer_ = &buffer;
+  return out;
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (trace_internal::g_enabled.load(std::memory_order_relaxed)) {
+    trace_internal::ThreadTraceBuffer& buffer = LocalBuffer();
+    if (buffer.epoch !=
+        trace_internal::g_epoch.load(std::memory_order_acquire)) {
+      buffer.Rebind();
+    }
+    if (buffer.core != nullptr) {
+      buffer_ = &buffer;
+      epoch_ = buffer.epoch;
+      seq_ = buffer.next_seq++;
+      depth_ = buffer.depth++;
+    }
+  }
+  if (ThreadSpanCapture* capture = trace_internal::g_capture) {
+    capture_ = capture;
+    capture_depth_ = capture->depth_++;
+  }
+  if (buffer_ == nullptr && capture_ == nullptr) return;
   name_ = name;
-  epoch_ = buffer.epoch;
-  seq_ = buffer.next_seq++;
-  depth_ = buffer.depth++;
   start_raw_ns_ = NowNs();
 }
 
 TraceSpan::~TraceSpan() {
+  if (buffer_ == nullptr && capture_ == nullptr) return;
+  const uint64_t end_raw_ns = NowNs();
+  if (capture_ != nullptr) {
+    CapturedSpan span;
+    span.name = name_;
+    span.args = args_;  // copied: the session event below may need them too
+    span.start_ns = start_raw_ns_ - capture_->start_ns_;
+    span.dur_ns = end_raw_ns - start_raw_ns_;
+    span.depth = capture_depth_;
+    capture_->spans_.push_back(std::move(span));
+    if (capture_->depth_ > 0) --capture_->depth_;
+  }
   if (buffer_ == nullptr) return;
   // The session ended (and a new one may have started) while this span
   // was open: its core is gone, so the event has nowhere coherent to go.
   if (buffer_->epoch != epoch_) return;
-  const uint64_t end_raw_ns = NowNs();
   TraceEvent event;
   event.name = name_;
   event.args = std::move(args_);
@@ -267,17 +334,17 @@ TraceSpan::~TraceSpan() {
 }
 
 TraceSpan& TraceSpan::Arg(const char* key, const char* value) {
-  if (buffer_ != nullptr) args_.emplace_back(key, value);
+  if (recording()) args_.emplace_back(key, value);
   return *this;
 }
 
 TraceSpan& TraceSpan::Arg(const char* key, const std::string& value) {
-  if (buffer_ != nullptr) args_.emplace_back(key, value);
+  if (recording()) args_.emplace_back(key, value);
   return *this;
 }
 
 TraceSpan& TraceSpan::Arg(const char* key, uint64_t value) {
-  if (buffer_ != nullptr) args_.emplace_back(key, std::to_string(value));
+  if (recording()) args_.emplace_back(key, std::to_string(value));
   return *this;
 }
 

@@ -125,6 +125,47 @@ class TraceSession {
 /// True when a session is installed — the fast gate every span checks.
 bool TracingActive();
 
+/// One span collected by a ThreadSpanCapture, in span-finish order.
+struct CapturedSpan {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> args;
+  uint64_t start_ns = 0;  // relative to capture start
+  uint64_t dur_ns = 0;
+  uint32_t depth = 0;  // nesting level inside the capture scope
+};
+
+/// RAII collector of every span finished on *this thread* while it is
+/// alive, independent of any TraceSession — the slow-request path
+/// (docs/observability.md#logging) uses one per suspect request so the
+/// offending span tree can be logged without tracing the whole server.
+/// Nested captures are inert (outermost wins), spans started on other
+/// threads (engine fan-out workers) are not seen, and under
+/// -DOOCQ_DISABLE_TRACING the capture stays empty. The extra cost on the
+/// span fast path when no capture is installed is one thread-local load.
+class ThreadSpanCapture {
+ public:
+  ThreadSpanCapture();
+  ~ThreadSpanCapture();
+
+  ThreadSpanCapture(const ThreadSpanCapture&) = delete;
+  ThreadSpanCapture& operator=(const ThreadSpanCapture&) = delete;
+
+  bool active() const { return owned_; }
+  const std::vector<CapturedSpan>& spans() const { return spans_; }
+
+  /// Indented tree of the captured spans in start order:
+  ///   Request (kind=contained) 12.345ms
+  ///     WalAppend (records=1) 0.831ms
+  std::string Render() const;
+
+ private:
+  friend class TraceSpan;
+  bool owned_ = false;
+  uint32_t depth_ = 0;
+  uint64_t start_ns_ = 0;
+  std::vector<CapturedSpan> spans_;
+};
+
 /// RAII span. Constructing while no session is active is a no-op (one
 /// relaxed atomic load). Arg() calls after construction attach key/value
 /// annotations; values become part of the span's structural signature,
@@ -142,15 +183,17 @@ class TraceSpan {
   TraceSpan& Arg(const char* key, const std::string& value);
   TraceSpan& Arg(const char* key, uint64_t value);
 
-  bool recording() const { return buffer_ != nullptr; }
+  bool recording() const { return buffer_ != nullptr || capture_ != nullptr; }
 
  private:
   trace_internal::ThreadTraceBuffer* buffer_ = nullptr;  // null when inert
+  ThreadSpanCapture* capture_ = nullptr;  // this thread's capture, if any
   const char* name_ = nullptr;
   uint64_t epoch_ = 0;  // drops the span if the session changed under it
   uint64_t start_raw_ns_ = 0;
   uint64_t seq_ = 0;
   uint32_t depth_ = 0;
+  uint32_t capture_depth_ = 0;
   std::vector<std::pair<std::string, std::string>> args_;
 };
 

@@ -18,6 +18,8 @@
 
 #include "server/event_server.h"
 #include "server/service.h"
+#include "support/failpoint.h"
+#include "support/metrics.h"
 #include "test_util.h"
 
 namespace oocq::server {
@@ -188,6 +190,62 @@ TEST(EventServerTest, PipelinedRepliesArriveInRequestOrder) {
   EXPECT_LT(hello, sat);
   EXPECT_LT(sat, ping);
   server.Stop();
+}
+
+TEST(EventServerTest, LoopAndQueueGaugesUnderStalledPool) {
+  // With the only dispatch worker stalled on the pool/dispatch failpoint,
+  // requests from concurrent connections pile up in the dispatch queue
+  // while the loop keeps reading — the depth gauge must see the pile, and
+  // the loop-lag histogram must have sampled the (still-responsive) loop
+  // iterations. One connection alone cannot grow the gauge: Pump keeps at
+  // most one of its requests in flight to preserve reply order.
+  MetricsRegistry registry;
+  MetricsScope scope(&registry);
+  ASSERT_TRUE(scope.active());
+  OOCQ_ASSERT_OK(Failpoints::Configure("pool/dispatch=delay:15"));
+
+  {
+    OocqService service;
+    EventServerOptions options;
+    options.dispatch_threads = 1;  // one stalled worker = a visible queue
+    EventServer server(&service, options);
+    OOCQ_ASSERT_OK(server.Start());
+
+    constexpr int kConns = 6;
+    std::vector<int> fds;
+    for (int i = 0; i < kConns; ++i) fds.push_back(ConnectTo(server.port()));
+    for (int fd : fds) ASSERT_TRUE(SendString(fd, "PING\nQUIT\n"));
+    for (int fd : fds) {
+      EXPECT_EQ(RecvAll(fd).rfind("OK\n.\nOK", 0), 0u);
+      ::close(fd);
+    }
+    server.Stop();
+  }
+  Failpoints::Reset();
+
+  MetricsRegistry::Snapshot snap = registry.Snap();
+  const MetricsRegistry::HistogramSnapshot* depth = nullptr;
+  const MetricsRegistry::HistogramSnapshot* loop_lag = nullptr;
+  const MetricsRegistry::HistogramSnapshot* wait = nullptr;
+  for (const auto& histogram : snap.histograms) {
+    if (histogram.name == "server/dispatch_queue_depth") depth = &histogram;
+    if (histogram.name == "server/loop_iteration_us") loop_lag = &histogram;
+    if (histogram.name == "server/dispatch_wait_us") wait = &histogram;
+  }
+  ASSERT_NE(depth, nullptr);
+  ASSERT_NE(loop_lag, nullptr);
+  ASSERT_NE(wait, nullptr);
+  // 6 PINGs + 6 QUITs behind a worker sleeping 15ms per task: while the
+  // head request stalls, the other connections' requests queue behind it.
+  EXPECT_GE(depth->count, 6u);
+  EXPECT_GE(depth->max, 4u);
+  // The loop itself stayed live and sampled its iterations.
+  EXPECT_GT(loop_lag->count, 0u);
+  EXPECT_GT(registry.CounterValue("server/loop_wakeups"), 0u);
+  // Dispatch wait reflects the stall: every task sits behind at least its
+  // own 15ms failpoint delay, the tail behind several.
+  EXPECT_GE(wait->count, 6u);
+  EXPECT_GE(wait->max, 15000u);
 }
 
 TEST(EventServerTest, TwoHundredConcurrentConnectionsOneLoop) {

@@ -225,5 +225,92 @@ TEST(MetricsTest, OptimizeReportsPhaseTableWhenEnabled) {
             std::string::npos);
 }
 
+TEST(MetricsTest, HistogramQuantileEmptyAndSinglePoint) {
+  MetricsRegistry registry;
+  MetricsRegistry::Snapshot empty = registry.Snap();
+  MetricsRegistry::HistogramSnapshot none;
+  none.buckets.assign(MetricHistogram::kNumBuckets, 0);
+  EXPECT_EQ(HistogramQuantile(none, 0.5), 0.0);
+
+  registry.Record("one", 42);
+  MetricsRegistry::HistogramSnapshot one = registry.Snap().histograms[0];
+  // Every quantile of a single sample is that sample: the interpolation
+  // clamps to the observed [min, max].
+  for (double q : {0.01, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(HistogramQuantile(one, q), 42.0) << q;
+  }
+  (void)empty;
+}
+
+TEST(MetricsTest, HistogramQuantileOrderedAndClamped) {
+  MetricsRegistry registry;
+  // 1000 samples 1..1000: p50 must land near 500 within one power-of-two
+  // bucket ([512, 1024) spans the true median's bucket boundary).
+  for (uint64_t v = 1; v <= 1000; ++v) registry.Record("lat", v);
+  MetricsRegistry::HistogramSnapshot lat = registry.Snap().histograms[0];
+  const double p50 = HistogramQuantile(lat, 0.5);
+  const double p90 = HistogramQuantile(lat, 0.9);
+  const double p99 = HistogramQuantile(lat, 0.99);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1024.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, 1000.0);  // clamped to max
+  EXPECT_EQ(HistogramQuantile(lat, 0.0), 1.0);
+  EXPECT_EQ(HistogramQuantile(lat, 1.0), 1000.0);
+}
+
+TEST(MetricsTest, PrometheusStringShape) {
+  MetricsRegistry registry;
+  registry.Add("server/requests", 7);
+  for (uint64_t v : {10u, 20u, 30u, 40u}) {
+    registry.Record("server/latency_us", v);
+  }
+  const std::string text = PrometheusString(registry.Snap());
+  // Counter: TYPE line plus one sample, names sanitized and prefixed.
+  EXPECT_NE(text.find("# TYPE oocq_server_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("oocq_server_requests 7\n"), std::string::npos);
+  // Histogram: summary with the three fixed quantiles plus sum/count and
+  // min/max gauges.
+  EXPECT_NE(text.find("# TYPE oocq_server_latency_us summary\n"),
+            std::string::npos);
+  for (const char* q : {"0.5", "0.9", "0.99"}) {
+    EXPECT_NE(text.find("oocq_server_latency_us{quantile=\"" +
+                        std::string(q) + "\"} "),
+              std::string::npos)
+        << q;
+  }
+  EXPECT_NE(text.find("oocq_server_latency_us_sum 100\n"), std::string::npos);
+  EXPECT_NE(text.find("oocq_server_latency_us_count 4\n"), std::string::npos);
+  EXPECT_NE(text.find("oocq_server_latency_us_min 10\n"), std::string::npos);
+  EXPECT_NE(text.find("oocq_server_latency_us_max 40\n"), std::string::npos);
+}
+
+TEST(MetricsTest, CachedSiteMacroFollowsScopeChanges) {
+  // The per-site cache must re-resolve when the installed scope changes:
+  // each registry gets exactly the events recorded during its own scope.
+  MetricsRegistry first;
+  {
+    MetricsScope scope(&first);
+    for (int i = 0; i < 3; ++i) OOCQ_METRIC_ADD("site/hits", 1);
+    OOCQ_METRIC_RECORD("site/depth", 5);
+  }
+  MetricsRegistry second;
+  {
+    MetricsScope scope(&second);
+    OOCQ_METRIC_ADD("site/hits", 1);
+    OOCQ_METRIC_RECORD("site/depth", 9);
+  }
+  EXPECT_EQ(first.CounterValue("site/hits"), 3u);
+  EXPECT_EQ(second.CounterValue("site/hits"), 1u);
+  EXPECT_EQ(first.Snap().histograms[0].max, 5u);
+  EXPECT_EQ(second.Snap().histograms[0].max, 9u);
+  // No scope: the site is a closed gate, nothing leaks anywhere.
+  OOCQ_METRIC_ADD("site/hits", 100);
+  EXPECT_EQ(first.CounterValue("site/hits"), 3u);
+  EXPECT_EQ(second.CounterValue("site/hits"), 1u);
+}
+
 }  // namespace
 }  // namespace oocq

@@ -17,6 +17,7 @@
 #include "query/well_formed.h"
 #include "random_query.h"
 #include "support/file.h"
+#include "support/metrics.h"
 #include "test_util.h"
 
 namespace oocq::persist {
@@ -155,6 +156,47 @@ TEST(WalTest, AppendReplayRoundTrip) {
   OOCQ_ASSERT_OK(replayed.status());
   EXPECT_EQ(replayed->records, written);
   EXPECT_EQ(replayed->truncated_bytes, 0u);
+}
+
+TEST(WalTest, LatencyHistogramCountsMatchAppendsAndSyncs) {
+  // The WAL's telemetry contract (docs/observability.md#stats): every
+  // acked append records exactly one persist/wal_append_us sample (its
+  // latency includes the covering fsync), and every physical fsync round
+  // records exactly one persist/fsync_us sample — so histogram counts are
+  // cross-checkable against the WAL's own appended()/syncs() counters.
+  const std::string dir = FreshDir("wal_histograms");
+  const std::string path = dir + "/wal.log";
+  MetricsRegistry registry;
+  MetricsScope scope(&registry);
+  ASSERT_TRUE(scope.active());
+
+  uint64_t appended = 0;
+  uint64_t syncs = 0;
+  {
+    StatusOr<std::unique_ptr<WriteAheadLog>> wal = WriteAheadLog::Open(path);
+    OOCQ_ASSERT_OK(wal.status());
+    for (int i = 0; i < 16; ++i) {
+      OOCQ_ASSERT_OK((*wal)->Append(
+          MakeRecord(RecordType::kDefineQuery, "s1", "q" + std::to_string(i),
+                     "{ x | x in Auto }")));
+    }
+    appended = (*wal)->appended();
+    syncs = (*wal)->syncs();
+  }
+  ASSERT_EQ(appended, 16u);
+  ASSERT_GE(syncs, 1u);
+
+  const MetricsRegistry::HistogramSnapshot* append_us = nullptr;
+  const MetricsRegistry::HistogramSnapshot* fsync_us = nullptr;
+  MetricsRegistry::Snapshot snap = registry.Snap();
+  for (const auto& histogram : snap.histograms) {
+    if (histogram.name == "persist/wal_append_us") append_us = &histogram;
+    if (histogram.name == "persist/fsync_us") fsync_us = &histogram;
+  }
+  ASSERT_NE(append_us, nullptr);
+  ASSERT_NE(fsync_us, nullptr);
+  EXPECT_EQ(append_us->count, appended);
+  EXPECT_EQ(fsync_us->count, syncs);
 }
 
 TEST(WalTest, CorruptTailIsTruncatedOnReplay) {

@@ -18,7 +18,12 @@
 #include <thread>
 #include <vector>
 
+#include "persist/catalog.h"
+#include "server/event_server.h"
 #include "server/service.h"
+#include "support/file.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 #include "test_util.h"
 #include "transport_test_util.h"
 
@@ -156,6 +161,94 @@ TEST_P(ServerE2eTest, EightConcurrentClients) {
   EXPECT_GE(server.connections_accepted(), static_cast<uint64_t>(kClients));
   server.Stop();
   EXPECT_FALSE(server.running());
+}
+
+TEST(RequestTraceE2eTest, TaggedRequestLinksSpansAcrossLayers) {
+  // The tentpole end-to-end: an `ID <token>` request over a live
+  // EventServer must (a) echo the token on its reply and (b) appear as
+  // the `id` annotation on the linked span path socket read → dispatch
+  // queue → handler → engine request → WAL append → reply write in the
+  // Chrome trace export (docs/observability.md#ids).
+  const std::string dir = ::testing::TempDir() + "oocq_trace_e2e";
+  {
+    StatusOr<std::vector<std::string>> names = ListDir(dir);
+    if (names.ok()) {
+      for (const std::string& file : *names) {
+        (void)RemoveFileIfExists(dir + "/" + file);
+      }
+    }
+    ASSERT_TRUE(MakeDirs(dir).ok());
+  }
+
+  TraceLog log;
+  {
+    TraceSession session(&log);
+    ASSERT_TRUE(session.active());
+
+    persist::DurableCatalogOptions catalog_options;
+    catalog_options.data_dir = dir;
+    catalog_options.snapshot_interval_s = 0;
+    StatusOr<std::unique_ptr<persist::DurableCatalog>> catalog =
+        persist::DurableCatalog::Open(std::move(catalog_options));
+    OOCQ_ASSERT_OK(catalog.status());
+
+    ServiceOptions service_options;
+    service_options.catalog = *std::move(catalog);
+    OocqService service(service_options);
+    EventServer server(&service);
+    OOCQ_ASSERT_OK(server.Start());
+
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    // SESSION NEW writes a WAL record, so tok-41's path crosses persist.
+    ASSERT_TRUE(client.Send(std::string("ID tok-41 SESSION NEW\n") +
+                            kSchemaPayload));
+    std::string created = client.ReadReply();
+    ASSERT_EQ(created.rfind("OK id=tok-41 session=", 0), 0u) << created;
+    std::string sid = created.substr(created.find("session=") + 8);
+    sid = sid.substr(0, sid.find('\n'));
+
+    ASSERT_TRUE(client.Send("ID tok-42 CONTAIN " + sid +
+                            "\n{ x | x in A1 }\n{ x | x in A }\n.\n"));
+    std::string contained = client.ReadReply();
+    EXPECT_EQ(contained.rfind("OK id=tok-42 contained=1", 0), 0u)
+        << contained;
+
+    ASSERT_TRUE(client.Send("QUIT\n"));
+    client.ReadReply();
+    server.Stop();
+  }
+
+  const std::string json = log.ChromeTraceJson();
+  // Both tokens made it into span annotations...
+  EXPECT_NE(json.find("tok-41"), std::string::npos);
+  EXPECT_NE(json.find("tok-42"), std::string::npos);
+  // ...and every layer of the request path exported its span.
+  for (const char* span : {"\"SocketRead\"", "\"Dispatch\"",
+                           "\"HandleRequest\"", "\"Request\"",
+                           "\"WalAppend\"", "\"ReplyWrite\""}) {
+    EXPECT_NE(json.find(span), std::string::npos) << span << "\n" << json;
+  }
+}
+
+TEST_P(ServerE2eTest, TransportLabelCounterIdentifiesTransport) {
+  // Dashboards tell deployments apart by the transport label: starting a
+  // transport bumps exactly its own server/transport/<name> counter, so a
+  // scrape can always answer "event loop or thread-per-connection?".
+  MetricsRegistry registry;
+  MetricsScope scope(&registry);
+  ASSERT_TRUE(scope.active());
+
+  OocqService service;
+  auto server_ptr = oocq::testing::MakeTransport(GetParam(), &service);
+  OOCQ_ASSERT_OK(server_ptr->Start());
+  server_ptr->Stop();
+
+  const bool is_event = std::string(GetParam()) == "event";
+  EXPECT_EQ(registry.CounterValue("server/transport/event"),
+            is_event ? 1u : 0u);
+  EXPECT_EQ(registry.CounterValue("server/transport/thread"),
+            is_event ? 0u : 1u);
 }
 
 TEST_P(ServerE2eTest, DeadlineEnforcedOverTheWire) {

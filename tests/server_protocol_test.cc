@@ -66,6 +66,88 @@ TEST(ProtocolHandlerTest, MetricsSeesCacheEvictionCounter) {
       << metrics.text;
 }
 
+TEST(ProtocolHandlerTest, RequestIdPrefixParses) {
+  CommandLine tagged = ParseCommandLine("ID r7 CONTAIN s1 deadline_ms=50");
+  EXPECT_EQ(tagged.verb, "CONTAIN");
+  EXPECT_EQ(tagged.request_id, "r7");
+  ASSERT_EQ(tagged.args.size(), 1u);
+  EXPECT_EQ(tagged.args[0], "s1");
+  ASSERT_EQ(tagged.params.size(), 1u);
+  EXPECT_EQ(tagged.params[0].first, "deadline_ms");
+
+  // A bare `ID` with no token and no verb is not a tagged request; the
+  // parser surfaces it as the (unknown) verb so Handle can ERR it.
+  CommandLine bare = ParseCommandLine("ID");
+  EXPECT_TRUE(bare.request_id.empty());
+}
+
+TEST(ProtocolHandlerTest, RequestIdEchoedOnOkAndErr) {
+  OocqService service;
+  StatusOr<std::string> sid = service.CreateSession(kVehicleRentalSchema);
+  OOCQ_ASSERT_OK(sid.status());
+  ProtocolHandler handler(&service);
+
+  const std::string q = "{ x | x in Auto }";
+  ProtocolReply ok = handler.Handle(
+      ParseCommandLine("ID tok-42 CONTAIN " + *sid), {q, q});
+  // The token is inserted right after the OK, before the verb's fields.
+  EXPECT_EQ(ok.text.rfind("OK id=tok-42 contained=1", 0), 0u) << ok.text;
+
+  ProtocolReply err = handler.Handle(
+      ParseCommandLine("ID tok-43 CONTAIN no-such-session"), {q, q});
+  EXPECT_EQ(err.text.rfind("ERR ", 0), 0u) << err.text;
+  EXPECT_NE(err.text.find(" id=tok-43"), std::string::npos) << err.text;
+}
+
+TEST(ProtocolHandlerTest, LegacyIdParamIsNotEchoed) {
+  // Clients that predate the ID prefix pass `id=` as a plain param; their
+  // replies must stay byte-identical (the token still reaches spans).
+  OocqService service;
+  StatusOr<std::string> sid = service.CreateSession(kVehicleRentalSchema);
+  OOCQ_ASSERT_OK(sid.status());
+  ProtocolHandler handler(&service);
+
+  const std::string q = "{ x | x in Auto }";
+  ProtocolReply reply = handler.Handle(
+      ParseCommandLine("CONTAIN " + *sid + " id=c7"), {q, q});
+  EXPECT_EQ(reply.text.rfind("OK contained=1", 0), 0u) << reply.text;
+  EXPECT_EQ(reply.text.find("id=c7"), std::string::npos) << reply.text;
+}
+
+TEST(ProtocolHandlerTest, StatsReplyIsPrometheusTextWithHealthGauges) {
+  OocqService service;
+  StatusOr<std::string> sid = service.CreateSession(kVehicleRentalSchema);
+  OOCQ_ASSERT_OK(sid.status());
+  ProtocolHandler handler(&service);
+
+  const std::string q = "{ x | x in Auto }";
+  ProtocolReply contained =
+      handler.Handle(ParseCommandLine("CONTAIN " + *sid), {q, q});
+  ASSERT_EQ(contained.text.rfind("OK", 0), 0u) << contained.text;
+
+  ProtocolReply stats = handler.Handle(ParseCommandLine("STATS"), {});
+  EXPECT_FALSE(stats.close);
+  EXPECT_EQ(stats.text.rfind("OK", 0), 0u) << stats.text;
+  // Prometheus exposition: typed counters and quantile summaries for the
+  // per-verb latency histograms.
+  EXPECT_NE(stats.text.find("# TYPE oocq_server_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(stats.text.find("oocq_server_requests 1\n"), std::string::npos);
+  EXPECT_NE(
+      stats.text.find("oocq_server_verb_contained_us{quantile=\"0.5\"} "),
+      std::string::npos)
+      << stats.text;
+  EXPECT_NE(stats.text.find("oocq_server_verb_contained_us_count 1\n"),
+            std::string::npos);
+  // HEALTH's fields ride along as gauges from the same collection path.
+  EXPECT_NE(stats.text.find("oocq_server_sessions 1\n"), std::string::npos);
+  EXPECT_NE(stats.text.find("oocq_server_completed_total"),
+            std::string::npos);
+  // Replies stay "."-framed like every other verb.
+  ASSERT_GE(stats.text.size(), 2u);
+  EXPECT_EQ(stats.text.substr(stats.text.size() - 2), ".\n");
+}
+
 TEST(ProtocolHandlerTest, MalformedCommandsAreErrNotCrash) {
   OocqService service;
   StatusOr<std::string> sid = service.CreateSession(kVehicleRentalSchema);
