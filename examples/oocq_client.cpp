@@ -52,7 +52,8 @@ struct ClientRequest {
 /// reads lines until "." except the no-payload control verbs.
 bool VerbHasPayload(const std::string& verb, const std::string& line) {
   if (verb == "PING" || verb == "QUIT" || verb == "METRICS" ||
-      verb == "HEALTH" || verb == "HELLO") {
+      verb == "HEALTH" || verb == "HELLO" || verb == "STATS" ||
+      verb == "REPL") {
     return false;
   }
   if (verb == "SESSION") {

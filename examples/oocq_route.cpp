@@ -1,0 +1,318 @@
+// A consistent-hash session router for a fleet of oocq_serve primaries
+// (docs/replication.md#router): accepts ordinary protocol connections,
+// peeks the first command line to learn which session the client is
+// talking about, and splices the connection to the backend that owns
+// that session key on the hash ring (replicate/ring.h).
+//
+//   oocq_route --backends=HOST:PORT[,HOST:PORT...] [--port=N]
+//              [--vnodes=N] [--health_interval_s=N]
+//
+// Routing is per-connection: the first session-bearing verb (CONTAIN s1,
+// DEFINE s1 q1, SESSION DROP s1, ...) pins the connection to
+// ring.Lookup(session), and every later command on the connection rides
+// the same splice. A connection whose first verb carries no session
+// (PING, SESSION NEW, HELLO) is routed by round-robin — create sessions
+// through the router and stay on the connection, or ask a specific
+// backend directly.
+//
+// A background prober PINGs every backend each --health_interval_s and
+// removes unreachable nodes from the ring (re-adding them when they
+// recover), so new connections skate around a dead primary. Established
+// splices to a dying backend just see EOF and close — clients retry and
+// land on a live node.
+
+#include <netdb.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flag_util.h"
+#include "replicate/ring.h"
+#include "server/protocol.h"
+#include "support/log.h"
+
+namespace {
+
+using namespace oocq;
+
+int DialBackend(const std::string& host_port) {
+  size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos) return -1;
+  std::string host = host_port.substr(0, colon);
+  uint16_t port = static_cast<uint16_t>(
+      std::strtoul(host_port.c_str() + colon + 1, nullptr, 10));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// The session key of a parsed command line, or "" when the verb does
+/// not name a session. Mirrors the server's argument conventions
+/// (server/protocol.cc): session-bearing verbs put the session id first;
+/// SESSION DROP carries it second.
+std::string SessionKeyOf(const server::CommandLine& command) {
+  if (command.verb == "SESSION") {
+    if (command.args.size() >= 2 && command.args[0] == "DROP") {
+      return command.args[1];
+    }
+    return "";
+  }
+  static const char* kSessionVerbs[] = {"CONTAIN", "EQUIV", "UCONTAIN",
+                                        "MINIMIZE", "SAT", "EVAL", "EXPLAIN",
+                                        "BATCH",    "DEFINE", "STATE"};
+  for (const char* verb : kSessionVerbs) {
+    if (command.verb == verb && !command.args.empty()) return command.args[0];
+  }
+  return "";
+}
+
+/// The ring plus the mutex replicate/ring.h tells callers to bring.
+class Router {
+ public:
+  Router(const std::vector<std::string>& backends, uint32_t vnodes)
+      : all_backends_(backends), ring_(vnodes) {
+    for (const std::string& b : backends) ring_.AddNode(b);
+  }
+
+  /// The backend owning `key`; round-robin across live nodes for keyless
+  /// connections.
+  std::string Pick(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!key.empty()) return ring_.Lookup(key);
+    std::vector<std::string> nodes = ring_.Nodes();
+    if (nodes.empty()) return "";
+    return nodes[next_round_robin_++ % nodes.size()];
+  }
+
+  void SetAlive(const std::string& backend, bool alive) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool present = ring_.Contains(backend);
+    if (alive && !present) {
+      ring_.AddNode(backend);
+      OOCQ_LOG(Info, "route").Msg("backend back in ring").With("backend",
+                                                              backend);
+    } else if (!alive && present) {
+      ring_.RemoveNode(backend);
+      OOCQ_LOG(Warn, "route").Msg("backend out of ring").With("backend",
+                                                              backend);
+    }
+  }
+
+  const std::vector<std::string>& all_backends() const {
+    return all_backends_;
+  }
+
+ private:
+  const std::vector<std::string> all_backends_;
+  std::mutex mu_;
+  replicate::ConsistentHashRing ring_;
+  size_t next_round_robin_ = 0;
+};
+
+/// One PING round trip; true when the backend answered anything at all.
+bool ProbeBackend(const std::string& backend) {
+  int fd = DialBackend(backend);
+  if (fd < 0) return false;
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const char* ping = "PING\nQUIT\n";
+  bool ok = ::send(fd, ping, std::strlen(ping), MSG_NOSIGNAL) ==
+            static_cast<ssize_t>(std::strlen(ping));
+  if (ok) {
+    char buf[64];
+    ok = ::recv(fd, buf, sizeof(buf), 0) > 0;
+  }
+  ::close(fd);
+  return ok;
+}
+
+/// Copies bytes both ways until either side closes or errors.
+void Splice(int client_fd, int backend_fd) {
+  pollfd fds[2];
+  fds[0] = {client_fd, POLLIN, 0};
+  fds[1] = {backend_fd, POLLIN, 0};
+  char buf[16 * 1024];
+  while (true) {
+    fds[0].revents = fds[1].revents = 0;
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < 2; ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      ssize_t n = ::recv(fds[i].fd, buf, sizeof(buf), 0);
+      if (n <= 0) return;  // EOF or error on either side ends the splice
+      int out = (i == 0) ? backend_fd : client_fd;
+      ssize_t sent = 0;
+      while (sent < n) {
+        ssize_t w = ::send(out, buf + sent, static_cast<size_t>(n - sent),
+                           MSG_NOSIGNAL);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          return;
+        }
+        sent += w;
+      }
+    }
+  }
+}
+
+/// One client connection: peek the first line, pick a backend, replay the
+/// peeked bytes, then splice until either side closes.
+void ServeClient(int client_fd, Router* router) {
+  std::string peeked;
+  char c;
+  // Read byte-wise up to the first newline — no look-ahead is swallowed,
+  // so the backend sees the byte stream exactly as the client sent it.
+  while (peeked.size() < server::kMaxLineBytes) {
+    ssize_t n = ::recv(client_fd, &c, 1, 0);
+    if (n <= 0) {
+      ::close(client_fd);
+      return;
+    }
+    peeked.push_back(c);
+    if (c == '\n') break;
+  }
+  server::CommandLine first =
+      server::ParseCommandLine(peeked.substr(0, peeked.size() - 1));
+  std::string key = SessionKeyOf(first);
+  std::string backend = router->Pick(key);
+  int backend_fd = backend.empty() ? -1 : DialBackend(backend);
+  if (backend_fd < 0) {
+    const char* err = "ERR UNAVAILABLE no live backend\n.\n";
+    (void)::send(client_fd, err, std::strlen(err), MSG_NOSIGNAL);
+    ::close(client_fd);
+    if (!backend.empty()) router->SetAlive(backend, false);
+    return;
+  }
+  OOCQ_LOG(Debug, "route")
+      .Msg("routed connection")
+      .With("verb", first.verb)
+      .With("session", key.empty() ? "-" : key)
+      .With("backend", backend);
+  ssize_t sent = ::send(backend_fd, peeked.data(), peeked.size(), MSG_NOSIGNAL);
+  if (sent == static_cast<ssize_t>(peeked.size())) {
+    Splice(client_fd, backend_fd);
+  }
+  ::close(backend_fd);
+  ::close(client_fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t port = 7744, vnodes = 128, health_interval_s = 2;
+  std::string backends_flag;
+  oocq::examples::FlagSet flags(
+      "oocq_route", "",
+      "Consistent-hash session router; see docs/replication.md#router.");
+  flags.Uint("port", &port, "N",
+             "listen port (default 7744; 0 = ephemeral, printed on startup)");
+  flags.Str("backends", &backends_flag, "HOST:PORT,...",
+            "comma-separated primary list (required)");
+  flags.Uint("vnodes", &vnodes, "N",
+             "ring points per backend (default 128)");
+  flags.Uint("health_interval_s", &health_interval_s, "N",
+             "backend PING cadence (default 2; 0 disables probing)");
+  if (flags.Parse(argc, argv) != argc) {
+    std::fprintf(stderr, "error: unexpected positional argument\n");
+    return flags.UsageError();
+  }
+  std::vector<std::string> backends;
+  size_t start = 0;
+  while (start <= backends_flag.size() && !backends_flag.empty()) {
+    size_t comma = backends_flag.find(',', start);
+    size_t end = comma == std::string::npos ? backends_flag.size() : comma;
+    if (end > start) backends.push_back(backends_flag.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (backends.empty() || port > 65535) {
+    std::fprintf(stderr, "error: --backends=HOST:PORT[,HOST:PORT...] "
+                         "is required\n");
+    return flags.UsageError();
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+
+  Router router(backends, static_cast<uint32_t>(vnodes));
+
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 128) < 0) {
+    std::perror("bind/listen");
+    return 1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  OOCQ_LOG(Info, "route")
+      .Msg("routing on 127.0.0.1")
+      .With("port", static_cast<uint64_t>(ntohs(addr.sin_port)))
+      .With("backends", backends_flag)
+      .With("vnodes", vnodes);
+
+  std::thread prober;
+  std::atomic<bool> stop{false};
+  if (health_interval_s > 0) {
+    prober = std::thread([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (const std::string& backend : router.all_backends()) {
+          router.SetAlive(backend, ProbeBackend(backend));
+        }
+        for (uint64_t slept_ms = 0;
+             slept_ms < health_interval_s * 1000 &&
+             !stop.load(std::memory_order_acquire);
+             slept_ms += 100) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      }
+    });
+  }
+
+  while (true) {
+    int client_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::thread(ServeClient, client_fd, &router).detach();
+  }
+  stop.store(true, std::memory_order_release);
+  if (prober.joinable()) prober.join();
+  ::close(listen_fd);
+  return 0;
+}

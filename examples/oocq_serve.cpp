@@ -8,6 +8,7 @@
 //              [--snapshot_interval_s=N] [--failpoints=SPEC]
 //              [--max_disjuncts=N] [--max_work_units=N]
 //              [--max_resident_bytes=N] [--watchdog_s=N]
+//              [--follow=HOST:PORT] [--promote_after_ms=N]
 //              [--log-level=debug|info|warn|error|off] [--log-json]
 //              [--slow_request_us=N] [--stats-file=FILE]
 //              [--stats_interval_s=N] [--trace=FILE] [--metrics] [--smoke]
@@ -21,6 +22,15 @@
 // (docs/persistence.md): restart replays snapshot + WAL, re-registers
 // every session, named query and state, and warm-starts each session's
 // containment cache. Without it the server is purely in-memory.
+//
+// With --follow=HOST:PORT the node starts as a read-only replication
+// follower (docs/replication.md): it tails HOST:PORT's WAL over REPL
+// SUBSCRIBE, replays every shipped record into its own service (and its
+// own WAL, with --data-dir), and answers read verbs with verdicts
+// identical to the primary's. Mutating verbs answer
+// ERR FAILED_PRECONDITION until promotion — by REPL PROMOTE on this
+// node, or automatically after the primary has been unreachable for
+// --promote_after_ms milliseconds.
 //
 // Shutdown: SIGINT/SIGTERM stop the listener, let in-flight requests
 // finish and write their responses, then drain the service (and, with
@@ -47,6 +57,7 @@
 
 #include "flag_util.h"
 #include "persist/catalog.h"
+#include "replicate/follower.h"
 #include "server/event_server.h"
 #include "server/service.h"
 #include "server/tcp_server.h"
@@ -263,6 +274,8 @@ int main(int argc, char** argv) {
   uint64_t watchdog_s = 5;
   uint64_t io_threads = 8, idle_timeout_ms = 0;
   uint64_t slow_request_us = 0, stats_interval_s = 10;
+  uint64_t promote_after_ms = 0;
+  std::string follow;
   std::string transport = "event";
   std::string failpoints;
   std::string trace_path;
@@ -314,6 +327,12 @@ int main(int argc, char** argv) {
              "RESOURCE_EXHAUSTED (default 0 = unlimited)");
   flags.Uint("watchdog_s", &watchdog_s, "N",
              "stall watchdog sampling interval (default 5; 0 disables)");
+  flags.Str("follow", &follow, "HOST:PORT",
+            "start as a read-only follower tailing this primary's WAL "
+            "(docs/replication.md)");
+  flags.Uint("promote_after_ms", &promote_after_ms, "N",
+             "with --follow: self-promote to primary after the primary "
+             "has been unreachable N ms (default 0 = never)");
   flags.Str("log-level", &log_level, "LEVEL",
             "stderr log threshold: debug|info|warn|error|off "
             "(default info; docs/observability.md#logging)");
@@ -346,6 +365,19 @@ int main(int argc, char** argv) {
                  "error: --transport must be 'event' or 'thread'\n");
     return flags.UsageError();
   }
+  std::string follow_host;
+  uint64_t follow_port = 0;
+  if (!follow.empty()) {
+    size_t colon = follow.rfind(':');
+    if (colon != std::string::npos) {
+      follow_host = follow.substr(0, colon);
+      follow_port = std::strtoull(follow.c_str() + colon + 1, nullptr, 10);
+    }
+    if (follow_host.empty() || follow_port == 0 || follow_port > 65535) {
+      std::fprintf(stderr, "error: --follow must be HOST:PORT\n");
+      return flags.UsageError();
+    }
+  }
   LogConfig log_config;
   if (!ParseLogLevel(log_level, &log_config.level)) {
     std::fprintf(stderr, "error: --log-level must be one of "
@@ -369,6 +401,7 @@ int main(int argc, char** argv) {
   service_options.budget.max_resident_bytes = max_resident_bytes;
   service_options.slow_request_us = slow_request_us;
   service_options.failpoints = failpoints;  // env OOCQ_FAILPOINTS also read
+  service_options.read_only = !follow.empty();
 
   // Opens (or re-opens) the durable catalog; recovery problems degrade to
   // a logged cold start inside Open(), so failure here is environmental.
@@ -399,6 +432,24 @@ int main(int argc, char** argv) {
 
   service_options.catalog = open_catalog();
   auto service = std::make_unique<OocqService>(service_options);
+
+  // The replication tail, when this node is a follower. Started after the
+  // transport below so clients can probe REPL STATUS during the initial
+  // sync; stopped before the service dies so no apply races teardown.
+  std::unique_ptr<replicate::Follower> follower;
+  if (!follow.empty()) {
+    replicate::FollowerOptions follower_options;
+    follower_options.host = follow_host;
+    follower_options.port = static_cast<uint16_t>(follow_port);
+    follower_options.auto_promote_after_ms =
+        static_cast<uint32_t>(promote_after_ms);
+    follower =
+        std::make_unique<replicate::Follower>(service.get(), follower_options);
+    OOCQ_LOG(Info, "serve")
+        .Msg("starting as replication follower")
+        .With("primary", follow)
+        .With("promote_after_ms", promote_after_ms);
+  }
 
   // Both transports implement server/transport.h's Transport contract;
   // everything below (smoke, signals, graceful drain) is transport-
@@ -432,6 +483,7 @@ int main(int argc, char** argv) {
             static_cast<uint64_t>(service_options.engine.parallel.num_threads))
       .With("deadline_ms", deadline_ms)
       .With("data_dir", data_dir);
+  if (follower) follower->Start();
 
   std::optional<Watchdog> watchdog;
   watchdog.emplace(service.get(), watchdog_s);
@@ -440,6 +492,7 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   if (smoke) {
+    follower.reset();  // --smoke and --follow do not combine
     bool ok = RunSmokeConversation(server->port());
     server->Stop();
     server.reset();
@@ -492,6 +545,7 @@ int main(int argc, char** argv) {
       std::printf("%s\n", service->metrics().JsonString().c_str());
     }
     server.reset();
+    follower.reset();  // stops the tail before the service drains
     stats_dumper.reset();  // final dump happens before the service dies
     watchdog.reset();
     service.reset();  // drains, then final catalog snapshot

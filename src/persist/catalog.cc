@@ -82,6 +82,10 @@ StatusOr<std::unique_ptr<DurableCatalog>> DurableCatalog::Open(
   wal_options.fail_after_bytes = catalog->options_.wal_fail_after_bytes;
   OOCQ_ASSIGN_OR_RETURN(catalog->wal_,
                         WriteAheadLog::Open(WalPath(dir), wal_options));
+  // Seed the epoch-relative sequence with the records already in the
+  // file, so offsets and sequence numbers shipped to replication
+  // subscribers describe the whole epoch, not just this handle's run.
+  catalog->wal_->NoteExistingRecords(recovery.wal_records);
 
   catalog->next_snapshot_seq_ = LatestSnapshotSeq(dir) + 1;
   span.Arg("snapshot_seq", recovery.snapshot_seq)
@@ -139,6 +143,33 @@ Status DurableCatalog::SnapshotNow() {
                    start_us);
   span.Arg("seq", seq).Arg("records", static_cast<uint64_t>(records.size()));
   return Status::Ok();
+}
+
+StatusOr<DurableCatalog::PositionedDump> DurableCatalog::DumpWithPosition() {
+  std::function<std::vector<Record>()> dump;
+  {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    dump = dump_;
+  }
+  if (!dump) {
+    return Status::FailedPrecondition(
+        "no registry dump registered; cannot cut a positioned dump");
+  }
+  OOCQ_TRACE_SPAN(span, "PositionedDump");
+  // Exclusive gate: with every mutation held off, the WAL's durable tip
+  // equals its write tip, and the dump describes exactly the state the
+  // log reaches at that tip.
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  PositionedDump result;
+  result.records = dump();
+  result.epoch = wal_->epoch();
+  result.offset = wal_->synced_bytes();
+  result.seq = wal_->synced_seq();
+  gate.unlock();
+  MetricAdd("persist/positioned_dumps", 1);
+  span.Arg("records", static_cast<uint64_t>(result.records.size()))
+      .Arg("offset", result.offset);
+  return result;
 }
 
 void DurableCatalog::StartSnapshotter(

@@ -102,6 +102,21 @@ class DurableCatalog {
   /// when no dump function was registered yet.
   Status SnapshotNow();
 
+  /// A full registry dump cut at an exact WAL position — the payload of
+  /// a replication resync (docs/replication.md). Taken under the
+  /// exclusive gate, so the dump plus every WAL record past `offset` in
+  /// `epoch` reconstructs the primary exactly; nothing lands between.
+  struct PositionedDump {
+    std::vector<Record> records;
+    uint64_t epoch = 0;
+    uint64_t offset = 0;  // WAL byte offset of the cut
+    uint64_t seq = 0;     // WAL records durable at the cut (this epoch)
+  };
+
+  /// Requires a registered dump (kFailedPrecondition otherwise — the
+  /// service registers one on construction via StartSnapshotter).
+  StatusOr<PositionedDump> DumpWithPosition();
+
   /// Registers the registry dump and starts the cadence thread
   /// (options.snapshot_interval_s; 0 registers the dump only). `dump`
   /// is called with mutations blocked and must not call back into the

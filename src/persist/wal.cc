@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -83,6 +84,10 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     OOCQ_RETURN_IF_ERROR(FsyncFd(fd));
     OOCQ_RETURN_IF_ERROR(FsyncDir(DirName(path)));
   }
+  // Everything already in the file is durable (WAL-before-ack wrote it,
+  // replay truncated any torn tail before this open), so tail readers
+  // may serve it immediately.
+  wal->synced_bytes_ = wal->bytes_;
   return wal;
 }
 
@@ -146,6 +151,7 @@ Status WriteAheadLog::SyncCovering(uint64_t seq) {
   }
   // This thread leads the next sync round.
   sync_in_flight_ = true;
+  const uint64_t epoch_at_start = epoch_;
   lock.unlock();
 
   if (options_.group_commit_window_us > 0) {
@@ -153,9 +159,11 @@ Status WriteAheadLog::SyncCovering(uint64_t seq) {
         std::chrono::microseconds(options_.group_commit_window_us));
   }
   uint64_t covered;
+  uint64_t covered_bytes;
   {
     std::lock_guard<std::mutex> write_lock(write_mu_);
     covered = write_seq_;
+    covered_bytes = bytes_;
   }
   const uint64_t fsync_start_us = NowUs();
   Status synced = Failpoints::Check("wal/fsync");
@@ -168,14 +176,21 @@ Status WriteAheadLog::SyncCovering(uint64_t seq) {
   OOCQ_METRIC_ADD("persist/fsyncs", 1);
 
   lock.lock();
-  if (synced.ok() && covered > synced_seq_) {
-    // Appends this round durably covered beyond the ones already synced:
-    // the group-commit amplification the sleep window buys.
-    OOCQ_METRIC_RECORD("persist/group_commit_batch", covered - synced_seq_);
+  if (synced.ok() && epoch_ == epoch_at_start) {
+    if (covered > synced_seq_) {
+      // Appends this round durably covered beyond the ones already
+      // synced: the group-commit amplification the sleep window buys.
+      OOCQ_METRIC_RECORD("persist/group_commit_batch", covered - synced_seq_);
+    }
+    // Guarded on the epoch: a Reset() racing this round already rewound
+    // the durable tip, and stale coverage must not resurrect it.
+    synced_seq_ = covered;
+    synced_bytes_ = covered_bytes;
   }
-  if (synced.ok()) synced_seq_ = covered;
   sync_in_flight_ = false;
   lock.unlock();
+  // Wakes both appenders waiting for coverage and tail readers parked
+  // in WaitDurable() — the ship path sees each group commit as it lands.
   sync_cv_.notify_all();
   return synced;
 }
@@ -197,8 +212,135 @@ Status WriteAheadLog::Reset() {
   broken_ = false;
   write_seq_ = 0;
   synced_seq_ = 0;
+  synced_bytes_ = header.size();
+  ++epoch_;
   OOCQ_METRIC_ADD("persist/wal_resets", 1);
-  return FsyncFd(fd_);
+  Status synced = FsyncFd(fd_);
+  // Parked tail readers must learn the epoch moved on — their offsets
+  // just became meaningless and they need to resync from the snapshot.
+  sync_cv_.notify_all();
+  return synced;
+}
+
+uint64_t WriteAheadLog::epoch() const {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  return epoch_;
+}
+
+uint64_t WriteAheadLog::synced_bytes() const {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  return synced_bytes_;
+}
+
+uint64_t WriteAheadLog::synced_seq() const {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  return synced_seq_;
+}
+
+void WriteAheadLog::NoteExistingRecords(uint64_t count) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  write_seq_ += count;
+  synced_seq_ += count;
+}
+
+bool WriteAheadLog::WaitDurable(uint64_t offset, uint32_t timeout_ms) const {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  const uint64_t epoch_at_entry = epoch_;
+  sync_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return synced_bytes_ > offset || epoch_ != epoch_at_entry;
+  });
+  return synced_bytes_ > offset || epoch_ != epoch_at_entry;
+}
+
+StatusOr<WriteAheadLog::TailBatch> WriteAheadLog::ReadDurableRange(
+    uint64_t from_offset, uint64_t max_bytes) const {
+  TailBatch batch;
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    batch.durable_bytes = synced_bytes_;
+    batch.durable_seq = synced_seq_;
+    batch.epoch = epoch_;
+  }
+  const uint64_t header_bytes = EncodedHeaderSize();
+  if (from_offset < header_bytes || from_offset > batch.durable_bytes) {
+    return Status::FailedPrecondition(
+        "wal offset " + std::to_string(from_offset) +
+        " outside durable range [" + std::to_string(header_bytes) + ", " +
+        std::to_string(batch.durable_bytes) + "]; resync required");
+  }
+  batch.next_offset = from_offset;
+  if (from_offset == batch.durable_bytes) return batch;  // caught up
+
+  int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("open wal for tail read '" + path_ + "': " +
+                            std::strerror(errno));
+  }
+  if (max_bytes == 0) max_bytes = 256 * 1024;
+  const uint64_t available = batch.durable_bytes - from_offset;
+  uint64_t want = std::min(available, max_bytes);
+  Status failed = Status::Ok();
+  std::string buffer;
+  while (true) {
+    buffer.resize(want);
+    size_t done = 0;
+    while (done < want) {
+      ssize_t n = ::pread(fd, buffer.data() + done, want - done,
+                          static_cast<off_t>(from_offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        failed = Status::Internal("pread wal tail: " +
+                                  std::string(std::strerror(errno)));
+        break;
+      }
+      if (n == 0) break;  // file shrank under us — a racing Reset()
+      done += static_cast<size_t>(n);
+    }
+    if (!failed.ok()) break;
+    buffer.resize(done);
+
+    size_t offset = 0;
+    size_t frame_start = 0;
+    Record record;
+    DecodeResult decoded;
+    while ((decoded = DecodeRecord(buffer, &offset, &record)) ==
+           DecodeResult::kOk) {
+      TailRecord tail;
+      tail.offset = from_offset + frame_start;
+      tail.frame = buffer.substr(frame_start, offset - frame_start);
+      batch.records.push_back(std::move(tail));
+      frame_start = offset;
+    }
+    if (decoded == DecodeResult::kCorrupt) {
+      failed = Status::FailedPrecondition(
+          "wal tail read hit a corrupt frame at offset " +
+          std::to_string(from_offset + frame_start) +
+          " (mid-frame offset or racing compaction); resync required");
+      break;
+    }
+    if (!batch.records.empty() || done >= available) {
+      batch.next_offset = from_offset + frame_start;
+      break;
+    }
+    // A single frame wider than the clamp: widen the read so the caller
+    // always makes progress.
+    want = std::min(available, want * 2);
+  }
+  ::close(fd);
+  if (!failed.ok()) return failed;
+  {
+    // A Reset() racing the read may have replaced the bytes we decoded;
+    // the epoch check invalidates the whole batch in that case.
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    if (epoch_ != batch.epoch) {
+      return Status::FailedPrecondition(
+          "wal compacted during tail read; resync required");
+    }
+  }
+  OOCQ_METRIC_ADD("persist/wal_tail_reads", 1);
+  OOCQ_METRIC_ADD("persist/wal_tail_records", batch.records.size());
+  return batch;
 }
 
 uint64_t WriteAheadLog::appended() const {

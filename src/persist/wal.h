@@ -21,6 +21,15 @@
 /// replayed. A header from a different format version or engine
 /// fingerprint rejects the whole file with kFailedPrecondition; the
 /// catalog degrades that to a logged cold start.
+///
+/// Tail reading (docs/replication.md): a subscriber addresses the log by
+/// (epoch, byte offset). The epoch starts at 1 and bumps on every
+/// Reset(), so an offset is only meaningful within one epoch — after a
+/// compaction the subscriber must resync from a snapshot. WaitDurable()
+/// parks until the fsync-covered tip moves past an offset (waking on
+/// every completed group commit, so batches ship as they fsync), and
+/// ReadDurableRange() hands back the raw frames — CRC intact — between
+/// an offset and the durable tip.
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -72,6 +81,53 @@ class WriteAheadLog {
   uint64_t syncs() const;
   const std::string& path() const { return path_; }
 
+  /// One encoded frame handed to a tail reader, with the byte offset it
+  /// starts at. The frame bytes are exactly what Append() wrote — the
+  /// CRC travels with them, so a shipped record is verifiable end to end.
+  struct TailRecord {
+    uint64_t offset = 0;
+    std::string frame;
+  };
+
+  struct TailBatch {
+    std::vector<TailRecord> records;
+    /// Where the next read should start (== the durable tip when the
+    /// batch drained everything available).
+    uint64_t next_offset = 0;
+    /// fsync-covered file size / record count / epoch at read time.
+    uint64_t durable_bytes = 0;
+    uint64_t durable_seq = 0;
+    uint64_t epoch = 0;
+  };
+
+  /// Compaction epoch: 1 for a fresh log, bumped by every Reset().
+  uint64_t epoch() const;
+  /// File bytes (header included) covered by a completed fsync.
+  uint64_t synced_bytes() const;
+  /// Records covered by a completed fsync this epoch — includes records
+  /// already in the file at open once NoteExistingRecords() seeded them.
+  uint64_t synced_seq() const;
+
+  /// Seeds the epoch-relative sequence counter with records already in
+  /// the file. The catalog calls this right after replay, so sequence
+  /// numbers shipped to subscribers count from the epoch start rather
+  /// than from this handle's open.
+  void NoteExistingRecords(uint64_t count);
+
+  /// Blocks until the durable tip moves past `offset`, the epoch
+  /// changes, or `timeout_ms` elapses. Returns true when there is
+  /// something new for the caller (tip beyond `offset`, or a new epoch).
+  bool WaitDurable(uint64_t offset, uint32_t timeout_ms) const;
+
+  /// Reads fsync-covered frames starting at byte `from_offset`, up to
+  /// roughly `max_bytes` (0 = a default batch; always at least one frame
+  /// when one is durable, so a reader never stalls on a large record).
+  /// An offset outside [header, durable tip], a mid-frame offset, or a
+  /// Reset() racing the read returns kFailedPrecondition — the
+  /// subscriber's signal to resync from a snapshot.
+  StatusOr<TailBatch> ReadDurableRange(uint64_t from_offset,
+                                       uint64_t max_bytes) const;
+
   struct ReplayResult {
     std::vector<Record> records;
     /// Bytes of torn/corrupt tail removed from the file.
@@ -101,9 +157,11 @@ class WriteAheadLog {
   uint64_t write_seq_ = 0;    // frames fully written
   bool broken_ = false;       // a write failed; the log refuses appends
 
-  std::mutex sync_mu_;
-  std::condition_variable sync_cv_;
-  uint64_t synced_seq_ = 0;   // frames covered by a completed fsync
+  mutable std::mutex sync_mu_;
+  mutable std::condition_variable sync_cv_;
+  uint64_t synced_seq_ = 0;    // frames covered by a completed fsync
+  uint64_t synced_bytes_ = 0;  // file bytes covered by a completed fsync
+  uint64_t epoch_ = 1;         // bumped by Reset(); offsets scoped to it
   bool sync_in_flight_ = false;
 
   std::atomic<uint64_t> appended_{0};

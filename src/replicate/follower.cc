@@ -1,0 +1,353 @@
+#include "replicate/follower.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "replicate/wire.h"
+#include "support/log.h"
+#include "support/metrics.h"
+#include "support/status_macros.h"
+
+namespace oocq::replicate {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+int DialPrimary(const std::string& host, uint16_t port,
+                uint32_t rcv_timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  // A primary that stops answering (partition, wedged process) must not
+  // hang the tail forever: reads give up after the long-poll window plus
+  // generous slack, and the loop reconnects (or auto-promotes).
+  timeval timeout{};
+  timeout.tv_sec = rcv_timeout_ms / 1000;
+  timeout.tv_usec = static_cast<suseconds_t>((rcv_timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// One "."-terminated reply: the status line plus dot-unstuffed payload.
+struct WireReply {
+  std::string status;
+  std::vector<std::string> payload;
+};
+
+Status ReadWireReply(int fd, std::string* buffer, WireReply* reply) {
+  reply->status.clear();
+  reply->payload.clear();
+  bool have_status = false;
+  while (true) {
+    size_t nl;
+    while ((nl = buffer->find('\n')) != std::string::npos) {
+      std::string line = buffer->substr(0, nl);
+      buffer->erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!have_status) {
+        reply->status = std::move(line);
+        have_status = true;
+        continue;
+      }
+      if (line == ".") return Status::Ok();
+      if (!line.empty() && line[0] == '.') line.erase(0, 1);
+      reply->payload.push_back(std::move(line));
+    }
+    char chunk[16384];
+    ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Unavailable("primary read timed out");
+      }
+      return Status::Unavailable(std::string("primary read failed: ") +
+                                 std::strerror(errno));
+    }
+    if (got == 0) return Status::Unavailable("primary closed the connection");
+    buffer->append(chunk, static_cast<size_t>(got));
+  }
+}
+
+/// "key=value" fields off a reply status line ("OK next=42 epoch=1 ...").
+uint64_t FieldUint(const std::string& status, const std::string& key) {
+  const std::string needle = " " + key + "=";
+  size_t at = status.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(status.c_str() + at + needle.size(), nullptr, 10);
+}
+
+bool ReplyOk(const WireReply& reply) {
+  return reply.status.rfind("OK", 0) == 0 &&
+         (reply.status.size() == 2 || reply.status[2] == ' ');
+}
+
+bool ReplyFailedPrecondition(const WireReply& reply) {
+  return reply.status.rfind("ERR FAILED_PRECONDITION", 0) == 0;
+}
+
+}  // namespace
+
+Follower::Follower(server::OocqService* service, FollowerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Follower::~Follower() { Stop(); }
+
+void Follower::Start() {
+  std::lock_guard<std::mutex> lock(start_mu_);
+  if (started_) return;
+  started_ = true;
+  stop_.store(false, std::memory_order_relaxed);
+  service_->SetReplicationProbe([this] { return Health(); });
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Follower::Stop() {
+  std::lock_guard<std::mutex> lock(start_mu_);
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+  // The probe captures `this`; keep it installed only while the follower
+  // lives. After Stop() the service reports no replication telemetry.
+  service_->SetReplicationProbe(nullptr);
+}
+
+server::ReplicationHealth Follower::Health() const {
+  server::ReplicationHealth health;
+  health.present = true;
+  health.role = service_->read_only() ? "follower" : "primary";
+  health.connected = connected();
+  health.lag_records = lag_records();
+  health.applied_records = applied_records();
+  health.epoch = epoch();
+  return health;
+}
+
+bool Follower::ShouldRun() const {
+  // Promotion through any path ends the tail: a primary does not follow.
+  return !stop_.load(std::memory_order_relaxed) && service_->read_only();
+}
+
+void Follower::Loop() {
+  uint64_t backoff_ms = options_.backoff_ms;
+  while (ShouldRun()) {
+    const int64_t contact_before =
+        last_contact_ms_.load(std::memory_order_relaxed);
+    Status run = RunConnection();
+    connected_.store(false, std::memory_order_relaxed);
+    if (!ShouldRun()) break;
+    const int64_t last_contact =
+        last_contact_ms_.load(std::memory_order_relaxed);
+    if (last_contact != contact_before || run.ok()) {
+      backoff_ms = options_.backoff_ms;
+    }
+    OOCQ_LOG(Warn, "repl")
+        .Msg("primary connection lost; backing off")
+        .With("error", run.ToString())
+        .With("backoff_ms", backoff_ms);
+    service_->metrics_registry()->Add("repl/reconnects", 1);
+    if (options_.auto_promote_after_ms > 0 && last_contact != 0 &&
+        NowMs() - last_contact >=
+            static_cast<int64_t>(options_.auto_promote_after_ms)) {
+      OOCQ_LOG(Warn, "repl")
+          .Msg("primary unreachable past threshold; self-promoting")
+          .With("threshold_ms",
+                static_cast<uint64_t>(options_.auto_promote_after_ms));
+      (void)service_->Promote();
+      break;
+    }
+    // Backoff in small slices so Stop() and promotion stay responsive.
+    Clock::time_point wake =
+        Clock::now() + std::chrono::milliseconds(backoff_ms);
+    while (ShouldRun() && Clock::now() < wake) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    backoff_ms = std::min<uint64_t>(backoff_ms * 2, options_.backoff_cap_ms);
+  }
+  connected_.store(false, std::memory_order_relaxed);
+}
+
+Status Follower::RunConnection() {
+  const uint32_t rcv_timeout_ms = options_.poll_wait_ms + 5000;
+  int fd = DialPrimary(options_.host, options_.port, rcv_timeout_ms);
+  if (fd < 0) {
+    return Status::Unavailable("connect to primary " + options_.host + ":" +
+                               std::to_string(options_.port) + " failed");
+  }
+  std::string buffer;
+  Status result = [&]() -> Status {
+    // Handshake: the primary must speak our protocol revision and
+    // advertise the `replication` capability (docs/server.md#caps).
+    if (!SendAll(fd, "HELLO 1\n")) {
+      return Status::Unavailable("primary send failed");
+    }
+    WireReply hello;
+    OOCQ_RETURN_IF_ERROR(ReadWireReply(fd, &buffer, &hello));
+    if (!ReplyOk(hello)) {
+      return Status::FailedPrecondition("primary refused HELLO: " +
+                                        hello.status);
+    }
+    if (hello.status.find("replication") == std::string::npos) {
+      return Status::FailedPrecondition(
+          "primary does not advertise the replication capability");
+    }
+    connected_.store(true, std::memory_order_relaxed);
+    last_contact_ms_.store(NowMs(), std::memory_order_relaxed);
+    while (ShouldRun()) {
+      if (!synced_) {
+        OOCQ_RETURN_IF_ERROR(Resync(fd, &buffer));
+      }
+      Status polled = PollOnce(fd, &buffer);
+      if (!polled.ok()) {
+        if (polled.code() == StatusCode::kFailedPrecondition) {
+          // The primary compacted past our offset (or our cursor is from
+          // an older epoch): stream anew from a positioned dump, on this
+          // same connection.
+          OOCQ_LOG(Info, "repl")
+              .Msg("stream position invalidated; resyncing")
+              .With("reason", polled.ToString());
+          synced_ = false;
+          continue;
+        }
+        return polled;
+      }
+    }
+    return Status::Ok();
+  }();
+  ::close(fd);
+  return result;
+}
+
+Status Follower::Resync(int fd, std::string* buffer) {
+  if (!SendAll(fd, "REPL STATE\n")) {
+    return Status::Unavailable("primary send failed");
+  }
+  WireReply reply;
+  OOCQ_RETURN_IF_ERROR(ReadWireReply(fd, buffer, &reply));
+  if (!ReplyOk(reply)) {
+    return Status::Internal("REPL STATE refused: " + reply.status);
+  }
+  // Stale local sessions (missed drops while disconnected, or a cold
+  // local catalog diverged from the primary) go first; the dump then
+  // rebuilds the registry through the same idempotent path. Both the
+  // drops and the dump records land in the local WAL via
+  // ApplyReplicated, so a crash mid-resync recovers consistently.
+  for (const std::string& id : service_->SessionIds()) {
+    persist::Record drop;
+    drop.type = persist::RecordType::kDropSession;
+    drop.session_id = id;
+    OOCQ_RETURN_IF_ERROR(service_->ApplyReplicated(drop));
+  }
+  size_t skipped = 0;
+  for (const std::string& line : reply.payload) {
+    StatusOr<ShippedRecord> shipped = DecodeShippedLine(line);
+    if (!shipped.ok()) return shipped.status();
+    if (!service_->ApplyReplicated(shipped->record).ok()) ++skipped;
+  }
+  if (skipped != 0) {
+    service_->metrics_registry()->Add("repl/apply_skipped", skipped);
+  }
+  epoch_.store(FieldUint(reply.status, "epoch"), std::memory_order_relaxed);
+  next_offset_ = FieldUint(reply.status, "offset");
+  applied_seq_.store(FieldUint(reply.status, "seq"), std::memory_order_relaxed);
+  lag_records_.store(0, std::memory_order_relaxed);
+  synced_ = true;
+  resyncs_.fetch_add(1, std::memory_order_relaxed);
+  service_->metrics_registry()->Add("repl/resyncs", 1);
+  OOCQ_LOG(Info, "repl")
+      .Msg("resynced from positioned dump")
+      .With("records", reply.payload.size())
+      .With("epoch", epoch_.load(std::memory_order_relaxed))
+      .With("offset", next_offset_);
+  return Status::Ok();
+}
+
+Status Follower::PollOnce(int fd, std::string* buffer) {
+  std::string request =
+      "REPL SUBSCRIBE " +
+      std::to_string(epoch_.load(std::memory_order_relaxed)) + " " +
+      std::to_string(next_offset_) +
+      " wait_ms=" + std::to_string(options_.poll_wait_ms);
+  if (options_.max_batch_bytes != 0) {
+    request += " max_bytes=" + std::to_string(options_.max_batch_bytes);
+  }
+  request += "\n";
+  if (!SendAll(fd, request)) {
+    return Status::Unavailable("primary send failed");
+  }
+  WireReply reply;
+  OOCQ_RETURN_IF_ERROR(ReadWireReply(fd, buffer, &reply));
+  if (ReplyFailedPrecondition(reply)) {
+    return Status::FailedPrecondition(reply.status);
+  }
+  if (!ReplyOk(reply)) {
+    return Status::Internal("REPL SUBSCRIBE refused: " + reply.status);
+  }
+  size_t skipped = 0;
+  for (const std::string& line : reply.payload) {
+    StatusOr<ShippedRecord> shipped = DecodeShippedLine(line);
+    if (!shipped.ok()) return shipped.status();
+    Status applied = service_->ApplyReplicated(shipped->record);
+    if (!applied.ok()) {
+      // Same contract as recovery (docs/persistence.md): a record that
+      // no longer applies is skipped and counted, never fatal.
+      ++skipped;
+    }
+    applied_records_.fetch_add(1, std::memory_order_relaxed);
+    applied_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (skipped != 0) {
+    service_->metrics_registry()->Add("repl/apply_skipped", skipped);
+  }
+  next_offset_ = FieldUint(reply.status, "next");
+  const uint64_t tip_seq = FieldUint(reply.status, "tip_seq");
+  const uint64_t applied = applied_seq_.load(std::memory_order_relaxed);
+  lag_records_.store(tip_seq > applied ? tip_seq - applied : 0,
+                     std::memory_order_relaxed);
+  last_contact_ms_.store(NowMs(), std::memory_order_relaxed);
+  service_->metrics_registry()->Add("repl/polls", 1);
+  return Status::Ok();
+}
+
+}  // namespace oocq::replicate

@@ -1,0 +1,66 @@
+#include "replicate/ring.h"
+
+namespace oocq::replicate {
+
+ConsistentHashRing::ConsistentHashRing(uint32_t vnodes_per_node)
+    : vnodes_per_node_(vnodes_per_node < 1 ? 1 : vnodes_per_node) {}
+
+uint64_t ConsistentHashRing::Hash(std::string_view data) {
+  // FNV-1a, 64-bit: deterministic across processes (no seed), cheap, and
+  // well-spread enough for ring points once each node contributes ~128
+  // of them. Not cryptographic — the ring routes, it does not protect.
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void ConsistentHashRing::AddNode(const std::string& node) {
+  if (!nodes_.insert(node).second) return;
+  for (uint32_t i = 0; i < vnodes_per_node_; ++i) {
+    uint64_t point = Hash(node + "#" + std::to_string(i));
+    // On a collision the lexically first node keeps the point; both
+    // sides resolve it identically, so routing stays deterministic.
+    auto [it, inserted] = points_.emplace(point, node);
+    if (!inserted && node < it->second) it->second = node;
+  }
+}
+
+void ConsistentHashRing::RemoveNode(const std::string& node) {
+  if (nodes_.erase(node) == 0) return;
+  for (auto it = points_.begin(); it != points_.end();) {
+    if (it->second == node) {
+      it = points_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Re-add surviving nodes' points that a collision may have ceded to
+  // the removed node (vanishingly rare, but determinism must survive it).
+  for (const std::string& survivor : nodes_) {
+    for (uint32_t i = 0; i < vnodes_per_node_; ++i) {
+      uint64_t point = Hash(survivor + "#" + std::to_string(i));
+      auto [it, inserted] = points_.emplace(point, survivor);
+      if (!inserted && survivor < it->second) it->second = survivor;
+    }
+  }
+}
+
+bool ConsistentHashRing::Contains(const std::string& node) const {
+  return nodes_.count(node) != 0;
+}
+
+std::vector<std::string> ConsistentHashRing::Nodes() const {
+  return std::vector<std::string>(nodes_.begin(), nodes_.end());
+}
+
+std::string ConsistentHashRing::Lookup(std::string_view key) const {
+  if (points_.empty()) return "";
+  auto it = points_.lower_bound(Hash(key));
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->second;
+}
+
+}  // namespace oocq::replicate

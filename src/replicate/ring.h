@@ -1,0 +1,59 @@
+#ifndef OOCQ_REPLICATE_RING_H_
+#define OOCQ_REPLICATE_RING_H_
+
+/// Consistent-hash ring for session routing (docs/replication.md#router).
+///
+/// Each node is placed at `vnodes_per_node` pseudo-random points on a
+/// 64-bit ring; a key is owned by the first node point at or clockwise
+/// of its hash. Virtual nodes smooth the load split (the per-node share
+/// concentrates around 1/N), and the clockwise-successor rule gives the
+/// property the router relies on: removing a node remaps only the keys
+/// that node owned, and adding one steals roughly 1/(N+1) of each
+/// existing node's keys — every other session keeps its primary, so a
+/// topology change never stampedes the whole fleet through resync.
+///
+/// The hash is deterministic (FNV-1a, no per-process seed), so every
+/// router instance — and any client doing its own routing — maps a
+/// session to the same node. Not internally synchronized: callers that
+/// mutate the ring while looking up hold their own lock (oocq_route
+/// guards it with one mutex; lookups are O(log nodes·vnodes)).
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oocq::replicate {
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(uint32_t vnodes_per_node = 128);
+
+  /// Places `node` (an opaque label, typically "host:port") on the ring.
+  /// Re-adding a present node is a no-op.
+  void AddNode(const std::string& node);
+  /// Removes every point of `node`; absent nodes are a no-op.
+  void RemoveNode(const std::string& node);
+  bool Contains(const std::string& node) const;
+
+  bool empty() const { return nodes_.empty(); }
+  size_t node_count() const { return nodes_.size(); }
+  /// The registered node labels, sorted.
+  std::vector<std::string> Nodes() const;
+
+  /// The node owning `key`, or "" when the ring is empty.
+  std::string Lookup(std::string_view key) const;
+
+  /// The stable 64-bit key/point hash the ring is built on (FNV-1a).
+  static uint64_t Hash(std::string_view data);
+
+ private:
+  const uint32_t vnodes_per_node_;
+  std::map<uint64_t, std::string> points_;  // ring position → node
+  std::set<std::string> nodes_;
+};
+
+}  // namespace oocq::replicate
+
+#endif  // OOCQ_REPLICATE_RING_H_

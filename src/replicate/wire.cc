@@ -1,0 +1,87 @@
+#include "replicate/wire.h"
+
+#include <cstdlib>
+
+#include "support/status_macros.h"
+
+namespace oocq::replicate {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(std::string_view data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (unsigned char c : data) {
+    out += kHexDigits[c >> 4];
+    out += kHexDigits[c & 0xf];
+  }
+  return out;
+}
+
+StatusOr<std::string> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("non-hex digit in hex string");
+    }
+    out += static_cast<char>((hi << 4) | lo);
+  }
+  return out;
+}
+
+std::string EncodeShippedRecord(uint64_t offset, std::string_view frame) {
+  return "R " + std::to_string(offset) + " " + HexEncode(frame);
+}
+
+std::string EncodeDumpRecord(const persist::Record& record) {
+  std::string frame;
+  persist::EncodeRecord(record, &frame);
+  return "D " + HexEncode(frame);
+}
+
+StatusOr<ShippedRecord> DecodeShippedLine(const std::string& line) {
+  ShippedRecord shipped;
+  size_t hex_start;
+  if (line.rfind("R ", 0) == 0) {
+    size_t space = line.find(' ', 2);
+    if (space == std::string::npos) {
+      return Status::Internal("shipped line missing offset: " + line);
+    }
+    shipped.offset =
+        std::strtoull(line.substr(2, space - 2).c_str(), nullptr, 10);
+    hex_start = space + 1;
+  } else if (line.rfind("D ", 0) == 0) {
+    hex_start = 2;
+  } else {
+    return Status::Internal("shipped line has unknown tag: " +
+                            line.substr(0, 16));
+  }
+  OOCQ_ASSIGN_OR_RETURN(std::string frame,
+                        HexDecode(std::string_view(line).substr(hex_start)));
+  size_t offset = 0;
+  if (persist::DecodeRecord(frame, &offset, &shipped.record) !=
+          persist::DecodeResult::kOk ||
+      offset != frame.size()) {
+    return Status::Internal("shipped frame failed to decode (CRC or length)");
+  }
+  return shipped;
+}
+
+}  // namespace oocq::replicate

@@ -1,0 +1,57 @@
+#ifndef OOCQ_REPLICATE_WIRE_H_
+#define OOCQ_REPLICATE_WIRE_H_
+
+/// Wire helpers shared by the two ends of the WAL shipping stream
+/// (docs/replication.md): the primary's REPL verbs (server/protocol.cc)
+/// and the follower's tail loop (replicate/follower.h).
+///
+/// Shipped records ride the existing dot-stuffed line protocol, one
+/// payload line per record:
+///
+///   R <offset> <hex-frame>
+///
+/// where <hex-frame> is the record's encoded WAL frame, hex-encoded so a
+/// schema/state text containing newlines (or a lone ".") can never break
+/// framing. The frame's CRC32 travels inside the hex, so a follower
+/// verifies exactly the bytes the primary fsynced — corruption anywhere
+/// on the path (disk, socket, proxy) is caught by the same checksum that
+/// guards local replay. Resync dumps use the same shape with a `D` tag
+/// and no offset.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "persist/codec.h"
+#include "support/status.h"
+
+namespace oocq::replicate {
+
+/// Lower-case hex of `data` (two chars per byte).
+std::string HexEncode(std::string_view data);
+
+/// Inverse of HexEncode; odd length or a non-hex digit is
+/// kInvalidArgument.
+StatusOr<std::string> HexDecode(std::string_view hex);
+
+/// Renders one shipped-record payload line (no trailing newline):
+/// "R <offset> <hex-frame>".
+std::string EncodeShippedRecord(uint64_t offset, std::string_view frame);
+
+/// Renders one resync-dump payload line: "D <hex-frame>". The frame is
+/// a full WAL-format frame encoded from `record`.
+std::string EncodeDumpRecord(const persist::Record& record);
+
+/// One parsed payload line of a REPL SUBSCRIBE / REPL STATE reply.
+struct ShippedRecord {
+  uint64_t offset = 0;  // 0 for dump ('D') lines
+  persist::Record record;
+};
+
+/// Parses a payload line ("R <offset> <hex>" or "D <hex>"), decoding and
+/// CRC-checking the frame. Anything malformed is kInternal — the
+/// follower treats it as a broken stream and reconnects.
+StatusOr<ShippedRecord> DecodeShippedLine(const std::string& line);
+
+}  // namespace oocq::replicate
+
+#endif  // OOCQ_REPLICATE_WIRE_H_

@@ -6,6 +6,10 @@
 #include <cstdlib>
 #include <string>
 
+#include "persist/wal.h"
+#include "replicate/wire.h"
+#include "support/failpoint.h"
+#include "support/metrics.h"
 #include "support/trace.h"
 
 namespace oocq::server {
@@ -278,12 +282,15 @@ ProtocolReply ProtocolHandler::HandleInner(
             std::to_string(kProtocolVersion)));
       }
     }
+    // The caps vocabulary is enumerated in docs/server.md#capabilities;
+    // `replication` advertises the REPL verb family (docs/replication.md).
     return OkReply(
         "protocol=" + std::to_string(kProtocolVersion) +
         " server=oocq max_line_bytes=" + std::to_string(kMaxLineBytes) +
         " caps=sessions,define,state,batch,deadlines,metrics,health,"
-        "explain,ucontain,stats,request_ids" +
-        " draining=" + std::string(service_->draining() ? "1" : "0"));
+        "explain,ucontain,stats,request_ids,replication" +
+        " draining=" + std::string(service_->draining() ? "1" : "0") +
+        " readonly=" + std::string(service_->read_only() ? "1" : "0"));
   }
   if (verb == "QUIT") {
     ProtocolReply reply = OkReply("");
@@ -321,8 +328,22 @@ ProtocolReply ProtocolHandler::HandleInner(
              std::to_string(health.max_disjuncts) +
              " exhausted=" + std::to_string(health.exhausted) + "\n";
     }
+    if (health.repl.present) {
+      // The replication satellite of the same snapshot: role, stream
+      // liveness and lag (docs/replication.md#telemetry). Only present
+      // on nodes actually replicating, so pre-replication parsers see
+      // byte-identical output.
+      body += "repl: role=" + health.repl.role +
+              " connected=" + std::string(health.repl.connected ? "1" : "0") +
+              " lag_records=" + std::to_string(health.repl.lag_records) +
+              " applied_records=" +
+              std::to_string(health.repl.applied_records) +
+              " shipped_bytes=" + std::to_string(health.repl.shipped_bytes) +
+              " epoch=" + std::to_string(health.repl.epoch) + "\n";
+    }
     return OkReply(fields, body);
   }
+  if (verb == "REPL") return HandleRepl(command);
   if (verb == "SESSION") {
     if (command.args.empty()) {
       return ErrReply(BadRequest("SESSION needs NEW or DROP"));
@@ -487,6 +508,127 @@ ProtocolReply ProtocolHandler::HandleInner(
   }
 
   return ErrReply(BadRequest("unknown verb '" + verb + "'"));
+}
+
+ProtocolReply ProtocolHandler::HandleRepl(const CommandLine& command) {
+  if (command.args.empty()) {
+    return ErrReply(
+        BadRequest("REPL needs SUBSCRIBE, STATE, STATUS or PROMOTE"));
+  }
+  std::string sub = command.args[0];
+  for (char& c : sub) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  persist::DurableCatalog* catalog = service_->options().catalog.get();
+  persist::WriteAheadLog* wal =
+      catalog != nullptr ? catalog->wal() : nullptr;
+
+  if (sub == "PROMOTE") {
+    // Idempotent: promoting a primary answers OK without a transition,
+    // so a retrying client converges (docs/replication.md#promotion).
+    Status promoted = service_->Promote();
+    if (!promoted.ok()) return ErrReply(promoted);
+    return OkReply("role=primary");
+  }
+  if (sub == "STATUS") {
+    const ServiceHealth health = service_->CollectHealth();
+    std::string fields =
+        std::string("role=") +
+        (service_->read_only() ? "follower" : "primary");
+    if (wal != nullptr) {
+      fields += " epoch=" + std::to_string(wal->epoch()) +
+                " tip=" + std::to_string(wal->synced_bytes()) +
+                " tip_seq=" + std::to_string(wal->synced_seq());
+    }
+    if (health.repl.present) {
+      fields += " connected=" +
+                std::string(health.repl.connected ? "1" : "0") +
+                " lag_records=" + std::to_string(health.repl.lag_records) +
+                " applied_records=" +
+                std::to_string(health.repl.applied_records);
+    }
+    return OkReply(fields);
+  }
+
+  // The stream verbs source from the WAL: a catalog is mandatory.
+  if (wal == nullptr) {
+    return ErrReply(Status::FailedPrecondition(
+        "replication needs a durable catalog; start with --data-dir"));
+  }
+  if (Status chaos = Failpoints::Check("repl/ship"); !chaos.ok()) {
+    return ErrReply(chaos);
+  }
+
+  if (sub == "STATE") {
+    // Full resync payload: a registry dump cut at an exact WAL position
+    // under the exclusive mutation gate, so (dump + frames past offset)
+    // reconstructs this node exactly.
+    StatusOr<persist::DurableCatalog::PositionedDump> dump =
+        catalog->DumpWithPosition();
+    if (!dump.ok()) return ErrReply(dump.status());
+    std::string body;
+    for (const persist::Record& record : dump->records) {
+      body += replicate::EncodeDumpRecord(record);
+      body += '\n';
+    }
+    MetricAdd("repl/state_dumps", 1);
+    return OkReply("epoch=" + std::to_string(dump->epoch) +
+                       " offset=" + std::to_string(dump->offset) +
+                       " seq=" + std::to_string(dump->seq) +
+                       " n=" + std::to_string(dump->records.size()),
+                   body);
+  }
+  if (sub == "SUBSCRIBE") {
+    if (command.args.size() != 3) {
+      return ErrReply(BadRequest(
+          "usage: REPL SUBSCRIBE <epoch> <offset> [wait_ms=N] [max_bytes=N]"));
+    }
+    const uint64_t want_epoch =
+        std::strtoull(command.args[1].c_str(), nullptr, 10);
+    const uint64_t offset =
+        std::strtoull(command.args[2].c_str(), nullptr, 10);
+    // The long-poll window is capped so a subscriber can never park a
+    // dispatch worker indefinitely; an empty reply just re-subscribes.
+    const uint64_t wait_ms = std::min<uint64_t>(
+        ParamUint(command, "wait_ms"), 10000);
+    const uint64_t max_bytes = ParamUint(command, "max_bytes");
+    MetricAdd("repl/subscribes", 1);
+    if (wal->epoch() != want_epoch) {
+      return ErrReply(Status::FailedPrecondition(
+          "wal epoch is " + std::to_string(wal->epoch()) + ", not " +
+          std::to_string(want_epoch) + " (log compacted); resync required"));
+    }
+    if (wait_ms > 0 && offset >= wal->synced_bytes()) {
+      // Parks until the next group commit lands (the fsync completion
+      // notifies), the log compacts, or the window expires — batches
+      // ship the moment they become durable, not a poll interval later.
+      (void)wal->WaitDurable(offset, static_cast<uint32_t>(wait_ms));
+    }
+    StatusOr<persist::WriteAheadLog::TailBatch> batch =
+        wal->ReadDurableRange(offset, max_bytes);
+    if (!batch.ok()) return ErrReply(batch.status());
+    if (batch->epoch != want_epoch) {
+      return ErrReply(Status::FailedPrecondition(
+          "wal compacted during the poll; resync required"));
+    }
+    std::string body;
+    uint64_t frame_bytes = 0;
+    for (const persist::WriteAheadLog::TailRecord& record : batch->records) {
+      body += replicate::EncodeShippedRecord(record.offset, record.frame);
+      body += '\n';
+      frame_bytes += record.frame.size();
+    }
+    MetricAdd("repl/ship_records", batch->records.size());
+    MetricAdd("repl/ship_bytes", frame_bytes);
+    return OkReply("next=" + std::to_string(batch->next_offset) +
+                       " epoch=" + std::to_string(batch->epoch) +
+                       " tip=" + std::to_string(batch->durable_bytes) +
+                       " tip_seq=" + std::to_string(batch->durable_seq) +
+                       " n=" + std::to_string(batch->records.size()),
+                   body);
+  }
+  return ErrReply(
+      BadRequest("REPL needs SUBSCRIBE, STATE, STATUS or PROMOTE"));
 }
 
 }  // namespace oocq::server

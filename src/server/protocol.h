@@ -128,6 +128,12 @@ class ProtocolHandler {
   ProtocolReply HandleInner(const CommandLine& command,
                             const std::vector<std::string>& payload);
 
+  /// The REPL verb family — WAL shipping and promotion
+  /// (docs/replication.md): SUBSCRIBE (long-poll a batch of durable WAL
+  /// frames), STATE (positioned full dump for resync), STATUS
+  /// (role/position introspection), PROMOTE (clear the readonly gate).
+  ProtocolReply HandleRepl(const CommandLine& command);
+
   OocqService* service_;
 };
 

@@ -60,6 +60,15 @@ void CountOutcome(MetricsRegistry& registry, const Status& status) {
   }
 }
 
+/// The follower-mode refusal every mutating entry point shares. The
+/// message leads with "readonly" — the wire contract clients and the
+/// router key failover on (ERR FAILED_PRECONDITION readonly ...).
+Status ReadonlyError() {
+  return Status::FailedPrecondition(
+      "readonly: this node is a replication follower; send writes to the "
+      "primary");
+}
+
 }  // namespace
 
 const char* RequestKindName(RequestKind kind) {
@@ -100,6 +109,7 @@ OocqService::OocqService(ServiceOptions options)
     if (!armed.ok()) registry_.Add("failpoint/config_errors", 1);
   }
   if (options_.budget.AnySet()) budget_.emplace(options_.budget);
+  read_only_.store(options_.read_only, std::memory_order_relaxed);
   pool_ = std::make_unique<ThreadPool>(options_.max_in_flight);
   if (options_.catalog != nullptr) {
     RestoreFromCatalog();
@@ -142,6 +152,7 @@ StatusOr<std::shared_ptr<OocqService::Session>> OocqService::MakeSession(
 
 StatusOr<std::string> OocqService::CreateSession(
     const std::string& schema_text) {
+  if (read_only()) return ReadonlyError();
   OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                         MakeSession(schema_text));
   OOCQ_RETURN_IF_ERROR(ChargeResident(*session, schema_text.size()));
@@ -180,6 +191,7 @@ StatusOr<std::string> OocqService::CreateSession(
 }
 
 Status OocqService::DropSession(const std::string& session_id) {
+  if (read_only()) return ReadonlyError();
   std::shared_lock<std::shared_mutex> guard;
   if (options_.catalog != nullptr) guard = options_.catalog->MutationGuard();
   std::shared_ptr<Session> dropped;
@@ -214,6 +226,7 @@ StatusOr<std::shared_ptr<OocqService::Session>> OocqService::FindSession(
 Status OocqService::DefineQuery(const std::string& session_id,
                                 const std::string& name,
                                 const std::string& query_text) {
+  if (read_only()) return ReadonlyError();
   OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                         FindSession(session_id));
   OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery query,
@@ -246,6 +259,7 @@ Status OocqService::DefineQuery(const std::string& session_id,
 
 Status OocqService::LoadState(const std::string& session_id,
                               const std::string& state_text) {
+  if (read_only()) return ReadonlyError();
   OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                         FindSession(session_id));
   OOCQ_ASSIGN_OR_RETURN(State state,
@@ -275,6 +289,42 @@ Status OocqService::LoadState(const std::string& session_id,
 size_t OocqService::session_count() const {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   return sessions_.size();
+}
+
+std::vector<std::string> OocqService::SessionIds() const {
+  std::vector<std::string> ids;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  return ids;  // std::map iteration: already sorted
+}
+
+Status OocqService::ApplyReplicated(const persist::Record& record) {
+  OOCQ_RETURN_IF_ERROR(Failpoints::Check("repl/apply"));
+  // Same discipline as a client mutation: in-memory commit and the WAL
+  // append of this node's own catalog happen under one shared hold of
+  // the gate, so the local snapshotter can never cut between them —
+  // replay==acked holds on the follower exactly as on the primary.
+  std::shared_lock<std::shared_mutex> guard;
+  if (options_.catalog != nullptr) guard = options_.catalog->MutationGuard();
+  OOCQ_RETURN_IF_ERROR(ApplyRecord(record));
+  registry_.Add("repl/applied_records", 1);
+  return LogMutation(record);
+}
+
+Status OocqService::Promote() {
+  if (!read_only_.load(std::memory_order_relaxed)) return Status::Ok();
+  OOCQ_RETURN_IF_ERROR(Failpoints::Check("repl/promote"));
+  read_only_.store(false, std::memory_order_relaxed);
+  registry_.Add("repl/promotions", 1);
+  OOCQ_LOG(Info, "repl").Msg("promoted to primary; accepting writes");
+  return Status::Ok();
+}
+
+void OocqService::SetReplicationProbe(
+    std::function<ReplicationHealth()> probe) {
+  std::lock_guard<std::mutex> lock(repl_probe_mu_);
+  repl_probe_ = std::move(probe);
 }
 
 Status OocqService::LogMutation(persist::Record record) {
@@ -510,6 +560,28 @@ ServiceHealth OocqService::CollectHealth() const {
     health.max_disjuncts = limits.max_expanded_disjuncts;
     health.exhausted = b->exhausted_count();
   }
+  {
+    std::lock_guard<std::mutex> lock(repl_probe_mu_);
+    if (repl_probe_) health.repl = repl_probe_();
+  }
+  if (!health.repl.present) {
+    // Primary side: once a subscriber has connected (the protocol layer
+    // counts repl/subscribes), ship-side telemetry joins the snapshot.
+    // A never-replicated server keeps its pre-replication HEALTH/STATS
+    // output byte-compatible.
+    if (registry_.CounterValue("repl/subscribes") > 0) {
+      health.repl.present = true;
+      health.repl.role = "primary";
+      health.repl.connected = true;
+      // Counter names avoid the exact gauge names StatsText() emits, so
+      // the exposition never carries two samples of one metric.
+      health.repl.shipped_bytes = registry_.CounterValue("repl/ship_bytes");
+      if (options_.catalog != nullptr &&
+          options_.catalog->wal() != nullptr) {
+        health.repl.epoch = options_.catalog->wal()->epoch();
+      }
+    }
+  }
   return health;
 }
 
@@ -537,6 +609,16 @@ std::string OocqService::StatsText() const {
     gauge("oocq_budget_disjuncts", health.disjuncts);
     gauge("oocq_budget_disjuncts_limit", health.max_disjuncts);
     gauge("oocq_budget_exhausted_total", health.exhausted);
+  }
+  if (health.repl.present) {
+    // The replication satellite gauges (docs/replication.md#telemetry):
+    // lag in records behind the primary's durable tip, and frame bytes
+    // shipped to subscribers. Both sides emit both names so dashboards
+    // need one query regardless of role.
+    gauge("oocq_repl_lag_records", health.repl.lag_records);
+    gauge("oocq_repl_shipped_bytes", health.repl.shipped_bytes);
+    gauge("oocq_repl_connected", health.repl.connected ? 1 : 0);
+    gauge("oocq_repl_epoch", health.repl.epoch);
   }
   return out;
 }

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -96,6 +97,14 @@ struct ServiceOptions {
   /// registers the catalog's snapshot dump. On destruction the service
   /// takes one final snapshot so the warm cache survives clean restarts.
   std::shared_ptr<persist::DurableCatalog> catalog;
+  /// Replication follower mode (docs/replication.md): client-facing
+  /// mutations (CreateSession / DropSession / DefineQuery / LoadState)
+  /// answer kFailedPrecondition "readonly ..." while the decision verbs
+  /// keep serving — verdicts are deterministic functions of replayed
+  /// state, so a follower's answers match the primary's. Records shipped
+  /// from the primary enter through ApplyReplicated(), which bypasses
+  /// the gate; Promote() clears it.
+  bool read_only = false;
 };
 
 enum class RequestKind {
@@ -109,6 +118,22 @@ enum class RequestKind {
 };
 
 const char* RequestKindName(RequestKind kind);
+
+/// Replication telemetry, filled by whichever side of the stream this
+/// node is on: a follower's tail loop registers a probe
+/// (SetReplicationProbe) reporting lag; a primary reports ship-side
+/// counters once a subscriber has connected. `present` gates the `repl`
+/// line in HEALTH and the repl gauges in STATS, so a non-replicated
+/// server's output is unchanged.
+struct ReplicationHealth {
+  bool present = false;
+  std::string role;             // "primary" | "follower"
+  bool connected = false;       // follower: stream to the primary is up
+  uint64_t lag_records = 0;     // primary durable tip seq − applied seq
+  uint64_t shipped_bytes = 0;   // primary: frame bytes shipped
+  uint64_t applied_records = 0; // follower: records applied this epoch
+  uint64_t epoch = 0;           // WAL compaction epoch being tailed
+};
 
 /// One liveness/progress snapshot, collected once and rendered by both
 /// the HEALTH verb (PR 5 wire format, unchanged) and the STATS
@@ -126,6 +151,7 @@ struct ServiceHealth {
   uint64_t disjuncts = 0;
   uint64_t max_disjuncts = 0;
   uint64_t exhausted = 0;
+  ReplicationHealth repl;
 };
 
 /// One typed request. Query fields hold either query text or `@name`
@@ -174,6 +200,28 @@ class OocqService {
   Status LoadState(const std::string& session_id,
                    const std::string& state_text);
   size_t session_count() const;
+  /// The registered session ids, sorted. A replication resync uses this
+  /// to drop state the new dump no longer contains.
+  std::vector<std::string> SessionIds() const;
+
+  // ---- Replication (docs/replication.md) --------------------------------
+  /// True while client-facing mutations are refused with
+  /// kFailedPrecondition "readonly ..." (ServiceOptions::read_only).
+  bool read_only() const {
+    return read_only_.load(std::memory_order_relaxed);
+  }
+  /// Applies one record shipped from the primary: bypasses the readonly
+  /// gate, replays through the idempotent ApplyRecord path, and logs the
+  /// record to this node's own catalog — so replay==acked holds on the
+  /// follower too and promotion is just Promote(). Serialized by the
+  /// caller (the follower's single tail thread).
+  Status ApplyReplicated(const persist::Record& record);
+  /// Clears the readonly gate; this node now accepts writes. Idempotent;
+  /// fires the `repl/promote` failpoint on an actual transition.
+  Status Promote();
+  /// Installs the replication telemetry source CollectHealth() consults
+  /// (a follower's tail loop). Null detaches it.
+  void SetReplicationProbe(std::function<ReplicationHealth()> probe);
 
   // ---- Request execution ------------------------------------------------
   /// Admission control + pool execution + wait; see the header comment.
@@ -193,6 +241,11 @@ class OocqService {
 
   /// The service-lifetime registry (populated when options.metrics).
   const MetricsRegistry& metrics() const { return registry_; }
+  /// Mutable handle for companion components (the replication tail
+  /// thread) whose lifetime is bounded by the service: writing here
+  /// instead of through the process-wide MetricsScope keeps their
+  /// counters valid even when another service owns the global scope.
+  MetricsRegistry* metrics_registry() { return &registry_; }
   const ServiceOptions& options() const { return options_; }
 
   /// One coherent liveness snapshot (see ServiceHealth).
@@ -283,6 +336,10 @@ class OocqService {
 
   std::atomic<uint32_t> pending_{0};  // admitted: queued + running
   std::atomic<uint64_t> completed_{0};
+  /// ServiceOptions::read_only, flipped by Promote().
+  std::atomic<bool> read_only_{false};
+  mutable std::mutex repl_probe_mu_;
+  std::function<ReplicationHealth()> repl_probe_;
   /// ServiceOptions::budget. Mutable: const request paths (Run) charge
   /// work against it; charging is internally synchronized (atomics).
   mutable std::optional<ResourceBudget> budget_;

@@ -176,6 +176,9 @@ const std::vector<std::string>& Failpoints::KnownNames() {
       "tcp/accept",        // server/tcp_server.cc: after accept() returns
       "tcp/read",          // server/tcp_server.cc: before each recv()
       "tcp/write",         // server/tcp_server.cc: before each send()
+      "repl/ship",         // server/protocol.cc: before serving REPL STATE/SUBSCRIBE
+      "repl/apply",        // server/service.cc: before applying a shipped record
+      "repl/promote",      // server/service.cc: before a follower promotes
   };
   return *names;
 }

@@ -173,9 +173,26 @@ TEST_F(ChaosTest, EveryKnownFailpointFiresAcrossTheStack) {
     EXPECT_EQ(client.ReadReply().rfind("OK contained=1", 0), 0u);
     client.Send("CONTAIN s1\n{ x | x in A1 }\n{ x | x in A2 }\n.\n");
     EXPECT_EQ(client.ReadReply().rfind("OK contained=0", 0), 0u);
+    // REPL STATE fires repl/ship (the WAL-shipping gate).
+    client.Send("REPL STATE\n");
+    EXPECT_EQ(client.ReadReply().rfind("OK epoch=", 0), 0u);
     client.Send("QUIT\n");
     client.ReadReply();
     server.Stop();
+
+    // The follower-side points: applying a shipped record fires
+    // repl/apply; an actual readonly → primary transition fires
+    // repl/promote.
+    persist::Record shipped;
+    shipped.type = persist::RecordType::kDefineQuery;
+    shipped.session_id = "s1";
+    shipped.name = "shipped";
+    shipped.text = "{ x | x in A1 }";
+    OOCQ_EXPECT_OK(service.ApplyReplicated(shipped));
+    ServiceOptions follower_options;
+    follower_options.read_only = true;
+    OocqService follower(follower_options);
+    OOCQ_EXPECT_OK(follower.Promote());
     // ~OocqService takes the final snapshot: fires snapshot/write.
   }
 

@@ -1,0 +1,423 @@
+// The replication building blocks in isolation (docs/replication.md):
+// the consistent-hash ring's determinism and remap bounds, the hex wire
+// codec for shipped WAL frames, and WAL tail reading — including the two
+// hard cases the protocol is designed around: a torn tail left by a
+// crash mid-append, and a compaction (Reset) racing a subscriber.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "persist/codec.h"
+#include "persist/wal.h"
+#include "replicate/ring.h"
+#include "replicate/wire.h"
+#include "support/file.h"
+#include "test_util.h"
+
+namespace oocq::replicate {
+namespace {
+
+using ::oocq::persist::DecodeResult;
+using ::oocq::persist::EncodedHeaderSize;
+using ::oocq::persist::Record;
+using ::oocq::persist::RecordType;
+using ::oocq::persist::WalOptions;
+using ::oocq::persist::WriteAheadLog;
+
+// ---- Consistent-hash ring ----------------------------------------------
+
+TEST(RingTest, EmptyRingLooksUpNothing) {
+  ConsistentHashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.Lookup("anything"), "");
+}
+
+TEST(RingTest, SingleNodeOwnsEverything) {
+  ConsistentHashRing ring;
+  ring.AddNode("a:1");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.Lookup("s" + std::to_string(i)), "a:1");
+  }
+}
+
+TEST(RingTest, LookupIsDeterministicAcrossInstances) {
+  // Two independently built rings (different insertion order) must agree
+  // on every key — the router and any peer resolve ownership without
+  // coordination.
+  ConsistentHashRing forward, reverse;
+  const std::vector<std::string> nodes = {"a:1", "b:2", "c:3", "d:4"};
+  for (const std::string& n : nodes) forward.AddNode(n);
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    reverse.AddNode(*it);
+  }
+  for (int i = 0; i < 500; ++i) {
+    std::string key = "session-" + std::to_string(i);
+    EXPECT_EQ(forward.Lookup(key), reverse.Lookup(key)) << key;
+  }
+}
+
+TEST(RingTest, AllNodesReceiveKeys) {
+  ConsistentHashRing ring;
+  ring.AddNode("a:1");
+  ring.AddNode("b:2");
+  ring.AddNode("c:3");
+  std::map<std::string, int> owned;
+  for (int i = 0; i < 3000; ++i) {
+    owned[ring.Lookup("s" + std::to_string(i))]++;
+  }
+  ASSERT_EQ(owned.size(), 3u);
+  // 128 vnodes per node spreads well; no node should starve (the exact
+  // split is hash luck, but an order-of-magnitude skew means the ring is
+  // broken).
+  for (const auto& [node, count] : owned) {
+    EXPECT_GT(count, 300) << node;
+  }
+}
+
+TEST(RingTest, RemovalOnlyRemapsTheRemovedNodesKeys) {
+  ConsistentHashRing ring;
+  ring.AddNode("a:1");
+  ring.AddNode("b:2");
+  ring.AddNode("c:3");
+  std::map<std::string, std::string> before;
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = "s" + std::to_string(i);
+    before[key] = ring.Lookup(key);
+  }
+  ring.RemoveNode("b:2");
+  for (const auto& [key, owner] : before) {
+    std::string now = ring.Lookup(key);
+    if (owner != "b:2") {
+      // The consistent-hashing contract: keys not owned by the removed
+      // node do not move.
+      EXPECT_EQ(now, owner) << key;
+    } else {
+      EXPECT_NE(now, "b:2") << key;
+    }
+  }
+}
+
+TEST(RingTest, AddBackRestoresOwnership) {
+  ConsistentHashRing ring;
+  ring.AddNode("a:1");
+  ring.AddNode("b:2");
+  std::map<std::string, std::string> before;
+  for (int i = 0; i < 500; ++i) {
+    std::string key = "s" + std::to_string(i);
+    before[key] = ring.Lookup(key);
+  }
+  ring.RemoveNode("a:1");
+  ring.AddNode("a:1");
+  for (const auto& [key, owner] : before) {
+    EXPECT_EQ(ring.Lookup(key), owner) << key;
+  }
+}
+
+TEST(RingTest, ContainsAndNodes) {
+  ConsistentHashRing ring;
+  ring.AddNode("b:2");
+  ring.AddNode("a:1");
+  ring.AddNode("a:1");  // duplicate add is a no-op
+  EXPECT_TRUE(ring.Contains("a:1"));
+  EXPECT_FALSE(ring.Contains("c:3"));
+  EXPECT_EQ(ring.node_count(), 2u);
+  EXPECT_EQ(ring.Nodes(), (std::vector<std::string>{"a:1", "b:2"}));
+  ring.RemoveNode("c:3");  // removing an absent node is a no-op
+  EXPECT_EQ(ring.node_count(), 2u);
+}
+
+// ---- Wire codec --------------------------------------------------------
+
+Record MakeRecord(RecordType type, const std::string& sid,
+                  const std::string& name, const std::string& text) {
+  Record record;
+  record.type = type;
+  record.session_id = sid;
+  record.name = name;
+  record.text = text;
+  return record;
+}
+
+TEST(WireTest, HexRoundTripsArbitraryBytes) {
+  std::string raw;
+  for (int i = 0; i < 256; ++i) raw.push_back(static_cast<char>(i));
+  StatusOr<std::string> back = HexDecode(HexEncode(raw));
+  OOCQ_ASSERT_OK(back.status());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(WireTest, HexDecodeRejectsGarbage) {
+  EXPECT_FALSE(HexDecode("abc").ok());   // odd length
+  EXPECT_FALSE(HexDecode("zz").ok());    // not a hex digit
+}
+
+TEST(WireTest, ShippedRecordRoundTrip) {
+  Record record = MakeRecord(RecordType::kDefineQuery, "s1", "q1",
+                             "{ x | x in Auto }\nsecond line");
+  std::string frame;
+  persist::EncodeRecord(record, &frame);
+  std::string line = EncodeShippedRecord(4242, frame);
+  StatusOr<ShippedRecord> shipped = DecodeShippedLine(line);
+  OOCQ_ASSERT_OK(shipped.status());
+  EXPECT_EQ(shipped->offset, 4242u);
+  EXPECT_EQ(shipped->record, record);
+}
+
+TEST(WireTest, DumpRecordRoundTrip) {
+  Record record =
+      MakeRecord(RecordType::kCreateSession, "s7", "", "schema S { }");
+  StatusOr<ShippedRecord> shipped = DecodeShippedLine(EncodeDumpRecord(record));
+  OOCQ_ASSERT_OK(shipped.status());
+  EXPECT_EQ(shipped->offset, 0u);
+  EXPECT_EQ(shipped->record, record);
+}
+
+TEST(WireTest, DecodeRejectsBadLines) {
+  EXPECT_FALSE(DecodeShippedLine("").ok());
+  EXPECT_FALSE(DecodeShippedLine("X 1 abcd").ok());  // unknown tag
+  EXPECT_FALSE(DecodeShippedLine("R abcd").ok());    // missing offset
+  // A well-formed line whose frame bytes fail the CRC must not decode:
+  Record record = MakeRecord(RecordType::kSetState, "s1", "", "state { }");
+  std::string frame;
+  persist::EncodeRecord(record, &frame);
+  frame.back() ^= 0x40;
+  EXPECT_FALSE(DecodeShippedLine(EncodeShippedRecord(0, frame)).ok());
+}
+
+// ---- WAL tail reading --------------------------------------------------
+
+std::string FreshWalPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "oocq_replicate_" + name + ".wal";
+  (void)RemoveFileIfExists(path);
+  return path;
+}
+
+Record NumberedRecord(int i) {
+  return MakeRecord(RecordType::kDefineQuery, "s1", "q" + std::to_string(i),
+                    "{ x | x in Auto }  // #" + std::to_string(i));
+}
+
+TEST(WalTailTest, ReadsBackEverythingAppended) {
+  std::string path = FreshWalPath("roundtrip");
+  WalOptions options;
+  options.group_commit_window_us = 0;
+  StatusOr<std::unique_ptr<WriteAheadLog>> wal =
+      WriteAheadLog::Open(path, options);
+  OOCQ_ASSERT_OK(wal.status());
+  for (int i = 0; i < 5; ++i) OOCQ_ASSERT_OK((*wal)->Append(NumberedRecord(i)));
+
+  EXPECT_EQ((*wal)->epoch(), 1u);
+  EXPECT_EQ((*wal)->synced_seq(), 5u);
+
+  StatusOr<WriteAheadLog::TailBatch> batch =
+      (*wal)->ReadDurableRange(EncodedHeaderSize(), 0);
+  OOCQ_ASSERT_OK(batch.status());
+  ASSERT_EQ(batch->records.size(), 5u);
+  EXPECT_EQ(batch->next_offset, batch->durable_bytes);
+  EXPECT_EQ(batch->durable_seq, 5u);
+  EXPECT_EQ(batch->epoch, 1u);
+
+  // Every shipped frame decodes to the record appended, and the offsets
+  // chain: each frame starts where the previous one ended.
+  uint64_t expected_offset = EncodedHeaderSize();
+  for (int i = 0; i < 5; ++i) {
+    const WriteAheadLog::TailRecord& tail = batch->records[i];
+    EXPECT_EQ(tail.offset, expected_offset);
+    size_t pos = 0;
+    Record decoded;
+    ASSERT_EQ(persist::DecodeRecord(tail.frame, &pos, &decoded),
+              DecodeResult::kOk);
+    EXPECT_EQ(decoded, NumberedRecord(i));
+    expected_offset += tail.frame.size();
+  }
+
+  // Resuming from mid-stream returns only the suffix.
+  StatusOr<WriteAheadLog::TailBatch> suffix =
+      (*wal)->ReadDurableRange(batch->records[3].offset, 0);
+  OOCQ_ASSERT_OK(suffix.status());
+  EXPECT_EQ(suffix->records.size(), 2u);
+
+  // Caught up: empty batch, not an error.
+  StatusOr<WriteAheadLog::TailBatch> empty =
+      (*wal)->ReadDurableRange(batch->next_offset, 0);
+  OOCQ_ASSERT_OK(empty.status());
+  EXPECT_TRUE(empty->records.empty());
+  EXPECT_EQ(empty->next_offset, batch->next_offset);
+}
+
+TEST(WalTailTest, SmallMaxBytesStillMakesProgress) {
+  std::string path = FreshWalPath("clamp");
+  WalOptions options;
+  options.group_commit_window_us = 0;
+  StatusOr<std::unique_ptr<WriteAheadLog>> wal =
+      WriteAheadLog::Open(path, options);
+  OOCQ_ASSERT_OK(wal.status());
+  for (int i = 0; i < 4; ++i) OOCQ_ASSERT_OK((*wal)->Append(NumberedRecord(i)));
+
+  // A clamp smaller than one frame must still return that frame (the
+  // widen-and-retry path), and chained reads must drain the log.
+  uint64_t offset = EncodedHeaderSize();
+  int total = 0;
+  while (true) {
+    StatusOr<WriteAheadLog::TailBatch> batch =
+        (*wal)->ReadDurableRange(offset, 8);
+    OOCQ_ASSERT_OK(batch.status());
+    if (batch->records.empty()) break;
+    total += static_cast<int>(batch->records.size());
+    ASSERT_GT(batch->next_offset, offset);
+    offset = batch->next_offset;
+  }
+  EXPECT_EQ(total, 4);
+}
+
+TEST(WalTailTest, BadOffsetsDemandResync) {
+  std::string path = FreshWalPath("badoffset");
+  WalOptions options;
+  options.group_commit_window_us = 0;
+  StatusOr<std::unique_ptr<WriteAheadLog>> wal =
+      WriteAheadLog::Open(path, options);
+  OOCQ_ASSERT_OK(wal.status());
+  OOCQ_ASSERT_OK((*wal)->Append(NumberedRecord(0)));
+
+  // Before the header, past the tip, and mid-frame: all
+  // kFailedPrecondition — the subscriber's universal resync signal.
+  EXPECT_EQ((*wal)->ReadDurableRange(0, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*wal)->ReadDurableRange((*wal)->synced_bytes() + 999, 0)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*wal)->ReadDurableRange(EncodedHeaderSize() + 3, 0)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(WalTailTest, TailFollowAcrossTornTail) {
+  // A crash mid-append leaves a torn frame. fail_after_bytes tears the
+  // third append exactly as a SIGKILL would; replay truncates it; the
+  // reopened log must ship exactly the two intact records — never torn
+  // bytes (satellite: tail-follow across a torn tail).
+  std::string path = FreshWalPath("torn");
+  uint64_t two_records_bytes = 0;
+  {
+    WalOptions options;
+    options.group_commit_window_us = 0;
+    StatusOr<std::unique_ptr<WriteAheadLog>> wal =
+        WriteAheadLog::Open(path, options);
+    OOCQ_ASSERT_OK(wal.status());
+    OOCQ_ASSERT_OK((*wal)->Append(NumberedRecord(0)));
+    OOCQ_ASSERT_OK((*wal)->Append(NumberedRecord(1)));
+    two_records_bytes = (*wal)->synced_bytes();
+    WalOptions tearing = options;
+    tearing.fail_after_bytes = two_records_bytes + 10;  // mid-third-frame
+    StatusOr<std::unique_ptr<WriteAheadLog>> torn =
+        WriteAheadLog::Open(path, tearing);
+    OOCQ_ASSERT_OK(torn.status());
+    EXPECT_FALSE((*torn)->Append(NumberedRecord(2)).ok());
+  }
+
+  StatusOr<WriteAheadLog::ReplayResult> replayed = WriteAheadLog::Replay(path);
+  OOCQ_ASSERT_OK(replayed.status());
+  ASSERT_EQ(replayed->records.size(), 2u);
+  EXPECT_GT(replayed->truncated_bytes, 0u);
+
+  WalOptions options;
+  options.group_commit_window_us = 0;
+  StatusOr<std::unique_ptr<WriteAheadLog>> wal =
+      WriteAheadLog::Open(path, options);
+  OOCQ_ASSERT_OK(wal.status());
+  (*wal)->NoteExistingRecords(replayed->records.size());
+  EXPECT_EQ((*wal)->synced_seq(), 2u);
+  EXPECT_EQ((*wal)->synced_bytes(), two_records_bytes);
+
+  StatusOr<WriteAheadLog::TailBatch> batch =
+      (*wal)->ReadDurableRange(EncodedHeaderSize(), 0);
+  OOCQ_ASSERT_OK(batch.status());
+  ASSERT_EQ(batch->records.size(), 2u);
+  EXPECT_EQ(batch->durable_seq, 2u);
+  // The stream keeps flowing after the truncation: a new append lands at
+  // the truncated tip and ships from next_offset.
+  OOCQ_ASSERT_OK((*wal)->Append(NumberedRecord(3)));
+  StatusOr<WriteAheadLog::TailBatch> more =
+      (*wal)->ReadDurableRange(batch->next_offset, 0);
+  OOCQ_ASSERT_OK(more.status());
+  ASSERT_EQ(more->records.size(), 1u);
+  size_t pos = 0;
+  Record decoded;
+  ASSERT_EQ(persist::DecodeRecord(more->records[0].frame, &pos, &decoded),
+            DecodeResult::kOk);
+  EXPECT_EQ(decoded, NumberedRecord(3));
+}
+
+TEST(WalTailTest, CompactionBumpsEpochAndInvalidatesOffsets) {
+  // Snapshot compaction resets the WAL; a subscriber parked on the old
+  // epoch must get kFailedPrecondition, not silently misread the new
+  // file (satellite: tail-follow across snapshot + WAL reset).
+  std::string path = FreshWalPath("compact");
+  WalOptions options;
+  options.group_commit_window_us = 0;
+  StatusOr<std::unique_ptr<WriteAheadLog>> wal =
+      WriteAheadLog::Open(path, options);
+  OOCQ_ASSERT_OK(wal.status());
+  for (int i = 0; i < 3; ++i) OOCQ_ASSERT_OK((*wal)->Append(NumberedRecord(i)));
+  StatusOr<WriteAheadLog::TailBatch> batch =
+      (*wal)->ReadDurableRange(EncodedHeaderSize(), 0);
+  OOCQ_ASSERT_OK(batch.status());
+  uint64_t old_tip = batch->next_offset;
+
+  OOCQ_ASSERT_OK((*wal)->Reset());
+  EXPECT_EQ((*wal)->epoch(), 2u);
+  EXPECT_EQ((*wal)->synced_seq(), 0u);
+
+  // The old cursor is beyond the reset log's tip: resync demanded.
+  EXPECT_EQ((*wal)->ReadDurableRange(old_tip, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // The new epoch streams from the header again.
+  OOCQ_ASSERT_OK((*wal)->Append(NumberedRecord(9)));
+  StatusOr<WriteAheadLog::TailBatch> fresh =
+      (*wal)->ReadDurableRange(EncodedHeaderSize(), 0);
+  OOCQ_ASSERT_OK(fresh.status());
+  ASSERT_EQ(fresh->records.size(), 1u);
+  EXPECT_EQ(fresh->epoch, 2u);
+  EXPECT_EQ(fresh->durable_seq, 1u);
+}
+
+TEST(WalTailTest, WaitDurableWakesOnAppendAndEpochChange) {
+  std::string path = FreshWalPath("wait");
+  WalOptions options;
+  options.group_commit_window_us = 0;
+  StatusOr<std::unique_ptr<WriteAheadLog>> wal =
+      WriteAheadLog::Open(path, options);
+  OOCQ_ASSERT_OK(wal.status());
+  uint64_t tip = (*wal)->synced_bytes();
+
+  // Nothing new: times out false.
+  EXPECT_FALSE((*wal)->WaitDurable(tip, 30));
+
+  std::thread appender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    OOCQ_ASSERT_OK((*wal)->Append(NumberedRecord(0)));
+  });
+  // Wakes well before the 5s ceiling once the append's fsync lands.
+  EXPECT_TRUE((*wal)->WaitDurable(tip, 5000));
+  appender.join();
+
+  uint64_t new_tip = (*wal)->synced_bytes();
+  std::thread resetter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    OOCQ_ASSERT_OK((*wal)->Reset());
+  });
+  // An epoch bump is also "something new" (the caller must resync).
+  EXPECT_TRUE((*wal)->WaitDurable(new_tip, 5000));
+  resetter.join();
+}
+
+}  // namespace
+}  // namespace oocq::replicate
