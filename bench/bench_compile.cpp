@@ -1,0 +1,255 @@
+// E18 — what query compilation buys (docs/compilation.md): the same
+// workload runs with the src/compile/ fast paths on and off, and the
+// p50 speedups are the headline numbers.
+//
+//  * eval: a three-variable join (the E7 ablation query) on a random
+//    vehicle-rental state, tree walker vs the register VM executing a
+//    session-cached program. Answers must be identical; the compiled
+//    p50 must beat the interpreted p50 by at least --min-speedup
+//    (default 5x, the ISSUE acceptance bar).
+//  * subset_scan: a Thm 3.1 membership-subset scan with |T| = 16
+//    (2^15 masks after the forced-atom split), interpreted per-mask
+//    mapping searches vs the word-parallel compiled coverage test.
+//    Verdicts must be identical.
+//
+// Standalone binary (no google-benchmark): writes BENCH_compile.json
+// with both legs' p50/p99 and the speedups, stamped via BeginBenchJson.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "compile/program_cache.h"
+#include "core/containment.h"
+#include "parser/parser.h"
+#include "state/evaluation.h"
+#include "state/generator.h"
+
+namespace oocq::bench {
+namespace {
+
+// Keeps the measured calls observable without google-benchmark's
+// DoNotOptimize.
+volatile uint64_t benchmark_dummy_sink = 0;
+
+uint64_t Percentile(std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+struct Sample {
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+};
+
+/// Times `fn` (already warmed) `iters` times; returns sorted-percentile
+/// latencies in microseconds.
+template <typename Fn>
+Sample Measure(int iters, Fn&& fn) {
+  std::vector<uint64_t> us;
+  us.reserve(static_cast<size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto stop = std::chrono::steady_clock::now();
+    us.push_back(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(stop - start)
+            .count()));
+  }
+  std::sort(us.begin(), us.end());
+  Sample sample;
+  sample.p50_us = Percentile(us, 0.50);
+  sample.p99_us = Percentile(us, 0.99);
+  return sample;
+}
+
+// ---- Leg 1: evaluation, tree walker vs register VM -------------------
+
+constexpr const char* kEvalQuery =
+    "{ x | exists c exists y (x in Vehicle & c in Vehicle & "
+    "y in Discount & x in y.VehRented & c in y.VehRented) }";
+
+struct EvalLeg {
+  Sample interpreted;
+  Sample compiled;
+};
+
+EvalLeg RunEvalLeg(int iters) {
+  Schema schema = MakeVehicleRentalSchema();
+  GeneratorParams params;
+  params.objects_per_class = 160;
+  params.null_probability = 0.2;
+  params.max_set_size = 6;
+  params.seed = 1234;
+  State database = GenerateRandomState(schema, params);
+  ConjunctiveQuery query = Must(ParseQuery(schema, kEvalQuery));
+
+  EvalOptions interpreted;
+  interpreted.enable_compilation = false;
+  EvalOptions compiled;
+  compiled.enable_compilation = true;
+  // Steady-state shape: the server compiles once per (session, query)
+  // into the session ProgramCache and executes many times.
+  compile::ProgramCache cache;
+  compiled.program = cache.GetOrCompile(schema, query);
+  if (compiled.program == nullptr) {
+    std::fprintf(stderr, "FAIL: eval query did not compile\n");
+    std::exit(1);
+  }
+
+  std::vector<Oid> walker_answers = Must(Evaluate(database, query, interpreted));
+  std::vector<Oid> vm_answers = Must(Evaluate(database, query, compiled));
+  if (walker_answers != vm_answers) {
+    std::fprintf(stderr, "FAIL: compiled answers differ (%zu vs %zu)\n",
+                 vm_answers.size(), walker_answers.size());
+    std::exit(1);
+  }
+
+  EvalLeg leg;
+  leg.interpreted = Measure(iters, [&] {
+    benchmark_dummy_sink += Must(Evaluate(database, query, interpreted)).size();
+  });
+  leg.compiled = Measure(iters, [&] {
+    benchmark_dummy_sink += Must(Evaluate(database, query, compiled)).size();
+  });
+  return leg;
+}
+
+// ---- Leg 2: the Thm 3.1 subset scan, per-mask vs word-parallel -------
+
+/// Schema with k set attributes on one class, and a Q1 whose existential
+/// witness u lies in all k sets while Q2 keeps a non-membership atom —
+/// the shape that defeats every Cor 3.2–3.4 fast path and forces the
+/// full 2^|T| membership-subset enumeration (tests/compile_test.cc).
+std::string HeavySchemaText(int k) {
+  std::string text = "schema Heavy {\n  class D { }\n  class C { ";
+  for (int i = 0; i < k; ++i) text += "S" + std::to_string(i) + ": {D}; ";
+  text += "}\n}";
+  return text;
+}
+
+std::string HeavyQ1(int k) {
+  std::string q1 = "{ x | exists y exists u (x in D & y in C & u in D";
+  for (int i = 0; i < k; ++i) q1 += " & u in y.S" + std::to_string(i);
+  q1 += " & x notin y.S0) }";
+  return q1;
+}
+
+struct ScanLeg {
+  Sample interpreted;
+  Sample compiled;
+};
+
+ScanLeg RunSubsetScanLeg(int k, int iters) {
+  Schema schema = Must(ParseSchema(HeavySchemaText(k)));
+  ConjunctiveQuery q1 = Must(ParseQuery(schema, HeavyQ1(k)));
+  ConjunctiveQuery q2 = Must(ParseQuery(
+      schema, "{ x | exists y (x in D & y in C & x notin y.S0) }"));
+
+  ContainmentOptions interpreted;
+  interpreted.enable_compilation = false;
+  ContainmentOptions compiled;
+  compiled.enable_compilation = true;
+
+  bool slow = Must(Contained(schema, q1, q2, interpreted));
+  bool fast = Must(Contained(schema, q1, q2, compiled));
+  if (slow != fast) {
+    std::fprintf(stderr, "FAIL: subset-scan verdicts differ\n");
+    std::exit(1);
+  }
+
+  ScanLeg leg;
+  leg.interpreted = Measure(iters, [&] {
+    benchmark_dummy_sink +=
+        Must(Contained(schema, q1, q2, interpreted)) ? 1u : 0u;
+  });
+  leg.compiled = Measure(iters, [&] {
+    benchmark_dummy_sink +=
+        Must(Contained(schema, q1, q2, compiled)) ? 1u : 0u;
+  });
+  return leg;
+}
+
+double Speedup(const Sample& interpreted, const Sample& compiled) {
+  if (compiled.p50_us == 0) {
+    // Sub-microsecond compiled leg: report against 1us so the ratio
+    // stays finite (and conservative).
+    return static_cast<double>(interpreted.p50_us);
+  }
+  return static_cast<double>(interpreted.p50_us) /
+         static_cast<double>(compiled.p50_us);
+}
+
+}  // namespace
+}  // namespace oocq::bench
+
+int main(int argc, char** argv) {
+  using namespace oocq::bench;
+  double min_speedup = 5.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+      min_speedup = std::atof(argv[i] + 14);
+    }
+  }
+
+  EvalLeg eval = RunEvalLeg(/*iters=*/300);
+  ScanLeg scan = RunSubsetScanLeg(/*k=*/16, /*iters=*/30);
+
+  double eval_speedup = Speedup(eval.interpreted, eval.compiled);
+  double scan_speedup = Speedup(scan.interpreted, scan.compiled);
+
+  std::FILE* out = std::fopen("BENCH_compile.json", "w");
+  if (out == nullptr) {
+    std::perror("BENCH_compile.json");
+    return 1;
+  }
+  BeginBenchJson(out);
+  std::fprintf(out,
+               "  \"eval\": {\n"
+               "    \"interpreted\": {\"p50_us\": %llu, \"p99_us\": %llu},\n"
+               "    \"compiled\": {\"p50_us\": %llu, \"p99_us\": %llu},\n"
+               "    \"speedup_p50\": %.2f\n  },\n",
+               static_cast<unsigned long long>(eval.interpreted.p50_us),
+               static_cast<unsigned long long>(eval.interpreted.p99_us),
+               static_cast<unsigned long long>(eval.compiled.p50_us),
+               static_cast<unsigned long long>(eval.compiled.p99_us),
+               eval_speedup);
+  std::fprintf(out,
+               "  \"subset_scan\": {\n"
+               "    \"interpreted\": {\"p50_us\": %llu, \"p99_us\": %llu},\n"
+               "    \"compiled\": {\"p50_us\": %llu, \"p99_us\": %llu},\n"
+               "    \"speedup_p50\": %.2f\n  }\n}\n",
+               static_cast<unsigned long long>(scan.interpreted.p50_us),
+               static_cast<unsigned long long>(scan.interpreted.p99_us),
+               static_cast<unsigned long long>(scan.compiled.p50_us),
+               static_cast<unsigned long long>(scan.compiled.p99_us),
+               scan_speedup);
+  std::fclose(out);
+
+  std::printf("eval:        interpreted p50 %llu us, compiled p50 %llu us "
+              "(%.1fx)\n",
+              static_cast<unsigned long long>(eval.interpreted.p50_us),
+              static_cast<unsigned long long>(eval.compiled.p50_us),
+              eval_speedup);
+  std::printf("subset_scan: interpreted p50 %llu us, compiled p50 %llu us "
+              "(%.1fx)\n",
+              static_cast<unsigned long long>(scan.interpreted.p50_us),
+              static_cast<unsigned long long>(scan.compiled.p50_us),
+              scan_speedup);
+  std::printf("wrote BENCH_compile.json\n");
+
+  if (eval_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: eval speedup %.2fx below the %.1fx acceptance bar\n",
+                 eval_speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -46,7 +46,7 @@ using namespace oocq;
 /// The flag registry doubles as the usage text; main() binds the same
 /// instance, so Dispatch's arity errors print identical help.
 examples::FlagSet MakeFlagSet(std::string* trace_path, bool* want_metrics,
-                              uint64_t* num_threads) {
+                              uint64_t* num_threads, bool* no_compile) {
   examples::FlagSet flags(
       "oocq_cli",
       "SCHEMA (minimize Q | contain Q1 Q2 | equiv Q1 Q2 | satisfiable Q | "
@@ -59,6 +59,9 @@ examples::FlagSet MakeFlagSet(std::string* trace_path, bool* want_metrics,
   flags.Uint("threads", num_threads, "N",
              "engine worker threads (1 = serial, 0 = one per hardware "
              "thread)");
+  flags.Bool("no-compile", no_compile,
+             "disable the query-compilation fast paths (bytecode VM + "
+             "compiled subset scan; docs/compilation.md) for A/B runs");
   return flags;
 }
 
@@ -66,7 +69,9 @@ int Usage() {
   std::string trace_path;
   bool want_metrics = false;
   uint64_t num_threads = 1;
-  return MakeFlagSet(&trace_path, &want_metrics, &num_threads).UsageError();
+  bool no_compile = false;
+  return MakeFlagSet(&trace_path, &want_metrics, &num_threads, &no_compile)
+      .UsageError();
 }
 
 std::string ReadFileOrDie(const char* path) {
@@ -136,8 +141,8 @@ int RunSatisfiable(const Schema& schema, const std::string& text) {
   return 1;
 }
 
-int RunEval(const Schema& schema, const char* state_path,
-            const std::string& text) {
+int RunEval(const Schema& schema, const MinimizationOptions& options,
+            const char* state_path, const std::string& text) {
   State database = Must(ParseState(&schema, ReadFileOrDie(state_path)));
   ConjunctiveQuery query = Must(ParseQuery(schema, text));
   StatusOr<ConjunctiveQuery> well_formed = NormalizeToWellFormed(schema, query);
@@ -146,15 +151,28 @@ int RunEval(const Schema& schema, const char* state_path,
                  well_formed.status().ToString().c_str());
     return 1;
   }
+  // The search-space counters describe tree-walker work, so the stats
+  // sink only rides along on the interpreted path; the default compiled
+  // run (docs/compilation.md) prints the answers alone.
+  EvalOptions eval_options;
+  eval_options.enable_compilation = options.enable_compilation;
   EvalStats stats;
-  std::vector<Oid> answers = Must(Evaluate(database, *well_formed, {}, &stats));
+  std::vector<Oid> answers =
+      eval_options.enable_compilation
+          ? Must(Evaluate(database, *well_formed, eval_options))
+          : Must(Evaluate(database, *well_formed, eval_options, &stats));
   std::printf("%zu answer(s):\n", answers.size());
   for (Oid oid : answers) {
     std::printf("  %s\n", database.DebugString(oid).c_str());
   }
-  std::printf("(%llu candidate objects, %llu assignments tried)\n",
-              static_cast<unsigned long long>(stats.candidate_pool),
-              static_cast<unsigned long long>(stats.assignments_tried));
+  if (eval_options.enable_compilation) {
+    std::printf("(compiled; rerun with --no-compile for search-space "
+                "counters)\n");
+  } else {
+    std::printf("(%llu candidate objects, %llu assignments tried)\n",
+                static_cast<unsigned long long>(stats.candidate_pool),
+                static_cast<unsigned long long>(stats.assignments_tried));
+  }
   return 0;
 }
 
@@ -176,7 +194,7 @@ int Dispatch(const Schema& schema, const MinimizationOptions& options,
     return RunSatisfiable(schema, argv[1]);
   }
   if (command == "eval" && argc == 3) {
-    return RunEval(schema, argv[1], argv[2]);
+    return RunEval(schema, options, argv[1], argv[2]);
   }
   if (command == "explain" && argc == 3) {
     ConjunctiveQuery q1 = Must(ParseQuery(schema, argv[1]));
@@ -195,8 +213,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool want_metrics = false;
   uint64_t num_threads = 1;
+  bool no_compile = false;
   examples::FlagSet flags =
-      MakeFlagSet(&trace_path, &want_metrics, &num_threads);
+      MakeFlagSet(&trace_path, &want_metrics, &num_threads, &no_compile);
   int arg = flags.Parse(argc, argv);
   if (argc - arg < 3) return Usage();
 
@@ -209,6 +228,7 @@ int main(int argc, char** argv) {
   MinimizationOptions options;
   options.observability.metrics = observing;
   options.parallel.num_threads = static_cast<uint32_t>(num_threads);
+  options.enable_compilation = !no_compile;
 
   TraceLog trace_log;
   MetricsRegistry registry;

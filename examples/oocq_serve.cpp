@@ -283,6 +283,7 @@ int main(int argc, char** argv) {
   std::string log_level = "info";
   std::string stats_file;
   bool want_metrics = false, smoke = false, log_json = false;
+  bool no_compile = false;
 
   oocq::examples::FlagSet flags(
       "oocq_serve", "",
@@ -313,6 +314,9 @@ int main(int argc, char** argv) {
   flags.Uint("snapshot_interval_s", &snapshot_interval_s, "N",
              "snapshot cadence with --data-dir (default 60; "
              "0 = snapshot only on shutdown)");
+  flags.Bool("no-compile", &no_compile,
+             "disable the query-compilation fast paths (bytecode VM + "
+             "compiled subset scan; docs/compilation.md) for A/B runs");
   flags.Str("failpoints", &failpoints, "SPEC",
             "arm fault injection, e.g. 'wal/fsync=error@3,tcp/accept="
             "delay:50' (env OOCQ_FAILPOINTS also read)");
@@ -392,6 +396,7 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) trace_session.emplace(&trace_log);
 
   ServiceOptions service_options;
+  service_options.engine.enable_compilation = !no_compile;
   service_options.engine.parallel.num_threads = static_cast<uint32_t>(threads);
   service_options.max_in_flight = static_cast<uint32_t>(workers);
   service_options.max_queue_depth = static_cast<uint32_t>(queue);

@@ -1,0 +1,31 @@
+#ifndef OOCQ_COMPILE_COMPILER_H_
+#define OOCQ_COMPILE_COMPILER_H_
+
+#include "compile/program.h"
+#include "query/query.h"
+#include "schema/schema.h"
+#include "support/status.h"
+
+namespace oocq::compile {
+
+struct CompileOptions {
+  /// Order tests within a level by observed pass rates from the installed
+  /// metrics registry (the `compile/sel/...` counters the VM records).
+  /// Without a registry — or before any execution recorded samples — the
+  /// order falls back to a deterministic static cost priority, so
+  /// compilation is reproducible when metrics are off.
+  bool use_selectivity_stats = true;
+};
+
+/// Compiles a well-formed conjunctive query into a CompiledQuery whose
+/// execution (vm.h) produces exactly the answers and status codes of the
+/// tree-walking Evaluate(). Returns kFailedPrecondition for query shapes the
+/// compiler does not cover — callers fall back to the tree walker; the
+/// fallback is part of the contract, never an error surfaced to users.
+StatusOr<CompiledQuery> CompileQuery(const Schema& schema,
+                                     const ConjunctiveQuery& query,
+                                     const CompileOptions& options = {});
+
+}  // namespace oocq::compile
+
+#endif  // OOCQ_COMPILE_COMPILER_H_

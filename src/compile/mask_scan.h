@@ -1,0 +1,85 @@
+#ifndef OOCQ_COMPILE_MASK_SCAN_H_
+#define OOCQ_COMPILE_MASK_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mapping.h"
+#include "query/query.h"
+#include "schema/schema.h"
+#include "support/cancellation.h"
+#include "support/resource_budget.h"
+#include "support/status.h"
+
+namespace oocq::compile {
+
+/// Limits and hooks for one compiled subset scan, mirroring the knobs the
+/// interpreted scan draws from ContainmentOptions.
+struct MaskScanOptions {
+  /// Backtracking-step budget for the one-shot mapping enumeration.
+  /// Overruns bail out to the interpreted scan (which then applies its own
+  /// per-mask budget), so the legacy error behavior is preserved.
+  uint64_t max_steps = 10'000'000;
+  /// Cap on distinct (required, forbidden) signatures collected; more
+  /// bails out to the interpreted scan.
+  uint64_t max_signatures = 4096;
+  const CancellationToken* cancel = nullptr;
+  /// Charged one unit per mask covered-or-refuted, in 64-mask blocks —
+  /// the same total the interpreted scan charges mask by mask.
+  ResourceBudget* budget = nullptr;
+};
+
+/// Outcome of RunCompiledMaskScan.
+struct MaskScanResult {
+  /// False: the scan could not take the compiled path (unsupported shape,
+  /// enumeration overran a cap, or the compile/exec failpoint fired) —
+  /// the caller must fall back to the interpreted per-mask scan. Nothing
+  /// below is meaningful then; no budget was charged.
+  bool decided = false;
+  /// When decided and not ok: the retryable abort (cancellation, budget)
+  /// to propagate, exactly as the interpreted scan would surface it.
+  Status error = Status::Ok();
+  /// When decided and ok: the Thm 3.1 subset condition — true iff every
+  /// mask W ⊆ T admits a non-contradictory mapping of q2 into base+W.
+  bool contained = false;
+
+  // Work counters, unit-compatible with ContainmentStats:
+  /// masks actually decided (maps to membership_subsets),
+  uint64_t masks_tested = 0;
+  /// masks enumerated but not decided — after an abort or a refutation
+  /// (maps to membership_subsets_skipped),
+  uint64_t masks_skipped = 0;
+  /// backtracking steps of the mapping enumeration (maps to
+  /// mapping_steps; the whole scan is one search, mapping_searches += 1).
+  uint64_t mapping_steps = 0;
+};
+
+/// The compiled form of the Thm 3.1 inner loop: instead of one mapping
+/// search per subset W of the membership-candidate pool T (2^|T| searches),
+/// enumerate every complete non-contradictory mapping of q2 into `base`
+/// ONCE, reducing each to a signature (required, forbidden) of pool-atom
+/// bitmask constraints; a mask W then admits a mapping iff some signature
+/// has required ⊆ W and W ∩ forbidden = ∅, which a 64-masks-per-word
+/// coverage scan checks without further mapping work.
+///
+/// Sound because the pool atoms are W-independent: they reuse existing
+/// terms of `base`, so every base+W shares base's equality graph, range
+/// classes and set-term/constant indices — only the membership index
+/// varies, and exactly by the included pool atoms (docs/compilation.md).
+/// The function verifies its own preconditions (satisfiability of
+/// base+T, distinct pool signatures) and reports decided=false rather
+/// than guess when any fails.
+///
+/// `base` must be well-formed, terminal, normalized and satisfiable (it is
+/// the augmented Q1 of the containment dispatch); `pool` must be the
+/// MembershipCandidatePool of `base`; `q2` the normalized RHS.
+MaskScanResult RunCompiledMaskScan(const Schema& schema,
+                                   const ConjunctiveQuery& base,
+                                   const std::vector<Atom>& pool,
+                                   const ConjunctiveQuery& q2,
+                                   const MappingConstraints& constraints,
+                                   const MaskScanOptions& options = {});
+
+}  // namespace oocq::compile
+
+#endif  // OOCQ_COMPILE_MASK_SCAN_H_

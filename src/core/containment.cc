@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "compile/mask_scan.h"
 #include "core/augmentation.h"
 #include "core/containment_cache.h"
 #include "core/derivability.h"
@@ -186,6 +187,32 @@ StatusOr<bool> ContainedImpl(const Schema& schema, const ConjunctiveQuery& q1,
     tinfo->max_pool = std::max<uint64_t>(tinfo->max_pool, t_size);
     const uint64_t total = uint64_t{1} << t_size;
 
+    // Compiled subset scan (src/compile/mask_scan.h): one mapping
+    // enumeration plus a word-parallel coverage test replaces the 2^|T|
+    // per-mask mapping searches. It decides exactly when its
+    // W-independence preconditions verify; otherwise fall through to the
+    // interpreted per-mask scan below.
+    if (options.enable_compilation && t_size > 0) {
+      compile::MaskScanOptions scan_options;
+      scan_options.max_steps = options.max_mapping_steps;
+      scan_options.cancel = options.cancel;
+      scan_options.budget = options.budget;
+      compile::MaskScanResult scan = compile::RunCompiledMaskScan(
+          schema, base, membership_pool, n2, constraints, scan_options);
+      if (scan.decided) {
+        OOCQ_METRIC_ADD("compile/mask_scans", 1);
+        if (stats != nullptr) {
+          stats->membership_subsets += scan.masks_tested;
+          stats->membership_subsets_skipped += scan.masks_skipped;
+          ++stats->mapping_searches;
+          stats->mapping_steps += scan.mapping_steps;
+        }
+        if (!scan.error.ok()) return scan.error;
+        return scan.contained;
+      }
+      OOCQ_METRIC_ADD("compile/mask_fallbacks", 1);
+    }
+
     // A chunk's outcome: the first mask in its range that decided the
     // test (condition violated, or an error such as ResourceExhausted),
     // plus the work counters for the masks it actually scanned.
@@ -199,22 +226,31 @@ StatusOr<bool> ContainedImpl(const Schema& schema, const ConjunctiveQuery& q1,
 
     auto scan_masks = [&](uint64_t begin, uint64_t end) -> ChunkResult {
       ChunkResult result;
+      // Masks the chunk leaves undecided — behind an abort, after a
+      // decisive refutation, or unsatisfiable — count as skipped, so
+      // membership_subsets keeps meaning "masks actually tested".
+      uint64_t& skipped = result.stats.membership_subsets_skipped;
       if (Status chaos = Failpoints::Check("core/subset_scan"); !chaos.ok()) {
         result.event_mask = begin;
         result.is_error = true;
         result.error = std::move(chaos);
+        skipped += end - begin;
         AtomicMin(first_event, begin);
         return result;
       }
       for (uint64_t mask = begin; mask < end; ++mask) {
         // A smaller decisive mask already settles the answer.
-        if (mask > first_event.load(std::memory_order_acquire)) break;
+        if (mask > first_event.load(std::memory_order_acquire)) {
+          skipped += end - mask;
+          break;
+        }
         if (options.cancel != nullptr) {
           Status live = options.cancel->Check();
           if (!live.ok()) {
             result.event_mask = mask;
             result.is_error = true;
             result.error = std::move(live);
+            skipped += end - mask;
             AtomicMin(first_event, mask);
             break;
           }
@@ -225,6 +261,7 @@ StatusOr<bool> ContainedImpl(const Schema& schema, const ConjunctiveQuery& q1,
             result.event_mask = mask;
             result.is_error = true;
             result.error = std::move(charged);
+            skipped += end - mask;
             AtomicMin(first_event, mask);
             break;
           }
@@ -233,7 +270,10 @@ StatusOr<bool> ContainedImpl(const Schema& schema, const ConjunctiveQuery& q1,
         for (size_t i = 0; i < t_size; ++i) {
           if (mask & (uint64_t{1} << i)) target.AddAtom(membership_pool[i]);
         }
-        if (!CheckSatisfiable(schema, target).satisfiable) continue;
+        if (!CheckSatisfiable(schema, target).satisfiable) {
+          ++skipped;
+          continue;
+        }
         ++result.stats.membership_subsets;
         ++result.stats.mapping_searches;
         StatusOr<QueryAnalysis> analysis = QueryAnalysis::Create(schema, target);
@@ -241,6 +281,7 @@ StatusOr<bool> ContainedImpl(const Schema& schema, const ConjunctiveQuery& q1,
           result.event_mask = mask;
           result.is_error = true;
           result.error = analysis.status();
+          skipped += end - mask - 1;
           AtomicMin(first_event, mask);
           break;
         }
@@ -252,11 +293,13 @@ StatusOr<bool> ContainedImpl(const Schema& schema, const ConjunctiveQuery& q1,
           result.is_error = true;
           result.error = Status::ResourceExhausted(
               "mapping search exceeded ContainmentOptions::max_mapping_steps");
+          skipped += end - mask - 1;
           AtomicMin(first_event, mask);
           break;
         }
         if (!mapping.found()) {
           result.event_mask = mask;
+          skipped += end - mask - 1;
           AtomicMin(first_event, mask);
           break;
         }
@@ -344,6 +387,8 @@ StatusOr<bool> Contained(const Schema& schema, const ConjunctiveQuery& q1,
     metrics->Add(SpecializationCounterName(tinfo.specialization), 1);
     metrics->Add("containment/augmentations", local.augmentations);
     metrics->Add("containment/membership_subsets", local.membership_subsets);
+    metrics->Add("containment/membership_subsets_skipped",
+                 local.membership_subsets_skipped);
     metrics->Add("containment/mapping_searches", local.mapping_searches);
     metrics->Add("containment/mapping_steps", local.mapping_steps);
     metrics->Record("containment/pool_size", tinfo.max_pool);

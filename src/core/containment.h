@@ -27,6 +27,13 @@ struct ContainmentOptions {
   /// atom kinds admit a Cor 3.2–3.4 fast path. The outcome is identical;
   /// bench_ablation measures what the fast paths save.
   bool force_full_theorem = false;
+  /// Use the compiled subset scan (src/compile/mask_scan.h) for the
+  /// 2^|T| membership-subset axis: one mapping enumeration plus a
+  /// word-parallel bitmask coverage test instead of a mapping search per
+  /// subset. Verdicts, statuses, and the membership_subsets counters are
+  /// identical to the interpreted scan (which remains the fallback for
+  /// shapes the compiled scan cannot prove safe).
+  bool enable_compilation = true;
   /// Fan-out knobs for the 2^|T| membership-subset enumeration inside
   /// Contained() and the per-disjunct tests of UnionContained(). Default
   /// serial; the pipeline entry points overwrite this with
@@ -56,7 +63,15 @@ struct ContainmentOptions {
 /// cancelled workers may have completed extra units first.
 struct ContainmentStats {
   uint64_t augmentations = 0;
+  /// Membership-subset masks actually tested (a mapping search ran, or
+  /// the compiled scan decided them). Masks enumerated but never tested
+  /// land in membership_subsets_skipped instead.
   uint64_t membership_subsets = 0;
+  /// Masks enumerated but not tested: unsatisfiable targets, masks
+  /// behind an abort (budget, cancellation, error), and masks after a
+  /// decisive refutation. membership_subsets + membership_subsets_skipped
+  /// is the full 2^|T| enumeration the scan was asked for.
+  uint64_t membership_subsets_skipped = 0;
   uint64_t mapping_searches = 0;
   uint64_t mapping_steps = 0;
   /// Containment-cache traffic of the decisions this call routed through
@@ -71,6 +86,7 @@ struct ContainmentStats {
   void Add(const ContainmentStats& other) {
     augmentations += other.augmentations;
     membership_subsets += other.membership_subsets;
+    membership_subsets_skipped += other.membership_subsets_skipped;
     mapping_searches += other.mapping_searches;
     mapping_steps += other.mapping_steps;
     cache_hits += other.cache_hits;

@@ -59,6 +59,13 @@ struct EngineOptions {
   ParallelOptions parallel;
   CacheOptions cache;
   ObservabilityOptions observability;
+  /// Master switch for the query-compilation subsystem (src/compile/):
+  /// the bytecode VM fast path in Evaluate/EvaluateIndexed and the
+  /// compiled Thm 3.1 subset scan. Propagated into
+  /// containment.enable_compilation by WithPropagatedParallelism, and
+  /// into EvalOptions by the service layer. `--no-compile` on the CLIs
+  /// maps here for A/B runs; results are identical either way.
+  bool enable_compilation = true;
   /// Per-run resource ceilings (support/resource_budget.h). When any limit
   /// is set, each pipeline entry point (Optimize, IsContained,
   /// IsEquivalent) installs a run-scoped ResourceBudget into
@@ -74,6 +81,7 @@ struct EngineOptions {
 inline EngineOptions WithPropagatedParallelism(EngineOptions options) {
   options.containment.parallel = options.parallel;
   options.expansion.parallel = options.parallel;
+  options.containment.enable_compilation = options.enable_compilation;
   return options;
 }
 

@@ -135,7 +135,8 @@ std::string OptimizeReport::Summary(const Schema& schema) const {
          std::to_string(details.variables_removed) + "\n";
   out += "  containment work: " + std::to_string(containment.augmentations) +
          " augmentation(s), " + std::to_string(containment.membership_subsets) +
-         " membership subset(s), " +
+         " membership subset(s) tested, " +
+         std::to_string(containment.membership_subsets_skipped) + " skipped, " +
          std::to_string(containment.mapping_searches) + " mapping search(es), " +
          std::to_string(containment.mapping_steps) + " step(s)\n";
   out += "  containment cache: " + std::to_string(cache_hits) + " hit(s), " +

@@ -141,11 +141,21 @@ StatusOr<std::shared_ptr<OocqService::Session>> OocqService::MakeSession(
   // for the session's lifetime (sessions are held by shared_ptr).
   ContainmentCache::Options cache_options;
   cache_options.containment = options_.engine.containment;
+  // The engine-level master switch governs cached decisions too: the
+  // cache's baked options are the ones its misses compute under.
+  cache_options.containment.enable_compilation =
+      options_.engine.enable_compilation;
   cache_options.max_entries = options_.engine.cache.max_entries;
   cache_options.num_shards = options_.engine.cache.num_shards;
   if (options_.engine.cache.enabled) {
     session->cache =
         std::make_unique<ContainmentCache>(&session->schema, cache_options);
+  }
+  // Compiled programs live and die with the session's decision caches:
+  // they depend only on the schema (stable for the session) and the
+  // query text, so LoadState never invalidates them.
+  if (options_.engine.enable_compilation) {
+    session->programs = std::make_unique<compile::ProgramCache>();
   }
   return session;
 }
@@ -853,8 +863,20 @@ Response OocqService::Run(const Request& request, Session& session,
         response.status = well_formed.status();
         return response;
       }
+      EvalOptions eval_options;
+      eval_options.cancel = cancel;
+      eval_options.enable_compilation = opts.enable_compilation;
+      if (eval_options.enable_compilation && session.programs != nullptr) {
+        eval_options.program =
+            session.programs->GetOrCompile(schema, *well_formed);
+        // The cache memoized a structural compile failure: skip the
+        // per-request recompile attempt and go straight to the walker.
+        if (eval_options.program == nullptr) {
+          eval_options.enable_compilation = false;
+        }
+      }
       StatusOr<std::vector<Oid>> answers =
-          Evaluate(*session.state, *well_formed);
+          Evaluate(*session.state, *well_formed, eval_options);
       if (!answers.ok()) {
         response.status = answers.status();
         return response;

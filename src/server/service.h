@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "compile/program_cache.h"
 #include "core/containment_cache.h"
 #include "core/engine_options.h"
 #include "persist/catalog.h"
@@ -276,6 +277,10 @@ class OocqService {
     std::optional<State> state;
     std::map<std::string, ConjunctiveQuery> named;
     std::unique_ptr<ContainmentCache> cache;
+    /// Compiled evaluation programs, keyed by query text — same lifetime
+    /// and invalidation epoch as `cache` (both are rebuilt together
+    /// whenever the session's decision state is reset).
+    std::unique_ptr<compile::ProgramCache> programs;
     /// Source texts of schema / named queries / state, kept verbatim so
     /// the durable catalog persists exactly what the client sent (no
     /// print-reparse round trip).

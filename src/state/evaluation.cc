@@ -5,7 +5,10 @@
 #include <optional>
 #include <set>
 
+#include "compile/compiler.h"
+#include "compile/vm.h"
 #include "state/eval_internal.h"
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/status_macros.h"
 #include "support/trace.h"
@@ -15,12 +18,61 @@ namespace oocq {
 using eval_internal::EvalAtom;
 using eval_internal::Truth;
 
+namespace eval_internal {
+
+StatusOr<std::vector<Oid>> TryCompiledEvaluate(const State& state,
+                                               const StateIndex* index,
+                                               const ConjunctiveQuery& query,
+                                               const EvalOptions& options,
+                                               bool* taken) {
+  *taken = false;
+  // The compiled path engages only without a stats sink: EvalStats fields
+  // describe tree-walker work (assignments in its binding order) and keep
+  // their exact meaning for the ablation benches and tests.
+  if (!options.enable_compilation) return std::vector<Oid>{};
+  // Chaos hook: force a mid-request bailout to the tree walker. The
+  // fallback is the behavior under test — never an error to the caller.
+  if (Status chaos = Failpoints::Check("compile/exec"); !chaos.ok()) {
+    OOCQ_METRIC_ADD("compile/bailouts", 1);
+    return std::vector<Oid>{};
+  }
+  const compile::CompiledQuery* program = options.program;
+  std::optional<compile::CompiledQuery> local;
+  if (program == nullptr) {
+    StatusOr<compile::CompiledQuery> compiled =
+        compile::CompileQuery(state.schema(), query);
+    if (!compiled.ok()) {
+      OOCQ_METRIC_ADD("compile/unsupported", 1);
+      return std::vector<Oid>{};
+    }
+    OOCQ_METRIC_ADD("compile/compiles", 1);
+    local.emplace(std::move(*compiled));
+    program = &*local;
+  }
+  *taken = true;
+  compile::ExecOptions exec;
+  exec.max_bindings = options.max_assignments;
+  exec.cancel = options.cancel;
+  return compile::ExecuteCompiled(*program, state, index, exec);
+}
+
+}  // namespace eval_internal
+
 StatusOr<std::vector<Oid>> Evaluate(const State& state,
                                     const ConjunctiveQuery& query,
                                     const EvalOptions& options,
                                     EvalStats* stats) {
   OOCQ_TRACE_SPAN(span, "Evaluate");
   OOCQ_METRIC_ADD("eval/calls", 1);
+  if (options.cancel != nullptr) {
+    OOCQ_RETURN_IF_ERROR(options.cancel->Check());
+  }
+  if (stats == nullptr) {
+    bool taken = false;
+    StatusOr<std::vector<Oid>> compiled = eval_internal::TryCompiledEvaluate(
+        state, /*index=*/nullptr, query, options, &taken);
+    if (taken) return compiled;
+  }
   const size_t n = query.num_vars();
   span.Arg("vars", static_cast<uint64_t>(n));
 
@@ -131,6 +183,9 @@ StatusOr<std::vector<Oid>> Evaluate(const State& state,
     if (++tried > options.max_assignments) {
       return Status::ResourceExhausted(
           "evaluation exceeded EvalOptions::max_assignments");
+    }
+    if (options.cancel != nullptr && (tried & 4095) == 0) {
+      OOCQ_RETURN_IF_ERROR(options.cancel->Check());
     }
     assignment[var_at_depth] = candidates[var_at_depth][choice[depth]];
     bool holds = true;

@@ -6,7 +6,12 @@
 
 #include "query/query.h"
 #include "state/state.h"
+#include "support/cancellation.h"
 #include "support/status.h"
+
+namespace oocq::compile {
+struct CompiledQuery;
+}  // namespace oocq::compile
 
 namespace oocq {
 
@@ -17,6 +22,20 @@ struct EvalOptions {
   /// order) instead of declaration order. Answers are identical; the
   /// bench_evaluation ablation measures the work saved.
   bool reorder_variables = true;
+  /// Compile the query to bytecode and run the register VM
+  /// (src/compile/) instead of the tree walker. Answers and status codes
+  /// are identical (pinned by tests/compile_differential_test.cc); any
+  /// unsupported construct falls back to the tree walker silently. The
+  /// fast path only engages when no EvalStats sink is passed — the stats
+  /// fields describe tree-walker work and keep their exact meaning.
+  bool enable_compilation = true;
+  /// Cooperative cancellation, polled at entry and every 4096 bindings by
+  /// both the tree walker and the VM. Not owned; null disables polling.
+  const CancellationToken* cancel = nullptr;
+  /// Pre-compiled program for this exact query (e.g. from a session
+  /// ProgramCache), sparing the per-call compile. Ignored when
+  /// enable_compilation is false. Not owned.
+  const compile::CompiledQuery* program = nullptr;
 };
 
 /// Work counters (bench E7 compares these between the original and the

@@ -175,6 +175,9 @@ class IndexedSearch {
         return Status::ResourceExhausted(
             "indexed evaluation exceeded EvalOptions::max_assignments");
       }
+      if (options_.cancel != nullptr && (tried_ & 4095) == 0) {
+        OOCQ_RETURN_IF_ERROR(options_.cancel->Check());
+      }
       assignment_[best] = candidate;
       bound_[best] = true;
       bool holds = true;
@@ -226,6 +229,15 @@ StatusOr<std::vector<Oid>> EvaluateIndexed(const StateIndex& index,
                                            const ConjunctiveQuery& query,
                                            const EvalOptions& options,
                                            IndexedEvalStats* stats) {
+  if (options.cancel != nullptr) {
+    OOCQ_RETURN_IF_ERROR(options.cancel->Check());
+  }
+  if (stats == nullptr) {
+    bool taken = false;
+    StatusOr<std::vector<Oid>> compiled = eval_internal::TryCompiledEvaluate(
+        index.state(), &index, query, options, &taken);
+    if (taken) return compiled;
+  }
   IndexedSearch search(index, query, options, stats);
   return search.Run();
 }

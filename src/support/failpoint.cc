@@ -179,6 +179,7 @@ const std::vector<std::string>& Failpoints::KnownNames() {
       "repl/ship",         // server/protocol.cc: before serving REPL STATE/SUBSCRIBE
       "repl/apply",        // server/service.cc: before applying a shipped record
       "repl/promote",      // server/service.cc: before a follower promotes
+      "compile/exec",      // compile fast paths: force interpreter bailout
   };
   return *names;
 }

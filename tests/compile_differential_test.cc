@@ -1,0 +1,225 @@
+// Differential property suite pinning the compiled paths to the
+// interpreters: for ≥1000 random (query, state) pairs the bytecode VM
+// must produce exactly the answers and status codes of the tree walker,
+// on both Evaluate and EvaluateIndexed — including the budget-exhaustion
+// and cancellation legs — and the compiled Thm 3.1 subset scan must
+// agree with the interpreted scan on random containment pairs. Labeled
+// `concurrency` so the TSan CI job runs it.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/containment.h"
+#include "query/printer.h"
+#include "query/well_formed.h"
+#include "random_query.h"
+#include "state/evaluation.h"
+#include "state/generator.h"
+#include "state/index.h"
+#include "state/indexed_evaluation.h"
+#include "support/cancellation.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::GenerateRandomQuery;
+using ::oocq::testing::MustParseSchema;
+using ::oocq::testing::RandomQueryParams;
+
+const char* const kSchema = R"(
+schema Differential {
+  class D { }
+  class E under D { }
+  class F under D { }
+  class C { A: D; S: {D}; }
+  class C1 under C { }
+  class C2 under C { B: E; T: {E}; }
+})";
+
+RandomQueryParams FullParams() {
+  RandomQueryParams params;
+  params.max_vars = 3;
+  params.max_extra_atoms = 4;
+  params.allow_negative = true;
+  params.terminal_only = true;
+  params.use_constants = false;
+  return params;
+}
+
+/// One compiled-vs-interpreted comparison; returns true when the query
+/// was structurally valid enough to evaluate at all.
+void CompareOnce(const Schema& schema, const State& state,
+                 const StateIndex& index, const ConjunctiveQuery& query,
+                 uint64_t max_assignments) {
+  EvalOptions interpreted;
+  interpreted.enable_compilation = false;
+  interpreted.max_assignments = max_assignments;
+  EvalOptions compiled;
+  compiled.enable_compilation = true;
+  compiled.max_assignments = max_assignments;
+
+  StatusOr<std::vector<Oid>> walker = Evaluate(state, query, interpreted);
+  StatusOr<std::vector<Oid>> vm = Evaluate(state, query, compiled);
+  ASSERT_EQ(walker.ok(), vm.ok())
+      << QueryToString(schema, query) << "\nwalker: "
+      << walker.status().ToString() << "\nvm: " << vm.status().ToString();
+  if (walker.ok()) {
+    EXPECT_EQ(*walker, *vm) << QueryToString(schema, query);
+  } else {
+    EXPECT_EQ(walker.status().code(), vm.status().code())
+        << QueryToString(schema, query);
+  }
+
+  // The indexed evaluator's compiled fast path must agree too. (Answer
+  // sets are identical across all four paths; only statuses may differ
+  // between walkers when a budget trips, so compare the indexed pair on
+  // the ok leg only.)
+  StatusOr<std::vector<Oid>> indexed_vm = EvaluateIndexed(index, query, compiled);
+  if (walker.ok()) {
+    ASSERT_TRUE(indexed_vm.ok()) << indexed_vm.status().ToString();
+    EXPECT_EQ(*walker, *indexed_vm) << QueryToString(schema, query);
+  }
+}
+
+TEST(CompileDifferentialTest, ThousandRandomPairsAgreeWithTreeWalker) {
+  Schema schema = MustParseSchema(kSchema);
+  std::mt19937_64 rng(20260808);
+  RandomQueryParams params = FullParams();
+
+  GeneratorParams state_params;
+  state_params.objects_per_class = 5;
+
+  // 10 random states × 100 well-formed random queries each: 1000
+  // distinct (query, state) pairs.
+  int compared = 0;
+  for (uint64_t state_seed = 1; state_seed <= 10; ++state_seed) {
+    state_params.seed = state_seed;
+    State state = GenerateRandomState(schema, state_params);
+    StateIndex index(state);
+    int in_state = 0;
+    while (in_state < 100) {
+      ConjunctiveQuery query = GenerateRandomQuery(schema, rng, params);
+      if (!CheckWellFormed(schema, query).ok()) continue;
+      CompareOnce(schema, state, index, query,
+                  /*max_assignments=*/100'000'000);
+      if (::testing::Test::HasFatalFailure()) return;
+      ++in_state;
+      ++compared;
+    }
+  }
+  EXPECT_GE(compared, 1000);
+}
+
+TEST(CompileDifferentialTest, BudgetExhaustionStatusesAgree) {
+  // Assignment-budget legs. At max_assignments = 0 the outcome is
+  // order-independent — an empty candidate pool answers {} before any
+  // charge on both paths, a nonempty one trips on the first binding — so
+  // ok-ness and codes must agree exactly. At small nonzero budgets the
+  // two paths enumerate in different orders and may legitimately trip at
+  // different points; the invariant is weaker but still sharp: a failure
+  // on either side is exactly kResourceExhausted, and whenever both
+  // complete the answers are identical.
+  Schema schema = MustParseSchema(kSchema);
+  std::mt19937_64 rng(77);
+  RandomQueryParams params = FullParams();
+  GeneratorParams state_params;
+  state_params.objects_per_class = 4;
+  State state = GenerateRandomState(schema, state_params);
+
+  int compared = 0;
+  while (compared < 200) {
+    ConjunctiveQuery query = GenerateRandomQuery(schema, rng, params);
+    if (!CheckWellFormed(schema, query).ok()) continue;
+    for (uint64_t budget : {uint64_t{0}, uint64_t{1}, uint64_t{7}}) {
+      EvalOptions interpreted;
+      interpreted.enable_compilation = false;
+      interpreted.max_assignments = budget;
+      EvalOptions compiled;
+      compiled.enable_compilation = true;
+      compiled.max_assignments = budget;
+      StatusOr<std::vector<Oid>> walker = Evaluate(state, query, interpreted);
+      StatusOr<std::vector<Oid>> vm = Evaluate(state, query, compiled);
+      if (budget == 0) {
+        ASSERT_EQ(walker.ok(), vm.ok()) << QueryToString(schema, query);
+      }
+      for (const StatusOr<std::vector<Oid>>* leg : {&walker, &vm}) {
+        if (!leg->ok()) {
+          EXPECT_EQ(leg->status().code(), StatusCode::kResourceExhausted)
+              << QueryToString(schema, query) << " budget=" << budget;
+        }
+      }
+      if (walker.ok() && vm.ok()) {
+        EXPECT_EQ(*walker, *vm)
+            << QueryToString(schema, query) << " budget=" << budget;
+      }
+    }
+    ++compared;
+  }
+}
+
+TEST(CompileDifferentialTest, PreTrippedCancellationAgrees) {
+  Schema schema = MustParseSchema(kSchema);
+  std::mt19937_64 rng(99);
+  RandomQueryParams params = FullParams();
+  GeneratorParams state_params;
+  State state = GenerateRandomState(schema, state_params);
+
+  CancellationToken expired = CancellationToken::AfterMillis(0);
+  int compared = 0;
+  while (compared < 50) {
+    ConjunctiveQuery query = GenerateRandomQuery(schema, rng, params);
+    if (!CheckWellFormed(schema, query).ok()) continue;
+    for (bool compiled : {false, true}) {
+      EvalOptions options;
+      options.enable_compilation = compiled;
+      options.cancel = &expired;
+      StatusOr<std::vector<Oid>> result = Evaluate(state, query, options);
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+      EXPECT_TRUE(IsRetryable(result.status().code()));
+    }
+    ++compared;
+  }
+}
+
+TEST(CompileDifferentialTest, ContainmentVerdictsAgreeWithInterpretedScan) {
+  // Random terminal pairs through Contained() with the compiled subset
+  // scan on vs. off: verdicts and error codes must be identical. The
+  // negative-atom pool makes a good fraction of the pairs exercise the
+  // Thm 3.1 subset scan rather than the Cor 3.4 fast path.
+  Schema schema = MustParseSchema(kSchema);
+  std::mt19937_64 rng(4242);
+  RandomQueryParams params = FullParams();
+
+  int compared = 0;
+  while (compared < 300) {
+    ConjunctiveQuery q1 = GenerateRandomQuery(schema, rng, params);
+    ConjunctiveQuery q2 = GenerateRandomQuery(schema, rng, params);
+    if (!CheckWellFormed(schema, q1).ok()) continue;
+    if (!CheckWellFormed(schema, q2).ok()) continue;
+
+    ContainmentOptions interpreted;
+    interpreted.enable_compilation = false;
+    ContainmentOptions compiled;
+    compiled.enable_compilation = true;
+    StatusOr<bool> slow = Contained(schema, q1, q2, interpreted);
+    StatusOr<bool> fast = Contained(schema, q1, q2, compiled);
+    ASSERT_EQ(slow.ok(), fast.ok())
+        << QueryToString(schema, q1) << " vs " << QueryToString(schema, q2)
+        << "\ninterpreted: " << slow.status().ToString()
+        << "\ncompiled: " << fast.status().ToString();
+    if (slow.ok()) {
+      EXPECT_EQ(*slow, *fast)
+          << QueryToString(schema, q1) << " ⊆ " << QueryToString(schema, q2);
+    } else {
+      EXPECT_EQ(slow.status().code(), fast.status().code());
+    }
+    ++compared;
+  }
+}
+
+}  // namespace
+}  // namespace oocq

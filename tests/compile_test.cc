@@ -1,0 +1,378 @@
+// Unit tests for the query-compilation subsystem (src/compile/): program
+// structure the compiler emits, VM semantics against the tree walker's
+// 3-valued ground truth, budget/cancellation status parity, the compiled
+// Thm 3.1 subset scan, and the session ProgramCache — including the
+// never-memoize / never-persist contract for cancelled compiled scans
+// (mirroring containment_cache_concurrency_test.cc).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "compile/program.h"
+#include "compile/program_cache.h"
+#include "compile/vm.h"
+#include "core/containment.h"
+#include "core/containment_cache.h"
+#include "state/evaluation.h"
+#include "state/index.h"
+#include "state/indexed_evaluation.h"
+#include "support/cancellation.h"
+#include "test_util.h"
+
+namespace oocq {
+namespace {
+
+using ::oocq::testing::MustParseQuery;
+using ::oocq::testing::MustParseSchema;
+
+class CompileTest : public ::testing::Test {
+ protected:
+  CompileTest() : state_(&schema_) {
+    c_ = schema_.FindClass("C").value();
+    e_ = schema_.FindClass("E").value();
+    f_ = schema_.FindClass("F").value();
+  }
+
+  Schema schema_ = MustParseSchema(R"(
+schema Eval {
+  class D { }
+  class E under D { }
+  class F under D { }
+  class C { A: D; S: {D}; }
+})");
+  State state_;
+  ClassId c_, e_, f_;
+
+  compile::CompiledQuery MustCompile(const std::string& text) {
+    ConjunctiveQuery query = MustParseQuery(schema_, text);
+    StatusOr<compile::CompiledQuery> program =
+        compile::CompileQuery(schema_, query);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    return program.ok() ? *std::move(program) : compile::CompiledQuery{};
+  }
+
+  /// Compiled answers vs. the interpreted tree walker, which must agree.
+  std::vector<Oid> BothPaths(const std::string& text) {
+    ConjunctiveQuery query = MustParseQuery(schema_, text);
+    EvalOptions interpreted;
+    interpreted.enable_compilation = false;
+    StatusOr<std::vector<Oid>> walker = Evaluate(state_, query, interpreted);
+    EXPECT_TRUE(walker.ok()) << walker.status().ToString();
+
+    compile::CompiledQuery program = MustCompile(text);
+    StatusOr<std::vector<Oid>> vm = compile::ExecuteCompiled(program, state_);
+    EXPECT_TRUE(vm.ok()) << vm.status().ToString();
+    EXPECT_EQ(*walker, *vm) << "compiled/interpreted divergence on " << text;
+    return vm.ok() ? *vm : std::vector<Oid>{};
+  }
+};
+
+// ---- Program structure -------------------------------------------------
+
+TEST_F(CompileTest, OneLevelPerVariableAndEmit) {
+  compile::CompiledQuery program =
+      MustCompile("{ x | exists u (x in C & u in E & u = x.A) }");
+  EXPECT_EQ(program.num_vars, 2u);
+  ASSERT_EQ(program.levels.size(), 2u);
+  std::string listing = program.DebugString();
+  EXPECT_NE(listing.find("scan_extent"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("emit"), std::string::npos) << listing;
+}
+
+TEST_F(CompileTest, EqualityAttributeBecomesBindFromSlot) {
+  // u = x.A: once x is bound, u has exactly one candidate — the compiler
+  // must emit a bind generator, not a scan + filter.
+  compile::CompiledQuery program =
+      MustCompile("{ x | exists u (x in C & u in E & u = x.A) }");
+  bool has_bind = false;
+  for (const compile::Level& level : program.levels) {
+    if (level.gen.code == compile::OpCode::kBindFromSlotRef) has_bind = true;
+  }
+  EXPECT_TRUE(has_bind) << program.DebugString();
+}
+
+TEST_F(CompileTest, MembershipBecomesSetMemberScan) {
+  compile::CompiledQuery program =
+      MustCompile("{ x | exists u (x in C & u in E & u in x.S) }");
+  bool has_set_scan = false;
+  for (const compile::Level& level : program.levels) {
+    if (level.gen.code == compile::OpCode::kScanSetMembers) {
+      has_set_scan = true;
+    }
+  }
+  EXPECT_TRUE(has_set_scan) << program.DebugString();
+}
+
+TEST_F(CompileTest, SlotLoadsAreHoistedOncePerOwner) {
+  // Two tests dereference x.A; the program must load the slot once.
+  compile::CompiledQuery program = MustCompile(
+      "{ x | exists u exists w (x in C & u in E & w in F & u = x.A "
+      "& w != x.A) }");
+  size_t loads = 0;
+  for (const compile::Level& level : program.levels) {
+    loads += level.loads.size();
+  }
+  EXPECT_EQ(program.slots.size(), 1u) << program.DebugString();
+  EXPECT_EQ(loads, 1u) << program.DebugString();
+}
+
+// ---- VM semantics vs. the tree walker ---------------------------------
+
+TEST_F(CompileTest, VmMatchesWalkerOnNullSemantics) {
+  Oid c1 = *state_.AddObject(c_);
+  Oid c2 = *state_.AddObject(c_);
+  Oid e1 = *state_.AddObject(e_);
+  *state_.AddObject(f_);
+  // c1.A = e1, c1.S = {e1}; c2 all-null.
+  OOCQ_ASSERT_OK(state_.SetAttribute(c1, "A", Value::Ref(e1)));
+  OOCQ_ASSERT_OK(state_.SetAttribute(c1, "S", Value::Set({e1})));
+  (void)c2;
+
+  // Ex 3.1: null A is unknown, not false.
+  EXPECT_EQ(BothPaths("{ x | exists u (x in C & u in E & u = x.A) }"),
+            (std::vector<Oid>{c1}));
+  // Ex 3.3: null S makes notin unknown; e1 ∈ c1.S makes it false.
+  EXPECT_TRUE(
+      BothPaths("{ x | exists u (x in C & u in E & u notin x.S) }").empty());
+  // Membership through the set slot.
+  EXPECT_EQ(BothPaths("{ x | exists u (x in C & u in E & u in x.S) }"),
+            (std::vector<Oid>{c1}));
+  // Non-range atoms.
+  BothPaths("{ x | x in D & x notin F }");
+  // Inequality with an unknown operand fails.
+  BothPaths("{ x | exists u (x in C & u in E & x.A != u) }");
+}
+
+TEST_F(CompileTest, VmMatchesWalkerWithIndex) {
+  Oid c1 = *state_.AddObject(c_);
+  Oid e1 = *state_.AddObject(e_);
+  OOCQ_ASSERT_OK(state_.SetAttribute(c1, "A", Value::Ref(e1)));
+  StateIndex index(state_);
+
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists u (x in C & u in E & u = x.A) }");
+  compile::CompiledQuery program = MustCompile(
+      "{ x | exists u (x in C & u in E & u = x.A) }");
+  StatusOr<std::vector<Oid>> with_index =
+      compile::ExecuteCompiled(program, state_, &index);
+  ASSERT_TRUE(with_index.ok()) << with_index.status().ToString();
+  EXPECT_EQ(*with_index, (std::vector<Oid>{c1}));
+}
+
+TEST_F(CompileTest, ConstantAtomsMatchInternedPayloadsExactly) {
+  Schema schema = MustParseSchema(R"(
+schema K { class C { N: Int; } })");
+  State state(&schema);
+  ClassId c = schema.FindClass("C").value();
+  Oid c1 = *state.AddObject(c);
+  Oid c2 = *state.AddObject(c);
+  Oid three = state.InternInt(3);
+  OOCQ_ASSERT_OK(state.SetAttribute(c1, "N", Value::Ref(three)));
+  OOCQ_ASSERT_OK(state.SetAttribute(c2, "N", Value::Ref(state.InternInt(4))));
+
+  ConjunctiveQuery query =
+      MustParseQuery(schema, "{ x | x in C & x.N = 3 }");
+  EvalOptions interpreted;
+  interpreted.enable_compilation = false;
+  StatusOr<std::vector<Oid>> walker = Evaluate(state, query, interpreted);
+  ASSERT_TRUE(walker.ok());
+  StatusOr<compile::CompiledQuery> program =
+      compile::CompileQuery(schema, query);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  StatusOr<std::vector<Oid>> vm = compile::ExecuteCompiled(*program, state);
+  ASSERT_TRUE(vm.ok());
+  EXPECT_EQ(*walker, *vm);
+  EXPECT_EQ(vm->size(), 1u);
+}
+
+// ---- Status parity: budgets and cancellation --------------------------
+
+TEST_F(CompileTest, MaxAssignmentsTripsOnBothPaths) {
+  for (int i = 0; i < 8; ++i) *state_.AddObject(e_);
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists y exists z (x in E & y in E & z in E) }");
+  EvalOptions options;
+  options.max_assignments = 10;  // 8^3 bindings in any order exceed this
+  options.enable_compilation = false;
+  StatusOr<std::vector<Oid>> walker = Evaluate(state_, query, options);
+  ASSERT_FALSE(walker.ok());
+  EXPECT_EQ(walker.status().code(), StatusCode::kResourceExhausted);
+
+  options.enable_compilation = true;
+  StatusOr<std::vector<Oid>> vm = Evaluate(state_, query, options);
+  ASSERT_FALSE(vm.ok());
+  EXPECT_EQ(vm.status().code(), walker.status().code());
+  EXPECT_EQ(vm.status().message(), walker.status().message());
+}
+
+TEST_F(CompileTest, EmptyPoolAnswersBeforeChargingTheBudget) {
+  // No E objects at all: the walker returns {} before trying a binding,
+  // even under max_assignments = 0. The VM must do the same.
+  *state_.AddObject(c_);
+  ConjunctiveQuery query = MustParseQuery(
+      schema_, "{ x | exists u (x in C & u in E) }");
+  EvalOptions options;
+  options.max_assignments = 0;
+  for (bool compiled : {false, true}) {
+    options.enable_compilation = compiled;
+    StatusOr<std::vector<Oid>> result = Evaluate(state_, query, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->empty());
+  }
+}
+
+TEST_F(CompileTest, CancelledExecutionIsRetryableDeadlineExceeded) {
+  *state_.AddObject(e_);
+  compile::CompiledQuery program = MustCompile("{ x | x in E }");
+  CancellationToken expired = CancellationToken::AfterMillis(0);
+  compile::ExecOptions options;
+  options.cancel = &expired;
+  StatusOr<std::vector<Oid>> result =
+      compile::ExecuteCompiled(program, state_, nullptr, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(IsRetryable(result.status().code()));
+}
+
+// ---- The compiled Thm 3.1 subset scan ---------------------------------
+
+/// The Cor 3.2 exponential workload of the chaos suite: k set-valued
+/// attributes make the subset scan walk up to 2^(k-1) membership masks.
+std::string HeavySchemaText(int k) {
+  std::string text = "schema Heavy {\n  class D { }\n  class C { ";
+  for (int i = 0; i < k; ++i) text += "S" + std::to_string(i) + ": {D}; ";
+  text += "}\n}";
+  return text;
+}
+
+std::string HeavyQ1(int k) {
+  std::string q1 = "{ x | exists y exists u (x in D & y in C & u in D";
+  for (int i = 0; i < k; ++i) q1 += " & u in y.S" + std::to_string(i);
+  q1 += " & x notin y.S0) }";
+  return q1;
+}
+
+const char* HeavyQ2() {
+  return "{ x | exists y (x in D & y in C & x notin y.S0) }";
+}
+
+TEST_F(CompileTest, CompiledSubsetScanMatchesInterpretedVerdictAndTotals) {
+  for (int k : {2, 4, 8, 12}) {
+    Schema schema = MustParseSchema(HeavySchemaText(k));
+    ConjunctiveQuery q1 = MustParseQuery(schema, HeavyQ1(k));
+    ConjunctiveQuery q2 = MustParseQuery(schema, HeavyQ2());
+
+    ContainmentOptions interpreted;
+    interpreted.enable_compilation = false;
+    ContainmentStats interpreted_stats;
+    StatusOr<bool> slow =
+        Contained(schema, q1, q2, interpreted, &interpreted_stats);
+    ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+
+    ContainmentOptions compiled;
+    compiled.enable_compilation = true;
+    ContainmentStats compiled_stats;
+    StatusOr<bool> fast = Contained(schema, q1, q2, compiled, &compiled_stats);
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+
+    EXPECT_EQ(*slow, *fast) << "k=" << k;
+    // Tested + skipped is the full enumeration asked for — identical on
+    // both paths even though the compiled scan never ran per-mask
+    // mapping searches.
+    EXPECT_EQ(interpreted_stats.membership_subsets +
+                  interpreted_stats.membership_subsets_skipped,
+              compiled_stats.membership_subsets +
+                  compiled_stats.membership_subsets_skipped)
+        << "k=" << k;
+  }
+}
+
+TEST_F(CompileTest, CompiledSubsetScanHonorsBudgetWithRetryableStatus) {
+  const int k = 20;
+  Schema schema = MustParseSchema(HeavySchemaText(k));
+  ConjunctiveQuery q1 = MustParseQuery(schema, HeavyQ1(k));
+  ConjunctiveQuery q2 = MustParseQuery(schema, HeavyQ2());
+
+  ResourceLimits limits;
+  limits.max_subset_work_units = 1 << 10;
+  ResourceBudget budget(limits);
+  ContainmentOptions options;
+  options.budget = &budget;
+  StatusOr<bool> refused = Contained(schema, q1, q2, options);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsRetryable(refused.status().code()));
+}
+
+// A cancelled compiled scan surfaces the token's retryable status and is
+// neither memoized nor persisted: the mirror of the never-memoize tests
+// in containment_cache_concurrency_test.cc, through the compiled path.
+TEST_F(CompileTest, CancelledCompiledScanNeverMemoizedNeverPersisted) {
+  const int k = 12;
+  Schema schema = MustParseSchema(HeavySchemaText(k));
+  ConjunctiveQuery q1 = MustParseQuery(schema, HeavyQ1(k));
+  ConjunctiveQuery q2 = MustParseQuery(schema, HeavyQ2());
+
+  ContainmentCache cache(&schema);
+  CancellationToken expired = CancellationToken::AfterMillis(0);
+  StatusOr<bool> cancelled = cache.Contained(q1, q2, nullptr, &expired);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(IsRetryable(cancelled.status().code()));
+
+  // Never memoized: the error is not resident, and Export() (what the
+  // durable catalog snapshots) carries nothing for the pair.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.Export(0).empty());
+
+  // The retry the status promised recomputes and succeeds.
+  StatusOr<bool> retried = cache.Contained(q1, q2);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+}
+
+// ---- ProgramCache ------------------------------------------------------
+
+TEST_F(CompileTest, ProgramCacheComputesOnceAndReturnsStableAddress) {
+  compile::ProgramCache cache;
+  ConjunctiveQuery query = MustParseQuery(schema_, "{ x | x in E }");
+  const compile::CompiledQuery* first = cache.GetOrCompile(schema_, query);
+  ASSERT_NE(first, nullptr);
+  const compile::CompiledQuery* second = cache.GetOrCompile(schema_, query);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(CompileTest, ProgramCacheMemoizesStructuralFailures) {
+  // 4097 variables exceeds the compiler's structural cap; the failure
+  // must be memoized (size() grows) and keep answering nullptr.
+  ConjunctiveQuery big;
+  for (int v = 0; v < 4097; ++v) {
+    big.AddVariable("v" + std::to_string(v));
+    big.AddAtom(Atom::Range(static_cast<VarId>(v), {e_}));
+  }
+  StatusOr<compile::CompiledQuery> direct =
+      compile::CompileQuery(schema_, big);
+  ASSERT_FALSE(direct.ok());
+
+  compile::ProgramCache cache;
+  EXPECT_EQ(cache.GetOrCompile(schema_, big), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.GetOrCompile(schema_, big), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(CompileTest, ProgramCacheClearDropsEntries) {
+  compile::ProgramCache cache;
+  ConjunctiveQuery query = MustParseQuery(schema_, "{ x | x in E }");
+  ASSERT_NE(cache.GetOrCompile(schema_, query), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_NE(cache.GetOrCompile(schema_, query), nullptr);
+}
+
+}  // namespace
+}  // namespace oocq

@@ -252,7 +252,11 @@ TEST_P(ServerE2eTest, TransportLabelCounterIdentifiesTransport) {
 }
 
 TEST_P(ServerE2eTest, DeadlineEnforcedOverTheWire) {
-  OocqService service;
+  // Interpreted scan only: the compiled subset scan decides k=20 in
+  // microseconds and the 10 ms deadline would never trip.
+  ServiceOptions service_options;
+  service_options.engine.enable_compilation = false;
+  OocqService service(service_options);
   auto server_ptr = oocq::testing::MakeTransport(GetParam(), &service);
   Transport& server = *server_ptr;
   OOCQ_ASSERT_OK(server.Start());
@@ -278,6 +282,9 @@ TEST_P(ServerE2eTest, DeadlineEnforcedOverTheWire) {
 TEST_P(ServerE2eTest, GracefulShutdownDrainsInFlightRequest) {
   ServiceOptions service_options;
   service_options.max_in_flight = 2;
+  // Interpreted scan only: the in-flight request must still be running
+  // when Stop() lands.
+  service_options.engine.enable_compilation = false;
   OocqService service(service_options);
   auto server_ptr = oocq::testing::MakeTransport(GetParam(), &service);
   Transport& server = *server_ptr;

@@ -146,7 +146,12 @@ TEST(ServiceDeadlineTest, PreExpiredTokenAbortsContainment) {
 }
 
 TEST(ServiceDeadlineTest, DeadlineExpiresMidContainment) {
-  OocqService service;
+  // The interpreted subset scan is the slow workload under test; the
+  // compiled scan decides k=20 in microseconds and the deadline would
+  // never trip.
+  ServiceOptions options;
+  options.engine.enable_compilation = false;
+  OocqService service(options);
   StatusOr<std::string> sid = service.CreateSession(HeavySchemaText(20));
   OOCQ_ASSERT_OK(sid.status());
 
@@ -175,6 +180,9 @@ TEST(ServiceDeadlineTest, QueuedRequestExpiresBeforeStarting) {
   ServiceOptions options;
   options.max_in_flight = 1;
   options.max_queue_depth = 4;
+  // Interpreted scan only: the occupant must stay busy past the queued
+  // request's 1 ms deadline.
+  options.engine.enable_compilation = false;
   OocqService service(options);
   StatusOr<std::string> sid = service.CreateSession(HeavySchemaText(20));
   OOCQ_ASSERT_OK(sid.status());
@@ -201,6 +209,9 @@ TEST(ServiceAdmissionTest, ShedsUnderOverloadAndRecovers) {
   ServiceOptions options;
   options.max_in_flight = 1;
   options.max_queue_depth = 0;  // capacity: exactly one admitted request
+  // Interpreted scan only: the occupant must hold the worker long enough
+  // for the second request to be shed.
+  options.engine.enable_compilation = false;
   OocqService service(options);
   StatusOr<std::string> sid = service.CreateSession(HeavySchemaText(20));
   OOCQ_ASSERT_OK(sid.status());
@@ -374,7 +385,10 @@ TEST(ProtocolTest, FullConversation) {
 }
 
 TEST(ProtocolTest, DeadlineParamSurfacesRetryableError) {
-  OocqService service;
+  // Interpreted scan only, so the 10 ms deadline trips mid-scan.
+  ServiceOptions options;
+  options.engine.enable_compilation = false;
+  OocqService service(options);
   ProtocolHandler handler(&service);
   ProtocolReply created =
       handler.Handle(ParseCommandLine("SESSION NEW"),
