@@ -26,6 +26,7 @@
 #include "replicate/follower.h"
 #include "server/event_server.h"
 #include "server/service.h"
+#include "support/failpoint.h"
 #include "support/file.h"
 #include "support/status.h"
 
@@ -105,6 +106,82 @@ bool Eventually(const std::function<bool()>& predicate) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   return predicate();
+}
+
+// ---- Failover time ----------------------------------------------------
+// The outage window a client sees across an unplanned failover: a fresh
+// primary + follower pair with auto-promotion armed, the primary
+// black-holed via the net/partition failpoint (alive but unreachable —
+// the split-brain shape, docs/replication.md#terms-and-fencing), and
+// the clock runs from the partition to the *first write the promoted
+// follower accepts*. That spans detection (the missed-poll backoff
+// crossing auto_promote_after_ms) plus promotion itself (durable TERM
+// bump, gates open). One trial = one sample.
+
+constexpr uint32_t kFailoverTrials = 5;
+constexpr uint32_t kPromoteAfterMs = 200;
+
+StatusOr<uint64_t> FailoverTrial(uint32_t trial) {
+  // Follower first: it outlives the primary in spirit (it ends the
+  // trial as the writer).
+  std::string follower_dir = FreshDir("bench_failover_follower");
+  ServiceOptions follower_options;
+  follower_options.catalog = OpenCatalog(follower_dir, 0);
+  follower_options.read_only = true;
+  OocqService follower_service(follower_options);
+
+  std::string primary_dir = FreshDir("bench_failover_primary");
+  ServiceOptions primary_options;
+  primary_options.catalog = OpenCatalog(primary_dir, 0);
+  OocqService primary(primary_options);
+  EventServerOptions transport_options;
+  transport_options.dispatch_threads = 2;
+  EventServer transport(&primary, transport_options);
+  MustOk(transport.Start());
+  std::string sid = Must(primary.CreateSession(kSchema));
+
+  replicate::FollowerOptions tail_options;
+  tail_options.port = transport.port();
+  tail_options.poll_wait_ms = 100;
+  tail_options.backoff_ms = 20;
+  tail_options.backoff_cap_ms = 50;
+  tail_options.auto_promote_after_ms = kPromoteAfterMs;
+  replicate::Follower follower(&follower_service, tail_options);
+  follower.Start();
+  if (!Eventually([&] {
+        return follower.connected() &&
+               follower_service.session_count() == 1 &&
+               follower.lag_records() == 0;
+      })) {
+    return Status::Internal("failover trial: follower never synced");
+  }
+
+  // Partition, then hammer the follower with writes until one sticks.
+  // The refusals before promotion are the readonly FAILED_PRECONDITION
+  // a routed client would bounce off of; the first OK is the moment the
+  // fleet accepts writes again.
+  const std::string label = "127.0.0.1:" + std::to_string(transport.port());
+  const int64_t partitioned = NowUs();
+  MustOk(Failpoints::Configure("net/partition:" + label + "=error"));
+  uint64_t sample = 0;
+  for (uint32_t attempt = 0;; ++attempt) {
+    Status written = follower_service.DefineQuery(
+        sid, "f" + std::to_string(trial) + "_" + std::to_string(attempt),
+        "{ x | x in Auto }");
+    if (written.ok()) {
+      sample = static_cast<uint64_t>(NowUs() - partitioned);
+      break;
+    }
+    if (NowUs() - partitioned > 10'000'000) {
+      Failpoints::Reset();
+      return Status::Internal("failover trial: promotion never happened");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  Failpoints::Reset();  // heal before teardown dials anything
+  follower.Stop();
+  transport.Stop();
+  return sample;
 }
 
 int Run() {
@@ -249,6 +326,28 @@ int Run() {
               static_cast<unsigned long long>(p50),
               static_cast<unsigned long long>(p99));
 
+  // ---- Failover series ----
+  std::vector<uint64_t> failover;
+  failover.reserve(kFailoverTrials);
+  for (uint32_t trial = 0; trial < kFailoverTrials; ++trial) {
+    failover.push_back(Must(FailoverTrial(trial)));
+  }
+  std::sort(failover.begin(), failover.end());
+  const uint64_t failover_p50 = Percentile(failover, 0.50);
+  const uint64_t failover_p99 = Percentile(failover, 0.99);
+  // Sanity bound, far above the expected detection + promotion cost:
+  // the threshold is 200 ms, so a p50 past 1.5 s means a wedged loop.
+  if (failover_p50 >= 1'500'000) {
+    std::fprintf(stderr, "FAIL: failover p50 %llu us >= 1.5 s\n",
+                 static_cast<unsigned long long>(failover_p50));
+    return 1;
+  }
+  std::printf("failover (partition to first accepted write, "
+              "promote_after %u ms, %u trials): p50 %llu us, p99 %llu us\n",
+              kPromoteAfterMs, kFailoverTrials,
+              static_cast<unsigned long long>(failover_p50),
+              static_cast<unsigned long long>(failover_p99));
+
   std::FILE* out = std::fopen("BENCH_replication.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "FAIL: cannot write BENCH_replication.json\n");
@@ -263,6 +362,11 @@ int Run() {
                     "\"stamped\": %zu},\n",
                static_cast<unsigned long long>(p50),
                static_cast<unsigned long long>(p99), lag.size());
+  std::fprintf(out, "  \"failover\": {\"p50_us\": %llu, \"p99_us\": %llu, "
+                    "\"promote_after_ms\": %u, \"trials\": %u},\n",
+               static_cast<unsigned long long>(failover_p50),
+               static_cast<unsigned long long>(failover_p99),
+               kPromoteAfterMs, kFailoverTrials);
   std::fprintf(out, "  \"throughput_rps\": %.1f\n}\n", throughput);
   std::fclose(out);
   std::printf("wrote BENCH_replication.json\n");

@@ -1,11 +1,12 @@
-// A consistent-hash session router for a fleet of oocq_serve primaries
-// (docs/replication.md#router): accepts ordinary protocol connections,
-// peeks the first command line to learn which session the client is
-// talking about, and splices the connection to the backend that owns
-// that session key on the hash ring (replicate/ring.h).
+// A role-aware consistent-hash session router for a fleet of oocq_serve
+// backends (docs/replication.md#router): accepts ordinary protocol
+// connections, peeks the first command line to learn which session the
+// client is talking about, and splices the connection to the backend
+// that owns that session key on the hash ring (replicate/ring.h).
 //
 //   oocq_route --backends=HOST:PORT[,HOST:PORT...] [--port=N]
 //              [--vnodes=N] [--health_interval_s=N]
+//              [--read_from_followers] [--max_follower_lag=N]
 //
 // Routing is per-connection: the first session-bearing verb (CONTAIN s1,
 // DEFINE s1 q1, SESSION DROP s1, ...) pins the connection to
@@ -15,11 +16,25 @@
 // through the router and stay on the connection, or ask a specific
 // backend directly.
 //
-// A background prober PINGs every backend each --health_interval_s and
-// removes unreachable nodes from the ring (re-adding them when they
-// recover), so new connections skate around a dead primary. Established
-// splices to a dying backend just see EOF and close — clients retry and
-// land on a live node.
+// A background prober sends HEALTH to every backend each
+// --health_interval_s and parses role=/readonly=/term= off the reply, so
+// the router knows who may accept writes — a read-only follower is
+// healthy but it is *not* a mutation target. Two fleet shapes fall out
+// of the same probe sweep:
+//
+//  - sharded (every backend a term-1 primary, no followers): the ring
+//    spreads sessions across all reachable backends, as before;
+//  - replicated (followers present, or any term > 1): mutations route
+//    only to the highest-term primary; dueling or stale primaries are
+//    actively fenced with REPL DEMOTE (replicate/fence.h); and with
+//    --read_from_followers, connections whose first verb is read-only
+//    (CONTAIN/EQUIV/UCONTAIN/MINIMIZE/SAT/EVAL/EXPLAIN) round-robin
+//    across caught-up followers.
+//
+// A splice that sees the backend answer `ERR FAILED_PRECONDITION fenced
+// term=N` drops that reply and closes the connection instead of
+// forwarding it: the retrying client reconnects, the router re-probes,
+// and the next attempt lands on the new primary.
 
 #include <netdb.h>
 #include <poll.h>
@@ -32,14 +47,18 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "flag_util.h"
+#include "replicate/fence.h"
+#include "replicate/peer.h"
 #include "replicate/ring.h"
 #include "server/protocol.h"
 #include "support/log.h"
@@ -48,26 +67,14 @@ namespace {
 
 using namespace oocq;
 
+/// Dials a backend for a client splice (no receive timeout: the splice
+/// is poll()-driven). Routed through replicate::DialPeer so the
+/// `net/partition` failpoint black-holes router→backend traffic too.
 int DialBackend(const std::string& host_port) {
-  size_t colon = host_port.rfind(':');
-  if (colon == std::string::npos) return -1;
-  std::string host = host_port.substr(0, colon);
-  uint16_t port = static_cast<uint16_t>(
-      std::strtoul(host_port.c_str() + colon + 1, nullptr, 10));
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return -1;
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
+  std::string host;
+  uint16_t port = 0;
+  if (!replicate::SplitHostPort(host_port, &host, &port)) return -1;
+  return replicate::DialPeer(host, port, /*rcv_timeout_ms=*/0);
 }
 
 /// The session key of a parsed command line, or "" when the verb does
@@ -90,32 +97,104 @@ std::string SessionKeyOf(const server::CommandLine& command) {
   return "";
 }
 
-/// The ring plus the mutex replicate/ring.h tells callers to bring.
+/// Verbs that never mutate the catalog — safe to serve from a caught-up
+/// follower (verdicts are deterministic functions of replayed state).
+bool IsReadOnlyVerb(const std::string& verb) {
+  static const char* kReadOnlyVerbs[] = {"CONTAIN", "EQUIV",  "UCONTAIN",
+                                         "MINIMIZE", "SAT",   "EVAL",
+                                         "EXPLAIN"};
+  for (const char* candidate : kReadOnlyVerbs) {
+    if (verb == candidate) return true;
+  }
+  return false;
+}
+
+/// The ring plus role/term state from the last probe sweep.
 class Router {
  public:
-  Router(const std::vector<std::string>& backends, uint32_t vnodes)
-      : all_backends_(backends), ring_(vnodes) {
+  Router(const std::vector<std::string>& backends, uint32_t vnodes,
+         bool read_from_followers, uint64_t max_follower_lag)
+      : all_backends_(backends),
+        read_from_followers_(read_from_followers),
+        max_follower_lag_(max_follower_lag),
+        ring_(vnodes) {
+    // Until the first sweep reports, assume every backend is a writable
+    // primary — the pre-replication shape — so cold-start routing works
+    // even with probing disabled.
     for (const std::string& b : backends) ring_.AddNode(b);
   }
 
-  /// The backend owning `key`; round-robin across live nodes for keyless
-  /// connections.
-  std::string Pick(const std::string& key) {
+  /// The mutation target owning `key`; round-robin across ring nodes for
+  /// keyless connections. With `read_only` and --read_from_followers,
+  /// prefers the caught-up follower pool.
+  std::string Pick(const std::string& key, bool read_only) {
     std::lock_guard<std::mutex> lock(mu_);
+    if (read_only && read_from_followers_ && !read_pool_.empty()) {
+      return read_pool_[next_read_++ % read_pool_.size()];
+    }
     if (!key.empty()) return ring_.Lookup(key);
     std::vector<std::string> nodes = ring_.Nodes();
     if (nodes.empty()) return "";
     return nodes[next_round_robin_++ % nodes.size()];
   }
 
-  void SetAlive(const std::string& backend, bool alive) {
+  /// Applies one probe sweep: ring membership, read pool, and the
+  /// fencing decision. Returns the stale/tied primaries to demote
+  /// (fencing itself happens outside the lock).
+  struct SweepPlan {
+    std::string winner;
+    uint64_t winner_term = 0;
+    std::vector<replicate::PeerStatus> to_fence;
+  };
+  SweepPlan ApplySweep(const std::vector<replicate::PeerStatus>& peers) {
+    SweepPlan plan;
     std::lock_guard<std::mutex> lock(mu_);
-    bool present = ring_.Contains(backend);
-    if (alive && !present) {
-      ring_.AddNode(backend);
-      OOCQ_LOG(Info, "route").Msg("backend back in ring").With("backend",
-                                                              backend);
-    } else if (!alive && present) {
+    bool replicated = false;
+    for (const replicate::PeerStatus& peer : peers) {
+      LogTransitionLocked(peer);
+      if (!peer.reachable) continue;
+      if (peer.role == "follower" || peer.fenced || peer.term > 1) {
+        replicated = true;
+      }
+    }
+    std::vector<std::string> writers;
+    plan.winner = replicate::PickWinner(peers);
+    if (replicated && !plan.winner.empty()) {
+      // Replicated fleet: exactly one mutation target — the highest-term
+      // primary — and every other writable primary is stale or a dueling
+      // loser to be fenced.
+      for (const replicate::PeerStatus& peer : peers) {
+        if (peer.address == plan.winner) plan.winner_term = peer.term;
+        if (peer.reachable && !peer.readonly && peer.address != plan.winner) {
+          plan.to_fence.push_back(peer);
+        }
+      }
+      writers.push_back(plan.winner);
+    } else {
+      // Sharded fleet (or nothing writable yet): spread sessions across
+      // every reachable writable backend, the pre-replication behavior.
+      plan.winner.clear();
+      for (const replicate::PeerStatus& peer : peers) {
+        if (peer.reachable && !peer.readonly) writers.push_back(peer.address);
+      }
+    }
+    SetRingLocked(writers);
+    read_pool_.clear();
+    if (read_from_followers_) {
+      for (const replicate::PeerStatus& peer : peers) {
+        if (peer.reachable && peer.role == "follower" && !peer.fenced &&
+            peer.repl_connected && peer.lag_records <= max_follower_lag_) {
+          read_pool_.push_back(peer.address);
+        }
+      }
+    }
+    return plan;
+  }
+
+  /// Drops an unreachable backend mid-interval (a splice dial failed).
+  void MarkDead(const std::string& backend) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.Contains(backend)) {
       ring_.RemoveNode(backend);
       OOCQ_LOG(Warn, "route").Msg("backend out of ring").With("backend",
                                                               backend);
@@ -126,33 +205,95 @@ class Router {
     return all_backends_;
   }
 
+  /// Asks the prober to run a sweep now (a splice saw a fenced reply).
+  void RequestProbe() {
+    {
+      std::lock_guard<std::mutex> lock(probe_mu_);
+      probe_requested_ = true;
+    }
+    probe_cv_.notify_one();
+  }
+  bool WaitProbeInterval(uint64_t interval_ms) {
+    std::unique_lock<std::mutex> lock(probe_mu_);
+    probe_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                       [this] { return probe_requested_ || stopping_; });
+    bool requested = probe_requested_;
+    probe_requested_ = false;
+    return requested || !stopping_;
+  }
+  void StopProber() {
+    {
+      std::lock_guard<std::mutex> lock(probe_mu_);
+      stopping_ = true;
+    }
+    probe_cv_.notify_all();
+  }
+  bool stopping() {
+    std::lock_guard<std::mutex> lock(probe_mu_);
+    return stopping_;
+  }
+
  private:
+  void SetRingLocked(const std::vector<std::string>& writers) {
+    for (const std::string& node : ring_.Nodes()) {
+      bool keep = false;
+      for (const std::string& writer : writers) {
+        if (writer == node) keep = true;
+      }
+      if (!keep) {
+        ring_.RemoveNode(node);
+        OOCQ_LOG(Warn, "route").Msg("backend out of ring").With("backend",
+                                                                node);
+      }
+    }
+    for (const std::string& writer : writers) {
+      if (!ring_.Contains(writer)) {
+        ring_.AddNode(writer);
+        OOCQ_LOG(Info, "route").Msg("backend into ring").With("backend",
+                                                              writer);
+      }
+    }
+  }
+
+  void LogTransitionLocked(const replicate::PeerStatus& peer) {
+    auto it = last_seen_.find(peer.address);
+    const std::string role = peer.reachable ? peer.role : "unreachable";
+    if (it != last_seen_.end() &&
+        (it->second.first != role || it->second.second != peer.term)) {
+      OOCQ_LOG(Info, "route")
+          .Msg("backend role transition")
+          .With("backend", peer.address)
+          .With("from_role", it->second.first)
+          .With("from_term", it->second.second)
+          .With("to_role", role)
+          .With("to_term", peer.term);
+    }
+    last_seen_[peer.address] = {role, peer.term};
+  }
+
   const std::vector<std::string> all_backends_;
+  const bool read_from_followers_;
+  const uint64_t max_follower_lag_;
   std::mutex mu_;
   replicate::ConsistentHashRing ring_;
+  std::vector<std::string> read_pool_;
+  std::map<std::string, std::pair<std::string, uint64_t>> last_seen_;
   size_t next_round_robin_ = 0;
+  size_t next_read_ = 0;
+
+  std::mutex probe_mu_;
+  std::condition_variable probe_cv_;
+  bool probe_requested_ = false;
+  bool stopping_ = false;
 };
 
-/// One PING round trip; true when the backend answered anything at all.
-bool ProbeBackend(const std::string& backend) {
-  int fd = DialBackend(backend);
-  if (fd < 0) return false;
-  timeval tv{};
-  tv.tv_sec = 2;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  const char* ping = "PING\nQUIT\n";
-  bool ok = ::send(fd, ping, std::strlen(ping), MSG_NOSIGNAL) ==
-            static_cast<ssize_t>(std::strlen(ping));
-  if (ok) {
-    char buf[64];
-    ok = ::recv(fd, buf, sizeof(buf), 0) > 0;
-  }
-  ::close(fd);
-  return ok;
-}
-
-/// Copies bytes both ways until either side closes or errors.
-void Splice(int client_fd, int backend_fd) {
+/// Copies bytes both ways until either side closes or errors. Backend
+/// traffic is scanned for fenced refusals: instead of forwarding a
+/// `fenced term=N` error to the client, the splice closes both sides —
+/// retrying clients treat a dropped connection as retryable (unlike
+/// FAILED_PRECONDITION) and their reconnect re-resolves through the
+/// refreshed ring.
+void Splice(int client_fd, int backend_fd, Router* router) {
   pollfd fds[2];
   fds[0] = {client_fd, POLLIN, 0};
   fds[1] = {backend_fd, POLLIN, 0};
@@ -167,6 +308,16 @@ void Splice(int client_fd, int backend_fd) {
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       ssize_t n = ::recv(fds[i].fd, buf, sizeof(buf), 0);
       if (n <= 0) return;  // EOF or error on either side ends the splice
+      if (i == 1 &&
+          std::string(buf, static_cast<size_t>(n))
+                  .find("ERR FAILED_PRECONDITION fenced") !=
+              std::string::npos) {
+        OOCQ_LOG(Warn, "route")
+            .Msg("backend fenced mid-splice; dropping connection to force "
+                 "re-resolve");
+        router->RequestProbe();
+        return;
+      }
       int out = (i == 0) ? backend_fd : client_fd;
       ssize_t sent = 0;
       while (sent < n) {
@@ -201,13 +352,16 @@ void ServeClient(int client_fd, Router* router) {
   server::CommandLine first =
       server::ParseCommandLine(peeked.substr(0, peeked.size() - 1));
   std::string key = SessionKeyOf(first);
-  std::string backend = router->Pick(key);
+  std::string backend = router->Pick(key, IsReadOnlyVerb(first.verb));
   int backend_fd = backend.empty() ? -1 : DialBackend(backend);
   if (backend_fd < 0) {
     const char* err = "ERR UNAVAILABLE no live backend\n.\n";
     (void)::send(client_fd, err, std::strlen(err), MSG_NOSIGNAL);
     ::close(client_fd);
-    if (!backend.empty()) router->SetAlive(backend, false);
+    if (!backend.empty()) {
+      router->MarkDead(backend);
+      router->RequestProbe();
+    }
     return;
   }
   OOCQ_LOG(Debug, "route")
@@ -217,28 +371,51 @@ void ServeClient(int client_fd, Router* router) {
       .With("backend", backend);
   ssize_t sent = ::send(backend_fd, peeked.data(), peeked.size(), MSG_NOSIGNAL);
   if (sent == static_cast<ssize_t>(peeked.size())) {
-    Splice(client_fd, backend_fd);
+    Splice(client_fd, backend_fd, router);
   }
   ::close(backend_fd);
   ::close(client_fd);
+}
+
+/// One prober sweep: HEALTH every backend, update routing state, fence
+/// stale/dueling primaries.
+void ProbeSweep(Router* router) {
+  std::vector<replicate::PeerStatus> peers;
+  for (const std::string& backend : router->all_backends()) {
+    peers.push_back(replicate::ProbePeer(backend, /*timeout_ms=*/2000));
+  }
+  Router::SweepPlan plan = router->ApplySweep(peers);
+  if (!plan.to_fence.empty()) {
+    (void)replicate::FenceStalePrimaries(peers, plan.winner, plan.winner_term,
+                                         /*timeout_ms=*/2000);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   uint64_t port = 7744, vnodes = 128, health_interval_s = 2;
+  uint64_t max_follower_lag = 64;
+  bool read_from_followers = false;
   std::string backends_flag;
   oocq::examples::FlagSet flags(
       "oocq_route", "",
-      "Consistent-hash session router; see docs/replication.md#router.");
+      "Role-aware consistent-hash session router; see "
+      "docs/replication.md#router.");
   flags.Uint("port", &port, "N",
              "listen port (default 7744; 0 = ephemeral, printed on startup)");
   flags.Str("backends", &backends_flag, "HOST:PORT,...",
-            "comma-separated primary list (required)");
+            "comma-separated backend list (required)");
   flags.Uint("vnodes", &vnodes, "N",
              "ring points per backend (default 128)");
   flags.Uint("health_interval_s", &health_interval_s, "N",
-             "backend PING cadence (default 2; 0 disables probing)");
+             "backend HEALTH probe cadence (default 2; 0 disables probing)");
+  flags.Bool("read_from_followers", &read_from_followers,
+             "spread connections whose first verb is read-only across "
+             "caught-up followers");
+  flags.Uint("max_follower_lag", &max_follower_lag, "N",
+             "followers lagging more than N records leave the read pool "
+             "(default 64)");
   if (flags.Parse(argc, argv) != argc) {
     std::fprintf(stderr, "error: unexpected positional argument\n");
     return flags.UsageError();
@@ -259,7 +436,8 @@ int main(int argc, char** argv) {
   }
   ::signal(SIGPIPE, SIG_IGN);
 
-  Router router(backends, static_cast<uint32_t>(vnodes));
+  Router router(backends, static_cast<uint32_t>(vnodes), read_from_followers,
+                max_follower_lag);
 
   int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
@@ -283,22 +461,16 @@ int main(int argc, char** argv) {
       .Msg("routing on 127.0.0.1")
       .With("port", static_cast<uint64_t>(ntohs(addr.sin_port)))
       .With("backends", backends_flag)
-      .With("vnodes", vnodes);
+      .With("vnodes", vnodes)
+      .With("read_from_followers",
+            static_cast<uint64_t>(read_from_followers ? 1 : 0));
 
   std::thread prober;
-  std::atomic<bool> stop{false};
   if (health_interval_s > 0) {
     prober = std::thread([&] {
-      while (!stop.load(std::memory_order_acquire)) {
-        for (const std::string& backend : router.all_backends()) {
-          router.SetAlive(backend, ProbeBackend(backend));
-        }
-        for (uint64_t slept_ms = 0;
-             slept_ms < health_interval_s * 1000 &&
-             !stop.load(std::memory_order_acquire);
-             slept_ms += 100) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(100));
-        }
+      while (!router.stopping()) {
+        ProbeSweep(&router);
+        router.WaitProbeInterval(health_interval_s * 1000);
       }
     });
   }
@@ -311,7 +483,7 @@ int main(int argc, char** argv) {
     }
     std::thread(ServeClient, client_fd, &router).detach();
   }
-  stop.store(true, std::memory_order_release);
+  router.StopProber();
   if (prober.joinable()) prober.join();
   ::close(listen_fd);
   return 0;

@@ -58,6 +58,7 @@
 #include "flag_util.h"
 #include "persist/catalog.h"
 #include "replicate/follower.h"
+#include "replicate/peer.h"
 #include "server/event_server.h"
 #include "server/service.h"
 #include "server/tcp_server.h"
@@ -265,6 +266,80 @@ class StatsDumper {
   std::thread thread_;
 };
 
+/// Owns the node's replication tail across role changes. A node starts
+/// with at most one follower (--follow); when a higher-term primary
+/// fences this node (REPL DEMOTE carrying primary=HOST:PORT, or the
+/// SUBSCRIBE term handshake), the service's demotion handler lands here
+/// and the node rejoins the fleet as a follower of the named winner —
+/// same tail machinery, new target. The mutex serializes rejoins against
+/// each other and against shutdown.
+class RejoinCoordinator {
+ public:
+  RejoinCoordinator(OocqService* service, uint32_t auto_promote_after_ms)
+      : service_(service), auto_promote_after_ms_(auto_promote_after_ms) {}
+
+  /// Installs the initial --follow tail (may be null for a primary).
+  void Adopt(std::unique_ptr<replicate::Follower> follower) {
+    std::lock_guard<std::mutex> lock(mu_);
+    follower_ = std::move(follower);
+    if (follower_) follower_->Start();
+  }
+
+  /// Demotion handler: fenced at `term`, told to follow `new_primary`.
+  /// An empty target means the demoter did not name a successor (tied
+  /// SUBSCRIBE handshake); the node stays fenced until a router sweep or
+  /// operator names one.
+  void OnDemoted(uint64_t term, const std::string& new_primary) {
+    if (new_primary.empty()) {
+      OOCQ_LOG(Warn, "serve")
+          .Msg("fenced without a named successor; staying read-only")
+          .With("term", term);
+      return;
+    }
+    std::string host;
+    uint16_t port = 0;
+    if (!replicate::SplitHostPort(new_primary, &host, &port)) {
+      OOCQ_LOG(Warn, "serve")
+          .Msg("fenced but successor address is malformed")
+          .With("term", term)
+          .With("primary", new_primary);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    // The old tail (if any) has already left its loop — a fenced node is
+    // read-only again, but the loop exited at promotion time and a
+    // primary never had one. Stop() just joins and detaches the probe.
+    if (follower_) follower_->Stop();
+    follower_.reset();
+    replicate::FollowerOptions options;
+    options.host = host;
+    options.port = port;
+    options.auto_promote_after_ms = auto_promote_after_ms_;
+    follower_ = std::make_unique<replicate::Follower>(service_, options);
+    follower_->Start();
+    OOCQ_LOG(Info, "serve")
+        .Msg("fenced; rejoining as follower of the new primary")
+        .With("term", term)
+        .With("primary", new_primary);
+  }
+
+  /// Stops whichever tail is current and refuses further rejoins. Call
+  /// before the service drains.
+  void Shutdown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    shut_down_ = true;
+    follower_.reset();  // Stop() runs in the destructor
+  }
+
+ private:
+  OocqService* const service_;
+  const uint32_t auto_promote_after_ms_;
+  std::mutex mu_;
+  bool shut_down_ = false;
+  std::unique_ptr<replicate::Follower> follower_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -438,6 +513,16 @@ int main(int argc, char** argv) {
   service_options.catalog = open_catalog();
   auto service = std::make_unique<OocqService>(service_options);
 
+  // Role changes flow through the coordinator: the initial --follow tail
+  // starts here, and a demotion (split-brain fencing, docs/replication.md)
+  // rejoins this node as a follower of the named winner.
+  RejoinCoordinator coordinator(service.get(),
+                                static_cast<uint32_t>(promote_after_ms));
+  service->SetDemotionHandler(
+      [&coordinator](uint64_t term, const std::string& new_primary) {
+        coordinator.OnDemoted(term, new_primary);
+      });
+
   // The replication tail, when this node is a follower. Started after the
   // transport below so clients can probe REPL STATUS during the initial
   // sync; stopped before the service dies so no apply races teardown.
@@ -488,7 +573,7 @@ int main(int argc, char** argv) {
             static_cast<uint64_t>(service_options.engine.parallel.num_threads))
       .With("deadline_ms", deadline_ms)
       .With("data_dir", data_dir);
-  if (follower) follower->Start();
+  coordinator.Adopt(std::move(follower));
 
   std::optional<Watchdog> watchdog;
   watchdog.emplace(service.get(), watchdog_s);
@@ -497,7 +582,7 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   if (smoke) {
-    follower.reset();  // --smoke and --follow do not combine
+    coordinator.Shutdown();  // --smoke and --follow do not combine
     bool ok = RunSmokeConversation(server->port());
     server->Stop();
     server.reset();
@@ -550,7 +635,7 @@ int main(int argc, char** argv) {
       std::printf("%s\n", service->metrics().JsonString().c_str());
     }
     server.reset();
-    follower.reset();  // stops the tail before the service drains
+    coordinator.Shutdown();  // stops the tail before the service drains
     stats_dumper.reset();  // final dump happens before the service dies
     watchdog.reset();
     service.reset();  // drains, then final catalog snapshot

@@ -15,6 +15,20 @@ namespace {
 
 std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
 
+std::string TermPath(const std::string& dir) { return dir + "/TERM"; }
+
+/// Parses the TERM file body (decimal, optional trailing whitespace).
+/// Returns 0 on garbage — the caller treats that as "start at term 1".
+uint64_t ParseTerm(const std::string& body) {
+  uint64_t term = 0;
+  for (char c : body) {
+    if (c == '\n' || c == '\r' || c == ' ') break;
+    if (c < '0' || c > '9') return 0;
+    term = term * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return term;
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<DurableCatalog>> DurableCatalog::Open(
@@ -87,6 +101,18 @@ StatusOr<std::unique_ptr<DurableCatalog>> DurableCatalog::Open(
   // subscribers describe the whole epoch, not just this handle's run.
   catalog->wal_->NoteExistingRecords(recovery.wal_records);
 
+  // 4. Replication term. Absent or unreadable degrades to term 1 with a
+  // recovery note — same stale-bytes-never-crash posture as the WAL.
+  StatusOr<std::string> term_body = ReadFileToString(TermPath(dir));
+  if (term_body.ok()) {
+    uint64_t term = ParseTerm(*term_body);
+    if (term == 0) {
+      recovery.note += "; TERM file unreadable, reset to 1";
+    } else {
+      catalog->term_.store(term, std::memory_order_release);
+    }
+  }
+
   catalog->next_snapshot_seq_ = LatestSnapshotSeq(dir) + 1;
   span.Arg("snapshot_seq", recovery.snapshot_seq)
       .Arg("records", static_cast<uint64_t>(catalog->recovered_.size()))
@@ -100,6 +126,26 @@ DurableCatalog::~DurableCatalog() { StopSnapshotter(); }
 
 Status DurableCatalog::Log(const Record& record) {
   return wal_->Append(record);
+}
+
+Status DurableCatalog::SetTerm(uint64_t term) {
+  std::lock_guard<std::mutex> lock(term_mu_);
+  const uint64_t current = term_.load(std::memory_order_acquire);
+  if (term < current) {
+    return Status::InvalidArgument(
+        "replication term must be monotonic: have " + std::to_string(current) +
+        ", asked to set " + std::to_string(term));
+  }
+  if (term == current) return Status::Ok();
+  // Durable before visible: a crash between the two leaves a higher
+  // on-disk term than in memory, which is safe (terms only ratchet up);
+  // the reverse order could ack writes under a term that does not
+  // survive restart.
+  OOCQ_RETURN_IF_ERROR(
+      WriteFileDurable(TermPath(options_.data_dir), std::to_string(term) + "\n"));
+  term_.store(term, std::memory_order_release);
+  MetricAdd("persist/term_writes", 1);
+  return Status::Ok();
 }
 
 Status DurableCatalog::SnapshotNow() {

@@ -6,6 +6,7 @@
 ///
 ///   <data_dir>/wal.log          append-only mutation log (persist/wal.h)
 ///   <data_dir>/snapshot.NNNNNN  full-registry snapshots (persist/snapshot.h)
+///   <data_dir>/TERM             replication term (decimal, fsynced rename)
 ///
 /// Open() performs recovery: load the newest readable snapshot, replay
 /// the WAL on top (truncating a torn tail), and expose the combined
@@ -131,6 +132,16 @@ class DurableCatalog {
   const DurableCatalogOptions& options() const { return options_; }
   WriteAheadLog* wal() { return wal_.get(); }
 
+  /// The replication *term* — the write-authority generation, distinct
+  /// from the WAL compaction epoch (docs/replication.md). Loaded from
+  /// <data_dir>/TERM at Open() (1 when absent), bumped by promotion and
+  /// adopted from higher-term peers; must only ever move forward.
+  uint64_t term() const { return term_.load(std::memory_order_acquire); }
+
+  /// Persists `term` durably (atomic tmp+rename+fsync) and publishes it.
+  /// kInvalidArgument when `term` would move the persisted term backwards.
+  Status SetTerm(uint64_t term);
+
  private:
   explicit DurableCatalog(DurableCatalogOptions options)
       : options_(std::move(options)) {}
@@ -158,6 +169,10 @@ class DurableCatalog {
   bool stop_snapshotter_ = false;
 
   std::atomic<uint64_t> snapshots_taken_{0};
+
+  /// Serializes SetTerm() writers; readers use the atomic.
+  std::mutex term_mu_;
+  std::atomic<uint64_t> term_{1};
 };
 
 }  // namespace oocq::persist

@@ -1,0 +1,103 @@
+#include "replicate/fence.h"
+
+#include <unistd.h>
+
+#include "replicate/peer.h"
+#include "support/log.h"
+#include "support/metrics.h"
+
+namespace oocq::replicate {
+
+PeerStatus ProbePeer(const std::string& address, uint32_t timeout_ms) {
+  PeerStatus status;
+  status.address = address;
+  std::string host;
+  uint16_t port = 0;
+  if (!SplitHostPort(address, &host, &port)) return status;
+  int fd = DialPeer(host, port, timeout_ms);
+  if (fd < 0) return status;
+  std::string buffer;
+  WireReply reply;
+  if (SendAll(fd, "HEALTH\n") &&
+      ReadWireReply(fd, &buffer, &reply).ok() && ReplyOk(reply)) {
+    status.reachable = true;
+    status.role = FieldString(reply.status, "role");
+    status.readonly = FieldUint(reply.status, "readonly") != 0;
+    status.fenced = FieldUint(reply.status, "fenced") != 0;
+    status.term = FieldUint(reply.status, "term");
+    // Stream liveness/lag ride on the optional `repl:` body line.
+    for (const std::string& line : reply.payload) {
+      if (line.rfind("repl:", 0) != 0) continue;
+      status.repl_connected = FieldUint(line, "connected") != 0;
+      status.lag_records = FieldUint(line, "lag_records");
+    }
+  }
+  (void)SendAll(fd, "QUIT\n");
+  ::close(fd);
+  return status;
+}
+
+std::string PickWinner(const std::vector<PeerStatus>& peers) {
+  const PeerStatus* winner = nullptr;
+  for (const PeerStatus& peer : peers) {
+    if (!peer.reachable || peer.readonly) continue;
+    if (winner == nullptr || peer.term > winner->term ||
+        (peer.term == winner->term && peer.address > winner->address)) {
+      winner = &peer;
+    }
+  }
+  return winner == nullptr ? std::string() : winner->address;
+}
+
+size_t FenceStalePrimaries(const std::vector<PeerStatus>& peers,
+                           const std::string& winner, uint64_t winner_term,
+                           uint32_t timeout_ms) {
+  size_t demoted = 0;
+  for (const PeerStatus& peer : peers) {
+    if (!peer.reachable || peer.readonly || peer.address == winner) continue;
+    std::string host;
+    uint16_t port = 0;
+    if (!SplitHostPort(peer.address, &host, &port)) continue;
+    int fd = DialPeer(host, port, timeout_ms);
+    if (fd < 0) continue;
+    std::string buffer;
+    WireReply reply;
+    const std::string demote = "REPL DEMOTE " + std::to_string(winner_term) +
+                               " primary=" + winner + "\n";
+    if (SendAll(fd, demote) && ReadWireReply(fd, &buffer, &reply).ok() &&
+        ReplyOk(reply)) {
+      ++demoted;
+      MetricAdd("fence/demotions_sent", 1);
+      OOCQ_LOG(Info, "fence")
+          .Msg("demoted stale primary")
+          .With("peer", peer.address)
+          .With("peer_term", peer.term)
+          .With("winner", winner)
+          .With("winner_term", winner_term);
+    }
+    (void)SendAll(fd, "QUIT\n");
+    ::close(fd);
+  }
+  return demoted;
+}
+
+StatusOr<std::string> ResolveSingleWriter(
+    const std::vector<std::string>& addresses, uint32_t timeout_ms) {
+  std::vector<PeerStatus> peers;
+  peers.reserve(addresses.size());
+  for (const std::string& address : addresses) {
+    peers.push_back(ProbePeer(address, timeout_ms));
+  }
+  const std::string winner = PickWinner(peers);
+  if (winner.empty()) {
+    return Status::Unavailable("no writable primary reachable");
+  }
+  uint64_t winner_term = 0;
+  for (const PeerStatus& peer : peers) {
+    if (peer.address == winner) winner_term = peer.term;
+  }
+  (void)FenceStalePrimaries(peers, winner, winner_term, timeout_ms);
+  return winner;
+}
+
+}  // namespace oocq::replicate

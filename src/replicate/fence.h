@@ -1,0 +1,63 @@
+#ifndef OOCQ_REPLICATE_FENCE_H_
+#define OOCQ_REPLICATE_FENCE_H_
+
+/// The fencing sweep (docs/replication.md#fencing): probe a set of
+/// backends, pick the single legitimate writer, and demote everyone
+/// else. This is how dueling promotions converge — two followers that
+/// both self-promoted during a partition end up as same-term primaries,
+/// and neither knows the other exists; any party that can see both (the
+/// session router's prober, an operator script, a test) resolves the
+/// duel deterministically:
+///
+///   winner = max by (term, address) over reachable writable primaries
+///
+/// and every other writable primary receives `REPL DEMOTE <term>
+/// primary=<winner>`, which fences it (read-only + "fenced term=N"
+/// refusals) and hands it the address to rejoin as a follower of.
+/// Higher term always wins; the address is only the tie-break, so the
+/// outcome is identical no matter which router instance runs the sweep.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace oocq::replicate {
+
+/// One probed backend, parsed from its HEALTH fields line.
+struct PeerStatus {
+  std::string address;       // "host:port" as probed
+  bool reachable = false;    // dialed and answered HEALTH
+  std::string role;          // "primary" | "follower" | "" (unreachable)
+  bool readonly = true;
+  bool fenced = false;
+  uint64_t term = 0;
+  bool repl_connected = false;  // follower: stream to its primary is up
+  uint64_t lag_records = 0;     // follower: records behind its primary
+};
+
+/// Probes `address` with one HEALTH round trip over a fresh connection
+/// (subject to the `net/partition` failpoint). Never fails: an
+/// unreachable peer comes back with reachable=false.
+PeerStatus ProbePeer(const std::string& address, uint32_t timeout_ms);
+
+/// The deterministic winner among reachable writable primaries: max by
+/// (term, address). Empty string when no writable primary was seen.
+std::string PickWinner(const std::vector<PeerStatus>& peers);
+
+/// Sends `REPL DEMOTE <winner_term> primary=<winner>` to every reachable
+/// writable primary other than the winner. Best-effort; returns how many
+/// acknowledged the demotion.
+size_t FenceStalePrimaries(const std::vector<PeerStatus>& peers,
+                           const std::string& winner, uint64_t winner_term,
+                           uint32_t timeout_ms);
+
+/// Probe all addresses, pick the winner, fence the losers. Returns the
+/// winner's address; kUnavailable when no writable primary is reachable.
+StatusOr<std::string> ResolveSingleWriter(
+    const std::vector<std::string>& addresses, uint32_t timeout_ms);
+
+}  // namespace oocq::replicate
+
+#endif  // OOCQ_REPLICATE_FENCE_H_

@@ -1,19 +1,16 @@
 #include "replicate/follower.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
-#include <cstdlib>
-#include <cstring>
+#include <random>
 #include <utility>
 #include <vector>
 
+#include "replicate/peer.h"
 #include "replicate/wire.h"
+#include "support/failpoint.h"
 #include "support/log.h"
 #include "support/metrics.h"
 #include "support/status_macros.h"
@@ -30,100 +27,15 @@ int64_t NowMs() {
       .count();
 }
 
-int DialPrimary(const std::string& host, uint16_t port,
-                uint32_t rcv_timeout_ms) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return -1;
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return -1;
-  }
-  // A primary that stops answering (partition, wedged process) must not
-  // hang the tail forever: reads give up after the long-poll window plus
-  // generous slack, and the loop reconnects (or auto-promotes).
-  timeval timeout{};
-  timeout.tv_sec = rcv_timeout_ms / 1000;
-  timeout.tv_usec = static_cast<suseconds_t>((rcv_timeout_ms % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-  return fd;
-}
-
-bool SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-/// One "."-terminated reply: the status line plus dot-unstuffed payload.
-struct WireReply {
-  std::string status;
-  std::vector<std::string> payload;
-};
-
-Status ReadWireReply(int fd, std::string* buffer, WireReply* reply) {
-  reply->status.clear();
-  reply->payload.clear();
-  bool have_status = false;
-  while (true) {
-    size_t nl;
-    while ((nl = buffer->find('\n')) != std::string::npos) {
-      std::string line = buffer->substr(0, nl);
-      buffer->erase(0, nl + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (!have_status) {
-        reply->status = std::move(line);
-        have_status = true;
-        continue;
-      }
-      if (line == ".") return Status::Ok();
-      if (!line.empty() && line[0] == '.') line.erase(0, 1);
-      reply->payload.push_back(std::move(line));
-    }
-    char chunk[16384];
-    ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::Unavailable("primary read timed out");
-      }
-      return Status::Unavailable(std::string("primary read failed: ") +
-                                 std::strerror(errno));
-    }
-    if (got == 0) return Status::Unavailable("primary closed the connection");
-    buffer->append(chunk, static_cast<size_t>(got));
-  }
-}
-
-/// "key=value" fields off a reply status line ("OK next=42 epoch=1 ...").
-uint64_t FieldUint(const std::string& status, const std::string& key) {
-  const std::string needle = " " + key + "=";
-  size_t at = status.find(needle);
-  if (at == std::string::npos) return 0;
-  return std::strtoull(status.c_str() + at + needle.size(), nullptr, 10);
-}
-
-bool ReplyOk(const WireReply& reply) {
-  return reply.status.rfind("OK", 0) == 0 &&
-         (reply.status.size() == 2 || reply.status[2] == ' ');
-}
-
-bool ReplyFailedPrecondition(const WireReply& reply) {
-  return reply.status.rfind("ERR FAILED_PRECONDITION", 0) == 0;
+/// ±50% jitter, same distribution as the retrying client: a fleet of
+/// followers reconnecting to a restarted primary must not synchronize
+/// into lock-step thundering herds.
+uint64_t Jittered(uint64_t base_ms) {
+  if (base_ms == 0) return 0;
+  static thread_local std::mt19937_64 rng{std::random_device{}()};
+  std::uniform_int_distribution<uint64_t> dist(base_ms / 2,
+                                               base_ms + base_ms / 2);
+  return dist(rng);
 }
 
 }  // namespace
@@ -161,6 +73,7 @@ server::ReplicationHealth Follower::Health() const {
   health.lag_records = lag_records();
   health.applied_records = applied_records();
   health.epoch = epoch();
+  health.term = service_->term();
   return health;
 }
 
@@ -199,7 +112,7 @@ void Follower::Loop() {
     }
     // Backoff in small slices so Stop() and promotion stay responsive.
     Clock::time_point wake =
-        Clock::now() + std::chrono::milliseconds(backoff_ms);
+        Clock::now() + std::chrono::milliseconds(Jittered(backoff_ms));
     while (ShouldRun() && Clock::now() < wake) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
@@ -208,12 +121,16 @@ void Follower::Loop() {
   connected_.store(false, std::memory_order_relaxed);
 }
 
+std::string Follower::PeerLabel() const {
+  return options_.host + ":" + std::to_string(options_.port);
+}
+
 Status Follower::RunConnection() {
   const uint32_t rcv_timeout_ms = options_.poll_wait_ms + 5000;
-  int fd = DialPrimary(options_.host, options_.port, rcv_timeout_ms);
+  int fd = DialPeer(options_.host, options_.port, rcv_timeout_ms);
   if (fd < 0) {
-    return Status::Unavailable("connect to primary " + options_.host + ":" +
-                               std::to_string(options_.port) + " failed");
+    return Status::Unavailable("connect to primary " + PeerLabel() +
+                               " failed");
   }
   std::string buffer;
   Status result = [&]() -> Status {
@@ -260,6 +177,9 @@ Status Follower::RunConnection() {
 }
 
 Status Follower::Resync(int fd, std::string* buffer) {
+  // A partition armed mid-stream black-holes the established connection
+  // too, not just fresh dials.
+  OOCQ_RETURN_IF_ERROR(Failpoints::CheckLabeled("net/partition", PeerLabel()));
   if (!SendAll(fd, "REPL STATE\n")) {
     return Status::Unavailable("primary send failed");
   }
@@ -267,6 +187,16 @@ Status Follower::Resync(int fd, std::string* buffer) {
   OOCQ_RETURN_IF_ERROR(ReadWireReply(fd, buffer, &reply));
   if (!ReplyOk(reply)) {
     return Status::Internal("REPL STATE refused: " + reply.status);
+  }
+  const uint64_t primary_term = FieldUint(reply.status, "term");
+  if (primary_term != 0 && primary_term < service_->term()) {
+    // This "primary" is behind the write authority we already know
+    // about — refuse to clone its forked history. Not FAILED_PRECONDITION
+    // (that would just resync again): drop the connection and back off.
+    return Status::Unavailable(
+        "primary is stale: dump carries term " +
+        std::to_string(primary_term) + " but this node knows term " +
+        std::to_string(service_->term()));
   }
   // Stale local sessions (missed drops while disconnected, or a cold
   // local catalog diverged from the primary) go first; the dump then
@@ -283,7 +213,9 @@ Status Follower::Resync(int fd, std::string* buffer) {
   for (const std::string& line : reply.payload) {
     StatusOr<ShippedRecord> shipped = DecodeShippedLine(line);
     if (!shipped.ok()) return shipped.status();
-    if (!service_->ApplyReplicated(shipped->record).ok()) ++skipped;
+    if (!service_->ApplyReplicated(shipped->record, primary_term).ok()) {
+      ++skipped;
+    }
   }
   if (skipped != 0) {
     service_->metrics_registry()->Add("repl/apply_skipped", skipped);
@@ -299,16 +231,21 @@ Status Follower::Resync(int fd, std::string* buffer) {
       .Msg("resynced from positioned dump")
       .With("records", reply.payload.size())
       .With("epoch", epoch_.load(std::memory_order_relaxed))
-      .With("offset", next_offset_);
+      .With("offset", next_offset_)
+      .With("term", primary_term);
   return Status::Ok();
 }
 
 Status Follower::PollOnce(int fd, std::string* buffer) {
+  OOCQ_RETURN_IF_ERROR(Failpoints::CheckLabeled("net/partition", PeerLabel()));
+  // The SUBSCRIBE carries our term: a healed stale primary fences itself
+  // the moment its old follower — now ahead of it — polls it.
   std::string request =
       "REPL SUBSCRIBE " +
       std::to_string(epoch_.load(std::memory_order_relaxed)) + " " +
       std::to_string(next_offset_) +
-      " wait_ms=" + std::to_string(options_.poll_wait_ms);
+      " wait_ms=" + std::to_string(options_.poll_wait_ms) +
+      " term=" + std::to_string(service_->term());
   if (options_.max_batch_bytes != 0) {
     request += " max_bytes=" + std::to_string(options_.max_batch_bytes);
   }
@@ -324,11 +261,18 @@ Status Follower::PollOnce(int fd, std::string* buffer) {
   if (!ReplyOk(reply)) {
     return Status::Internal("REPL SUBSCRIBE refused: " + reply.status);
   }
+  const uint64_t primary_term = FieldUint(reply.status, "term");
+  if (primary_term != 0 && primary_term < service_->term()) {
+    return Status::Unavailable(
+        "primary is stale: batch carries term " +
+        std::to_string(primary_term) + " but this node knows term " +
+        std::to_string(service_->term()));
+  }
   size_t skipped = 0;
   for (const std::string& line : reply.payload) {
     StatusOr<ShippedRecord> shipped = DecodeShippedLine(line);
     if (!shipped.ok()) return shipped.status();
-    Status applied = service_->ApplyReplicated(shipped->record);
+    Status applied = service_->ApplyReplicated(shipped->record, primary_term);
     if (!applied.ok()) {
       // Same contract as recovery (docs/persistence.md): a record that
       // no longer applies is skipped and counted, never fatal.

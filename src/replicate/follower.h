@@ -35,7 +35,9 @@ struct FollowerOptions {
   uint32_t poll_wait_ms = 500;
   /// Batch ceiling per SUBSCRIBE round (0 = the primary's default).
   uint32_t max_batch_bytes = 256 * 1024;
-  /// Reconnect backoff: doubles from `backoff_ms` to `backoff_cap_ms`.
+  /// Reconnect backoff: doubles from `backoff_ms` to `backoff_cap_ms`,
+  /// with ±50% jitter per sleep so a fleet of followers reconnecting to
+  /// a restarted primary de-synchronizes.
   uint32_t backoff_ms = 100;
   uint32_t backoff_cap_ms = 2000;
   /// Self-promotion threshold: primary unreachable for this many
@@ -90,6 +92,8 @@ class Follower {
   /// One SUBSCRIBE round over `fd`; applies the batch it returns.
   Status PollOnce(int fd, std::string* buffer);
   bool ShouldRun() const;
+  /// "host:port" of the primary — the `net/partition` failpoint label.
+  std::string PeerLabel() const;
 
   server::OocqService* const service_;
   const FollowerOptions options_;

@@ -1,0 +1,59 @@
+#ifndef OOCQ_REPLICATE_PEER_H_
+#define OOCQ_REPLICATE_PEER_H_
+
+/// Client-side plumbing for talking to an oocq server as a *peer*:
+/// blocking dial with a receive timeout, whole-reply reads of the
+/// dot-stuffed line protocol, and field extraction off reply status
+/// lines. Shared by the follower tail (replicate/follower.cc), the
+/// fencing sweep (replicate/fence.h), and the session router's prober
+/// (examples/oocq_route.cpp) so all three speak the wire identically.
+///
+/// Every dial funnels through the `net/partition` failpoint labeled
+/// with the peer's "host:port", which is how chaos tests black-hole a
+/// specific peer without killing its process (docs/robustness.md).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace oocq::replicate {
+
+/// One "."-terminated reply: the status line plus dot-unstuffed payload.
+struct WireReply {
+  std::string status;
+  std::vector<std::string> payload;
+};
+
+/// Splits "host:port" (port 1..65535). False on malformed input.
+bool SplitHostPort(const std::string& address, std::string* host,
+                   uint16_t* port);
+
+/// Dials host:port (blocking connect) and sets SO_RCVTIMEO so a peer
+/// that stops answering — partition, wedged process — can never hang
+/// the caller past `rcv_timeout_ms`. Checks the `net/partition`
+/// failpoint labeled "host:port" first; an armed partition makes the
+/// dial fail exactly like an unreachable host. Returns -1 on failure.
+int DialPeer(const std::string& host, uint16_t port, uint32_t rcv_timeout_ms);
+
+/// Sends the whole buffer; false on a closed or failing socket.
+bool SendAll(int fd, const std::string& data);
+
+/// Reads one full reply into `reply`, buffering partial reads across
+/// calls in `buffer`. kUnavailable on timeout, reset, or close.
+Status ReadWireReply(int fd, std::string* buffer, WireReply* reply);
+
+/// "key=value" numeric fields off a reply status line
+/// ("OK next=42 epoch=1 ..."). 0 when absent.
+uint64_t FieldUint(const std::string& status, const std::string& key);
+
+/// String-valued fields ("OK role=primary ..."). Empty when absent.
+std::string FieldString(const std::string& status, const std::string& key);
+
+bool ReplyOk(const WireReply& reply);
+bool ReplyFailedPrecondition(const WireReply& reply);
+
+}  // namespace oocq::replicate
+
+#endif  // OOCQ_REPLICATE_PEER_H_

@@ -80,6 +80,11 @@ uint64_t ParamUint(const CommandLine& command, const std::string& key) {
   return std::strtoull(value->c_str(), nullptr, 10);
 }
 
+std::string ParamString(const CommandLine& command, const std::string& key) {
+  const std::string* value = command.Param(key);
+  return value == nullptr ? std::string() : *value;
+}
+
 void FillCommonRequestFields(const CommandLine& command, Request* request) {
   request->deadline_ms = ParamUint(command, "deadline_ms");
   if (const std::string* id = command.Param("id")) request->request_id = *id;
@@ -283,14 +288,16 @@ ProtocolReply ProtocolHandler::HandleInner(
       }
     }
     // The caps vocabulary is enumerated in docs/server.md#capabilities;
-    // `replication` advertises the REPL verb family (docs/replication.md).
+    // `replication` advertises the REPL verb family (docs/replication.md);
+    // `fencing` advertises term-stamped replies and the REPL DEMOTE verb.
     return OkReply(
         "protocol=" + std::to_string(kProtocolVersion) +
         " server=oocq max_line_bytes=" + std::to_string(kMaxLineBytes) +
         " caps=sessions,define,state,batch,deadlines,metrics,health,"
-        "explain,ucontain,stats,request_ids,replication" +
+        "explain,ucontain,stats,request_ids,replication,fencing" +
         " draining=" + std::string(service_->draining() ? "1" : "0") +
-        " readonly=" + std::string(service_->read_only() ? "1" : "0"));
+        " readonly=" + std::string(service_->read_only() ? "1" : "0") +
+        " term=" + std::to_string(service_->term()));
   }
   if (verb == "QUIT") {
     ProtocolReply reply = OkReply("");
@@ -312,11 +319,18 @@ ProtocolReply ProtocolHandler::HandleInner(
     // wedged worker pool (docs/robustness.md). Renders the same
     // ServiceHealth snapshot STATS exposes, in the PR 5 wire format.
     const ServiceHealth health = service_->CollectHealth();
+    // Role/term ride on the fields line for every server (the router's
+    // prober keys on them); new fields append after sessions= — parsers
+    // since PR 5 anchor on the "OK pending=" prefix.
     std::string fields =
         "pending=" + std::to_string(health.pending) +
         " completed=" + std::to_string(health.completed) +
         " draining=" + std::string(health.draining ? "1" : "0") +
-        " sessions=" + std::to_string(health.sessions);
+        " sessions=" + std::to_string(health.sessions) +
+        " role=" + std::string(service_->read_only() ? "follower" : "primary") +
+        " readonly=" + std::string(service_->read_only() ? "1" : "0") +
+        " fenced=" + std::string(service_->fenced() ? "1" : "0") +
+        " term=" + std::to_string(service_->term());
     std::string body;
     if (health.has_budget) {
       body = "budget: resident_bytes=" +
@@ -339,7 +353,8 @@ ProtocolReply ProtocolHandler::HandleInner(
               " applied_records=" +
               std::to_string(health.repl.applied_records) +
               " shipped_bytes=" + std::to_string(health.repl.shipped_bytes) +
-              " epoch=" + std::to_string(health.repl.epoch) + "\n";
+              " epoch=" + std::to_string(health.repl.epoch) +
+              " term=" + std::to_string(health.repl.term) + "\n";
     }
     return OkReply(fields, body);
   }
@@ -513,7 +528,7 @@ ProtocolReply ProtocolHandler::HandleInner(
 ProtocolReply ProtocolHandler::HandleRepl(const CommandLine& command) {
   if (command.args.empty()) {
     return ErrReply(
-        BadRequest("REPL needs SUBSCRIBE, STATE, STATUS or PROMOTE"));
+        BadRequest("REPL needs SUBSCRIBE, STATE, STATUS, PROMOTE or DEMOTE"));
   }
   std::string sub = command.args[0];
   for (char& c : sub) {
@@ -528,13 +543,34 @@ ProtocolReply ProtocolHandler::HandleRepl(const CommandLine& command) {
     // so a retrying client converges (docs/replication.md#promotion).
     Status promoted = service_->Promote();
     if (!promoted.ok()) return ErrReply(promoted);
-    return OkReply("role=primary");
+    return OkReply("role=primary term=" + std::to_string(service_->term()));
+  }
+  if (sub == "DEMOTE") {
+    // Fence this node: the caller (a router's fencing sweep, an operator,
+    // a peer) proved a primary at <term> exists. `primary=HOST:PORT`
+    // names the successor to rejoin as a follower of; it is mandatory
+    // for a tied term (deterministic dueling tie-break), optional when
+    // the observed term is strictly higher.
+    if (command.args.size() != 2) {
+      return ErrReply(
+          BadRequest("usage: REPL DEMOTE <term> [primary=HOST:PORT]"));
+    }
+    const uint64_t observed =
+        std::strtoull(command.args[1].c_str(), nullptr, 10);
+    if (observed == 0) {
+      return ErrReply(BadRequest("REPL DEMOTE takes a numeric term >= 1"));
+    }
+    Status demoted = service_->Demote(observed, ParamString(command, "primary"));
+    if (!demoted.ok()) return ErrReply(demoted);
+    return OkReply("role=follower term=" + std::to_string(service_->term()));
   }
   if (sub == "STATUS") {
     const ServiceHealth health = service_->CollectHealth();
     std::string fields =
         std::string("role=") +
-        (service_->read_only() ? "follower" : "primary");
+        (service_->read_only() ? "follower" : "primary") +
+        " term=" + std::to_string(service_->term()) +
+        " fenced=" + std::string(service_->fenced() ? "1" : "0");
     if (wal != nullptr) {
       fields += " epoch=" + std::to_string(wal->epoch()) +
                 " tip=" + std::to_string(wal->synced_bytes()) +
@@ -575,13 +611,15 @@ ProtocolReply ProtocolHandler::HandleRepl(const CommandLine& command) {
     return OkReply("epoch=" + std::to_string(dump->epoch) +
                        " offset=" + std::to_string(dump->offset) +
                        " seq=" + std::to_string(dump->seq) +
-                       " n=" + std::to_string(dump->records.size()),
+                       " n=" + std::to_string(dump->records.size()) +
+                       " term=" + std::to_string(service_->term()),
                    body);
   }
   if (sub == "SUBSCRIBE") {
     if (command.args.size() != 3) {
       return ErrReply(BadRequest(
-          "usage: REPL SUBSCRIBE <epoch> <offset> [wait_ms=N] [max_bytes=N]"));
+          "usage: REPL SUBSCRIBE <epoch> <offset> [wait_ms=N] [max_bytes=N] "
+          "[term=N]"));
     }
     const uint64_t want_epoch =
         std::strtoull(command.args[1].c_str(), nullptr, 10);
@@ -593,6 +631,23 @@ ProtocolReply ProtocolHandler::HandleRepl(const CommandLine& command) {
         ParamUint(command, "wait_ms"), 10000);
     const uint64_t max_bytes = ParamUint(command, "max_bytes");
     MetricAdd("repl/subscribes", 1);
+    // The fencing handshake: a subscriber carrying a higher term proves
+    // a newer primary was elected while we were partitioned — fence
+    // *before* shipping a single frame of our forked history.
+    const uint64_t subscriber_term = ParamUint(command, "term");
+    if (subscriber_term > service_->term()) {
+      (void)service_->Demote(subscriber_term, "");
+      return ErrReply(Status::FailedPrecondition(
+          "fenced term=" + std::to_string(service_->term()) +
+          ": subscriber is ahead of this node; resync from the current "
+          "primary"));
+    }
+    if (subscriber_term != 0 && subscriber_term < service_->term()) {
+      return ErrReply(Status::FailedPrecondition(
+          "stale subscriber term=" + std::to_string(subscriber_term) +
+          "; this primary is at term " + std::to_string(service_->term()) +
+          "; resync required"));
+    }
     if (wal->epoch() != want_epoch) {
       return ErrReply(Status::FailedPrecondition(
           "wal epoch is " + std::to_string(wal->epoch()) + ", not " +
@@ -624,11 +679,12 @@ ProtocolReply ProtocolHandler::HandleRepl(const CommandLine& command) {
                        " epoch=" + std::to_string(batch->epoch) +
                        " tip=" + std::to_string(batch->durable_bytes) +
                        " tip_seq=" + std::to_string(batch->durable_seq) +
-                       " n=" + std::to_string(batch->records.size()),
+                       " n=" + std::to_string(batch->records.size()) +
+                       " term=" + std::to_string(service_->term()),
                    body);
   }
   return ErrReply(
-      BadRequest("REPL needs SUBSCRIBE, STATE, STATUS or PROMOTE"));
+      BadRequest("REPL needs SUBSCRIBE, STATE, STATUS, PROMOTE or DEMOTE"));
 }
 
 }  // namespace oocq::server

@@ -69,6 +69,15 @@ Status ReadonlyError() {
       "primary");
 }
 
+/// The fenced refusal: a demoted primary answers mutations with a term
+/// so routers re-resolve to the higher-term primary instead of merely
+/// redirecting (ERR FAILED_PRECONDITION fenced term=N ...).
+Status FencedError(uint64_t term) {
+  return Status::FailedPrecondition(
+      "fenced term=" + std::to_string(term) +
+      ": a higher-term primary exists; re-resolve and send writes there");
+}
+
 }  // namespace
 
 const char* RequestKindName(RequestKind kind) {
@@ -110,6 +119,9 @@ OocqService::OocqService(ServiceOptions options)
   }
   if (options_.budget.AnySet()) budget_.emplace(options_.budget);
   read_only_.store(options_.read_only, std::memory_order_relaxed);
+  if (options_.catalog != nullptr) {
+    term_.store(options_.catalog->term(), std::memory_order_release);
+  }
   pool_ = std::make_unique<ThreadPool>(options_.max_in_flight);
   if (options_.catalog != nullptr) {
     RestoreFromCatalog();
@@ -162,7 +174,7 @@ StatusOr<std::shared_ptr<OocqService::Session>> OocqService::MakeSession(
 
 StatusOr<std::string> OocqService::CreateSession(
     const std::string& schema_text) {
-  if (read_only()) return ReadonlyError();
+  if (read_only()) return fenced() ? FencedError(term()) : ReadonlyError();
   OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                         MakeSession(schema_text));
   OOCQ_RETURN_IF_ERROR(ChargeResident(*session, schema_text.size()));
@@ -201,7 +213,7 @@ StatusOr<std::string> OocqService::CreateSession(
 }
 
 Status OocqService::DropSession(const std::string& session_id) {
-  if (read_only()) return ReadonlyError();
+  if (read_only()) return fenced() ? FencedError(term()) : ReadonlyError();
   std::shared_lock<std::shared_mutex> guard;
   if (options_.catalog != nullptr) guard = options_.catalog->MutationGuard();
   std::shared_ptr<Session> dropped;
@@ -236,7 +248,7 @@ StatusOr<std::shared_ptr<OocqService::Session>> OocqService::FindSession(
 Status OocqService::DefineQuery(const std::string& session_id,
                                 const std::string& name,
                                 const std::string& query_text) {
-  if (read_only()) return ReadonlyError();
+  if (read_only()) return fenced() ? FencedError(term()) : ReadonlyError();
   OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                         FindSession(session_id));
   OOCQ_ASSIGN_OR_RETURN(ConjunctiveQuery query,
@@ -269,7 +281,7 @@ Status OocqService::DefineQuery(const std::string& session_id,
 
 Status OocqService::LoadState(const std::string& session_id,
                               const std::string& state_text) {
-  if (read_only()) return ReadonlyError();
+  if (read_only()) return fenced() ? FencedError(term()) : ReadonlyError();
   OOCQ_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                         FindSession(session_id));
   OOCQ_ASSIGN_OR_RETURN(State state,
@@ -309,8 +321,29 @@ std::vector<std::string> OocqService::SessionIds() const {
   return ids;  // std::map iteration: already sorted
 }
 
-Status OocqService::ApplyReplicated(const persist::Record& record) {
+Status OocqService::ApplyReplicated(const persist::Record& record,
+                                    uint64_t term) {
   OOCQ_RETURN_IF_ERROR(Failpoints::Check("repl/apply"));
+  if (term != 0) {
+    const uint64_t current = term_.load(std::memory_order_acquire);
+    if (term < current) {
+      // The single-writer invariant's last line of defense: a record
+      // shipped by a stale (pre-fence) primary never enters this WAL.
+      registry_.Add("repl/rejected_records", 1);
+      return Status::FailedPrecondition(
+          "fenced record: shipped under term " + std::to_string(term) +
+          " but this node is at term " + std::to_string(current));
+    }
+    if (term > current) {
+      std::lock_guard<std::mutex> lock(role_mu_);
+      if (term > term_.load(std::memory_order_acquire)) {
+        if (options_.catalog != nullptr) {
+          OOCQ_RETURN_IF_ERROR(options_.catalog->SetTerm(term));
+        }
+        term_.store(term, std::memory_order_release);
+      }
+    }
+  }
   // Same discipline as a client mutation: in-memory commit and the WAL
   // append of this node's own catalog happen under one shared hold of
   // the gate, so the local snapshotter can never cut between them —
@@ -322,12 +355,73 @@ Status OocqService::ApplyReplicated(const persist::Record& record) {
   return LogMutation(record);
 }
 
-Status OocqService::Promote() {
+Status OocqService::Promote(uint64_t min_term) {
+  std::lock_guard<std::mutex> lock(role_mu_);
   if (!read_only_.load(std::memory_order_relaxed)) return Status::Ok();
   OOCQ_RETURN_IF_ERROR(Failpoints::Check("repl/promote"));
+  // Claim write authority under a fresh term, durably, *before* the
+  // readonly gate opens: the first acked write must already be covered
+  // by a term that survives restart.
+  const uint64_t next =
+      std::max(term_.load(std::memory_order_acquire) + 1, min_term);
+  if (options_.catalog != nullptr) {
+    OOCQ_RETURN_IF_ERROR(options_.catalog->SetTerm(next));
+  }
+  term_.store(next, std::memory_order_release);
+  fenced_.store(false, std::memory_order_relaxed);
   read_only_.store(false, std::memory_order_relaxed);
   registry_.Add("repl/promotions", 1);
-  OOCQ_LOG(Info, "repl").Msg("promoted to primary; accepting writes");
+  OOCQ_LOG(Info, "repl")
+      .Msg("promoted to primary; accepting writes")
+      .With("term", next);
+  return Status::Ok();
+}
+
+Status OocqService::Demote(uint64_t observed_term,
+                           const std::string& new_primary) {
+  std::function<void(uint64_t, const std::string&)> handler;
+  uint64_t adopted = 0;
+  {
+    std::lock_guard<std::mutex> lock(role_mu_);
+    const uint64_t current = term_.load(std::memory_order_acquire);
+    if (observed_term < current) {
+      return Status::FailedPrecondition(
+          "stale term: demotion names term " + std::to_string(observed_term) +
+          " but this node is at term " + std::to_string(current));
+    }
+    const bool was_primary = !read_only_.load(std::memory_order_relaxed);
+    if (was_primary && observed_term == current && new_primary.empty()) {
+      // A tied demotion must name the winner: otherwise two dueling
+      // primaries at the same term could demote each other and leave
+      // no writer at all.
+      return Status::FailedPrecondition(
+          "refusing tied demotion at term " + std::to_string(current) +
+          " without a named successor");
+    }
+    if (observed_term > current) {
+      if (options_.catalog != nullptr) {
+        OOCQ_RETURN_IF_ERROR(options_.catalog->SetTerm(observed_term));
+      }
+      term_.store(observed_term, std::memory_order_release);
+    }
+    adopted = term_.load(std::memory_order_acquire);
+    if (!was_primary) return Status::Ok();  // follower: term adopted, done
+    OOCQ_RETURN_IF_ERROR(Failpoints::Check("repl/fence"));
+    fenced_.store(true, std::memory_order_relaxed);
+    read_only_.store(true, std::memory_order_relaxed);
+    registry_.Add("repl/demotions", 1);
+    OOCQ_LOG(Info, "repl")
+        .Msg("fenced: stepping down to follower")
+        .With("term", adopted)
+        .With("new_primary", new_primary.empty() ? "<unknown>" : new_primary);
+  }
+  {
+    std::lock_guard<std::mutex> lock(repl_probe_mu_);
+    handler = demotion_handler_;
+  }
+  // Invoked outside every service lock: the handler typically starts a
+  // follower tail (which will call back into this service).
+  if (handler) handler(adopted, new_primary);
   return Status::Ok();
 }
 
@@ -335,6 +429,12 @@ void OocqService::SetReplicationProbe(
     std::function<ReplicationHealth()> probe) {
   std::lock_guard<std::mutex> lock(repl_probe_mu_);
   repl_probe_ = std::move(probe);
+}
+
+void OocqService::SetDemotionHandler(
+    std::function<void(uint64_t, const std::string&)> handler) {
+  std::lock_guard<std::mutex> lock(repl_probe_mu_);
+  demotion_handler_ = std::move(handler);
 }
 
 Status OocqService::LogMutation(persist::Record record) {
@@ -592,6 +692,9 @@ ServiceHealth OocqService::CollectHealth() const {
       }
     }
   }
+  if (health.repl.present && health.repl.term == 0) {
+    health.repl.term = term();
+  }
   return health;
 }
 
@@ -629,6 +732,7 @@ std::string OocqService::StatsText() const {
     gauge("oocq_repl_shipped_bytes", health.repl.shipped_bytes);
     gauge("oocq_repl_connected", health.repl.connected ? 1 : 0);
     gauge("oocq_repl_epoch", health.repl.epoch);
+    gauge("oocq_repl_term", health.repl.term);
   }
   return out;
 }

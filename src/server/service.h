@@ -134,6 +134,7 @@ struct ReplicationHealth {
   uint64_t shipped_bytes = 0;   // primary: frame bytes shipped
   uint64_t applied_records = 0; // follower: records applied this epoch
   uint64_t epoch = 0;           // WAL compaction epoch being tailed
+  uint64_t term = 0;            // replication term (write authority)
 };
 
 /// One liveness/progress snapshot, collected once and rendered by both
@@ -207,22 +208,49 @@ class OocqService {
 
   // ---- Replication (docs/replication.md) --------------------------------
   /// True while client-facing mutations are refused with
-  /// kFailedPrecondition "readonly ..." (ServiceOptions::read_only).
+  /// kFailedPrecondition (ServiceOptions::read_only, or fencing).
   bool read_only() const {
     return read_only_.load(std::memory_order_relaxed);
   }
+  /// True when this node was a primary that observed a higher term and
+  /// fenced itself: mutations answer "fenced term=N" instead of
+  /// "readonly" so routers know to re-resolve, not just redirect.
+  bool fenced() const { return fenced_.load(std::memory_order_relaxed); }
+  /// The replication term this node is operating under. Mirrors the
+  /// durable catalog's TERM file; 1 for a catalog-less service.
+  uint64_t term() const { return term_.load(std::memory_order_acquire); }
   /// Applies one record shipped from the primary: bypasses the readonly
   /// gate, replays through the idempotent ApplyRecord path, and logs the
   /// record to this node's own catalog — so replay==acked holds on the
   /// follower too and promotion is just Promote(). Serialized by the
-  /// caller (the follower's single tail thread).
-  Status ApplyReplicated(const persist::Record& record);
-  /// Clears the readonly gate; this node now accepts writes. Idempotent;
-  /// fires the `repl/promote` failpoint on an actual transition.
-  Status Promote();
+  /// caller (the follower's single tail thread). `term` is the shipping
+  /// primary's term: lower than ours is rejected (kFailedPrecondition —
+  /// a healed stale primary can never pollute this WAL), higher is
+  /// adopted durably, 0 means "unstamped" (trusted local replay).
+  Status ApplyReplicated(const persist::Record& record, uint64_t term = 0);
+  /// Clears the readonly gate; this node now accepts writes. On an
+  /// actual transition the term is bumped to max(term+1, min_term) and
+  /// persisted, and the `repl/promote` failpoint fires. Idempotent.
+  Status Promote(uint64_t min_term = 0);
+  /// Fences this node: a peer (subscriber handshake, REPL DEMOTE, the
+  /// router's fencing sweep) proved a primary at `observed_term` exists.
+  /// A primary steps down when observed_term > term(), or when
+  /// observed_term == term() and `new_primary` names the dueling winner
+  /// (the router's deterministic tie-break). Adopts the term durably,
+  /// flips read-only + fenced, fires the `repl/fence` failpoint, and
+  /// invokes the demotion handler with (term, new_primary) so the host
+  /// can rejoin as a follower. kFailedPrecondition for a stale term.
+  /// Already-followers adopt the term and return Ok.
+  Status Demote(uint64_t observed_term, const std::string& new_primary);
   /// Installs the replication telemetry source CollectHealth() consults
   /// (a follower's tail loop). Null detaches it.
   void SetReplicationProbe(std::function<ReplicationHealth()> probe);
+  /// Installs the hook Demote() invokes after fencing (term, new_primary
+  /// — new_primary may be empty when the demoter named no successor).
+  /// The host uses it to start tailing the new primary. Called on the
+  /// demoting thread with no service locks held. Null detaches it.
+  void SetDemotionHandler(
+      std::function<void(uint64_t, const std::string&)> handler);
 
   // ---- Request execution ------------------------------------------------
   /// Admission control + pool execution + wait; see the header comment.
@@ -341,10 +369,21 @@ class OocqService {
 
   std::atomic<uint32_t> pending_{0};  // admitted: queued + running
   std::atomic<uint64_t> completed_{0};
-  /// ServiceOptions::read_only, flipped by Promote().
+  /// ServiceOptions::read_only, flipped by Promote() / Demote().
   std::atomic<bool> read_only_{false};
+  /// Set by Demote(), cleared by Promote(): mutations answer "fenced
+  /// term=N" instead of "readonly".
+  std::atomic<bool> fenced_{false};
+  /// Mirrors the catalog term (1 without a catalog). Guarded for writers
+  /// by role_mu_; readers use the atomic.
+  std::atomic<uint64_t> term_{1};
+  /// Serializes role/term transitions (Promote, Demote, term adoption in
+  /// ApplyReplicated) so concurrent demotions cannot interleave the
+  /// persist-then-publish sequence.
+  std::mutex role_mu_;
   mutable std::mutex repl_probe_mu_;
   std::function<ReplicationHealth()> repl_probe_;
+  std::function<void(uint64_t, const std::string&)> demotion_handler_;
   /// ServiceOptions::budget. Mutable: const request paths (Run) charge
   /// work against it; charging is internally synchronized (atomics).
   mutable std::optional<ResourceBudget> budget_;

@@ -19,15 +19,16 @@ namespace {
 
 enum class Action { kOff, kError, kDelay, kCrash };
 
-/// One armed failpoint. `from_hit`/`every_hit` encode the selector:
-/// "@N" fires exactly on hit N, "@N+" on hit N and after, no selector on
-/// every hit.
+/// One armed failpoint. `from_hit`/`to_hit` encode the selector as an
+/// inclusive hit window: "@N" fires exactly on hit N (from == to == N),
+/// "@N+" on hit N and after (to == max), "@A-B" on hits A through B,
+/// no selector on every hit (1..max).
 struct Arm {
   Action action = Action::kOff;
   StatusCode code = StatusCode::kUnavailable;
   uint64_t delay_ms = 0;
   uint64_t from_hit = 1;
-  bool once = false;  // true: fire only on hit == from_hit
+  uint64_t to_hit = UINT64_MAX;
 };
 
 struct PointState {
@@ -47,32 +48,51 @@ Registry& TheRegistry() {
 
 std::once_flag g_env_once;
 
+/// Parses a decimal hit number; 0 and non-digits are errors.
+StatusOr<uint64_t> ParseHit(const std::string& digits) {
+  if (digits.empty()) {
+    return Status::InvalidArgument("failpoint selector '@' needs a number");
+  }
+  uint64_t n = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad failpoint hit selector '@" + digits +
+                                     "'");
+    }
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("failpoint hits are 1-based");
+  }
+  return n;
+}
+
 StatusOr<Arm> ParseAction(const std::string& text) {
   Arm arm;
   std::string body = text;
-  // Split off the "@N" / "@N+" hit selector first.
+  // Split off the "@N" / "@N+" / "@A-B" hit selector first.
   size_t at = body.rfind('@');
   if (at != std::string::npos) {
     std::string selector = body.substr(at + 1);
     body = body.substr(0, at);
     bool plus = !selector.empty() && selector.back() == '+';
     if (plus) selector.pop_back();
-    if (selector.empty()) {
-      return Status::InvalidArgument("failpoint selector '@' needs a number");
-    }
-    uint64_t n = 0;
-    for (char c : selector) {
-      if (c < '0' || c > '9') {
-        return Status::InvalidArgument("bad failpoint hit selector '@" +
-                                       selector + "'");
+    size_t dash = selector.find('-');
+    if (dash != std::string::npos) {
+      if (plus) {
+        return Status::InvalidArgument("failpoint selector '@" + selector +
+                                       "+' mixes range and '+'");
       }
-      n = n * 10 + static_cast<uint64_t>(c - '0');
+      OOCQ_ASSIGN_OR_RETURN(arm.from_hit, ParseHit(selector.substr(0, dash)));
+      OOCQ_ASSIGN_OR_RETURN(arm.to_hit, ParseHit(selector.substr(dash + 1)));
+      if (arm.to_hit < arm.from_hit) {
+        return Status::InvalidArgument("failpoint range '@" + selector +
+                                       "' is backwards");
+      }
+    } else {
+      OOCQ_ASSIGN_OR_RETURN(arm.from_hit, ParseHit(selector));
+      arm.to_hit = plus ? UINT64_MAX : arm.from_hit;
     }
-    if (n == 0) {
-      return Status::InvalidArgument("failpoint hits are 1-based");
-    }
-    arm.from_hit = n;
-    arm.once = !plus;
   }
   // Then the ":ARG" payload.
   std::string argument;
@@ -128,8 +148,7 @@ Status FireLocked(const std::string& name, PointState& point,
   const Arm& arm = point.arm;
   if (arm.action == Action::kOff) return Status::Ok();
   const uint64_t hit = point.hits;
-  const bool selected =
-      arm.once ? hit == arm.from_hit : hit >= arm.from_hit;
+  const bool selected = hit >= arm.from_hit && hit <= arm.to_hit;
   if (!selected) return Status::Ok();
   MetricAdd("failpoint/fired", 1);
   switch (arm.action) {
@@ -149,6 +168,28 @@ Status FireLocked(const std::string& name, PointState& point,
       break;
   }
   return Status::Ok();
+}
+
+/// Iterative `*`/`?` glob match (the classic two-pointer backtrack).
+bool GlobMatch(const std::string& glob, const std::string& text) {
+  size_t g = 0, t = 0;
+  size_t star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (g < glob.size() && (glob[g] == '?' || glob[g] == text[t])) {
+      ++g;
+      ++t;
+    } else if (g < glob.size() && glob[g] == '*') {
+      star = g++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      g = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (g < glob.size() && glob[g] == '*') ++g;
+  return g == glob.size();
 }
 
 }  // namespace
@@ -179,6 +220,8 @@ const std::vector<std::string>& Failpoints::KnownNames() {
       "repl/ship",         // server/protocol.cc: before serving REPL STATE/SUBSCRIBE
       "repl/apply",        // server/service.cc: before applying a shipped record
       "repl/promote",      // server/service.cc: before a follower promotes
+      "repl/fence",        // server/service.cc: when a primary fences itself
+      "net/partition",     // replicate/peer.cc + follower.cc: per-peer black-hole
       "compile/exec",      // compile fast paths: force interpreter bailout
   };
   return *names;
@@ -241,6 +284,39 @@ Status Failpoints::CheckSlow(const char* name) {
     it = registry.points.emplace(name, PointState{}).first;
   }
   return FireLocked(it->first, it->second, lock);
+}
+
+Status Failpoints::CheckLabeledSlow(const char* site,
+                                    const std::string& label) {
+  Registry& registry = TheRegistry();
+  std::unique_lock<std::mutex> lock(registry.mu);
+  // Fire the bare site first (self-registers, and supports the unlabeled
+  // `net/partition=error` arm that black-holes every peer), then every
+  // armed `site:<glob>` point whose glob matches this peer label.
+  std::vector<std::string> to_fire;
+  const std::string base(site);
+  to_fire.push_back(base);
+  const std::string prefix = base + ":";
+  for (const auto& [name, point] : registry.points) {
+    if (point.arm.action == Action::kOff) continue;
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    if (GlobMatch(name.substr(prefix.size()), label)) to_fire.push_back(name);
+  }
+  Status result = Status::Ok();
+  for (const std::string& name : to_fire) {
+    // FireLocked may release the lock (delay action); re-take it and
+    // re-find by name so map mutation between fires is safe.
+    if (!lock.owns_lock()) lock.lock();
+    auto it = registry.points.find(name);
+    if (it == registry.points.end()) {
+      it = registry.points.emplace(name, PointState{}).first;
+    }
+    Status fired = FireLocked(it->first, it->second, lock);
+    if (result.ok() && !fired.ok()) result = fired;
+  }
+  return result;
 }
 
 uint64_t Failpoints::HitCount(const std::string& name) {

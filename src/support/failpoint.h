@@ -18,7 +18,13 @@
 ///
 ///   wal/fsync=error@3        fire on the 3rd hit only
 ///   tcp/accept=delay:50@2+   fire on the 2nd hit and every one after
+///   repl/ship=error@5-12     fire on hits 5 through 12, then heal
 ///   snapshot/write=crash     fire on every hit (first one aborts)
+///
+/// The `@A-B` range form is what makes a partition *heal* deterministic:
+/// a process armed once at startup (OOCQ_FAILPOINTS is read exactly
+/// once) can black-hole a window of peer traffic and then recover
+/// without anyone re-configuring it.
 ///
 /// Specs combine with commas: "wal/fsync=error@3,tcp/accept=delay:20".
 /// Arm them via Failpoints::Configure() (used by OocqService options and
@@ -34,6 +40,16 @@
 ///
 ///   Failpoints::Hit("tcp/accept");   // delay/crash only; error is inert
 ///
+/// Network seams (follower dial/poll, router probe/dial) use the labeled
+/// form, which matches armed names of the shape `site:<peer-glob>`
+/// against the concrete peer address in addition to the bare site name:
+///
+///   OOCQ_RETURN_IF_ERROR(
+///       Failpoints::CheckLabeled("net/partition", "127.0.0.1:7741"));
+///
+/// armed as `net/partition:127.0.0.1:7741=error` (one peer) or
+/// `net/partition:*=error@3-9` (every peer, hits 3..9 only). The glob
+/// understands `*` (any run) and `?` (one char).
 /// Sites self-register on first hit; Failpoints::KnownNames() lists the
 /// canonical set wired through the tree so the chaos suite can assert
 /// every one of them fired (tests/chaos_test.cc).
@@ -85,6 +101,22 @@ class Failpoints {
     return CheckSlow(name).ok();
   }
 
+  /// Check() for per-peer network seams. Counts a hit on the bare `site`
+  /// name (so coverage tooling sees it) and on every armed point whose
+  /// name is `site:<glob>` with the glob matching `label`; returns the
+  /// first injected error among them. Label is typically "host:port".
+  static Status CheckLabeled(const char* site, const std::string& label) {
+    if (!AnyActive()) return Status::Ok();
+    return CheckLabeledSlow(site, label);
+  }
+
+  /// CheckLabeled() for sites that cannot surface a Status: returns
+  /// false when the peer should be treated as unreachable.
+  static bool HitLabeled(const char* site, const std::string& label) {
+    if (!AnyActive()) return true;
+    return CheckLabeledSlow(site, label).ok();
+  }
+
   /// Hits observed at `name` since the last Reset() (0 if never hit).
   static uint64_t HitCount(const std::string& name);
 
@@ -95,6 +127,10 @@ class Failpoints {
   /// The armed path: registry lock, self-registration, hit accounting,
   /// selector match, action.
   static Status CheckSlow(const char* name);
+
+  /// The armed path for CheckLabeled(): fires the bare site plus every
+  /// armed `site:<glob>` point matching `label`.
+  static Status CheckLabeledSlow(const char* site, const std::string& label);
 
   /// Reads OOCQ_FAILPOINTS exactly once before the first site check, so
   /// a chaos run needs no code changes in the binary under test.

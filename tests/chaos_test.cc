@@ -19,6 +19,7 @@
 
 #include "core/optimizer.h"
 #include "persist/catalog.h"
+#include "replicate/fence.h"
 #include "server/service.h"
 #include "server/tcp_server.h"
 #include "support/failpoint.h"
@@ -184,6 +185,11 @@ TEST_F(ChaosTest, EveryKnownFailpointFiresAcrossTheStack) {
     EXPECT_EQ(client.ReadReply().rfind("OK epoch=", 0), 0u);
     client.Send("QUIT\n");
     client.ReadReply();
+    // The router's probe path dials through the net/partition seam (the
+    // labeled per-peer black-hole, docs/robustness.md#partitions).
+    replicate::PeerStatus probed = replicate::ProbePeer(
+        "127.0.0.1:" + std::to_string(server.port()), 1000);
+    EXPECT_TRUE(probed.reachable);
     server.Stop();
 
     // The follower-side points: applying a shipped record fires
@@ -195,6 +201,10 @@ TEST_F(ChaosTest, EveryKnownFailpointFiresAcrossTheStack) {
     shipped.name = "shipped";
     shipped.text = "{ x | x in A1 }";
     OOCQ_EXPECT_OK(service.ApplyReplicated(shipped));
+    // Observing a higher replication term fences the primary: fires
+    // repl/fence on the step-down path.
+    OOCQ_EXPECT_OK(service.Demote(2, ""));
+    EXPECT_TRUE(service.fenced());
     ServiceOptions follower_options;
     follower_options.read_only = true;
     OocqService follower(follower_options);

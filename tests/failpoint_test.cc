@@ -67,6 +67,61 @@ TEST_F(FailpointTest, FromSelectorFiresOnEveryHitAfter) {
   EXPECT_FALSE(Failpoints::Check("tcp/read").ok());
 }
 
+TEST_F(FailpointTest, RangeSelectorFiresOnTheWindowThenHeals) {
+  // The partition-heal shape: a process armed once (OOCQ_FAILPOINTS is
+  // read exactly once) black-holes a window of hits and then recovers.
+  OOCQ_ASSERT_OK(Failpoints::Configure("repl/ship=error@2-3"));
+  OOCQ_EXPECT_OK(Failpoints::Check("repl/ship"));
+  EXPECT_FALSE(Failpoints::Check("repl/ship").ok());
+  EXPECT_FALSE(Failpoints::Check("repl/ship").ok());
+  OOCQ_EXPECT_OK(Failpoints::Check("repl/ship"));  // healed
+  OOCQ_EXPECT_OK(Failpoints::Check("repl/ship"));
+  EXPECT_EQ(Failpoints::HitCount("repl/ship"), 5u);
+  // Degenerate window: @N-N behaves exactly like @N.
+  OOCQ_ASSERT_OK(Failpoints::Configure("tcp/read=error@1-1"));
+  EXPECT_FALSE(Failpoints::Check("tcp/read").ok());
+  OOCQ_EXPECT_OK(Failpoints::Check("tcp/read"));
+}
+
+TEST_F(FailpointTest, RangeSelectorRejectsMalformedWindows) {
+  EXPECT_EQ(Failpoints::Configure("a/b=error@3-2").code(),
+            StatusCode::kInvalidArgument);  // backwards
+  EXPECT_EQ(Failpoints::Configure("a/b=error@0-2").code(),
+            StatusCode::kInvalidArgument);  // hits are 1-based
+  EXPECT_EQ(Failpoints::Configure("a/b=error@2-").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Configure("a/b=error@2-3+").code(),
+            StatusCode::kInvalidArgument);  // range and from don't mix
+  EXPECT_FALSE(Failpoints::AnyActive());
+}
+
+TEST_F(FailpointTest, LabeledChecksMatchPeerGlobs) {
+  // One black-holed peer: only the matching label fails.
+  OOCQ_ASSERT_OK(Failpoints::Configure("net/partition:127.0.0.1:7741=error"));
+  EXPECT_FALSE(Failpoints::CheckLabeled("net/partition", "127.0.0.1:7741").ok());
+  OOCQ_EXPECT_OK(Failpoints::CheckLabeled("net/partition", "127.0.0.1:7742"));
+  EXPECT_FALSE(Failpoints::HitLabeled("net/partition", "127.0.0.1:7741"));
+  EXPECT_TRUE(Failpoints::HitLabeled("net/partition", "127.0.0.1:7742"));
+  // The bare site name is counted on every labeled check, so chaos
+  // coverage sees the seam regardless of which peers were targeted.
+  EXPECT_GE(Failpoints::HitCount("net/partition"), 4u);
+
+  // Globs: `*` spans any run, `?` exactly one character.
+  Failpoints::Reset();
+  OOCQ_ASSERT_OK(Failpoints::Configure("net/partition:10.0.*:???\?=error"));
+  EXPECT_FALSE(Failpoints::CheckLabeled("net/partition", "10.0.3.7:7741").ok());
+  OOCQ_EXPECT_OK(Failpoints::CheckLabeled("net/partition", "10.0.3.7:744"));
+  OOCQ_EXPECT_OK(Failpoints::CheckLabeled("net/partition", "10.1.3.7:7741"));
+
+  // `net/partition:*` hits every peer, and selectors still apply to the
+  // labeled entry — an armed window partitions then heals per peer-set.
+  Failpoints::Reset();
+  OOCQ_ASSERT_OK(Failpoints::Configure("net/partition:*=error@1-2"));
+  EXPECT_FALSE(Failpoints::CheckLabeled("net/partition", "a:1").ok());
+  EXPECT_FALSE(Failpoints::CheckLabeled("net/partition", "b:2").ok());
+  OOCQ_EXPECT_OK(Failpoints::CheckLabeled("net/partition", "a:1"));
+}
+
 TEST_F(FailpointTest, HitIsFalseOnInjectedErrorForVoidSites) {
   OOCQ_ASSERT_OK(Failpoints::Configure("tcp/accept=error@1"));
   EXPECT_FALSE(Failpoints::Hit("tcp/accept"));  // "site should fail"
@@ -141,7 +196,8 @@ TEST_F(FailpointTest, KnownNamesListsTheWiredSites) {
   for (const char* expected :
        {"wal/append", "wal/fsync", "snapshot/write", "snapshot/load",
         "pool/dispatch", "core/subset_scan", "cache/lookup",
-        "service/execute", "tcp/accept", "tcp/read", "tcp/write"}) {
+        "service/execute", "tcp/accept", "tcp/read", "tcp/write",
+        "repl/fence", "net/partition"}) {
     bool found = false;
     for (const std::string& name : names) found = found || name == expected;
     EXPECT_TRUE(found) << expected;
